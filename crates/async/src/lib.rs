@@ -1,0 +1,528 @@
+//! # molseq-async — self-timed sequential computation with molecular
+//! reactions
+//!
+//! The companion scheme to `molseq-sync` (IWBDA 2011): the same three-color
+//! phase machinery, but **no clock ring**. Transfers are synchronized only
+//! by the shared absence indicators — "a multi-phase handshaking protocol
+//! that transfers quantities between molecular types based on the absence
+//! of other types". The rotation advances exactly as fast as the data
+//! allows: a phase completes the moment its last molecule has moved, and
+//! the system idles (cheaply) once all quantity has drained to the output.
+//!
+//! The contrast with the clocked framework is the subject of experiment
+//! E9: a clocked pipeline pays the full token-transfer time every phase of
+//! every cycle, whether or not the datapath holds data, while a self-timed
+//! chain's latency scales only with its own occupancy.
+//!
+//! The main type is [`AsyncPipeline`]: a chain of delay elements with an
+//! optional scaling operation on each hop, fed one *wavefront* at a time.
+//! Because the output sink is outside the color system, the chain returns
+//! to the all-empty state after each wavefront and can accept the next —
+//! self-timed streaming.
+//!
+//! ## Example
+//!
+//! ```
+//! use molseq_async::{AsyncPipeline, HopOp};
+//! use molseq_sync::SchemeConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A two-stage pipeline that halves on its final hop: y = x / 2.
+//! let pipe = AsyncPipeline::build(
+//!     SchemeConfig::default(),
+//!     &[HopOp::Identity, HopOp::Scale { p: 1, q: 2 }],
+//! )?;
+//! let latency = pipe.measure_latency(40.0, &Default::default())?;
+//! assert!(latency.output_value > 19.0 && latency.output_value < 21.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use molseq_crn::{Crn, SpeciesId};
+use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, State, Trace};
+use molseq_sync::{Color, SchemeBuilder, SchemeConfig, SyncError};
+
+/// The arithmetic applied to a quantity on one hop of the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopOp {
+    /// Pass the quantity through unchanged.
+    Identity,
+    /// Multiply the quantity by `p/q` (with `q ∈ 1..=3`), implemented as a
+    /// fast pairing reaction in the blue stage of the element.
+    Scale {
+        /// Numerator.
+        p: u32,
+        /// Denominator.
+        q: u32,
+    },
+}
+
+impl HopOp {
+    /// The rational this op multiplies by.
+    #[must_use]
+    pub fn factor(self) -> f64 {
+        match self {
+            HopOp::Identity => 1.0,
+            HopOp::Scale { p, q } => f64::from(p) / f64::from(q),
+        }
+    }
+}
+
+/// Result of a latency measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Latency {
+    /// Time at which the output first reached 95% of its final value.
+    pub t95: f64,
+    /// The output value at the end of the run.
+    pub output_value: f64,
+}
+
+/// Result of a streaming throughput measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Sustained time per wavefront.
+    pub period: f64,
+    /// Total quantity delivered to the output across all wavefronts.
+    pub delivered: f64,
+}
+
+/// Options for latency measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureConfig {
+    /// Kinetic interpretation.
+    pub spec: SimSpec,
+    /// Time horizon.
+    pub t_end: f64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            spec: SimSpec::default(),
+            t_end: 400.0,
+        }
+    }
+}
+
+/// A self-timed pipeline of delay elements, one [`HopOp`] per element.
+///
+/// Structure (for `n` elements): input `X` enters as a blue species; each
+/// element `i` owns `R(i)/G(i)/B(i)`; hop `i`'s op is applied within the
+/// blue stage of element `i`; the final hop commits into the uncolored
+/// accumulator `Y`.
+#[derive(Debug, Clone)]
+pub struct AsyncPipeline {
+    crn: Crn,
+    input: SpeciesId,
+    elements: Vec<[SpeciesId; 3]>,
+    output: SpeciesId,
+    ops: Vec<HopOp>,
+}
+
+impl AsyncPipeline {
+    /// Builds a pipeline with one element per entry of `ops`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SyncError::InvalidAmount`] if `ops` is empty.
+    /// * [`SyncError::UnsupportedScale`] for a scale with `p = 0`, `q = 0`
+    ///   or `q > 3`.
+    pub fn build(config: SchemeConfig, ops: &[HopOp]) -> Result<Self, SyncError> {
+        if ops.is_empty() {
+            return Err(SyncError::InvalidAmount { value: 0.0 });
+        }
+        for op in ops {
+            if let HopOp::Scale { p, q } = *op {
+                if p == 0 || q == 0 || q > 3 {
+                    return Err(SyncError::UnsupportedScale { p, q });
+                }
+            }
+        }
+        let n = ops.len();
+        let mut b = SchemeBuilder::new(config);
+        let input = b.signal("X", Color::Blue)?;
+        let output = b.uncolored("Y");
+        // registered lazily: an identity-only pipeline produces no parity
+        // leftovers and must not carry an unused species
+        let mut waste: Option<SpeciesId> = None;
+        let mut elements = Vec::with_capacity(n);
+        for i in 1..=n {
+            elements.push([
+                b.signal(&format!("R{i}"), Color::Red)?,
+                b.signal(&format!("G{i}"), Color::Green)?,
+                b.signal(&format!("B{i}"), Color::Blue)?,
+            ]);
+        }
+
+        b.transfer(input, &[(elements[0][0], 1)], "X -> R1")?;
+        for (i, op) in ops.iter().enumerate() {
+            let [r, g, blue] = elements[i];
+            b.transfer(r, &[(g, 1)], &format!("D{} R->G", i + 1))?;
+            // the op is applied as the value arrives in blue
+            let committed: SpeciesId = match *op {
+                HopOp::Identity => {
+                    b.transfer(g, &[(blue, 1)], &format!("D{} G->B", i + 1))?;
+                    blue
+                }
+                HopOp::Scale { p, q } => {
+                    // the staging species is consumed immediately by the
+                    // scaling reaction, so the transfer's feedback keys on
+                    // the accumulating post-scale species instead
+                    let staging = b.signal(&format!("B{}s", i + 1), Color::Blue)?;
+                    b.transfer_sharpened_by(
+                        g,
+                        &[(staging, 1)],
+                        blue,
+                        &format!("D{} G->Bs", i + 1),
+                    )?;
+                    b.fast(
+                        &[(staging, q)],
+                        &[(blue, p)],
+                        &format!("D{} scale {p}/{q}", i + 1),
+                    )?;
+                    if q > 1 {
+                        // parity leak: a lone unpaired molecule would
+                        // block the blue indicator forever
+                        let w = *waste.get_or_insert_with(|| b.uncolored("waste"));
+                        b.gated_drain(staging, w, &format!("D{} parity", i + 1))?;
+                    }
+                    blue
+                }
+            };
+            if i + 1 < n {
+                b.transfer(
+                    committed,
+                    &[(elements[i + 1][0], 1)],
+                    &format!("D{} B->next", i + 1),
+                )?;
+            } else {
+                // the terminal hop leaves the color system
+                b.gated_drain(committed, output, &format!("D{} B->Y", i + 1))?;
+            }
+        }
+        debug_assert!(b.stall_risks().is_empty(), "{:?}", b.stall_risks());
+        let (crn, _) = b.finish()?;
+        Ok(AsyncPipeline {
+            crn,
+            input,
+            elements,
+            output,
+            ops: ops.to_vec(),
+        })
+    }
+
+    /// The generated network.
+    #[must_use]
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// The blue input species `X`.
+    #[must_use]
+    pub fn input(&self) -> SpeciesId {
+        self.input
+    }
+
+    /// The uncolored output accumulator `Y`.
+    #[must_use]
+    pub fn output(&self) -> SpeciesId {
+        self.output
+    }
+
+    /// The `[R, G, B]` species of element `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn element(&self, i: usize) -> [SpeciesId; 3] {
+        self.elements[i]
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Always false for a built pipeline.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The exact value `Y` should reach for an input `x` (the product of
+    /// all hop factors times `x`).
+    #[must_use]
+    pub fn expected_output(&self, x: f64) -> f64 {
+        self.ops.iter().fold(x, |acc, op| acc * op.factor())
+    }
+
+    /// Runs one wavefront of size `x` through the pipeline and returns the
+    /// full trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_wavefront(
+        &self,
+        x: f64,
+        config: &MeasureConfig,
+    ) -> Result<Trace, SyncError> {
+        let mut init = State::new(&self.crn);
+        init.set(self.input, x);
+        let trace = simulate_ode(
+            &self.crn,
+            &init,
+            &Schedule::new(),
+            &OdeOptions::default()
+                .with_t_end(config.t_end)
+                .with_record_interval(0.1),
+            &config.spec,
+        )?;
+        Ok(trace)
+    }
+
+    /// The dimer-adjusted output series of a trace: `Y + 2·I[Y]`, the
+    /// exact accumulated quantity (part of it rides the sharpener dimer in
+    /// fast equilibrium).
+    #[must_use]
+    pub fn output_series(&self, trace: &Trace) -> Vec<f64> {
+        let terms = molseq_sync::stored_value_terms(&self.crn, self.output);
+        (0..trace.len())
+            .map(|i| {
+                terms
+                    .iter()
+                    .map(|&(s, w)| w * trace.state(i)[s.index()])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Every colored species of the pipeline (elements, staging, input) —
+    /// their sum is the in-flight quantity.
+    fn in_flight_species(&self) -> Vec<SpeciesId> {
+        let mut v = vec![self.input];
+        for (i, e) in self.elements.iter().enumerate() {
+            v.extend_from_slice(e);
+            let staging = format!("B{}s", i + 1);
+            if let Some(s) = self.crn.find_species(&staging) {
+                v.push(s);
+            }
+        }
+        v
+    }
+
+    /// Streams `count` wavefronts of size `x` through the pipeline,
+    /// self-timed: each new wavefront is injected the moment the previous
+    /// one has drained (in-flight quantity below 2% of `x`). Returns the
+    /// sustained period (time per wavefront) and the total delivered
+    /// quantity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; [`SyncError::InsufficientCycles`] if
+    /// fewer than `count` wavefronts completed within the horizon.
+    pub fn measure_throughput(
+        &self,
+        x: f64,
+        count: usize,
+        config: &MeasureConfig,
+    ) -> Result<Throughput, SyncError> {
+        if count == 0 {
+            return Err(SyncError::InvalidAmount { value: 0.0 });
+        }
+        let mut init = State::new(&self.crn);
+        init.set(self.input, x);
+        let schedule = Schedule::new().trigger(molseq_kinetics::Trigger::inject_queue(
+            molseq_kinetics::Condition::SumBelow {
+                species: self.in_flight_species(),
+                threshold: 0.02 * x,
+            },
+            self.input,
+            vec![x; count - 1],
+        ));
+        let trace = simulate_ode(
+            &self.crn,
+            &init,
+            &schedule,
+            &OdeOptions::default()
+                .with_t_end(config.t_end)
+                .with_record_interval(0.1),
+            &config.spec,
+        )?;
+        let marks = trace.mark_times(0);
+        if marks.len() < count - 1 {
+            return Err(SyncError::InsufficientCycles {
+                requested: count,
+                found: marks.len() + 1,
+            });
+        }
+        let series = self.output_series(&trace);
+        let delivered = *series.last().unwrap_or(&0.0);
+        let period = if count > 1 {
+            marks[count - 2] / (count - 1) as f64
+        } else {
+            f64::NAN
+        };
+        Ok(Throughput { period, delivered })
+    }
+
+    /// Measures the end-to-end latency of one wavefront: the time at which
+    /// the output reaches 95% of its final value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure_latency(
+        &self,
+        x: f64,
+        config: &MeasureConfig,
+    ) -> Result<Latency, SyncError> {
+        let trace = self.run_wavefront(x, config)?;
+        let series = self.output_series(&trace);
+        let final_value = *series.last().unwrap_or(&0.0);
+        let t95 = molseq_kinetics::crossings(trace.times(), &series, 0.95 * final_value)
+            .first()
+            .map_or(config.t_end, |c| c.time);
+        Ok(Latency {
+            t95,
+            output_value: final_value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_pipeline_delivers_everything() {
+        let pipe = AsyncPipeline::build(
+            SchemeConfig::default(),
+            &[HopOp::Identity, HopOp::Identity],
+        )
+        .unwrap();
+        let latency = pipe.measure_latency(80.0, &MeasureConfig::default()).unwrap();
+        assert!(
+            (latency.output_value - 80.0).abs() < 1.0,
+            "{latency:?}"
+        );
+        assert!(latency.t95 < 100.0, "{latency:?}");
+    }
+
+    #[test]
+    fn scaling_hops_compose() {
+        let pipe = AsyncPipeline::build(
+            SchemeConfig::default(),
+            &[
+                HopOp::Scale { p: 1, q: 2 },
+                HopOp::Scale { p: 3, q: 1 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(pipe.expected_output(40.0), 60.0);
+        let latency = pipe.measure_latency(40.0, &MeasureConfig::default()).unwrap();
+        assert!(
+            (latency.output_value - 60.0).abs() < 1.0,
+            "{latency:?}"
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_length() {
+        let lat = |n: usize| {
+            let ops = vec![HopOp::Identity; n];
+            let pipe = AsyncPipeline::build(SchemeConfig::default(), &ops).unwrap();
+            pipe.measure_latency(60.0, &MeasureConfig::default())
+                .unwrap()
+                .t95
+        };
+        let l1 = lat(1);
+        let l4 = lat(4);
+        assert!(l4 > l1 * 2.0, "latency must grow: {l1} vs {l4}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(AsyncPipeline::build(SchemeConfig::default(), &[]).is_err());
+        assert!(AsyncPipeline::build(
+            SchemeConfig::default(),
+            &[HopOp::Scale { p: 1, q: 4 }]
+        )
+        .is_err());
+        assert!(AsyncPipeline::build(
+            SchemeConfig::default(),
+            &[HopOp::Scale { p: 0, q: 1 }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let pipe =
+            AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity; 3]).unwrap();
+        assert_eq!(pipe.len(), 3);
+        assert!(!pipe.is_empty());
+        assert_eq!(pipe.element(0).len(), 3);
+        assert_eq!(pipe.expected_output(10.0), 10.0);
+        assert!(pipe.crn().validate().is_empty(), "{:?}", pipe.crn().validate());
+    }
+
+    #[test]
+    fn hop_op_factor() {
+        assert_eq!(HopOp::Identity.factor(), 1.0);
+        assert_eq!(HopOp::Scale { p: 3, q: 2 }.factor(), 1.5);
+    }
+
+    #[test]
+    fn throughput_streams_wavefronts() {
+        let pipe =
+            AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity; 2]).unwrap();
+        let config = MeasureConfig {
+            t_end: 600.0,
+            ..MeasureConfig::default()
+        };
+        let result = pipe.measure_throughput(50.0, 3, &config).unwrap();
+        assert!(
+            (result.delivered - 150.0).abs() < 2.0,
+            "all three wavefronts arrive: {result:?}"
+        );
+        assert!(
+            result.period.is_finite() && result.period > 1.0,
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn throughput_rejects_zero_count() {
+        let pipe =
+            AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity]).unwrap();
+        assert!(pipe
+            .measure_throughput(50.0, 0, &MeasureConfig::default())
+            .is_err());
+    }
+
+    /// Streaming: after a wavefront drains, a second one can pass.
+    #[test]
+    fn consecutive_wavefronts_accumulate() {
+        let pipe =
+            AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity]).unwrap();
+        let mut init = State::new(pipe.crn());
+        init.set(pipe.input(), 50.0);
+        let schedule = Schedule::new().inject(120.0, pipe.input(), 30.0);
+        let trace = simulate_ode(
+            pipe.crn(),
+            &init,
+            &schedule,
+            &OdeOptions::default().with_t_end(300.0).with_record_interval(0.2),
+            &SimSpec::default(),
+        )
+        .unwrap();
+        let y = *pipe.output_series(&trace).last().unwrap();
+        assert!((y - 80.0).abs() < 1.0, "both wavefronts arrive: {y}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Criterion harness: prints each experiment's report once (so
+//! `cargo bench` output contains the reproduced figures and tables), then
+//! times the experiment's reduced-workload kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use molseq_bench::all_experiments;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    for (id, title, runner) in all_experiments() {
+        // one full-workload run, printed: the reproduction artifact
+        println!("\n{}", runner(false));
+        // timed: the reduced workload
+        group.bench_function(format!("{id}_{}", title.replace(' ', "_")), |b| {
+            b.iter(|| std::hint::black_box(runner(true)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

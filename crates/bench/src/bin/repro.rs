@@ -1,0 +1,37 @@
+//! Regenerates every figure and table of the reproduction.
+//!
+//! ```sh
+//! cargo run --release -p molseq-bench --bin repro          # everything
+//! cargo run --release -p molseq-bench --bin repro e3 e6    # a subset
+//! cargo run --release -p molseq-bench --bin repro --quick  # reduced workloads
+//! ```
+
+use molseq_bench::all_experiments;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let mut ran = 0;
+    for (id, _title, runner) in all_experiments() {
+        if !selected.is_empty() && !selected.contains(&id) {
+            continue;
+        }
+        let start = Instant::now();
+        let report = runner(quick);
+        println!("{report}");
+        println!("  (generated in {:.1?})\n", start.elapsed());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment id(s): {selected:?}");
+        eprintln!("available: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 a1 a2");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,145 @@
+//! E11 — strand-displacement leak robustness. Real DSD circuits leak:
+//! gate/translator fuel pairs occasionally fire without a trigger,
+//! producing output from nothing. This experiment sweeps the leak rate on
+//! the compiled combinational average `y = (a + b)/2` and measures how far
+//! the computed answer drifts.
+//!
+//! Expected shape: the error grows linearly with the leak rate **and
+//! quadratically with the fuel pool** (leak flux ∝ leak·C²·t, since every
+//! gate/translator pair is a collision candidate), while the intended
+//! computation only needs the pool to dominate the signals. The sweep
+//! quantifies the strand-purity budget a wet-lab build would need, and the
+//! fuel panel shows the countermeasure: smaller pools buy quadratic leak
+//! relief.
+
+use crate::Report;
+use molseq_crn::{Crn, RateAssignment};
+use molseq_dsd::{DsdParams, DsdSystem};
+use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
+use molseq_modules::{add, halve};
+
+/// Builds the abstract average program and its expected output.
+fn average_program() -> (Crn, [f64; 4], f64) {
+    let mut crn = Crn::new();
+    let a = crn.species("a");
+    let b = crn.species("b");
+    let s = crn.species("s");
+    let y = crn.species("y");
+    add(&mut crn, &[a, b], s).expect("add");
+    halve(&mut crn, s, y).expect("halve");
+    let init = [30.0, 14.0, 0.0, 0.0];
+    let expected = (init[a.index()] + init[b.index()]) / 2.0;
+    (crn, init, expected)
+}
+
+/// Runs the compiled program at one leak rate and fuel level; returns the
+/// output error.
+fn error_at_leak(leak: f64, fuel: f64, t_end: f64) -> f64 {
+    let (formal, init, expected) = average_program();
+    let y = formal.find_species("y").expect("exists");
+    let params = DsdParams {
+        leak,
+        fuel,
+        ..DsdParams::default()
+    };
+    let dsd = DsdSystem::compile(&formal, RateAssignment::default(), &params)
+        .expect("compiles");
+    let trace = simulate_ode(
+        dsd.crn(),
+        &dsd.initial_state(&init),
+        &Schedule::new(),
+        &OdeOptions::default()
+            .with_t_end(t_end)
+            .with_record_interval(t_end / 50.0),
+        &SimSpec::default(),
+    )
+    .expect("simulates");
+    let fin = trace.final_state();
+    let measured: f64 = dsd
+        .apparent(y)
+        .iter()
+        .map(|s| fin[s.index()])
+        .sum();
+    (measured - expected).abs()
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Report {
+    let mut report = Report::new("e11", "strand-displacement leak robustness");
+    let t_end = if quick { 30.0 } else { 60.0 };
+    let default_fuel = DsdParams::default().fuel;
+    let leaks: Vec<f64> = if quick {
+        vec![0.0, 1e-11, 1e-9]
+    } else {
+        vec![0.0, 1e-13, 1e-12, 1e-11, 1e-10, 1e-9, 1e-8]
+    };
+
+    report.line(format!(
+        "combinational average y = (30 + 14)/2 compiled to DSD (fuel C = {default_fuel}); output error vs leak rate (t = {t_end})"
+    ));
+    report.line("leak rate | leak/q_max | |error| (y = 22) | % of answer".to_owned());
+    let mut clean_error = f64::NAN;
+    let mut tolerance_boundary = f64::NAN;
+    for &leak in &leaks {
+        let err = error_at_leak(leak, default_fuel, t_end);
+        report.line(format!(
+            "{leak:9.0e} | {:10.0e} | {err:16.4} | {:8.2}%",
+            leak / DsdParams::default().q_max,
+            err / 22.0 * 100.0
+        ));
+        if leak == 0.0 {
+            clean_error = err;
+        }
+        if tolerance_boundary.is_nan() && leak > 0.0 && err / 22.0 > 0.05 {
+            tolerance_boundary = leak;
+        }
+    }
+    report.metric("error without leak", clean_error);
+    if tolerance_boundary.is_nan() {
+        report.line("  error never exceeded 5% within the swept range".to_owned());
+    } else {
+        report.metric("leak rate where error exceeds 5%", tolerance_boundary);
+    }
+
+    // panel 2: leak flux ∝ fuel² — smaller pools buy quadratic relief
+    let leak = 1e-9;
+    let fuels: Vec<f64> = if quick {
+        vec![1_000.0, 10_000.0]
+    } else {
+        vec![300.0, 1_000.0, 3_000.0, 10_000.0]
+    };
+    report.line(format!("error vs fuel pool at leak = {leak:.0e}:"));
+    report.line("   fuel C | |error|".to_owned());
+    let mut errors = Vec::new();
+    for &fuel in &fuels {
+        let err = error_at_leak(leak, fuel, t_end);
+        report.line(format!("{fuel:9.0} | {err:8.4}"));
+        errors.push(err);
+    }
+    if errors.len() >= 2 {
+        let first = errors[0].max(1e-9);
+        let last = *errors.last().expect("nonempty");
+        report.metric(
+            "leak error growth for 10x fuel (expect ~100x)",
+            last / first / (fuels[fuels.len() - 1] / fuels[0] / 10.0).powi(2),
+        );
+    }
+    report.line(
+        "expected: error ∝ leak·C²·t — purity requirements tighten quadratically with the fuel pool"
+            .to_owned(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clean_compilation_is_accurate_and_leak_hurts() {
+        let report = super::run(true);
+        let clean = report.metric_value("error without leak").unwrap();
+        assert!(clean < 1.0, "{report}");
+        let fuel = molseq_dsd::DsdParams::default().fuel;
+        let large_leak_err = super::error_at_leak(1e-9, fuel, 30.0);
+        assert!(large_leak_err > clean + 0.5, "leak must hurt: {large_leak_err}");
+    }
+}

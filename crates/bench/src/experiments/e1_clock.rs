@@ -1,0 +1,91 @@
+//! E1 — the chemical clock: sustained, non-overlapping three-phase
+//! oscillation (the paper's first figure).
+//!
+//! Expected shape: the three phase species take turns holding (nearly all
+//! of) the token; the period is stable across cycles; no two phases are
+//! simultaneously high.
+
+use crate::Report;
+use molseq_kinetics::{
+    crossings, estimate_period, render_species, simulate_ode, Direction, OdeOptions, Schedule,
+    SimSpec,
+};
+use molseq_sync::{Clock, SchemeConfig};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Report {
+    let mut report = Report::new("e1", "chemical clock oscillation");
+    let token = 100.0;
+    let t_end = if quick { 30.0 } else { 120.0 };
+    let clock = Clock::build(SchemeConfig::default(), token).expect("valid clock");
+    let trace = simulate_ode(
+        clock.crn(),
+        &clock.initial_state(),
+        &Schedule::new(),
+        &OdeOptions::default()
+            .with_t_end(t_end)
+            .with_record_interval(0.02),
+        &SimSpec::default(),
+    )
+    .expect("clock simulates");
+
+    report.line(format!(
+        "one-element ring, token = {token}, k_fast = 1000, k_slow = 1, t = 0..{t_end}"
+    ));
+    report.line(render_species(
+        &trace,
+        &[
+            (clock.red(), "red   phase"),
+            (clock.green(), "green phase"),
+            (clock.blue(), "blue  phase"),
+        ],
+        100,
+    ));
+
+    let red = trace.series(clock.red());
+    let period = estimate_period(trace.times(), &red, token / 2.0).unwrap_or(f64::NAN);
+    report.metric("period [time units]", period);
+
+    // period stability: coefficient of variation of cycle lengths
+    let ups: Vec<f64> = crossings(trace.times(), &red, token / 2.0)
+        .into_iter()
+        .filter(|c| c.direction == Direction::Up)
+        .map(|c| c.time)
+        .collect();
+    if ups.len() >= 3 {
+        let gaps: Vec<f64> = ups.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        report.metric("period jitter (CV)", var.sqrt() / mean);
+    }
+
+    // non-overlap: worst-case second-highest phase at any sample
+    let mut worst_second = 0.0f64;
+    for i in 0..trace.len() {
+        let s = trace.state(i);
+        let mut highs = [
+            s[clock.red().index()],
+            s[clock.green().index()],
+            s[clock.blue().index()],
+        ];
+        highs.sort_by(f64::total_cmp);
+        worst_second = worst_second.max(highs[1]);
+    }
+    report.metric("worst overlap (second phase, % of token)", worst_second / token * 100.0);
+    report.line("expected: stable period, second phase never near the token level".to_owned());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clock_report_has_a_period() {
+        let report = super::run(true);
+        let period = report.metric_value("period [time units]").unwrap();
+        assert!(period.is_finite() && period > 0.5 && period < 50.0, "{period}");
+        let overlap = report
+            .metric_value("worst overlap (second phase, % of token)")
+            .unwrap();
+        assert!(overlap < 50.0, "{overlap}");
+    }
+}

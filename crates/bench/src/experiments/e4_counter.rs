@@ -1,0 +1,84 @@
+//! E4 — the binary counter: injected pulses are counted in binary across
+//! the bit registers, carries rippling one bit per cycle.
+//!
+//! Expected shape: after the pulses stop and the carries settle, the bits
+//! encode the number of pulses exactly.
+
+use crate::Report;
+use molseq_sync::{run_cycles, BinaryCounter, ClockSpec, RunConfig};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Report {
+    let mut report = Report::new("e4", "binary counter");
+    let bits = if quick { 2 } else { 3 };
+    let pulses: Vec<bool> = if quick {
+        vec![true, true, true, false, false]
+    } else {
+        vec![true, true, true, true, true, false, false, false]
+    };
+    let expected: u32 = pulses.iter().filter(|&&p| p).count() as u32;
+
+    let counter = BinaryCounter::build(bits, 60.0, ClockSpec::default()).expect("valid counter");
+    let samples = counter.pulse_train(&pulses);
+    let cycles = samples.len() + 1;
+    let run = run_cycles(
+        counter.system(),
+        &[("pulse", &samples)],
+        cycles,
+        &RunConfig::default(),
+    )
+    .expect("counter runs");
+
+    report.line(format!(
+        "{bits}-bit ripple counter, amplitude 60, {} pulses; {} species, {} reactions",
+        expected,
+        counter.system().stats().species,
+        counter.system().stats().reactions
+    ));
+    let mut header = "cycle | pulse |".to_owned();
+    for i in 0..bits {
+        header.push_str(&format!("      b{i} |"));
+    }
+    header.push_str(" decoded");
+    report.line(header);
+    for k in 0..run.cycles() {
+        let mut row = format!(
+            "{k:5} | {:5} |",
+            if pulses.get(k).copied().unwrap_or(false) {
+                "yes"
+            } else {
+                ""
+            }
+        );
+        for i in 0..bits {
+            row.push_str(&format!(
+                " {:7.2} |",
+                run.register_series(&format!("b{i}")).expect("bit exists")[k]
+            ));
+        }
+        row.push_str(&format!(
+            " {:7}",
+            counter.decode(&run, k).expect("cycle in range")
+        ));
+        report.line(row);
+    }
+
+    let final_count = counter.decode(&run, run.cycles() - 1).expect("last cycle");
+    report.metric("final count", f64::from(final_count));
+    report.metric("expected count", f64::from(expected));
+    report.line("expected: decoded value settles on the pulse count after the carries ripple".to_owned());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn counter_counts() {
+        let report = super::run(true);
+        assert_eq!(
+            report.metric_value("final count"),
+            report.metric_value("expected count"),
+            "{report}"
+        );
+    }
+}

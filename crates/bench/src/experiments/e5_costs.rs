@@ -1,0 +1,105 @@
+//! E5 — construct costs: how many species and reactions each building
+//! block and each demonstrated design needs (the paper's cost table).
+//!
+//! Expected shape: a delay element costs a handful of reactions; the
+//! indicator machinery is shared (three indicators regardless of size);
+//! design cost grows linearly with datapath width.
+
+use crate::Report;
+use molseq_crn::CrnStats;
+use molseq_dsp::{biquad, moving_average, Ratio};
+use molseq_sync::{BinaryCounter, Clock, ClockSpec, DelayChain, SchemeConfig};
+
+fn row(report: &mut Report, name: &str, stats: CrnStats) {
+    report.line(format!(
+        "{name:28} | {:7} | {:9} | {:4} | {:4} | {:6} | {:6} | {:6}",
+        stats.species,
+        stats.reactions,
+        stats.fast,
+        stats.slow,
+        stats.order0,
+        stats.order1,
+        stats.order2
+    ));
+}
+
+/// Runs the experiment.
+pub fn run(_quick: bool) -> Report {
+    let mut report = Report::new("e5", "construct costs");
+    report.line(
+        "construct                    | species | reactions | fast | slow | order0 | order1 | order2"
+            .to_owned(),
+    );
+
+    let config = SchemeConfig::default();
+    let clock = Clock::build(config, 100.0).expect("clock");
+    row(&mut report, "clock (1-element ring)", CrnStats::of(clock.crn()));
+
+    for n in [1usize, 2, 4, 8] {
+        let chain = DelayChain::build(config, n).expect("chain");
+        row(
+            &mut report,
+            &format!("delay chain, n = {n}"),
+            CrnStats::of(chain.crn()),
+        );
+    }
+
+    let ma2 = moving_average(2, ClockSpec::default()).expect("ma2");
+    row(&mut report, "moving average (2 taps)", ma2.system().stats());
+    let ma4 = moving_average(4, ClockSpec::default()).expect("ma4");
+    row(&mut report, "moving average (4 taps)", ma4.system().stats());
+
+    let bq = biquad(
+        [
+            Ratio::new(1, 2).expect("ratio"),
+            Ratio::new(1, 4).expect("ratio"),
+            Ratio::new(1, 4).expect("ratio"),
+        ],
+        [
+            Ratio::new(1, 2).expect("ratio"),
+            Ratio::new(1, 4).expect("ratio"),
+        ],
+        ClockSpec::default(),
+    )
+    .expect("biquad");
+    row(&mut report, "biquad section", bq.system().stats());
+
+    for bits in [2usize, 3, 4] {
+        let counter = BinaryCounter::build(bits, 60.0, ClockSpec::default()).expect("counter");
+        row(
+            &mut report,
+            &format!("binary counter, {bits} bits"),
+            counter.system().stats(),
+        );
+    }
+
+    // headline scaling metrics
+    let chain1 = CrnStats::of(DelayChain::build(config, 1).expect("chain").crn());
+    let chain8 = CrnStats::of(DelayChain::build(config, 8).expect("chain").crn());
+    let per_element = (chain8.reactions - chain1.reactions) as f64 / 7.0;
+    report.metric("reactions per added delay element", per_element);
+    let c2 = BinaryCounter::build(2, 60.0, ClockSpec::default()).expect("counter");
+    let c4 = BinaryCounter::build(4, 60.0, ClockSpec::default()).expect("counter");
+    report.metric(
+        "reactions per added counter bit",
+        (c4.system().stats().reactions - c2.system().stats().reactions) as f64 / 2.0,
+    );
+    report.line("expected: linear growth; three shared indicators regardless of size".to_owned());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn costs_scale_linearly() {
+        let report = super::run(true);
+        let per_element = report
+            .metric_value("reactions per added delay element")
+            .unwrap();
+        assert!(per_element > 2.0 && per_element < 20.0, "{per_element}");
+        let per_bit = report
+            .metric_value("reactions per added counter bit")
+            .unwrap();
+        assert!(per_bit > 5.0 && per_bit < 120.0, "{per_bit}");
+    }
+}

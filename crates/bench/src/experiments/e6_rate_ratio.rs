@@ -1,0 +1,85 @@
+//! E6 — the rate-ratio robustness sweep: the headline claim. The
+//! computation must be exact for *any* assignment with `k_fast ≫ k_slow`;
+//! as the separation shrinks the phases start to overlap and the answers
+//! drift.
+//!
+//! Expected shape: error collapses once `k_fast/k_slow` exceeds ~10²; at
+//! ratio 10 the scheme degrades visibly (indicators leak while categories
+//! still hold quantity, so transfers fire out of phase).
+
+use crate::Report;
+use molseq_crn::RateAssignment;
+use molseq_dsp::{moving_average, rmse};
+use molseq_kinetics::SimSpec;
+use molseq_sync::{ClockSpec, RunConfig};
+
+/// The ratios swept by the figure.
+pub fn ratios(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![10.0, 1_000.0]
+    } else {
+        vec![10.0, 30.0, 100.0, 300.0, 1_000.0, 10_000.0, 100_000.0]
+    }
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Report {
+    let mut report = Report::new("e6", "rate-ratio robustness");
+    let samples: Vec<f64> = if quick {
+        vec![10.0, 50.0, 80.0]
+    } else {
+        vec![10.0, 50.0, 10.0, 80.0, 80.0, 20.0]
+    };
+    let filter = moving_average(2, ClockSpec::default()).expect("filter");
+    let ideal = filter.ideal_response(&samples);
+
+    report.line("moving-average filter RMS error vs k_fast/k_slow".to_owned());
+    report.line("   ratio |  RMS error | max |error| | period".to_owned());
+    let mut errors = Vec::new();
+    for &ratio in &ratios(quick) {
+        let config = RunConfig {
+            spec: SimSpec::new(RateAssignment::from_ratio(ratio)),
+            // low separation makes phases long and mushy: allow more time
+            cycle_time_hint: if ratio < 100.0 { 120.0 } else { 45.0 },
+            ..RunConfig::default()
+        };
+        match filter.respond(&samples, &config) {
+            Ok(measured) => {
+                let rms = rmse(&measured, &ideal);
+                let max_err = measured
+                    .iter()
+                    .zip(&ideal)
+                    .map(|(m, i)| (m - i).abs())
+                    .fold(0.0f64, f64::max);
+                report.line(format!("{ratio:8.0} | {rms:10.4} | {max_err:11.4} |"));
+                errors.push((ratio, rms));
+            }
+            Err(e) => {
+                report.line(format!("{ratio:8.0} |      — scheme breaks down: {e}"));
+                errors.push((ratio, f64::INFINITY));
+            }
+        }
+    }
+
+    if let Some(&(_, rms_hi)) = errors.iter().find(|(r, _)| *r >= 1_000.0) {
+        report.metric("RMS error at ratio >= 1000", rms_hi);
+    }
+    if let Some(&(_, rms_lo)) = errors.first() {
+        report.metric(&format!("RMS error at ratio {}", errors[0].0), rms_lo);
+    }
+    report.line(
+        "expected: error is flat and small for ratio >= ~100 and grows as the separation collapses"
+            .to_owned(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn high_separation_is_accurate() {
+        let report = super::run(true);
+        let rms = report.metric_value("RMS error at ratio >= 1000").unwrap();
+        assert!(rms < 2.0, "{rms}");
+    }
+}

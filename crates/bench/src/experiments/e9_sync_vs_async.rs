@@ -1,0 +1,92 @@
+//! E9 — clocked vs self-timed transfer latency: the trade the two sibling
+//! papers stake out. A clocked design pays a full phase rotation per cycle
+//! whether or not data moves; a self-timed chain advances exactly as fast
+//! as its own occupancy allows.
+//!
+//! Expected shape: both scale linearly in chain length; the self-timed
+//! chain's latency per element is smaller, because the clocked design
+//! paces every hop by the (token-sized) clock rotation.
+
+use crate::Report;
+use molseq_async::{AsyncPipeline, HopOp, MeasureConfig};
+use molseq_kinetics::crossings;
+use molseq_sync::{run_cycles, stored_value_terms, ClockSpec, RunConfig, SchemeConfig, SyncCircuit};
+
+/// Latency of a value through `n` clocked registers, measured from the
+/// trace: time at which the output register first holds 95% of the value.
+fn sync_latency(n: usize, x: f64) -> Option<f64> {
+    let mut circuit = SyncCircuit::new(ClockSpec::default());
+    let input = circuit.input("x");
+    let mut node = input;
+    for i in 0..n {
+        node = circuit.delay(&format!("d{i}"), node);
+    }
+    circuit.output("y", node);
+    let system = circuit.compile().ok()?;
+    let samples = vec![x];
+    let run = run_cycles(&system, &[("x", &samples)], n + 3, &RunConfig::default()).ok()?;
+    let y = system.output_species("y").ok()?;
+    let terms = stored_value_terms(system.crn(), y);
+    let trace = run.trace();
+    let series: Vec<f64> = (0..trace.len())
+        .map(|i| terms.iter().map(|&(s, w)| w * trace.state(i)[s.index()]).sum())
+        .collect();
+    crossings(trace.times(), &series, 0.95 * x)
+        .first()
+        .map(|c| c.time)
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Report {
+    let mut report = Report::new("e9", "clocked vs self-timed latency");
+    let lengths: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 4, 6] };
+    let x = 80.0;
+
+    report.line(format!("latency to deliver a quantity of {x} through n elements"));
+    report.line("   n | self-timed t95 | clocked t95 | ratio".to_owned());
+    let mut last_ratio = f64::NAN;
+    for &n in &lengths {
+        let pipe = AsyncPipeline::build(SchemeConfig::default(), &vec![HopOp::Identity; n])
+            .expect("pipeline");
+        let async_latency = pipe
+            .measure_latency(
+                x,
+                &MeasureConfig {
+                    t_end: 600.0,
+                    ..MeasureConfig::default()
+                },
+            )
+            .expect("async run")
+            .t95;
+        let sync_latency = sync_latency(n, x);
+        match sync_latency {
+            Some(s) => {
+                last_ratio = s / async_latency;
+                report.line(format!(
+                    "{n:4} | {async_latency:14.2} | {s:11.2} | {last_ratio:5.2}"
+                ));
+            }
+            None => report.line(format!(
+                "{n:4} | {async_latency:14.2} |           — |"
+            )),
+        }
+    }
+    report.metric("clocked/self-timed latency ratio (longest chain)", last_ratio);
+    report.line(
+        "expected: the self-timed chain wins latency; the clocked design buys global cycle alignment instead"
+            .to_owned(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn self_timed_is_faster() {
+        let report = super::run(true);
+        let ratio = report
+            .metric_value("clocked/self-timed latency ratio (longest chain)")
+            .unwrap();
+        assert!(ratio.is_finite() && ratio > 0.8, "{report}");
+    }
+}

@@ -1,0 +1,18 @@
+//! The experiment implementations. Each module exposes
+//! `run(quick: bool) -> Report`; `quick` trims the workload for use inside
+//! timing loops.
+
+pub mod a1_sharpeners;
+pub mod a2_coupling;
+pub mod e10_ssa;
+pub mod e11_leak;
+pub mod e12_frequency;
+pub mod e1_clock;
+pub mod e2_delay_chain;
+pub mod e3_moving_average;
+pub mod e4_counter;
+pub mod e5_costs;
+pub mod e6_rate_ratio;
+pub mod e7_rate_jitter;
+pub mod e8_dsd;
+pub mod e9_sync_vs_async;

@@ -1,0 +1,58 @@
+//! # molseq-bench — the experiment reproduction harness
+//!
+//! One module per evaluation artifact of the paper reproduction (see
+//! `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! recorded results):
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | E1 | chemical clock oscillation (figure) |
+//! | E2 | delay-element chain transfer (figure) |
+//! | E3 | moving-average filter (figure) |
+//! | E4 | binary counter (figure) |
+//! | E5 | construct costs (table) |
+//! | E6 | rate-ratio robustness sweep (figure) |
+//! | E7 | per-reaction rate jitter (figure) |
+//! | E8 | strand-displacement mapping (figure + table) |
+//! | E9 | clocked vs self-timed latency (figure) |
+//! | E10 | stochastic validity at small counts (figure) |
+//! | E11 | strand-displacement leak robustness (figure) |
+//! | E12 | filter frequency response (figure) |
+//! | A1 | ablation: sharpeners on/off |
+//! | A2 | ablation: self vs cross-coupled feedback |
+//!
+//! Run everything with `cargo run --release -p molseq-bench --bin repro`,
+//! or a single experiment with e.g. `… --bin repro e3`. The criterion
+//! benches (`cargo bench`) print each report once and then time the
+//! underlying simulation kernel.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;
+
+/// An experiment entry: `(id, title, runner)`. The runner's `bool` asks
+/// for a reduced workload (used by the criterion wrapper).
+pub type Experiment = (&'static str, &'static str, fn(bool) -> Report);
+
+/// Every experiment, in presentation order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("e1", "chemical clock oscillation", experiments::e1_clock::run),
+        ("e2", "delay-element chain transfer", experiments::e2_delay_chain::run),
+        ("e3", "moving-average filter", experiments::e3_moving_average::run),
+        ("e4", "binary counter", experiments::e4_counter::run),
+        ("e5", "construct costs", experiments::e5_costs::run),
+        ("e6", "rate-ratio robustness", experiments::e6_rate_ratio::run),
+        ("e7", "per-reaction rate jitter", experiments::e7_rate_jitter::run),
+        ("e8", "strand-displacement mapping", experiments::e8_dsd::run),
+        ("e9", "clocked vs self-timed latency", experiments::e9_sync_vs_async::run),
+        ("e10", "stochastic validity at small counts", experiments::e10_ssa::run),
+        ("e11", "strand-displacement leak robustness", experiments::e11_leak::run),
+        ("e12", "filter frequency response", experiments::e12_frequency::run),
+        ("a1", "ablation: sharpeners", experiments::a1_sharpeners::run),
+        ("a2", "ablation: feedback coupling", experiments::a2_coupling::run),
+    ]
+}

@@ -1,0 +1,85 @@
+//! Experiment report formatting.
+
+use std::fmt;
+
+/// A rendered experiment report: a header plus free-form lines (tables,
+/// sparklines, summary numbers).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (`e1` … `e10`, `a1`, `a2`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Report body lines.
+    pub lines: Vec<String>,
+    /// Headline scalar results as `(name, value)` — what EXPERIMENTS.md
+    /// records.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        Report {
+            id,
+            title,
+            lines: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends a body line.
+    pub fn line(&mut self, text: impl Into<String>) {
+        self.lines.push(text.into());
+    }
+
+    /// Records a headline metric (also appended to the body). Values too
+    /// small for fixed-point display are rendered in scientific notation.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        let rendered = if value != 0.0 && value.abs() < 1e-3 {
+            format!("{value:.3e}")
+        } else {
+            format!("{value:.4}")
+        };
+        self.lines.push(format!("  ≫ {name} = {rendered}"));
+        self.metrics.push((name.to_owned(), value));
+    }
+
+    /// Looks up a recorded metric.
+    #[must_use]
+    pub fn metric_value(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== [{}] {} ==", self.id, self.title)?;
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_and_records() {
+        let mut r = Report::new("e0", "smoke");
+        r.line("hello");
+        r.metric("answer", 42.0);
+        assert_eq!(r.metric_value("answer"), Some(42.0));
+        assert_eq!(r.metric_value("missing"), None);
+        let text = r.to_string();
+        assert!(text.contains("[e0] smoke"));
+        assert!(text.contains("hello"));
+        assert!(text.contains("answer"));
+    }
+}

@@ -1,0 +1,1031 @@
+//! The register-transfer-level circuit builder.
+//!
+//! A [`SyncCircuit`] is a netlist: input ports, registers (delay elements),
+//! an expression DAG over them, and output ports. [`SyncCircuit::compile`]
+//! lowers the netlist onto the three-phase color scheme:
+//!
+//! * register contents rest in **red** at the start of each cycle (this is
+//!   when the harness samples them);
+//! * the red→green phase delivers register read-values (and injected
+//!   inputs) into the **green stage**, where first-level combinational
+//!   logic settles as fast reactions;
+//! * the green→blue phase carries settled green values into the **blue
+//!   stage** for second-level logic;
+//! * the blue→red phase **commits** blue values into next-cycle register
+//!   contents (and output/waste sinks).
+//!
+//! The stage discipline exists for one reason: clamped subtraction
+//! ([`SyncCircuit::sub`]) works by letting the subtrahend annihilate the
+//! result, and nothing downstream may consume that result until the
+//! annihilation has settled. Because a phase transfer cannot ignite until
+//! the previous color category has fully drained, the phase boundary *is*
+//! the settling barrier — a subtraction's consumers simply live in the next
+//! stage (enforced automatically), and a blue-stage subtraction may only
+//! feed commits. Purely flow-through operations (add, scale, fan-out) have
+//! no such hazard and may chain freely within a stage.
+
+use crate::{ClockSpec, Color, SchemeBuilder, SyncError};
+use crate::system::{ClockHandles, CompiledSystem, RegisterHandles};
+use molseq_crn::SpeciesId;
+use std::collections::HashMap;
+
+/// A handle to a value in the expression DAG of a [`SyncCircuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node(usize);
+
+#[derive(Debug, Clone)]
+enum NodeDef {
+    Input { name: String },
+    RegisterOut { reg: usize },
+    Add { terms: Vec<Node> },
+    Scale { src: Node, p: u32, q: u32 },
+    Sub { minuend: Node, subtrahend: Node },
+}
+
+#[derive(Debug, Clone)]
+struct RegisterDef {
+    name: String,
+    /// Next-value sources: each source's value commits into the register,
+    /// so multiple sources sum naturally (empty = unbound feedback
+    /// register, rejected at compile time).
+    sources: Vec<Node>,
+    init: f64,
+    out_node: usize,
+}
+
+/// The netlist builder. See the [module docs](self) for the compilation
+/// model and the crate root for a quickstart.
+///
+/// Construction methods never fail; all validation happens in
+/// [`compile`](Self::compile) so that circuits can be assembled fluently.
+///
+/// # Examples
+///
+/// The moving-average filter `y(n) = (x(n) + x(n−1)) / 2`:
+///
+/// ```
+/// use molseq_sync::{ClockSpec, SyncCircuit};
+///
+/// # fn main() -> Result<(), molseq_sync::SyncError> {
+/// let mut c = SyncCircuit::new(ClockSpec::default());
+/// let x = c.input("x");
+/// let d = c.delay("d", x);          // d(n+1) = x(n)
+/// let sum = c.add(&[x, d]);
+/// let y = c.halve(sum);
+/// c.output("y", y);                 // y readable one cycle later
+/// let system = c.compile()?;
+/// assert!(system.crn().reactions().len() > 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyncCircuit {
+    clock: ClockSpec,
+    nodes: Vec<NodeDef>,
+    registers: Vec<RegisterDef>,
+    inputs: Vec<(String, usize)>,
+    outputs: Vec<(String, Node)>,
+}
+
+impl SyncCircuit {
+    /// Creates an empty circuit with the given clock parameters.
+    #[must_use]
+    pub fn new(clock: ClockSpec) -> Self {
+        SyncCircuit {
+            clock,
+            nodes: Vec::new(),
+            registers: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, def: NodeDef) -> Node {
+        self.nodes.push(def);
+        Node(self.nodes.len() - 1)
+    }
+
+    /// Declares an external input port. One sample per clock cycle is
+    /// injected by the harness (see
+    /// [`CompiledSystem::input_trigger`]).
+    pub fn input(&mut self, name: &str) -> Node {
+        let node = self.push(NodeDef::Input { name: name.into() });
+        self.inputs.push((name.into(), node.0));
+        node
+    }
+
+    /// Declares a delay element (register): the returned node reads the
+    /// register's *current* value; its *next* value is `source`.
+    /// Initial value 0.
+    pub fn delay(&mut self, name: &str, source: Node) -> Node {
+        self.delay_with_init(name, source, 0.0)
+    }
+
+    /// Like [`delay`](Self::delay) with an explicit initial value.
+    pub fn delay_with_init(&mut self, name: &str, source: Node, init: f64) -> Node {
+        let reg = self.registers.len();
+        let out = self.push(NodeDef::RegisterOut { reg });
+        self.registers.push(RegisterDef {
+            name: name.into(),
+            sources: vec![source],
+            init,
+            out_node: out.0,
+        });
+        out
+    }
+
+    /// Declares a register whose next-value source is supplied later with
+    /// [`rebind_register`](Self::rebind_register) — the way to build
+    /// feedback loops (the register itself breaks the cycle). Initial
+    /// value 0; a register left unbound fails compilation.
+    pub fn feedback_delay(&mut self, name: &str) -> Node {
+        self.feedback_delay_with_init(name, 0.0)
+    }
+
+    /// Like [`feedback_delay`](Self::feedback_delay) with an explicit
+    /// initial value.
+    pub fn feedback_delay_with_init(&mut self, name: &str, init: f64) -> Node {
+        let reg = self.registers.len();
+        let out = self.push(NodeDef::RegisterOut { reg });
+        self.registers.push(RegisterDef {
+            name: name.into(),
+            sources: Vec::new(),
+            init,
+            out_node: out.0,
+        });
+        out
+    }
+
+    /// Points the register `name` at a (new) next-value source, replacing
+    /// any previous sources.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownPort`] if no register has that name.
+    pub fn rebind_register(&mut self, name: &str, source: Node) -> Result<(), SyncError> {
+        let reg = self
+            .registers
+            .iter_mut()
+            .find(|r| r.name == name)
+            .ok_or_else(|| SyncError::UnknownPort { name: name.into() })?;
+        reg.sources = vec![source];
+        Ok(())
+    }
+
+    /// Adds a further next-value source to register `name`: the committed
+    /// values of all sources **sum** into the register. This is how
+    /// multi-term next-state functions are built when the terms are
+    /// second-stage subtraction results (which may feed commits but not
+    /// adders).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownPort`] if no register has that name.
+    pub fn add_register_source(&mut self, name: &str, source: Node) -> Result<(), SyncError> {
+        let reg = self
+            .registers
+            .iter_mut()
+            .find(|r| r.name == name)
+            .ok_or_else(|| SyncError::UnknownPort { name: name.into() })?;
+        reg.sources.push(source);
+        Ok(())
+    }
+
+    /// Declares a constant source: a register initialized to `value` that
+    /// feeds itself, regenerating the quantity every cycle.
+    pub fn constant(&mut self, name: &str, value: f64) -> Node {
+        let reg = self.registers.len();
+        let out = self.push(NodeDef::RegisterOut { reg });
+        self.registers.push(RegisterDef {
+            name: name.into(),
+            sources: vec![out],
+            init: value,
+            out_node: out.0,
+        });
+        out
+    }
+
+    /// Sums any number of values.
+    pub fn add(&mut self, terms: &[Node]) -> Node {
+        self.push(NodeDef::Add {
+            terms: terms.to_vec(),
+        })
+    }
+
+    /// Multiplies a value by the rational `p/q` (with `q ∈ 1..=3`).
+    pub fn scale(&mut self, src: Node, p: u32, q: u32) -> Node {
+        self.push(NodeDef::Scale { src, p, q })
+    }
+
+    /// Halves a value (`scale` by 1/2).
+    pub fn halve(&mut self, src: Node) -> Node {
+        self.scale(src, 1, 2)
+    }
+
+    /// Doubles a value (`scale` by 2).
+    pub fn double(&mut self, src: Node) -> Node {
+        self.scale(src, 2, 1)
+    }
+
+    /// Clamped subtraction: `max(minuend − subtrahend, 0)`.
+    ///
+    /// The result settles behind a phase boundary; consumers are staged
+    /// automatically. A subtraction whose result feeds further logic that
+    /// is *itself* beyond the second stage is rejected at compile time —
+    /// break such chains with a [`delay`](Self::delay).
+    pub fn sub(&mut self, minuend: Node, subtrahend: Node) -> Node {
+        self.push(NodeDef::Sub {
+            minuend,
+            subtrahend,
+        })
+    }
+
+    /// Declares an output port fed by `source`. Outputs are implemented as
+    /// registers whose stored value is discarded after one cycle, so the
+    /// value of `source` at cycle `n` is readable (in the output's red
+    /// species) during cycle `n + 1`.
+    pub fn output(&mut self, name: &str, source: Node) {
+        self.outputs.push((name.into(), source));
+    }
+
+    /// Number of expression nodes (diagnostic).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Lowers the netlist to a complete reaction network.
+    ///
+    /// # Errors
+    ///
+    /// * [`SyncError::DuplicatePort`] — an input/register/output name reused.
+    /// * [`SyncError::UnknownNode`] — a [`Node`] from a different circuit.
+    /// * [`SyncError::UnsupportedScale`] — a scale factor out of range.
+    /// * [`SyncError::CombinationalCycle`] — a loop not broken by a delay,
+    ///   or combinational depth that does not fit the two stages (deepen
+    ///   with registers).
+    /// * [`SyncError::InvalidAmount`] — a bad initial value or clock token.
+    pub fn compile(self) -> Result<CompiledSystem, SyncError> {
+        Compiler::new(self)?.run()
+    }
+}
+
+/// Which combinational stage a node's value settles in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Green,
+    Blue,
+}
+
+/// Where a node's value is needed.
+#[derive(Debug, Default, Clone)]
+struct Uses {
+    /// Fast-op consumers in the green stage (copy count).
+    green_ops: usize,
+    /// Fast-op consumers in the blue stage (copy count).
+    blue_ops: usize,
+    /// Commit destinations (register red species), served by one transfer.
+    commits: Vec<SpeciesId>,
+}
+
+struct Compiler {
+    circuit: SyncCircuit,
+    builder: SchemeBuilder,
+    stage: Vec<Stage>,
+    uses: Vec<Uses>,
+    /// Green/blue value species per node.
+    green_species: Vec<Option<SpeciesId>>,
+    blue_species: Vec<Option<SpeciesId>>,
+    /// Copies handed out so far, per node and stage.
+    green_copies: Vec<Vec<SpeciesId>>,
+    blue_copies: Vec<Vec<SpeciesId>>,
+    register_reds: Vec<SpeciesId>,
+    waste: SpeciesId,
+}
+
+impl Compiler {
+    fn new(circuit: SyncCircuit) -> Result<Self, SyncError> {
+        let mut builder = SchemeBuilder::new(circuit.clock.config);
+        let waste = builder.uncolored("waste");
+        let n = circuit.nodes.len();
+        Ok(Compiler {
+            circuit,
+            builder,
+            stage: vec![Stage::Green; n],
+            uses: vec![Uses::default(); n],
+            green_species: vec![None; n],
+            blue_species: vec![None; n],
+            green_copies: vec![Vec::new(); n],
+            blue_copies: vec![Vec::new(); n],
+            register_reds: Vec::new(),
+            waste,
+        })
+    }
+
+    fn run(mut self) -> Result<CompiledSystem, SyncError> {
+        self.validate_names()?;
+        self.validate_nodes()?;
+        self.infer_stages()?;
+        self.materialize_outputs();
+        self.allocate_registers()?;
+        self.count_uses()?;
+        self.emit_clock()?;
+        self.emit_nodes()?;
+        self.emit_register_rotations()?;
+        self.finish()
+    }
+
+    // ---- validation -----------------------------------------------------
+
+    fn validate_names(&self) -> Result<(), SyncError> {
+        let mut seen = HashMap::new();
+        let names = self
+            .circuit
+            .inputs
+            .iter()
+            .map(|(n, _)| n)
+            .chain(self.circuit.registers.iter().map(|r| &r.name))
+            .chain(self.circuit.outputs.iter().map(|(n, _)| n));
+        for name in names {
+            if seen.insert(name.clone(), ()).is_some() {
+                return Err(SyncError::DuplicatePort { name: name.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_nodes(&self) -> Result<(), SyncError> {
+        let n = self.circuit.nodes.len();
+        let check = |node: Node| -> Result<(), SyncError> {
+            if node.0 >= n {
+                return Err(SyncError::UnknownNode { index: node.0 });
+            }
+            Ok(())
+        };
+        for def in &self.circuit.nodes {
+            match def {
+                NodeDef::Input { .. } | NodeDef::RegisterOut { .. } => {}
+                NodeDef::Add { terms } => {
+                    for &t in terms {
+                        check(t)?;
+                    }
+                }
+                NodeDef::Scale { src, p, q } => {
+                    check(*src)?;
+                    if *p == 0 || *q == 0 || *q > 3 {
+                        return Err(SyncError::UnsupportedScale { p: *p, q: *q });
+                    }
+                }
+                NodeDef::Sub {
+                    minuend,
+                    subtrahend,
+                } => {
+                    check(*minuend)?;
+                    check(*subtrahend)?;
+                }
+            }
+        }
+        for (_, node) in &self.circuit.outputs {
+            check(*node)?;
+        }
+        for reg in &self.circuit.registers {
+            if reg.sources.is_empty() {
+                return Err(SyncError::UnknownPort {
+                    name: format!("{} (unbound feedback register)", reg.name),
+                });
+            }
+            for &src in &reg.sources {
+                check(src)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn operands(&self, i: usize) -> Vec<usize> {
+        match &self.circuit.nodes[i] {
+            NodeDef::Input { .. } | NodeDef::RegisterOut { .. } => Vec::new(),
+            NodeDef::Add { terms } => terms.iter().map(|t| t.0).collect(),
+            NodeDef::Scale { src, .. } => vec![src.0],
+            NodeDef::Sub {
+                minuend,
+                subtrahend,
+            } => vec![minuend.0, subtrahend.0],
+        }
+    }
+
+    /// Assigns stages: sources are green; an op is green only while its
+    /// whole operand cone is green and free of subtraction results; once a
+    /// subtraction's value is consumed the consumer moves to blue; blue
+    /// subtraction results may feed commits only. Detects combinational
+    /// cycles along the way.
+    fn infer_stages(&mut self) -> Result<(), SyncError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.circuit.nodes.len();
+        let mut marks = vec![Mark::White; n];
+        // iterative DFS computing stage
+        let mut order: Vec<usize> = Vec::new();
+        let mut stack: Vec<(usize, bool)> = (0..n).map(|i| (i, false)).collect();
+        while let Some((i, processed)) = stack.pop() {
+            if processed {
+                marks[i] = Mark::Black;
+                order.push(i);
+                continue;
+            }
+            match marks[i] {
+                Mark::Black => continue,
+                Mark::Grey => return Err(SyncError::CombinationalCycle),
+                Mark::White => {}
+            }
+            marks[i] = Mark::Grey;
+            stack.push((i, true));
+            for op in self.operands(i) {
+                match marks[op] {
+                    Mark::White => stack.push((op, false)),
+                    Mark::Grey => return Err(SyncError::CombinationalCycle),
+                    Mark::Black => {}
+                }
+            }
+        }
+
+        for &i in &order {
+            let stage = match &self.circuit.nodes[i] {
+                NodeDef::Input { .. } | NodeDef::RegisterOut { .. } => Stage::Green,
+                _ => {
+                    let mut stage = Stage::Green;
+                    for op in self.operands(i) {
+                        let op_is_sub = matches!(self.circuit.nodes[op], NodeDef::Sub { .. });
+                        match (self.stage[op], op_is_sub) {
+                            (Stage::Green, false) => {}
+                            (Stage::Green, true) => stage = Stage::Blue,
+                            (Stage::Blue, false) => stage = Stage::Blue,
+                            (Stage::Blue, true) => {
+                                // consuming a blue subtraction result in
+                                // fast logic: no settling barrier remains
+                                return Err(SyncError::CombinationalCycle);
+                            }
+                        }
+                    }
+                    stage
+                }
+            };
+            self.stage[i] = stage;
+        }
+        Ok(())
+    }
+
+    /// Turns output ports into discard registers.
+    fn materialize_outputs(&mut self) {
+        let outputs = std::mem::take(&mut self.circuit.outputs);
+        for (name, source) in &outputs {
+            let reg = self.circuit.registers.len();
+            self.circuit.nodes.push(NodeDef::RegisterOut { reg });
+            let out_node = self.circuit.nodes.len() - 1;
+            self.circuit.registers.push(RegisterDef {
+                name: name.clone(),
+                sources: vec![*source],
+                init: 0.0,
+                out_node,
+            });
+            self.stage.push(Stage::Green);
+            self.uses.push(Uses::default());
+            self.green_species.push(None);
+            self.blue_species.push(None);
+            self.green_copies.push(Vec::new());
+            self.blue_copies.push(Vec::new());
+        }
+        self.circuit.outputs = outputs;
+    }
+
+    fn allocate_registers(&mut self) -> Result<(), SyncError> {
+        for reg in &self.circuit.registers {
+            if !(reg.init.is_finite() && reg.init >= 0.0) {
+                return Err(SyncError::InvalidAmount { value: reg.init });
+            }
+            let red = self
+                .builder
+                .signal(&format!("{}.R", reg.name), Color::Red)?;
+            self.register_reds.push(red);
+            self.builder.set_initial(red, reg.init)?;
+        }
+        Ok(())
+    }
+
+    /// Counts, for every node, how many same-stage fast ops consume it and
+    /// which register reds it commits to.
+    fn count_uses(&mut self) -> Result<(), SyncError> {
+        for i in 0..self.circuit.nodes.len() {
+            for op in self.operands(i) {
+                match self.stage[i] {
+                    Stage::Green => self.uses[op].green_ops += 1,
+                    // a green operand of a blue op is consumed *after*
+                    // crossing, i.e. as a blue copy
+                    Stage::Blue => self.uses[op].blue_ops += 1,
+                }
+            }
+        }
+        for (r, reg) in self.circuit.registers.iter().enumerate() {
+            for &src in &reg.sources {
+                let red = self.register_reds[r];
+                self.uses[src.0].commits.push(red);
+            }
+        }
+        // Subtraction results must not feed same-stage fast logic. Green
+        // subs are safe by stage inference; blue subs may only commit.
+        for (i, def) in self.circuit.nodes.iter().enumerate() {
+            if matches!(def, NodeDef::Sub { .. })
+                && self.stage[i] == Stage::Blue
+                && self.uses[i].blue_ops > 0
+            {
+                return Err(SyncError::CombinationalCycle);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- emission -------------------------------------------------------
+
+    fn emit_clock(&mut self) -> Result<(), SyncError> {
+        let token = self.circuit.clock.token;
+        if !(token.is_finite() && token > 0.0) {
+            return Err(SyncError::InvalidAmount { value: token });
+        }
+        let r = self.builder.signal("clk.R", Color::Red)?;
+        let g = self.builder.signal("clk.G", Color::Green)?;
+        let b = self.builder.signal("clk.B", Color::Blue)?;
+        self.builder.transfer(r, &[(g, 1)], "clk R->G")?;
+        self.builder.transfer(g, &[(b, 1)], "clk G->B")?;
+        self.builder.transfer(b, &[(r, 1)], "clk B->R")?;
+        self.builder.set_initial(r, token)?;
+        // The clock phases drive every same-phase datapath transfer (the
+        // paper's cross-coupled feedback): the token is large, so its
+        // dimers ignite each phase crisply and carry signals of any size —
+        // small quantities cannot ignite feedback of their own.
+        self.builder.set_phase_driver(Color::Red, r);
+        self.builder.set_phase_driver(Color::Green, g);
+        self.builder.set_phase_driver(Color::Blue, b);
+        Ok(())
+    }
+
+    fn node_name(&self, i: usize) -> String {
+        match &self.circuit.nodes[i] {
+            NodeDef::Input { name } => format!("in.{name}"),
+            NodeDef::RegisterOut { reg } => format!("{}.out", self.circuit.registers[*reg].name),
+            NodeDef::Add { .. } => format!("n{i}.sum"),
+            NodeDef::Scale { .. } => format!("n{i}.scl"),
+            NodeDef::Sub { .. } => format!("n{i}.dif"),
+        }
+    }
+
+    /// The species holding node `i`'s settled value in its own stage.
+    fn value_species(&mut self, i: usize) -> Result<SpeciesId, SyncError> {
+        match self.stage[i] {
+            Stage::Green => self.green_value(i),
+            Stage::Blue => self.blue_value(i),
+        }
+    }
+
+    fn green_value(&mut self, i: usize) -> Result<SpeciesId, SyncError> {
+        if let Some(s) = self.green_species[i] {
+            return Ok(s);
+        }
+        let name = format!("{}.g", self.node_name(i));
+        let s = self.builder.signal(&name, Color::Green)?;
+        self.green_species[i] = Some(s);
+        Ok(s)
+    }
+
+    fn blue_value(&mut self, i: usize) -> Result<SpeciesId, SyncError> {
+        if let Some(s) = self.blue_species[i] {
+            return Ok(s);
+        }
+        let name = format!("{}.b", self.node_name(i));
+        let s = self.builder.signal(&name, Color::Blue)?;
+        self.blue_species[i] = Some(s);
+        Ok(s)
+    }
+
+    /// A per-consumer copy species of node `i` in `stage`.
+    fn copy_species(&mut self, i: usize, stage: Stage) -> Result<SpeciesId, SyncError> {
+        let (color, list_len) = match stage {
+            Stage::Green => (Color::Green, self.green_copies[i].len()),
+            Stage::Blue => (Color::Blue, self.blue_copies[i].len()),
+        };
+        let name = format!(
+            "{}.{}cp{}",
+            self.node_name(i),
+            if color == Color::Green { "g" } else { "b" },
+            list_len
+        );
+        let s = self.builder.signal(&name, color)?;
+        match stage {
+            Stage::Green => self.green_copies[i].push(s),
+            Stage::Blue => self.blue_copies[i].push(s),
+        }
+        Ok(s)
+    }
+
+    fn emit_nodes(&mut self) -> Result<(), SyncError> {
+        for i in 0..self.circuit.nodes.len() {
+            self.emit_node_value(i)?;
+        }
+        for i in 0..self.circuit.nodes.len() {
+            self.emit_node_distribution(i)?;
+        }
+        Ok(())
+    }
+
+    /// Emits the reactions *producing* node `i`'s value from its operands'
+    /// copies.
+    fn emit_node_value(&mut self, i: usize) -> Result<(), SyncError> {
+        let stage = self.stage[i];
+        match self.circuit.nodes[i].clone() {
+            // Inputs are injected into their green species; register reads
+            // are produced by the register rotation (emitted separately).
+            NodeDef::Input { .. } | NodeDef::RegisterOut { .. } => Ok(()),
+            NodeDef::Add { terms } => {
+                let value = self.value_species(i)?;
+                for t in terms {
+                    let copy = self.copy_species(t.0, stage)?;
+                    self.builder
+                        .fast(&[(copy, 1)], &[(value, 1)], &format!("add into n{i}"))?;
+                }
+                Ok(())
+            }
+            NodeDef::Scale { src, p, q } => {
+                let value = self.value_species(i)?;
+                let copy = self.copy_species(src.0, stage)?;
+                self.builder.fast(
+                    &[(copy, q)],
+                    &[(value, p)],
+                    &format!("scale {p}/{q} into n{i}"),
+                )?;
+                if q > 1 {
+                    // parity leak: at integer counts a lone leftover
+                    // molecule cannot pair; without this drain it would
+                    // block its category's absence indicator forever and
+                    // deadlock the rotation. In the continuous limit the
+                    // leak only collects the vanishing tail.
+                    self.builder
+                        .gated_drain(copy, self.waste, &format!("scale parity n{i}"))?;
+                }
+                Ok(())
+            }
+            NodeDef::Sub {
+                minuend,
+                subtrahend,
+            } => {
+                let value = self.value_species(i)?;
+                let m = self.copy_species(minuend.0, stage)?;
+                let s = self.copy_species(subtrahend.0, stage)?;
+                self.builder
+                    .fast(&[(m, 1)], &[(value, 1)], &format!("sub move n{i}"))?;
+                self.builder
+                    .fast(&[(s, 1), (value, 1)], &[], &format!("sub eat n{i}"))?;
+                // the unconsumed part of the subtrahend drains to waste in
+                // the following transfer phase
+                self.builder
+                    .gated_drain(s, self.waste, &format!("sub residue n{i}"))?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Emits the reactions *distributing* node `i`'s settled value: same-
+    /// stage fan-out to copies, the green→blue crossing, and the commit
+    /// transfer.
+    fn emit_node_distribution(&mut self, i: usize) -> Result<(), SyncError> {
+        let stage = self.stage[i];
+        let uses = self.uses[i].clone();
+
+        // How the value leaves its own stage.
+        match stage {
+            Stage::Green => {
+                let needs_blue = uses.blue_ops > 0 || !uses.commits.is_empty();
+                let green_consumers = uses.green_ops + usize::from(needs_blue);
+                let value = self.green_value(i)?;
+
+                if green_consumers == 0 {
+                    // dangling: drain to waste so green always empties
+                    self.builder
+                        .gated_drain(value, self.waste, &format!("drain n{i}"))?;
+                    return Ok(());
+                }
+
+                // Hand the already-created copies (made by consumers during
+                // emit_node_value) their quantity via one fan-out reaction,
+                // or feed the single consumer directly.
+                let mut products: Vec<(SpeciesId, u32)> = self.green_copies[i]
+                    .clone()
+                    .into_iter()
+                    .map(|c| (c, 1))
+                    .collect();
+                if needs_blue {
+                    let blue = self.blue_value(i)?;
+                    // the clock's blue phase drives the crossing, so no
+                    // destination-side feedback proxy is needed
+                    if products.is_empty() {
+                        // sole consumer: transfer the value itself
+                        self.builder
+                            .transfer(value, &[(blue, 1)], &format!("cross n{i}"))?;
+                    } else {
+                        let cross_copy = self.copy_species(i, Stage::Green)?;
+                        products.push((cross_copy, 1));
+                        self.builder.transfer(
+                            cross_copy,
+                            &[(blue, 1)],
+                            &format!("cross n{i}"),
+                        )?;
+                        self.builder
+                            .fast(&[(value, 1)], &products, &format!("fanout n{i}"))?;
+                    }
+                } else if !products.is_empty() {
+                    self.builder
+                        .fast(&[(value, 1)], &products, &format!("fanout n{i}"))?;
+                }
+
+                // Blue side of a green node (post-crossing): distribute to
+                // blue copies and commits.
+                if needs_blue {
+                    self.distribute_blue(i, &uses)?;
+                }
+                Ok(())
+            }
+            Stage::Blue => {
+                // green side unused by construction
+                self.distribute_blue(i, &uses)
+            }
+        }
+    }
+
+    /// Distributes a node's blue value to blue-op copies and its commit
+    /// transfer. For blue-stage subtractions the value must not fan out
+    /// (it is still settling); `count_uses` guarantees only commits remain.
+    fn distribute_blue(&mut self, i: usize, uses: &Uses) -> Result<(), SyncError> {
+        let blue = self.blue_value(i)?;
+        let has_commit = !uses.commits.is_empty();
+        let blue_consumers = uses.blue_ops + usize::from(has_commit);
+
+        if blue_consumers == 0 {
+            self.builder
+                .gated_drain(blue, self.waste, &format!("drain n{i}"))?;
+            return Ok(());
+        }
+
+        let commit_products: Vec<(SpeciesId, u32)> =
+            uses.commits.iter().map(|&red| (red, 1)).collect();
+
+        let mut products: Vec<(SpeciesId, u32)> = self.blue_copies[i]
+            .clone()
+            .into_iter()
+            .map(|c| (c, 1))
+            .collect();
+
+        if has_commit && products.is_empty() {
+            // sole consumer: the commit transfer moves the value directly
+            self.builder
+                .transfer(blue, &commit_products, &format!("commit n{i}"))?;
+            return Ok(());
+        }
+        if has_commit {
+            let commit_copy = self.copy_species(i, Stage::Blue)?;
+            products.push((commit_copy, 1));
+            self.builder
+                .transfer(commit_copy, &commit_products, &format!("commit n{i}"))?;
+        }
+        self.builder
+            .fast(&[(blue, 1)], &products, &format!("fanout n{i}"))?;
+        Ok(())
+    }
+
+    /// Emits each register's red→green rotation: the stored value leaves
+    /// red and becomes the register's read value (its `RegisterOut` node's
+    /// green species).
+    fn emit_register_rotations(&mut self) -> Result<(), SyncError> {
+        for r in 0..self.circuit.registers.len() {
+            let red = self.register_reds[r];
+            let out_node = self.circuit.registers[r].out_node;
+            let green = self.green_value(out_node)?;
+            let name = self.circuit.registers[r].name.clone();
+            self.builder
+                .transfer(red, &[(green, 1)], &format!("{name} R->G"))?;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<CompiledSystem, SyncError> {
+        // Input species map (inputs are injected into their green value).
+        let mut input_map = HashMap::new();
+        for (name, node) in self.circuit.inputs.clone() {
+            let s = self.green_value(node)?;
+            input_map.insert(name, s);
+        }
+
+        let clock = ClockHandles {
+            red: self.builder.signal("clk.R", Color::Red)?,
+            green: self.builder.signal("clk.G", Color::Green)?,
+            blue: self.builder.signal("clk.B", Color::Blue)?,
+            token: self.circuit.clock.token,
+        };
+
+        let mut registers = HashMap::new();
+        for (r, reg) in self.circuit.registers.iter().enumerate() {
+            registers.insert(
+                reg.name.clone(),
+                RegisterHandles {
+                    red: self.register_reds[r],
+                    init: reg.init,
+                },
+            );
+        }
+        let outputs: Vec<String> = self.circuit.outputs.iter().map(|(n, _)| n.clone()).collect();
+
+        debug_assert!(
+            self.builder.stall_risks().is_empty(),
+            "compiler left trapped colored species: {:?}",
+            self.builder.stall_risks()
+        );
+
+        let (crn, initial) = self.builder.finish()?;
+        Ok(CompiledSystem::new(
+            crn, initial, clock, input_map, registers, outputs,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_compiles() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let d = c.delay("d", x);
+        let sum = c.add(&[x, d]);
+        let y = c.halve(sum);
+        c.output("y", y);
+        let sys = c.compile().unwrap();
+        assert!(sys.crn().validate().is_empty(), "{:?}", sys.crn().validate());
+        assert!(sys.input_species("x").is_ok());
+        assert!(sys.output_species("y").is_ok());
+    }
+
+    #[test]
+    fn duplicate_port_names_are_rejected() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        c.output("x", x);
+        assert!(matches!(
+            c.compile(),
+            Err(SyncError::DuplicatePort { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_node_is_rejected() {
+        let mut other = SyncCircuit::new(ClockSpec::default());
+        let x = other.input("x");
+        let d = other.delay("d", x);
+        let big = other.add(&[x, d]);
+
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let _ = c.input("x");
+        c.output("y", big); // node index out of range for c
+        assert!(matches!(c.compile(), Err(SyncError::UnknownNode { .. })));
+    }
+
+    #[test]
+    fn bad_scale_is_rejected() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let s = c.scale(x, 1, 4);
+        c.output("y", s);
+        assert!(matches!(
+            c.compile(),
+            Err(SyncError::UnsupportedScale { p: 1, q: 4 })
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_is_detected() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        // a = add(x, a) — self-referential without a register
+        // construct by hand: first create a placeholder add, then mutate?
+        // The public API cannot express a cycle directly (nodes are
+        // created before use), so the check guards internal composition:
+        // a sub-of-sub-of-sub chain exceeds the two stages instead.
+        let s1 = c.sub(x, x);
+        let s2 = c.sub(s1, x);
+        let s3 = c.sub(s2, x);
+        c.output("y", s3);
+        assert!(matches!(
+            c.compile(),
+            Err(SyncError::CombinationalCycle)
+        ));
+    }
+
+    #[test]
+    fn two_sub_levels_fit() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let k = c.constant("k", 10.0);
+        let s1 = c.sub(x, k); // green
+        let s2 = c.sub(s1, k); // blue
+        c.output("y", s2);
+        assert!(c.compile().is_ok());
+    }
+
+    #[test]
+    fn blue_sub_feeding_logic_is_rejected() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let k = c.constant("k", 10.0);
+        let s1 = c.sub(x, k); // green
+        let s2 = c.sub(s1, k); // blue
+        let d = c.double(s2); // fast consumer of a blue sub: no barrier left
+        c.output("y", d);
+        assert!(matches!(
+            c.compile(),
+            Err(SyncError::CombinationalCycle)
+        ));
+    }
+
+    #[test]
+    fn constants_feed_themselves() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let k = c.constant("k", 42.0);
+        let y = c.double(k);
+        c.output("y", y);
+        let sys = c.compile().unwrap();
+        let k_red = sys.register_species("k").unwrap();
+        let init = sys.initial_state();
+        assert_eq!(init.get(k_red), 42.0);
+    }
+
+    #[test]
+    fn invalid_register_init_is_rejected() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let d = c.delay_with_init("d", x, -5.0);
+        c.output("y", d);
+        assert!(matches!(
+            c.compile(),
+            Err(SyncError::InvalidAmount { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_source_registers_compile() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let y = c.input("y");
+        let acc = c.feedback_delay("acc");
+        // acc' = x + y via two separate commit sources
+        c.rebind_register("acc", x).unwrap();
+        c.add_register_source("acc", y).unwrap();
+        c.output("out", acc);
+        assert!(c.compile().is_ok());
+    }
+
+    #[test]
+    fn unbound_feedback_register_is_rejected() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let f = c.feedback_delay("loop");
+        c.output("y", f);
+        assert!(matches!(c.compile(), Err(SyncError::UnknownPort { .. })));
+    }
+
+    #[test]
+    fn rebind_unknown_register_fails() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        assert!(c.rebind_register("nope", x).is_err());
+        assert!(c.add_register_source("nope", x).is_err());
+    }
+
+    #[test]
+    fn feedback_delay_with_init_carries_the_value() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let f = c.feedback_delay_with_init("hold", 42.0);
+        c.rebind_register("hold", f).unwrap(); // self-loop: holds forever
+        c.output("y", f);
+        let sys = c.compile().unwrap();
+        let red = sys.register_species("hold").unwrap();
+        assert_eq!(sys.initial_state().get(red), 42.0);
+    }
+
+    #[test]
+    fn node_count_tracks_dag_size() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let d = c.delay("d", x);
+        let _ = c.add(&[x, d]);
+        assert_eq!(c.node_count(), 3);
+    }
+}

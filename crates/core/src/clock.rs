@@ -1,0 +1,405 @@
+//! The two primitive constructs: a free-running chemical clock and a chain
+//! of delay elements.
+
+use crate::{Color, SchemeBuilder, SchemeConfig, SyncError};
+use molseq_crn::{Crn, SpeciesId};
+use molseq_kinetics::State;
+
+/// A free-running chemical clock: one closed delay ring `R → G → B → R`
+/// carrying a fixed token quantity. Its three species' concentrations are
+/// the non-overlapping phase signals — a high concentration is a logical 1,
+/// a low concentration a logical 0 (experiment E1).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate) for a full simulation.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    crn: Crn,
+    red: SpeciesId,
+    green: SpeciesId,
+    blue: SpeciesId,
+    token: f64,
+}
+
+impl Clock {
+    /// Builds a standalone clock with the given scheme configuration and
+    /// token quantity.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::InvalidAmount`] if `token` is not finite and positive.
+    pub fn build(config: SchemeConfig, token: f64) -> Result<Self, SyncError> {
+        if !(token.is_finite() && token > 0.0) {
+            return Err(SyncError::InvalidAmount { value: token });
+        }
+        let mut b = SchemeBuilder::new(config);
+        let red = b.signal("clk.R", Color::Red)?;
+        let green = b.signal("clk.G", Color::Green)?;
+        let blue = b.signal("clk.B", Color::Blue)?;
+        b.transfer(red, &[(green, 1)], "clk R->G")?;
+        b.transfer(green, &[(blue, 1)], "clk G->B")?;
+        b.transfer(blue, &[(red, 1)], "clk B->R")?;
+        b.set_initial(red, token)?;
+        debug_assert!(b.stall_risks().is_empty());
+        let (crn, _) = b.finish()?;
+        Ok(Clock {
+            crn,
+            red,
+            green,
+            blue,
+            token,
+        })
+    }
+
+    /// The generated network.
+    #[must_use]
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// The red phase species.
+    #[must_use]
+    pub fn red(&self) -> SpeciesId {
+        self.red
+    }
+
+    /// The green phase species.
+    #[must_use]
+    pub fn green(&self) -> SpeciesId {
+        self.green
+    }
+
+    /// The blue phase species.
+    #[must_use]
+    pub fn blue(&self) -> SpeciesId {
+        self.blue
+    }
+
+    /// The circulating token quantity.
+    #[must_use]
+    pub fn token(&self) -> f64 {
+        self.token
+    }
+
+    /// The initial state: the whole token in the red phase.
+    #[must_use]
+    pub fn initial_state(&self) -> State {
+        let mut s = State::new(&self.crn);
+        s.set(self.red, self.token);
+        s
+    }
+}
+
+/// A chain of `n` delay elements — the companion abstract's Figure 1.
+///
+/// The external input `X` is the blue species `B0`; element `i` owns the
+/// triple `Ri/Gi/Bi`. One full phase rotation moves every stored quantity
+/// one hop, so the value placed in `X` appears at the output after `n + 1`
+/// blue→red phases.
+///
+/// The output `Y` is an **uncolored accumulator** rather than the
+/// abstract's red type `R(n+1)`: a terminal species inside the red
+/// category would absorb the red-absence indicator forever once the first
+/// value arrives, freezing the green→blue phase and deadlocking every
+/// later wavefront. The terminal hop is an indicator-gated fast drain
+/// (see [`SchemeBuilder::gated_drain`](crate::SchemeBuilder::gated_drain)),
+/// so `Y` accumulates each arrival exactly, in order, while the chain
+/// keeps rotating.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_sync::{DelayChain, SchemeConfig};
+/// use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use molseq_sync::stored_final_value;
+///
+/// let chain = DelayChain::build(SchemeConfig::default(), 2)?;
+/// let init = chain.initial_state(80.0, &[0.0, 0.0])?;
+/// let trace = simulate_ode(
+///     chain.crn(),
+///     &init,
+///     &Schedule::new(),
+///     &OdeOptions::default().with_t_end(60.0),
+///     &SimSpec::default(),
+/// )?;
+/// let y = stored_final_value(chain.crn(), &trace, chain.output());
+/// assert!((y - 80.0).abs() < 1.0, "X arrived at Y: {y}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayChain {
+    crn: Crn,
+    input: SpeciesId,
+    elements: Vec<[SpeciesId; 3]>,
+    output: SpeciesId,
+}
+
+impl DelayChain {
+    /// Builds a chain of `n ≥ 1` delay elements.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::InvalidAmount`] if `n` is zero (a chain needs at least
+    /// one element).
+    pub fn build(config: SchemeConfig, n: usize) -> Result<Self, SyncError> {
+        if n == 0 {
+            return Err(SyncError::InvalidAmount { value: 0.0 });
+        }
+        let mut b = SchemeBuilder::new(config);
+        let input = b.signal("B0", Color::Blue)?;
+        let mut elements = Vec::with_capacity(n);
+        for i in 1..=n {
+            let r = b.signal(&format!("R{i}"), Color::Red)?;
+            let g = b.signal(&format!("G{i}"), Color::Green)?;
+            let blue = b.signal(&format!("B{i}"), Color::Blue)?;
+            elements.push([r, g, blue]);
+        }
+        let output = b.uncolored("Y");
+
+        // B0 feeds R1 in the blue→red phase; each element rotates; the last
+        // blue feeds the output red.
+        b.transfer(input, &[(elements[0][0], 1)], "input B0->R1")?;
+        for i in 0..n {
+            let [r, g, blue] = elements[i];
+            b.transfer(r, &[(g, 1)], &format!("D{} R->G", i + 1))?;
+            b.transfer(g, &[(blue, 1)], &format!("D{} G->B", i + 1))?;
+            if i + 1 < n {
+                b.transfer(blue, &[(elements[i + 1][0], 1)], &format!("D{} B->R", i + 1))?;
+            } else {
+                // the terminal hop leaves the color system
+                b.gated_drain(blue, output, &format!("D{} B->Y", i + 1))?;
+            }
+        }
+        // The output accumulates outside the color system; the chain can
+        // carry any number of staged wavefronts through to it.
+        let (crn, _) = b.finish()?;
+        Ok(DelayChain {
+            crn,
+            input,
+            elements,
+            output,
+        })
+    }
+
+    /// The generated network.
+    #[must_use]
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// The input species `B0`.
+    #[must_use]
+    pub fn input(&self) -> SpeciesId {
+        self.input
+    }
+
+    /// The `[R, G, B]` triple of element `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn element(&self, i: usize) -> [SpeciesId; 3] {
+        self.elements[i]
+    }
+
+    /// Number of delay elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True if the chain has no elements (never the case for a built chain).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The uncolored output accumulator `Y`.
+    #[must_use]
+    pub fn output(&self) -> SpeciesId {
+        self.output
+    }
+
+    /// Builds an initial state: `x` in the input `B0` and
+    /// `element_values[i]` in element `i`'s **blue** species.
+    ///
+    /// Stored quantities rest in blue at the instant a new input is
+    /// accepted — the input joins the pending blue→red commit, so every
+    /// element (and the input) advances one hop in the same phase without
+    /// merging. Starting element values in red instead would let the input
+    /// commit into a still-occupied `R1`.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::InvalidAmount`] if any amount is negative or not
+    /// finite, or if `element_values` is longer than the chain.
+    pub fn initial_state(&self, x: f64, element_values: &[f64]) -> Result<State, SyncError> {
+        if element_values.len() > self.elements.len() {
+            return Err(SyncError::InvalidAmount {
+                value: element_values.len() as f64,
+            });
+        }
+        let mut s = State::new(&self.crn);
+        for &v in element_values.iter().chain(std::iter::once(&x)) {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(SyncError::InvalidAmount { value: v });
+            }
+        }
+        s.set(self.input, x);
+        for (i, &v) in element_values.iter().enumerate() {
+            s.set(self.elements[i][2], v);
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molseq_kinetics::{
+        estimate_period, simulate_ode, OdeOptions, Schedule, SimSpec,
+    };
+
+    fn ode(crn: &Crn, init: &State, t_end: f64) -> molseq_kinetics::Trace {
+        simulate_ode(
+            crn,
+            init,
+            &Schedule::new(),
+            &OdeOptions::default()
+                .with_t_end(t_end)
+                .with_record_interval(0.05),
+            &SimSpec::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clock_oscillates_with_nonoverlapping_phases() {
+        let clock = Clock::build(SchemeConfig::default(), 100.0).unwrap();
+        let trace = ode(clock.crn(), &clock.initial_state(), 150.0);
+        let half = 50.0;
+        for phase in [clock.red(), clock.green(), clock.blue()] {
+            let series = trace.series(phase);
+            let period = estimate_period(trace.times(), &series, half);
+            assert!(period.is_some(), "phase must oscillate");
+        }
+        // Non-overlap: at no sample are two phases simultaneously above 60%.
+        for i in 0..trace.len() {
+            let s = trace.state(i);
+            let high = [clock.red(), clock.green(), clock.blue()]
+                .iter()
+                .filter(|&&p| s[p.index()] > 60.0)
+                .count();
+            assert!(high <= 1, "phases overlap at sample {i}");
+        }
+        // The token is exactly conserved across R+G+B plus twice the
+        // sharpener dimers (each I[...] holds two token units).
+        let dimer_ids: Vec<_> = clock
+            .crn()
+            .species_iter()
+            .filter(|(_, sp)| sp.name().starts_with("I["))
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(dimer_ids.len(), 3);
+        for i in 0..trace.len() {
+            let s = trace.state(i);
+            let mut total =
+                s[clock.red().index()] + s[clock.green().index()] + s[clock.blue().index()];
+            for &d in &dimer_ids {
+                total += 2.0 * s[d.index()];
+            }
+            assert!(
+                (total - 100.0).abs() < 0.5,
+                "token total {total} at sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_rejects_bad_token() {
+        assert!(Clock::build(SchemeConfig::default(), 0.0).is_err());
+        assert!(Clock::build(SchemeConfig::default(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn delay_chain_moves_x_to_y() {
+        let chain = DelayChain::build(SchemeConfig::default(), 2).unwrap();
+        let init = chain.initial_state(80.0, &[0.0, 0.0]).unwrap();
+        let trace = ode(chain.crn(), &init, 80.0);
+        // the terminal red output holds part of its quantity in the
+        // sharpener dimer; read the full stored value
+        let y = crate::stored_final_value(chain.crn(), &trace, chain.output());
+        assert!((y - 80.0).abs() < 1.0, "got {y}");
+        // input fully drained
+        assert!(trace.final_state()[chain.input().index()] < 0.5);
+    }
+
+    #[test]
+    fn delay_chain_transfers_are_ordered() {
+        // With values in both X and the elements, the wavefront stays
+        // ordered: element 2 receives element 1's value, not X's.
+        let chain = DelayChain::build(SchemeConfig::default(), 2).unwrap();
+        let init = chain.initial_state(80.0, &[30.0, 55.0]).unwrap();
+        let trace = ode(chain.crn(), &init, 120.0);
+        // After enough time: Y accumulated 55 + 30 + 80 = 165 (everything
+        // flows through), but the *order* matters: Y first reaches ≈55,
+        // then ≈85, then ≈165, one full rotation apart.
+        let y = chain.output();
+        let fin = crate::stored_final_value(chain.crn(), &trace, y);
+        assert!((fin - 165.0).abs() < 2.0, "final {fin}");
+        let first_above = |level: f64| {
+            molseq_kinetics::crossings(trace.times(), &trace.series(y), level)
+                .first()
+                .map(|c| c.time)
+                .unwrap_or(f64::INFINITY)
+        };
+        let (t55, t85, t165) = (first_above(50.0), first_above(80.0), first_above(160.0));
+        assert!(
+            t55 + 0.5 < t85 && t85 + 0.5 < t165,
+            "arrivals must be ordered, one rotation apart: {t55} {t85} {t165}"
+        );
+    }
+
+    #[test]
+    fn delay_chain_validates_inputs() {
+        assert!(DelayChain::build(SchemeConfig::default(), 0).is_err());
+        let chain = DelayChain::build(SchemeConfig::default(), 1).unwrap();
+        assert!(chain.initial_state(-1.0, &[]).is_err());
+        assert!(chain.initial_state(1.0, &[1.0, 2.0]).is_err());
+        assert_eq!(chain.len(), 1);
+        assert!(!chain.is_empty());
+    }
+
+    #[test]
+    fn sharpeners_are_load_bearing() {
+        // With feedback, a transfer completes crisply. Without it, each
+        // phase leaves a tail; tails end up occupying all three categories
+        // at once, every indicator is suppressed, and the system settles
+        // into an equilibrium crawl — the transfer effectively never
+        // completes. The ablation shows the feedback is structural, not an
+        // optimization.
+        let quantity = 30.0;
+        let completion = |config: SchemeConfig| {
+            let chain = DelayChain::build(config, 1).unwrap();
+            let init = chain.initial_state(quantity, &[0.0]).unwrap();
+            let trace = ode(chain.crn(), &init, 600.0);
+            let y = chain.output();
+            crate::stored_final_value(chain.crn(), &trace, y) / quantity
+        };
+        let with = completion(SchemeConfig::default());
+        let without = completion(SchemeConfig {
+            sharpeners: false,
+            full_coupling: false,
+        });
+        assert!(with > 0.98, "sharpened chain completes: {with}");
+        assert!(
+            without < 0.5,
+            "unsharpened chain gridlocks into a crawl: {without}"
+        );
+    }
+}

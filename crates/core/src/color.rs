@@ -1,0 +1,118 @@
+//! The three color categories.
+
+use std::fmt;
+
+/// The color category of a signal species.
+///
+/// Every signal type in the synchronous scheme belongs to one category; a
+/// clock cycle is one full rotation red → green → blue → red.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_sync::Color;
+///
+/// assert_eq!(Color::Red.next(), Color::Green);
+/// assert_eq!(Color::Red.prev(), Color::Blue);
+/// assert_eq!(Color::Red.next().next().next(), Color::Red);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Color {
+    /// The category registers rest in at the start of each cycle.
+    Red,
+    /// The first transfer destination.
+    Green,
+    /// The category in which inputs are injected and combinational logic
+    /// settles, just before commit.
+    Blue,
+}
+
+impl Color {
+    /// All three colors, in rotation order.
+    pub const ALL: [Color; 3] = [Color::Red, Color::Green, Color::Blue];
+
+    /// The category a signal moves *to* during this category's transfer
+    /// phase.
+    #[must_use]
+    pub fn next(self) -> Color {
+        match self {
+            Color::Red => Color::Green,
+            Color::Green => Color::Blue,
+            Color::Blue => Color::Red,
+        }
+    }
+
+    /// The category before this one in rotation order. A transfer out of
+    /// color `c` is gated on the absence indicator of `c.prev()`: the
+    /// previous phase must have drained completely.
+    #[must_use]
+    pub fn prev(self) -> Color {
+        match self {
+            Color::Red => Color::Blue,
+            Color::Green => Color::Red,
+            Color::Blue => Color::Green,
+        }
+    }
+
+    /// The conventional lowercase name of this color's absence indicator.
+    #[must_use]
+    pub fn indicator_name(self) -> &'static str {
+        match self {
+            Color::Red => "r",
+            Color::Green => "g",
+            Color::Blue => "b",
+        }
+    }
+
+    /// A short uppercase tag used when naming generated species.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Color::Red => "R",
+            Color::Green => "G",
+            Color::Blue => "B",
+        }
+    }
+
+    /// Index into [`Color::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Color::Red => 0,
+            Color::Green => 1,
+            Color::Blue => 2,
+        }
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Color::Red => "red",
+            Color::Green => "green",
+            Color::Blue => "blue",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_is_a_three_cycle() {
+        for c in Color::ALL {
+            assert_eq!(c.next().prev(), c);
+            assert_eq!(c.prev().next(), c);
+            assert_eq!(c.next().next().next(), c);
+        }
+    }
+
+    #[test]
+    fn names_are_consistent() {
+        assert_eq!(Color::Red.indicator_name(), "r");
+        assert_eq!(Color::Green.tag(), "G");
+        assert_eq!(Color::Blue.to_string(), "blue");
+        assert_eq!(Color::ALL[Color::Green.index()], Color::Green);
+    }
+}

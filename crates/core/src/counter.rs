@@ -1,0 +1,182 @@
+//! The paper's finite-state example: a ripple-carry binary counter.
+//!
+//! Each bit is a delay element holding either `0` or the amplitude `A`
+//! (logical 0/1). On every clock cycle, bit `i` adds its carry-in to its
+//! stored value, keeps the sum modulo `2A`, and registers a carry of `A`
+//! for bit `i + 1` whenever the sum reached `2A`. Bit 0's carry-in is the
+//! external pulse input.
+//!
+//! The modulo-`2A` arithmetic uses only the rate-independent primitives:
+//!
+//! ```text
+//! s     = bit + carry_in            (sum: 0, A or 2A)
+//! carry = max(s − A, 0)             (clamped subtraction against the
+//!                                    constant register K = A)
+//! bit'  = max(s − 2·carry, 0)       (0 ↦ 0, A ↦ A, 2A ↦ 0)
+//! ```
+//!
+//! Carries propagate through a register, so bit `i` reacts to an overflow
+//! of bit `i − 1` one cycle later — a classic ripple counter. After the
+//! last pulse, allow `n` settle cycles before reading an `n`-bit count.
+
+use crate::{ClockSpec, CompiledSystem, SyncCircuit, SyncError, SyncRun};
+
+/// A compiled ripple-carry binary counter.
+///
+/// # Examples
+///
+/// ```no_run
+/// use molseq_sync::{BinaryCounter, ClockSpec, RunConfig, run_cycles};
+///
+/// # fn main() -> Result<(), molseq_sync::SyncError> {
+/// let counter = BinaryCounter::build(3, 60.0, ClockSpec::default())?;
+/// // five pulses, then three settle cycles
+/// let pulses = counter.pulse_train(&[true, true, true, true, true, false, false, false]);
+/// let run = run_cycles(counter.system(), &[("pulse", &pulses)], 9, &RunConfig::default())?;
+/// assert_eq!(counter.decode(&run, 8)?, 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryCounter {
+    system: CompiledSystem,
+    bits: usize,
+    amplitude: f64,
+}
+
+impl BinaryCounter {
+    /// Builds an `bits`-bit counter with logical-1 amplitude `amplitude`.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::InvalidAmount`] for a zero bit count or a bad
+    /// amplitude; compilation errors are propagated.
+    pub fn build(bits: usize, amplitude: f64, clock: ClockSpec) -> Result<Self, SyncError> {
+        if bits == 0 {
+            return Err(SyncError::InvalidAmount { value: 0.0 });
+        }
+        if !(amplitude.is_finite() && amplitude > 0.0) {
+            return Err(SyncError::InvalidAmount { value: amplitude });
+        }
+        let mut c = SyncCircuit::new(clock);
+        let pulse = c.input("pulse");
+        let k = c.constant("K", amplitude);
+
+        let mut carry_in = pulse;
+        for i in 0..bits {
+            // feedback register: its next-value is bound below
+            let bit = c.feedback_delay(&format!("b{i}"));
+            let s = c.add(&[bit, carry_in]);
+            let carry = c.sub(s, k); // green-stage subtraction
+            let cc = c.double(carry); // blue stage (consumes settled carry)
+            let bit_next = c.sub(s, cc); // blue-stage subtraction → commit only
+            c.rebind_register(&format!("b{i}"), bit_next)?;
+            let carry_reg = c.delay(&format!("c{i}"), carry);
+            carry_in = carry_reg;
+        }
+        // expose the final overflow so it does not dangle silently
+        c.output("overflow", carry_in);
+
+        let system = c.compile()?;
+        Ok(BinaryCounter {
+            system,
+            bits,
+            amplitude,
+        })
+    }
+
+    /// The compiled system (drive it with
+    /// [`run_cycles`](crate::run_cycles); the input port is `"pulse"`).
+    #[must_use]
+    pub fn system(&self) -> &CompiledSystem {
+        &self.system
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The logical-1 amplitude.
+    #[must_use]
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Converts a pulse pattern into the per-cycle input samples
+    /// (`true` → amplitude, `false` → 0).
+    #[must_use]
+    pub fn pulse_train(&self, pulses: &[bool]) -> Vec<f64> {
+        pulses
+            .iter()
+            .map(|&p| if p { self.amplitude } else { 0.0 })
+            .collect()
+    }
+
+    /// Reads the counter state at cycle boundary `cycle`, thresholding
+    /// each bit at half the amplitude.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownPort`] if the run does not contain the bit
+    /// registers; [`SyncError::InsufficientCycles`] if `cycle` is out of
+    /// range.
+    pub fn decode(&self, run: &SyncRun, cycle: usize) -> Result<u32, SyncError> {
+        let mut value = 0u32;
+        for i in 0..self.bits {
+            let series = run.register_series(&format!("b{i}"))?;
+            let sample = series.get(cycle).ok_or(SyncError::InsufficientCycles {
+                requested: cycle + 1,
+                found: series.len(),
+            })?;
+            if *sample > 0.5 * self.amplitude {
+                value |= 1 << i;
+            }
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_cycles, RunConfig};
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(BinaryCounter::build(0, 60.0, ClockSpec::default()).is_err());
+        assert!(BinaryCounter::build(3, -1.0, ClockSpec::default()).is_err());
+        assert!(BinaryCounter::build(3, f64::NAN, ClockSpec::default()).is_err());
+    }
+
+    #[test]
+    fn pulse_train_maps_booleans() {
+        let counter = BinaryCounter::build(2, 50.0, ClockSpec::default()).unwrap();
+        assert_eq!(
+            counter.pulse_train(&[true, false, true]),
+            vec![50.0, 0.0, 50.0]
+        );
+        assert_eq!(counter.bits(), 2);
+        assert_eq!(counter.amplitude(), 50.0);
+    }
+
+    /// The headline behaviour: three pulses into a 2-bit counter leave the
+    /// bits encoding 3 after the carries have rippled.
+    #[test]
+    fn counts_three_pulses() {
+        let counter = BinaryCounter::build(2, 60.0, ClockSpec::default()).unwrap();
+        let pulses = counter.pulse_train(&[true, true, true, false, false]);
+        let run = run_cycles(
+            counter.system(),
+            &[("pulse", &pulses)],
+            6,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let value = counter.decode(&run, 5).unwrap();
+        assert_eq!(value, 3, "b0={:?} b1={:?}",
+            run.register_series("b0").unwrap(),
+            run.register_series("b1").unwrap());
+    }
+}

@@ -1,0 +1,150 @@
+//! Errors for the synchronous framework.
+
+use molseq_crn::CrnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or compiling synchronous constructs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SyncError {
+    /// A species name was registered twice with conflicting colors.
+    ColorConflict {
+        /// The species name.
+        name: String,
+    },
+    /// A transfer was declared from a species that is not colored.
+    UncoloredSource {
+        /// The species name.
+        name: String,
+    },
+    /// A circuit node id did not belong to the circuit it was used with.
+    UnknownNode {
+        /// The raw node index.
+        index: usize,
+    },
+    /// A named port (input/output/register) was not found.
+    UnknownPort {
+        /// The name looked up.
+        name: String,
+    },
+    /// A port name was declared twice.
+    DuplicatePort {
+        /// The conflicting name.
+        name: String,
+    },
+    /// A scale factor was out of the supported range.
+    UnsupportedScale {
+        /// Numerator.
+        p: u32,
+        /// Denominator.
+        q: u32,
+    },
+    /// A quantity (token, constant, initial value) was invalid.
+    InvalidAmount {
+        /// The offending value.
+        value: f64,
+    },
+    /// The circuit contains a combinational cycle (a loop not broken by a
+    /// delay element).
+    CombinationalCycle,
+    /// The harness could not observe the requested number of clock cycles
+    /// within its (extended) time horizon.
+    InsufficientCycles {
+        /// How many cycles were requested.
+        requested: usize,
+        /// How many completed within the horizon.
+        found: usize,
+    },
+    /// An error from the kinetics simulator.
+    Simulation(molseq_kinetics::SimError),
+    /// An error from the underlying network layer.
+    Network(CrnError),
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::ColorConflict { name } => {
+                write!(f, "species `{name}` was registered with two different colors")
+            }
+            SyncError::UncoloredSource { name } => {
+                write!(f, "transfer source `{name}` has no color category")
+            }
+            SyncError::UnknownNode { index } => {
+                write!(f, "node index {index} does not belong to this circuit")
+            }
+            SyncError::UnknownPort { name } => write!(f, "no port named `{name}`"),
+            SyncError::DuplicatePort { name } => {
+                write!(f, "port name `{name}` is already in use")
+            }
+            SyncError::UnsupportedScale { p, q } => write!(
+                f,
+                "scale factor {p}/{q} is unsupported (q must be 1..=3 and p >= 1)"
+            ),
+            SyncError::InvalidAmount { value } => {
+                write!(f, "amount {value} must be finite and non-negative")
+            }
+            SyncError::CombinationalCycle => f.write_str(
+                "the circuit contains a combinational cycle; break it with a delay element",
+            ),
+            SyncError::InsufficientCycles { requested, found } => write!(
+                f,
+                "only {found} of {requested} clock cycles completed within the time horizon"
+            ),
+            SyncError::Simulation(e) => write!(f, "simulation error: {e}"),
+            SyncError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for SyncError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SyncError::Network(e) => Some(e),
+            SyncError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<molseq_kinetics::SimError> for SyncError {
+    fn from(e: molseq_kinetics::SimError) -> Self {
+        SyncError::Simulation(e)
+    }
+}
+
+impl From<CrnError> for SyncError {
+    fn from(e: CrnError) -> Self {
+        SyncError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let cases: Vec<SyncError> = vec![
+            SyncError::ColorConflict { name: "X".into() },
+            SyncError::UncoloredSource { name: "w".into() },
+            SyncError::UnknownNode { index: 4 },
+            SyncError::UnknownPort { name: "Y".into() },
+            SyncError::DuplicatePort { name: "X".into() },
+            SyncError::UnsupportedScale { p: 1, q: 9 },
+            SyncError::InvalidAmount { value: -2.0 },
+            SyncError::CombinationalCycle,
+            SyncError::Network(CrnError::EmptyReaction),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn network_errors_have_a_source() {
+        let e = SyncError::from(CrnError::EmptyReaction);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,226 @@
+//! Finite-state machines — general sequential computation on the clocked
+//! framework.
+//!
+//! States are **one-hot**: state `i` is a register holding the amplitude
+//! `A` when active and `0` otherwise. The machine reads one binary input
+//! per clock cycle (`0` or `A`) and moves along its transition table.
+//!
+//! The next-state logic is a *complementary split* of each active state:
+//!
+//! ```text
+//! stay₀ = max(Sᵢ − 2·x, 0)          (the share that saw input 0)
+//! go₁   = Sᵢ − stay₀                 (the share that saw input 1)
+//! ```
+//!
+//! `stay₀ + go₁ = Sᵢ` exactly, so the total state quantity is conserved by
+//! construction; each share commits into its transition target, and
+//! because commits into one register **sum**, any number of transitions
+//! may converge on a state. The split needs both combinational stages
+//! (`go₁` is a second-stage subtraction), which the compiler's staging
+//! discipline provides; a transition therefore completes in one clock
+//! cycle, exactly like a flip-flop-based FSM in the electronic analogy.
+
+use crate::{run_cycles, ClockSpec, CompiledSystem, RunConfig, SyncCircuit, SyncError, SyncRun};
+
+/// A compiled Moore finite-state machine with a single binary input.
+///
+/// # Examples
+///
+/// A parity tracker (two states, toggles on every `1`):
+///
+/// ```no_run
+/// use molseq_sync::{ClockSpec, Fsm, RunConfig};
+///
+/// # fn main() -> Result<(), molseq_sync::SyncError> {
+/// // state 0: on input 0 stay, on input 1 go to state 1 — and vice versa
+/// let fsm = Fsm::build(ClockSpec::default(), 60.0, &[[0, 1], [1, 0]], 0)?;
+/// let (run, states) = fsm.run(&[true, true, true], &RunConfig::default())?;
+/// # let _ = run;
+/// assert_eq!(states.last(), Some(&1), "odd number of ones");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fsm {
+    system: CompiledSystem,
+    state_count: usize,
+    amplitude: f64,
+}
+
+impl Fsm {
+    /// Builds a machine from its transition table: `delta[i] = [to0, to1]`
+    /// sends state `i` to `to0` on input 0 and `to1` on input 1. The
+    /// machine starts in `initial` with the full amplitude.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::InvalidAmount`] for an empty table, an out-of-range
+    /// target or initial state, or a bad amplitude; compilation errors are
+    /// propagated.
+    pub fn build(
+        clock: ClockSpec,
+        amplitude: f64,
+        delta: &[[usize; 2]],
+        initial: usize,
+    ) -> Result<Self, SyncError> {
+        let m = delta.len();
+        if m == 0 || initial >= m {
+            return Err(SyncError::InvalidAmount { value: m as f64 });
+        }
+        if !(amplitude.is_finite() && amplitude > 0.0) {
+            return Err(SyncError::InvalidAmount { value: amplitude });
+        }
+        for row in delta {
+            for &target in row {
+                if target >= m {
+                    return Err(SyncError::InvalidAmount {
+                        value: target as f64,
+                    });
+                }
+            }
+        }
+
+        let mut c = SyncCircuit::new(clock);
+        let x = c.input("x");
+        // 2·x dominates any single state's amplitude when x is high
+        let x2 = c.double(x);
+
+        let states: Vec<_> = (0..m)
+            .map(|i| {
+                c.feedback_delay_with_init(
+                    &format!("s{i}"),
+                    if i == initial { amplitude } else { 0.0 },
+                )
+            })
+            .collect();
+
+        for (i, row) in delta.iter().enumerate() {
+            // complementary split: stay0 + go1 = S_i exactly
+            let stay0 = c.sub(states[i], x2); // green stage
+            let go1 = c.sub(states[i], stay0); // blue stage (commit-only)
+            c.add_register_source(&format!("s{}", row[0]), stay0)?;
+            c.add_register_source(&format!("s{}", row[1]), go1)?;
+        }
+
+        let system = c.compile()?;
+        Ok(Fsm {
+            system,
+            state_count: m,
+            amplitude,
+        })
+    }
+
+    /// The compiled system (input port `"x"`, state registers `s0…`).
+    #[must_use]
+    pub fn system(&self) -> &CompiledSystem {
+        &self.system
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// The one-hot amplitude.
+    #[must_use]
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Converts a bit pattern to per-cycle input samples.
+    #[must_use]
+    pub fn input_train(&self, bits: &[bool]) -> Vec<f64> {
+        bits.iter()
+            .map(|&b| if b { self.amplitude } else { 0.0 })
+            .collect()
+    }
+
+    /// Decodes the active state at cycle boundary `cycle`: the state
+    /// register holding more than half the amplitude.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::InsufficientCycles`] if `cycle` is out of range;
+    /// [`SyncError::UnknownPort`] if the run lacks the state registers.
+    pub fn decode(&self, run: &SyncRun, cycle: usize) -> Result<usize, SyncError> {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for i in 0..self.state_count {
+            let series = run.register_series(&format!("s{i}"))?;
+            let value = *series.get(cycle).ok_or(SyncError::InsufficientCycles {
+                requested: cycle + 1,
+                found: series.len(),
+            })?;
+            if value > best.1 {
+                best = (i, value);
+            }
+        }
+        Ok(best.0)
+    }
+
+    /// Runs a bit sequence through the machine and returns the run plus
+    /// the decoded state after each cycle (`states[k]` is the state after
+    /// consuming `bits[k]`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness errors.
+    pub fn run(
+        &self,
+        bits: &[bool],
+        config: &RunConfig,
+    ) -> Result<(SyncRun, Vec<usize>), SyncError> {
+        let samples = self.input_train(bits);
+        let run = run_cycles(&self.system, &[("x", &samples)], bits.len(), config)?;
+        let states = (0..bits.len())
+            .map(|k| self.decode(&run, k))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((run, states))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_tables() {
+        assert!(Fsm::build(ClockSpec::default(), 60.0, &[], 0).is_err());
+        assert!(Fsm::build(ClockSpec::default(), 60.0, &[[0, 2]], 0).is_err());
+        assert!(Fsm::build(ClockSpec::default(), 60.0, &[[0, 0]], 5).is_err());
+        assert!(Fsm::build(ClockSpec::default(), -1.0, &[[0, 0]], 0).is_err());
+    }
+
+    #[test]
+    fn input_train_maps_bits() {
+        let fsm = Fsm::build(ClockSpec::default(), 50.0, &[[0, 0]], 0).unwrap();
+        assert_eq!(fsm.input_train(&[true, false]), vec![50.0, 0.0]);
+        assert_eq!(fsm.state_count(), 1);
+        assert_eq!(fsm.amplitude(), 50.0);
+    }
+
+    #[test]
+    fn parity_machine_toggles() {
+        let fsm = Fsm::build(ClockSpec::default(), 60.0, &[[0, 1], [1, 0]], 0).unwrap();
+        let (_, states) = fsm
+            .run(&[true, false, true, true], &RunConfig::default())
+            .unwrap();
+        assert_eq!(states, vec![1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn sequence_detector_latches() {
+        // detect "11": S0 → S1 on a 1, S1 → S2 on a second 1; S2 sticky
+        let fsm = Fsm::build(
+            ClockSpec::default(),
+            60.0,
+            &[[0, 1], [0, 2], [2, 2]],
+            0,
+        )
+        .unwrap();
+        let (_, states) = fsm
+            .run(&[true, false, true, true, false], &RunConfig::default())
+            .unwrap();
+        assert_eq!(states, vec![1, 0, 1, 2, 2]);
+    }
+}

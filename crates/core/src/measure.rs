@@ -1,0 +1,100 @@
+//! Reading stored quantities from traces.
+//!
+//! While a colored species `T` holds quantity, a fraction sits in its
+//! sharpener dimer `I[T]` (two units each) in fast equilibrium —
+//! `(k_slow/k_fast)·T²`, about 8% at an amplitude of 100 with the default
+//! rates. The dimer is part of the stored quantity (it re-releases as `T`
+//! drains), so faithful readout sums `T + 2·I[T]`.
+
+use molseq_crn::{Crn, SpeciesId};
+use molseq_kinetics::Trace;
+
+/// The weighted terms whose sum reads the full stored quantity of
+/// `species`: the species itself, plus twice its sharpener dimer when one
+/// exists in the network.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_sync::{stored_value_terms, Clock, SchemeConfig};
+///
+/// # fn main() -> Result<(), molseq_sync::SyncError> {
+/// let clock = Clock::build(SchemeConfig::default(), 100.0)?;
+/// let terms = stored_value_terms(clock.crn(), clock.red());
+/// assert_eq!(terms.len(), 2); // clk.R and I[clk.R]
+/// assert_eq!(terms[0].1, 1.0);
+/// assert_eq!(terms[1].1, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn stored_value_terms(crn: &Crn, species: SpeciesId) -> Vec<(SpeciesId, f64)> {
+    let mut terms = vec![(species, 1.0)];
+    let dimer_name = format!("I[{}]", crn.species_name(species));
+    if let Some(dimer) = crn.find_species(&dimer_name) {
+        terms.push((dimer, 2.0));
+    }
+    terms
+}
+
+/// Reads the full stored quantity of `species` at time `t` of a trace
+/// (linear interpolation), including the sharpener-dimer share.
+///
+/// # Panics
+///
+/// Panics if the trace is empty.
+#[must_use]
+pub fn stored_value_at(crn: &Crn, trace: &Trace, species: SpeciesId, t: f64) -> f64 {
+    stored_value_terms(crn, species)
+        .into_iter()
+        .map(|(s, w)| w * trace.value_at(s, t))
+        .sum()
+}
+
+/// The full stored quantity at the final sample of a trace.
+///
+/// # Panics
+///
+/// Panics if the trace is empty.
+#[must_use]
+pub fn stored_final_value(crn: &Crn, trace: &Trace, species: SpeciesId) -> f64 {
+    let state = trace.final_state();
+    stored_value_terms(crn, species)
+        .into_iter()
+        .map(|(s, w)| w * state[s.index()])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Color, SchemeBuilder, SchemeConfig};
+
+    #[test]
+    fn uncolored_destinations_have_no_dimer_term() {
+        let mut b = SchemeBuilder::new(SchemeConfig::default());
+        let r = b.signal("R", Color::Red).unwrap();
+        let w = b.uncolored("waste");
+        // sharpeners only attach to colored destinations; an uncolored
+        // sink keeps no dimer share
+        b.transfer(r, &[(w, 1)], "drain").unwrap();
+        let (crn, _) = b.finish().unwrap();
+        assert_eq!(stored_value_terms(&crn, w).len(), 1);
+        // R is never a transfer destination here, so no dimer either
+        assert_eq!(stored_value_terms(&crn, r).len(), 1);
+    }
+
+    #[test]
+    fn colored_destination_gets_dimer_term() {
+        let mut b = SchemeBuilder::new(SchemeConfig::default());
+        let r = b.signal("R", Color::Red).unwrap();
+        let g = b.signal("G", Color::Green).unwrap();
+        let w = b.uncolored("waste");
+        b.transfer(r, &[(g, 1)], "R->G").unwrap();
+        b.transfer(g, &[(w, 1)], "drain").unwrap();
+        let (crn, _) = b.finish().unwrap();
+        let terms = stored_value_terms(&crn, g);
+        assert_eq!(terms.len(), 2);
+        assert_eq!(crn.species_name(terms[1].0), "I[G]");
+    }
+}

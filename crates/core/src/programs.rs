@@ -1,0 +1,303 @@
+//! Iterative sequential programs — the paper's "for/while loop" constructs.
+//!
+//! The combinational layer can add, scale and clamp-subtract, but
+//! multiplication, exponentiation and logarithms need *iteration*: a loop
+//! counter, a data path that executes one step per clock cycle, and a
+//! data-dependent gate that shuts the loop down when the counter runs out.
+//! This module builds those loops on [`SyncCircuit`].
+//!
+//! The key gadget is the **presence gate** `min(a, M·b)`: for a loop
+//! counter `b` held in multiples of the amplitude, `min(a, M·b)` equals
+//! `a` while the counter is positive and `0` once it empties (with `M`
+//! large enough that one counter unit already dominates `a`). It is built
+//! from two clamped subtractions — `min(a, c) = a − max(a − c, 0)` — which
+//! the two-stage discipline of the compiler accommodates exactly.
+//!
+//! Because a second-stage subtraction may only feed registers, each loop
+//! step lands in a pipeline register; the programs below account for the
+//! extra cycle of latency in their documented schedules.
+
+use crate::{run_cycles, ClockSpec, CompiledSystem, Node, RunConfig, SyncCircuit, SyncError, SyncRun};
+
+/// Builds the presence-gated value `min(value, M·counter)` inside a
+/// circuit: equals `value` while `counter > 0`, and `0` when the counter
+/// is empty. `boost` is `M`.
+fn gated_by_counter(c: &mut SyncCircuit, value: Node, counter: Node, boost: u32) -> Node {
+    let big = c.scale(counter, boost, 1);
+    let overshoot = c.sub(value, big); // green: max(value − M·counter, 0)
+    c.sub(value, overshoot) // blue: value − overshoot = min(value, M·counter)
+}
+
+/// An iterative multiplier: computes `a × n` by adding `a` to an
+/// accumulator once per loop iteration, `n` times.
+///
+/// * `a` is an arbitrary quantity (the multiplicand), loaded once.
+/// * `n` is a small integer (the multiplier), loaded as `n·unit` into the
+///   loop counter.
+///
+/// The loop runs one iteration per clock cycle (the gated step lands in
+/// a pipeline register and is accumulated the cycle after), so the
+/// product is ready after `n + 2` cycles and stays there — the gate reads
+/// the counter, so once it empties the accumulator freezes.
+///
+/// # Examples
+///
+/// ```no_run
+/// use molseq_sync::{ClockSpec, IterativeMultiplier, RunConfig};
+///
+/// # fn main() -> Result<(), molseq_sync::SyncError> {
+/// let mult = IterativeMultiplier::build(ClockSpec::default(), 25.0, 3, 60.0)?;
+/// let product = mult.run(&RunConfig::default())?;
+/// assert!((product - 75.0).abs() < 2.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IterativeMultiplier {
+    system: CompiledSystem,
+    a: f64,
+    n: u32,
+    cycles_needed: usize,
+}
+
+impl IterativeMultiplier {
+    /// Builds the multiplier for `a × n`, with the loop counter held in
+    /// units of `unit` (use the circuit amplitude, e.g. 60).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::InvalidAmount`] for non-finite or non-positive `a` or
+    /// `unit`, or `n = 0`; compilation errors are propagated.
+    pub fn build(clock: ClockSpec, a: f64, n: u32, unit: f64) -> Result<Self, SyncError> {
+        if !(a.is_finite() && a > 0.0) {
+            return Err(SyncError::InvalidAmount { value: a });
+        }
+        if !(unit.is_finite() && unit > 0.0) {
+            return Err(SyncError::InvalidAmount { value: unit });
+        }
+        if n == 0 {
+            return Err(SyncError::InvalidAmount { value: 0.0 });
+        }
+        // one counter unit must dominate `a` after boosting
+        let boost = (a / unit).ceil().max(1.0) as u32 + 1;
+
+        let mut c = SyncCircuit::new(clock);
+        // the multiplicand register regenerates `a` every cycle
+        let a_reg = c.constant("a", a);
+        // the loop counter, decremented by one unit per iteration
+        let counter = c.feedback_delay_with_init("counter", f64::from(n) * unit);
+        let unit_const = c.constant("unit", unit);
+
+        // one loop step: the gated addend (0 once the counter is empty)
+        let addend = gated_by_counter(&mut c, a_reg, counter, boost);
+        let addend_reg = c.delay("addend", addend);
+
+        // the decrement likewise stops at zero: counter' = max(counter − unit, 0)
+        let next_counter = c.sub(counter, unit_const);
+        c.rebind_register("counter", next_counter)?;
+
+        // accumulate: acc' = acc + addend(previous cycle)
+        let acc = c.feedback_delay("acc");
+        let next_acc = c.add(&[acc, addend_reg]);
+        c.rebind_register("acc", next_acc)?;
+        c.output("product", acc);
+
+        let system = c.compile()?;
+        Ok(IterativeMultiplier {
+            system,
+            a,
+            n,
+            // each decrement lands one cycle after its gated read; add
+            // slack for the pipeline registers to flush
+            cycles_needed: 2 * n as usize + 4,
+        })
+    }
+
+    /// The compiled system.
+    #[must_use]
+    pub fn system(&self) -> &CompiledSystem {
+        &self.system
+    }
+
+    /// The exact product `a × n`.
+    #[must_use]
+    pub fn expected(&self) -> f64 {
+        self.a * f64::from(self.n)
+    }
+
+    /// Number of clock cycles until the product has settled.
+    #[must_use]
+    pub fn cycles_needed(&self) -> usize {
+        self.cycles_needed
+    }
+
+    /// Runs the loop to completion and returns the accumulated product.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness errors.
+    pub fn run(&self, config: &RunConfig) -> Result<f64, SyncError> {
+        let run = run_cycles(&self.system, &[], self.cycles_needed, config)?;
+        let acc = run.register_series("acc")?;
+        Ok(*acc.last().expect("at least one cycle"))
+    }
+
+    /// Runs the loop and returns the full per-cycle trace of the
+    /// accumulator (for inspection and the examples).
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness errors.
+    pub fn run_traced(&self, config: &RunConfig) -> Result<SyncRun, SyncError> {
+        run_cycles(&self.system, &[], self.cycles_needed, config)
+    }
+}
+
+/// An iterative base-2 logarithm: halves a quantity once per clock cycle
+/// and counts the cycles in which at least one unit remained. For an
+/// input of `n·unit` with `n` a power of two, the count converges to
+/// exactly `log2(n) + 1` units — the number of halvings until the value
+/// drops below one unit.
+///
+/// The per-cycle tick is *thresholded* (`min(unit, max(2·value − unit, 0))`
+/// through a pipeline register) rather than a plain `min(unit, value)`: a
+/// molecular halving is a pairing reaction `2X → Y` whose tail decays
+/// algebraically, so an unthresholded tick would keep accumulating
+/// residual counts long after the value is logically zero.
+///
+/// One halving per cycle; the count settles after `log2(n) + 8` cycles.
+///
+/// # Examples
+///
+/// ```no_run
+/// use molseq_sync::{ClockSpec, IterativeLog2, RunConfig};
+///
+/// # fn main() -> Result<(), molseq_sync::SyncError> {
+/// let log = IterativeLog2::build(ClockSpec::default(), 8.0, 30.0)?;
+/// let iterations = log.run(&RunConfig::default())?;
+/// assert!((iterations - 4.0).abs() < 0.3, "log2(8) + 1 = 4");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IterativeLog2 {
+    system: CompiledSystem,
+    n: f64,
+    unit: f64,
+    cycles_needed: usize,
+}
+
+impl IterativeLog2 {
+    /// Builds the log loop for an input of `n` units of `unit`.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::InvalidAmount`] for bad parameters; compilation errors
+    /// are propagated.
+    pub fn build(clock: ClockSpec, n: f64, unit: f64) -> Result<Self, SyncError> {
+        if !(n.is_finite() && n >= 1.0) {
+            return Err(SyncError::InvalidAmount { value: n });
+        }
+        if !(unit.is_finite() && unit > 0.0) {
+            return Err(SyncError::InvalidAmount { value: unit });
+        }
+        let mut c = SyncCircuit::new(clock);
+        // the value being halved
+        let value = c.feedback_delay_with_init("value", n * unit);
+        let halved = c.halve(value);
+        c.rebind_register("value", halved)?;
+
+        // thresholded presence: max(2·value − unit, 0) is ≥ unit exactly
+        // while value ≥ unit and collapses to ~0 below unit/2, cutting the
+        // pairing tail off cleanly
+        let unit_const = c.constant("unit", unit);
+        let doubled = c.double(value);
+        let thresholded = c.sub(doubled, unit_const);
+        let th_reg = c.delay("th", thresholded);
+        let tick = gated_by_counter(&mut c, unit_const, th_reg, 1);
+        let tick_reg = c.delay("tick", tick);
+
+        let count = c.feedback_delay("count");
+        let next_count = c.add(&[count, tick_reg]);
+        c.rebind_register("count", next_count)?;
+        c.output("iterations", count);
+
+        let system = c.compile()?;
+        let cycles_needed = (n.log2().ceil().max(0.0) as usize) + 8;
+        Ok(IterativeLog2 {
+            system,
+            n,
+            unit,
+            cycles_needed,
+        })
+    }
+
+    /// The compiled system.
+    #[must_use]
+    pub fn system(&self) -> &CompiledSystem {
+        &self.system
+    }
+
+    /// Number of clock cycles until the count has settled.
+    #[must_use]
+    pub fn cycles_needed(&self) -> usize {
+        self.cycles_needed
+    }
+
+    /// Runs the loop and returns the iteration count in units
+    /// (`log2(n) + 1` for power-of-two `n`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness errors.
+    pub fn run(&self, config: &RunConfig) -> Result<f64, SyncError> {
+        let run = run_cycles(&self.system, &[], self.cycles_needed, config)?;
+        let count = run.register_series("count")?;
+        Ok(*count.last().expect("at least one cycle") / self.unit)
+    }
+
+    /// The exact input quantity (`n·unit`).
+    #[must_use]
+    pub fn input(&self) -> f64 {
+        self.n * self.unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_rejects_bad_parameters() {
+        assert!(IterativeMultiplier::build(ClockSpec::default(), 0.0, 3, 60.0).is_err());
+        assert!(IterativeMultiplier::build(ClockSpec::default(), 10.0, 0, 60.0).is_err());
+        assert!(IterativeMultiplier::build(ClockSpec::default(), 10.0, 3, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn log_rejects_bad_parameters() {
+        assert!(IterativeLog2::build(ClockSpec::default(), 0.5, 60.0).is_err());
+        assert!(IterativeLog2::build(ClockSpec::default(), 8.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn multiplier_computes_a_times_n() {
+        let mult =
+            IterativeMultiplier::build(ClockSpec::default(), 25.0, 3, 60.0).expect("builds");
+        let product = mult.run(&RunConfig::default()).expect("runs");
+        assert!(
+            (product - 75.0).abs() < 2.5,
+            "25 × 3 = 75, got {product}"
+        );
+    }
+
+    #[test]
+    fn log2_counts_halvings() {
+        let log = IterativeLog2::build(ClockSpec::default(), 8.0, 30.0).expect("builds");
+        let iterations = log.run(&RunConfig::default()).expect("runs");
+        assert!(
+            (iterations - 4.0).abs() < 0.3,
+            "log2(8) + 1 = 4, got {iterations}"
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! The cycle-level simulation harness.
+//!
+//! Driving a compiled system means: inject one input sample per clock
+//! cycle, run the kinetics, find the cycle boundaries in the clock
+//! waveform, and read every register once per cycle. [`run_cycles`] does
+//! all of it and returns a [`SyncRun`].
+
+use crate::{CompiledSystem, SyncError};
+use molseq_kinetics::{
+    simulate_ode, OdeMethod, OdeOptions, Schedule, SimError, SimSpec, Trace,
+};
+use std::collections::HashMap;
+
+/// Configuration for [`run_cycles`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Kinetic interpretation (rate assignment + jitter).
+    pub spec: SimSpec,
+    /// Initial guess for the duration of one clock cycle, in simulated
+    /// time. The harness extends the simulation automatically (up to
+    /// `max_extensions` doublings) if the guess is too small.
+    pub cycle_time_hint: f64,
+    /// How many times the time horizon may be doubled while hunting for
+    /// the requested number of cycles.
+    pub max_extensions: u32,
+    /// Trace recording interval.
+    pub record_interval: f64,
+    /// Integration method.
+    pub method: OdeMethod,
+}
+
+impl Default for RunConfig {
+    /// Paper-default rates, 12 time units per cycle as the initial guess,
+    /// up to 4 horizon doublings, stiff (Rosenbrock) integration.
+    fn default() -> Self {
+        RunConfig {
+            spec: SimSpec::default(),
+            cycle_time_hint: 12.0,
+            max_extensions: 4,
+            record_interval: 0.1,
+            method: OdeMethod::Rosenbrock {
+                rtol: 1e-5,
+                atol: 1e-8,
+            },
+        }
+    }
+}
+
+/// The result of driving a compiled system for a number of clock cycles.
+#[derive(Debug, Clone)]
+pub struct SyncRun {
+    trace: Trace,
+    /// One sampling instant per completed cycle: the midpoint of the k-th
+    /// interval during which the clock's red phase is high.
+    sample_times: Vec<f64>,
+    registers: HashMap<String, Vec<f64>>,
+}
+
+impl SyncRun {
+    /// Extracts cycle structure from *any* trace of a compiled system —
+    /// deterministic or stochastic. Cycle `k` is sampled over the
+    /// `k+1`-th interval in which the clock's (dimer-adjusted) red phase
+    /// exceeds 90% of the token (the first interval is the initial rest
+    /// state); register values are the per-interval maxima of their
+    /// dimer-adjusted stored quantity.
+    #[must_use]
+    pub fn from_trace(system: &CompiledSystem, trace: Trace) -> Self {
+        let clock = system.clock();
+        let threshold = 0.9 * clock.token;
+        let red_terms = crate::stored_value_terms(system.crn(), clock.red);
+        let red_series: Vec<f64> = (0..trace.len())
+            .map(|i| {
+                red_terms
+                    .iter()
+                    .map(|&(s, w)| w * trace.state(i)[s.index()])
+                    .sum()
+            })
+            .collect();
+        let mut intervals = high_intervals(trace.times(), &red_series, threshold);
+        if !intervals.is_empty() {
+            intervals.remove(0);
+        }
+        let sample_times: Vec<f64> = intervals.iter().map(|(a, b)| 0.5 * (a + b)).collect();
+        let mut registers = HashMap::new();
+        for name in system.register_names() {
+            let red = system
+                .register_species(name)
+                .expect("register names come from the system");
+            let terms = crate::stored_value_terms(system.crn(), red);
+            let series: Vec<f64> = intervals
+                .iter()
+                .map(|&(a, b)| {
+                    trace
+                        .times()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &t)| t >= a && t <= b)
+                        .map(|(i, _)| {
+                            terms
+                                .iter()
+                                .map(|&(s, w)| w * trace.state(i)[s.index()])
+                                .sum::<f64>()
+                        })
+                        .fold(0.0f64, f64::max)
+                })
+                .collect();
+            registers.insert(name.to_owned(), series);
+        }
+        SyncRun {
+            trace,
+            sample_times,
+            registers,
+        }
+    }
+
+    /// The full simulation trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The per-cycle sampling instants (cycle `k` was sampled at
+    /// `sample_times()[k]`).
+    #[must_use]
+    pub fn sample_times(&self) -> &[f64] {
+        &self.sample_times
+    }
+
+    /// Number of completed cycles captured.
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        self.sample_times.len()
+    }
+
+    /// The measured mean clock period, if at least two cycles completed.
+    #[must_use]
+    pub fn mean_period(&self) -> Option<f64> {
+        if self.sample_times.len() < 2 {
+            return None;
+        }
+        let n = self.sample_times.len() - 1;
+        Some((self.sample_times[n] - self.sample_times[0]) / n as f64)
+    }
+
+    /// A register's value per cycle: `register_series(name)[k]` is the
+    /// value committed at the end of cycle `k` (so for a register sourced
+    /// by input `x`, index `k` holds `x(k)`; for an output port computing
+    /// `f(...)` per cycle, index `k` holds the cycle-`k` result).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownPort`] if no such register was captured.
+    pub fn register_series(&self, name: &str) -> Result<&[f64], SyncError> {
+        self.registers
+            .get(name)
+            .map(Vec::as_slice)
+            .ok_or_else(|| SyncError::UnknownPort { name: name.into() })
+    }
+}
+
+/// Intervals during which `series` stays above `threshold`, as
+/// `(enter, exit)` pairs (the final interval may be cut off by the end of
+/// the trace).
+fn high_intervals(times: &[f64], series: &[f64], threshold: f64) -> Vec<(f64, f64)> {
+    let mut intervals = Vec::new();
+    let mut enter: Option<f64> = None;
+    for i in 0..times.len() {
+        let high = series[i] > threshold;
+        match (high, enter) {
+            (true, None) => enter = Some(times[i]),
+            (false, Some(start)) => {
+                intervals.push((start, times[i]));
+                enter = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(start) = enter {
+        if let Some(&last) = times.last() {
+            if last > start {
+                intervals.push((start, last));
+            }
+        }
+    }
+    intervals
+}
+
+/// Drives `system` until `cycles` clock cycles have completed, injecting
+/// one sample per cycle for every listed input.
+///
+/// Cycle boundaries and register values are extracted with
+/// [`SyncRun::from_trace`]: registers are read as the maximum of their
+/// dimer-adjusted stored value over each clock-red plateau. The initial
+/// all-red rest state (before the first rotation) is **not** counted as a
+/// cycle.
+///
+/// # Errors
+///
+/// * [`SyncError::UnknownPort`] for an unknown input name.
+/// * [`SyncError::InvalidAmount`] if `cycles` is zero.
+/// * Simulation errors are wrapped in [`SyncError::Simulation`].
+pub fn run_cycles(
+    system: &CompiledSystem,
+    inputs: &[(&str, &[f64])],
+    cycles: usize,
+    config: &RunConfig,
+) -> Result<SyncRun, SyncError> {
+    if cycles == 0 {
+        return Err(SyncError::InvalidAmount { value: 0.0 });
+    }
+    let mut schedule = Schedule::new();
+    for (name, samples) in inputs {
+        schedule = schedule.trigger(system.input_trigger(name, samples)?);
+    }
+
+    let init = system.initial_state();
+
+    let mut t_end = config.cycle_time_hint * (cycles as f64 + 1.0);
+    let mut last_err: Option<SimError> = None;
+    let mut best_found = 0usize;
+    for _ in 0..=config.max_extensions {
+        let opts = OdeOptions::default()
+            .with_t_end(t_end)
+            .with_record_interval(config.record_interval)
+            .with_method(config.method);
+        let trace = match simulate_ode(system.crn(), &init, &schedule, &opts, &config.spec) {
+            Ok(t) => t,
+            Err(e) => {
+                last_err = Some(e);
+                t_end *= 2.0;
+                continue;
+            }
+        };
+
+        let run = SyncRun::from_trace(system, trace);
+        if run.cycles() >= cycles {
+            let mut run = run;
+            run.sample_times.truncate(cycles);
+            for series in run.registers.values_mut() {
+                series.truncate(cycles);
+            }
+            return Ok(run);
+        }
+        best_found = best_found.max(run.cycles());
+        t_end *= 2.0;
+    }
+    Err(last_err.map_or(
+        SyncError::InsufficientCycles {
+            requested: cycles,
+            found: best_found,
+        },
+        SyncError::Simulation,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockSpec, SyncCircuit};
+
+    #[test]
+    fn high_intervals_finds_plateaus() {
+        let times = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let series = [100.0, 100.0, 0.0, 0.0, 100.0, 100.0];
+        let iv = high_intervals(&times, &series, 90.0);
+        assert_eq!(iv, vec![(0.0, 2.0), (4.0, 5.0)]);
+    }
+
+    #[test]
+    fn high_intervals_empty_for_flat_low() {
+        let times = [0.0, 1.0];
+        let series = [0.0, 0.0];
+        assert!(high_intervals(&times, &series, 90.0).is_empty());
+    }
+
+    #[test]
+    fn zero_cycles_is_rejected() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        c.output("y", x);
+        let sys = c.compile().unwrap();
+        assert!(run_cycles(&sys, &[], 0, &RunConfig::default()).is_err());
+    }
+
+    /// End-to-end: a single register delays its input by exactly one
+    /// cycle.
+    #[test]
+    fn register_delays_by_one_cycle() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let d = c.delay("d", x);
+        c.output("y", d);
+        let sys = c.compile().unwrap();
+
+        let samples = [40.0, 10.0, 70.0, 0.0];
+        let run = run_cycles(&sys, &[("x", &samples)], 5, &RunConfig::default()).unwrap();
+        let d_series = run.register_series("d").unwrap();
+        let y_series = run.register_series("y").unwrap();
+
+        // d at cycle boundary k holds x(k); y holds d one cycle later.
+        for (k, &expect) in samples.iter().enumerate() {
+            assert!(
+                (d_series[k] - expect).abs() < 1.5,
+                "d at cycle {k}: {} vs {expect} (full: {d_series:?})",
+                d_series[k]
+            );
+        }
+        for (k, &expect) in samples.iter().enumerate() {
+            assert!(
+                (y_series[k + 1] - expect).abs() < 1.5,
+                "y at cycle {}: {} vs {expect} (full: {y_series:?})",
+                k + 1,
+                y_series[k + 1]
+            );
+        }
+    }
+}

@@ -1,0 +1,787 @@
+//! The reaction-level generator: colored species, absence indicators,
+//! gated transfers and autocatalytic sharpeners.
+//!
+//! This module emits the reactions of the companion abstract's equations
+//! (1)–(6). For every color `c` with indicator `ind(c)`:
+//!
+//! ```text
+//! ∅ → ind(c)                    (slow)   indicator source
+//! ind(c) + S → S                (fast)   for every species S of color c
+//! ```
+//!
+//! and for every declared transfer of a species `S` (color `c`) into
+//! products `P` (normally of color `c.next()`):
+//!
+//! ```text
+//! ind(c.prev()) + S → P         (slow)   gated seed
+//! 2T → I_T                      (slow)   ┐ sharpener for the primary
+//! I_T → 2T                      (fast)   ┘ destination T of the transfer
+//! I_T + S → 2T + P              (fast)   positive feedback
+//! ```
+//!
+//! Because an indicator only exists while its whole color category is
+//! empty, the seed of a phase cannot fire until the previous phase has
+//! drained *every* species of that color — the indicators synchronize all
+//! delay elements globally, which is what makes the scheme a clocked
+//! (synchronous) design.
+
+use crate::{Color, SyncError};
+use molseq_crn::{Crn, Rate, SpeciesId};
+use std::collections::HashMap;
+
+/// Configuration of the generated reaction scheme.
+///
+/// The defaults reproduce the paper's setup. The two switches exist for the
+/// ablation experiments:
+///
+/// * `sharpeners: false` drops the autocatalytic feedback, leaving only the
+///   indicator-gated seeds — transfers still complete but take time
+///   proportional to the transferred quantity and have soft edges.
+/// * `full_coupling: true` emits the cross-coupled feedback of the paper's
+///   equations (`I_{G,j} + R_i → 2G_j + G_i` for **all** pairs `i, j` in a
+///   phase) instead of only the per-destination self terms. Cross coupling
+///   costs O(n²) reactions and slightly tightens phase alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeConfig {
+    /// Emit autocatalytic sharpeners (default `true`).
+    pub sharpeners: bool,
+    /// Emit all-pairs cross-coupled feedback (default `false`).
+    pub full_coupling: bool,
+}
+
+impl Default for SchemeConfig {
+    fn default() -> Self {
+        SchemeConfig {
+            sharpeners: true,
+            full_coupling: false,
+        }
+    }
+}
+
+/// Parameters of the clock ring embedded in every compiled circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSpec {
+    /// Quantity of the circulating clock token.
+    pub token: f64,
+    /// Scheme configuration shared by the whole circuit.
+    pub config: SchemeConfig,
+}
+
+impl Default for ClockSpec {
+    /// Token quantity 100 with the default scheme.
+    fn default() -> Self {
+        ClockSpec {
+            token: 100.0,
+            config: SchemeConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Transfer {
+    src: SpeciesId,
+    src_color: Color,
+    products: Vec<(SpeciesId, u32)>,
+    /// The species whose accumulation drives the positive feedback.
+    /// Defaults to the primary destination; must be overridden when the
+    /// destination is a staging species that fast reactions consume
+    /// immediately (it would never accumulate, the feedback would never
+    /// ignite, and the transfer would crawl at the indicator-supply rate).
+    proxy: Option<SpeciesId>,
+    label: String,
+}
+
+/// The low-level builder. Declare colored species, transfers and same-stage
+/// fast reactions; [`SchemeBuilder::finish`] emits the indicator and
+/// sharpener machinery and returns the complete [`Crn`].
+///
+/// Most users want [`SyncCircuit`](crate::SyncCircuit); the builder is the
+/// escape hatch for constructs the register-transfer layer cannot express.
+///
+/// # Examples
+///
+/// A one-element ring (this is exactly how [`Clock`](crate::Clock) is
+/// built):
+///
+/// ```
+/// use molseq_sync::{Color, SchemeBuilder, SchemeConfig};
+///
+/// # fn main() -> Result<(), molseq_sync::SyncError> {
+/// let mut b = SchemeBuilder::new(SchemeConfig::default());
+/// let r = b.signal("clk.R", Color::Red)?;
+/// let g = b.signal("clk.G", Color::Green)?;
+/// let blue = b.signal("clk.B", Color::Blue)?;
+/// b.transfer(r, &[(g, 1)], "clk R->G")?;
+/// b.transfer(g, &[(blue, 1)], "clk G->B")?;
+/// b.transfer(blue, &[(r, 1)], "clk B->R")?;
+/// b.set_initial(r, 100.0)?;
+/// let (crn, initial) = b.finish()?;
+/// assert!(crn.reactions().len() >= 9);
+/// assert_eq!(initial, vec![(r, 100.0)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SchemeBuilder {
+    crn: Crn,
+    config: SchemeConfig,
+    colors: HashMap<SpeciesId, Color>,
+    colored: [Vec<SpeciesId>; 3],
+    indicators: [SpeciesId; 3],
+    phase_drivers: [Option<SpeciesId>; 3],
+    transfers: Vec<Transfer>,
+    initial: Vec<(SpeciesId, f64)>,
+}
+
+impl SchemeBuilder {
+    /// Creates a builder; the three indicators `r`, `g`, `b` are registered
+    /// immediately.
+    #[must_use]
+    pub fn new(config: SchemeConfig) -> Self {
+        let mut crn = Crn::new();
+        let indicators = [
+            crn.species(Color::Red.indicator_name()),
+            crn.species(Color::Green.indicator_name()),
+            crn.species(Color::Blue.indicator_name()),
+        ];
+        SchemeBuilder {
+            crn,
+            config,
+            colors: HashMap::new(),
+            colored: [Vec::new(), Vec::new(), Vec::new()],
+            indicators,
+            phase_drivers: [None; 3],
+            transfers: Vec::new(),
+            initial: Vec::new(),
+        }
+    }
+
+    /// The scheme configuration.
+    #[must_use]
+    pub fn config(&self) -> SchemeConfig {
+        self.config
+    }
+
+    /// Registers (or retrieves) a species carrying a color category.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::ColorConflict`] if the name already exists with a
+    /// different color.
+    pub fn signal(&mut self, name: &str, color: Color) -> Result<SpeciesId, SyncError> {
+        let id = self.crn.species(name);
+        match self.colors.get(&id) {
+            Some(&existing) if existing != color => {
+                return Err(SyncError::ColorConflict { name: name.into() })
+            }
+            Some(_) => {}
+            None => {
+                self.colors.insert(id, color);
+                self.colored[color.index()].push(id);
+            }
+        }
+        Ok(id)
+    }
+
+    /// Registers (or retrieves) a species outside the color system — used
+    /// for waste sinks and output accumulators, which must not block the
+    /// indicators.
+    pub fn uncolored(&mut self, name: &str) -> SpeciesId {
+        self.crn.species(name)
+    }
+
+    /// The color of a species, if it has one.
+    #[must_use]
+    pub fn color_of(&self, id: SpeciesId) -> Option<Color> {
+        self.colors.get(&id).copied()
+    }
+
+    /// The absence indicator species of a color.
+    #[must_use]
+    pub fn indicator(&self, color: Color) -> SpeciesId {
+        self.indicators[color.index()]
+    }
+
+    /// Declares `species` (colored `color`) as the **phase driver** for
+    /// its color: every transfer *into* that color gains an extra
+    /// positive-feedback partner keyed on the driver's sharpener dimer.
+    ///
+    /// This is the paper's cross-coupled feedback
+    /// (`I_{G,j} + R_i → 2G_j + G_i`), restricted to one designated
+    /// partner per phase. With a clock ring as the driver set, the clock's
+    /// large token ignites every phase crisply and then drives *all*
+    /// same-phase datapath transfers at full speed — including transfers
+    /// of quantities far too small to ignite feedback of their own
+    /// (small-signal transfers otherwise crawl at the indicator-
+    /// equilibrium floor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `species` is not colored `color` (a driver must belong to
+    /// the phase it drives).
+    pub fn set_phase_driver(&mut self, color: Color, species: SpeciesId) {
+        assert_eq!(
+            self.color_of(species),
+            Some(color),
+            "a phase driver must be colored with its own phase"
+        );
+        self.phase_drivers[color.index()] = Some(species);
+    }
+
+    /// Declares a gated, sharpened transfer of the whole quantity of `src`
+    /// into `products` (each product receives `multiplicity ×` the source
+    /// quantity).
+    ///
+    /// The transfer fires during `color(src)`'s phase, gated on the absence
+    /// indicator of `color(src).prev()`. Products are typically of color
+    /// `color(src).next()` or uncolored (sinks); this is not enforced, but
+    /// a product of the *same* color as the source would never drain.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UncoloredSource`] if `src` has no color.
+    pub fn transfer(
+        &mut self,
+        src: SpeciesId,
+        products: &[(SpeciesId, u32)],
+        label: &str,
+    ) -> Result<(), SyncError> {
+        self.push_transfer(src, products, None, label)
+    }
+
+    /// Like [`transfer`](Self::transfer), but the positive feedback senses
+    /// the accumulation of `proxy` instead of the primary destination.
+    ///
+    /// Use this whenever the destination is a *staging* species that fast
+    /// reactions consume immediately (scaling stages, fan-out values): the
+    /// staging species never accumulates, so feedback keyed on it would
+    /// never ignite and the transfer would be limited by the zero-order
+    /// indicator supply. The proxy should be the first species downstream
+    /// of the staging chain that holds quantity for the rest of the phase.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UncoloredSource`] if `src` has no color.
+    pub fn transfer_sharpened_by(
+        &mut self,
+        src: SpeciesId,
+        products: &[(SpeciesId, u32)],
+        proxy: SpeciesId,
+        label: &str,
+    ) -> Result<(), SyncError> {
+        self.push_transfer(src, products, Some(proxy), label)
+    }
+
+    fn push_transfer(
+        &mut self,
+        src: SpeciesId,
+        products: &[(SpeciesId, u32)],
+        proxy: Option<SpeciesId>,
+        label: &str,
+    ) -> Result<(), SyncError> {
+        let src_color = self
+            .color_of(src)
+            .ok_or_else(|| SyncError::UncoloredSource {
+                name: self.crn.species_name(src).to_owned(),
+            })?;
+        self.transfers.push(Transfer {
+            src,
+            src_color,
+            products: products.to_vec(),
+            proxy,
+            label: label.to_owned(),
+        });
+        Ok(())
+    }
+
+    /// Adds a *catalytic transfer*: `ind + src → ind + products` (fast),
+    /// with the indicator of `color(src).prev()` as a catalyst.
+    ///
+    /// Compared with the seed + dimer-feedback form
+    /// ([`transfer`](Self::transfer)), the catalytic form needs no
+    /// accumulating destination to ignite — it runs at full speed the
+    /// moment its gate indicator exists. The price is a small leak: while
+    /// the gating category is still occupied, the indicator sits at its
+    /// suppressed equilibrium `k_slow/(k_fast·Σ)` and the transfer
+    /// trickles at `k_slow·[src]/Σ`. Use it where that leak is harmless —
+    /// register read-out rotations (the leaked value is the one the next
+    /// phase would read anyway) and stage crossings (leaked quantity joins
+    /// the same downstream flow) — and keep the dimer form for commits,
+    /// where leakage would bleed one cycle into the previous one.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UncoloredSource`] if `src` has no color.
+    pub fn transfer_catalytic(
+        &mut self,
+        src: SpeciesId,
+        products: &[(SpeciesId, u32)],
+        label: &str,
+    ) -> Result<(), SyncError> {
+        let src_color = self
+            .color_of(src)
+            .ok_or_else(|| SyncError::UncoloredSource {
+                name: self.crn.species_name(src).to_owned(),
+            })?;
+        let gate = self.indicators[src_color.prev().index()];
+        let mut all_products: Vec<(SpeciesId, u32)> = vec![(gate, 1)];
+        all_products.extend_from_slice(products);
+        self.crn.reaction_labeled(
+            &[(gate, 1), (src, 1)],
+            &all_products,
+            Rate::Fast,
+            format!("catalytic {label}"),
+        )?;
+        Ok(())
+    }
+
+    /// Adds a *gated fast drain*: `ind + src → dst + ind` (fast), with the
+    /// indicator of `color(src).prev()` as a catalyst.
+    ///
+    /// This is the right primitive for **terminal** hops — output
+    /// accumulators, waste sinks, residue disposal — where the quantity's
+    /// destination is outside the color system. It is phase-disciplined
+    /// (the catalyst only exists once the previous category has drained),
+    /// completes fast (no zero-order indicator budget is consumed), and
+    /// cannot leak across cycles the way an accumulator-keyed sharpener
+    /// would: the catalyst vanishes whenever the gating category refills.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UncoloredSource`] if `src` has no color.
+    pub fn gated_drain(
+        &mut self,
+        src: SpeciesId,
+        dst: SpeciesId,
+        label: &str,
+    ) -> Result<(), SyncError> {
+        let src_color = self
+            .color_of(src)
+            .ok_or_else(|| SyncError::UncoloredSource {
+                name: self.crn.species_name(src).to_owned(),
+            })?;
+        let gate = self.indicators[src_color.prev().index()];
+        self.crn.reaction_labeled(
+            &[(gate, 1), (src, 1)],
+            &[(gate, 1), (dst, 1)],
+            Rate::Fast,
+            format!("gated drain {label}"),
+        )?;
+        Ok(())
+    }
+
+    /// Adds an ungated fast reaction — the within-stage combinational
+    /// operations (summing transfers, pairing/halving, clamped subtraction,
+    /// annihilation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors for invalid terms.
+    pub fn fast(
+        &mut self,
+        reactants: &[(SpeciesId, u32)],
+        products: &[(SpeciesId, u32)],
+        label: &str,
+    ) -> Result<(), SyncError> {
+        self.crn
+            .reaction_labeled(reactants, products, Rate::Fast, label)?;
+        Ok(())
+    }
+
+    /// Records an initial quantity for a species (emitted with
+    /// [`finish`](Self::finish)).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::InvalidAmount`] if the amount is negative or not finite.
+    pub fn set_initial(&mut self, species: SpeciesId, amount: f64) -> Result<(), SyncError> {
+        if !(amount.is_finite() && amount >= 0.0) {
+            return Err(SyncError::InvalidAmount { value: amount });
+        }
+        self.initial.push((species, amount));
+        Ok(())
+    }
+
+    /// Direct access to the underlying network (for inspection; reactions
+    /// added here bypass the scheme bookkeeping).
+    #[must_use]
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// Emits the indicator machinery and all declared transfers, returning
+    /// the finished network and the recorded initial quantities.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors (which indicate a bug in a
+    /// construct rather than user error).
+    pub fn finish(mut self) -> Result<(Crn, Vec<(SpeciesId, f64)>), SyncError> {
+        // (1) indicator sources and absorption
+        for color in Color::ALL {
+            let ind = self.indicators[color.index()];
+            self.crn.reaction_labeled(
+                &[],
+                &[(ind, 1)],
+                Rate::Slow,
+                format!("indicator source {}", color.indicator_name()),
+            )?;
+            for &s in &self.colored[color.index()] {
+                self.crn.reaction_labeled(
+                    &[(ind, 1), (s, 1)],
+                    &[(s, 1)],
+                    Rate::Fast,
+                    format!(
+                        "absorb {} by {}",
+                        color.indicator_name(),
+                        self.crn.species_name(s).to_owned()
+                    ),
+                )?;
+            }
+        }
+
+        // (4)–(6) seeds, plus (2)–(3) sharpeners
+        let mut sharpeners: HashMap<SpeciesId, SpeciesId> = HashMap::new();
+        let transfers = std::mem::take(&mut self.transfers);
+
+        // First pass: create sharpener intermediates for every primary
+        // destination (needed before cross-coupling can reference them).
+        // The dimer intermediate holds `(k_slow/k_fast)·T²` of quantity in
+        // fast equilibrium — about 8% at amplitude 100 under the default
+        // rates. This is not a loss: `T + 2·I[T]` is exact at all times
+        // (see `stored_value_terms`), and the share re-releases as `T`
+        // drains. Without the sharpener, a transfer's throughput would be
+        // capped by the zero-order indicator supply (one quantity unit per
+        // `1/k_slow`), making phase times linear in the transferred
+        // amount.
+        let proxy_of = |t: &Transfer| -> Option<SpeciesId> {
+            t.proxy.or_else(|| t.products.first().map(|&(d, _)| d))
+        };
+        if self.config.sharpeners {
+            for t in &transfers {
+                let Some(proxy) = proxy_of(t) else { continue };
+                // Only *colored* proxies may carry feedback: a colored
+                // species empties every cycle, so no stale intermediate
+                // survives into the next one. An accumulator proxy would
+                // keep its dimer alive across cycles and the (ungated)
+                // feedback reaction would let later waves bypass the phase
+                // gates. Terminal hops should use `gated_drain` instead.
+                if sharpeners.contains_key(&proxy) || self.color_of(proxy).is_none() {
+                    continue;
+                }
+                let proxy_name = self.crn.species_name(proxy).to_owned();
+                let i_proxy = self.crn.species(format!("I[{proxy_name}]"));
+                self.crn.reaction_labeled(
+                    &[(proxy, 2)],
+                    &[(i_proxy, 1)],
+                    Rate::Slow,
+                    format!("sharpener dimerize {proxy_name}"),
+                )?;
+                self.crn.reaction_labeled(
+                    &[(i_proxy, 1)],
+                    &[(proxy, 2)],
+                    Rate::Fast,
+                    format!("sharpener release {proxy_name}"),
+                )?;
+                sharpeners.insert(proxy, i_proxy);
+            }
+        }
+
+        for t in &transfers {
+            let gate = self.indicators[t.src_color.prev().index()];
+            self.crn.reaction_labeled(
+                &[(gate, 1), (t.src, 1)],
+                &t.products,
+                Rate::Slow,
+                format!("seed {}", t.label),
+            )?;
+            if !self.config.sharpeners {
+                continue;
+            }
+            // Feedback partners: own proxy, the phase driver of the
+            // destination color, and (full coupling) every sharpened
+            // proxy whose transfer fires in the same phase.
+            let mut partners: Vec<SpeciesId> = if self.config.full_coupling {
+                transfers
+                    .iter()
+                    .filter(|u| u.src_color == t.src_color)
+                    .filter_map(proxy_of)
+                    .filter(|d| sharpeners.contains_key(d))
+                    .collect()
+            } else {
+                proxy_of(t)
+                    .into_iter()
+                    .filter(|d| sharpeners.contains_key(d))
+                    .collect()
+            };
+            if let Some(driver) = self.phase_drivers[t.src_color.next().index()] {
+                if sharpeners.contains_key(&driver) {
+                    partners.push(driver);
+                }
+            }
+            let mut seen = Vec::new();
+            for proxy in partners {
+                if seen.contains(&proxy) {
+                    continue;
+                }
+                seen.push(proxy);
+                let i_proxy = sharpeners[&proxy];
+                // I_proxy + src → products + 2·proxy: the feedback senses
+                // the proxy's accumulation and regenerates it, conserving
+                // quantity exactly.
+                let mut products = t.products.clone();
+                products.push((proxy, 2));
+                self.crn.reaction_labeled(
+                    &[(i_proxy, 1), (t.src, 1)],
+                    &products,
+                    Rate::Fast,
+                    format!(
+                        "feedback {} via {}",
+                        t.label,
+                        self.crn.species_name(proxy).to_owned()
+                    ),
+                )?;
+            }
+        }
+
+        // Deduplicate initial quantities (last set wins).
+        let mut merged: Vec<(SpeciesId, f64)> = Vec::new();
+        for (s, amount) in std::mem::take(&mut self.initial) {
+            if let Some(entry) = merged.iter_mut().find(|(id, _)| *id == s) {
+                entry.1 = amount;
+            } else {
+                merged.push((s, amount));
+            }
+        }
+        Ok((self.crn, merged))
+    }
+
+    /// Lists colored species that have neither an outgoing transfer nor any
+    /// consuming fast reaction — such species would trap quantity in their
+    /// category and stall the rotation forever. Useful in construct tests.
+    #[must_use]
+    pub fn stall_risks(&self) -> Vec<String> {
+        let mut consumed: Vec<bool> = vec![false; self.crn.species_count()];
+        for t in &self.transfers {
+            consumed[t.src.index()] = true;
+        }
+        for r in self.crn.reactions() {
+            for term in r.reactants() {
+                if r.net_change(term.species) < 0 {
+                    consumed[term.species.index()] = true;
+                }
+            }
+        }
+        self.colors
+            .keys()
+            .filter(|id| !consumed[id.index()])
+            .map(|id| self.crn.species_name(*id).to_owned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> SchemeBuilder {
+        let mut b = SchemeBuilder::new(SchemeConfig::default());
+        let r = b.signal("R", Color::Red).unwrap();
+        let g = b.signal("G", Color::Green).unwrap();
+        let blue = b.signal("B", Color::Blue).unwrap();
+        b.transfer(r, &[(g, 1)], "R->G").unwrap();
+        b.transfer(g, &[(blue, 1)], "G->B").unwrap();
+        b.transfer(blue, &[(r, 1)], "B->R").unwrap();
+        b
+    }
+
+    #[test]
+    fn ring_emits_expected_reaction_counts() {
+        let b = ring();
+        let (crn, _) = b.finish().unwrap();
+        // 3 indicator sources + 3 absorptions + 3 seeds
+        // + 3 sharpener pairs (6) + 3 feedback = 18
+        assert_eq!(crn.reactions().len(), 18);
+        assert!(crn.find_species("I[G]").is_some());
+    }
+
+    #[test]
+    fn no_sharpeners_halves_the_machinery() {
+        let mut b = SchemeBuilder::new(SchemeConfig {
+            sharpeners: false,
+            full_coupling: false,
+        });
+        let r = b.signal("R", Color::Red).unwrap();
+        let g = b.signal("G", Color::Green).unwrap();
+        b.transfer(r, &[(g, 1)], "R->G").unwrap();
+        let (crn, _) = b.finish().unwrap();
+        // 3 sources + 2 absorptions + 1 seed
+        assert_eq!(crn.reactions().len(), 6);
+        assert!(crn.find_species("I[G]").is_none());
+    }
+
+    #[test]
+    fn full_coupling_adds_cross_terms() {
+        let build = |full| {
+            let mut b = SchemeBuilder::new(SchemeConfig {
+                sharpeners: true,
+                full_coupling: full,
+            });
+            // two independent red→green transfers in the same phase
+            let r1 = b.signal("R1", Color::Red).unwrap();
+            let r2 = b.signal("R2", Color::Red).unwrap();
+            let g1 = b.signal("G1", Color::Green).unwrap();
+            let g2 = b.signal("G2", Color::Green).unwrap();
+            b.transfer(r1, &[(g1, 1)], "1").unwrap();
+            b.transfer(r2, &[(g2, 1)], "2").unwrap();
+            // drain greens so stall check stays clean
+            let w = b.uncolored("waste");
+            b.transfer(g1, &[(w, 1)], "d1").unwrap();
+            b.transfer(g2, &[(w, 1)], "d2").unwrap();
+            let (crn, _) = b.finish().unwrap();
+            crn.reactions().len()
+        };
+        let self_only = build(false);
+        let full = build(true);
+        assert!(full > self_only, "{full} vs {self_only}");
+    }
+
+    #[test]
+    fn color_conflict_is_rejected() {
+        let mut b = SchemeBuilder::new(SchemeConfig::default());
+        b.signal("X", Color::Red).unwrap();
+        assert!(matches!(
+            b.signal("X", Color::Blue),
+            Err(SyncError::ColorConflict { .. })
+        ));
+        // same color is fine and returns the same id
+        let again = b.signal("X", Color::Red).unwrap();
+        assert_eq!(b.color_of(again), Some(Color::Red));
+    }
+
+    #[test]
+    fn transfer_requires_colored_source() {
+        let mut b = SchemeBuilder::new(SchemeConfig::default());
+        let w = b.uncolored("w");
+        let x = b.signal("X", Color::Red).unwrap();
+        assert!(matches!(
+            b.transfer(w, &[(x, 1)], "bad"),
+            Err(SyncError::UncoloredSource { .. })
+        ));
+    }
+
+    #[test]
+    fn stall_risks_finds_trapped_species() {
+        let mut b = SchemeBuilder::new(SchemeConfig::default());
+        let r = b.signal("R", Color::Red).unwrap();
+        let g = b.signal("G", Color::Green).unwrap();
+        b.transfer(r, &[(g, 1)], "R->G").unwrap();
+        // G has no outgoing transfer and no fast consumer
+        let risks = b.stall_risks();
+        assert_eq!(risks, vec!["G".to_owned()]);
+        // a fast consumer clears the risk
+        let w = b.uncolored("w");
+        b.fast(&[(g, 2)], &[(w, 1)], "pair away").unwrap();
+        assert!(b.stall_risks().is_empty());
+    }
+
+    #[test]
+    fn initial_values_deduplicate() {
+        let mut b = ring();
+        let r = b.signal("R", Color::Red).unwrap();
+        b.set_initial(r, 50.0).unwrap();
+        b.set_initial(r, 80.0).unwrap();
+        let (_, init) = b.finish().unwrap();
+        assert_eq!(init, vec![(r, 80.0)]);
+    }
+
+    #[test]
+    fn invalid_initial_amount_is_rejected() {
+        let mut b = ring();
+        let r = b.signal("R", Color::Red).unwrap();
+        assert!(matches!(
+            b.set_initial(r, f64::NAN),
+            Err(SyncError::InvalidAmount { .. })
+        ));
+    }
+
+    #[test]
+    fn gated_drain_is_catalytic_and_fast() {
+        let mut b = SchemeBuilder::new(SchemeConfig::default());
+        let blue = b.signal("B", Color::Blue).unwrap();
+        let y = b.uncolored("Y");
+        b.gated_drain(blue, y, "out").unwrap();
+        let (crn, _) = b.finish().unwrap();
+        let drain = crn
+            .reactions()
+            .iter()
+            .position(|r| r.label() == Some("gated drain out"))
+            .expect("drain exists");
+        let r = &crn.reactions()[drain];
+        assert_eq!(r.rate(), molseq_crn::Rate::Fast);
+        // the gate indicator (g, for a blue source) is catalytic
+        let g = crn.find_species("g").unwrap();
+        assert!(r.is_catalyst(g));
+        assert_eq!(r.net_change(blue), -1);
+        assert_eq!(r.net_change(y), 1);
+    }
+
+    #[test]
+    fn catalytic_transfer_preserves_gate() {
+        let mut b = SchemeBuilder::new(SchemeConfig::default());
+        let red = b.signal("R", Color::Red).unwrap();
+        let green = b.signal("G", Color::Green).unwrap();
+        let w = b.uncolored("w");
+        b.transfer_catalytic(red, &[(green, 1)], "R->G").unwrap();
+        b.gated_drain(green, w, "g out").unwrap();
+        let (crn, _) = b.finish().unwrap();
+        let t = crn
+            .reactions()
+            .iter()
+            .find(|r| r.label() == Some("catalytic R->G"))
+            .expect("transfer exists");
+        let gate = crn.find_species("b").unwrap();
+        assert!(t.is_catalyst(gate), "gate must be preserved");
+        assert_eq!(t.net_change(red), -1);
+        assert_eq!(t.net_change(green), 1);
+    }
+
+    #[test]
+    fn uncolored_proxy_gets_no_sharpener() {
+        let mut b = SchemeBuilder::new(SchemeConfig::default());
+        let red = b.signal("R", Color::Red).unwrap();
+        let y = b.uncolored("Y");
+        b.transfer(red, &[(y, 1)], "to sink").unwrap();
+        let (crn, _) = b.finish().unwrap();
+        assert!(crn.find_species("I[Y]").is_none());
+        // the seed still exists
+        assert!(crn
+            .reactions()
+            .iter()
+            .any(|r| r.label() == Some("seed to sink")));
+    }
+
+    #[test]
+    fn explicit_proxy_receives_the_feedback() {
+        let mut b = SchemeBuilder::new(SchemeConfig::default());
+        let g1 = b.signal("G1", Color::Green).unwrap();
+        let staging = b.signal("Bs", Color::Blue).unwrap();
+        let accum = b.signal("B1", Color::Blue).unwrap();
+        let w = b.uncolored("w");
+        b.transfer_sharpened_by(g1, &[(staging, 1)], accum, "G->Bs").unwrap();
+        b.fast(&[(staging, 2)], &[(accum, 1)], "pair").unwrap();
+        b.gated_drain(accum, w, "out").unwrap();
+        let (crn, _) = b.finish().unwrap();
+        assert!(crn.find_species("I[B1]").is_some(), "proxy dimer exists");
+        assert!(crn.find_species("I[Bs]").is_none(), "staging has no dimer");
+    }
+
+    #[test]
+    fn indicators_exist_per_color() {
+        let b = SchemeBuilder::new(SchemeConfig::default());
+        for c in Color::ALL {
+            let ind = b.indicator(c);
+            assert_eq!(b.crn().species_name(ind), c.indicator_name());
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The compiled synchronous system: network + bookkeeping.
+
+use crate::SyncError;
+use molseq_crn::{Crn, CrnStats, SpeciesId};
+use molseq_kinetics::{Condition, State, Trigger};
+use std::collections::HashMap;
+
+/// Species handles of the embedded clock ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockHandles {
+    /// Red phase species.
+    pub red: SpeciesId,
+    /// Green phase species.
+    pub green: SpeciesId,
+    /// Blue phase species.
+    pub blue: SpeciesId,
+    /// Circulating token quantity.
+    pub token: f64,
+}
+
+/// Species handles of one register.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegisterHandles {
+    /// The red species holding the register value at cycle start.
+    pub red: SpeciesId,
+    /// The configured initial value.
+    pub init: f64,
+}
+
+/// A fully lowered synchronous circuit: the reaction network plus the
+/// handles needed to drive it (inject inputs per cycle, find cycle
+/// boundaries, read registers).
+///
+/// Produced by [`SyncCircuit::compile`](crate::SyncCircuit::compile);
+/// driven by [`run_cycles`](crate::run_cycles) or manually.
+#[derive(Debug, Clone)]
+pub struct CompiledSystem {
+    crn: Crn,
+    initial: Vec<(SpeciesId, f64)>,
+    clock: ClockHandles,
+    inputs: HashMap<String, SpeciesId>,
+    registers: HashMap<String, RegisterHandles>,
+    outputs: Vec<String>,
+}
+
+impl CompiledSystem {
+    pub(crate) fn new(
+        crn: Crn,
+        initial: Vec<(SpeciesId, f64)>,
+        clock: ClockHandles,
+        inputs: HashMap<String, SpeciesId>,
+        registers: HashMap<String, RegisterHandles>,
+        outputs: Vec<String>,
+    ) -> Self {
+        CompiledSystem {
+            crn,
+            initial,
+            clock,
+            inputs,
+            registers,
+            outputs,
+        }
+    }
+
+    /// The generated reaction network.
+    #[must_use]
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// Network size statistics (the construct-cost table of experiment E5).
+    #[must_use]
+    pub fn stats(&self) -> CrnStats {
+        CrnStats::of(&self.crn)
+    }
+
+    /// The clock species handles.
+    #[must_use]
+    pub fn clock(&self) -> ClockHandles {
+        self.clock
+    }
+
+    /// The initial state: register initial values in their red species and
+    /// the clock token in `clk.R`.
+    #[must_use]
+    pub fn initial_state(&self) -> State {
+        let mut s = State::new(&self.crn);
+        for &(species, amount) in &self.initial {
+            s.set(species, amount);
+        }
+        s
+    }
+
+    /// The injection species of an input port.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownPort`] if no such input exists.
+    pub fn input_species(&self, name: &str) -> Result<SpeciesId, SyncError> {
+        self.inputs
+            .get(name)
+            .copied()
+            .ok_or_else(|| SyncError::UnknownPort { name: name.into() })
+    }
+
+    /// The readable (red) species of an output port.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownPort`] if no such output exists.
+    pub fn output_species(&self, name: &str) -> Result<SpeciesId, SyncError> {
+        if !self.outputs.iter().any(|o| o == name) {
+            return Err(SyncError::UnknownPort { name: name.into() });
+        }
+        self.register_species(name)
+    }
+
+    /// The readable (red) species of any register (including outputs and
+    /// constants).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownPort`] if no such register exists.
+    pub fn register_species(&self, name: &str) -> Result<SpeciesId, SyncError> {
+        self.registers
+            .get(name)
+            .map(|h| h.red)
+            .ok_or_else(|| SyncError::UnknownPort { name: name.into() })
+    }
+
+    /// Names of all registers (including constants and output registers).
+    pub fn register_names(&self) -> impl Iterator<Item = &str> {
+        self.registers.keys().map(String::as_str)
+    }
+
+    /// Names of the declared output ports.
+    #[must_use]
+    pub fn output_names(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// Names of the declared input ports.
+    pub fn input_names(&self) -> impl Iterator<Item = &str> {
+        self.inputs.keys().map(String::as_str)
+    }
+
+    /// Adds `amount` of input `name` directly to a state — used to place a
+    /// sample before starting the simulation (cycle-0 input).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownPort`] if no such input exists;
+    /// [`SyncError::InvalidAmount`] for a bad amount.
+    pub fn inject_input(&self, state: &mut State, name: &str, amount: f64) -> Result<(), SyncError> {
+        if !(amount.is_finite() && amount >= 0.0) {
+            return Err(SyncError::InvalidAmount { value: amount });
+        }
+        let species = self.input_species(name)?;
+        state.add(species, amount);
+        Ok(())
+    }
+
+    /// Builds the per-cycle injection trigger for an input port: each time
+    /// the clock's green phase rises (the safe injection window, while the
+    /// blue→red commit is blocked), the next queued sample is added.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownPort`] if no such input exists.
+    pub fn input_trigger(&self, name: &str, samples: &[f64]) -> Result<Trigger, SyncError> {
+        let species = self.input_species(name)?;
+        // hysteresis: re-arm only once the green phase has clearly ended,
+        // so integer-count flicker around the firing threshold (under
+        // stochastic dynamics) cannot double-inject
+        Ok(Trigger::inject_queue(
+            self.injection_window(),
+            species,
+            samples.to_vec(),
+        )
+        .with_rearm(Condition::Below {
+            species: self.clock.green,
+            threshold: 0.2 * self.clock.token,
+        }))
+    }
+
+    /// The condition marking the safe injection window (clock green phase
+    /// high).
+    #[must_use]
+    pub fn injection_window(&self) -> Condition {
+        Condition::Above {
+            species: self.clock.green,
+            threshold: 0.5 * self.clock.token,
+        }
+    }
+
+    /// A trigger that marks the end of every clock cycle (the clock token
+    /// returning to red). The threshold is 0.8 of the token: the free red
+    /// strand peaks ~8% below the token, the rest riding the sharpener
+    /// dimer.
+    #[must_use]
+    pub fn cycle_marker(&self) -> Trigger {
+        Trigger::mark(Condition::Above {
+            species: self.clock.red,
+            threshold: 0.8 * self.clock.token,
+        })
+        .with_rearm(Condition::Below {
+            species: self.clock.red,
+            threshold: 0.2 * self.clock.token,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ClockSpec, SyncCircuit};
+
+    fn tiny() -> crate::CompiledSystem {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let d = c.delay("d", x);
+        c.output("y", d);
+        c.compile().unwrap()
+    }
+
+    #[test]
+    fn port_lookup_works() {
+        let sys = tiny();
+        assert!(sys.input_species("x").is_ok());
+        assert!(sys.input_species("nope").is_err());
+        assert!(sys.output_species("y").is_ok());
+        assert!(sys.output_species("d").is_err(), "d is a register, not an output");
+        assert!(sys.register_species("d").is_ok());
+        assert_eq!(sys.output_names(), &["y".to_owned()]);
+        assert_eq!(sys.input_names().count(), 1);
+        assert!(sys.register_names().count() >= 2);
+    }
+
+    #[test]
+    fn initial_state_has_clock_token() {
+        let sys = tiny();
+        let init = sys.initial_state();
+        assert_eq!(init.get(sys.clock().red), sys.clock().token);
+    }
+
+    #[test]
+    fn inject_input_validates() {
+        let sys = tiny();
+        let mut state = sys.initial_state();
+        assert!(sys.inject_input(&mut state, "x", 10.0).is_ok());
+        assert!(sys.inject_input(&mut state, "x", -1.0).is_err());
+        assert!(sys.inject_input(&mut state, "zz", 1.0).is_err());
+        let x = sys.input_species("x").unwrap();
+        assert_eq!(state.get(x), 10.0);
+    }
+
+    #[test]
+    fn triggers_reference_clock_species() {
+        let sys = tiny();
+        let trigger = sys.input_trigger("x", &[1.0, 2.0]).unwrap();
+        // the trigger watches the clock's green phase
+        match trigger.condition {
+            molseq_kinetics::Condition::Above { species, threshold } => {
+                assert_eq!(species, sys.clock().green);
+                assert_eq!(threshold, 50.0);
+            }
+            _ => panic!("unexpected condition"),
+        }
+        let marker = sys.cycle_marker();
+        match marker.condition {
+            molseq_kinetics::Condition::Above { species, .. } => {
+                assert_eq!(species, sys.clock().red);
+            }
+            _ => panic!("unexpected condition"),
+        }
+    }
+
+    #[test]
+    fn stats_reflect_network_size() {
+        let sys = tiny();
+        let stats = sys.stats();
+        assert!(stats.species > 5);
+        assert!(stats.reactions > 10);
+        assert!(stats.slow >= 3, "indicator sources are slow");
+    }
+}

@@ -1,0 +1,344 @@
+//! Structural analysis: stoichiometry, conservation laws, size statistics.
+//!
+//! Conservation laws matter in this workspace because the synchronous scheme
+//! is built on *quantity transfer*: a delay chain conserves total signal
+//! quantity across its color categories (modulo external sources and sinks),
+//! and the test suites use [`conservation_laws`] to verify that generated
+//! constructs really do.
+
+// The elimination code follows the usual matrix-index notation.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{Crn, Rate};
+use serde::{Deserialize, Serialize};
+
+/// The net stoichiometry matrix `S` of a network: `S[i][j]` is the net
+/// change of species `i` when reaction `j` fires once.
+///
+/// Rows are indexed by [`SpeciesId::index`](crate::SpeciesId::index), columns by reaction index.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::{stoichiometry_matrix, Crn};
+///
+/// let crn: Crn = "X -> Y @slow".parse().unwrap();
+/// let s = stoichiometry_matrix(&crn);
+/// assert_eq!(s, vec![vec![-1], vec![1]]);
+/// ```
+#[must_use]
+pub fn stoichiometry_matrix(crn: &Crn) -> Vec<Vec<i64>> {
+    let mut matrix = vec![vec![0i64; crn.reactions().len()]; crn.species_count()];
+    for (j, r) in crn.reactions().iter().enumerate() {
+        for s in r.species() {
+            matrix[s.index()][j] = r.net_change(s);
+        }
+    }
+    matrix
+}
+
+/// Computes a basis of integer conservation laws of the network: vectors
+/// `w` with `wᵀ · S = 0`, meaning the weighted sum `Σ w_i · [species_i]` is
+/// invariant under every reaction.
+///
+/// The basis is returned as integer weight vectors (one entry per species,
+/// scaled to smallest integers with positive leading entry). Networks with
+/// zero-order sources or annihilations typically conserve nothing; a closed
+/// delay ring conserves the total of its color triple.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::{conservation_laws, Crn};
+///
+/// // A one-element ring: R -> G -> B -> R. Total R+G+B is conserved.
+/// let crn: Crn = "R -> G @slow\nG -> B @slow\nB -> R @slow".parse().unwrap();
+/// let laws = conservation_laws(&crn);
+/// assert_eq!(laws, vec![vec![1, 1, 1]]);
+/// ```
+#[must_use]
+pub fn conservation_laws(crn: &Crn) -> Vec<Vec<i64>> {
+    // Solve wᵀ S = 0, i.e. Sᵀ w = 0: null space of the transpose,
+    // computed with exact rational arithmetic (i128 numerator/denominator
+    // pairs are avoided by scaling rows to integers after each elimination).
+    let n_species = crn.species_count();
+    let n_reactions = crn.reactions().len();
+    if n_species == 0 {
+        return Vec::new();
+    }
+    // rows: one per reaction (equations), columns: species (unknowns).
+    let mut rows: Vec<Vec<i128>> = Vec::with_capacity(n_reactions);
+    let s = stoichiometry_matrix(crn);
+    for j in 0..n_reactions {
+        rows.push((0..n_species).map(|i| i128::from(s[i][j])).collect());
+    }
+
+    // Integer Gaussian elimination to row echelon form.
+    let mut pivot_cols: Vec<usize> = Vec::new();
+    let mut rank = 0usize;
+    for col in 0..n_species {
+        let Some(pivot_row) = (rank..rows.len()).find(|&r| rows[r][col] != 0) else {
+            continue;
+        };
+        rows.swap(rank, pivot_row);
+        let pivot = rows[rank][col];
+        for r in 0..rows.len() {
+            if r != rank && rows[r][col] != 0 {
+                let factor = rows[r][col];
+                for c in 0..n_species {
+                    rows[r][c] = rows[r][c] * pivot - rows[rank][c] * factor;
+                }
+                reduce_row(&mut rows[r]);
+            }
+        }
+        reduce_row(&mut rows[rank]);
+        pivot_cols.push(col);
+        rank += 1;
+        if rank == rows.len() {
+            break;
+        }
+    }
+
+    // Free columns parameterize the null space.
+    let mut laws = Vec::new();
+    let is_pivot = |c: usize| pivot_cols.contains(&c);
+    for free in (0..n_species).filter(|&c| !is_pivot(c)) {
+        let mut w = vec![0i128; n_species];
+        w[free] = 1;
+        // Back-substitute. The elimination above cleared each pivot column
+        // from every other row, so for pivot row `r` with pivot column `pc`
+        // the equation reads `pivot·w[pc] + Σ_{free c} row[c]·w[c] = 0` —
+        // each equation is independent. Scale the whole vector whenever the
+        // division would not be exact, to stay in integers.
+        for (r, &pc) in pivot_cols.iter().enumerate() {
+            let pivot = rows[r][pc];
+            let rhs = |w: &[i128]| -> i128 {
+                (0..n_species)
+                    .filter(|&c| c != pc)
+                    .map(|c| rows[r][c] * w[c])
+                    .sum()
+            };
+            let value = rhs(&w);
+            if value % pivot != 0 {
+                let scale = pivot.abs() / gcd(value.abs(), pivot.abs());
+                for x in &mut w {
+                    *x *= scale;
+                }
+            }
+            let value = rhs(&w);
+            debug_assert_eq!(value % pivot, 0);
+            w[pc] = -value / pivot;
+        }
+        normalize(&mut w);
+        laws.push(w.iter().map(|&x| x as i64).collect());
+    }
+    laws
+}
+
+fn reduce_row(row: &mut [i128]) {
+    let mut g: i128 = 0;
+    for &x in row.iter() {
+        g = gcd(g, x.abs());
+    }
+    if g > 1 {
+        for x in row.iter_mut() {
+            *x /= g;
+        }
+    }
+}
+
+fn normalize(w: &mut [i128]) {
+    let mut g: i128 = 0;
+    for &x in w.iter() {
+        g = gcd(g, x.abs());
+    }
+    if g > 1 {
+        for x in w.iter_mut() {
+            *x /= g;
+        }
+    }
+    if let Some(first) = w.iter().find(|&&x| x != 0) {
+        if *first < 0 {
+            for x in w.iter_mut() {
+                *x = -*x;
+            }
+        }
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Size and shape statistics of a network, used by the construct-cost table
+/// (experiment E5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CrnStats {
+    /// Number of species.
+    pub species: usize,
+    /// Number of reactions.
+    pub reactions: usize,
+    /// Reactions in the fast category.
+    pub fast: usize,
+    /// Reactions in the slow category.
+    pub slow: usize,
+    /// Reactions with explicit rate constants.
+    pub fixed: usize,
+    /// Zero-order reactions (sources).
+    pub order0: usize,
+    /// Unimolecular reactions.
+    pub order1: usize,
+    /// Bimolecular reactions.
+    pub order2: usize,
+    /// Reactions of molecularity three or higher.
+    pub order3_plus: usize,
+}
+
+impl CrnStats {
+    /// Gathers statistics for a network.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use molseq_crn::{Crn, CrnStats};
+    ///
+    /// let crn: Crn = "0 -> r @slow\nr + R1 -> R1 @fast".parse().unwrap();
+    /// let stats = CrnStats::of(&crn);
+    /// assert_eq!(stats.species, 2);
+    /// assert_eq!(stats.order0, 1);
+    /// assert_eq!(stats.order2, 1);
+    /// ```
+    #[must_use]
+    pub fn of(crn: &Crn) -> Self {
+        let mut stats = CrnStats {
+            species: crn.species_count(),
+            reactions: crn.reactions().len(),
+            ..CrnStats::default()
+        };
+        for r in crn.reactions() {
+            match r.rate() {
+                Rate::Fast => stats.fast += 1,
+                Rate::Slow => stats.slow += 1,
+                Rate::Fixed(_) => stats.fixed += 1,
+            }
+            match r.order() {
+                0 => stats.order0 += 1,
+                1 => stats.order1 += 1,
+                2 => stats.order2 += 1,
+                _ => stats.order3_plus += 1,
+            }
+        }
+        stats
+    }
+}
+
+/// Evaluates a conservation law against a state vector: `Σ w_i · x_i`.
+///
+/// A helper for tests and experiment harnesses that watch invariants along a
+/// trajectory. `state` is indexed by [`SpeciesId::index`](crate::SpeciesId::index).
+///
+/// # Panics
+///
+/// Panics if `law` and `state` have different lengths.
+#[must_use]
+pub fn law_value(law: &[i64], state: &[f64]) -> f64 {
+    assert_eq!(law.len(), state.len(), "law and state must align");
+    law.iter()
+        .zip(state)
+        .map(|(&w, &x)| w as f64 * x)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_conserves_total() {
+        let crn: Crn = "R -> G @slow\nG -> B @slow\nB -> R @slow".parse().unwrap();
+        let laws = conservation_laws(&crn);
+        assert_eq!(laws, vec![vec![1, 1, 1]]);
+        assert_eq!(law_value(&laws[0], &[3.0, 4.0, 5.0]), 12.0);
+    }
+
+    #[test]
+    fn source_breaks_conservation() {
+        let crn: Crn = "0 -> X @slow".parse().unwrap();
+        assert!(conservation_laws(&crn).is_empty());
+    }
+
+    #[test]
+    fn two_independent_rings_give_two_laws() {
+        let crn: Crn = "A -> B @slow\nB -> A @slow\nC -> D @fast\nD -> C @fast"
+            .parse()
+            .unwrap();
+        let laws = conservation_laws(&crn);
+        assert_eq!(laws.len(), 2);
+        for law in &laws {
+            // each law is supported on exactly one ring
+            let nonzero: Vec<_> = law.iter().filter(|&&x| x != 0).collect();
+            assert_eq!(nonzero.len(), 2);
+            assert!(nonzero.iter().all(|&&x| x == 1));
+        }
+    }
+
+    #[test]
+    fn dimerization_weights_are_rational() {
+        // 2X -> Y conserves X + 2Y.
+        let crn: Crn = "2X -> Y @fast".parse().unwrap();
+        let laws = conservation_laws(&crn);
+        assert_eq!(laws, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn catalyst_is_conserved_alone() {
+        let crn: Crn = "C + X -> C + Y @slow".parse().unwrap();
+        let laws = conservation_laws(&crn);
+        // C alone, and X+Y, in some basis order
+        assert_eq!(laws.len(), 2);
+        let total: Vec<i64> = laws.iter().fold(vec![0; 3], |mut acc, law| {
+            for (a, &l) in acc.iter_mut().zip(law) {
+                *a += l;
+            }
+            acc
+        });
+        // Both C and X+Y conserved => some combination covers all three species.
+        assert!(total.iter().all(|&x| x > 0));
+    }
+
+    #[test]
+    fn stats_count_categories_and_orders() {
+        let crn: Crn = "0 -> r @slow\nA -> B @fast\nA + B -> C @fast\n3A -> C @2.0"
+            .parse()
+            .unwrap();
+        let stats = CrnStats::of(&crn);
+        assert_eq!(stats.reactions, 4);
+        assert_eq!(stats.fast, 2);
+        assert_eq!(stats.slow, 1);
+        assert_eq!(stats.fixed, 1);
+        assert_eq!(stats.order0, 1);
+        assert_eq!(stats.order1, 1);
+        assert_eq!(stats.order2, 1);
+        assert_eq!(stats.order3_plus, 1);
+    }
+
+    #[test]
+    fn empty_network_has_no_laws() {
+        let crn = Crn::new();
+        assert!(conservation_laws(&crn).is_empty());
+    }
+
+    #[test]
+    fn stoichiometry_matrix_shape() {
+        let crn: Crn = "X + Y -> Z @fast\nZ -> X @slow".parse().unwrap();
+        let s = stoichiometry_matrix(&crn);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], vec![-1, 1]); // X
+        assert_eq!(s[1], vec![-1, 0]); // Y
+        assert_eq!(s[2], vec![1, -1]); // Z
+    }
+}

@@ -1,0 +1,110 @@
+//! Graphviz export of reaction networks.
+//!
+//! The generated graph is bipartite: elliptical species nodes and square
+//! reaction nodes, with reactant edges into reactions and product edges
+//! out. Catalysts (net-zero species on the reactant side) get dashed
+//! edges. Render with `dot -Tsvg network.dot -o network.svg`.
+
+use crate::{Crn, Rate};
+use std::fmt::Write as _;
+
+/// Renders the network in Graphviz `dot` syntax.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::{to_dot, Crn};
+///
+/// let crn: Crn = "X + C -> Y + C @fast".parse().unwrap();
+/// let dot = to_dot(&crn);
+/// assert!(dot.starts_with("digraph crn {"));
+/// assert!(dot.contains("\"X\""));
+/// assert!(dot.contains("style=dashed")); // the catalyst edge
+/// ```
+#[must_use]
+pub fn to_dot(crn: &Crn) -> String {
+    let mut out = String::from("digraph crn {\n  rankdir=LR;\n  node [fontsize=10];\n");
+    for (_, species) in crn.species_iter() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=ellipse];",
+            escape(species.name())
+        );
+    }
+    for (j, reaction) in crn.reactions().iter().enumerate() {
+        let color = match reaction.rate() {
+            Rate::Fast => "firebrick",
+            Rate::Slow => "steelblue",
+            Rate::Fixed(_) => "darkgreen",
+        };
+        let label = reaction
+            .label()
+            .map_or_else(|| format!("r{j}"), |l| format!("r{j}: {l}"));
+        let _ = writeln!(
+            out,
+            "  r{j} [shape=box, color={color}, label=\"{}\"];",
+            escape(&label)
+        );
+        for term in reaction.reactants() {
+            let style = if reaction.is_catalyst(term.species) {
+                ", style=dashed"
+            } else {
+                ""
+            };
+            let weight = if term.stoich > 1 {
+                format!(", label=\"{}\"", term.stoich)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> r{j} [color={color}{style}{weight}];",
+                escape(crn.species_name(term.species))
+            );
+        }
+        for term in reaction.products() {
+            let weight = if term.stoich > 1 {
+                format!(", label=\"{}\"", term.stoich)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "  r{j} -> \"{}\" [color={color}{weight}];",
+                escape(crn.species_name(term.species))
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_species_and_reactions() {
+        let crn: Crn = "0 -> r @slow\n2X -> Y @fast".parse().unwrap();
+        let dot = to_dot(&crn);
+        assert!(dot.contains("\"r\" [shape=ellipse]"));
+        assert!(dot.contains("r0 [shape=box, color=steelblue"));
+        assert!(dot.contains("r1 [shape=box, color=firebrick"));
+        // stoichiometry 2 labels the edge
+        assert!(dot.contains("label=\"2\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let mut crn = Crn::new();
+        let x = crn.species("weird\"name");
+        crn.reaction(&[(x, 1)], &[], crate::Rate::Fast).unwrap();
+        let dot = to_dot(&crn);
+        assert!(dot.contains("weird\\\"name"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for network construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing or validating a network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CrnError {
+    /// A [`SpeciesId`](crate::SpeciesId) did not belong to the network it was
+    /// used with.
+    UnknownSpecies {
+        /// The raw index of the offending id.
+        index: usize,
+        /// How many species the network actually has.
+        species_count: usize,
+    },
+    /// A reaction was declared with no reactants and no products.
+    EmptyReaction,
+    /// A stoichiometric coefficient of zero was supplied.
+    ZeroStoichiometry {
+        /// The species whose coefficient was zero.
+        species: String,
+    },
+    /// A rate constant was not finite and strictly positive, or a fast/slow
+    /// assignment was inverted.
+    InvalidRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// The reaction text could not be parsed.
+    Parse {
+        /// Line number (1-based) within the parsed text.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CrnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrnError::UnknownSpecies {
+                index,
+                species_count,
+            } => write!(
+                f,
+                "species index {index} is out of range for a network with {species_count} species"
+            ),
+            CrnError::EmptyReaction => {
+                f.write_str("reaction has neither reactants nor products")
+            }
+            CrnError::ZeroStoichiometry { species } => {
+                write!(f, "stoichiometric coefficient of `{species}` is zero")
+            }
+            CrnError::InvalidRate { value } => {
+                write!(f, "rate constant {value} is not finite and positive, or fast < slow")
+            }
+            CrnError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CrnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            CrnError::UnknownSpecies {
+                index: 9,
+                species_count: 3,
+            },
+            CrnError::EmptyReaction,
+            CrnError::ZeroStoichiometry {
+                species: "X".into(),
+            },
+            CrnError::InvalidRate { value: -1.0 },
+            CrnError::Parse {
+                line: 2,
+                message: "missing arrow".into(),
+            },
+        ];
+        for e in errors {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<CrnError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! # molseq-crn — chemical reaction network data model
+//!
+//! This crate is the foundation of the `molseq` workspace. It defines the
+//! vocabulary everything else speaks:
+//!
+//! * [`SpeciesId`] / [`Species`] — interned molecular types,
+//! * [`Reaction`] — a mass-action reaction with integer stoichiometry,
+//! * [`Rate`] — a *coarse* rate category (`Fast`, `Slow`, or `Fixed`),
+//!   following the paper's central design rule that correctness must depend
+//!   only on "fast ≫ slow", never on specific kinetic constants,
+//! * [`RateAssignment`] — a numeric interpretation of the categories chosen
+//!   at simulation time, so one network can be swept across rate ratios,
+//! * [`Crn`] — the network itself, with a builder API and a text parser.
+//!
+//! The crate deliberately contains **no kinetics**: simulation lives in
+//! `molseq-kinetics`, construction idioms in `molseq-modules` and
+//! `molseq-sync`.
+//!
+//! ## Example
+//!
+//! ```
+//! use molseq_crn::{Crn, Rate};
+//!
+//! # fn main() -> Result<(), molseq_crn::CrnError> {
+//! let mut crn = Crn::new();
+//! let x = crn.species("X");
+//! let y = crn.species("Y");
+//! crn.reaction(&[(x, 1)], &[(y, 1)], Rate::Slow)?;
+//! assert_eq!(crn.reactions().len(), 1);
+//!
+//! // The same network, from text:
+//! let parsed: Crn = "X -> Y @slow".parse()?;
+//! assert_eq!(parsed.reactions().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod dot;
+mod error;
+mod network;
+mod parse;
+mod perturb;
+mod rate;
+mod reach;
+mod reaction;
+mod species;
+
+pub use analysis::{conservation_laws, law_value, stoichiometry_matrix, CrnStats};
+pub use dot::to_dot;
+pub use error::CrnError;
+pub use network::Crn;
+pub use parse::parse_reactions;
+pub use perturb::{JitterSpec, RateJitter};
+pub use rate::{Rate, RateAssignment};
+pub use reach::{reachable_species, unreachable_species};
+pub use reaction::{Reaction, Term};
+pub use species::{Species, SpeciesId};

@@ -1,0 +1,438 @@
+//! The chemical reaction network container.
+
+use crate::reaction::{Reaction, Term};
+use crate::{CrnError, Rate, Species, SpeciesId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A chemical reaction network: a set of interned species and a list of
+/// mass-action reactions over them.
+///
+/// `Crn` is the unit of composition in this workspace. Construct builders
+/// (delay elements, clocks, combinational modules, compiled strand
+/// displacement systems) all *append* species and reactions to a `Crn`;
+/// simulators consume a finished `Crn` by value or reference.
+///
+/// # Examples
+///
+/// Building the absence-indicator idiom from the paper by hand:
+///
+/// ```
+/// use molseq_crn::{Crn, Rate};
+///
+/// # fn main() -> Result<(), molseq_crn::CrnError> {
+/// let mut crn = Crn::new();
+/// let r = crn.species("r");     // absence indicator for the red category
+/// let red = crn.species("R1");  // a red signal species
+///
+/// crn.reaction(&[], &[(r, 1)], Rate::Slow)?;            // ∅ → r   (slow source)
+/// crn.reaction(&[(r, 1), (red, 1)], &[(red, 1)], Rate::Fast)?; // r + R1 → R1
+/// assert_eq!(crn.species_count(), 2);
+/// assert_eq!(crn.reactions().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Crn {
+    species: Vec<Species>,
+    index: HashMap<String, SpeciesId>,
+    reactions: Vec<Reaction>,
+}
+
+impl Crn {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Crn::default()
+    }
+
+    /// Returns the id for `name`, registering the species if it is new.
+    ///
+    /// Species are interned: calling this twice with the same name returns
+    /// the same id.
+    pub fn species(&mut self, name: impl AsRef<str>) -> SpeciesId {
+        let name = name.as_ref();
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = SpeciesId::from_index(self.species.len());
+        self.species.push(Species::new(name));
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a species by name without registering it.
+    #[must_use]
+    pub fn find_species(&self, name: &str) -> Option<SpeciesId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of a registered species.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    #[must_use]
+    pub fn species_name(&self, id: SpeciesId) -> &str {
+        self.species[id.index()].name()
+    }
+
+    /// Number of registered species.
+    #[must_use]
+    pub fn species_count(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Iterates over `(id, species)` pairs in registration order.
+    pub fn species_iter(&self) -> impl Iterator<Item = (SpeciesId, &Species)> {
+        self.species
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SpeciesId::from_index(i), s))
+    }
+
+    /// All ids, in registration order.
+    pub fn species_ids(&self) -> impl Iterator<Item = SpeciesId> + '_ {
+        (0..self.species.len()).map(SpeciesId::from_index)
+    }
+
+    /// The reactions added so far, in insertion order.
+    #[must_use]
+    pub fn reactions(&self) -> &[Reaction] {
+        &self.reactions
+    }
+
+    /// Adds a reaction and returns its index.
+    ///
+    /// Terms are given as `(species, stoichiometry)` pairs; duplicates are
+    /// merged and sides are canonicalized (see [`Reaction`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`CrnError::EmptyReaction`] if both sides are empty.
+    /// * [`CrnError::ZeroStoichiometry`] if any coefficient is zero.
+    /// * [`CrnError::UnknownSpecies`] if an id is out of range for this
+    ///   network.
+    /// * [`CrnError::InvalidRate`] if a [`Rate::Fixed`] constant is not
+    ///   finite and positive.
+    pub fn reaction(
+        &mut self,
+        reactants: &[(SpeciesId, u32)],
+        products: &[(SpeciesId, u32)],
+        rate: Rate,
+    ) -> Result<usize, CrnError> {
+        self.add_reaction(reactants, products, rate, None)
+    }
+
+    /// Adds a reaction carrying a label (used in diagnostics and listings).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Crn::reaction`].
+    pub fn reaction_labeled(
+        &mut self,
+        reactants: &[(SpeciesId, u32)],
+        products: &[(SpeciesId, u32)],
+        rate: Rate,
+        label: impl Into<String>,
+    ) -> Result<usize, CrnError> {
+        self.add_reaction(reactants, products, rate, Some(label.into()))
+    }
+
+    fn add_reaction(
+        &mut self,
+        reactants: &[(SpeciesId, u32)],
+        products: &[(SpeciesId, u32)],
+        rate: Rate,
+        label: Option<String>,
+    ) -> Result<usize, CrnError> {
+        if reactants.is_empty() && products.is_empty() {
+            return Err(CrnError::EmptyReaction);
+        }
+        if let Rate::Fixed(k) = rate {
+            if !(k.is_finite() && k > 0.0) {
+                return Err(CrnError::InvalidRate { value: k });
+            }
+        }
+        for &(id, stoich) in reactants.iter().chain(products.iter()) {
+            if id.index() >= self.species.len() {
+                return Err(CrnError::UnknownSpecies {
+                    index: id.index(),
+                    species_count: self.species.len(),
+                });
+            }
+            if stoich == 0 {
+                return Err(CrnError::ZeroStoichiometry {
+                    species: self.species_name(id).to_owned(),
+                });
+            }
+        }
+        let reaction = Reaction {
+            reactants: Reaction::canonicalize(reactants.iter().map(|&t| Term::from(t)).collect()),
+            products: Reaction::canonicalize(products.iter().map(|&t| Term::from(t)).collect()),
+            rate,
+            label,
+        };
+        self.reactions.push(reaction);
+        Ok(self.reactions.len() - 1)
+    }
+
+    /// Copies every species and reaction of `other` into `self`, renaming
+    /// each species `"X"` of `other` to `"{prefix}X"`.
+    ///
+    /// Returns the mapping from `other`'s species ids to the corresponding
+    /// ids in `self` (indexable by `other_id.index()`). Species that already
+    /// exist under the prefixed name are shared, which is how constructs are
+    /// wired together.
+    pub fn merge_prefixed(&mut self, other: &Crn, prefix: &str) -> Vec<SpeciesId> {
+        let map: Vec<SpeciesId> = other
+            .species
+            .iter()
+            .map(|s| self.species(format!("{prefix}{}", s.name())))
+            .collect();
+        for r in &other.reactions {
+            let remap = |terms: &[Term]| -> Vec<(SpeciesId, u32)> {
+                terms
+                    .iter()
+                    .map(|t| (map[t.species.index()], t.stoich))
+                    .collect()
+            };
+            let reactants = remap(&r.reactants);
+            let products = remap(&r.products);
+            self.add_reaction(&reactants, &products, r.rate, r.label.clone())
+                .expect("merging a valid network preserves validity");
+        }
+        map
+    }
+
+    /// Renders one reaction as text, e.g. `"X + 2Y -> Z @fast"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn format_reaction(&self, index: usize) -> String {
+        let r = &self.reactions[index];
+        let side = |terms: &[Term]| -> String {
+            if terms.is_empty() {
+                return "0".to_owned();
+            }
+            terms
+                .iter()
+                .map(|t| {
+                    if t.stoich == 1 {
+                        self.species_name(t.species).to_owned()
+                    } else {
+                        format!("{}{}", t.stoich, self.species_name(t.species))
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" + ")
+        };
+        let rate = match r.rate {
+            Rate::Fast => "@fast".to_owned(),
+            Rate::Slow => "@slow".to_owned(),
+            Rate::Fixed(k) => format!("@{k}"),
+        };
+        format!("{} -> {} {}", side(&r.reactants), side(&r.products), rate)
+    }
+
+    /// Checks structural well-formedness beyond what construction enforces
+    /// and returns human-readable issues (empty means clean).
+    ///
+    /// Current checks:
+    /// * species that appear in no reaction,
+    /// * reactions that change nothing (all species net-zero),
+    /// * duplicate reactions (same sides and rate category).
+    #[must_use]
+    pub fn validate(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        let mut used = vec![false; self.species.len()];
+        for r in &self.reactions {
+            for s in r.species() {
+                used[s.index()] = true;
+            }
+        }
+        for (i, u) in used.iter().enumerate() {
+            if !u {
+                issues.push(format!(
+                    "species `{}` is never used by any reaction",
+                    self.species[i].name()
+                ));
+            }
+        }
+        for (i, r) in self.reactions.iter().enumerate() {
+            if r.species().all(|s| r.net_change(s) == 0) {
+                issues.push(format!(
+                    "reaction {i} (`{}`) has no net effect",
+                    self.format_reaction(i)
+                ));
+            }
+        }
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for i in 0..self.reactions.len() {
+            let key = self.format_reaction(i);
+            if let Some(&first) = seen.get(&key) {
+                issues.push(format!("reaction {i} duplicates reaction {first} (`{key}`)"));
+            } else {
+                seen.insert(key, i);
+            }
+        }
+        issues
+    }
+}
+
+impl fmt::Display for Crn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# {} species, {} reactions",
+            self.species.len(),
+            self.reactions.len()
+        )?;
+        for i in 0..self.reactions.len() {
+            match self.reactions[i].label() {
+                Some(label) => writeln!(f, "{}  # {label}", self.format_reaction(i))?,
+                None => writeln!(f, "{}", self.format_reaction(i))?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Crn {
+    type Err = CrnError;
+
+    /// Parses reaction text; see [`parse_reactions`](crate::parse_reactions)
+    /// for the grammar.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        crate::parse_reactions(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut crn = Crn::new();
+        let a = crn.species("A");
+        let b = crn.species("B");
+        assert_ne!(a, b);
+        assert_eq!(crn.species("A"), a);
+        assert_eq!(crn.find_species("B"), Some(b));
+        assert_eq!(crn.find_species("C"), None);
+        assert_eq!(crn.species_count(), 2);
+    }
+
+    #[test]
+    fn foreign_id_is_rejected() {
+        let mut a = Crn::new();
+        let mut b = Crn::new();
+        let x_in_b = b.species("X");
+        let err = a.reaction(&[(x_in_b, 1)], &[], Rate::Fast).unwrap_err();
+        assert!(matches!(err, CrnError::UnknownSpecies { .. }));
+    }
+
+    #[test]
+    fn empty_reaction_is_rejected() {
+        let mut crn = Crn::new();
+        assert_eq!(
+            crn.reaction(&[], &[], Rate::Fast),
+            Err(CrnError::EmptyReaction)
+        );
+    }
+
+    #[test]
+    fn zero_stoichiometry_is_rejected() {
+        let mut crn = Crn::new();
+        let x = crn.species("X");
+        let err = crn.reaction(&[(x, 0)], &[(x, 1)], Rate::Fast).unwrap_err();
+        assert!(matches!(err, CrnError::ZeroStoichiometry { .. }));
+    }
+
+    #[test]
+    fn invalid_fixed_rate_is_rejected() {
+        let mut crn = Crn::new();
+        let x = crn.species("X");
+        let err = crn
+            .reaction(&[(x, 1)], &[], Rate::Fixed(-3.0))
+            .unwrap_err();
+        assert!(matches!(err, CrnError::InvalidRate { .. }));
+    }
+
+    #[test]
+    fn formatting_round_trip() {
+        let mut crn = Crn::new();
+        let x = crn.species("X");
+        let y = crn.species("Y");
+        let z = crn.species("Z");
+        crn.reaction(&[(x, 1), (y, 2)], &[(z, 1)], Rate::Fast).unwrap();
+        crn.reaction(&[], &[(x, 1)], Rate::Slow).unwrap();
+        crn.reaction(&[(z, 1)], &[], Rate::Fixed(2.5)).unwrap();
+        assert_eq!(crn.format_reaction(0), "X + 2Y -> Z @fast");
+        assert_eq!(crn.format_reaction(1), "0 -> X @slow");
+        assert_eq!(crn.format_reaction(2), "Z -> 0 @2.5");
+    }
+
+    #[test]
+    fn merge_prefixed_shares_species_and_copies_reactions() {
+        let mut module = Crn::new();
+        let min = module.species("in");
+        let mout = module.species("out");
+        module.reaction(&[(min, 1)], &[(mout, 1)], Rate::Slow).unwrap();
+
+        let mut top = Crn::new();
+        let pre_existing = top.species("m1.out");
+        let map = top.merge_prefixed(&module, "m1.");
+        assert_eq!(map[mout.index()], pre_existing);
+        assert_eq!(top.reactions().len(), 1);
+        assert_eq!(top.format_reaction(0), "m1.in -> m1.out @slow");
+    }
+
+    #[test]
+    fn validate_reports_unused_and_no_effect() {
+        let mut crn = Crn::new();
+        let x = crn.species("X");
+        let _unused = crn.species("U");
+        let cat = crn.species("C");
+        // no net effect: C + X -> C + X
+        crn.reaction(&[(cat, 1), (x, 1)], &[(cat, 1), (x, 1)], Rate::Fast)
+            .unwrap();
+        let issues = crn.validate();
+        assert!(issues.iter().any(|i| i.contains("`U`")));
+        assert!(issues.iter().any(|i| i.contains("no net effect")));
+    }
+
+    #[test]
+    fn validate_reports_duplicates() {
+        let mut crn = Crn::new();
+        let x = crn.species("X");
+        let y = crn.species("Y");
+        crn.reaction(&[(x, 1)], &[(y, 1)], Rate::Fast).unwrap();
+        crn.reaction(&[(x, 1)], &[(y, 1)], Rate::Fast).unwrap();
+        let issues = crn.validate();
+        assert!(issues.iter().any(|i| i.contains("duplicates")));
+    }
+
+    #[test]
+    fn display_lists_reactions() {
+        let mut crn = Crn::new();
+        let x = crn.species("X");
+        let y = crn.species("Y");
+        crn.reaction_labeled(&[(x, 1)], &[(y, 1)], Rate::Slow, "transfer")
+            .unwrap();
+        let text = crn.to_string();
+        assert!(text.contains("X -> Y @slow"));
+        assert!(text.contains("# transfer"));
+    }
+
+    #[test]
+    fn serde_traits_are_implemented() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<Crn>();
+    }
+}

@@ -1,0 +1,233 @@
+//! A small text format for reaction networks.
+//!
+//! The grammar, one reaction per line:
+//!
+//! ```text
+//! line     := [ side ] "->" [ side ] [ "@" rate ] [ "#" comment ]
+//! side     := term { "+" term } | "0"
+//! term     := [ integer ] name
+//! name     := identifier ([A-Za-z_][A-Za-z0-9_.'\[\]]*)
+//! rate     := "fast" | "slow" | float            (default: slow)
+//! ```
+//!
+//! Blank lines and lines starting with `#` are skipped. `0` (or nothing)
+//! denotes the empty side, so `0 -> r @slow` is a zero-order source and
+//! `X + Y -> 0 @fast` is an annihilation.
+//!
+//! The format exists for tests, examples and golden files; programmatic
+//! construction through [`Crn`](crate::Crn) is the primary interface.
+
+use crate::{Crn, CrnError, Rate, SpeciesId};
+
+/// Parses reaction text into a [`Crn`].
+///
+/// # Errors
+///
+/// Returns [`CrnError::Parse`] with a 1-based line number for any malformed
+/// line, and propagates network-construction errors (which cannot occur for
+/// text accepted by the grammar, but are surfaced rather than hidden).
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::parse_reactions;
+///
+/// # fn main() -> Result<(), molseq_crn::CrnError> {
+/// let crn = parse_reactions(
+///     "# absence indicator for the red category
+///      0 -> r @slow
+///      r + R1 -> R1 @fast
+///      b + R1 -> G1 @slow",
+/// )?;
+/// assert_eq!(crn.reactions().len(), 3);
+/// assert!(crn.find_species("G1").is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_reactions(text: &str) -> Result<Crn, CrnError> {
+    let mut crn = Crn::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let code = match raw.split('#').next() {
+            Some(c) => c.trim(),
+            None => "",
+        };
+        if code.is_empty() {
+            continue;
+        }
+        parse_line(&mut crn, code, line)?;
+    }
+    Ok(crn)
+}
+
+fn parse_line(crn: &mut Crn, code: &str, line: usize) -> Result<(), CrnError> {
+    let (body, rate) = match code.rsplit_once('@') {
+        Some((body, rate_text)) => (body.trim(), parse_rate(rate_text.trim(), line)?),
+        None => (code, Rate::Slow),
+    };
+    let (lhs, rhs) = body.split_once("->").ok_or_else(|| CrnError::Parse {
+        line,
+        message: "expected `->` between reactants and products".to_owned(),
+    })?;
+    let reactants = parse_side(crn, lhs.trim(), line)?;
+    let products = parse_side(crn, rhs.trim(), line)?;
+    crn.reaction(&reactants, &products, rate)?;
+    Ok(())
+}
+
+fn parse_rate(text: &str, line: usize) -> Result<Rate, CrnError> {
+    match text {
+        "fast" => Ok(Rate::Fast),
+        "slow" => Ok(Rate::Slow),
+        other => other
+            .parse::<f64>()
+            .ok()
+            .filter(|k| k.is_finite() && *k > 0.0)
+            .map(Rate::Fixed)
+            .ok_or_else(|| CrnError::Parse {
+                line,
+                message: format!("invalid rate `{other}` (expected fast, slow or a positive number)"),
+            }),
+    }
+}
+
+fn parse_side(
+    crn: &mut Crn,
+    text: &str,
+    line: usize,
+) -> Result<Vec<(SpeciesId, u32)>, CrnError> {
+    if text.is_empty() || text == "0" {
+        return Ok(Vec::new());
+    }
+    text.split('+')
+        .map(|term| parse_term(crn, term.trim(), line))
+        .collect()
+}
+
+fn parse_term(crn: &mut Crn, term: &str, line: usize) -> Result<(SpeciesId, u32), CrnError> {
+    if term.is_empty() {
+        return Err(CrnError::Parse {
+            line,
+            message: "empty term (stray `+`?)".to_owned(),
+        });
+    }
+    let digits: String = term.chars().take_while(char::is_ascii_digit).collect();
+    let name = term[digits.len()..].trim();
+    if name.is_empty() {
+        return Err(CrnError::Parse {
+            line,
+            message: format!("term `{term}` has a coefficient but no species name"),
+        });
+    }
+    if !is_valid_name(name) {
+        return Err(CrnError::Parse {
+            line,
+            message: format!("invalid species name `{name}`"),
+        });
+    }
+    let stoich: u32 = if digits.is_empty() {
+        1
+    } else {
+        digits.parse().map_err(|_| CrnError::Parse {
+            line,
+            message: format!("coefficient `{digits}` is too large"),
+        })?
+    };
+    if stoich == 0 {
+        return Err(CrnError::Parse {
+            line,
+            message: format!("coefficient of `{name}` is zero"),
+        });
+    }
+    Ok((crn.species(name), stoich))
+}
+
+fn is_valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '\'' | '[' | ']'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_readme_example() {
+        let crn = parse_reactions("X + 2Y -> Z @fast\n0 -> r @slow\nZ -> 0 @2.5").unwrap();
+        assert_eq!(crn.reactions().len(), 3);
+        assert_eq!(crn.format_reaction(0), "X + 2Y -> Z @fast");
+        assert_eq!(crn.format_reaction(1), "0 -> r @slow");
+        assert_eq!(crn.format_reaction(2), "Z -> 0 @2.5");
+    }
+
+    #[test]
+    fn default_rate_is_slow() {
+        let crn = parse_reactions("A -> B").unwrap();
+        assert_eq!(crn.reactions()[0].rate(), Rate::Slow);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let crn = parse_reactions("\n# a comment\nA -> B @fast  # trailing\n\n").unwrap();
+        assert_eq!(crn.reactions().len(), 1);
+        assert_eq!(crn.reactions()[0].rate(), Rate::Fast);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_reactions("A -> B\nA = B\n").unwrap_err();
+        match err {
+            CrnError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(parse_reactions("A -> B @quick").is_err());
+        assert!(parse_reactions("A -> B @-2").is_err());
+        assert!(parse_reactions("A -> B @0").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_terms() {
+        assert!(parse_reactions("-> ").is_err()); // empty reaction
+        assert!(parse_reactions("A + -> B").is_err());
+        assert!(parse_reactions("3 -> B").is_err()); // coefficient without name
+        assert!(parse_reactions("0A -> B").is_err()); // zero coefficient
+        assert!(parse_reactions("A! -> B").is_err()); // invalid name character
+    }
+
+    #[test]
+    fn accepts_rich_names() {
+        let crn = parse_reactions("clk.R -> D'[1] @fast").unwrap();
+        assert!(crn.find_species("clk.R").is_some());
+        assert!(crn.find_species("D'[1]").is_some());
+    }
+
+    #[test]
+    fn fromstr_matches_parse() {
+        let a: Crn = "X -> Y @fast".parse().unwrap();
+        let b = parse_reactions("X -> Y @fast").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trip_display_parse() {
+        let src = "0 -> r @slow\nr + R1 -> R1 @fast\nb + R1 -> G1 @slow\n2G1 -> I_G1 @slow\nI_G1 -> 2G1 @fast\nI_G1 + R1 -> 3G1 @fast";
+        let crn = parse_reactions(src).unwrap();
+        // strip the header line of Display, reparse, compare
+        let text: String = crn
+            .to_string()
+            .lines()
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let again = parse_reactions(&text).unwrap();
+        assert_eq!(crn, again);
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-reaction rate perturbation.
+//!
+//! The paper's robustness claim is that computation is exact for *any* rate
+//! assignment in which fast reactions are fast relative to slow ones — it
+//! does not matter how fast one fast reaction is relative to another fast
+//! reaction. Experiment E7 tests exactly this: every reaction's rate
+//! constant is multiplied by an independent lognormal factor, and the
+//! computed answers must not move.
+//!
+//! [`RateJitter`] produces such multiplier vectors deterministically from a
+//! seed; `molseq-kinetics` accepts them alongside a
+//! [`RateAssignment`](crate::RateAssignment).
+
+use crate::Crn;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Specification of a lognormal jitter: each multiplier is
+/// `exp(sigma · z)` with `z ~ N(0, 1)`.
+///
+/// `sigma = 0.5` spreads rates over roughly a factor of `e ≈ 2.7` either
+/// way at one standard deviation — a large spread for wet chemistry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitterSpec {
+    /// Standard deviation of `ln(multiplier)`.
+    pub sigma: f64,
+    /// Seed for the deterministic generator.
+    pub seed: u64,
+}
+
+impl JitterSpec {
+    /// Creates a specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    #[must_use]
+    pub fn new(sigma: f64, seed: u64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and non-negative"
+        );
+        JitterSpec { sigma, seed }
+    }
+}
+
+/// A vector of per-reaction rate multipliers.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::{Crn, JitterSpec, RateJitter};
+///
+/// let crn: Crn = "A -> B @slow\nB -> A @fast".parse().unwrap();
+/// let jitter = RateJitter::sample(&crn, JitterSpec::new(0.5, 42));
+/// assert_eq!(jitter.multipliers().len(), 2);
+/// assert!(jitter.multipliers().iter().all(|&m| m > 0.0));
+///
+/// // deterministic in the seed
+/// let again = RateJitter::sample(&crn, JitterSpec::new(0.5, 42));
+/// assert_eq!(jitter.multipliers(), again.multipliers());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateJitter {
+    multipliers: Vec<f64>,
+}
+
+impl RateJitter {
+    /// The identity jitter (all multipliers `1.0`) for a network.
+    #[must_use]
+    pub fn identity(crn: &Crn) -> Self {
+        RateJitter {
+            multipliers: vec![1.0; crn.reactions().len()],
+        }
+    }
+
+    /// Samples one multiplier per reaction of `crn` from the lognormal
+    /// distribution described by `spec`.
+    #[must_use]
+    pub fn sample(crn: &Crn, spec: JitterSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let multipliers = (0..crn.reactions().len())
+            .map(|_| (spec.sigma * standard_normal(&mut rng)).exp())
+            .collect();
+        RateJitter { multipliers }
+    }
+
+    /// Builds a jitter from explicit multipliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any multiplier is not finite and strictly positive.
+    #[must_use]
+    pub fn from_multipliers(multipliers: Vec<f64>) -> Self {
+        assert!(
+            multipliers.iter().all(|&m| m.is_finite() && m > 0.0),
+            "multipliers must be finite and positive"
+        );
+        RateJitter { multipliers }
+    }
+
+    /// The multiplier for each reaction, indexed by reaction index.
+    #[must_use]
+    pub fn multipliers(&self) -> &[f64] {
+        &self.multipliers
+    }
+
+    /// The multiplier for one reaction (`1.0` if out of range, so a jitter
+    /// sampled from a smaller network degrades gracefully).
+    #[must_use]
+    pub fn factor(&self, reaction: usize) -> f64 {
+        self.multipliers.get(reaction).copied().unwrap_or(1.0)
+    }
+}
+
+/// Box–Muller standard normal draw.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Avoid ln(0) by mapping the unit sample into (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Crn {
+        "A -> B @slow\nB -> A @fast\nA + B -> 0 @fast"
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn identity_is_all_ones() {
+        let crn = tiny();
+        let j = RateJitter::identity(&crn);
+        assert_eq!(j.multipliers(), &[1.0, 1.0, 1.0]);
+        assert_eq!(j.factor(0), 1.0);
+        assert_eq!(j.factor(99), 1.0);
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let crn = tiny();
+        let j = RateJitter::sample(&crn, JitterSpec::new(0.0, 7));
+        assert!(j.multipliers().iter().all(|&m| (m - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let crn = tiny();
+        let a = RateJitter::sample(&crn, JitterSpec::new(0.5, 1));
+        let b = RateJitter::sample(&crn, JitterSpec::new(0.5, 2));
+        assert_ne!(a.multipliers(), b.multipliers());
+    }
+
+    #[test]
+    fn samples_are_positive_and_spread() {
+        let crn: Crn = (0..50)
+            .map(|i| format!("X{i} -> Y{i} @slow"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .parse()
+            .unwrap();
+        let j = RateJitter::sample(&crn, JitterSpec::new(1.0, 3));
+        assert!(j.multipliers().iter().all(|&m| m > 0.0));
+        let spread = j
+            .multipliers()
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &m| {
+                (lo.min(m), hi.max(m))
+            });
+        assert!(spread.1 / spread.0 > 2.0, "sigma=1 should spread rates");
+    }
+
+    #[test]
+    #[should_panic(expected = "multipliers must be finite and positive")]
+    fn from_multipliers_validates() {
+        let _ = RateJitter::from_multipliers(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be finite")]
+    fn spec_validates_sigma() {
+        let _ = JitterSpec::new(-1.0, 0);
+    }
+}

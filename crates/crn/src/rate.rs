@@ -1,0 +1,207 @@
+//! Coarse rate categories and their numeric interpretation.
+//!
+//! The design discipline of the paper is that a construct may only assume
+//! *two* rate categories — every reaction is either `fast` or `slow`, and the
+//! computed answer must be identical for any numeric assignment in which fast
+//! reactions are fast **relative to** slow ones. It does not matter how fast
+//! one fast reaction is relative to another fast reaction.
+//!
+//! [`Rate`] captures the category on the reaction; [`RateAssignment`] picks
+//! the numbers at simulation time, which is what makes the robustness sweeps
+//! of experiment E6/E7 one-liners.
+
+use crate::CrnError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kinetic rate of a reaction, as declared by a construct.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::{Rate, RateAssignment};
+///
+/// let assign = RateAssignment::new(1000.0, 1.0).unwrap();
+/// assert_eq!(assign.value_of(Rate::Fast), 1000.0);
+/// assert_eq!(assign.value_of(Rate::Slow), 1.0);
+/// assert_eq!(assign.value_of(Rate::Fixed(2.5)), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Rate {
+    /// A reaction in the fast category.
+    Fast,
+    /// A reaction in the slow category (includes the slow zero-order
+    /// indicator sources).
+    Slow,
+    /// A reaction with an explicit rate constant, used by layers that model
+    /// physical kinetics directly (for example the strand-displacement
+    /// compiler, whose toehold binding rates are physical quantities).
+    Fixed(f64),
+}
+
+impl Rate {
+    /// True if this rate belongs to the fast category.
+    #[must_use]
+    pub fn is_fast(self) -> bool {
+        matches!(self, Rate::Fast)
+    }
+
+    /// True if this rate belongs to the slow category.
+    #[must_use]
+    pub fn is_slow(self) -> bool {
+        matches!(self, Rate::Slow)
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rate::Fast => f.write_str("fast"),
+            Rate::Slow => f.write_str("slow"),
+            Rate::Fixed(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// A numeric interpretation of the coarse categories.
+///
+/// An assignment is valid when both constants are finite and strictly
+/// positive. The paper's simulations use `k_fast = 1000`, `k_slow = 1`,
+/// which is [`RateAssignment::default`].
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::RateAssignment;
+///
+/// let default = RateAssignment::default();
+/// assert_eq!(default.ratio(), 1000.0);
+///
+/// let stressed = RateAssignment::from_ratio(10.0);
+/// assert_eq!(stressed.value_of(molseq_crn::Rate::Fast), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateAssignment {
+    k_fast: f64,
+    k_slow: f64,
+}
+
+impl RateAssignment {
+    /// Creates an assignment from explicit constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::InvalidRate`] if either constant is not finite and
+    /// strictly positive, or if `k_fast < k_slow` (a "fast" category slower
+    /// than the slow one violates the design contract of every construct in
+    /// this workspace).
+    pub fn new(k_fast: f64, k_slow: f64) -> Result<Self, CrnError> {
+        let ok = |k: f64| k.is_finite() && k > 0.0;
+        if !ok(k_fast) || !ok(k_slow) {
+            return Err(CrnError::InvalidRate {
+                value: if ok(k_fast) { k_slow } else { k_fast },
+            });
+        }
+        if k_fast < k_slow {
+            return Err(CrnError::InvalidRate { value: k_fast });
+        }
+        Ok(RateAssignment { k_fast, k_slow })
+    }
+
+    /// Creates an assignment with `k_slow = 1` and `k_fast = ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not finite or is below `1.0`.
+    #[must_use]
+    pub fn from_ratio(ratio: f64) -> Self {
+        RateAssignment::new(ratio, 1.0).expect("ratio must be finite and >= 1")
+    }
+
+    /// The numeric constant for the fast category.
+    #[must_use]
+    pub fn k_fast(self) -> f64 {
+        self.k_fast
+    }
+
+    /// The numeric constant for the slow category.
+    #[must_use]
+    pub fn k_slow(self) -> f64 {
+        self.k_slow
+    }
+
+    /// `k_fast / k_slow` — the separation between the categories.
+    #[must_use]
+    pub fn ratio(self) -> f64 {
+        self.k_fast / self.k_slow
+    }
+
+    /// Resolves a [`Rate`] to its numeric constant under this assignment.
+    #[must_use]
+    pub fn value_of(self, rate: Rate) -> f64 {
+        match rate {
+            Rate::Fast => self.k_fast,
+            Rate::Slow => self.k_slow,
+            Rate::Fixed(k) => k,
+        }
+    }
+}
+
+impl Default for RateAssignment {
+    /// The assignment used throughout the paper's simulations:
+    /// `k_fast = 1000`, `k_slow = 1`.
+    fn default() -> Self {
+        RateAssignment {
+            k_fast: 1000.0,
+            k_slow: 1.0,
+        }
+    }
+}
+
+impl fmt::Display for RateAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k_fast={}, k_slow={}", self.k_fast, self.k_slow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let a = RateAssignment::default();
+        assert_eq!(a.k_fast(), 1000.0);
+        assert_eq!(a.k_slow(), 1.0);
+        assert_eq!(a.ratio(), 1000.0);
+    }
+
+    #[test]
+    fn rejects_nonpositive_rates() {
+        assert!(RateAssignment::new(0.0, 1.0).is_err());
+        assert!(RateAssignment::new(10.0, -1.0).is_err());
+        assert!(RateAssignment::new(f64::NAN, 1.0).is_err());
+        assert!(RateAssignment::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_inverted_categories() {
+        assert!(RateAssignment::new(0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn fixed_rates_bypass_assignment() {
+        let a = RateAssignment::from_ratio(100.0);
+        assert_eq!(a.value_of(Rate::Fixed(7.25)), 7.25);
+    }
+
+    #[test]
+    fn rate_predicates_and_display() {
+        assert!(Rate::Fast.is_fast());
+        assert!(!Rate::Fast.is_slow());
+        assert!(Rate::Slow.is_slow());
+        assert_eq!(Rate::Fast.to_string(), "fast");
+        assert_eq!(Rate::Slow.to_string(), "slow");
+        assert_eq!(Rate::Fixed(2.0).to_string(), "2");
+    }
+}

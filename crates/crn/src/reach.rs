@@ -1,0 +1,128 @@
+//! Reachability analysis.
+//!
+//! A structural over-approximation of which species can ever be produced:
+//! starting from a seed set, a reaction can fire once all its reactants
+//! are producible, and then its products become producible. Useful as a
+//! design-time sanity check (an output species that is not reachable from
+//! the initial state is a wiring bug) and used by the construct test
+//! suites.
+
+use crate::{Crn, SpeciesId};
+
+/// Computes the set of species reachable (producible) from `seeds`, as a
+/// boolean vector indexed by [`SpeciesId::index`](crate::SpeciesId::index).
+///
+/// Zero-order reactions need no reactants, so their products are always
+/// reachable. The analysis ignores quantities and rates — it is a
+/// *possibility* over-approximation, not a dynamics statement.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::{reachable_species, Crn};
+///
+/// let crn: Crn = "A -> B @slow\nB + C -> D @fast".parse().unwrap();
+/// let a = crn.find_species("A").unwrap();
+/// let d = crn.find_species("D").unwrap();
+///
+/// // with only A seeded, C is missing, so D is unreachable
+/// let from_a = reachable_species(&crn, &[a]);
+/// assert!(!from_a[d.index()]);
+///
+/// // seeding C as well unlocks it
+/// let c = crn.find_species("C").unwrap();
+/// let from_ac = reachable_species(&crn, &[a, c]);
+/// assert!(from_ac[d.index()]);
+/// ```
+#[must_use]
+pub fn reachable_species(crn: &Crn, seeds: &[SpeciesId]) -> Vec<bool> {
+    let mut reachable = vec![false; crn.species_count()];
+    for &s in seeds {
+        reachable[s.index()] = true;
+    }
+    // fixed point: at most `reactions` rounds
+    loop {
+        let mut changed = false;
+        for r in crn.reactions() {
+            let enabled = r
+                .reactants()
+                .iter()
+                .all(|t| reachable[t.species.index()]);
+            if !enabled {
+                continue;
+            }
+            for t in r.products() {
+                if !reachable[t.species.index()] {
+                    reachable[t.species.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return reachable;
+        }
+    }
+}
+
+/// Lists the names of species that are **not** reachable from `seeds` —
+/// empty means every species can, in principle, be produced.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::{unreachable_species, Crn};
+///
+/// let crn: Crn = "0 -> r @slow\nX -> Y @fast".parse().unwrap();
+/// // nothing seeded: r is reachable (zero-order source), X and Y are not
+/// let missing = unreachable_species(&crn, &[]);
+/// assert_eq!(missing, vec!["X".to_owned(), "Y".to_owned()]);
+/// ```
+#[must_use]
+pub fn unreachable_species(crn: &Crn, seeds: &[SpeciesId]) -> Vec<String> {
+    let reachable = reachable_species(crn, seeds);
+    crn.species_iter()
+        .filter(|(id, _)| !reachable[id.index()])
+        .map(|(_, s)| s.name().to_owned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_order_sources_are_always_on() {
+        let crn: Crn = "0 -> r @slow\nr + A -> B @fast".parse().unwrap();
+        let a = crn.find_species("A").unwrap();
+        let b = crn.find_species("B").unwrap();
+        let reach = reachable_species(&crn, &[a]);
+        assert!(reach[b.index()], "r from the source + seeded A yields B");
+        let reach_empty = reachable_species(&crn, &[]);
+        assert!(!reach_empty[b.index()], "without A, B stays unreachable");
+    }
+
+    #[test]
+    fn chains_propagate() {
+        let crn: Crn = "A -> B @slow\nB -> C @slow\nC -> D @slow".parse().unwrap();
+        let a = crn.find_species("A").unwrap();
+        let reach = reachable_species(&crn, &[a]);
+        assert!(reach.iter().all(|&r| r), "the whole chain lights up");
+    }
+
+    #[test]
+    fn catalysts_must_be_present() {
+        let crn: Crn = "K + X -> K + Y @fast".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let y = crn.find_species("Y").unwrap();
+        let missing = unreachable_species(&crn, &[x]);
+        assert_eq!(missing, vec!["K".to_owned(), "Y".to_owned()]);
+        let k = crn.find_species("K").unwrap();
+        assert!(reachable_species(&crn, &[x, k])[y.index()]);
+    }
+
+    #[test]
+    fn empty_network_has_nothing_unreachable() {
+        let crn = Crn::new();
+        assert!(unreachable_species(&crn, &[]).is_empty());
+    }
+}

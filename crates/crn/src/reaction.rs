@@ -1,0 +1,189 @@
+//! Reactions and stoichiometric terms.
+
+use crate::{Rate, SpeciesId};
+use serde::{Deserialize, Serialize};
+
+/// One side-entry of a reaction: a species with an integer stoichiometric
+/// coefficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Term {
+    /// Which species.
+    pub species: SpeciesId,
+    /// How many copies participate (always ≥ 1).
+    pub stoich: u32,
+}
+
+impl Term {
+    /// Creates a term.
+    #[must_use]
+    pub fn new(species: SpeciesId, stoich: u32) -> Self {
+        Term { species, stoich }
+    }
+}
+
+impl From<(SpeciesId, u32)> for Term {
+    fn from((species, stoich): (SpeciesId, u32)) -> Self {
+        Term { species, stoich }
+    }
+}
+
+/// A mass-action chemical reaction.
+///
+/// Reactants and products are kept in *canonical* form: terms are sorted by
+/// species id and duplicate species are merged, so `X + X -> Y` and
+/// `2X -> Y` are the same reaction. Zero-order reactions (no reactants, for
+/// example the slow sources that generate absence indicators) and
+/// annihilations (no products) are both legal; a reaction with neither is
+/// rejected at construction.
+///
+/// Reactions are created through [`Crn::reaction`](crate::Crn::reaction) or
+/// [`Crn::reaction_labeled`](crate::Crn::reaction_labeled); the fields here
+/// are read-only views.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reaction {
+    pub(crate) reactants: Vec<Term>,
+    pub(crate) products: Vec<Term>,
+    pub(crate) rate: Rate,
+    pub(crate) label: Option<String>,
+}
+
+impl Reaction {
+    pub(crate) fn canonicalize(mut terms: Vec<Term>) -> Vec<Term> {
+        terms.sort_by_key(|t| t.species);
+        let mut out: Vec<Term> = Vec::with_capacity(terms.len());
+        for t in terms {
+            match out.last_mut() {
+                Some(last) if last.species == t.species => last.stoich += t.stoich,
+                _ => out.push(t),
+            }
+        }
+        out
+    }
+
+    /// The reactant terms, sorted by species id with duplicates merged.
+    #[must_use]
+    pub fn reactants(&self) -> &[Term] {
+        &self.reactants
+    }
+
+    /// The product terms, sorted by species id with duplicates merged.
+    #[must_use]
+    pub fn products(&self) -> &[Term] {
+        &self.products
+    }
+
+    /// The coarse rate category (or explicit constant).
+    #[must_use]
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// The optional human-readable label attached by the construct that
+    /// generated this reaction (for example `"delay[1] red->green seed"`).
+    #[must_use]
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// Total molecularity of the left-hand side (0 for source reactions,
+    /// 1 for unimolecular, 2 for bimolecular, …).
+    #[must_use]
+    pub fn order(&self) -> u32 {
+        self.reactants.iter().map(|t| t.stoich).sum()
+    }
+
+    /// Net change of `species` when this reaction fires once
+    /// (products minus reactants). Zero if the species is a pure catalyst.
+    #[must_use]
+    pub fn net_change(&self, species: SpeciesId) -> i64 {
+        let minus: i64 = self
+            .reactants
+            .iter()
+            .filter(|t| t.species == species)
+            .map(|t| i64::from(t.stoich))
+            .sum();
+        let plus: i64 = self
+            .products
+            .iter()
+            .filter(|t| t.species == species)
+            .map(|t| i64::from(t.stoich))
+            .sum();
+        plus - minus
+    }
+
+    /// True if `species` appears on both sides with equal stoichiometry and
+    /// on the reactant side (it enables the reaction without being consumed).
+    #[must_use]
+    pub fn is_catalyst(&self, species: SpeciesId) -> bool {
+        let on_left = self.reactants.iter().any(|t| t.species == species);
+        on_left && self.net_change(species) == 0
+    }
+
+    /// Iterates over every species mentioned by the reaction (each once).
+    pub fn species(&self) -> impl Iterator<Item = SpeciesId> + '_ {
+        let mut seen: Vec<SpeciesId> = self
+            .reactants
+            .iter()
+            .chain(self.products.iter())
+            .map(|t| t.species)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Crn, Rate};
+
+    fn simple() -> (Crn, SpeciesId, SpeciesId, SpeciesId) {
+        let mut crn = Crn::new();
+        let x = crn.species("X");
+        let y = crn.species("Y");
+        let z = crn.species("Z");
+        (crn, x, y, z)
+    }
+
+    #[test]
+    fn duplicate_terms_are_merged() {
+        let (mut crn, x, y, _) = simple();
+        crn.reaction(&[(x, 1), (x, 1)], &[(y, 1)], Rate::Fast).unwrap();
+        let r = &crn.reactions()[0];
+        assert_eq!(r.reactants(), &[Term::new(x, 2)]);
+        assert_eq!(r.order(), 2);
+    }
+
+    #[test]
+    fn net_change_and_catalyst() {
+        let (mut crn, x, y, z) = simple();
+        // z is a catalyst: z + x -> z + 2y
+        crn.reaction(&[(z, 1), (x, 1)], &[(z, 1), (y, 2)], Rate::Slow)
+            .unwrap();
+        let r = &crn.reactions()[0];
+        assert_eq!(r.net_change(x), -1);
+        assert_eq!(r.net_change(y), 2);
+        assert_eq!(r.net_change(z), 0);
+        assert!(r.is_catalyst(z));
+        assert!(!r.is_catalyst(x));
+        assert!(!r.is_catalyst(y)); // y is produced, not enabling
+    }
+
+    #[test]
+    fn species_iterator_is_deduplicated() {
+        let (mut crn, x, y, z) = simple();
+        crn.reaction(&[(x, 2), (z, 1)], &[(z, 1), (y, 1)], Rate::Fast)
+            .unwrap();
+        let r = &crn.reactions()[0];
+        let all: Vec<_> = r.species().collect();
+        assert_eq!(all, vec![x, y, z]);
+    }
+
+    #[test]
+    fn zero_order_reaction_is_order_zero() {
+        let (mut crn, _, y, _) = simple();
+        crn.reaction(&[], &[(y, 1)], Rate::Slow).unwrap();
+        assert_eq!(crn.reactions()[0].order(), 0);
+    }
+}

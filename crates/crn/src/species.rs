@@ -1,0 +1,103 @@
+//! Species identifiers and metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A handle to a molecular type registered in a [`Crn`](crate::Crn).
+///
+/// `SpeciesId` is a cheap, `Copy` index. It is only meaningful relative to
+/// the network that produced it; using an id from one network inside another
+/// is caught by [`Crn::reaction`](crate::Crn::reaction) when the index is out
+/// of range, but ids that happen to be in range are *not* distinguished.
+/// Construct networks through a single [`Crn`](crate::Crn) value to stay safe.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::Crn;
+///
+/// let mut crn = Crn::new();
+/// let x = crn.species("X");
+/// assert_eq!(crn.species_name(x), "X");
+/// // interning: the same name yields the same id
+/// assert_eq!(x, crn.species("X"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpeciesId(pub(crate) u32);
+
+impl SpeciesId {
+    /// Returns the raw index of this species inside its network.
+    ///
+    /// Indices are dense: the `i`-th registered species has index `i`.
+    /// This is the row index used by
+    /// [`stoichiometry_matrix`](crate::stoichiometry_matrix) and by the
+    /// state vectors in `molseq-kinetics`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `SpeciesId` from a raw index.
+    ///
+    /// Intended for deserialization and for tooling that stores indices;
+    /// prefer obtaining ids from [`Crn::species`](crate::Crn::species).
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        SpeciesId(u32::try_from(index).expect("species index fits in u32"))
+    }
+}
+
+impl fmt::Display for SpeciesId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Metadata for one molecular type.
+///
+/// Currently a species carries only its name; higher layers (for example the
+/// color categories of `molseq-sync`) keep their own side tables keyed by
+/// [`SpeciesId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Species {
+    name: String,
+}
+
+impl Species {
+    /// Creates a species with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Species { name: name.into() }
+    }
+
+    /// The species name, as registered.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Species {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrips_through_index() {
+        let id = SpeciesId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "s7");
+    }
+
+    #[test]
+    fn species_displays_its_name() {
+        let s = Species::new("ATP");
+        assert_eq!(s.name(), "ATP");
+        assert_eq!(s.to_string(), "ATP");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests on the network layer: display/parse round-trips and
+//! structural invariants, over randomly generated networks.
+
+#![allow(clippy::needless_range_loop)]
+
+use molseq_crn::{conservation_laws, stoichiometry_matrix, Crn, Rate};
+use proptest::prelude::*;
+
+/// Canonicalizes a formatted reaction for comparison: term order inside a
+/// side follows species-*id* order, which depends on interning order and
+/// therefore changes across a parse round-trip; sort terms by name instead.
+fn normalize(formatted: &str) -> String {
+    let (body, rate) = formatted.rsplit_once(" @").expect("rate suffix");
+    let (lhs, rhs) = body.split_once(" -> ").expect("arrow");
+    let sort_side = |side: &str| -> String {
+        let mut terms: Vec<&str> = side.split(" + ").collect();
+        terms.sort_unstable();
+        terms.join(" + ")
+    };
+    format!("{} -> {} @{}", sort_side(lhs), sort_side(rhs), rate)
+}
+
+/// A strategy for random small reaction networks.
+fn arbitrary_crn() -> impl Strategy<Value = Crn> {
+    // each reaction: (reactant indices with stoich, product indices, rate)
+    let term = (0usize..6, 1u32..3);
+    let side = proptest::collection::vec(term, 0..3);
+    let rate = prop_oneof![
+        Just(Rate::Fast),
+        Just(Rate::Slow),
+        (1u32..1000).prop_map(|k| Rate::Fixed(f64::from(k) / 8.0)),
+    ];
+    let reaction = (side.clone(), side, rate);
+    proptest::collection::vec(reaction, 1..8).prop_filter_map(
+        "reactions must be non-empty",
+        |reactions| {
+            let mut crn = Crn::new();
+            let species: Vec<_> = (0..6).map(|i| crn.species(format!("S{i}"))).collect();
+            let mut added = 0;
+            for (lhs, rhs, rate) in reactions {
+                if lhs.is_empty() && rhs.is_empty() {
+                    continue;
+                }
+                let reactants: Vec<_> = lhs.iter().map(|&(i, s)| (species[i], s)).collect();
+                let products: Vec<_> = rhs.iter().map(|&(i, s)| (species[i], s)).collect();
+                crn.reaction(&reactants, &products, rate)
+                    .expect("valid by construction");
+                added += 1;
+            }
+            if added == 0 {
+                None
+            } else {
+                Some(crn)
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    /// Display → parse reproduces the network exactly (species that only
+    /// exist unused are the one permitted difference, so networks here
+    /// always use all species they mention).
+    #[test]
+    fn display_parse_round_trip(crn in arbitrary_crn()) {
+        let text: String = crn
+            .to_string()
+            .lines()
+            .skip(1) // drop the `# N species…` header
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed: Crn = text.parse().expect("rendered text parses");
+        // compare reaction by reaction via the canonical format
+        prop_assert_eq!(crn.reactions().len(), reparsed.reactions().len());
+        for j in 0..crn.reactions().len() {
+            prop_assert_eq!(
+                normalize(&crn.format_reaction(j)),
+                normalize(&reparsed.format_reaction(j))
+            );
+        }
+    }
+
+    /// Every conservation law is a true left null vector of the
+    /// stoichiometry matrix.
+    #[test]
+    fn conservation_laws_annihilate_stoichiometry(crn in arbitrary_crn()) {
+        let s = stoichiometry_matrix(&crn);
+        for law in conservation_laws(&crn) {
+            for j in 0..crn.reactions().len() {
+                let dot: i64 = (0..crn.species_count())
+                    .map(|i| law[i] * s[i][j])
+                    .sum();
+                prop_assert_eq!(dot, 0, "law {:?} vs reaction {}", law, j);
+            }
+        }
+    }
+
+    /// Reaction order equals total reactant stoichiometry and never
+    /// exceeds what the terms say.
+    #[test]
+    fn orders_are_consistent(crn in arbitrary_crn()) {
+        for r in crn.reactions() {
+            let total: u32 = r.reactants().iter().map(|t| t.stoich).sum();
+            prop_assert_eq!(r.order(), total);
+        }
+    }
+
+    /// Merging a network into an empty one under a prefix preserves the
+    /// reaction structure.
+    #[test]
+    fn merge_prefixed_preserves_reactions(crn in arbitrary_crn()) {
+        let mut top = Crn::new();
+        let map = top.merge_prefixed(&crn, "m.");
+        prop_assert_eq!(top.reactions().len(), crn.reactions().len());
+        for (orig_id, merged_id) in map.iter().enumerate() {
+            let orig_name = crn.species_name(molseq_crn::SpeciesId::from_index(orig_id));
+            prop_assert_eq!(top.species_name(*merged_id), format!("m.{orig_name}"));
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! Domain-level strand specifications.
+//!
+//! The kinetic compiler (the crate root) turns a formal network into the
+//! *reaction-level* picture of its DNA implementation. This module adds
+//! the next level of detail a wet lab would ask for: a **domain-level**
+//! specification in the style of Soloveichik et al. — every formal species
+//! becomes a three-domain signal strand `t? a? b?` (a toehold and two
+//! branch-migration domains), and every formal reaction becomes a set of
+//! gate and translator complexes built from those domains and their
+//! complements.
+//!
+//! [`StrandLibrary::assign_sequences`] goes one step further and assigns
+//! concrete nucleotide sequences to the domains, with the basic sanity
+//! constraints a designer would check first: unique subwords between
+//! distinct domains, no long G runs, and bounded GC content.
+
+use crate::DsdError;
+use molseq_crn::Crn;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The role of a domain within a strand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainKind {
+    /// A short binding-initiation domain (reversible binding strength).
+    Toehold,
+    /// A long branch-migration domain (irreversible displacement).
+    Branch,
+}
+
+/// One domain occurrence on a strand (possibly complemented).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Domain {
+    /// Base name, e.g. `t3` or `a3`.
+    pub name: String,
+    /// Toehold or branch.
+    pub kind: DomainKind,
+    /// True for the Watson–Crick complement (written `name*`).
+    pub complemented: bool,
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.name, if self.complemented { "*" } else { "" })
+    }
+}
+
+/// A single-stranded species: an ordered run of domains, 5′ to 3′.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Strand {
+    /// Name (matches the formal species for signal strands).
+    pub name: String,
+    /// Domains 5′→3′.
+    pub domains: Vec<Domain>,
+}
+
+impl fmt::Display for Strand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: 5'-", self.name)?;
+        for (i, d) in self.domains.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        f.write_str("-3'")
+    }
+}
+
+/// A multi-strand fuel complex (gate or translator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Complex {
+    /// Name (matches the compiler's fuel species, e.g. `dsd.G3`).
+    pub name: String,
+    /// The bottom (template) strand, written 3′→5′ as complements.
+    pub bottom: Vec<Domain>,
+    /// Names of the strands initially hybridized on top.
+    pub top: Vec<String>,
+    /// What the complex implements.
+    pub note: String,
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: bottom 3'-", self.name)?;
+        for (i, d) in self.bottom.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "-5'  top [{}]  ({})", self.top.join(", "), self.note)
+    }
+}
+
+/// The full domain-level specification of a compiled system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrandLibrary {
+    strands: Vec<Strand>,
+    complexes: Vec<Complex>,
+}
+
+impl StrandLibrary {
+    /// Derives the library from a formal network (the same reactions the
+    /// kinetic compiler translates).
+    ///
+    /// # Errors
+    ///
+    /// [`DsdError::UnsupportedOrder`] for reactions of molecularity ≥ 3,
+    /// mirroring the kinetic compiler.
+    pub fn from_formal(crn: &Crn) -> Result<Self, DsdError> {
+        let mut strands = Vec::new();
+        for (id, species) in crn.species_iter() {
+            let i = id.index();
+            strands.push(Strand {
+                name: species.name().to_owned(),
+                domains: vec![
+                    Domain {
+                        name: format!("t{i}"),
+                        kind: DomainKind::Toehold,
+                        complemented: false,
+                    },
+                    Domain {
+                        name: format!("a{i}"),
+                        kind: DomainKind::Branch,
+                        complemented: false,
+                    },
+                    Domain {
+                        name: format!("b{i}"),
+                        kind: DomainKind::Branch,
+                        complemented: false,
+                    },
+                ],
+            });
+        }
+
+        let mut complexes = Vec::new();
+        for (j, reaction) in crn.reactions().iter().enumerate() {
+            let order = reaction.order();
+            if order > 2 {
+                return Err(DsdError::UnsupportedOrder {
+                    reaction: j,
+                    order,
+                });
+            }
+            let reactant_names: Vec<String> = reaction
+                .reactants()
+                .iter()
+                .map(|t| crn.species_name(t.species).to_owned())
+                .collect();
+            let product_names: Vec<String> = reaction
+                .products()
+                .iter()
+                .map(|t| crn.species_name(t.species).to_owned())
+                .collect();
+            // the gate's bottom strand is complementary to the reactant
+            // signals it consumes, in binding order (a dimerization binds
+            // two copies of the same signal, so its domains repeat)
+            let mut bottom = Vec::new();
+            for t in reaction.reactants() {
+                let i = t.species.index();
+                for _ in 0..t.stoich {
+                    for (name, kind) in [
+                        (format!("t{i}"), DomainKind::Toehold),
+                        (format!("a{i}"), DomainKind::Branch),
+                        (format!("b{i}"), DomainKind::Branch),
+                    ] {
+                        bottom.push(Domain {
+                            name,
+                            kind,
+                            complemented: true,
+                        });
+                    }
+                }
+            }
+            if bottom.is_empty() {
+                // zero-order source: an unstable fuel carrying the product
+                let Some(first) = reaction.products().first() else {
+                    continue;
+                };
+                let i = first.species.index();
+                bottom.push(Domain {
+                    name: format!("t{i}"),
+                    kind: DomainKind::Toehold,
+                    complemented: true,
+                });
+            }
+            complexes.push(Complex {
+                name: format!("dsd.G{j}"),
+                bottom,
+                top: product_names.clone(),
+                note: format!(
+                    "gate for formal reaction {j}: {} -> {}",
+                    if reactant_names.is_empty() {
+                        "0".to_owned()
+                    } else {
+                        reactant_names.join(" + ")
+                    },
+                    if product_names.is_empty() {
+                        "0".to_owned()
+                    } else {
+                        product_names.join(" + ")
+                    }
+                ),
+            });
+            if order >= 1 {
+                // translator releasing the products
+                let bottom = reaction
+                    .products()
+                    .iter()
+                    .flat_map(|t| {
+                        let i = t.species.index();
+                        [
+                            Domain {
+                                name: format!("t{i}"),
+                                kind: DomainKind::Toehold,
+                                complemented: true,
+                            },
+                            Domain {
+                                name: format!("a{i}"),
+                                kind: DomainKind::Branch,
+                                complemented: true,
+                            },
+                        ]
+                    })
+                    .collect();
+                complexes.push(Complex {
+                    name: format!("dsd.T{j}"),
+                    bottom,
+                    top: product_names,
+                    note: format!("translator for formal reaction {j}"),
+                });
+            }
+        }
+        Ok(StrandLibrary { strands, complexes })
+    }
+
+    /// The signal strands.
+    #[must_use]
+    pub fn strands(&self) -> &[Strand] {
+        &self.strands
+    }
+
+    /// The fuel complexes.
+    #[must_use]
+    pub fn complexes(&self) -> &[Complex] {
+        &self.complexes
+    }
+
+    /// A human-readable listing of the whole library.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        out.push_str("signal strands:\n");
+        for s in &self.strands {
+            out.push_str(&format!("  {s}\n"));
+        }
+        out.push_str("fuel complexes:\n");
+        for c in &self.complexes {
+            out.push_str(&format!("  {c}\n"));
+        }
+        out
+    }
+
+    /// Assigns concrete sequences to every domain, deterministically from
+    /// `seed`. Toeholds get `toehold_len` nucleotides, branches
+    /// `branch_len`. The generator enforces three designer sanity rules:
+    /// GC content between 30% and 70% per domain, no runs of four equal
+    /// bases, and distinct domains never sharing a window of
+    /// `min(toehold_len, 6)` consecutive bases.
+    ///
+    /// # Errors
+    ///
+    /// [`DsdError::InvalidParameter`] if lengths are too short (< 4 for
+    /// toeholds, < 8 for branches) or if the generator cannot satisfy the
+    /// constraints (practically unreachable below a few thousand domains).
+    pub fn assign_sequences(
+        &self,
+        toehold_len: usize,
+        branch_len: usize,
+        seed: u64,
+    ) -> Result<SequenceAssignment, DsdError> {
+        if toehold_len < 4 {
+            return Err(DsdError::InvalidParameter {
+                name: "toehold_len",
+                value: toehold_len as f64,
+            });
+        }
+        if branch_len < 8 {
+            return Err(DsdError::InvalidParameter {
+                name: "branch_len",
+                value: branch_len as f64,
+            });
+        }
+        let mut domains: Vec<(String, DomainKind)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let all = self
+            .strands
+            .iter()
+            .flat_map(|s| s.domains.iter())
+            .chain(self.complexes.iter().flat_map(|c| c.bottom.iter()));
+        for d in all {
+            if seen.insert(d.name.clone()) {
+                domains.push((d.name.clone(), d.kind));
+            }
+        }
+
+        let window = toehold_len.min(6);
+        let mut rng_state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            // xorshift64*
+            rng_state ^= rng_state >> 12;
+            rng_state ^= rng_state << 25;
+            rng_state ^= rng_state >> 27;
+            rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let bases = [b'A', b'C', b'G', b'T'];
+        let mut used_windows: std::collections::HashSet<Vec<u8>> =
+            std::collections::HashSet::new();
+        let mut sequences = HashMap::new();
+
+        for (name, kind) in &domains {
+            let len = match kind {
+                DomainKind::Toehold => toehold_len,
+                DomainKind::Branch => branch_len,
+            };
+            let mut ok = None;
+            'attempts: for _ in 0..10_000 {
+                let candidate: Vec<u8> =
+                    (0..len).map(|_| bases[(next() % 4) as usize]).collect();
+                // GC content
+                let gc = candidate
+                    .iter()
+                    .filter(|&&b| b == b'G' || b == b'C')
+                    .count() as f64
+                    / len as f64;
+                if !(0.3..=0.7).contains(&gc) {
+                    continue;
+                }
+                // no runs of 4
+                if candidate.windows(4).any(|w| w.iter().all(|&b| b == w[0])) {
+                    continue;
+                }
+                // unique windows against everything assigned so far (and
+                // against reverse complements, which the complement strand
+                // will carry)
+                let rc = reverse_complement(&candidate);
+                for w in candidate.windows(window).chain(rc.windows(window)) {
+                    if used_windows.contains(w) {
+                        continue 'attempts;
+                    }
+                }
+                for w in candidate.windows(window).chain(rc.windows(window)) {
+                    used_windows.insert(w.to_vec());
+                }
+                ok = Some(candidate);
+                break;
+            }
+            let Some(sequence) = ok else {
+                return Err(DsdError::InvalidParameter {
+                    name: "sequence space",
+                    value: domains.len() as f64,
+                });
+            };
+            sequences.insert(
+                name.clone(),
+                String::from_utf8(sequence).expect("ACGT is UTF-8"),
+            );
+        }
+        Ok(SequenceAssignment { sequences })
+    }
+}
+
+fn reverse_complement(seq: &[u8]) -> Vec<u8> {
+    seq.iter()
+        .rev()
+        .map(|&b| match b {
+            b'A' => b'T',
+            b'T' => b'A',
+            b'G' => b'C',
+            _ => b'G',
+        })
+        .collect()
+}
+
+/// Concrete nucleotide sequences for every domain of a library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceAssignment {
+    sequences: HashMap<String, String>,
+}
+
+impl SequenceAssignment {
+    /// The sequence of a domain (`None` for unknown names). Complemented
+    /// domains are obtained with [`SequenceAssignment::complement_of`].
+    #[must_use]
+    pub fn sequence(&self, domain: &str) -> Option<&str> {
+        self.sequences.get(domain).map(String::as_str)
+    }
+
+    /// The reverse complement of a domain's sequence.
+    #[must_use]
+    pub fn complement_of(&self, domain: &str) -> Option<String> {
+        self.sequences.get(domain).map(|s| {
+            String::from_utf8(reverse_complement(s.as_bytes())).expect("ACGT is UTF-8")
+        })
+    }
+
+    /// Number of assigned domains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// True if nothing was assigned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Renders a strand as a concrete sequence, 5′→3′.
+    #[must_use]
+    pub fn render_strand(&self, strand: &Strand) -> String {
+        strand
+            .domains
+            .iter()
+            .map(|d| {
+                if d.complemented {
+                    self.complement_of(&d.name).unwrap_or_default()
+                } else {
+                    self.sequence(&d.name).unwrap_or_default().to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn library() -> StrandLibrary {
+        let crn: Crn = "0 -> r @slow\nA -> B @slow\nA + B -> C @fast"
+            .parse()
+            .unwrap();
+        StrandLibrary::from_formal(&crn).unwrap()
+    }
+
+    #[test]
+    fn every_species_gets_a_three_domain_strand() {
+        let lib = library();
+        // species: r, A, B, C
+        assert_eq!(lib.strands().len(), 4);
+        for s in lib.strands() {
+            assert_eq!(s.domains.len(), 3);
+            assert_eq!(s.domains[0].kind, DomainKind::Toehold);
+            assert!(!s.domains[0].complemented);
+        }
+    }
+
+    #[test]
+    fn gates_are_complementary_to_their_reactants() {
+        let lib = library();
+        // reaction 2 is A + B -> C: its gate binds A then B
+        let gate = lib
+            .complexes()
+            .iter()
+            .find(|c| c.name == "dsd.G2")
+            .expect("gate exists");
+        assert_eq!(gate.bottom.len(), 6);
+        assert!(gate.bottom.iter().all(|d| d.complemented));
+        assert!(gate.note.contains("A + B -> C"));
+    }
+
+    #[test]
+    fn zero_order_sources_are_unstable_fuels() {
+        let lib = library();
+        let gate = lib
+            .complexes()
+            .iter()
+            .find(|c| c.name == "dsd.G0")
+            .expect("source gate");
+        assert_eq!(gate.bottom.len(), 1);
+        assert!(gate.note.contains("0 -> r"));
+        // sources have no translator
+        assert!(!lib.complexes().iter().any(|c| c.name == "dsd.T0"));
+    }
+
+    #[test]
+    fn trimolecular_is_rejected() {
+        let crn: Crn = "3X -> Y @fast".parse().unwrap();
+        assert!(matches!(
+            StrandLibrary::from_formal(&crn),
+            Err(DsdError::UnsupportedOrder { order: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn listing_mentions_everything() {
+        let lib = library();
+        let text = lib.listing();
+        assert!(text.contains("signal strands:"));
+        assert!(text.contains("fuel complexes:"));
+        assert!(text.contains("dsd.G1"));
+        assert!(text.contains("5'-"));
+    }
+
+    #[test]
+    fn sequences_satisfy_the_constraints() {
+        let lib = library();
+        let assignment = lib.assign_sequences(6, 20, 42).unwrap();
+        assert!(!assignment.is_empty());
+        for s in lib.strands() {
+            for d in &s.domains {
+                let seq = assignment.sequence(&d.name).expect("assigned");
+                let expected_len = match d.kind {
+                    DomainKind::Toehold => 6,
+                    DomainKind::Branch => 20,
+                };
+                assert_eq!(seq.len(), expected_len);
+                let gc = seq.chars().filter(|&c| c == 'G' || c == 'C').count() as f64
+                    / seq.len() as f64;
+                assert!((0.3..=0.7).contains(&gc), "{seq}");
+                assert!(
+                    !seq.as_bytes()
+                        .windows(4)
+                        .any(|w| w.iter().all(|&b| b == w[0])),
+                    "{seq} has a homopolymer run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_are_deterministic_in_the_seed() {
+        let lib = library();
+        let a = lib.assign_sequences(6, 20, 7).unwrap();
+        let b = lib.assign_sequences(6, 20, 7).unwrap();
+        let c = lib.assign_sequences(6, 20, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn complement_round_trips() {
+        let lib = library();
+        let assignment = lib.assign_sequences(6, 20, 1).unwrap();
+        let seq = assignment.sequence("t0").unwrap();
+        let rc = assignment.complement_of("t0").unwrap();
+        let back = String::from_utf8(reverse_complement(rc.as_bytes())).unwrap();
+        assert_eq!(seq, back);
+    }
+
+    #[test]
+    fn render_strand_concatenates_domains() {
+        let lib = library();
+        let assignment = lib.assign_sequences(6, 12, 3).unwrap();
+        let rendered = assignment.render_strand(&lib.strands()[0]);
+        // toehold + 2 branches + 2 separators
+        assert_eq!(rendered.len(), 6 + 12 + 12 + 2);
+    }
+
+    #[test]
+    fn rejects_too_short_domains() {
+        let lib = library();
+        assert!(lib.assign_sequences(3, 20, 0).is_err());
+        assert!(lib.assign_sequences(6, 7, 0).is_err());
+    }
+}

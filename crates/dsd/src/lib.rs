@@ -1,0 +1,693 @@
+//! # molseq-dsd — DNA strand-displacement compilation
+//!
+//! The paper proposes DNA strand displacement (DSD) as the experimental
+//! chassis for its reaction schemes, following Soloveichik, Seelig &
+//! Winfree (2010): every formal species becomes a free signal strand, and
+//! every formal reaction becomes a small cascade of toehold-mediated
+//! displacement steps against *fuel* complexes.
+//!
+//! Since no wet lab is attached to this repository, the compiler plus the
+//! shared ODE engine stand in for the chassis (see DESIGN.md): the same
+//! simulator runs the abstract network and its compiled DSD image, which
+//! is exactly the validation methodology the paper itself uses.
+//!
+//! ## Translation scheme
+//!
+//! With fuel concentration `C` (all fuels initialized to `C`) and a
+//! maximum displacement rate `q`:
+//!
+//! * **zero-order** `∅ →ᵏ X`:
+//!   `Gᵣ →(k/C) X + Wᵣ` — a fuel that slowly falls apart into the signal.
+//! * **unimolecular** `A →ᵏ P…`:
+//!   `A + Gᵣ →(k/C) Iᵣ`, then `Iᵣ + Tᵣ →(q) P… + Wᵣ` — effective rate
+//!   `k·[A]` while the gate remains near `C`.
+//! * **bimolecular** `A + B →ᵏ P…`:
+//!   `A + Gᵣ ⇌(β·q/C, q) Hᵣ` (reversible binding holding a fraction
+//!   `≈ β` of `A` on the gate), `Hᵣ + B →(k/β) Oᵣ`,
+//!   `Oᵣ + Tᵣ →(q) P… + Wᵣ` — effective rate `k·[A]·[B]`.
+//!
+//! Exact rate calibration à la Soloveichik is unnecessary here: the source
+//! constructs are **rate-independent by design**, so the compilation only
+//! needs to keep fast reactions fast and slow ones slow, which the scheme
+//! above does while preserving the reaction *orders*. The known physical
+//! distortions remain visible and measurable: fuels deplete, a `β`
+//! fraction of each bimolecular reactant is sequestered on gates, and
+//! every reaction gains latency through its cascade — experiment E8
+//! quantifies all three.
+//!
+//! Formal reactions of molecularity ≥ 3 are rejected (no three-body
+//! collisions in DNA); build such arithmetic as cascades of molecularity
+//! ≤ 2 before compiling.
+//!
+//! ## Example
+//!
+//! ```
+//! use molseq_crn::{Crn, RateAssignment};
+//! use molseq_dsd::{DsdParams, DsdSystem};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let formal: Crn = "A -> B @slow\nA + B -> 0 @fast".parse()?;
+//! let dsd = DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())?;
+//! // each formal reaction becomes a cascade
+//! assert!(dsd.crn().reactions().len() > formal.reactions().len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod domains;
+
+pub use domains::{
+    Complex, Domain, DomainKind, SequenceAssignment, Strand, StrandLibrary,
+};
+
+use molseq_crn::{Crn, CrnError, CrnStats, Rate, RateAssignment, SpeciesId};
+use molseq_kinetics::State;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the compiler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DsdError {
+    /// A formal reaction has molecularity three or higher.
+    UnsupportedOrder {
+        /// Index of the offending formal reaction.
+        reaction: usize,
+        /// Its molecularity.
+        order: u32,
+    },
+    /// A parameter was out of range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An error from the network layer.
+    Network(CrnError),
+}
+
+impl fmt::Display for DsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsdError::UnsupportedOrder { reaction, order } => write!(
+                f,
+                "formal reaction {reaction} has molecularity {order}; strand displacement supports at most 2"
+            ),
+            DsdError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` = {value} is out of range")
+            }
+            DsdError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for DsdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DsdError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CrnError> for DsdError {
+    fn from(e: CrnError) -> Self {
+        DsdError::Network(e)
+    }
+}
+
+/// Physical parameters of the compilation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsdParams {
+    /// Fuel concentration `C` (gates and translators start here). Must be
+    /// large relative to the signal quantities or the gates saturate.
+    pub fuel: f64,
+    /// Maximum displacement rate constant `q` for the fast cascade steps.
+    pub q_max: f64,
+    /// Fraction `β` of a bimolecular first reactant held on its gate at
+    /// quasi-equilibrium (`0 < β < 1`). Larger `β` speeds the effective
+    /// reaction but sequesters more signal.
+    pub bind_fraction: f64,
+    /// Spurious *leak* rate constant: every gate/translator fuel pair can
+    /// fire without a trigger at this (small) rate, producing output from
+    /// nothing — the dominant failure mode of real strand-displacement
+    /// circuits. `0` (the default) models ideal strands; experiment E11
+    /// sweeps it.
+    pub leak: f64,
+}
+
+impl Default for DsdParams {
+    /// `fuel = 10_000`, `q_max = 100`, `β = 0.1`, no leak.
+    fn default() -> Self {
+        DsdParams {
+            fuel: 10_000.0,
+            q_max: 100.0,
+            bind_fraction: 0.1,
+            leak: 0.0,
+        }
+    }
+}
+
+impl DsdParams {
+    fn validate(&self) -> Result<(), DsdError> {
+        let check = |name: &'static str, v: f64, ok: bool| {
+            if ok {
+                Ok(())
+            } else {
+                Err(DsdError::InvalidParameter { name, value: v })
+            }
+        };
+        check("fuel", self.fuel, self.fuel.is_finite() && self.fuel > 0.0)?;
+        check(
+            "q_max",
+            self.q_max,
+            self.q_max.is_finite() && self.q_max > 0.0,
+        )?;
+        check(
+            "bind_fraction",
+            self.bind_fraction,
+            self.bind_fraction > 0.0 && self.bind_fraction < 1.0,
+        )?;
+        check("leak", self.leak, self.leak.is_finite() && self.leak >= 0.0)?;
+        Ok(())
+    }
+}
+
+/// Size comparison between a formal network and its DSD image
+/// (experiment E8's table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsdCost {
+    /// Formal network statistics.
+    pub formal: (usize, usize),
+    /// Compiled network statistics `(species, reactions)`.
+    pub compiled: (usize, usize),
+    /// Number of fuel complexes that must be supplied.
+    pub fuels: usize,
+}
+
+/// A compiled strand-displacement system.
+#[derive(Debug, Clone)]
+pub struct DsdSystem {
+    crn: Crn,
+    /// formal species index → compiled signal strand
+    signals: Vec<SpeciesId>,
+    /// formal species index → intermediates that transiently hold it
+    apparent_extra: Vec<Vec<SpeciesId>>,
+    fuels: Vec<SpeciesId>,
+    params: DsdParams,
+    formal_stats: CrnStats,
+}
+
+impl DsdSystem {
+    /// Compiles a formal network under a numeric rate assignment.
+    ///
+    /// The compiled network uses only explicit (`Fixed`) rate constants —
+    /// the physical displacement rates — so the simulator's rate
+    /// assignment no longer applies to it.
+    ///
+    /// # Errors
+    ///
+    /// [`DsdError::UnsupportedOrder`] for molecularity ≥ 3;
+    /// [`DsdError::InvalidParameter`] for bad parameters.
+    pub fn compile(
+        formal: &Crn,
+        assignment: RateAssignment,
+        params: &DsdParams,
+    ) -> Result<Self, DsdError> {
+        params.validate()?;
+        let mut crn = Crn::new();
+        // signal strands mirror the formal species names
+        let signals: Vec<SpeciesId> = formal
+            .species_iter()
+            .map(|(_, sp)| crn.species(sp.name()))
+            .collect();
+        let mut apparent_extra: Vec<Vec<SpeciesId>> = vec![Vec::new(); signals.len()];
+        let mut fuels = Vec::new();
+
+        for (j, reaction) in formal.reactions().iter().enumerate() {
+            let k = assignment.value_of(reaction.rate());
+            let products: Vec<(SpeciesId, u32)> = reaction
+                .products()
+                .iter()
+                .map(|t| (signals[t.species.index()], t.stoich))
+                .collect();
+            let mut reactants: Vec<(usize, u32)> = reaction
+                .reactants()
+                .iter()
+                .map(|t| (t.species.index(), t.stoich))
+                .collect();
+            let order = reaction.order();
+            match order {
+                0 => {
+                    // G_j -> products + W_j at rate k / C
+                    let g = crn.species(format!("dsd.G{j}"));
+                    let w = crn.species(format!("dsd.W{j}"));
+                    fuels.push(g);
+                    let mut out = products.clone();
+                    out.push((w, 1));
+                    crn.reaction_labeled(
+                        &[(g, 1)],
+                        &out,
+                        Rate::Fixed(k / params.fuel),
+                        format!("dsd r{j} source"),
+                    )?;
+                }
+                1 => {
+                    let a = signals[reactants[0].0];
+                    let g = crn.species(format!("dsd.G{j}"));
+                    let i = crn.species(format!("dsd.I{j}"));
+                    let t = crn.species(format!("dsd.T{j}"));
+                    let w = crn.species(format!("dsd.W{j}"));
+                    fuels.push(g);
+                    fuels.push(t);
+                    apparent_extra[reactants[0].0].push(i);
+                    crn.reaction_labeled(
+                        &[(a, 1), (g, 1)],
+                        &[(i, 1)],
+                        Rate::Fixed(k / params.fuel),
+                        format!("dsd r{j} bind"),
+                    )?;
+                    let mut out = products.clone();
+                    out.push((w, 1));
+                    crn.reaction_labeled(
+                        &[(i, 1), (t, 1)],
+                        &out,
+                        Rate::Fixed(params.q_max),
+                        format!("dsd r{j} translate"),
+                    )?;
+                    if params.leak > 0.0 {
+                        let mut leak_out = products.clone();
+                        leak_out.push((w, 1));
+                        crn.reaction_labeled(
+                            &[(g, 1), (t, 1)],
+                            &leak_out,
+                            Rate::Fixed(params.leak),
+                            format!("dsd r{j} leak"),
+                        )?;
+                    }
+                }
+                2 => {
+                    // normalize `2A -> …` to reactants [A, A]
+                    if reactants.len() == 1 {
+                        let (s, _) = reactants[0];
+                        reactants = vec![(s, 1), (s, 1)];
+                    }
+                    let (ai, bi) = (reactants[0].0, reactants[1].0);
+                    let a = signals[ai];
+                    let b = signals[bi];
+                    let g = crn.species(format!("dsd.G{j}"));
+                    let h = crn.species(format!("dsd.H{j}"));
+                    let o = crn.species(format!("dsd.O{j}"));
+                    let t = crn.species(format!("dsd.T{j}"));
+                    let w = crn.species(format!("dsd.W{j}"));
+                    fuels.push(g);
+                    fuels.push(t);
+                    apparent_extra[ai].push(h);
+                    // A + G ⇌ H with bound fraction β: forward β·q/C,
+                    // backward q
+                    crn.reaction_labeled(
+                        &[(a, 1), (g, 1)],
+                        &[(h, 1)],
+                        Rate::Fixed(params.bind_fraction * params.q_max / params.fuel),
+                        format!("dsd r{j} bind"),
+                    )?;
+                    crn.reaction_labeled(
+                        &[(h, 1)],
+                        &[(a, 1), (g, 1)],
+                        Rate::Fixed(params.q_max),
+                        format!("dsd r{j} unbind"),
+                    )?;
+                    // H + B -> O at k/β gives the formal k·[A]·[B]
+                    crn.reaction_labeled(
+                        &[(h, 1), (b, 1)],
+                        &[(o, 1)],
+                        Rate::Fixed(k / params.bind_fraction),
+                        format!("dsd r{j} displace"),
+                    )?;
+                    let mut out = products.clone();
+                    out.push((w, 1));
+                    crn.reaction_labeled(
+                        &[(o, 1), (t, 1)],
+                        &out,
+                        Rate::Fixed(params.q_max),
+                        format!("dsd r{j} translate"),
+                    )?;
+                    if params.leak > 0.0 {
+                        let mut leak_out = products.clone();
+                        leak_out.push((w, 1));
+                        crn.reaction_labeled(
+                            &[(g, 1), (t, 1)],
+                            &leak_out,
+                            Rate::Fixed(params.leak),
+                            format!("dsd r{j} leak"),
+                        )?;
+                    }
+                }
+                other => {
+                    return Err(DsdError::UnsupportedOrder {
+                        reaction: j,
+                        order: other,
+                    })
+                }
+            }
+        }
+
+        Ok(DsdSystem {
+            crn,
+            signals,
+            apparent_extra,
+            fuels,
+            params: *params,
+            formal_stats: CrnStats::of(formal),
+        })
+    }
+
+    /// The compiled network.
+    #[must_use]
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// The compiled signal strand for a formal species.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to the formal network this system
+    /// was compiled from.
+    #[must_use]
+    pub fn signal(&self, formal: SpeciesId) -> SpeciesId {
+        self.signals[formal.index()]
+    }
+
+    /// The species whose sum best approximates the formal species'
+    /// quantity: the free strand plus the gate intermediates that
+    /// transiently hold it.
+    #[must_use]
+    pub fn apparent(&self, formal: SpeciesId) -> Vec<SpeciesId> {
+        let mut v = vec![self.signals[formal.index()]];
+        v.extend(self.apparent_extra[formal.index()].iter().copied());
+        v
+    }
+
+    /// The fuel complexes (gates and translators).
+    #[must_use]
+    pub fn fuels(&self) -> &[SpeciesId] {
+        &self.fuels
+    }
+
+    /// Builds the compiled initial state: every fuel at the configured
+    /// concentration and each formal amount on its free signal strand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `formal_state` does not match the formal network's size.
+    #[must_use]
+    pub fn initial_state(&self, formal_state: &[f64]) -> State {
+        assert_eq!(
+            formal_state.len(),
+            self.signals.len(),
+            "formal state must match the formal network"
+        );
+        let mut s = State::new(&self.crn);
+        for &fuel in &self.fuels {
+            s.set(fuel, self.params.fuel);
+        }
+        for (i, &amount) in formal_state.iter().enumerate() {
+            s.set(self.signals[i], amount);
+        }
+        s
+    }
+
+    /// The species mapping for
+    /// [`compare_trajectories`](molseq_kinetics::compare_trajectories):
+    /// each formal species (reference) corresponds to its free signal
+    /// strand plus the gate intermediates that transiently hold it, all
+    /// with weight 1.
+    #[must_use]
+    pub fn mapping(&self) -> Vec<molseq_kinetics::MappedSpecies> {
+        (0..self.signals.len())
+            .map(|i| {
+                let formal = SpeciesId::from_index(i);
+                molseq_kinetics::MappedSpecies {
+                    label: self.crn.species_name(self.signals[i]).to_owned(),
+                    reference: formal,
+                    implementation: self
+                        .apparent(formal)
+                        .into_iter()
+                        .map(|s| (s, 1.0))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Size comparison with the formal network.
+    #[must_use]
+    pub fn cost(&self) -> DsdCost {
+        let compiled = CrnStats::of(&self.crn);
+        DsdCost {
+            formal: (self.formal_stats.species, self.formal_stats.reactions),
+            compiled: (compiled.species, compiled.reactions),
+            fuels: self.fuels.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
+
+    fn simulate(system: &DsdSystem, init: &State, t_end: f64) -> molseq_kinetics::Trace {
+        simulate_ode(
+            system.crn(),
+            init,
+            &Schedule::new(),
+            &OdeOptions::default()
+                .with_t_end(t_end)
+                .with_record_interval(t_end / 100.0),
+            &SimSpec::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unimolecular_transfer_completes() {
+        let formal: Crn = "A -> B @slow".parse().unwrap();
+        let a = formal.find_species("A").unwrap();
+        let b = formal.find_species("B").unwrap();
+        let dsd =
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
+                .unwrap();
+        let init = dsd.initial_state(&[50.0, 0.0]);
+        let trace = simulate(&dsd, &init, 20.0);
+        let fin = trace.final_state();
+        assert!(fin[dsd.signal(b).index()] > 49.0, "B = {}", fin[dsd.signal(b).index()]);
+        assert!(fin[dsd.signal(a).index()] < 1.0);
+    }
+
+    #[test]
+    fn unimolecular_rate_is_roughly_preserved() {
+        // A -> B at k=1: after t=1, [A] ≈ 50/e.
+        let formal: Crn = "A -> B @slow".parse().unwrap();
+        let a = formal.find_species("A").unwrap();
+        let dsd =
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
+                .unwrap();
+        let init = dsd.initial_state(&[50.0, 0.0]);
+        let trace = simulate(&dsd, &init, 1.0);
+        let free_a = trace.final_state()[dsd.signal(a).index()];
+        let expected = 50.0 / std::f64::consts::E;
+        assert!(
+            (free_a - expected).abs() < 2.0,
+            "{free_a} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn bimolecular_annihilation_preserves_difference() {
+        let formal: Crn = "X + Y -> 0 @fast".parse().unwrap();
+        let x = formal.find_species("X").unwrap();
+        let y = formal.find_species("Y").unwrap();
+        let dsd =
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
+                .unwrap();
+        let init = dsd.initial_state(&[30.0, 12.0]);
+        let trace = simulate(&dsd, &init, 50.0);
+        let fin = trace.final_state();
+        let x_apparent: f64 = dsd.apparent(x).iter().map(|s| fin[s.index()]).sum();
+        let y_free = fin[dsd.signal(y).index()];
+        assert!((x_apparent - 18.0).abs() < 1.0, "X left: {x_apparent}");
+        assert!(y_free < 1.0, "Y left: {y_free}");
+    }
+
+    #[test]
+    fn dimerization_is_normalized() {
+        let formal: Crn = "2X -> Y @fast".parse().unwrap();
+        let y = formal.find_species("Y").unwrap();
+        let dsd =
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
+                .unwrap();
+        let init = dsd.initial_state(&[40.0, 0.0]);
+        let trace = simulate(&dsd, &init, 50.0);
+        let fin = trace.final_state();
+        assert!(
+            (fin[dsd.signal(y).index()] - 20.0).abs() < 1.0,
+            "Y = {}",
+            fin[dsd.signal(y).index()]
+        );
+    }
+
+    #[test]
+    fn zero_order_source_produces_linearly() {
+        let formal: Crn = "0 -> X @slow".parse().unwrap();
+        let x = formal.find_species("X").unwrap();
+        let dsd =
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
+                .unwrap();
+        let init = dsd.initial_state(&[0.0]);
+        let trace = simulate(&dsd, &init, 10.0);
+        let fin = trace.final_state()[dsd.signal(x).index()];
+        assert!((fin - 10.0).abs() < 0.2, "X = {fin} after t=10 at k=1");
+    }
+
+    #[test]
+    fn rejects_trimolecular() {
+        let formal: Crn = "3X -> Y @fast".parse().unwrap();
+        let err = DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
+            .unwrap_err();
+        assert!(matches!(err, DsdError::UnsupportedOrder { order: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let formal: Crn = "A -> B @slow".parse().unwrap();
+        for params in [
+            DsdParams {
+                fuel: 0.0,
+                ..DsdParams::default()
+            },
+            DsdParams {
+                q_max: -1.0,
+                ..DsdParams::default()
+            },
+            DsdParams {
+                bind_fraction: 1.5,
+                ..DsdParams::default()
+            },
+        ] {
+            assert!(matches!(
+                DsdSystem::compile(&formal, RateAssignment::default(), &params),
+                Err(DsdError::InvalidParameter { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn cost_reports_blowup() {
+        let formal: Crn = "A -> B @slow\nA + B -> 0 @fast\n0 -> A @slow".parse().unwrap();
+        let dsd =
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
+                .unwrap();
+        let cost = dsd.cost();
+        assert_eq!(cost.formal, (2, 3));
+        assert!(cost.compiled.0 > 2, "more species");
+        assert!(cost.compiled.1 > 3, "more reactions");
+        assert_eq!(cost.fuels, 2 + 2 + 1);
+    }
+
+    #[test]
+    fn leak_produces_untriggered_output() {
+        // A -> B with *zero* A present: with leak, B still appears
+        let formal: Crn = "A -> B @slow".parse().unwrap();
+        let b = formal.find_species("B").unwrap();
+        let leaky = DsdParams {
+            leak: 1e-6,
+            ..DsdParams::default()
+        };
+        let dsd = DsdSystem::compile(&formal, RateAssignment::default(), &leaky).unwrap();
+        let init = dsd.initial_state(&[0.0, 0.0]);
+        let trace = simulate(&dsd, &init, 10.0);
+        let spurious = trace.final_state()[dsd.signal(b).index()];
+        // leak flux = 1e-6 · C² = 0.1 per unit time → ~1 after t = 10
+        assert!(spurious > 0.3, "leak must produce output: {spurious}");
+
+        // without leak: nothing
+        let clean =
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
+                .unwrap();
+        let trace = simulate(&clean, &clean.initial_state(&[0.0, 0.0]), 10.0);
+        assert!(trace.final_state()[clean.signal(b).index()] < 1e-9);
+    }
+
+    #[test]
+    fn mapping_feeds_trajectory_comparison() {
+        use molseq_kinetics::{compare_trajectories, OdeOptions, Schedule, SimSpec, State};
+        let formal: Crn = "A -> B @slow\nA + B -> 0 @fast".parse().unwrap();
+        let a = formal.find_species("A").unwrap();
+        let mut init = State::new(&formal);
+        init.set(a, 40.0);
+        let opts = OdeOptions::default()
+            .with_t_end(20.0)
+            .with_record_interval(0.2);
+        let formal_trace = molseq_kinetics::simulate_ode(
+            &formal,
+            &init,
+            &Schedule::new(),
+            &opts,
+            &SimSpec::default(),
+        )
+        .unwrap();
+
+        let dsd = DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
+            .unwrap();
+        let dsd_trace = molseq_kinetics::simulate_ode(
+            dsd.crn(),
+            &dsd.initial_state(init.as_slice()),
+            &Schedule::new(),
+            &opts,
+            &SimSpec::default(),
+        )
+        .unwrap();
+
+        let report = compare_trajectories(&formal_trace, &dsd_trace, &dsd.mapping());
+        // the DSD image tracks the formal trajectory within a few percent
+        // of the 40-unit amplitude (cascade latency + gate sequestration)
+        assert!(report.max_abs < 4.0, "{report:?}");
+        assert!(report.rms < 1.5, "{report:?}");
+    }
+
+    #[test]
+    fn fuel_depletion_slows_but_does_not_break() {
+        // with tiny fuel, the unimolecular transfer still completes, later
+        let formal: Crn = "A -> B @slow".parse().unwrap();
+        let b = formal.find_species("B").unwrap();
+        let lean = DsdParams {
+            fuel: 100.0,
+            ..DsdParams::default()
+        };
+        let dsd = DsdSystem::compile(&formal, RateAssignment::default(), &lean).unwrap();
+        let init = dsd.initial_state(&[50.0, 0.0]);
+        let trace = simulate(&dsd, &init, 60.0);
+        let fin = trace.final_state()[dsd.signal(b).index()];
+        assert!(fin > 49.0, "B = {fin}");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DsdError::UnsupportedOrder {
+            reaction: 4,
+            order: 3,
+        };
+        assert!(e.to_string().contains("molecularity 3"));
+        let p = DsdError::InvalidParameter {
+            name: "fuel",
+            value: -1.0,
+        };
+        assert!(p.to_string().contains("fuel"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # molseq-dsp — DSP synthesis onto molecular synchronous circuits
+//!
+//! The application layer the paper's evaluation leans on (following the
+//! authors' ICCAD 2010 synthesis flow): signal-flow graphs — delays, gains,
+//! adders — compiled onto the clocked molecular framework of `molseq-sync`.
+//!
+//! * [`Ratio`] — positive rational gains. Because a molecular scaling
+//!   reaction `qX → pY` is a `q`-body collision, denominators are limited
+//!   to products of 2s and 3s and are synthesized as cascades.
+//! * [`SfgBuilder`] — a thin, DSP-flavoured wrapper over
+//!   [`SyncCircuit`](molseq_sync::SyncCircuit).
+//! * [`Filter`] — a compiled filter together with its ideal (floating
+//!   point) reference model, so experiments can report molecular-vs-ideal
+//!   error per output sample.
+//! * [`moving_average`], [`fir`], [`iir_first_order`], [`biquad`] — the
+//!   standard structures, ready to run.
+//!
+//! ## Example
+//!
+//! ```
+//! use molseq_dsp::moving_average;
+//! use molseq_sync::ClockSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let filter = moving_average(2, ClockSpec::default())?;
+//! // ideal reference: y(n) = (x(n) + x(n-1)) / 2
+//! let ideal = filter.ideal_response(&[10.0, 30.0]);
+//! assert_eq!(ideal, vec![5.0, 20.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod filter;
+mod ratio;
+mod sfg;
+
+pub use filter::{biquad, fir, iir_first_order, moving_average, rmse, Filter};
+pub use ratio::Ratio;
+pub use sfg::SfgBuilder;

@@ -1,0 +1,170 @@
+//! Positive rational gains with molecular-feasible denominators.
+
+use molseq_sync::SyncError;
+use std::fmt;
+
+/// A positive rational gain `p/q`.
+///
+/// The denominator must factor into 2s and 3s: a molecular scaling
+/// reaction `qX → pY` is a `q`-body collision, so each synthesized stage
+/// divides by at most 3 and larger denominators are built as cascades
+/// (`1/4 = 1/2 · 1/2`, `1/12 = 1/2 · 1/2 · 1/3`, …).
+///
+/// # Examples
+///
+/// ```
+/// use molseq_dsp::Ratio;
+///
+/// let half = Ratio::new(1, 2)?;
+/// assert_eq!(half.as_f64(), 0.5);
+/// assert_eq!(half.stages(), vec![(1, 2)]);
+///
+/// let twelfth = Ratio::new(5, 12)?;
+/// assert_eq!(twelfth.stages(), vec![(5, 2), (1, 2), (1, 3)]);
+/// # Ok::<(), molseq_sync::SyncError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    p: u32,
+    q: u32,
+}
+
+impl Ratio {
+    /// Creates a ratio, reducing it to lowest terms.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnsupportedScale`] if `p` or `q` is zero, or if the
+    /// reduced denominator has a prime factor other than 2 or 3.
+    pub fn new(p: u32, q: u32) -> Result<Self, SyncError> {
+        if p == 0 || q == 0 {
+            return Err(SyncError::UnsupportedScale { p, q });
+        }
+        let g = gcd(p, q);
+        let (p, q) = (p / g, q / g);
+        let mut rest = q;
+        while rest.is_multiple_of(2) {
+            rest /= 2;
+        }
+        while rest.is_multiple_of(3) {
+            rest /= 3;
+        }
+        if rest != 1 {
+            return Err(SyncError::UnsupportedScale { p, q });
+        }
+        Ok(Ratio { p, q })
+    }
+
+    /// The ratio `1/1`.
+    #[must_use]
+    pub fn one() -> Self {
+        Ratio { p: 1, q: 1 }
+    }
+
+    /// Numerator (lowest terms).
+    #[must_use]
+    pub fn numer(self) -> u32 {
+        self.p
+    }
+
+    /// Denominator (lowest terms).
+    #[must_use]
+    pub fn denom(self) -> u32 {
+        self.q
+    }
+
+    /// The gain as a float.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.p) / f64::from(self.q)
+    }
+
+    /// Decomposes the gain into scaling stages `(p_i, q_i)` with every
+    /// `q_i ∈ {1, 2, 3}`: the numerator rides on the first stage and the
+    /// denominator's 2/3 factors become one stage each.
+    #[must_use]
+    pub fn stages(self) -> Vec<(u32, u32)> {
+        let mut factors = Vec::new();
+        let mut rest = self.q;
+        while rest.is_multiple_of(2) {
+            factors.push(2);
+            rest /= 2;
+        }
+        while rest.is_multiple_of(3) {
+            factors.push(3);
+            rest /= 3;
+        }
+        if factors.is_empty() {
+            return vec![(self.p, 1)];
+        }
+        let mut stages = Vec::with_capacity(factors.len());
+        for (i, q) in factors.into_iter().enumerate() {
+            let p = if i == 0 { self.p } else { 1 };
+            stages.push((p, q));
+        }
+        stages
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.q == 1 {
+            write!(f, "{}", self.p)
+        } else {
+            write!(f, "{}/{}", self.p, self.q)
+        }
+    }
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let r = Ratio::new(4, 8).unwrap();
+        assert_eq!((r.numer(), r.denom()), (1, 2));
+        assert_eq!(r.to_string(), "1/2");
+        assert_eq!(Ratio::new(6, 2).unwrap().to_string(), "3");
+    }
+
+    #[test]
+    fn rejects_unfactorable_denominators() {
+        assert!(Ratio::new(1, 5).is_err());
+        assert!(Ratio::new(1, 7).is_err());
+        assert!(Ratio::new(0, 2).is_err());
+        assert!(Ratio::new(2, 0).is_err());
+        // 5/10 reduces to 1/2: fine
+        assert!(Ratio::new(5, 10).is_ok());
+    }
+
+    #[test]
+    fn stage_products_equal_the_ratio() {
+        for (p, q) in [(1, 2), (3, 4), (5, 12), (7, 1), (2, 3), (5, 18)] {
+            let r = Ratio::new(p, q).unwrap();
+            let product: f64 = r
+                .stages()
+                .iter()
+                .map(|&(sp, sq)| f64::from(sp) / f64::from(sq))
+                .product();
+            assert!((product - r.as_f64()).abs() < 1e-12, "{p}/{q}");
+            for &(_, sq) in &r.stages() {
+                assert!(sq <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn one_is_identity() {
+        assert_eq!(Ratio::one().as_f64(), 1.0);
+        assert_eq!(Ratio::one().stages(), vec![(1, 1)]);
+    }
+}

@@ -1,0 +1,168 @@
+//! The signal-flow-graph builder.
+
+use crate::Ratio;
+use molseq_sync::{ClockSpec, CompiledSystem, Node, SyncCircuit, SyncError};
+
+/// A DSP-flavoured wrapper over [`SyncCircuit`]: the same expression DAG,
+/// with rational gains synthesized as scaling cascades and auto-named
+/// delay registers.
+///
+/// # Examples
+///
+/// A first-order leaky integrator `y(n+1) = ¾·y(n) + ¼·x(n)`:
+///
+/// ```
+/// use molseq_dsp::{Ratio, SfgBuilder};
+/// use molseq_sync::ClockSpec;
+///
+/// # fn main() -> Result<(), molseq_sync::SyncError> {
+/// let mut sfg = SfgBuilder::new(ClockSpec::default());
+/// let x = sfg.input("x");
+/// let y_state = sfg.feedback("y_state");
+/// let fed_back = sfg.gain(y_state, Ratio::new(3, 4)?)?;
+/// let fresh = sfg.gain(x, Ratio::new(1, 4)?)?;
+/// let next = sfg.add(&[fed_back, fresh]);
+/// sfg.bind_feedback("y_state", next)?;
+/// sfg.output("y", y_state);
+/// let system = sfg.compile()?;
+/// assert!(system.output_species("y").is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SfgBuilder {
+    circuit: SyncCircuit,
+    auto_delays: usize,
+    auto_gains: usize,
+}
+
+impl SfgBuilder {
+    /// Creates an empty signal-flow graph.
+    #[must_use]
+    pub fn new(clock: ClockSpec) -> Self {
+        SfgBuilder {
+            circuit: SyncCircuit::new(clock),
+            auto_delays: 0,
+            auto_gains: 0,
+        }
+    }
+
+    /// Declares an input port.
+    pub fn input(&mut self, name: &str) -> Node {
+        self.circuit.input(name)
+    }
+
+    /// A unit delay (`z⁻¹`), auto-named.
+    pub fn delay(&mut self, src: Node) -> Node {
+        self.auto_delays += 1;
+        self.circuit
+            .delay(&format!("z{}", self.auto_delays), src)
+    }
+
+    /// A named unit delay.
+    pub fn named_delay(&mut self, name: &str, src: Node) -> Node {
+        self.circuit.delay(name, src)
+    }
+
+    /// A feedback register (bind its source later with
+    /// [`bind_feedback`](Self::bind_feedback)).
+    pub fn feedback(&mut self, name: &str) -> Node {
+        self.circuit.feedback_delay(name)
+    }
+
+    /// Binds the source of a feedback register.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownPort`] if no register has that name.
+    pub fn bind_feedback(&mut self, name: &str, source: Node) -> Result<(), SyncError> {
+        self.circuit.rebind_register(name, source)
+    }
+
+    /// A rational gain, synthesized as a cascade of molecular scaling
+    /// stages (each at most a three-body collision).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncError::UnsupportedScale`] from [`Ratio`]
+    /// construction — but the `Ratio` passed in is already validated, so
+    /// this only fails for internal inconsistencies.
+    pub fn gain(&mut self, src: Node, ratio: Ratio) -> Result<Node, SyncError> {
+        self.auto_gains += 1;
+        let mut node = src;
+        for (p, q) in ratio.stages() {
+            if (p, q) == (1, 1) {
+                continue;
+            }
+            node = self.circuit.scale(node, p, q);
+        }
+        Ok(node)
+    }
+
+    /// Sums any number of signals.
+    pub fn add(&mut self, terms: &[Node]) -> Node {
+        self.circuit.add(terms)
+    }
+
+    /// Clamped difference `max(a − b, 0)` — used for negative filter
+    /// coefficients (the subtracted branch).
+    pub fn sub(&mut self, a: Node, b: Node) -> Node {
+        self.circuit.sub(a, b)
+    }
+
+    /// Declares an output port.
+    pub fn output(&mut self, name: &str, src: Node) {
+        self.circuit.output(name, src);
+    }
+
+    /// Compiles to a reaction system.
+    ///
+    /// # Errors
+    ///
+    /// See [`SyncCircuit::compile`].
+    pub fn compile(self) -> Result<CompiledSystem, SyncError> {
+        self.circuit.compile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_cascades_compile() {
+        let mut sfg = SfgBuilder::new(ClockSpec::default());
+        let x = sfg.input("x");
+        let g = sfg.gain(x, Ratio::new(5, 12).unwrap()).unwrap();
+        sfg.output("y", g);
+        assert!(sfg.compile().is_ok());
+    }
+
+    #[test]
+    fn unit_gain_is_a_wire() {
+        let mut sfg = SfgBuilder::new(ClockSpec::default());
+        let x = sfg.input("x");
+        let g = sfg.gain(x, Ratio::one()).unwrap();
+        assert_eq!(g, x, "unit gain adds no nodes");
+        sfg.output("y", g);
+        assert!(sfg.compile().is_ok());
+    }
+
+    #[test]
+    fn delays_autoname_uniquely() {
+        let mut sfg = SfgBuilder::new(ClockSpec::default());
+        let x = sfg.input("x");
+        let d1 = sfg.delay(x);
+        let d2 = sfg.delay(d1);
+        sfg.output("y", d2);
+        assert!(sfg.compile().is_ok());
+    }
+
+    #[test]
+    fn unbound_feedback_fails_compilation() {
+        let mut sfg = SfgBuilder::new(ClockSpec::default());
+        let f = sfg.feedback("loop");
+        sfg.output("y", f);
+        assert!(sfg.compile().is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Behavioural comparison of trajectories — the verification step behind
+//! the strand-displacement experiments.
+//!
+//! Checking that a compiled (e.g. DNA-level) network implements its formal
+//! specification reduces to comparing trajectories under a species
+//! mapping: each formal species corresponds to a *weighted sum* of
+//! implementation species (the free strand plus whatever intermediates
+//! transiently hold it). [`compare_trajectories`] evaluates the worst
+//! divergence over a shared time grid.
+
+use crate::Trace;
+use molseq_crn::SpeciesId;
+
+/// One entry of a species mapping: the reference species on trace A
+/// corresponds to the weighted sum of species on trace B.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedSpecies {
+    /// Label used in the report (typically the formal species name).
+    pub label: String,
+    /// The species on the reference trace.
+    pub reference: SpeciesId,
+    /// Weighted implementation species: the comparison value is
+    /// `Σ weight · [species]`.
+    pub implementation: Vec<(SpeciesId, f64)>,
+}
+
+/// The worst divergence found by a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Largest absolute difference observed.
+    pub max_abs: f64,
+    /// When it occurred.
+    pub at_time: f64,
+    /// Which mapped species it occurred on.
+    pub species: String,
+    /// Root-mean-square difference over all mapped species and samples.
+    pub rms: f64,
+}
+
+/// Compares two trajectories under a species mapping, sampling both on the
+/// reference trace's time grid restricted to the overlap of the two
+/// recorded spans (the implementation trace is linearly interpolated).
+///
+/// # Panics
+///
+/// Panics if either trace is empty, the mapping is empty, or the traces'
+/// recorded spans do not overlap.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::Crn;
+/// use molseq_kinetics::{
+///     compare_trajectories, simulate_ode, MappedSpecies, OdeOptions, Schedule, SimSpec, State,
+/// };
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // the same decay, simulated twice: trajectories must agree
+/// let crn: Crn = "X -> Y @slow".parse()?;
+/// let x = crn.find_species("X").expect("parsed");
+/// let mut init = State::new(&crn);
+/// init.set(x, 10.0);
+/// let opts = OdeOptions::default().with_t_end(3.0);
+/// let a = simulate_ode(&crn, &init, &Schedule::new(), &opts, &SimSpec::default())?;
+/// let b = simulate_ode(&crn, &init, &Schedule::new(), &opts, &SimSpec::default())?;
+/// let report = compare_trajectories(
+///     &a,
+///     &b,
+///     &[MappedSpecies {
+///         label: "X".into(),
+///         reference: x,
+///         implementation: vec![(x, 1.0)],
+///     }],
+/// );
+/// assert!(report.max_abs < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn compare_trajectories(
+    reference: &Trace,
+    implementation: &Trace,
+    mapping: &[MappedSpecies],
+) -> Divergence {
+    assert!(!reference.is_empty(), "reference trace is empty");
+    assert!(!implementation.is_empty(), "implementation trace is empty");
+    assert!(!mapping.is_empty(), "mapping is empty");
+
+    let t_lo = reference.times()[0].max(implementation.times()[0]);
+    let t_hi = reference.times()[reference.len() - 1]
+        .min(implementation.times()[implementation.len() - 1]);
+    assert!(t_hi > t_lo, "traces do not overlap in time");
+
+    let mut worst = Divergence {
+        max_abs: 0.0,
+        at_time: t_lo,
+        species: mapping[0].label.clone(),
+        rms: 0.0,
+    };
+    let mut sum_sq = 0.0;
+    let mut count = 0usize;
+    for (i, &t) in reference.times().iter().enumerate() {
+        if t < t_lo || t > t_hi {
+            continue;
+        }
+        let ref_state = reference.state(i);
+        for m in mapping {
+            let a = ref_state[m.reference.index()];
+            let b: f64 = m
+                .implementation
+                .iter()
+                .map(|&(s, w)| w * implementation.value_at(s, t))
+                .sum();
+            let diff = (a - b).abs();
+            sum_sq += diff * diff;
+            count += 1;
+            if diff > worst.max_abs {
+                worst.max_abs = diff;
+                worst.at_time = t;
+                worst.species = m.label.clone();
+            }
+        }
+    }
+    worst.rms = (sum_sq / count.max(1) as f64).sqrt();
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_ode, OdeOptions, Schedule, SimSpec, State};
+    use molseq_crn::{Crn, RateAssignment};
+
+    fn decay_trace(k_slow: f64, t_end: f64) -> (Crn, Trace) {
+        let crn: Crn = "X -> Y @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 10.0);
+        let spec = SimSpec::new(RateAssignment::new(1000.0, k_slow).unwrap());
+        let trace = simulate_ode(
+            &crn,
+            &init,
+            &Schedule::new(),
+            &OdeOptions::default().with_t_end(t_end),
+            &spec,
+        )
+        .unwrap();
+        (crn, trace)
+    }
+
+    #[test]
+    fn identical_runs_diverge_by_nothing() {
+        let (crn, a) = decay_trace(1.0, 3.0);
+        let (_, b) = decay_trace(1.0, 3.0);
+        let x = crn.find_species("X").unwrap();
+        let report = compare_trajectories(
+            &a,
+            &b,
+            &[MappedSpecies {
+                label: "X".into(),
+                reference: x,
+                implementation: vec![(x, 1.0)],
+            }],
+        );
+        assert!(report.max_abs < 1e-9, "{report:?}");
+        assert!(report.rms <= report.max_abs);
+    }
+
+    #[test]
+    fn different_rates_diverge_measurably() {
+        let (crn, a) = decay_trace(1.0, 3.0);
+        let (_, b) = decay_trace(2.0, 3.0);
+        let x = crn.find_species("X").unwrap();
+        let report = compare_trajectories(
+            &a,
+            &b,
+            &[MappedSpecies {
+                label: "X".into(),
+                reference: x,
+                implementation: vec![(x, 1.0)],
+            }],
+        );
+        assert!(report.max_abs > 1.0, "{report:?}");
+        assert_eq!(report.species, "X");
+        assert!(report.at_time > 0.0);
+    }
+
+    #[test]
+    fn weighted_sums_apply() {
+        // compare X against (X/2)·2 — identical by construction
+        let (crn, a) = decay_trace(1.0, 2.0);
+        let x = crn.find_species("X").unwrap();
+        let report = compare_trajectories(
+            &a,
+            &a,
+            &[MappedSpecies {
+                label: "X".into(),
+                reference: x,
+                implementation: vec![(x, 0.5), (x, 0.5)],
+            }],
+        );
+        assert!(report.max_abs < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping is empty")]
+    fn empty_mapping_panics() {
+        let (_, a) = decay_trace(1.0, 1.0);
+        let _ = compare_trajectories(&a, &a, &[]);
+    }
+}

@@ -1,0 +1,129 @@
+//! # molseq-kinetics — simulators for chemical reaction networks
+//!
+//! Two simulators over the [`molseq_crn::Crn`] model:
+//!
+//! * **Deterministic mass-action ODE** integration ([`simulate_ode`]) with a
+//!   fixed-step RK4 and an adaptive Cash–Karp RKF45 method, non-negativity
+//!   projection, timed injections and condition triggers. This is the
+//!   workhorse behind every figure of the paper reproduction: the paper
+//!   validates its designs "through ODE simulations of the mass-action
+//!   chemical kinetics".
+//! * **Stochastic simulation** ([`simulate_ssa`]) with Gillespie's direct
+//!   method over integer copy numbers, used to check that the constructs
+//!   survive molecular noise at finite counts (experiment E10).
+//!
+//! Both share the [`Trace`] recording type and the [`Schedule`] event model,
+//! so an experiment can be run under either interpretation without changes.
+//!
+//! ## Example
+//!
+//! ```
+//! use molseq_crn::{Crn, RateAssignment};
+//! use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, State};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Exponential decay: X -> 0 at the slow rate (k = 1).
+//! let crn: Crn = "X -> 0 @slow".parse()?;
+//! let x = crn.find_species("X").expect("registered by the parser");
+//!
+//! let mut init = State::new(&crn);
+//! init.set(x, 1.0);
+//!
+//! let trace = simulate_ode(
+//!     &crn,
+//!     &init,
+//!     &Schedule::new(),
+//!     &OdeOptions::default().with_t_end(1.0),
+//!     &SimSpec::new(RateAssignment::default()),
+//! )?;
+//! let final_x = trace.final_state()[x.index()];
+//! assert!((final_x - (-1.0f64).exp()).abs() < 1e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compare;
+mod compiled;
+mod error;
+mod events;
+mod nrm;
+mod ode;
+mod plot;
+mod ssa;
+mod state;
+mod stiff;
+mod tau;
+mod trace;
+
+pub use compare::{compare_trajectories, Divergence, MappedSpecies};
+pub use compiled::CompiledCrn;
+pub use error::SimError;
+pub use events::{Condition, Injection, Schedule, Trigger, TriggerAction};
+pub use ode::{simulate_ode, simulate_until_quiescent, OdeMethod, OdeOptions};
+pub use plot::{downsample, render_species, sparkline};
+pub use nrm::simulate_nrm;
+pub use ssa::{simulate_ssa, SsaOptions};
+pub use state::State;
+pub use tau::{simulate_tau_leap, TauLeapOptions};
+pub use trace::{crossings, estimate_period, Crossing, Direction, Trace};
+
+use molseq_crn::{RateAssignment, RateJitter};
+
+/// The kinetic interpretation of a network's coarse rate categories for one
+/// simulation run: a numeric [`RateAssignment`] plus an optional
+/// per-reaction [`RateJitter`].
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::RateAssignment;
+/// use molseq_kinetics::SimSpec;
+///
+/// let spec = SimSpec::new(RateAssignment::from_ratio(100.0));
+/// assert_eq!(spec.assignment().ratio(), 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpec {
+    assignment: RateAssignment,
+    jitter: Option<RateJitter>,
+}
+
+impl SimSpec {
+    /// A specification with the given assignment and no jitter.
+    #[must_use]
+    pub fn new(assignment: RateAssignment) -> Self {
+        SimSpec {
+            assignment,
+            jitter: None,
+        }
+    }
+
+    /// Adds a per-reaction jitter (builder style).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: RateJitter) -> Self {
+        self.jitter = Some(jitter);
+        self
+    }
+
+    /// The numeric rate assignment.
+    #[must_use]
+    pub fn assignment(&self) -> RateAssignment {
+        self.assignment
+    }
+
+    /// The jitter, if any.
+    #[must_use]
+    pub fn jitter(&self) -> Option<&RateJitter> {
+        self.jitter.as_ref()
+    }
+}
+
+impl Default for SimSpec {
+    /// The paper's default: `k_fast = 1000`, `k_slow = 1`, no jitter.
+    fn default() -> Self {
+        SimSpec::new(RateAssignment::default())
+    }
+}

@@ -1,0 +1,120 @@
+//! Terminal rendering of traces — the experiment binaries print the
+//! paper's figures as ASCII waveforms.
+
+use crate::Trace;
+use molseq_crn::SpeciesId;
+
+/// Renders one series as a single-line sparkline using eight block levels.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_kinetics::sparkline;
+///
+/// let line = sparkline(&[0.0, 0.5, 1.0, 0.5, 0.0]);
+/// assert_eq!(line.chars().count(), 5);
+/// ```
+#[must_use]
+pub fn sparkline(series: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return String::new();
+    }
+    let lo = series.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-300);
+    series
+        .iter()
+        .map(|&v| {
+            let idx = (((v - lo) / span) * 7.0).round().clamp(0.0, 7.0) as usize;
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+/// Downsamples a series to `width` points by averaging buckets.
+#[must_use]
+pub fn downsample(series: &[f64], width: usize) -> Vec<f64> {
+    if series.is_empty() || width == 0 {
+        return Vec::new();
+    }
+    if series.len() <= width {
+        return series.to_vec();
+    }
+    (0..width)
+        .map(|i| {
+            let lo = i * series.len() / width;
+            let hi = (((i + 1) * series.len()) / width).max(lo + 1);
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Renders several species of a trace as labelled sparklines sharing the
+/// time axis.
+///
+/// Each line reads `name  min..max  ▁▂▃…`. `width` is the number of
+/// rendered columns.
+#[must_use]
+pub fn render_species(trace: &Trace, species: &[(SpeciesId, &str)], width: usize) -> String {
+    let label_width = species
+        .iter()
+        .map(|(_, name)| name.len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for &(id, name) in species {
+        let series = trace.series(id);
+        let lo = series.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let compact = downsample(&series, width);
+        out.push_str(&format!(
+            "{name:<label_width$}  [{lo:8.2} .. {hi:8.2}]  {}\n",
+            sparkline(&compact)
+        ));
+    }
+    if let (Some(&first), Some(&last)) = (trace.times().first(), trace.times().last()) {
+        out.push_str(&format!(
+            "{:label_width$}  {:22}  t = {first:.1} .. {last:.1}\n",
+            "", ""
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molseq_crn::Crn;
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let line = sparkline(&[0.0, 1.0]);
+        assert_eq!(line, "▁█");
+        assert_eq!(sparkline(&[]), "");
+        // constant series stays at the bottom
+        assert_eq!(sparkline(&[5.0, 5.0]), "▁▁");
+    }
+
+    #[test]
+    fn downsample_preserves_mean_structure() {
+        let series: Vec<f64> = (0..100).map(f64::from).collect();
+        let ds = downsample(&series, 10);
+        assert_eq!(ds.len(), 10);
+        assert!(ds[0] < ds[9]);
+        assert_eq!(downsample(&series, 200).len(), 100);
+        assert!(downsample(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn render_species_produces_labelled_lines() {
+        let mut crn = Crn::new();
+        let a = crn.species("alpha");
+        let mut trace = Trace::new(&crn);
+        trace.push(0.0, &[0.0]);
+        trace.push(1.0, &[10.0]);
+        let text = render_species(&trace, &[(a, "alpha")], 20);
+        assert!(text.contains("alpha"));
+        assert!(text.contains("t = 0.0 .. 1.0"));
+    }
+}

@@ -1,0 +1,400 @@
+//! Stochastic simulation (Gillespie direct method).
+//!
+//! The deterministic ODE picture assumes concentrations are continuous; in a
+//! real (or DNA-implemented) system the constructs must also work at finite
+//! molecule counts, where every reaction is a discrete random event.
+//! Experiment E10 uses this simulator to measure how small the counts can
+//! get before the synchronous scheme starts mis-transferring.
+
+use crate::compiled::CompiledCrn;
+use crate::events::TriggerRuntime;
+use crate::{Schedule, SimError, SimSpec, State, Trace};
+use molseq_crn::Crn;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Options controlling one stochastic run.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_kinetics::SsaOptions;
+///
+/// let opts = SsaOptions::default().with_t_end(20.0).with_seed(7);
+/// assert_eq!(opts.t_end(), 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsaOptions {
+    t_start: f64,
+    t_end: f64,
+    record_interval: f64,
+    max_events: usize,
+    seed: u64,
+}
+
+impl Default for SsaOptions {
+    /// Span `[0, 10]`, recording every `0.1`, 50 million event budget,
+    /// seed `0`.
+    fn default() -> Self {
+        SsaOptions {
+            t_start: 0.0,
+            t_end: 10.0,
+            record_interval: 0.1,
+            max_events: 50_000_000,
+            seed: 0,
+        }
+    }
+}
+
+impl SsaOptions {
+    /// Sets the end time (builder style).
+    #[must_use]
+    pub fn with_t_end(mut self, t: f64) -> Self {
+        self.t_end = t;
+        self
+    }
+
+    /// Sets the sampling interval (builder style).
+    #[must_use]
+    pub fn with_record_interval(mut self, dt: f64) -> Self {
+        self.record_interval = dt;
+        self
+    }
+
+    /// Sets the event budget (builder style).
+    #[must_use]
+    pub fn with_max_events(mut self, n: usize) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Sets the random seed (builder style). Runs are deterministic in the
+    /// seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured end time.
+    #[must_use]
+    pub fn t_end(&self) -> f64 {
+        self.t_end
+    }
+
+    /// The configured start time.
+    #[must_use]
+    pub fn t_start(&self) -> f64 {
+        self.t_start
+    }
+
+    /// The configured recording interval.
+    #[must_use]
+    pub fn record_interval(&self) -> f64 {
+        self.record_interval
+    }
+
+    /// The configured event budget.
+    #[must_use]
+    pub fn max_events(&self) -> usize {
+        self.max_events
+    }
+
+    /// The configured random seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Runs Gillespie's direct method on `crn` from the integer copy numbers in
+/// `init`.
+///
+/// Initial amounts and injection amounts must be non-negative integers
+/// (within `1e-9`); they are rounded to the nearest integer copy number.
+/// The volume is taken as 1, so deterministic and stochastic runs of the
+/// same network are directly comparable at large counts.
+///
+/// # Errors
+///
+/// * [`SimError::DimensionMismatch`] if `init` does not match the network.
+/// * [`SimError::BadTimeSpan`] if the span is empty or inverted.
+/// * [`SimError::NonIntegerAmount`] if an amount is not an integer.
+/// * [`SimError::StepLimitExceeded`] if `max_events` is exhausted.
+pub fn simulate_ssa(
+    crn: &Crn,
+    init: &State,
+    schedule: &Schedule,
+    opts: &SsaOptions,
+    spec: &SimSpec,
+) -> Result<Trace, SimError> {
+    if init.len() != crn.species_count() {
+        return Err(SimError::DimensionMismatch {
+            supplied: init.len(),
+            expected: crn.species_count(),
+        });
+    }
+    if !opts.t_start.is_finite() || !opts.t_end.is_finite() || opts.t_end <= opts.t_start {
+        return Err(SimError::BadTimeSpan {
+            t_start: opts.t_start,
+            t_end: opts.t_end,
+        });
+    }
+
+    let mut n: Vec<i64> = Vec::with_capacity(init.len());
+    for &v in init.as_slice() {
+        n.push(to_count(v)?);
+    }
+    let compiled = CompiledCrn::new(crn, spec);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut t = opts.t_start;
+    let mut trace = Trace::new(crn);
+    let mut f64_state: Vec<f64> = n.iter().map(|&v| v as f64).collect();
+    trace.push(t, &f64_state);
+    let mut triggers = TriggerRuntime::new(schedule, &f64_state);
+
+    let injections = schedule.sorted_injections();
+    let mut next_injection = 0usize;
+    let mut next_record = opts.t_start + opts.record_interval;
+    let mut events = 0usize;
+
+    loop {
+        let injection_time = injections
+            .get(next_injection)
+            .map_or(f64::INFINITY, |inj| inj.time);
+
+        // Total propensity and waiting time.
+        let mut a0 = 0.0;
+        for j in 0..compiled.reaction_count() {
+            a0 += compiled.propensity(j, &n);
+        }
+        let t_next = if a0 > 0.0 {
+            let u: f64 = 1.0 - rng.random::<f64>();
+            t - u.ln() / a0
+        } else {
+            f64::INFINITY
+        };
+
+        // Which comes first: reaction, injection, or end of span?
+        let stop = opts.t_end.min(injection_time);
+        if t_next >= stop {
+            // Record the plateau up to `stop`.
+            record_until(&mut trace, &f64_state, &mut next_record, stop, opts);
+            t = stop;
+            if injection_time <= opts.t_end {
+                let inj = &injections[next_injection];
+                n[inj.species.index()] += to_count(inj.amount)?;
+                f64_state[inj.species.index()] = n[inj.species.index()] as f64;
+                trace.push(t, &f64_state);
+                next_injection += 1;
+                for fired in triggers.poll(schedule, t, &mut f64_state) {
+                    trace.push_mark(t, fired);
+                    sync_back(&mut n, &f64_state)?;
+                }
+                continue;
+            }
+            break;
+        }
+
+        // Fire one reaction.
+        if events >= opts.max_events {
+            return Err(SimError::StepLimitExceeded {
+                reached: t,
+                t_end: opts.t_end,
+                max_steps: opts.max_events,
+            });
+        }
+        events += 1;
+        record_until(&mut trace, &f64_state, &mut next_record, t_next, opts);
+        t = t_next;
+        let pick: f64 = rng.random::<f64>() * a0;
+        let mut acc = 0.0;
+        let mut chosen = compiled.reaction_count() - 1;
+        for j in 0..compiled.reaction_count() {
+            acc += compiled.propensity(j, &n);
+            if pick < acc {
+                chosen = j;
+                break;
+            }
+        }
+        compiled.fire(chosen, &mut n);
+        for (f, &c) in f64_state.iter_mut().zip(&n) {
+            *f = c as f64;
+        }
+        if !schedule.triggers().is_empty() {
+            for fired in triggers.poll(schedule, t, &mut f64_state) {
+                trace.push_mark(t, fired);
+                trace.push(t, &f64_state);
+                sync_back(&mut n, &f64_state)?;
+            }
+        }
+    }
+
+    trace.push(t, &f64_state);
+    Ok(trace)
+}
+
+pub(crate) fn to_count(v: f64) -> Result<i64, SimError> {
+    let rounded = v.round();
+    if v < 0.0 || (v - rounded).abs() > 1e-9 || !v.is_finite() {
+        return Err(SimError::NonIntegerAmount { amount: v });
+    }
+    Ok(rounded as i64)
+}
+
+/// After a trigger's queue injection modified the f64 mirror, fold the
+/// change back into the integer state.
+pub(crate) fn sync_back(n: &mut [i64], f64_state: &[f64]) -> Result<(), SimError> {
+    for (c, &f) in n.iter_mut().zip(f64_state) {
+        *c = to_count(f)?;
+    }
+    Ok(())
+}
+
+fn record_until(
+    trace: &mut Trace,
+    state: &[f64],
+    next_record: &mut f64,
+    until: f64,
+    opts: &SsaOptions,
+) {
+    while *next_record <= until && *next_record <= opts.t_end {
+        trace.push(*next_record, state);
+        *next_record += opts.record_interval;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molseq_crn::{Crn, RateAssignment};
+
+    #[test]
+    fn decay_reaches_zero_and_conserves_integers() {
+        let crn: Crn = "X -> Y @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let y = crn.find_species("Y").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 100.0);
+        let opts = SsaOptions::default().with_t_end(50.0).with_seed(1);
+        let trace =
+            simulate_ssa(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap();
+        let fin = trace.final_state();
+        assert_eq!(fin[x.index()], 0.0);
+        assert_eq!(fin[y.index()], 100.0);
+        // every snapshot conserves X+Y
+        for i in 0..trace.len() {
+            assert_eq!(trace.state(i)[x.index()] + trace.state(i)[y.index()], 100.0);
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let crn: Crn = "X -> Y @slow\nY -> X @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 50.0);
+        let opts = SsaOptions::default().with_t_end(5.0).with_seed(42);
+        let a = simulate_ssa(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap();
+        let b = simulate_ssa(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap();
+        assert_eq!(a, b);
+        let c = simulate_ssa(
+            &crn,
+            &init,
+            &Schedule::new(),
+            &opts.with_seed(43),
+            &SimSpec::default(),
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn large_counts_approach_ode_mean() {
+        // X -> 0 at k=1: after t=1, mean is N/e.
+        let crn: Crn = "X -> 0 @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let n0 = 10_000.0;
+        let mut init = State::new(&crn);
+        init.set(x, n0);
+        let opts = SsaOptions::default().with_t_end(1.0).with_seed(3);
+        let trace =
+            simulate_ssa(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap();
+        let expected = n0 / std::f64::consts::E;
+        let got = trace.final_state()[x.index()];
+        // 5 sigma ≈ 5·sqrt(N·p·(1−p)) ≈ 240
+        assert!((got - expected).abs() < 250.0, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn injections_apply() {
+        let crn: Crn = "X -> 0 @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let schedule = Schedule::new().inject(2.0, x, 10.0);
+        let opts = SsaOptions::default().with_t_end(2.1).with_seed(5);
+        let trace =
+            simulate_ssa(&crn, &State::new(&crn), &schedule, &opts, &SimSpec::default()).unwrap();
+        assert!(trace.value_at(x, 1.9) < 1e-9);
+        assert!(trace.value_at(x, 2.0 + 1e-9) >= 9.0);
+    }
+
+    #[test]
+    fn rejects_fractional_amounts() {
+        let crn: Crn = "X -> 0 @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 1.5);
+        let err = simulate_ssa(
+            &crn,
+            &init,
+            &Schedule::new(),
+            &SsaOptions::default(),
+            &SimSpec::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::NonIntegerAmount { .. }));
+    }
+
+    #[test]
+    fn empty_system_idles_to_end() {
+        let crn: Crn = "X + Y -> 0 @fast".parse().unwrap();
+        let opts = SsaOptions::default().with_t_end(3.0);
+        let trace = simulate_ssa(
+            &crn,
+            &State::new(&crn),
+            &Schedule::new(),
+            &opts,
+            &SimSpec::default(),
+        )
+        .unwrap();
+        assert_eq!(*trace.times().last().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn bimolecular_uses_combination_counts() {
+        // 2X -> Y with exactly 2 molecules: must fire exactly once.
+        let crn: Crn = "2X -> Y @fast".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let y = crn.find_species("Y").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 2.0);
+        let opts = SsaOptions::default().with_t_end(10.0).with_seed(11);
+        let trace =
+            simulate_ssa(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap();
+        assert_eq!(trace.final_state()[x.index()], 0.0);
+        assert_eq!(trace.final_state()[y.index()], 1.0);
+    }
+
+    #[test]
+    fn rate_assignment_scales_speed() {
+        let crn: Crn = "X -> 0 @fast".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 1000.0);
+        let fast_spec = SimSpec::new(RateAssignment::new(100.0, 1.0).unwrap());
+        let opts = SsaOptions::default().with_t_end(0.1).with_seed(2);
+        let trace = simulate_ssa(&crn, &init, &Schedule::new(), &opts, &fast_spec).unwrap();
+        // k=100, t=0.1 → survival e^-10 ≈ 0: all gone
+        assert!(trace.final_state()[x.index()] < 5.0);
+    }
+}

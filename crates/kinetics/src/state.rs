@@ -1,0 +1,133 @@
+//! Initial-state construction.
+
+use molseq_crn::{Crn, SpeciesId};
+
+/// A concentration (or copy-number) vector aligned with a network's species
+/// indices, with a small builder API for setting initial conditions.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::Crn;
+/// use molseq_kinetics::State;
+///
+/// let mut crn: Crn = "X -> Y @slow".parse().unwrap();
+/// let x = crn.species("X");
+/// let mut state = State::new(&crn);
+/// state.set(x, 80.0);
+/// assert_eq!(state.get(x), 80.0);
+/// assert_eq!(state.as_slice().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    values: Vec<f64>,
+}
+
+impl State {
+    /// An all-zero state sized for `crn`.
+    #[must_use]
+    pub fn new(crn: &Crn) -> Self {
+        State {
+            values: vec![0.0; crn.species_count()],
+        }
+    }
+
+    /// Builds a state from a raw vector.
+    ///
+    /// Useful when resuming from a [`Trace`](crate::Trace) snapshot.
+    #[must_use]
+    pub fn from_vec(values: Vec<f64>) -> Self {
+        State { values }
+    }
+
+    /// Sets the amount of one species.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the amount is negative/non-finite.
+    pub fn set(&mut self, species: SpeciesId, amount: f64) -> &mut Self {
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "amounts must be finite and non-negative"
+        );
+        self.values[species.index()] = amount;
+        self
+    }
+
+    /// Adds to the amount of one species.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn add(&mut self, species: SpeciesId, amount: f64) -> &mut Self {
+        self.values[species.index()] += amount;
+        self
+    }
+
+    /// Reads the amount of one species.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn get(&self, species: SpeciesId) -> f64 {
+        self.values[species.index()]
+    }
+
+    /// The underlying vector, indexed by species index.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the state, returning the underlying vector.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the state has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut crn = Crn::new();
+        let a = crn.species("A");
+        let b = crn.species("B");
+        let mut s = State::new(&crn);
+        s.set(a, 1.0).add(b, 2.0).add(b, 3.0);
+        assert_eq!(s.get(a), 1.0);
+        assert_eq!(s.get(b), 5.0);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "amounts must be finite")]
+    fn rejects_negative() {
+        let mut crn = Crn::new();
+        let a = crn.species("A");
+        State::new(&crn).set(a, -1.0);
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let s = State::from_vec(vec![1.0, 2.0]);
+        assert_eq!(s.clone().into_vec(), vec![1.0, 2.0]);
+        assert_eq!(s.as_slice(), &[1.0, 2.0]);
+    }
+}

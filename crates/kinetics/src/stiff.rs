@@ -1,0 +1,235 @@
+//! A linearly implicit (Rosenbrock) stiff integrator.
+//!
+//! The networks in this workspace are stiff by construction: fast
+//! reactions run at `k_fast·X ≈ 10⁵` while the phenomena of interest live
+//! on the `k_slow` timescale. Explicit methods are stability-limited to
+//! steps of `~1/(k_fast·X)`; the Rosenbrock method here (the classic
+//! ode23s pair of Shampine & Reichelt) takes steps sized by *accuracy*
+//! instead, using the analytic mass-action Jacobian and one dense LU
+//! factorization per step.
+
+// Index loops mirror the textbook linear-algebra formulas.
+#![allow(clippy::needless_range_loop)]
+
+use crate::compiled::CompiledCrn;
+
+const D: f64 = 0.2928932188134524; // 1 / (2 + √2)
+const C32: f64 = 7.414213562373095; // 6 + √2
+
+/// Dense LU factorization with partial pivoting (row-major `n×n`).
+pub(crate) struct Lu {
+    lu: Vec<f64>,
+    pivots: Vec<usize>,
+    n: usize,
+}
+
+impl Lu {
+    /// Factors `a` in place. Returns `None` for a (numerically) singular
+    /// matrix.
+    pub(crate) fn factor(mut a: Vec<f64>, n: usize) -> Option<Lu> {
+        let mut pivots = vec![0usize; n];
+        for col in 0..n {
+            // pivot search
+            let mut pivot_row = col;
+            let mut best = a[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = a[row * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot_row = row;
+                }
+            }
+            if best < 1e-300 {
+                return None;
+            }
+            pivots[col] = pivot_row;
+            if pivot_row != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot_row * n + k);
+                }
+            }
+            let inv = 1.0 / a[col * n + col];
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] * inv;
+                a[row * n + col] = factor;
+                if factor != 0.0 {
+                    for k in (col + 1)..n {
+                        a[row * n + k] -= factor * a[col * n + k];
+                    }
+                }
+            }
+        }
+        Some(Lu { lu: a, pivots, n })
+    }
+
+    /// Solves `A·x = b` in place.
+    pub(crate) fn solve(&self, b: &mut [f64]) {
+        let n = self.n;
+        for col in 0..n {
+            b.swap(col, self.pivots[col]);
+        }
+        // forward substitution (unit lower triangle)
+        for row in 1..n {
+            let mut acc = b[row];
+            for k in 0..row {
+                acc -= self.lu[row * n + k] * b[k];
+            }
+            b[row] = acc;
+        }
+        // back substitution
+        for row in (0..n).rev() {
+            let mut acc = b[row];
+            for k in (row + 1)..n {
+                acc -= self.lu[row * n + k] * b[k];
+            }
+            b[row] = acc / self.lu[row * n + row];
+        }
+    }
+}
+
+/// Reusable buffers for Rosenbrock stepping.
+pub(crate) struct RosenbrockWork {
+    n: usize,
+    jac: Vec<f64>,
+    w: Vec<f64>,
+    f0: Vec<f64>,
+    f1: Vec<f64>,
+    f2: Vec<f64>,
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    ytmp: Vec<f64>,
+    /// 5th-order… rather, the advanced solution of the trial step.
+    pub y_new: Vec<f64>,
+    /// Per-component error estimate of the trial step.
+    pub err: Vec<f64>,
+}
+
+impl RosenbrockWork {
+    pub(crate) fn new(n: usize) -> Self {
+        RosenbrockWork {
+            n,
+            jac: vec![0.0; n * n],
+            w: vec![0.0; n * n],
+            f0: vec![0.0; n],
+            f1: vec![0.0; n],
+            f2: vec![0.0; n],
+            k1: vec![0.0; n],
+            k2: vec![0.0; n],
+            k3: vec![0.0; n],
+            ytmp: vec![0.0; n],
+            y_new: vec![0.0; n],
+            err: vec![0.0; n],
+        }
+    }
+
+    /// One ode23s trial step of size `h` from `y`. Fills `y_new` and
+    /// `err`; returns `false` when the linear system is singular (caller
+    /// should shrink the step).
+    pub(crate) fn step(&mut self, compiled: &CompiledCrn, y: &[f64], h: f64) -> bool {
+        let n = self.n;
+        compiled.jacobian(y, &mut self.jac);
+        // W = I − h·d·J
+        let hd = h * D;
+        for i in 0..n {
+            for j in 0..n {
+                let idx = i * n + j;
+                self.w[idx] = -hd * self.jac[idx];
+            }
+            self.w[i * n + i] += 1.0;
+        }
+        let Some(lu) = Lu::factor(std::mem::take(&mut self.w), n) else {
+            self.w = vec![0.0; n * n];
+            return false;
+        };
+
+        compiled.derivative(y, &mut self.f0);
+        self.k1.copy_from_slice(&self.f0);
+        lu.solve(&mut self.k1);
+
+        for i in 0..n {
+            self.ytmp[i] = y[i] + 0.5 * h * self.k1[i];
+        }
+        compiled.derivative(&self.ytmp, &mut self.f1);
+        for i in 0..n {
+            self.k2[i] = self.f1[i] - self.k1[i];
+        }
+        lu.solve(&mut self.k2);
+        for i in 0..n {
+            self.k2[i] += self.k1[i];
+        }
+
+        for i in 0..n {
+            self.y_new[i] = y[i] + h * self.k2[i];
+        }
+        compiled.derivative(&self.y_new, &mut self.f2);
+        for i in 0..n {
+            self.k3[i] = self.f2[i] - C32 * (self.k2[i] - self.f1[i]) - 2.0 * (self.k1[i] - self.f0[i]);
+        }
+        lu.solve(&mut self.k3);
+
+        for i in 0..n {
+            self.err[i] = h / 6.0 * (self.k1[i] - 2.0 * self.k2[i] + self.k3[i]);
+        }
+        // recover W's buffer for the next step
+        self.w = lu.lu;
+        true
+    }
+
+    /// Max over components of `|err| / (atol + rtol·max(|y|, |y_new|))`.
+    pub(crate) fn error_ratio(&self, y: &[f64], rtol: f64, atol: f64) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.n {
+            let scale = atol + rtol * y[i].abs().max(self.y_new[i].abs());
+            worst = worst.max(self.err[i].abs() / scale);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimSpec, State};
+    use molseq_crn::Crn;
+
+    #[test]
+    fn lu_solves_a_known_system() {
+        // A = [[2, 1], [1, 3]], b = [5, 10] → x = [1, 3]
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let lu = Lu::factor(a, 2).expect("nonsingular");
+        let mut b = vec![5.0, 10.0];
+        lu.solve(&mut b);
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_needs_pivoting() {
+        // zero on the diagonal forces a row swap
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let lu = Lu::factor(a, 2).expect("nonsingular with pivoting");
+        let mut b = vec![2.0, 3.0];
+        lu.solve(&mut b);
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(Lu::factor(a, 2).is_none());
+    }
+
+    #[test]
+    fn rosenbrock_step_matches_decay() {
+        let crn: Crn = "X -> 0 @slow".parse().unwrap();
+        let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+        let mut work = RosenbrockWork::new(1);
+        let y = State::from_vec(vec![1.0]);
+        assert!(work.step(&compiled, y.as_slice(), 0.01));
+        // exp(-0.01) ≈ 0.99004983…; a 2nd-order step is close
+        assert!((work.y_new[0] - (-0.01f64).exp()).abs() < 1e-7);
+        assert!(work.error_ratio(y.as_slice(), 1e-6, 1e-9) < 100.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Trajectory recording and waveform analysis.
+
+use molseq_crn::{Crn, SpeciesId};
+
+/// A recorded trajectory: sample times, state snapshots, and the marks left
+/// by triggers.
+///
+/// Samples are appended by the simulators at the recording interval given in
+/// their options, plus one sample at every event (injection or trigger
+/// firing) so that discontinuities are visible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    names: Vec<String>,
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+    marks: Vec<(f64, usize)>,
+}
+
+impl Trace {
+    /// Creates an empty trace that records the species of `crn`.
+    #[must_use]
+    pub fn new(crn: &Crn) -> Self {
+        Trace {
+            names: crn
+                .species_iter()
+                .map(|(_, s)| s.name().to_owned())
+                .collect(),
+            times: Vec::new(),
+            states: Vec::new(),
+            marks: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, time: f64, state: &[f64]) {
+        self.times.push(time);
+        self.states.push(state.to_vec());
+    }
+
+    pub(crate) fn push_mark(&mut self, time: f64, trigger: usize) {
+        self.marks.push((time, trigger));
+    }
+
+    /// Appends another trace of the same network (used when integrating in
+    /// chunks). A duplicate boundary sample is skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces record different species sets.
+    pub fn append(&mut self, other: &Trace) {
+        assert_eq!(self.names, other.names, "traces must share a network");
+        for i in 0..other.len() {
+            if i == 0
+                && self
+                    .times
+                    .last()
+                    .is_some_and(|&t| (t - other.times[0]).abs() < 1e-12)
+            {
+                continue;
+            }
+            self.times.push(other.times[i]);
+            self.states.push(other.states[i].clone());
+        }
+        self.marks.extend_from_slice(&other.marks);
+    }
+
+    /// Sample times, ascending.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Species names, aligned with state indices.
+    #[must_use]
+    pub fn species_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The state snapshot at sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn state(&self, i: usize) -> &[f64] {
+        &self.states[i]
+    }
+
+    /// The last recorded state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn final_state(&self) -> &[f64] {
+        self.states.last().expect("trace is not empty")
+    }
+
+    /// The time series of one species.
+    #[must_use]
+    pub fn series(&self, species: SpeciesId) -> Vec<f64> {
+        self.states.iter().map(|s| s[species.index()]).collect()
+    }
+
+    /// Linear interpolation of one species at time `t` (clamped to the
+    /// recorded span).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn value_at(&self, species: SpeciesId, t: f64) -> f64 {
+        assert!(!self.is_empty(), "trace is empty");
+        let idx = species.index();
+        if t <= self.times[0] {
+            return self.states[0][idx];
+        }
+        if t >= *self.times.last().expect("nonempty") {
+            return self.final_state()[idx];
+        }
+        let hi = self.times.partition_point(|&x| x < t);
+        let lo = hi - 1;
+        let (t0, t1) = (self.times[lo], self.times[hi]);
+        let (v0, v1) = (self.states[lo][idx], self.states[hi][idx]);
+        if t1 == t0 {
+            return v1;
+        }
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Full state by linear interpolation at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn state_at(&self, t: f64) -> Vec<f64> {
+        (0..self.names.len())
+            .map(|i| self.value_at(SpeciesId::from_index(i), t))
+            .collect()
+    }
+
+    /// All marks as `(time, trigger index)`, in firing order.
+    #[must_use]
+    pub fn marks(&self) -> &[(f64, usize)] {
+        &self.marks
+    }
+
+    /// The firing times of one trigger.
+    #[must_use]
+    pub fn mark_times(&self, trigger: usize) -> Vec<f64> {
+        self.marks
+            .iter()
+            .filter(|(_, id)| *id == trigger)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Maximum value reached by a species over the whole trace.
+    #[must_use]
+    pub fn max_of(&self, species: SpeciesId) -> f64 {
+        self.states
+            .iter()
+            .map(|s| s[species.index()])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Writes the trace as CSV (`time` column plus one column per
+    /// species) — the interchange format for external plotting.
+    ///
+    /// Species names containing commas or quotes are quoted per RFC 4180.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer. A `&mut` reference can be
+    /// passed as the writer.
+    pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        let quote = |name: &str| -> String {
+            if name.contains(',') || name.contains('"') || name.contains('\n') {
+                format!("\"{}\"", name.replace('"', "\"\""))
+            } else {
+                name.to_owned()
+            }
+        };
+        write!(w, "time")?;
+        for name in &self.names {
+            write!(w, ",{}", quote(name))?;
+        }
+        writeln!(w)?;
+        for (i, &t) in self.times.iter().enumerate() {
+            write!(w, "{t}")?;
+            for v in &self.states[i] {
+                write!(w, ",{v}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+}
+
+/// Direction of a threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// The series rose through the threshold.
+    Up,
+    /// The series fell through the threshold.
+    Down,
+}
+
+/// One threshold crossing of a waveform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crossing {
+    /// Interpolated crossing time.
+    pub time: f64,
+    /// Direction of the crossing.
+    pub direction: Direction,
+}
+
+/// Finds all threshold crossings of `series` sampled at `times`, with linear
+/// interpolation of the crossing instants.
+///
+/// # Panics
+///
+/// Panics if `times` and `series` differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_kinetics::{crossings, Direction};
+///
+/// let times = [0.0, 1.0, 2.0, 3.0];
+/// let series = [0.0, 10.0, 0.0, 10.0];
+/// let found = crossings(&times, &series, 5.0);
+/// assert_eq!(found.len(), 3);
+/// assert_eq!(found[0].direction, Direction::Up);
+/// assert!((found[0].time - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn crossings(times: &[f64], series: &[f64], threshold: f64) -> Vec<Crossing> {
+    assert_eq!(times.len(), series.len(), "times and series must align");
+    let mut out = Vec::new();
+    for i in 1..times.len() {
+        let (a, b) = (series[i - 1], series[i]);
+        let crossed_up = a <= threshold && b > threshold;
+        let crossed_down = a >= threshold && b < threshold;
+        if !(crossed_up || crossed_down) {
+            continue;
+        }
+        let frac = if b == a { 1.0 } else { (threshold - a) / (b - a) };
+        out.push(Crossing {
+            time: times[i - 1] + frac * (times[i] - times[i - 1]),
+            direction: if crossed_up {
+                Direction::Up
+            } else {
+                Direction::Down
+            },
+        });
+    }
+    out
+}
+
+/// Estimates the period of an oscillating series from the mean spacing of
+/// its upward threshold crossings. Returns `None` when fewer than two
+/// upward crossings exist.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_kinetics::estimate_period;
+///
+/// let times: Vec<f64> = (0..1000).map(|i| i as f64 * 0.01).collect();
+/// let series: Vec<f64> = times.iter().map(|t| (t * std::f64::consts::TAU).sin()).collect();
+/// let period = estimate_period(&times, &series, 0.0).expect("oscillates");
+/// assert!((period - 1.0).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn estimate_period(times: &[f64], series: &[f64], threshold: f64) -> Option<f64> {
+    let ups: Vec<f64> = crossings(times, series, threshold)
+        .into_iter()
+        .filter(|c| c.direction == Direction::Up)
+        .map(|c| c.time)
+        .collect();
+    if ups.len() < 2 {
+        return None;
+    }
+    Some((ups[ups.len() - 1] - ups[0]) / (ups.len() - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molseq_crn::Crn;
+
+    fn trace_with(data: &[(f64, [f64; 2])]) -> (Trace, SpeciesId, SpeciesId) {
+        let mut crn = Crn::new();
+        let a = crn.species("A");
+        let b = crn.species("B");
+        let mut t = Trace::new(&crn);
+        for (time, state) in data {
+            t.push(*time, state);
+        }
+        (t, a, b)
+    }
+
+    #[test]
+    fn series_and_final_state() {
+        let (t, a, b) = trace_with(&[(0.0, [1.0, 2.0]), (1.0, [3.0, 4.0])]);
+        assert_eq!(t.series(a), vec![1.0, 3.0]);
+        assert_eq!(t.series(b), vec![2.0, 4.0]);
+        assert_eq!(t.final_state(), &[3.0, 4.0]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.species_names(), &["A".to_owned(), "B".to_owned()]);
+    }
+
+    #[test]
+    fn interpolation_is_linear_and_clamped() {
+        let (t, a, _) = trace_with(&[(0.0, [0.0, 0.0]), (2.0, [10.0, 0.0])]);
+        assert_eq!(t.value_at(a, 1.0), 5.0);
+        assert_eq!(t.value_at(a, -1.0), 0.0);
+        assert_eq!(t.value_at(a, 3.0), 10.0);
+        assert_eq!(t.state_at(1.0), vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn marks_filter_by_trigger() {
+        let (mut t, _, _) = trace_with(&[(0.0, [0.0, 0.0])]);
+        t.push_mark(1.0, 0);
+        t.push_mark(2.0, 1);
+        t.push_mark(3.0, 0);
+        assert_eq!(t.mark_times(0), vec![1.0, 3.0]);
+        assert_eq!(t.mark_times(1), vec![2.0]);
+        assert_eq!(t.marks().len(), 3);
+    }
+
+    #[test]
+    fn max_of_scans_whole_trace() {
+        let (t, a, _) = trace_with(&[(0.0, [1.0, 0.0]), (1.0, [7.0, 0.0]), (2.0, [3.0, 0.0])]);
+        assert_eq!(t.max_of(a), 7.0);
+    }
+
+    #[test]
+    fn csv_round_trips_structure() {
+        let mut crn = Crn::new();
+        let _a = crn.species("plain");
+        let _b = crn.species("with,comma");
+        let mut t = Trace::new(&crn);
+        t.push(0.0, &[1.0, 2.0]);
+        t.push(0.5, &[3.0, 4.0]);
+        let mut out = Vec::new();
+        t.write_csv(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "time,plain,\"with,comma\"");
+        assert_eq!(lines[1], "0,1,2");
+        assert_eq!(lines[2], "0.5,3,4");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn crossing_directions() {
+        let times = [0.0, 1.0, 2.0];
+        let series = [0.0, 10.0, 0.0];
+        let c = crossings(&times, &series, 5.0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].direction, Direction::Up);
+        assert_eq!(c[1].direction, Direction::Down);
+        assert!((c[1].time - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_crossings_for_flat_series() {
+        let times = [0.0, 1.0];
+        let series = [1.0, 1.0];
+        assert!(crossings(&times, &series, 5.0).is_empty());
+        assert!(estimate_period(&times, &series, 5.0).is_none());
+    }
+}

@@ -1,0 +1,179 @@
+//! # molseq-modules — rate-independent combinational modules
+//!
+//! The "prior work" layer of the paper: memoryless computational constructs
+//! whose answers depend only on the *quantities* of the input types, never
+//! on the kinetic constants. Each module is a handful of reactions appended
+//! to a [`Crn`]; when the reactions have run to completion the output
+//! species hold the computed quantity, for **any** positive rate constants.
+//!
+//! | module | computes | reactions |
+//! |--------|----------|-----------|
+//! | [`transfer`]  | `out = in` (moves quantity)            | `X → Y` |
+//! | [`fanout`]    | `outᵢ = in` for every output            | `X → Y₁ + … + Yₙ` |
+//! | [`add`]       | `out = Σ inᵢ`                           | `Xᵢ → Y` each |
+//! | [`subtract`]  | `out = max(a − b, 0)`                   | `A → Y`, `B + Y → ∅` |
+//! | [`annihilate`]| `a' = max(a−b, 0)`, `b' = max(b−a, 0)`  | `A + B → ∅` |
+//! | [`double`]    | `out = 2·in`                            | `X → 2Y` |
+//! | [`halve`]     | `out = in / 2`                          | `2X → Y` |
+//! | [`scale`]     | `out = (p/q)·in`                        | `qX → pY` |
+//!
+//! These standalone versions consume their inputs and are *combinational*:
+//! compose them acyclically and wait. The synchronous framework in
+//! `molseq-sync` folds the same arithmetic into clock-phase transfers so
+//! that feedback (filters, counters, iterative multiply/power/log programs)
+//! becomes possible.
+//!
+//! ## Example
+//!
+//! ```
+//! use molseq_crn::Crn;
+//! use molseq_modules::{add, halve, run_to_completion};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // y = (a + b) / 2 — one tap of a moving-average filter.
+//! let mut crn = Crn::new();
+//! let a = crn.species("a");
+//! let b = crn.species("b");
+//! let s = crn.species("sum");
+//! let y = crn.species("y");
+//! add(&mut crn, &[a, b], s)?;
+//! halve(&mut crn, s, y)?;
+//!
+//! let final_state = run_to_completion(&crn, &[(a, 10.0), (b, 4.0)], 200.0)?;
+//! assert!((final_state[y.index()] - 7.0).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ops;
+
+pub use ops::{add, annihilate, double, fanout, halve, scale, subtract, transfer, ModuleError};
+
+use molseq_crn::{Crn, SpeciesId};
+use molseq_kinetics::{
+    simulate_ode, simulate_until_quiescent, OdeOptions, Schedule, SimSpec, State,
+};
+
+/// Evaluates a combinational network to quiescence: runs the kinetics from
+/// the given initial amounts until every net reaction flux is below
+/// `1e-9`, and returns the settled state.
+///
+/// Unlike [`run_to_completion`], no time horizon has to be guessed — the
+/// integration stops when the answer has stabilized (with a backstop of
+/// 10⁵ time units for networks that never settle, in which case the state
+/// at the backstop is returned).
+///
+/// # Errors
+///
+/// Propagates any [`molseq_kinetics::SimError`] from the integrator.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::Crn;
+/// use molseq_modules::{evaluate, halve};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut crn = Crn::new();
+/// let x = crn.species("x");
+/// let y = crn.species("y");
+/// halve(&mut crn, x, y)?;
+/// let settled = evaluate(&crn, &[(x, 9.0)])?;
+/// assert!((settled[y.index()] - 4.5).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(
+    crn: &Crn,
+    initial: &[(SpeciesId, f64)],
+) -> Result<Vec<f64>, molseq_kinetics::SimError> {
+    let mut init = State::new(crn);
+    for &(s, amount) in initial {
+        init.set(s, amount);
+    }
+    let (trace, _settled) = simulate_until_quiescent(
+        crn,
+        &init,
+        &Schedule::new(),
+        &OdeOptions::default()
+            .with_t_end(1e5)
+            .with_record_interval(100.0),
+        &SimSpec::default(),
+        1e-9,
+    )?;
+    Ok(trace.final_state().to_vec())
+}
+
+/// Runs the deterministic kinetics of `crn` from the given initial amounts
+/// until `t_end` and returns the final state — a convenience for evaluating
+/// combinational modules, whose outputs are read at completion.
+///
+/// Rates use the default assignment (`k_fast = 1000`, `k_slow = 1`); by the
+/// rate-independence property the answer would be the same for any other.
+///
+/// # Errors
+///
+/// Propagates any [`molseq_kinetics::SimError`] from the integrator.
+pub fn run_to_completion(
+    crn: &Crn,
+    initial: &[(SpeciesId, f64)],
+    t_end: f64,
+) -> Result<Vec<f64>, molseq_kinetics::SimError> {
+    let mut init = State::new(crn);
+    for &(s, amount) in initial {
+        init.set(s, amount);
+    }
+    let trace = simulate_ode(
+        crn,
+        &init,
+        &Schedule::new(),
+        &OdeOptions::default()
+            .with_t_end(t_end)
+            .with_record_interval(t_end / 50.0),
+        &SimSpec::default(),
+    )?;
+    Ok(trace.final_state().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molseq_crn::RateAssignment;
+
+    /// The rate-independence property, demonstrated end-to-end: the same
+    /// composed computation under three wildly different assignments gives
+    /// the same answer.
+    #[test]
+    fn composition_is_rate_independent() {
+        let mut crn = Crn::new();
+        let a = crn.species("a");
+        let b = crn.species("b");
+        let s = crn.species("s");
+        let y = crn.species("y");
+        add(&mut crn, &[a, b], s).unwrap();
+        halve(&mut crn, s, y).unwrap();
+
+        let mut answers = Vec::new();
+        for ratio in [10.0, 1_000.0, 100_000.0] {
+            let mut init = State::new(&crn);
+            init.set(a, 9.0).set(b, 3.0);
+            let trace = simulate_ode(
+                &crn,
+                &init,
+                &Schedule::new(),
+                &OdeOptions::default()
+                    .with_t_end(400.0)
+                    .with_record_interval(10.0),
+                &SimSpec::new(RateAssignment::from_ratio(ratio)),
+            )
+            .unwrap();
+            answers.push(trace.final_state()[y.index()]);
+        }
+        for &ans in &answers {
+            assert!((ans - 6.0).abs() < 1e-2, "{answers:?}");
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! The module constructors.
+
+use molseq_crn::{Crn, CrnError, Rate, SpeciesId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors specific to module construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModuleError {
+    /// A module was asked to scale by an unsupported rational.
+    UnsupportedScale {
+        /// Numerator requested.
+        p: u32,
+        /// Denominator requested.
+        q: u32,
+        /// Why it is unsupported.
+        reason: &'static str,
+    },
+    /// A module needs at least one input or output and received none.
+    MissingOperand {
+        /// Which module complained.
+        module: &'static str,
+    },
+    /// An input or output species id was invalid for the network.
+    Network(CrnError),
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleError::UnsupportedScale { p, q, reason } => {
+                write!(f, "cannot scale by {p}/{q}: {reason}")
+            }
+            ModuleError::MissingOperand { module } => {
+                write!(f, "module `{module}` needs at least one operand")
+            }
+            ModuleError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for ModuleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModuleError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CrnError> for ModuleError {
+    fn from(e: CrnError) -> Self {
+        ModuleError::Network(e)
+    }
+}
+
+/// Moves the quantity of `from` to `to`: `X → Y` (fast).
+///
+/// # Errors
+///
+/// Returns [`ModuleError::Network`] if the ids are invalid.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::Crn;
+/// use molseq_modules::{run_to_completion, transfer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut crn = Crn::new();
+/// let x = crn.species("x");
+/// let y = crn.species("y");
+/// transfer(&mut crn, x, y)?;
+/// let fin = run_to_completion(&crn, &[(x, 5.0)], 50.0)?;
+/// assert!((fin[y.index()] - 5.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transfer(crn: &mut Crn, from: SpeciesId, to: SpeciesId) -> Result<(), ModuleError> {
+    crn.reaction_labeled(&[(from, 1)], &[(to, 1)], Rate::Fast, "transfer")?;
+    Ok(())
+}
+
+/// Duplicates the quantity of `input` into every listed output:
+/// `X → Y₁ + Y₂ + … + Yₙ` (fast). The input is consumed.
+///
+/// # Errors
+///
+/// Returns [`ModuleError::MissingOperand`] for an empty output list and
+/// [`ModuleError::Network`] for invalid ids.
+pub fn fanout(crn: &mut Crn, input: SpeciesId, outputs: &[SpeciesId]) -> Result<(), ModuleError> {
+    if outputs.is_empty() {
+        return Err(ModuleError::MissingOperand { module: "fanout" });
+    }
+    let products: Vec<(SpeciesId, u32)> = outputs.iter().map(|&o| (o, 1)).collect();
+    crn.reaction_labeled(&[(input, 1)], &products, Rate::Fast, "fanout")?;
+    Ok(())
+}
+
+/// Sums the listed inputs into `output`: one `Xᵢ → Y` (fast) per input.
+///
+/// # Errors
+///
+/// Returns [`ModuleError::MissingOperand`] for an empty input list and
+/// [`ModuleError::Network`] for invalid ids.
+pub fn add(crn: &mut Crn, inputs: &[SpeciesId], output: SpeciesId) -> Result<(), ModuleError> {
+    if inputs.is_empty() {
+        return Err(ModuleError::MissingOperand { module: "add" });
+    }
+    for &input in inputs {
+        crn.reaction_labeled(&[(input, 1)], &[(output, 1)], Rate::Fast, "add")?;
+    }
+    Ok(())
+}
+
+/// Computes `output = max(minuend − subtrahend, 0)`:
+/// `A → Y` (fast) and `B + Y → ∅` (fast).
+///
+/// The subtrahend eats the output as it appears; whichever side runs out
+/// first decides the answer, independent of the rates.
+///
+/// # Errors
+///
+/// Returns [`ModuleError::Network`] for invalid ids.
+pub fn subtract(
+    crn: &mut Crn,
+    minuend: SpeciesId,
+    subtrahend: SpeciesId,
+    output: SpeciesId,
+) -> Result<(), ModuleError> {
+    crn.reaction_labeled(&[(minuend, 1)], &[(output, 1)], Rate::Fast, "subtract move")?;
+    crn.reaction_labeled(&[(subtrahend, 1), (output, 1)], &[], Rate::Fast, "subtract eat")?;
+    Ok(())
+}
+
+/// Mutual annihilation `A + B → ∅` (fast): afterwards the larger input
+/// retains the difference and the smaller is empty — the comparator core.
+///
+/// # Errors
+///
+/// Returns [`ModuleError::Network`] for invalid ids.
+pub fn annihilate(crn: &mut Crn, a: SpeciesId, b: SpeciesId) -> Result<(), ModuleError> {
+    crn.reaction_labeled(&[(a, 1), (b, 1)], &[], Rate::Fast, "annihilate")?;
+    Ok(())
+}
+
+/// Doubles a quantity: `X → 2Y` (fast).
+///
+/// # Errors
+///
+/// Returns [`ModuleError::Network`] for invalid ids.
+pub fn double(crn: &mut Crn, input: SpeciesId, output: SpeciesId) -> Result<(), ModuleError> {
+    crn.reaction_labeled(&[(input, 1)], &[(output, 2)], Rate::Fast, "double")?;
+    Ok(())
+}
+
+/// Halves a quantity by pairing: `2X → Y` (fast).
+///
+/// In the continuous (ODE) limit the conversion is exact; at integer counts
+/// an odd leftover molecule remains, which is the expected quantization of
+/// the paper's scheme.
+///
+/// # Errors
+///
+/// Returns [`ModuleError::Network`] for invalid ids.
+pub fn halve(crn: &mut Crn, input: SpeciesId, output: SpeciesId) -> Result<(), ModuleError> {
+    crn.reaction_labeled(&[(input, 2)], &[(output, 1)], Rate::Fast, "halve")?;
+    Ok(())
+}
+
+/// Scales a quantity by the rational `p/q`: `qX → pY` (fast).
+///
+/// `q` is the molecularity of the reaction, so it is limited to `1..=3`
+/// (higher-order collisions are neither physical nor supported by the
+/// strand-displacement chassis); larger denominators should be built by
+/// cascading [`halve`] and `scale` stages.
+///
+/// # Errors
+///
+/// * [`ModuleError::UnsupportedScale`] if `p = 0`, `q = 0` or `q > 3`.
+/// * [`ModuleError::Network`] for invalid ids.
+pub fn scale(
+    crn: &mut Crn,
+    input: SpeciesId,
+    output: SpeciesId,
+    p: u32,
+    q: u32,
+) -> Result<(), ModuleError> {
+    if p == 0 || q == 0 {
+        return Err(ModuleError::UnsupportedScale {
+            p,
+            q,
+            reason: "numerator and denominator must be positive",
+        });
+    }
+    if q > 3 {
+        return Err(ModuleError::UnsupportedScale {
+            p,
+            q,
+            reason: "denominator above 3 would need a 4-body collision; cascade halve/scale stages instead",
+        });
+    }
+    crn.reaction_labeled(&[(input, q)], &[(output, p)], Rate::Fast, "scale")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_to_completion;
+
+    fn fresh(names: &[&str]) -> (Crn, Vec<SpeciesId>) {
+        let mut crn = Crn::new();
+        let ids = names.iter().map(|n| crn.species(n)).collect();
+        (crn, ids)
+    }
+
+    #[test]
+    fn transfer_moves_everything() {
+        let (mut crn, ids) = fresh(&["x", "y"]);
+        transfer(&mut crn, ids[0], ids[1]).unwrap();
+        let fin = run_to_completion(&crn, &[(ids[0], 7.5)], 50.0).unwrap();
+        assert!(fin[0] < 1e-6);
+        assert!((fin[1] - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fanout_duplicates_to_three() {
+        let (mut crn, ids) = fresh(&["x", "a", "b", "c"]);
+        fanout(&mut crn, ids[0], &ids[1..]).unwrap();
+        let fin = run_to_completion(&crn, &[(ids[0], 4.0)], 50.0).unwrap();
+        for &out in &ids[1..] {
+            assert!((fin[out.index()] - 4.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fanout_requires_outputs() {
+        let (mut crn, ids) = fresh(&["x"]);
+        assert!(matches!(
+            fanout(&mut crn, ids[0], &[]),
+            Err(ModuleError::MissingOperand { module: "fanout" })
+        ));
+    }
+
+    #[test]
+    fn add_sums_three_inputs() {
+        let (mut crn, ids) = fresh(&["a", "b", "c", "y"]);
+        add(&mut crn, &ids[..3], ids[3]).unwrap();
+        let fin =
+            run_to_completion(&crn, &[(ids[0], 1.0), (ids[1], 2.0), (ids[2], 3.5)], 50.0).unwrap();
+        assert!((fin[3] - 6.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subtract_clamps_at_zero() {
+        let (mut crn, ids) = fresh(&["a", "b", "y"]);
+        subtract(&mut crn, ids[0], ids[1], ids[2]).unwrap();
+        let fin = run_to_completion(&crn, &[(ids[0], 3.0), (ids[1], 10.0)], 300.0).unwrap();
+        assert!(fin[2] < 1e-3, "3 - 10 clamps to 0, got {}", fin[2]);
+
+        let (mut crn2, ids2) = fresh(&["a", "b", "y"]);
+        subtract(&mut crn2, ids2[0], ids2[1], ids2[2]).unwrap();
+        let fin2 = run_to_completion(&crn2, &[(ids2[0], 10.0), (ids2[1], 3.0)], 300.0).unwrap();
+        assert!((fin2[2] - 7.0).abs() < 1e-2, "10 - 3 = 7, got {}", fin2[2]);
+    }
+
+    #[test]
+    fn annihilate_leaves_difference_in_larger() {
+        let (mut crn, ids) = fresh(&["a", "b"]);
+        annihilate(&mut crn, ids[0], ids[1]).unwrap();
+        let fin = run_to_completion(&crn, &[(ids[0], 9.0), (ids[1], 4.0)], 100.0).unwrap();
+        assert!((fin[0] - 5.0).abs() < 1e-3);
+        assert!(fin[1] < 1e-3);
+    }
+
+    #[test]
+    fn double_and_halve_are_inverse() {
+        let (mut crn, ids) = fresh(&["x", "d", "y"]);
+        double(&mut crn, ids[0], ids[1]).unwrap();
+        halve(&mut crn, ids[1], ids[2]).unwrap();
+        let fin = run_to_completion(&crn, &[(ids[0], 6.0)], 400.0).unwrap();
+        assert!((fin[2] - 6.0).abs() < 1e-2, "got {}", fin[2]);
+    }
+
+    #[test]
+    fn scale_two_thirds() {
+        let (mut crn, ids) = fresh(&["x", "y"]);
+        scale(&mut crn, ids[0], ids[1], 2, 3).unwrap();
+        let fin = run_to_completion(&crn, &[(ids[0], 9.0)], 2000.0).unwrap();
+        assert!((fin[1] - 6.0).abs() < 0.05, "got {}", fin[1]);
+    }
+
+    #[test]
+    fn scale_rejects_bad_rationals() {
+        let (mut crn, ids) = fresh(&["x", "y"]);
+        assert!(matches!(
+            scale(&mut crn, ids[0], ids[1], 0, 1),
+            Err(ModuleError::UnsupportedScale { .. })
+        ));
+        assert!(matches!(
+            scale(&mut crn, ids[0], ids[1], 1, 4),
+            Err(ModuleError::UnsupportedScale { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = ModuleError::UnsupportedScale {
+            p: 1,
+            q: 4,
+            reason: "too big",
+        };
+        assert!(e.to_string().contains("1/4"));
+        let net = ModuleError::from(CrnError::EmptyReaction);
+        assert!(std::error::Error::source(&net).is_some());
+        let missing = ModuleError::MissingOperand { module: "add" };
+        assert!(missing.to_string().contains("add"));
+    }
+}

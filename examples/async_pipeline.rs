@@ -1,0 +1,55 @@
+//! The companion (IWBDA 2011) scheme: a self-timed pipeline with no clock.
+//! A wavefront of quantity flows through delay elements, each hop gated
+//! only on the absence indicators, with a scaling operation on the way.
+//!
+//! ```sh
+//! cargo run --release --example async_pipeline
+//! ```
+
+use molseq::asynchronous::{AsyncPipeline, HopOp, MeasureConfig};
+use molseq::kinetics::render_species;
+use molseq::sync::SchemeConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // three elements; the middle hop halves the quantity
+    let pipe = AsyncPipeline::build(
+        SchemeConfig::default(),
+        &[
+            HopOp::Identity,
+            HopOp::Scale { p: 1, q: 2 },
+            HopOp::Identity,
+        ],
+    )?;
+    println!(
+        "pipeline: {} elements, {} species, {} reactions",
+        pipe.len(),
+        pipe.crn().species_count(),
+        pipe.crn().reactions().len()
+    );
+
+    let x = 80.0;
+    let config = MeasureConfig {
+        t_end: 120.0,
+        ..MeasureConfig::default()
+    };
+    let trace = pipe.run_wavefront(x, &config)?;
+
+    let mut rows = vec![(pipe.input(), "X (input)")];
+    let labels: Vec<String> = (0..pipe.len())
+        .map(|i| format!("element {} red", i + 1))
+        .collect();
+    for (i, label) in labels.iter().enumerate() {
+        rows.push((pipe.element(i)[0], label));
+    }
+    rows.push((pipe.output(), "Y (output)"));
+    print!("{}", render_species(&trace, &rows, 96));
+
+    let latency = pipe.measure_latency(x, &config)?;
+    println!(
+        "input {x} → output {:.2} (expected {}), 95% latency {:.2} time units",
+        latency.output_value,
+        pipe.expected_output(x),
+        latency.t95
+    );
+    Ok(())
+}

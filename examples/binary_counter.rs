@@ -1,0 +1,47 @@
+//! A three-bit ripple-carry binary counter made of chemical reactions:
+//! each injected pulse increments the count, carries propagate one bit per
+//! clock cycle.
+//!
+//! ```sh
+//! cargo run --release --example binary_counter
+//! ```
+
+use molseq::sync::{run_cycles, BinaryCounter, ClockSpec, RunConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let counter = BinaryCounter::build(3, 60.0, ClockSpec::default())?;
+    println!(
+        "3-bit counter: {} species, {} reactions",
+        counter.system().stats().species,
+        counter.system().stats().reactions
+    );
+
+    // five pulses, then enough quiet cycles for the carries to ripple
+    let pulses = [true, true, true, true, true, false, false, false];
+    let samples = counter.pulse_train(&pulses);
+    let cycles = samples.len() + 1;
+    let run = run_cycles(
+        counter.system(),
+        &[("pulse", &samples)],
+        cycles,
+        &RunConfig::default(),
+    )?;
+
+    println!("\ncycle | pulse |      b0 |      b1 |      b2 | decoded");
+    for k in 0..run.cycles() {
+        let pulse = pulses.get(k).copied().unwrap_or(false);
+        println!(
+            "{k:5} | {:5} | {:7.2} | {:7.2} | {:7.2} | {:7}",
+            if pulse { "yes" } else { "" },
+            run.register_series("b0")?[k],
+            run.register_series("b1")?[k],
+            run.register_series("b2")?[k],
+            counter.decode(&run, k)?,
+        );
+    }
+    println!(
+        "\nfinal count: {} (expected 5 = 0b101)",
+        counter.decode(&run, run.cycles() - 1)?
+    );
+    Ok(())
+}

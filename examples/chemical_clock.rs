@@ -1,0 +1,46 @@
+//! The chemical clock by itself: a one-element delay ring whose three
+//! species' concentrations oscillate as non-overlapping phase signals.
+//!
+//! ```sh
+//! cargo run --release --example chemical_clock
+//! ```
+
+use molseq::kinetics::{
+    estimate_period, render_species, simulate_ode, OdeOptions, Schedule, SimSpec,
+};
+use molseq::sync::{Clock, SchemeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clock = Clock::build(SchemeConfig::default(), 100.0)?;
+    println!("clock network:\n{}", clock.crn());
+
+    let trace = simulate_ode(
+        clock.crn(),
+        &clock.initial_state(),
+        &Schedule::new(),
+        &OdeOptions::default()
+            .with_t_end(60.0)
+            .with_record_interval(0.05),
+        &SimSpec::default(),
+    )?;
+
+    print!(
+        "{}",
+        render_species(
+            &trace,
+            &[
+                (clock.red(), "red   phase"),
+                (clock.green(), "green phase"),
+                (clock.blue(), "blue  phase"),
+            ],
+            96
+        )
+    );
+
+    let series = trace.series(clock.red());
+    match estimate_period(trace.times(), &series, 50.0) {
+        Some(period) => println!("measured period: {period:.3} time units"),
+        None => println!("no oscillation detected"),
+    }
+    Ok(())
+}

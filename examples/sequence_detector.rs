@@ -1,0 +1,37 @@
+//! A molecular finite-state machine: a Moore detector that latches once it
+//! has seen two consecutive `1`s in its input stream.
+//!
+//! ```sh
+//! cargo run --release --example sequence_detector
+//! ```
+
+use molseq::sync::{ClockSpec, Fsm, RunConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // S0: nothing seen; S1: one `1` seen; S2: "11" detected (sticky)
+    let fsm = Fsm::build(ClockSpec::default(), 60.0, &[[0, 1], [0, 2], [2, 2]], 0)?;
+    println!(
+        "3-state detector: {} species, {} reactions",
+        fsm.system().stats().species,
+        fsm.system().stats().reactions
+    );
+
+    let bits = [true, false, true, true, false, true];
+    let (run, states) = fsm.run(&bits, &RunConfig::default())?;
+
+    println!("\ncycle | bit |      s0 |      s1 |      s2 | state");
+    for (k, &bit) in bits.iter().enumerate() {
+        println!(
+            "{k:5} | {:3} | {:7.2} | {:7.2} | {:7.2} | S{}",
+            u8::from(bit),
+            run.register_series("s0")?[k],
+            run.register_series("s1")?[k],
+            run.register_series("s2")?[k],
+            states[k],
+        );
+    }
+    println!(
+        "\nthe machine latched in S2 at cycle 3 (after the bits 1,0,1,1) and stays there"
+    );
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! From reaction program to concrete DNA: derive the domain-level strand
+//! library for an abstract program and assign nucleotide sequences.
+//!
+//! ```sh
+//! cargo run --release --example strand_designer
+//! ```
+
+use molseq::crn::Crn;
+use molseq::dsd::StrandLibrary;
+use molseq::modules::{add, halve};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // the running example: y = (a + b) / 2
+    let mut formal = Crn::new();
+    let a = formal.species("a");
+    let b = formal.species("b");
+    let s = formal.species("sum");
+    let y = formal.species("y");
+    add(&mut formal, &[a, b], s)?;
+    halve(&mut formal, s, y)?;
+
+    let library = StrandLibrary::from_formal(&formal)?;
+    println!("domain-level specification:\n{}", library.listing());
+
+    let sequences = library.assign_sequences(6, 20, 2026)?;
+    println!(
+        "assigned {} domain sequences (6 nt toeholds, 20 nt branches)\n",
+        sequences.len()
+    );
+    println!("signal strands, 5'→3':");
+    for strand in library.strands() {
+        println!("  {:4} {}", strand.name, sequences.render_strand(strand));
+    }
+    println!("\nexample complement (t0*): {}", sequences.complement_of("t0").expect("assigned"));
+    Ok(())
+}

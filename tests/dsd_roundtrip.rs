@@ -1,0 +1,106 @@
+//! Abstract network vs its strand-displacement image: the computation must
+//! survive the compilation.
+
+use molseq::crn::{Crn, RateAssignment};
+use molseq::dsd::{DsdParams, DsdSystem};
+use molseq::kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, State};
+use molseq::modules::{add, annihilate, halve, subtract};
+
+fn final_state(crn: &Crn, init: &State, t_end: f64) -> Vec<f64> {
+    simulate_ode(
+        crn,
+        init,
+        &Schedule::new(),
+        &OdeOptions::default()
+            .with_t_end(t_end)
+            .with_record_interval(t_end / 20.0),
+        &SimSpec::default(),
+    )
+    .expect("simulates")
+    .final_state()
+    .to_vec()
+}
+
+/// Builds, simulates abstract + compiled, returns (abstract, dsd) values
+/// of the requested output species.
+fn roundtrip(crn: &Crn, initial: &[(usize, f64)], output: usize, t_end: f64) -> (f64, f64) {
+    let mut init = State::new(crn);
+    for &(i, v) in initial {
+        init.set(molseq::crn::SpeciesId::from_index(i), v);
+    }
+    let abstract_final = final_state(crn, &init, t_end);
+
+    let dsd = DsdSystem::compile(crn, RateAssignment::default(), &DsdParams::default())
+        .expect("compiles");
+    let dsd_init = dsd.initial_state(init.as_slice());
+    let trace = simulate_ode(
+        dsd.crn(),
+        &dsd_init,
+        &Schedule::new(),
+        &OdeOptions::default()
+            .with_t_end(t_end)
+            .with_record_interval(t_end / 20.0),
+        &SimSpec::default(),
+    )
+    .expect("dsd simulates");
+    let out_id = molseq::crn::SpeciesId::from_index(output);
+    let dsd_value: f64 = dsd
+        .apparent(out_id)
+        .iter()
+        .map(|s| trace.final_state()[s.index()])
+        .sum();
+    (abstract_final[output], dsd_value)
+}
+
+#[test]
+fn average_survives_compilation() {
+    // y = (a + b) / 2
+    let mut crn = Crn::new();
+    let a = crn.species("a");
+    let b = crn.species("b");
+    let s = crn.species("s");
+    let y = crn.species("y");
+    add(&mut crn, &[a, b], s).expect("add");
+    halve(&mut crn, s, y).expect("halve");
+    let (abstract_y, dsd_y) = roundtrip(
+        &crn,
+        &[(a.index(), 30.0), (b.index(), 14.0)],
+        y.index(),
+        80.0,
+    );
+    assert!((abstract_y - 22.0).abs() < 0.1, "{abstract_y}");
+    assert!((dsd_y - abstract_y).abs() < 0.5, "dsd {dsd_y} vs {abstract_y}");
+}
+
+#[test]
+fn clamped_subtraction_survives_compilation() {
+    let mut crn = Crn::new();
+    let a = crn.species("a");
+    let b = crn.species("b");
+    let y = crn.species("y");
+    subtract(&mut crn, a, b, y).expect("subtract");
+    let (abstract_y, dsd_y) = roundtrip(
+        &crn,
+        &[(a.index(), 50.0), (b.index(), 18.0)],
+        y.index(),
+        80.0,
+    );
+    assert!((abstract_y - 32.0).abs() < 0.1, "{abstract_y}");
+    assert!((dsd_y - abstract_y).abs() < 1.0, "dsd {dsd_y} vs {abstract_y}");
+}
+
+#[test]
+fn comparator_survives_compilation() {
+    let mut crn = Crn::new();
+    let a = crn.species("a");
+    let b = crn.species("b");
+    annihilate(&mut crn, a, b).expect("annihilate");
+    let (abstract_a, dsd_a) = roundtrip(
+        &crn,
+        &[(a.index(), 41.0), (b.index(), 17.0)],
+        a.index(),
+        80.0,
+    );
+    assert!((abstract_a - 24.0).abs() < 0.1, "{abstract_a}");
+    assert!((dsd_a - abstract_a).abs() < 1.0, "dsd {dsd_a} vs {abstract_a}");
+}

@@ -1,0 +1,125 @@
+//! Property-based tests on the core invariants. Case counts are small —
+//! each case integrates a stiff ODE system — but the inputs are random.
+
+use molseq::crn::{conservation_laws, law_value, Crn, Rate};
+use molseq::kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, State};
+use molseq::modules::{add, fanout, halve};
+use molseq::sync::{run_cycles, ClockSpec, RunConfig, SyncCircuit};
+use proptest::prelude::*;
+
+fn amount() -> impl Strategy<Value = f64> {
+    // Representative quantities, away from both zero and huge values.
+    // The scheme has a quantization floor: signals below a few units sink
+    // into the indicator-equilibrium leak rates (see DESIGN.md §3), so
+    // property inputs start at 5.
+    (5u32..=120).prop_map(f64::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    /// A register is a pure delay: any sample stream comes out one cycle
+    /// later, unchanged.
+    #[test]
+    fn register_is_a_pure_delay(samples in proptest::collection::vec(amount(), 2..4)) {
+        let mut circuit = SyncCircuit::new(ClockSpec::default());
+        let x = circuit.input("x");
+        let d = circuit.delay("d", x);
+        circuit.output("y", d);
+        let system = circuit.compile().expect("compiles");
+        let run = run_cycles(&system, &[("x", &samples)], samples.len() + 1, &RunConfig::default())
+            .expect("runs");
+        let d_series = run.register_series("d").expect("d");
+        for (k, &expect) in samples.iter().enumerate() {
+            prop_assert!(
+                (d_series[k] - expect).abs() < 0.03 * expect.max(20.0),
+                "cycle {}: {} vs {}", k, d_series[k], expect
+            );
+        }
+    }
+
+    /// Combinational identity: fanout then add is the identity times the
+    /// fanout width.
+    #[test]
+    fn fanout_then_add_multiplies(x in amount(), width in 2usize..4) {
+        let mut crn = Crn::new();
+        let input = crn.species("in");
+        let copies: Vec<_> = (0..width).map(|i| crn.species(format!("c{i}"))).collect();
+        let out = crn.species("out");
+        fanout(&mut crn, input, &copies).expect("fanout");
+        add(&mut crn, &copies, out).expect("add");
+
+        let mut init = State::new(&crn);
+        init.set(input, x);
+        let trace = simulate_ode(
+            &crn,
+            &init,
+            &Schedule::new(),
+            &OdeOptions::default().with_t_end(50.0),
+            &SimSpec::default(),
+        ).expect("simulates");
+        let y = trace.final_state()[out.index()];
+        prop_assert!((y - x * width as f64).abs() < 1e-3, "{y} vs {}", x * width as f64);
+    }
+
+    /// Halving twice divides by four, for any input quantity.
+    #[test]
+    fn double_halving_quarters(x in amount()) {
+        let mut crn = Crn::new();
+        let input = crn.species("in");
+        let mid = crn.species("mid");
+        let out = crn.species("out");
+        halve(&mut crn, input, mid).expect("halve");
+        halve(&mut crn, mid, out).expect("halve");
+
+        let mut init = State::new(&crn);
+        init.set(input, x);
+        let trace = simulate_ode(
+            &crn,
+            &init,
+            &Schedule::new(),
+            &OdeOptions::default().with_t_end(400.0),
+            &SimSpec::default(),
+        ).expect("simulates");
+        let y = trace.final_state()[out.index()];
+        prop_assert!((y - x / 4.0).abs() < 0.02 * x, "{y} vs {}", x / 4.0);
+    }
+
+    /// Conservation laws found by structural analysis hold numerically
+    /// along random trajectories of random closed transfer rings.
+    #[test]
+    fn conservation_laws_hold_on_trajectories(
+        n in 2usize..5,
+        seed_amounts in proptest::collection::vec(amount(), 2..5),
+    ) {
+        let mut crn = Crn::new();
+        let species: Vec<_> = (0..n).map(|i| crn.species(format!("s{i}"))).collect();
+        for i in 0..n {
+            crn.reaction(&[(species[i], 1)], &[(species[(i + 1) % n], 1)], Rate::Slow)
+                .expect("ring reaction");
+        }
+        let laws = conservation_laws(&crn);
+        prop_assert_eq!(laws.len(), 1);
+
+        let mut init = State::new(&crn);
+        for (i, &v) in seed_amounts.iter().take(n).enumerate() {
+            init.set(species[i], v);
+        }
+        let initial_value = law_value(&laws[0], init.as_slice());
+        let trace = simulate_ode(
+            &crn,
+            &init,
+            &Schedule::new(),
+            &OdeOptions::default().with_t_end(5.0),
+            &SimSpec::default(),
+        ).expect("simulates");
+        for i in 0..trace.len() {
+            let v = law_value(&laws[0], trace.state(i));
+            prop_assert!((v - initial_value).abs() < 1e-4 * initial_value.max(1.0));
+        }
+    }
+}

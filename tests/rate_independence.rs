@@ -1,0 +1,48 @@
+//! The paper's central property, tested end to end: answers do not depend
+//! on the rate constants, only on the fast/slow categories.
+
+use molseq::crn::{JitterSpec, RateAssignment, RateJitter};
+use molseq::dsp::{moving_average, rmse};
+use molseq::kinetics::SimSpec;
+use molseq::sync::{ClockSpec, RunConfig};
+
+#[test]
+fn filter_answers_survive_a_rate_ratio_sweep() {
+    let filter = moving_average(2, ClockSpec::default()).expect("builds");
+    let samples = [10.0, 60.0, 30.0];
+    let ideal = filter.ideal_response(&samples);
+
+    for ratio in [100.0, 1_000.0, 10_000.0] {
+        let config = RunConfig {
+            spec: SimSpec::new(RateAssignment::from_ratio(ratio)),
+            cycle_time_hint: 120.0,
+            ..RunConfig::default()
+        };
+        let measured = filter.respond(&samples, &config).expect("runs");
+        assert!(
+            rmse(&measured, &ideal) < 2.0,
+            "ratio {ratio}: {measured:?} vs {ideal:?}"
+        );
+    }
+}
+
+#[test]
+fn filter_answers_survive_per_reaction_jitter() {
+    let filter = moving_average(2, ClockSpec::default()).expect("builds");
+    let samples = [10.0, 60.0, 30.0];
+    let ideal = filter.ideal_response(&samples);
+
+    for seed in 0..3u64 {
+        let jitter = RateJitter::sample(filter.system().crn(), JitterSpec::new(0.5, seed));
+        let config = RunConfig {
+            spec: SimSpec::default().with_jitter(jitter),
+            cycle_time_hint: 90.0,
+            ..RunConfig::default()
+        };
+        let measured = filter.respond(&samples, &config).expect("runs");
+        assert!(
+            rmse(&measured, &ideal) < 2.0,
+            "seed {seed}: {measured:?} vs {ideal:?}"
+        );
+    }
+}

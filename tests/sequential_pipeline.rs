@@ -1,0 +1,152 @@
+//! Integration tests spanning the whole stack: circuit builder → scheme
+//! generator → stiff ODE simulation → cycle-level harness.
+
+use molseq::dsp::{biquad, fir, iir_first_order, moving_average, rmse, Ratio};
+use molseq::sync::{run_cycles, BinaryCounter, ClockSpec, Fsm, RunConfig, SyncCircuit};
+
+#[test]
+fn two_register_pipeline_delays_by_two_cycles() {
+    let mut circuit = SyncCircuit::new(ClockSpec::default());
+    let x = circuit.input("x");
+    let d1 = circuit.delay("d1", x);
+    let d2 = circuit.delay("d2", d1);
+    circuit.output("y", d2);
+    let system = circuit.compile().expect("compiles");
+
+    let samples = [60.0, 20.0, 80.0];
+    let run = run_cycles(&system, &[("x", &samples)], 6, &RunConfig::default()).expect("runs");
+    let d2_series = run.register_series("d2").expect("d2 exists");
+    for (k, &expect) in samples.iter().enumerate() {
+        assert!(
+            (d2_series[k + 1] - expect).abs() < 1.5,
+            "d2 at cycle {}: {} vs {expect}",
+            k + 1,
+            d2_series[k + 1]
+        );
+    }
+}
+
+#[test]
+fn moving_average_tracks_ideal_end_to_end() {
+    let filter = moving_average(2, ClockSpec::default()).expect("builds");
+    let samples = [10.0, 50.0, 10.0, 80.0, 20.0];
+    let measured = filter
+        .respond(&samples, &RunConfig::default())
+        .expect("runs");
+    let ideal = filter.ideal_response(&samples);
+    assert!(
+        rmse(&measured, &ideal) < 1.5,
+        "measured {measured:?} vs ideal {ideal:?}"
+    );
+}
+
+#[test]
+fn weighted_fir_computes_its_coefficients() {
+    // y(n) = ¾·x(n) + ¼·x(n−1)
+    let filter = fir(
+        &[Ratio::new(3, 4).expect("ratio"), Ratio::new(1, 4).expect("ratio")],
+        ClockSpec::default(),
+    )
+    .expect("builds");
+    let samples = [40.0, 0.0, 80.0];
+    let measured = filter
+        .respond(&samples, &RunConfig::default())
+        .expect("runs");
+    let ideal = filter.ideal_response(&samples);
+    assert_eq!(ideal, vec![30.0, 10.0, 60.0]);
+    assert!(rmse(&measured, &ideal) < 1.5, "{measured:?}");
+}
+
+#[test]
+fn leaky_integrator_feedback_loop_converges() {
+    // y(n) = ½·y(n−1) + ½·x(n) with constant input 40 converges to 40
+    let filter = iir_first_order(
+        Ratio::new(1, 2).expect("ratio"),
+        Ratio::new(1, 2).expect("ratio"),
+        ClockSpec::default(),
+    )
+    .expect("builds");
+    let samples = [40.0; 6];
+    let measured = filter
+        .respond(&samples, &RunConfig::default())
+        .expect("runs");
+    let ideal = filter.ideal_response(&samples);
+    assert!(rmse(&measured, &ideal) < 1.5, "{measured:?} vs {ideal:?}");
+    assert!(
+        (measured.last().expect("nonempty") - 39.375).abs() < 1.5,
+        "{measured:?}"
+    );
+}
+
+#[test]
+fn biquad_with_negative_feedback_tracks_ideal() {
+    // y(n) = ½x(n) + ¼x(n−1) + ¼x(n−2) − ½y(n−1) − ¼y(n−2), clamped at 0
+    let filter = biquad(
+        [
+            Ratio::new(1, 2).expect("ratio"),
+            Ratio::new(1, 4).expect("ratio"),
+            Ratio::new(1, 4).expect("ratio"),
+        ],
+        [
+            Ratio::new(1, 2).expect("ratio"),
+            Ratio::new(1, 4).expect("ratio"),
+        ],
+        ClockSpec::default(),
+    )
+    .expect("builds");
+    let samples = [40.0, 40.0, 40.0, 0.0, 0.0, 40.0];
+    let measured = filter
+        .respond(&samples, &RunConfig::default())
+        .expect("runs");
+    let ideal = filter.ideal_response(&samples);
+    assert!(
+        rmse(&measured, &ideal) < 2.0,
+        "measured {measured:?} vs ideal {ideal:?}"
+    );
+}
+
+#[test]
+fn fsm_divides_input_frequency() {
+    // parity machine = divide-by-two of the `1` stream
+    let fsm = Fsm::build(ClockSpec::default(), 60.0, &[[0, 1], [1, 0]], 0).expect("builds");
+    let bits = [true, true, true, true, true];
+    let (_, states) = fsm.run(&bits, &RunConfig::default()).expect("runs");
+    assert_eq!(states, vec![1, 0, 1, 0, 1]);
+}
+
+#[test]
+fn counter_counts_five_pulses() {
+    let counter = BinaryCounter::build(3, 60.0, ClockSpec::default()).expect("builds");
+    let pulses = [true, true, true, true, true, false, false, false];
+    let samples = counter.pulse_train(&pulses);
+    let run = run_cycles(
+        counter.system(),
+        &[("pulse", &samples)],
+        samples.len() + 1,
+        &RunConfig::default(),
+    )
+    .expect("runs");
+    assert_eq!(counter.decode(&run, run.cycles() - 1).expect("decodes"), 5);
+}
+
+#[test]
+fn clock_period_is_stable_inside_a_circuit() {
+    let mut circuit = SyncCircuit::new(ClockSpec::default());
+    let x = circuit.input("x");
+    let d = circuit.delay("d", x);
+    circuit.output("y", d);
+    let system = circuit.compile().expect("compiles");
+    let run = run_cycles(&system, &[("x", &[50.0, 0.0, 50.0])], 5, &RunConfig::default())
+        .expect("runs");
+    let period = run.mean_period().expect("at least two cycles");
+    assert!(period > 1.0 && period < 60.0, "period {period}");
+    // successive sample times are roughly evenly spaced
+    let times = run.sample_times();
+    for pair in times.windows(2) {
+        let gap = pair[1] - pair[0];
+        assert!(
+            gap > 0.3 * period && gap < 3.0 * period,
+            "irregular cycle: {gap} vs mean {period}"
+        );
+    }
+}

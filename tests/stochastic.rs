@@ -1,0 +1,49 @@
+//! The synchronous machinery under discrete (Gillespie) dynamics — the
+//! regime a DNA implementation actually lives in.
+
+use molseq::crn::RateAssignment;
+use molseq::kinetics::{simulate_ssa, Schedule, SimSpec, SsaOptions};
+use molseq::sync::{stored_final_value, BinaryCounter, ClockSpec, DelayChain, SchemeConfig, SyncRun};
+
+#[test]
+fn delay_chain_is_mass_exact_under_ssa() {
+    let chain = DelayChain::build(SchemeConfig::default(), 2).expect("builds");
+    let init = chain.initial_state(40.0, &[12.0, 7.0]).expect("state");
+    let opts = SsaOptions::default()
+        .with_t_end(300.0)
+        .with_record_interval(2.0)
+        .with_seed(5);
+    let spec = SimSpec::new(RateAssignment::from_ratio(100.0));
+    let trace =
+        simulate_ssa(chain.crn(), &init, &Schedule::new(), &opts, &spec).expect("runs");
+    // pure transfers conserve every molecule: 40 + 12 + 7 arrive exactly
+    let y = stored_final_value(chain.crn(), &trace, chain.output());
+    assert_eq!(y, 59.0, "all molecules delivered");
+}
+
+#[test]
+fn counter_decodes_exactly_at_small_amplitude() {
+    let counter = BinaryCounter::build(2, 8.0, ClockSpec::default()).expect("builds");
+    let system = counter.system();
+    let pulses = counter.pulse_train(&[true, true, true, false, false, false]);
+    let schedule = Schedule::new().trigger(system.input_trigger("pulse", &pulses).expect("trigger"));
+    let opts = SsaOptions::default()
+        .with_t_end(220.0)
+        .with_record_interval(1.0)
+        .with_seed(3);
+    let trace = simulate_ssa(
+        system.crn(),
+        &system.initial_state(),
+        &schedule,
+        &opts,
+        &SimSpec::default(),
+    )
+    .expect("runs");
+    let run = SyncRun::from_trace(system, trace);
+    assert!(run.cycles() >= 6, "enough cycles completed: {}", run.cycles());
+    assert_eq!(
+        counter.decode(&run, run.cycles() - 1).expect("decodes"),
+        3,
+        "three pulses counted with 8-molecule logic levels"
+    );
+}
