@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Local CI gate. Run from the repo root:
+#
+#   ./ci.sh
+#
+# Stages (all offline — the workspace vendors every dependency):
+#   1. formatting     cargo fmt --all --check
+#   2. lints          cargo clippy --workspace --all-targets, warnings are errors
+#   3. tier-1 gate    cargo build --release && cargo test -q
+#   4. workspace      cargo test -q --workspace (every crate, incl. vendor stubs)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: test =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "ci: all stages passed"

@@ -267,11 +267,7 @@ impl AsyncPipeline {
     /// # Errors
     ///
     /// Propagates simulator errors.
-    pub fn run_wavefront(
-        &self,
-        x: f64,
-        config: &MeasureConfig,
-    ) -> Result<Trace, SyncError> {
+    pub fn run_wavefront(&self, x: f64, config: &MeasureConfig) -> Result<Trace, SyncError> {
         let mut init = State::new(&self.crn);
         init.set(self.input, x);
         let trace = simulate_ode(
@@ -377,11 +373,7 @@ impl AsyncPipeline {
     /// # Errors
     ///
     /// Propagates simulator errors.
-    pub fn measure_latency(
-        &self,
-        x: f64,
-        config: &MeasureConfig,
-    ) -> Result<Latency, SyncError> {
+    pub fn measure_latency(&self, x: f64, config: &MeasureConfig) -> Result<Latency, SyncError> {
         let trace = self.run_wavefront(x, config)?;
         let series = self.output_series(&trace);
         let final_value = *series.last().unwrap_or(&0.0);
@@ -401,16 +393,13 @@ mod tests {
 
     #[test]
     fn identity_pipeline_delivers_everything() {
-        let pipe = AsyncPipeline::build(
-            SchemeConfig::default(),
-            &[HopOp::Identity, HopOp::Identity],
-        )
-        .unwrap();
-        let latency = pipe.measure_latency(80.0, &MeasureConfig::default()).unwrap();
-        assert!(
-            (latency.output_value - 80.0).abs() < 1.0,
-            "{latency:?}"
-        );
+        let pipe =
+            AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity, HopOp::Identity])
+                .unwrap();
+        let latency = pipe
+            .measure_latency(80.0, &MeasureConfig::default())
+            .unwrap();
+        assert!((latency.output_value - 80.0).abs() < 1.0, "{latency:?}");
         assert!(latency.t95 < 100.0, "{latency:?}");
     }
 
@@ -418,18 +407,14 @@ mod tests {
     fn scaling_hops_compose() {
         let pipe = AsyncPipeline::build(
             SchemeConfig::default(),
-            &[
-                HopOp::Scale { p: 1, q: 2 },
-                HopOp::Scale { p: 3, q: 1 },
-            ],
+            &[HopOp::Scale { p: 1, q: 2 }, HopOp::Scale { p: 3, q: 1 }],
         )
         .unwrap();
         assert_eq!(pipe.expected_output(40.0), 60.0);
-        let latency = pipe.measure_latency(40.0, &MeasureConfig::default()).unwrap();
-        assert!(
-            (latency.output_value - 60.0).abs() < 1.0,
-            "{latency:?}"
-        );
+        let latency = pipe
+            .measure_latency(40.0, &MeasureConfig::default())
+            .unwrap();
+        assert!((latency.output_value - 60.0).abs() < 1.0, "{latency:?}");
     }
 
     #[test]
@@ -449,27 +434,26 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         assert!(AsyncPipeline::build(SchemeConfig::default(), &[]).is_err());
-        assert!(AsyncPipeline::build(
-            SchemeConfig::default(),
-            &[HopOp::Scale { p: 1, q: 4 }]
-        )
-        .is_err());
-        assert!(AsyncPipeline::build(
-            SchemeConfig::default(),
-            &[HopOp::Scale { p: 0, q: 1 }]
-        )
-        .is_err());
+        assert!(
+            AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Scale { p: 1, q: 4 }]).is_err()
+        );
+        assert!(
+            AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Scale { p: 0, q: 1 }]).is_err()
+        );
     }
 
     #[test]
     fn accessors_are_consistent() {
-        let pipe =
-            AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity; 3]).unwrap();
+        let pipe = AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity; 3]).unwrap();
         assert_eq!(pipe.len(), 3);
         assert!(!pipe.is_empty());
         assert_eq!(pipe.element(0).len(), 3);
         assert_eq!(pipe.expected_output(10.0), 10.0);
-        assert!(pipe.crn().validate().is_empty(), "{:?}", pipe.crn().validate());
+        assert!(
+            pipe.crn().validate().is_empty(),
+            "{:?}",
+            pipe.crn().validate()
+        );
     }
 
     #[test]
@@ -480,8 +464,7 @@ mod tests {
 
     #[test]
     fn throughput_streams_wavefronts() {
-        let pipe =
-            AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity; 2]).unwrap();
+        let pipe = AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity; 2]).unwrap();
         let config = MeasureConfig {
             t_end: 600.0,
             ..MeasureConfig::default()
@@ -499,8 +482,7 @@ mod tests {
 
     #[test]
     fn throughput_rejects_zero_count() {
-        let pipe =
-            AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity]).unwrap();
+        let pipe = AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity]).unwrap();
         assert!(pipe
             .measure_throughput(50.0, 0, &MeasureConfig::default())
             .is_err());
@@ -509,8 +491,7 @@ mod tests {
     /// Streaming: after a wavefront drains, a second one can pass.
     #[test]
     fn consecutive_wavefronts_accumulate() {
-        let pipe =
-            AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity]).unwrap();
+        let pipe = AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity]).unwrap();
         let mut init = State::new(pipe.crn());
         init.set(pipe.input(), 50.0);
         let schedule = Schedule::new().inject(120.0, pipe.input(), 30.0);
@@ -518,7 +499,9 @@ mod tests {
             pipe.crn(),
             &init,
             &schedule,
-            &OdeOptions::default().with_t_end(300.0).with_record_interval(0.2),
+            &OdeOptions::default()
+                .with_t_end(300.0)
+                .with_record_interval(0.2),
             &SimSpec::default(),
         )
         .unwrap();

@@ -46,9 +46,7 @@ fn bench_integrators(c: &mut Criterion) {
                     clock.crn(),
                     &init,
                     &Schedule::new(),
-                    &OdeOptions::default()
-                        .with_t_end(20.0)
-                        .with_method(method),
+                    &OdeOptions::default().with_t_end(20.0).with_method(method),
                     &SimSpec::default(),
                 )
                 .expect("simulates")

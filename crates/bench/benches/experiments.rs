@@ -3,18 +3,20 @@
 //! times the experiment's reduced-workload kernel.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use molseq_bench::all_experiments;
+use molseq_bench::{all_experiments, ExpCtx};
 
 fn bench_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments");
     group.sample_size(10);
 
+    let full = ExpCtx::full();
+    let quick = ExpCtx::quick();
     for (id, title, runner) in all_experiments() {
         // one full-workload run, printed: the reproduction artifact
-        println!("\n{}", runner(false));
+        println!("\n{}", runner(&full));
         // timed: the reduced workload
         group.bench_function(format!("{id}_{}", title.replace(' ', "_")), |b| {
-            b.iter(|| std::hint::black_box(runner(true)));
+            b.iter(|| std::hint::black_box(runner(&quick)));
         });
     }
     group.finish();

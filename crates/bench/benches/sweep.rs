@@ -1,0 +1,89 @@
+//! Criterion harness: serial vs parallel sweep wall time.
+//!
+//! The workload is the E11 cell shape — the combinational average
+//! `y = (a + b)/2` compiled to a leaky DSD network and integrated to a
+//! short horizon. Thirty-two such cells (a leak-rate grid) run on the
+//! [`molseq_sweep`] engine with one worker (serial baseline) and with one
+//! worker per hardware thread; results are identical in job order, only
+//! the wall time moves. On a single-core host the two arms coincide —
+//! the speedup is `min(cores, cells)`-shaped.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molseq_crn::{Crn, RateAssignment};
+use molseq_dsd::{DsdParams, DsdSystem};
+use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
+use molseq_modules::{add, halve};
+use molseq_sweep::{run_sweep, JobError, SweepJob, SweepOptions};
+
+const CELLS: usize = 32;
+
+/// Builds the abstract average program and its expected output.
+fn average_program() -> (Crn, [f64; 4], f64) {
+    let mut crn = Crn::new();
+    let a = crn.species("a");
+    let b = crn.species("b");
+    let s = crn.species("s");
+    let y = crn.species("y");
+    add(&mut crn, &[a, b], s).expect("add");
+    halve(&mut crn, s, y).expect("halve");
+    let init = [30.0, 14.0, 0.0, 0.0];
+    let expected = (init[0] + init[1]) / 2.0;
+    (crn, init, expected)
+}
+
+/// One cell: compile the program to DSD at `leak`, integrate, return the
+/// output error.
+fn error_at_leak(leak: f64) -> Result<f64, JobError> {
+    let (formal, init, expected) = average_program();
+    let y = formal.find_species("y").expect("exists");
+    let params = DsdParams {
+        leak,
+        ..DsdParams::default()
+    };
+    let dsd = DsdSystem::compile(&formal, RateAssignment::default(), &params)
+        .map_err(JobError::failed)?;
+    let trace = simulate_ode(
+        dsd.crn(),
+        &dsd.initial_state(&init),
+        &Schedule::new(),
+        &OdeOptions::default()
+            .with_t_end(30.0)
+            .with_record_interval(1.0),
+        &SimSpec::default(),
+    )
+    .map_err(JobError::failed)?;
+    let fin = trace.final_state();
+    let measured: f64 = dsd.apparent(y).iter().map(|s| fin[s.index()]).sum();
+    Ok((measured - expected).abs())
+}
+
+/// Runs the leak grid on `workers` threads; returns per-cell errors in
+/// job order (worker-agnostic).
+fn leak_sweep(workers: usize) -> Vec<f64> {
+    let jobs: Vec<SweepJob<'_, f64>> = (0..CELLS)
+        .map(|i| {
+            let leak = 1e-12 * (i + 1) as f64;
+            SweepJob::new(format!("leak={leak:e}"), move |_job| error_at_leak(leak))
+        })
+        .collect();
+    let out = run_sweep(&jobs, &SweepOptions::default().with_workers(workers));
+    out.cells
+        .iter()
+        .map(|c| *c.value().expect("cell simulates"))
+        .collect()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    // workers = 1 is the serial baseline; 0 sizes from the machine
+    for (name, workers) in [("serial", 1usize), ("parallel", 0usize)] {
+        group.bench_with_input(BenchmarkId::new("leak_cells", name), &workers, |b, &w| {
+            b.iter(|| std::hint::black_box(leak_sweep(w)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

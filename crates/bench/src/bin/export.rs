@@ -14,7 +14,9 @@ use std::fs;
 use std::path::Path;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "export".to_owned());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "export".to_owned());
     let dir = Path::new(&dir);
     fs::create_dir_all(dir)?;
 
@@ -62,12 +64,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     run.trace()
         .write_csv(fs::File::create(dir.join("moving_average.csv"))?)?;
-    fs::write(dir.join("moving_average.dot"), to_dot(filter.system().crn()))?;
+    fs::write(
+        dir.join("moving_average.dot"),
+        to_dot(filter.system().crn()),
+    )?;
     println!(
         "wrote moving_average.csv ({} samples) and moving_average.dot",
         run.trace().len()
     );
 
-    println!("\nrender the graphs with e.g.:  dot -Tsvg {}/clock.dot -o clock.svg", dir.display());
+    println!(
+        "\nrender the graphs with e.g.:  dot -Tsvg {}/clock.dot -o clock.svg",
+        dir.display()
+    );
     Ok(())
 }

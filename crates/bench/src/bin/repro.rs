@@ -1,22 +1,50 @@
 //! Regenerates every figure and table of the reproduction.
 //!
 //! ```sh
-//! cargo run --release -p molseq-bench --bin repro          # everything
-//! cargo run --release -p molseq-bench --bin repro e3 e6    # a subset
-//! cargo run --release -p molseq-bench --bin repro --quick  # reduced workloads
+//! cargo run --release -p molseq-bench --bin repro            # everything
+//! cargo run --release -p molseq-bench --bin repro e3 e6      # a subset
+//! cargo run --release -p molseq-bench --bin repro --quick    # reduced workloads
+//! cargo run --release -p molseq-bench --bin repro --jobs 8   # sweep cells on 8 workers
 //! ```
+//!
+//! `--jobs N` controls how many worker threads the sweep-backed
+//! experiments use: `--jobs 1` forces serial execution, `--jobs 0` (the
+//! default) sizes the pool from the machine. Reports are byte-identical
+//! at every worker count.
 
-use molseq_bench::all_experiments;
+use molseq_bench::{all_experiments, ExpCtx};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut quick = false;
+    let mut jobs: usize = 0;
+    let mut selected: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                let Some(n) = iter.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--jobs expects a worker count (0 = one per core)");
+                    std::process::exit(2);
+                };
+                jobs = n;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                eprintln!("usage: repro [--quick] [--jobs N] [experiment ids...]");
+                std::process::exit(2);
+            }
+            other => selected.push(other),
+        }
+    }
+    let ctx = if quick {
+        ExpCtx::quick()
+    } else {
+        ExpCtx::full()
+    }
+    .with_jobs(jobs);
 
     let mut ran = 0;
     for (id, _title, runner) in all_experiments() {
@@ -24,7 +52,7 @@ fn main() {
             continue;
         }
         let start = Instant::now();
-        let report = runner(quick);
+        let report = runner(&ctx);
         println!("{report}");
         println!("  (generated in {:.1?})\n", start.elapsed());
         ran += 1;

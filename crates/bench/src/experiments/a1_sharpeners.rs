@@ -7,8 +7,9 @@
 //! each one suppressing the indicator the others need, and the system
 //! settles into an equilibrium crawl that never completes.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_kinetics::{crossings, simulate_ode, OdeOptions, Schedule, SimSpec};
+use molseq_sweep::{run_sweep, SweepJob};
 use molseq_sync::{stored_value_terms, DelayChain, SchemeConfig};
 
 struct Outcome {
@@ -33,7 +34,12 @@ fn evaluate(config: SchemeConfig, quantity: f64, t_end: f64) -> Outcome {
     .expect("simulates");
     let terms = stored_value_terms(chain.crn(), chain.output());
     let series: Vec<f64> = (0..trace.len())
-        .map(|i| terms.iter().map(|&(s, w)| w * trace.state(i)[s.index()]).sum())
+        .map(|i| {
+            terms
+                .iter()
+                .map(|&(s, w)| w * trace.state(i)[s.index()])
+                .sum()
+        })
         .collect();
     let cross_at = |level: f64| {
         crossings(trace.times(), &series, level)
@@ -47,20 +53,31 @@ fn evaluate(config: SchemeConfig, quantity: f64, t_end: f64) -> Outcome {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
     let mut report = Report::new("a1", "ablation: sharpeners");
     let quantity = 30.0;
-    let t_end = if quick { 300.0 } else { 600.0 };
+    let t_end = if ctx.quick { 300.0 } else { 600.0 };
 
-    let with = evaluate(SchemeConfig::default(), quantity, t_end);
-    let without = evaluate(
-        SchemeConfig {
-            sharpeners: false,
-            full_coupling: false,
-        },
-        quantity,
-        t_end,
-    );
+    // the two ablation arms are independent: run them as sweep cells
+    let arms = [
+        ("with sharpeners", SchemeConfig::default()),
+        (
+            "without sharpeners",
+            SchemeConfig {
+                sharpeners: false,
+                full_coupling: false,
+            },
+        ),
+    ];
+    let jobs: Vec<SweepJob<'_, Outcome>> = arms
+        .iter()
+        .map(|&(label, config)| {
+            SweepJob::infallible(label, move |_job| evaluate(config, quantity, t_end))
+        })
+        .collect();
+    let out = run_sweep(&jobs, &ctx.sweep_options());
+    let with = out.cells[0].value().expect("arm simulates");
+    let without = out.cells[1].value().expect("arm simulates");
 
     report.line(format!(
         "one delay element, quantity {quantity}, horizon {t_end} time units"
@@ -91,9 +108,11 @@ pub fn run(quick: bool) -> Report {
 
 #[cfg(test)]
 mod tests {
+    use crate::ExpCtx;
+
     #[test]
     fn sharpeners_are_structural() {
-        let report = super::run(true);
+        let report = super::run(&ExpCtx::quick());
         let with = report.metric_value("completion with sharpeners").unwrap();
         let without = report
             .metric_value("completion without sharpeners")

@@ -9,9 +9,10 @@
 //! transfers borrow ignition from leaders) at a measurable reaction-count
 //! cost.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_crn::CrnStats;
 use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
+use molseq_sweep::{run_sweep, SweepJob};
 use molseq_sync::{stored_value_at, DelayChain, SchemeConfig};
 
 /// Runs two parallel quantities through a chain and measures how far
@@ -45,17 +46,27 @@ fn evaluate(config: SchemeConfig, t_end: f64) -> (usize, f64, f64) {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
     let mut report = Report::new("a2", "ablation: feedback coupling");
-    let t_end = if quick { 60.0 } else { 150.0 };
-    let self_coupled = evaluate(SchemeConfig::default(), t_end);
-    let full = evaluate(
-        SchemeConfig {
-            sharpeners: true,
-            full_coupling: true,
-        },
-        t_end,
-    );
+    let t_end = if ctx.quick { 60.0 } else { 150.0 };
+    // the two coupling variants are independent: run them as sweep cells
+    let arms = [
+        ("self-coupled", SchemeConfig::default()),
+        (
+            "full coupling",
+            SchemeConfig {
+                sharpeners: true,
+                full_coupling: true,
+            },
+        ),
+    ];
+    let jobs: Vec<SweepJob<'_, (usize, f64, f64)>> = arms
+        .iter()
+        .map(|&(label, config)| SweepJob::infallible(label, move |_job| evaluate(config, t_end)))
+        .collect();
+    let out = run_sweep(&jobs, &ctx.sweep_options());
+    let self_coupled = *out.cells[0].value().expect("arm simulates");
+    let full = *out.cells[1].value().expect("arm simulates");
 
     report.line("delay chain n=2 with staged values (X=80, D1=40)".to_owned());
     report.line(format!(
@@ -66,7 +77,10 @@ pub fn run(quick: bool) -> Report {
         "full coupling: {:3} reactions, final Y {:6.1}, first arrival t = {:6.2}",
         full.0, full.1, full.2
     ));
-    report.metric("extra reactions for full coupling", (full.0 - self_coupled.0) as f64);
+    report.metric(
+        "extra reactions for full coupling",
+        (full.0 - self_coupled.0) as f64,
+    );
     report.metric("final Y difference", (full.1 - self_coupled.1).abs());
     report.line(
         "expected: identical answers; full coupling costs O(n²) reactions for marginally tighter phases"
@@ -77,9 +91,11 @@ pub fn run(quick: bool) -> Report {
 
 #[cfg(test)]
 mod tests {
+    use crate::ExpCtx;
+
     #[test]
     fn coupling_variants_agree() {
-        let report = super::run(true);
+        let report = super::run(&ExpCtx::quick());
         let diff = report.metric_value("final Y difference").unwrap();
         assert!(diff < 2.0, "{report}");
         let extra = report

@@ -15,16 +15,22 @@
 //!
 //! Expected shape: logic reliability is essentially perfect at all counts;
 //! arithmetic precision improves inversely with amplitude.
+//!
+//! Replicates are sweep cells: each network is compiled once, shared
+//! across its seeds, and the seeds run in parallel on the
+//! [`molseq_sweep`] engine. Seeds are fixed per cell, so the report is
+//! byte-identical at any worker count.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_crn::RateAssignment;
-use molseq_dsp::{moving_average, rmse};
-use molseq_kinetics::{simulate_ssa, Schedule, SimSpec, SsaOptions};
+use molseq_dsp::{moving_average, rmse, Filter};
+use molseq_kinetics::{simulate_ssa_compiled, CompiledCrn, Schedule, SimSpec, SsaOptions};
+use molseq_sweep::{run_sweep, SweepJob};
 use molseq_sync::{BinaryCounter, ClockSpec, SyncRun};
 
 /// One stochastic counter run: three pulses at amplitude `n`; returns the
 /// decoded final count.
-fn count_three(counter: &BinaryCounter, seed: u64) -> Option<u32> {
+fn count_three(counter: &BinaryCounter, compiled: &CompiledCrn, seed: u64) -> Option<u32> {
     let system = counter.system();
     let pulses = counter.pulse_train(&[true, true, true, false, false, false]);
     let schedule = Schedule::new().trigger(system.input_trigger("pulse", &pulses).ok()?);
@@ -34,12 +40,12 @@ fn count_three(counter: &BinaryCounter, seed: u64) -> Option<u32> {
         .with_t_end(220.0)
         .with_record_interval(1.0)
         .with_seed(seed);
-    let trace = simulate_ssa(
+    let trace = simulate_ssa_compiled(
         system.crn(),
+        compiled,
         &system.initial_state(),
         &schedule,
         &opts,
-        &SimSpec::new(RateAssignment::default()),
     )
     .ok()?;
     let run = SyncRun::from_trace(system, trace);
@@ -48,8 +54,7 @@ fn count_three(counter: &BinaryCounter, seed: u64) -> Option<u32> {
 
 /// One stochastic filter run at integer amplitude `n`: returns the RMS
 /// error against the ideal response, in *relative* units of `n`.
-fn filter_noise(n: f64, seed: u64) -> Option<f64> {
-    let filter = moving_average(2, ClockSpec::default()).ok()?;
+fn filter_noise(filter: &Filter, compiled: &CompiledCrn, n: f64, seed: u64) -> Option<f64> {
     let system = filter.system();
     // odd/even mix so parity losses actually occur
     let samples: Vec<f64> = [1.0, 3.0, 2.0, 5.0, 4.0, 1.0]
@@ -61,12 +66,12 @@ fn filter_noise(n: f64, seed: u64) -> Option<f64> {
         .with_t_end(400.0)
         .with_record_interval(1.0)
         .with_seed(seed);
-    let trace = simulate_ssa(
+    let trace = simulate_ssa_compiled(
         system.crn(),
+        compiled,
         &system.initial_state(),
         &schedule,
         &opts,
-        &SimSpec::new(RateAssignment::default()),
     )
     .ok()?;
     let run = SyncRun::from_trace(system, trace);
@@ -79,22 +84,48 @@ fn filter_noise(n: f64, seed: u64) -> Option<f64> {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
+    let quick = ctx.quick;
     let mut report = Report::new("e10", "stochastic validity at small counts");
 
     // panel 1: the counter is count-exact
-    let amplitudes: Vec<f64> = if quick { vec![8.0] } else { vec![4.0, 8.0, 32.0] };
-    let runs = if quick { 2 } else { 6 };
+    let amplitudes: Vec<f64> = if quick {
+        vec![8.0]
+    } else {
+        vec![4.0, 8.0, 32.0]
+    };
+    let runs: u64 = if quick { 2 } else { 6 };
+    // one build + compile per amplitude, shared by all of its replicates
+    let counters: Vec<(f64, BinaryCounter, CompiledCrn)> = amplitudes
+        .iter()
+        .map(|&n| {
+            let counter = BinaryCounter::build(2, n, ClockSpec::default()).expect("counter builds");
+            let compiled = CompiledCrn::new(
+                counter.system().crn(),
+                &SimSpec::new(RateAssignment::default()),
+            );
+            (n, counter, compiled)
+        })
+        .collect();
+    let counter_jobs: Vec<SweepJob<'_, Option<u32>>> = counters
+        .iter()
+        .flat_map(|(n, counter, compiled)| {
+            (0..runs).map(move |s| {
+                SweepJob::infallible(format!("counter n={n} seed={}", 11 + s), move |_job| {
+                    count_three(counter, compiled, 11 + s)
+                })
+            })
+        })
+        .collect();
+    let counter_out = run_sweep(&counter_jobs, &ctx.sweep_options());
+
     report.line(format!(
         "counter (2 bits, 3 pulses) under Gillespie dynamics, {runs} seeds per amplitude:"
     ));
     report.line("amplitude | correct decodes".to_owned());
-    for &n in &amplitudes {
-        let counter =
-            BinaryCounter::build(2, n, ClockSpec::default()).expect("counter builds");
-        let correct = (0..runs)
-            .filter(|&s| count_three(&counter, 11 + s) == Some(3))
-            .count();
+    for (row, &n) in amplitudes.iter().enumerate() {
+        let cells = &counter_out.cells[row * runs as usize..(row + 1) * runs as usize];
+        let correct = cells.iter().filter(|c| c.value() == Some(&Some(3))).count();
         report.line(format!("{n:9.0} | {correct}/{runs}"));
         if n == *amplitudes.last().expect("nonempty") {
             report.metric("counter success rate", correct as f64 / runs as f64);
@@ -107,20 +138,37 @@ pub fn run(quick: bool) -> Report {
     } else {
         vec![5.0, 10.0, 20.0, 40.0, 80.0]
     };
-    let filter_runs = if quick { 2 } else { 4 };
+    let filter_runs: u64 = if quick { 2 } else { 4 };
+    // the filter network does not depend on the amplitude: compile once
+    let filter = moving_average(2, ClockSpec::default()).expect("filter builds");
+    let filter_compiled = CompiledCrn::new(
+        filter.system().crn(),
+        &SimSpec::new(RateAssignment::default()),
+    );
+    let filter_jobs: Vec<SweepJob<'_, Option<f64>>> = filter_amplitudes
+        .iter()
+        .flat_map(|&n| {
+            let (filter, compiled) = (&filter, &filter_compiled);
+            (0..filter_runs).map(move |seed| {
+                SweepJob::infallible(format!("filter n={n} seed={}", 101 + seed), move |_job| {
+                    filter_noise(filter, compiled, n, 101 + seed)
+                })
+            })
+        })
+        .collect();
+    let filter_out = run_sweep(&filter_jobs, &ctx.sweep_options());
+
     report.line(format!(
         "moving-average filter, odd/even stream, {filter_runs} seeds per amplitude:"
     ));
     report.line("amplitude | mean relative RMS error | stalled runs".to_owned());
-    for &n in &filter_amplitudes {
-        let mut errors = Vec::new();
-        let mut stalled = 0usize;
-        for seed in 0..filter_runs {
-            match filter_noise(n, 101 + seed) {
-                Some(e) => errors.push(e),
-                None => stalled += 1,
-            }
-        }
+    for (row, &n) in filter_amplitudes.iter().enumerate() {
+        let cells = &filter_out.cells[row * filter_runs as usize..(row + 1) * filter_runs as usize];
+        let errors: Vec<f64> = cells
+            .iter()
+            .filter_map(|c| c.value().copied().flatten())
+            .collect();
+        let stalled = cells.len() - errors.len();
         let mean = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
         report.line(format!("{n:9.0} | {mean:22.4} | {stalled:12}"));
         if n == *filter_amplitudes.last().expect("nonempty") {
@@ -139,9 +187,11 @@ pub fn run(quick: bool) -> Report {
 
 #[cfg(test)]
 mod tests {
+    use crate::ExpCtx;
+
     #[test]
     fn counter_is_count_exact_and_filter_quantizes() {
-        let report = super::run(true);
+        let report = super::run(&ExpCtx::quick());
         let success = report.metric_value("counter success rate").unwrap();
         assert!(success > 0.49, "{report}");
         let noise = report

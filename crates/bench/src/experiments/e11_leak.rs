@@ -11,12 +11,19 @@
 //! quantifies the strand-purity budget a wet-lab build would need, and the
 //! fuel panel shows the countermeasure: smaller pools buy quadratic leak
 //! relief.
+//!
+//! Each leak/fuel level is one sweep cell on the [`molseq_sweep`] engine.
+//! The DSD network differs per cell (leak reactions are part of the
+//! compilation), so there is no compile-once reuse here — what the engine
+//! buys instead is parallelism plus fault isolation: a diverging stiff
+//! integration at an extreme leak is a failed cell, not a dead report.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_crn::{Crn, RateAssignment};
 use molseq_dsd::{DsdParams, DsdSystem};
 use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
 use molseq_modules::{add, halve};
+use molseq_sweep::{run_sweep, JobError, SweepJob};
 
 /// Builds the abstract average program and its expected output.
 fn average_program() -> (Crn, [f64; 4], f64) {
@@ -34,7 +41,7 @@ fn average_program() -> (Crn, [f64; 4], f64) {
 
 /// Runs the compiled program at one leak rate and fuel level; returns the
 /// output error.
-fn error_at_leak(leak: f64, fuel: f64, t_end: f64) -> f64 {
+fn error_at_leak(leak: f64, fuel: f64, t_end: f64) -> Result<f64, JobError> {
     let (formal, init, expected) = average_program();
     let y = formal.find_species("y").expect("exists");
     let params = DsdParams {
@@ -43,7 +50,7 @@ fn error_at_leak(leak: f64, fuel: f64, t_end: f64) -> f64 {
         ..DsdParams::default()
     };
     let dsd = DsdSystem::compile(&formal, RateAssignment::default(), &params)
-        .expect("compiles");
+        .map_err(JobError::failed)?;
     let trace = simulate_ode(
         dsd.crn(),
         &dsd.initial_state(&init),
@@ -53,26 +60,32 @@ fn error_at_leak(leak: f64, fuel: f64, t_end: f64) -> f64 {
             .with_record_interval(t_end / 50.0),
         &SimSpec::default(),
     )
-    .expect("simulates");
+    .map_err(JobError::failed)?;
     let fin = trace.final_state();
-    let measured: f64 = dsd
-        .apparent(y)
-        .iter()
-        .map(|s| fin[s.index()])
-        .sum();
-    (measured - expected).abs()
+    let measured: f64 = dsd.apparent(y).iter().map(|s| fin[s.index()]).sum();
+    Ok((measured - expected).abs())
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
     let mut report = Report::new("e11", "strand-displacement leak robustness");
-    let t_end = if quick { 30.0 } else { 60.0 };
+    let t_end = if ctx.quick { 30.0 } else { 60.0 };
     let default_fuel = DsdParams::default().fuel;
-    let leaks: Vec<f64> = if quick {
+    let leaks: Vec<f64> = if ctx.quick {
         vec![0.0, 1e-11, 1e-9]
     } else {
         vec![0.0, 1e-13, 1e-12, 1e-11, 1e-10, 1e-9, 1e-8]
     };
+
+    let leak_jobs: Vec<SweepJob<'_, f64>> = leaks
+        .iter()
+        .map(|&leak| {
+            SweepJob::new(format!("leak={leak:e}"), move |_job| {
+                error_at_leak(leak, default_fuel, t_end)
+            })
+        })
+        .collect();
+    let leak_out = run_sweep(&leak_jobs, &ctx.sweep_options());
 
     report.line(format!(
         "combinational average y = (30 + 14)/2 compiled to DSD (fuel C = {default_fuel}); output error vs leak rate (t = {t_end})"
@@ -80,8 +93,12 @@ pub fn run(quick: bool) -> Report {
     report.line("leak rate | leak/q_max | |error| (y = 22) | % of answer".to_owned());
     let mut clean_error = f64::NAN;
     let mut tolerance_boundary = f64::NAN;
-    for &leak in &leaks {
-        let err = error_at_leak(leak, default_fuel, t_end);
+    for (cell, &leak) in leak_out.cells.iter().zip(&leaks) {
+        let Some(&err) = cell.value() else {
+            let detail = cell.detail().unwrap_or("unknown failure");
+            report.line(format!("{leak:9.0e} |  — cell failed: {detail}"));
+            continue;
+        };
         report.line(format!(
             "{leak:9.0e} | {:10.0e} | {err:16.4} | {:8.2}%",
             leak / DsdParams::default().q_max,
@@ -103,16 +120,30 @@ pub fn run(quick: bool) -> Report {
 
     // panel 2: leak flux ∝ fuel² — smaller pools buy quadratic relief
     let leak = 1e-9;
-    let fuels: Vec<f64> = if quick {
+    let fuels: Vec<f64> = if ctx.quick {
         vec![1_000.0, 10_000.0]
     } else {
         vec![300.0, 1_000.0, 3_000.0, 10_000.0]
     };
+    let fuel_jobs: Vec<SweepJob<'_, f64>> = fuels
+        .iter()
+        .map(|&fuel| {
+            SweepJob::new(format!("fuel={fuel}"), move |_job| {
+                error_at_leak(leak, fuel, t_end)
+            })
+        })
+        .collect();
+    let fuel_out = run_sweep(&fuel_jobs, &ctx.sweep_options());
+
     report.line(format!("error vs fuel pool at leak = {leak:.0e}:"));
     report.line("   fuel C | |error|".to_owned());
     let mut errors = Vec::new();
-    for &fuel in &fuels {
-        let err = error_at_leak(leak, fuel, t_end);
+    for (cell, &fuel) in fuel_out.cells.iter().zip(&fuels) {
+        let Some(&err) = cell.value() else {
+            let detail = cell.detail().unwrap_or("unknown failure");
+            report.line(format!("{fuel:9.0} |  — cell failed: {detail}"));
+            continue;
+        };
         report.line(format!("{fuel:9.0} | {err:8.4}"));
         errors.push(err);
     }
@@ -133,13 +164,18 @@ pub fn run(quick: bool) -> Report {
 
 #[cfg(test)]
 mod tests {
+    use crate::ExpCtx;
+
     #[test]
     fn clean_compilation_is_accurate_and_leak_hurts() {
-        let report = super::run(true);
+        let report = super::run(&ExpCtx::quick());
         let clean = report.metric_value("error without leak").unwrap();
         assert!(clean < 1.0, "{report}");
         let fuel = molseq_dsd::DsdParams::default().fuel;
-        let large_leak_err = super::error_at_leak(1e-9, fuel, 30.0);
-        assert!(large_leak_err > clean + 0.5, "leak must hurt: {large_leak_err}");
+        let large_leak_err = super::error_at_leak(1e-9, fuel, 30.0).unwrap();
+        assert!(
+            large_leak_err > clean + 0.5,
+            "leak must hurt: {large_leak_err}"
+        );
     }
 }

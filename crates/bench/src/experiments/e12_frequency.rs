@@ -12,7 +12,7 @@
 //! Expected shape: gain ≈ 1 at DC, rolling off to 0 at the Nyquist
 //! frequency (ω = π), tracking `cos(ω/2)` in between.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_dsp::moving_average;
 use molseq_sync::{ClockSpec, RunConfig};
 
@@ -53,7 +53,8 @@ fn probe(samples_per_period: usize, quick: bool) -> Option<(f64, f64)> {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
+    let quick = ctx.quick;
     let mut report = Report::new("e12", "filter frequency response");
     let sample_counts: Vec<usize> = if quick {
         vec![8, 2]
@@ -62,8 +63,7 @@ pub fn run(quick: bool) -> Report {
     };
 
     report.line(
-        "moving-average filter driven by offset sinusoids; gain vs normalized frequency"
-            .to_owned(),
+        "moving-average filter driven by offset sinusoids; gain vs normalized frequency".to_owned(),
     );
     report.line("samples/period |   ω/π | measured gain | cos(ω/2) |  error".to_owned());
     let mut worst = 0.0f64;
@@ -92,7 +92,7 @@ pub fn run(quick: bool) -> Report {
 mod tests {
     #[test]
     fn response_tracks_theory() {
-        let report = super::run(true);
+        let report = super::run(&crate::ExpCtx::quick());
         let worst = report.metric_value("worst |gain - theory|").unwrap();
         assert!(worst < 0.12, "{report}");
     }

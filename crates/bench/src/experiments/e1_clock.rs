@@ -5,7 +5,7 @@
 //! of) the token; the period is stable across cycles; no two phases are
 //! simultaneously high.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_kinetics::{
     crossings, estimate_period, render_species, simulate_ode, Direction, OdeOptions, Schedule,
     SimSpec,
@@ -13,7 +13,8 @@ use molseq_kinetics::{
 use molseq_sync::{Clock, SchemeConfig};
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
+    let quick = ctx.quick;
     let mut report = Report::new("e1", "chemical clock oscillation");
     let token = 100.0;
     let t_end = if quick { 30.0 } else { 120.0 };
@@ -71,7 +72,10 @@ pub fn run(quick: bool) -> Report {
         highs.sort_by(f64::total_cmp);
         worst_second = worst_second.max(highs[1]);
     }
-    report.metric("worst overlap (second phase, % of token)", worst_second / token * 100.0);
+    report.metric(
+        "worst overlap (second phase, % of token)",
+        worst_second / token * 100.0,
+    );
     report.line("expected: stable period, second phase never near the token level".to_owned());
     report
 }
@@ -80,9 +84,12 @@ pub fn run(quick: bool) -> Report {
 mod tests {
     #[test]
     fn clock_report_has_a_period() {
-        let report = super::run(true);
+        let report = super::run(&crate::ExpCtx::quick());
         let period = report.metric_value("period [time units]").unwrap();
-        assert!(period.is_finite() && period > 0.5 && period < 50.0, "{period}");
+        assert!(
+            period.is_finite() && period > 0.5 && period < 50.0,
+            "{period}"
+        );
         let overlap = report
             .metric_value("worst overlap (second phase, % of token)")
             .unwrap();

@@ -6,12 +6,13 @@
 //! one element per rotation; `Y` fills in ordered steps (55, then +30,
 //! then +80) and the final total is exact.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_kinetics::{render_species, simulate_ode, OdeOptions, Schedule, SimSpec};
 use molseq_sync::{stored_value_at, DelayChain, SchemeConfig};
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
+    let quick = ctx.quick;
     let mut report = Report::new("e2", "delay-element chain transfer");
     let chain = DelayChain::build(SchemeConfig::default(), 2).expect("valid chain");
     let (x, d1, d2) = (80.0, 30.0, 55.0);
@@ -72,7 +73,7 @@ pub fn run(quick: bool) -> Report {
 mod tests {
     #[test]
     fn chain_delivers_everything_in_order() {
-        let report = super::run(false);
+        let report = super::run(&crate::ExpCtx::full());
         let y = report.metric_value("final Y (expect 165)").unwrap();
         assert!((y - 165.0).abs() < 2.0, "{y}");
         let plateaus = report

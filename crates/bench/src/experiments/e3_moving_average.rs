@@ -5,7 +5,7 @@
 //! sample, with errors a small fraction of the signal amplitude,
 //! independent of the input pattern.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_dsp::{moving_average, rmse};
 use molseq_sync::{ClockSpec, RunConfig};
 
@@ -22,7 +22,8 @@ pub fn input_stream(quick: bool) -> Vec<f64> {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
+    let quick = ctx.quick;
     let mut report = Report::new("e3", "moving-average filter");
     let filter = moving_average(2, ClockSpec::default()).expect("valid filter");
     let samples = input_stream(quick);
@@ -54,7 +55,9 @@ pub fn run(quick: bool) -> Report {
         .map(|(m, i)| (m - i).abs())
         .fold(0.0f64, f64::max);
     report.metric("max |error|", max_err);
-    report.line("expected: molecular output tracks the ideal filter within ~2% of amplitude".to_owned());
+    report.line(
+        "expected: molecular output tracks the ideal filter within ~2% of amplitude".to_owned(),
+    );
     report
 }
 
@@ -62,7 +65,7 @@ pub fn run(quick: bool) -> Report {
 mod tests {
     #[test]
     fn filter_tracks_ideal() {
-        let report = super::run(true);
+        let report = super::run(&crate::ExpCtx::quick());
         let rms = report.metric_value("RMS error").unwrap();
         assert!(rms < 2.0, "rms = {rms}");
     }

@@ -4,11 +4,12 @@
 //! Expected shape: after the pulses stop and the carries settle, the bits
 //! encode the number of pulses exactly.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_sync::{run_cycles, BinaryCounter, ClockSpec, RunConfig};
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
+    let quick = ctx.quick;
     let mut report = Report::new("e4", "binary counter");
     let bits = if quick { 2 } else { 3 };
     let pulses: Vec<bool> = if quick {
@@ -66,7 +67,9 @@ pub fn run(quick: bool) -> Report {
     let final_count = counter.decode(&run, run.cycles() - 1).expect("last cycle");
     report.metric("final count", f64::from(final_count));
     report.metric("expected count", f64::from(expected));
-    report.line("expected: decoded value settles on the pulse count after the carries ripple".to_owned());
+    report.line(
+        "expected: decoded value settles on the pulse count after the carries ripple".to_owned(),
+    );
     report
 }
 
@@ -74,7 +77,7 @@ pub fn run(quick: bool) -> Report {
 mod tests {
     #[test]
     fn counter_counts() {
-        let report = super::run(true);
+        let report = super::run(&crate::ExpCtx::quick());
         assert_eq!(
             report.metric_value("final count"),
             report.metric_value("expected count"),

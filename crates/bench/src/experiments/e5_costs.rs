@@ -5,7 +5,7 @@
 //! indicator machinery is shared (three indicators regardless of size);
 //! design cost grows linearly with datapath width.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_crn::CrnStats;
 use molseq_dsp::{biquad, moving_average, Ratio};
 use molseq_sync::{BinaryCounter, Clock, ClockSpec, DelayChain, SchemeConfig};
@@ -24,7 +24,7 @@ fn row(report: &mut Report, name: &str, stats: CrnStats) {
 }
 
 /// Runs the experiment.
-pub fn run(_quick: bool) -> Report {
+pub fn run(_ctx: &ExpCtx) -> Report {
     let mut report = Report::new("e5", "construct costs");
     report.line(
         "construct                    | species | reactions | fast | slow | order0 | order1 | order2"
@@ -33,7 +33,11 @@ pub fn run(_quick: bool) -> Report {
 
     let config = SchemeConfig::default();
     let clock = Clock::build(config, 100.0).expect("clock");
-    row(&mut report, "clock (1-element ring)", CrnStats::of(clock.crn()));
+    row(
+        &mut report,
+        "clock (1-element ring)",
+        CrnStats::of(clock.crn()),
+    );
 
     for n in [1usize, 2, 4, 8] {
         let chain = DelayChain::build(config, n).expect("chain");
@@ -92,7 +96,7 @@ pub fn run(_quick: bool) -> Report {
 mod tests {
     #[test]
     fn costs_scale_linearly() {
-        let report = super::run(true);
+        let report = super::run(&crate::ExpCtx::quick());
         let per_element = report
             .metric_value("reactions per added delay element")
             .unwrap();

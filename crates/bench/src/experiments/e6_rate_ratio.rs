@@ -6,11 +6,16 @@
 //! Expected shape: error collapses once `k_fast/k_slow` exceeds ~10²; at
 //! ratio 10 the scheme degrades visibly (indicators leak while categories
 //! still hold quantity, so transfers fire out of phase).
+//!
+//! The sweep runs on the [`molseq_sweep`] engine: the filter network is
+//! compiled once and re-bound per ratio, and the cells run in parallel
+//! with results in ratio order.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_crn::RateAssignment;
 use molseq_dsp::{moving_average, rmse};
-use molseq_kinetics::SimSpec;
+use molseq_kinetics::{CompiledCrn, SimSpec};
+use molseq_sweep::{run_sweep, JobError, SweepJob};
 use molseq_sync::{ClockSpec, RunConfig};
 
 /// The ratios swept by the figure.
@@ -23,39 +28,59 @@ pub fn ratios(quick: bool) -> Vec<f64> {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
     let mut report = Report::new("e6", "rate-ratio robustness");
-    let samples: Vec<f64> = if quick {
+    let samples: Vec<f64> = if ctx.quick {
         vec![10.0, 50.0, 80.0]
     } else {
         vec![10.0, 50.0, 10.0, 80.0, 80.0, 20.0]
     };
     let filter = moving_average(2, ClockSpec::default()).expect("filter");
     let ideal = filter.ideal_response(&samples);
+    // compile once; every sweep cell rebinds the rates it needs
+    let base = CompiledCrn::new(filter.system().crn(), &SimSpec::default());
+
+    let swept = ratios(ctx.quick);
+    let jobs: Vec<SweepJob<'_, (f64, f64)>> = swept
+        .iter()
+        .map(|&ratio| {
+            let (filter, ideal, samples, base) = (&filter, &ideal, &samples, &base);
+            SweepJob::new(format!("ratio={ratio}"), move |_job| {
+                let spec = SimSpec::new(RateAssignment::from_ratio(ratio));
+                let config = RunConfig {
+                    spec: spec.clone(),
+                    // low separation makes phases long and mushy: allow
+                    // more time
+                    cycle_time_hint: if ratio < 100.0 { 120.0 } else { 45.0 },
+                    ..RunConfig::default()
+                };
+                let measured = filter
+                    .respond_compiled(&base.rebind(&spec), samples, &config)
+                    .map_err(JobError::failed)?;
+                let rms = rmse(&measured, ideal);
+                let max_err = measured
+                    .iter()
+                    .zip(ideal)
+                    .map(|(m, i)| (m - i).abs())
+                    .fold(0.0f64, f64::max);
+                Ok((rms, max_err))
+            })
+        })
+        .collect();
+    let out = run_sweep(&jobs, &ctx.sweep_options());
 
     report.line("moving-average filter RMS error vs k_fast/k_slow".to_owned());
     report.line("   ratio |  RMS error | max |error| | period".to_owned());
     let mut errors = Vec::new();
-    for &ratio in &ratios(quick) {
-        let config = RunConfig {
-            spec: SimSpec::new(RateAssignment::from_ratio(ratio)),
-            // low separation makes phases long and mushy: allow more time
-            cycle_time_hint: if ratio < 100.0 { 120.0 } else { 45.0 },
-            ..RunConfig::default()
-        };
-        match filter.respond(&samples, &config) {
-            Ok(measured) => {
-                let rms = rmse(&measured, &ideal);
-                let max_err = measured
-                    .iter()
-                    .zip(&ideal)
-                    .map(|(m, i)| (m - i).abs())
-                    .fold(0.0f64, f64::max);
+    for (cell, &ratio) in out.cells.iter().zip(&swept) {
+        match cell.value() {
+            Some(&(rms, max_err)) => {
                 report.line(format!("{ratio:8.0} | {rms:10.4} | {max_err:11.4} |"));
                 errors.push((ratio, rms));
             }
-            Err(e) => {
-                report.line(format!("{ratio:8.0} |      — scheme breaks down: {e}"));
+            None => {
+                let detail = cell.detail().unwrap_or("unknown failure");
+                report.line(format!("{ratio:8.0} |      — scheme breaks down: {detail}"));
                 errors.push((ratio, f64::INFINITY));
             }
         }
@@ -76,10 +101,19 @@ pub fn run(quick: bool) -> Report {
 
 #[cfg(test)]
 mod tests {
+    use crate::ExpCtx;
+
     #[test]
     fn high_separation_is_accurate() {
-        let report = super::run(true);
+        let report = super::run(&ExpCtx::quick());
         let rms = report.metric_value("RMS error at ratio >= 1000").unwrap();
         assert!(rms < 2.0, "{rms}");
+    }
+
+    #[test]
+    fn parallel_report_matches_serial() {
+        let serial = super::run(&ExpCtx::quick().with_jobs(1));
+        let parallel = super::run(&ExpCtx::quick().with_jobs(4));
+        assert_eq!(serial.to_string(), parallel.to_string());
     }
 }

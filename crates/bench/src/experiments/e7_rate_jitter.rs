@@ -5,58 +5,81 @@
 //!
 //! Expected shape: the error stays at the unjittered baseline for σ up to
 //! ~1 (a spread of e² ≈ 7.4× between ±1σ reactions).
+//!
+//! Every `(σ, draw)` pair is one sweep cell: the filter network is
+//! compiled once and re-bound per jitter draw, and the cells run in
+//! parallel on the [`molseq_sweep`] engine. Draw seeds are fixed per
+//! cell (not scheduling-dependent), so the report is byte-identical at
+//! any worker count.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_crn::{JitterSpec, RateJitter};
 use molseq_dsp::{moving_average, rmse};
-use molseq_kinetics::SimSpec;
+use molseq_kinetics::{CompiledCrn, SimSpec};
+use molseq_sweep::{run_sweep, JobError, SweepJob};
 use molseq_sync::{ClockSpec, RunConfig};
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
     let mut report = Report::new("e7", "per-reaction rate jitter");
-    let samples: Vec<f64> = if quick {
+    let samples: Vec<f64> = if ctx.quick {
         vec![10.0, 60.0, 30.0]
     } else {
         vec![10.0, 50.0, 10.0, 80.0, 80.0, 20.0]
     };
-    let sigmas = if quick {
+    let sigmas = if ctx.quick {
         vec![0.5]
     } else {
         vec![0.25, 0.5, 1.0]
     };
-    let draws = if quick { 3 } else { 10 };
+    let draws: u64 = if ctx.quick { 3 } else { 10 };
 
     let filter = moving_average(2, ClockSpec::default()).expect("filter");
     let ideal = filter.ideal_response(&samples);
+    let base = CompiledCrn::new(filter.system().crn(), &SimSpec::default());
+
+    // one cell per (sigma, draw), flattened in presentation order
+    let jobs: Vec<SweepJob<'_, f64>> = sigmas
+        .iter()
+        .flat_map(|&sigma| {
+            let (filter, ideal, samples, base) = (&filter, &ideal, &samples, &base);
+            (0..draws).map(move |seed| {
+                SweepJob::new(format!("sigma={sigma} draw={seed}"), move |_job| {
+                    let jitter = RateJitter::sample(
+                        filter.system().crn(),
+                        JitterSpec::new(sigma, 1_000 + seed),
+                    );
+                    let spec = SimSpec::default().with_jitter(jitter);
+                    let config = RunConfig {
+                        spec: spec.clone(),
+                        cycle_time_hint: 90.0,
+                        ..RunConfig::default()
+                    };
+                    let measured = filter
+                        .respond_compiled(&base.rebind(&spec), samples, &config)
+                        .map_err(JobError::failed)?;
+                    Ok(rmse(&measured, ideal))
+                })
+            })
+        })
+        .collect();
+    let out = run_sweep(&jobs, &ctx.sweep_options());
 
     report.line(format!(
         "moving-average RMS error under lognormal rate jitter ({draws} draws per sigma)"
     ));
     report.line("  sigma |   mean RMS |    max RMS | failures".to_owned());
     let mut worst_overall = 0.0f64;
-    for &sigma in &sigmas {
-        let mut rms_values = Vec::new();
-        let mut failures = 0usize;
-        for seed in 0..draws {
-            let jitter = RateJitter::sample(
-                filter.system().crn(),
-                JitterSpec::new(sigma, 1_000 + seed),
-            );
-            let config = RunConfig {
-                spec: SimSpec::default().with_jitter(jitter),
-                cycle_time_hint: 90.0,
-                ..RunConfig::default()
-            };
-            match filter.respond(&samples, &config) {
-                Ok(measured) => rms_values.push(rmse(&measured, &ideal)),
-                Err(_) => failures += 1,
-            }
-        }
+    for (row, &sigma) in sigmas.iter().enumerate() {
+        let cells = &out.cells[row * draws as usize..(row + 1) * draws as usize];
+        let rms_values: Vec<f64> = cells.iter().filter_map(|c| c.value().copied()).collect();
+        let failures = cells.len() - rms_values.len();
         let mean = rms_values.iter().sum::<f64>() / rms_values.len().max(1) as f64;
         let max = rms_values.iter().copied().fold(0.0f64, f64::max);
         worst_overall = worst_overall.max(max);
-        report.line(format!("{sigma:7.2} | {mean:10.4} | {max:10.4} | {failures:8}"));
+        report.line(format!(
+            "{sigma:7.2} | {mean:10.4} | {max:10.4} | {failures:8}"
+        ));
     }
     report.metric("worst RMS across all draws", worst_overall);
     report.line(
@@ -68,9 +91,11 @@ pub fn run(quick: bool) -> Report {
 
 #[cfg(test)]
 mod tests {
+    use crate::ExpCtx;
+
     #[test]
     fn jittered_rates_stay_accurate() {
-        let report = super::run(true);
+        let report = super::run(&ExpCtx::quick());
         let worst = report.metric_value("worst RMS across all draws").unwrap();
         assert!(worst < 3.0, "{worst}");
     }

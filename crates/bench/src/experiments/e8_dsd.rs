@@ -8,13 +8,11 @@
 //! compiled networks are ~4× larger in reactions and carry a fuel
 //! complement.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_crn::RateAssignment;
 use molseq_dsd::{DsdParams, DsdSystem};
 use molseq_dsp::moving_average;
-use molseq_kinetics::{
-    estimate_period, simulate_ode, OdeOptions, Schedule, SimSpec, State, Trace,
-};
+use molseq_kinetics::{estimate_period, simulate_ode, OdeOptions, Schedule, SimSpec, State, Trace};
 use molseq_sync::{Clock, ClockSpec, DelayChain, SchemeConfig};
 
 fn simulate(dsd: &DsdSystem, init: &State, t_end: f64) -> Trace {
@@ -31,7 +29,8 @@ fn simulate(dsd: &DsdSystem, init: &State, t_end: f64) -> Trace {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
+    let quick = ctx.quick;
     let mut report = Report::new("e8", "strand-displacement mapping");
     let params = DsdParams::default();
     let assignment = RateAssignment::default();
@@ -85,8 +84,7 @@ pub fn run(quick: bool) -> Report {
     if !quick {
         let chain = DelayChain::build(config, 2).expect("chain");
         let formal_state = chain.initial_state(80.0, &[30.0, 55.0]).expect("state");
-        let dsd_chain =
-            DsdSystem::compile(chain.crn(), assignment, &params).expect("compiles");
+        let dsd_chain = DsdSystem::compile(chain.crn(), assignment, &params).expect("compiles");
         let trace = simulate(
             &dsd_chain,
             &dsd_chain.initial_state(formal_state.as_slice()),
@@ -105,9 +103,7 @@ pub fn run(quick: bool) -> Report {
 
     // 3. compilation cost table
     report.line("compilation blow-up:".to_owned());
-    report.line(
-        "network                  | formal sp/rx | compiled sp/rx | fuels".to_owned(),
-    );
+    report.line("network                  | formal sp/rx | compiled sp/rx | fuels".to_owned());
     let chain2 = DelayChain::build(config, 2).expect("chain");
     let ma = moving_average(2, ClockSpec::default()).expect("ma");
     for (name, crn) in [
@@ -139,7 +135,7 @@ pub fn run(quick: bool) -> Report {
 mod tests {
     #[test]
     fn dsd_clock_still_ticks() {
-        let report = super::run(true);
+        let report = super::run(&crate::ExpCtx::quick());
         let p = report.metric_value("DSD clock period");
         assert!(p.is_some(), "{report}");
         assert!(p.unwrap() > 0.5, "{report}");

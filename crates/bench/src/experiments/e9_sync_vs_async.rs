@@ -7,10 +7,12 @@
 //! chain's latency per element is smaller, because the clocked design
 //! paces every hop by the (token-sized) clock rotation.
 
-use crate::Report;
+use crate::{ExpCtx, Report};
 use molseq_async::{AsyncPipeline, HopOp, MeasureConfig};
 use molseq_kinetics::crossings;
-use molseq_sync::{run_cycles, stored_value_terms, ClockSpec, RunConfig, SchemeConfig, SyncCircuit};
+use molseq_sync::{
+    run_cycles, stored_value_terms, ClockSpec, RunConfig, SchemeConfig, SyncCircuit,
+};
 
 /// Latency of a value through `n` clocked registers, measured from the
 /// trace: time at which the output register first holds 95% of the value.
@@ -29,7 +31,12 @@ fn sync_latency(n: usize, x: f64) -> Option<f64> {
     let terms = stored_value_terms(system.crn(), y);
     let trace = run.trace();
     let series: Vec<f64> = (0..trace.len())
-        .map(|i| terms.iter().map(|&(s, w)| w * trace.state(i)[s.index()]).sum())
+        .map(|i| {
+            terms
+                .iter()
+                .map(|&(s, w)| w * trace.state(i)[s.index()])
+                .sum()
+        })
         .collect();
     crossings(trace.times(), &series, 0.95 * x)
         .first()
@@ -37,12 +44,15 @@ fn sync_latency(n: usize, x: f64) -> Option<f64> {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Report {
+pub fn run(ctx: &ExpCtx) -> Report {
+    let quick = ctx.quick;
     let mut report = Report::new("e9", "clocked vs self-timed latency");
     let lengths: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 4, 6] };
     let x = 80.0;
 
-    report.line(format!("latency to deliver a quantity of {x} through n elements"));
+    report.line(format!(
+        "latency to deliver a quantity of {x} through n elements"
+    ));
     report.line("   n | self-timed t95 | clocked t95 | ratio".to_owned());
     let mut last_ratio = f64::NAN;
     for &n in &lengths {
@@ -66,12 +76,13 @@ pub fn run(quick: bool) -> Report {
                     "{n:4} | {async_latency:14.2} | {s:11.2} | {last_ratio:5.2}"
                 ));
             }
-            None => report.line(format!(
-                "{n:4} | {async_latency:14.2} |           — |"
-            )),
+            None => report.line(format!("{n:4} | {async_latency:14.2} |           — |")),
         }
     }
-    report.metric("clocked/self-timed latency ratio (longest chain)", last_ratio);
+    report.metric(
+        "clocked/self-timed latency ratio (longest chain)",
+        last_ratio,
+    );
     report.line(
         "expected: the self-timed chain wins latency; the clocked design buys global cycle alignment instead"
             .to_owned(),
@@ -83,7 +94,7 @@ pub fn run(quick: bool) -> Report {
 mod tests {
     #[test]
     fn self_timed_is_faster() {
-        let report = super::run(true);
+        let report = super::run(&crate::ExpCtx::quick());
         let ratio = report
             .metric_value("clocked/self-timed latency ratio (longest chain)")
             .unwrap();

@@ -33,26 +33,122 @@ pub mod report;
 
 pub use report::Report;
 
-/// An experiment entry: `(id, title, runner)`. The runner's `bool` asks
-/// for a reduced workload (used by the criterion wrapper).
-pub type Experiment = (&'static str, &'static str, fn(bool) -> Report);
+use molseq_sweep::SweepOptions;
+
+/// How an experiment should be run: workload size and sweep parallelism.
+///
+/// The sweep-shaped experiments (E6/E7/E10/E11, A1/A2) fan their cells
+/// out on the [`molseq_sweep`] engine; `jobs` sets its worker count. The
+/// engine's per-cell results are deterministic in job order, so reports
+/// are byte-identical whatever `jobs` is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpCtx {
+    /// Reduced workload (used by tests and the criterion wrapper).
+    pub quick: bool,
+    /// Sweep worker threads: `0` = one per hardware thread, `1` = serial.
+    pub jobs: usize,
+}
+
+impl ExpCtx {
+    /// Full workload, auto parallelism.
+    #[must_use]
+    pub fn full() -> Self {
+        ExpCtx {
+            quick: false,
+            jobs: 0,
+        }
+    }
+
+    /// Reduced workload, auto parallelism.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExpCtx {
+            quick: true,
+            jobs: 0,
+        }
+    }
+
+    /// Sets the sweep worker count (builder style).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The sweep-engine options this context implies.
+    #[must_use]
+    pub fn sweep_options(&self) -> SweepOptions {
+        SweepOptions::default().with_workers(self.jobs)
+    }
+}
+
+/// An experiment entry: `(id, title, runner)`.
+pub type Experiment = (&'static str, &'static str, fn(&ExpCtx) -> Report);
 
 /// Every experiment, in presentation order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        ("e1", "chemical clock oscillation", experiments::e1_clock::run),
-        ("e2", "delay-element chain transfer", experiments::e2_delay_chain::run),
-        ("e3", "moving-average filter", experiments::e3_moving_average::run),
+        (
+            "e1",
+            "chemical clock oscillation",
+            experiments::e1_clock::run,
+        ),
+        (
+            "e2",
+            "delay-element chain transfer",
+            experiments::e2_delay_chain::run,
+        ),
+        (
+            "e3",
+            "moving-average filter",
+            experiments::e3_moving_average::run,
+        ),
         ("e4", "binary counter", experiments::e4_counter::run),
         ("e5", "construct costs", experiments::e5_costs::run),
-        ("e6", "rate-ratio robustness", experiments::e6_rate_ratio::run),
-        ("e7", "per-reaction rate jitter", experiments::e7_rate_jitter::run),
-        ("e8", "strand-displacement mapping", experiments::e8_dsd::run),
-        ("e9", "clocked vs self-timed latency", experiments::e9_sync_vs_async::run),
-        ("e10", "stochastic validity at small counts", experiments::e10_ssa::run),
-        ("e11", "strand-displacement leak robustness", experiments::e11_leak::run),
-        ("e12", "filter frequency response", experiments::e12_frequency::run),
-        ("a1", "ablation: sharpeners", experiments::a1_sharpeners::run),
-        ("a2", "ablation: feedback coupling", experiments::a2_coupling::run),
+        (
+            "e6",
+            "rate-ratio robustness",
+            experiments::e6_rate_ratio::run,
+        ),
+        (
+            "e7",
+            "per-reaction rate jitter",
+            experiments::e7_rate_jitter::run,
+        ),
+        (
+            "e8",
+            "strand-displacement mapping",
+            experiments::e8_dsd::run,
+        ),
+        (
+            "e9",
+            "clocked vs self-timed latency",
+            experiments::e9_sync_vs_async::run,
+        ),
+        (
+            "e10",
+            "stochastic validity at small counts",
+            experiments::e10_ssa::run,
+        ),
+        (
+            "e11",
+            "strand-displacement leak robustness",
+            experiments::e11_leak::run,
+        ),
+        (
+            "e12",
+            "filter frequency response",
+            experiments::e12_frequency::run,
+        ),
+        (
+            "a1",
+            "ablation: sharpeners",
+            experiments::a1_sharpeners::run,
+        ),
+        (
+            "a2",
+            "ablation: feedback coupling",
+            experiments::a2_coupling::run,
+        ),
     ]
 }

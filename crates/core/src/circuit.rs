@@ -24,8 +24,8 @@
 //! feed commits. Purely flow-through operations (add, scale, fan-out) have
 //! no such hazard and may chain freely within a stage.
 
-use crate::{ClockSpec, Color, SchemeBuilder, SyncError};
 use crate::system::{ClockHandles, CompiledSystem, RegisterHandles};
+use crate::{ClockSpec, Color, SchemeBuilder, SyncError};
 use molseq_crn::SpeciesId;
 use std::collections::HashMap;
 
@@ -735,11 +735,8 @@ impl Compiler {
                     } else {
                         let cross_copy = self.copy_species(i, Stage::Green)?;
                         products.push((cross_copy, 1));
-                        self.builder.transfer(
-                            cross_copy,
-                            &[(blue, 1)],
-                            &format!("cross n{i}"),
-                        )?;
+                        self.builder
+                            .transfer(cross_copy, &[(blue, 1)], &format!("cross n{i}"))?;
                         self.builder
                             .fast(&[(value, 1)], &products, &format!("fanout n{i}"))?;
                     }
@@ -842,7 +839,12 @@ impl Compiler {
                 },
             );
         }
-        let outputs: Vec<String> = self.circuit.outputs.iter().map(|(n, _)| n.clone()).collect();
+        let outputs: Vec<String> = self
+            .circuit
+            .outputs
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
 
         debug_assert!(
             self.builder.stall_risks().is_empty(),
@@ -870,7 +872,11 @@ mod tests {
         let y = c.halve(sum);
         c.output("y", y);
         let sys = c.compile().unwrap();
-        assert!(sys.crn().validate().is_empty(), "{:?}", sys.crn().validate());
+        assert!(
+            sys.crn().validate().is_empty(),
+            "{:?}",
+            sys.crn().validate()
+        );
         assert!(sys.input_species("x").is_ok());
         assert!(sys.output_species("y").is_ok());
     }
@@ -880,10 +886,7 @@ mod tests {
         let mut c = SyncCircuit::new(ClockSpec::default());
         let x = c.input("x");
         c.output("x", x);
-        assert!(matches!(
-            c.compile(),
-            Err(SyncError::DuplicatePort { .. })
-        ));
+        assert!(matches!(c.compile(), Err(SyncError::DuplicatePort { .. })));
     }
 
     #[test]
@@ -924,10 +927,7 @@ mod tests {
         let s2 = c.sub(s1, x);
         let s3 = c.sub(s2, x);
         c.output("y", s3);
-        assert!(matches!(
-            c.compile(),
-            Err(SyncError::CombinationalCycle)
-        ));
+        assert!(matches!(c.compile(), Err(SyncError::CombinationalCycle)));
     }
 
     #[test]
@@ -950,10 +950,7 @@ mod tests {
         let s2 = c.sub(s1, k); // blue
         let d = c.double(s2); // fast consumer of a blue sub: no barrier left
         c.output("y", d);
-        assert!(matches!(
-            c.compile(),
-            Err(SyncError::CombinationalCycle)
-        ));
+        assert!(matches!(c.compile(), Err(SyncError::CombinationalCycle)));
     }
 
     #[test]
@@ -974,10 +971,7 @@ mod tests {
         let x = c.input("x");
         let d = c.delay_with_init("d", x, -5.0);
         c.output("y", d);
-        assert!(matches!(
-            c.compile(),
-            Err(SyncError::InvalidAmount { .. })
-        ));
+        assert!(matches!(c.compile(), Err(SyncError::InvalidAmount { .. })));
     }
 
     #[test]

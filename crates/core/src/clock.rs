@@ -168,7 +168,11 @@ impl DelayChain {
             b.transfer(r, &[(g, 1)], &format!("D{} R->G", i + 1))?;
             b.transfer(g, &[(blue, 1)], &format!("D{} G->B", i + 1))?;
             if i + 1 < n {
-                b.transfer(blue, &[(elements[i + 1][0], 1)], &format!("D{} B->R", i + 1))?;
+                b.transfer(
+                    blue,
+                    &[(elements[i + 1][0], 1)],
+                    &format!("D{} B->R", i + 1),
+                )?;
             } else {
                 // the terminal hop leaves the color system
                 b.gated_drain(blue, output, &format!("D{} B->Y", i + 1))?;
@@ -261,9 +265,7 @@ impl DelayChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use molseq_kinetics::{
-        estimate_period, simulate_ode, OdeOptions, Schedule, SimSpec,
-    };
+    use molseq_kinetics::{estimate_period, simulate_ode, OdeOptions, Schedule, SimSpec};
 
     fn ode(crn: &Crn, init: &State, t_end: f64) -> molseq_kinetics::Trace {
         simulate_ode(

@@ -175,8 +175,12 @@ mod tests {
         )
         .unwrap();
         let value = counter.decode(&run, 5).unwrap();
-        assert_eq!(value, 3, "b0={:?} b1={:?}",
+        assert_eq!(
+            value,
+            3,
+            "b0={:?} b1={:?}",
             run.register_series("b0").unwrap(),
-            run.register_series("b1").unwrap());
+            run.register_series("b1").unwrap()
+        );
     }
 }

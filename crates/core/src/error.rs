@@ -66,7 +66,10 @@ impl fmt::Display for SyncError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SyncError::ColorConflict { name } => {
-                write!(f, "species `{name}` was registered with two different colors")
+                write!(
+                    f,
+                    "species `{name}` was registered with two different colors"
+                )
             }
             SyncError::UncoloredSource { name } => {
                 write!(f, "transfer source `{name}` has no color category")

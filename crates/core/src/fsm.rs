@@ -211,13 +211,7 @@ mod tests {
     #[test]
     fn sequence_detector_latches() {
         // detect "11": S0 → S1 on a 1, S1 → S2 on a second 1; S2 sticky
-        let fsm = Fsm::build(
-            ClockSpec::default(),
-            60.0,
-            &[[0, 1], [0, 2], [2, 2]],
-            0,
-        )
-        .unwrap();
+        let fsm = Fsm::build(ClockSpec::default(), 60.0, &[[0, 1], [0, 2], [2, 2]], 0).unwrap();
         let (_, states) = fsm
             .run(&[true, false, true, true, false], &RunConfig::default())
             .unwrap();

@@ -17,7 +17,9 @@
 //! step lands in a pipeline register; the programs below account for the
 //! extra cycle of latency in their documented schedules.
 
-use crate::{run_cycles, ClockSpec, CompiledSystem, Node, RunConfig, SyncCircuit, SyncError, SyncRun};
+use crate::{
+    run_cycles, ClockSpec, CompiledSystem, Node, RunConfig, SyncCircuit, SyncError, SyncRun,
+};
 
 /// Builds the presence-gated value `min(value, M·counter)` inside a
 /// circuit: equals `value` while `counter > 0`, and `0` when the counter
@@ -282,13 +284,9 @@ mod tests {
 
     #[test]
     fn multiplier_computes_a_times_n() {
-        let mult =
-            IterativeMultiplier::build(ClockSpec::default(), 25.0, 3, 60.0).expect("builds");
+        let mult = IterativeMultiplier::build(ClockSpec::default(), 25.0, 3, 60.0).expect("builds");
         let product = mult.run(&RunConfig::default()).expect("runs");
-        assert!(
-            (product - 75.0).abs() < 2.5,
-            "25 × 3 = 75, got {product}"
-        );
+        assert!((product - 75.0).abs() < 2.5, "25 × 3 = 75, got {product}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::{CompiledSystem, SyncError};
 use molseq_kinetics::{
-    simulate_ode, OdeMethod, OdeOptions, Schedule, SimError, SimSpec, Trace,
+    simulate_ode_compiled, CompiledCrn, OdeMethod, OdeOptions, Schedule, SimError, SimSpec, Trace,
 };
 use std::collections::HashMap;
 
@@ -205,6 +205,29 @@ pub fn run_cycles(
     cycles: usize,
     config: &RunConfig,
 ) -> Result<SyncRun, SyncError> {
+    let compiled = CompiledCrn::new(system.crn(), &config.spec);
+    run_cycles_compiled(system, &compiled, inputs, cycles, config)
+}
+
+/// Like [`run_cycles`], but consumes a pre-built [`CompiledCrn`] instead
+/// of compiling the system's network per call. The compiled network is
+/// also reused across the harness's horizon-doubling retries.
+///
+/// This is the entry point for parameter sweeps: compile the system once,
+/// [`CompiledCrn::rebind`](molseq_kinetics::CompiledCrn::rebind) per sweep
+/// cell, and drive the rebound copy. `config.spec` is ignored — the rates
+/// baked into `compiled` govern the kinetics.
+///
+/// # Errors
+///
+/// Same conditions as [`run_cycles`].
+pub fn run_cycles_compiled(
+    system: &CompiledSystem,
+    compiled: &CompiledCrn,
+    inputs: &[(&str, &[f64])],
+    cycles: usize,
+    config: &RunConfig,
+) -> Result<SyncRun, SyncError> {
     if cycles == 0 {
         return Err(SyncError::InvalidAmount { value: 0.0 });
     }
@@ -223,7 +246,7 @@ pub fn run_cycles(
             .with_t_end(t_end)
             .with_record_interval(config.record_interval)
             .with_method(config.method);
-        let trace = match simulate_ode(system.crn(), &init, &schedule, &opts, &config.spec) {
+        let trace = match simulate_ode_compiled(system.crn(), compiled, &init, &schedule, &opts) {
             Ok(t) => t,
             Err(e) => {
                 last_err = Some(e);

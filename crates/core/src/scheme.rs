@@ -768,7 +768,8 @@ mod tests {
         let staging = b.signal("Bs", Color::Blue).unwrap();
         let accum = b.signal("B1", Color::Blue).unwrap();
         let w = b.uncolored("w");
-        b.transfer_sharpened_by(g1, &[(staging, 1)], accum, "G->Bs").unwrap();
+        b.transfer_sharpened_by(g1, &[(staging, 1)], accum, "G->Bs")
+            .unwrap();
         b.fast(&[(staging, 2)], &[(accum, 1)], "pair").unwrap();
         b.gated_drain(accum, w, "out").unwrap();
         let (crn, _) = b.finish().unwrap();

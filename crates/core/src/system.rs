@@ -151,7 +151,12 @@ impl CompiledSystem {
     ///
     /// [`SyncError::UnknownPort`] if no such input exists;
     /// [`SyncError::InvalidAmount`] for a bad amount.
-    pub fn inject_input(&self, state: &mut State, name: &str, amount: f64) -> Result<(), SyncError> {
+    pub fn inject_input(
+        &self,
+        state: &mut State,
+        name: &str,
+        amount: f64,
+    ) -> Result<(), SyncError> {
         if !(amount.is_finite() && amount >= 0.0) {
             return Err(SyncError::InvalidAmount { value: amount });
         }
@@ -172,15 +177,14 @@ impl CompiledSystem {
         // hysteresis: re-arm only once the green phase has clearly ended,
         // so integer-count flicker around the firing threshold (under
         // stochastic dynamics) cannot double-inject
-        Ok(Trigger::inject_queue(
-            self.injection_window(),
-            species,
-            samples.to_vec(),
+        Ok(
+            Trigger::inject_queue(self.injection_window(), species, samples.to_vec()).with_rearm(
+                Condition::Below {
+                    species: self.clock.green,
+                    threshold: 0.2 * self.clock.token,
+                },
+            ),
         )
-        .with_rearm(Condition::Below {
-            species: self.clock.green,
-            threshold: 0.2 * self.clock.token,
-        }))
     }
 
     /// The condition marking the safe injection window (clock green phase
@@ -228,7 +232,10 @@ mod tests {
         assert!(sys.input_species("x").is_ok());
         assert!(sys.input_species("nope").is_err());
         assert!(sys.output_species("y").is_ok());
-        assert!(sys.output_species("d").is_err(), "d is a register, not an output");
+        assert!(
+            sys.output_species("d").is_err(),
+            "d is a register, not an output"
+        );
         assert!(sys.register_species("d").is_ok());
         assert_eq!(sys.output_names(), &["y".to_owned()]);
         assert_eq!(sys.input_names().count(), 1);

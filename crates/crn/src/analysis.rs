@@ -247,10 +247,7 @@ impl CrnStats {
 #[must_use]
 pub fn law_value(law: &[i64], state: &[f64]) -> f64 {
     assert_eq!(law.len(), state.len(), "law and state must align");
-    law.iter()
-        .zip(state)
-        .map(|(&w, &x)| w as f64 * x)
-        .sum()
+    law.iter().zip(state).map(|(&w, &x)| w as f64 * x).sum()
 }
 
 #[cfg(test)]

@@ -25,11 +25,7 @@ use std::fmt::Write as _;
 pub fn to_dot(crn: &Crn) -> String {
     let mut out = String::from("digraph crn {\n  rankdir=LR;\n  node [fontsize=10];\n");
     for (_, species) in crn.species_iter() {
-        let _ = writeln!(
-            out,
-            "  \"{}\" [shape=ellipse];",
-            escape(species.name())
-        );
+        let _ = writeln!(out, "  \"{}\" [shape=ellipse];", escape(species.name()));
     }
     for (j, reaction) in crn.reactions().iter().enumerate() {
         let color = match reaction.rate() {

@@ -47,14 +47,15 @@ impl fmt::Display for CrnError {
                 f,
                 "species index {index} is out of range for a network with {species_count} species"
             ),
-            CrnError::EmptyReaction => {
-                f.write_str("reaction has neither reactants nor products")
-            }
+            CrnError::EmptyReaction => f.write_str("reaction has neither reactants nor products"),
             CrnError::ZeroStoichiometry { species } => {
                 write!(f, "stoichiometric coefficient of `{species}` is zero")
             }
             CrnError::InvalidRate { value } => {
-                write!(f, "rate constant {value} is not finite and positive, or fast < slow")
+                write!(
+                    f,
+                    "rate constant {value} is not finite and positive, or fast < slow"
+                )
             }
             CrnError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")

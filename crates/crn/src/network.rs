@@ -275,7 +275,9 @@ impl Crn {
         for i in 0..self.reactions.len() {
             let key = self.format_reaction(i);
             if let Some(&first) = seen.get(&key) {
-                issues.push(format!("reaction {i} duplicates reaction {first} (`{key}`)"));
+                issues.push(format!(
+                    "reaction {i} duplicates reaction {first} (`{key}`)"
+                ));
             } else {
                 seen.insert(key, i);
             }
@@ -358,9 +360,7 @@ mod tests {
     fn invalid_fixed_rate_is_rejected() {
         let mut crn = Crn::new();
         let x = crn.species("X");
-        let err = crn
-            .reaction(&[(x, 1)], &[], Rate::Fixed(-3.0))
-            .unwrap_err();
+        let err = crn.reaction(&[(x, 1)], &[], Rate::Fixed(-3.0)).unwrap_err();
         assert!(matches!(err, CrnError::InvalidRate { .. }));
     }
 
@@ -370,7 +370,8 @@ mod tests {
         let x = crn.species("X");
         let y = crn.species("Y");
         let z = crn.species("Z");
-        crn.reaction(&[(x, 1), (y, 2)], &[(z, 1)], Rate::Fast).unwrap();
+        crn.reaction(&[(x, 1), (y, 2)], &[(z, 1)], Rate::Fast)
+            .unwrap();
         crn.reaction(&[], &[(x, 1)], Rate::Slow).unwrap();
         crn.reaction(&[(z, 1)], &[], Rate::Fixed(2.5)).unwrap();
         assert_eq!(crn.format_reaction(0), "X + 2Y -> Z @fast");
@@ -383,7 +384,9 @@ mod tests {
         let mut module = Crn::new();
         let min = module.species("in");
         let mout = module.species("out");
-        module.reaction(&[(min, 1)], &[(mout, 1)], Rate::Slow).unwrap();
+        module
+            .reaction(&[(min, 1)], &[(mout, 1)], Rate::Slow)
+            .unwrap();
 
         let mut top = Crn::new();
         let pre_existing = top.species("m1.out");

@@ -86,16 +86,14 @@ fn parse_rate(text: &str, line: usize) -> Result<Rate, CrnError> {
             .map(Rate::Fixed)
             .ok_or_else(|| CrnError::Parse {
                 line,
-                message: format!("invalid rate `{other}` (expected fast, slow or a positive number)"),
+                message: format!(
+                    "invalid rate `{other}` (expected fast, slow or a positive number)"
+                ),
             }),
     }
 }
 
-fn parse_side(
-    crn: &mut Crn,
-    text: &str,
-    line: usize,
-) -> Result<Vec<(SpeciesId, u32)>, CrnError> {
+fn parse_side(crn: &mut Crn, text: &str, line: usize) -> Result<Vec<(SpeciesId, u32)>, CrnError> {
     if text.is_empty() || text == "0" {
         return Ok(Vec::new());
     }

@@ -44,10 +44,7 @@ pub fn reachable_species(crn: &Crn, seeds: &[SpeciesId]) -> Vec<bool> {
     loop {
         let mut changed = false;
         for r in crn.reactions() {
-            let enabled = r
-                .reactants()
-                .iter()
-                .all(|t| reachable[t.species.index()]);
+            let enabled = r.reactants().iter().all(|t| reachable[t.species.index()]);
             if !enabled {
                 continue;
             }

@@ -149,7 +149,8 @@ mod tests {
     #[test]
     fn duplicate_terms_are_merged() {
         let (mut crn, x, y, _) = simple();
-        crn.reaction(&[(x, 1), (x, 1)], &[(y, 1)], Rate::Fast).unwrap();
+        crn.reaction(&[(x, 1), (x, 1)], &[(y, 1)], Rate::Fast)
+            .unwrap();
         let r = &crn.reactions()[0];
         assert_eq!(r.reactants(), &[Term::new(x, 2)]);
         assert_eq!(r.order(), 2);

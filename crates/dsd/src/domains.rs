@@ -41,7 +41,12 @@ pub struct Domain {
 
 impl fmt::Display for Domain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", self.name, if self.complemented { "*" } else { "" })
+        write!(
+            f,
+            "{}{}",
+            self.name,
+            if self.complemented { "*" } else { "" }
+        )
     }
 }
 
@@ -138,10 +143,7 @@ impl StrandLibrary {
         for (j, reaction) in crn.reactions().iter().enumerate() {
             let order = reaction.order();
             if order > 2 {
-                return Err(DsdError::UnsupportedOrder {
-                    reaction: j,
-                    order,
-                });
+                return Err(DsdError::UnsupportedOrder { reaction: j, order });
             }
             let reactant_names: Vec<String> = reaction
                 .reactants()
@@ -315,8 +317,7 @@ impl StrandLibrary {
             rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D)
         };
         let bases = [b'A', b'C', b'G', b'T'];
-        let mut used_windows: std::collections::HashSet<Vec<u8>> =
-            std::collections::HashSet::new();
+        let mut used_windows: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
         let mut sequences = HashMap::new();
 
         for (name, kind) in &domains {
@@ -326,8 +327,7 @@ impl StrandLibrary {
             };
             let mut ok = None;
             'attempts: for _ in 0..10_000 {
-                let candidate: Vec<u8> =
-                    (0..len).map(|_| bases[(next() % 4) as usize]).collect();
+                let candidate: Vec<u8> = (0..len).map(|_| bases[(next() % 4) as usize]).collect();
                 // GC content
                 let gc = candidate
                     .iter()
@@ -400,9 +400,9 @@ impl SequenceAssignment {
     /// The reverse complement of a domain's sequence.
     #[must_use]
     pub fn complement_of(&self, domain: &str) -> Option<String> {
-        self.sequences.get(domain).map(|s| {
-            String::from_utf8(reverse_complement(s.as_bytes())).expect("ACGT is UTF-8")
-        })
+        self.sequences
+            .get(domain)
+            .map(|s| String::from_utf8(reverse_complement(s.as_bytes())).expect("ACGT is UTF-8"))
     }
 
     /// Number of assigned domains.
@@ -518,8 +518,8 @@ mod tests {
                     DomainKind::Branch => 20,
                 };
                 assert_eq!(seq.len(), expected_len);
-                let gc = seq.chars().filter(|&c| c == 'G' || c == 'C').count() as f64
-                    / seq.len() as f64;
+                let gc =
+                    seq.chars().filter(|&c| c == 'G' || c == 'C').count() as f64 / seq.len() as f64;
                 assert!((0.3..=0.7).contains(&gc), "{seq}");
                 assert!(
                     !seq.as_bytes()

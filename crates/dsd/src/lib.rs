@@ -59,9 +59,7 @@
 
 mod domains;
 
-pub use domains::{
-    Complex, Domain, DomainKind, SequenceAssignment, Strand, StrandLibrary,
-};
+pub use domains::{Complex, Domain, DomainKind, SequenceAssignment, Strand, StrandLibrary};
 
 use molseq_crn::{Crn, CrnError, CrnStats, Rate, RateAssignment, SpeciesId};
 use molseq_kinetics::State;
@@ -481,12 +479,15 @@ mod tests {
         let a = formal.find_species("A").unwrap();
         let b = formal.find_species("B").unwrap();
         let dsd =
-            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
-                .unwrap();
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default()).unwrap();
         let init = dsd.initial_state(&[50.0, 0.0]);
         let trace = simulate(&dsd, &init, 20.0);
         let fin = trace.final_state();
-        assert!(fin[dsd.signal(b).index()] > 49.0, "B = {}", fin[dsd.signal(b).index()]);
+        assert!(
+            fin[dsd.signal(b).index()] > 49.0,
+            "B = {}",
+            fin[dsd.signal(b).index()]
+        );
         assert!(fin[dsd.signal(a).index()] < 1.0);
     }
 
@@ -496,16 +497,12 @@ mod tests {
         let formal: Crn = "A -> B @slow".parse().unwrap();
         let a = formal.find_species("A").unwrap();
         let dsd =
-            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
-                .unwrap();
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default()).unwrap();
         let init = dsd.initial_state(&[50.0, 0.0]);
         let trace = simulate(&dsd, &init, 1.0);
         let free_a = trace.final_state()[dsd.signal(a).index()];
         let expected = 50.0 / std::f64::consts::E;
-        assert!(
-            (free_a - expected).abs() < 2.0,
-            "{free_a} vs {expected}"
-        );
+        assert!((free_a - expected).abs() < 2.0, "{free_a} vs {expected}");
     }
 
     #[test]
@@ -514,8 +511,7 @@ mod tests {
         let x = formal.find_species("X").unwrap();
         let y = formal.find_species("Y").unwrap();
         let dsd =
-            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
-                .unwrap();
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default()).unwrap();
         let init = dsd.initial_state(&[30.0, 12.0]);
         let trace = simulate(&dsd, &init, 50.0);
         let fin = trace.final_state();
@@ -530,8 +526,7 @@ mod tests {
         let formal: Crn = "2X -> Y @fast".parse().unwrap();
         let y = formal.find_species("Y").unwrap();
         let dsd =
-            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
-                .unwrap();
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default()).unwrap();
         let init = dsd.initial_state(&[40.0, 0.0]);
         let trace = simulate(&dsd, &init, 50.0);
         let fin = trace.final_state();
@@ -547,8 +542,7 @@ mod tests {
         let formal: Crn = "0 -> X @slow".parse().unwrap();
         let x = formal.find_species("X").unwrap();
         let dsd =
-            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
-                .unwrap();
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default()).unwrap();
         let init = dsd.initial_state(&[0.0]);
         let trace = simulate(&dsd, &init, 10.0);
         let fin = trace.final_state()[dsd.signal(x).index()];
@@ -589,10 +583,11 @@ mod tests {
 
     #[test]
     fn cost_reports_blowup() {
-        let formal: Crn = "A -> B @slow\nA + B -> 0 @fast\n0 -> A @slow".parse().unwrap();
+        let formal: Crn = "A -> B @slow\nA + B -> 0 @fast\n0 -> A @slow"
+            .parse()
+            .unwrap();
         let dsd =
-            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
-                .unwrap();
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default()).unwrap();
         let cost = dsd.cost();
         assert_eq!(cost.formal, (2, 3));
         assert!(cost.compiled.0 > 2, "more species");
@@ -618,8 +613,7 @@ mod tests {
 
         // without leak: nothing
         let clean =
-            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
-                .unwrap();
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default()).unwrap();
         let trace = simulate(&clean, &clean.initial_state(&[0.0, 0.0]), 10.0);
         assert!(trace.final_state()[clean.signal(b).index()] < 1e-9);
     }
@@ -643,8 +637,8 @@ mod tests {
         )
         .unwrap();
 
-        let dsd = DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default())
-            .unwrap();
+        let dsd =
+            DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default()).unwrap();
         let dsd_trace = molseq_kinetics::simulate_ode(
             dsd.crn(),
             &dsd.initial_state(init.as_slice()),

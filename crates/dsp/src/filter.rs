@@ -1,7 +1,10 @@
 //! Ready-made filter structures with ideal reference models.
 
 use crate::{Ratio, SfgBuilder};
-use molseq_sync::{run_cycles, ClockSpec, CompiledSystem, RunConfig, SyncError};
+use molseq_kinetics::CompiledCrn;
+use molseq_sync::{
+    run_cycles, run_cycles_compiled, ClockSpec, CompiledSystem, RunConfig, SyncError,
+};
 
 /// A compiled molecular filter plus its ideal floating-point reference.
 ///
@@ -80,6 +83,32 @@ impl Filter {
         let series = run.register_series("y")?;
         Ok(series[..samples.len()].to_vec())
     }
+
+    /// Like [`respond`](Self::respond), but drives a pre-built
+    /// [`CompiledCrn`] of this filter's network. Sweeps compile the filter
+    /// once and [`CompiledCrn::rebind`] per cell; `config.spec` is ignored
+    /// in favour of the rates baked into `compiled`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness errors from
+    /// [`run_cycles_compiled`](molseq_sync::run_cycles_compiled).
+    pub fn respond_compiled(
+        &self,
+        compiled: &CompiledCrn,
+        samples: &[f64],
+        config: &RunConfig,
+    ) -> Result<Vec<f64>, SyncError> {
+        let run = run_cycles_compiled(
+            &self.system,
+            compiled,
+            &[("x", samples)],
+            samples.len(),
+            config,
+        )?;
+        let series = run.register_series("y")?;
+        Ok(series[..samples.len()].to_vec())
+    }
 }
 
 /// Root-mean-square error between two equal-length sequences.
@@ -107,9 +136,10 @@ pub fn moving_average(taps: usize, clock: ClockSpec) -> Result<Filter, SyncError
     if taps == 0 {
         return Err(SyncError::InvalidAmount { value: 0.0 });
     }
-    let weight = Ratio::new(1, u32::try_from(taps).map_err(|_| SyncError::InvalidAmount {
-        value: taps as f64,
-    })?)?;
+    let weight = Ratio::new(
+        1,
+        u32::try_from(taps).map_err(|_| SyncError::InvalidAmount { value: taps as f64 })?,
+    )?;
     let coeffs = vec![weight; taps];
     let mut filter = fir(&coeffs, clock)?;
     filter.description = format!("{taps}-tap moving average");
@@ -183,11 +213,7 @@ pub fn iir_first_order(a: Ratio, b: Ratio, clock: ClockSpec) -> Result<Filter, S
 /// # Errors
 ///
 /// Compilation errors are propagated.
-pub fn biquad(
-    b: [Ratio; 3],
-    a: [Ratio; 2],
-    clock: ClockSpec,
-) -> Result<Filter, SyncError> {
+pub fn biquad(b: [Ratio; 3], a: [Ratio; 2], clock: ClockSpec) -> Result<Filter, SyncError> {
     let mut sfg = SfgBuilder::new(clock);
     let x = sfg.input("x");
     let x1 = sfg.named_delay("x1", x);
@@ -225,10 +251,7 @@ mod tests {
     #[test]
     fn moving_average_ideal_model() {
         let f = moving_average(2, ClockSpec::default()).unwrap();
-        assert_eq!(
-            f.ideal_response(&[10.0, 30.0, 50.0]),
-            vec![5.0, 20.0, 40.0]
-        );
+        assert_eq!(f.ideal_response(&[10.0, 30.0, 50.0]), vec![5.0, 20.0, 40.0]);
         assert_eq!(f.feedforward(), &[0.5, 0.5]);
         assert!(f.feedback().is_empty());
         assert!(f.description().contains("moving average"));
@@ -238,7 +261,10 @@ mod tests {
     fn fir_rejects_empty() {
         assert!(fir(&[], ClockSpec::default()).is_err());
         assert!(moving_average(0, ClockSpec::default()).is_err());
-        assert!(moving_average(5, ClockSpec::default()).is_err(), "1/5 unsupported");
+        assert!(
+            moving_average(5, ClockSpec::default()).is_err(),
+            "1/5 unsupported"
+        );
     }
 
     #[test]

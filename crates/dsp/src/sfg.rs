@@ -55,8 +55,7 @@ impl SfgBuilder {
     /// A unit delay (`z⁻¹`), auto-named.
     pub fn delay(&mut self, src: Node) -> Node {
         self.auto_delays += 1;
-        self.circuit
-            .delay(&format!("z{}", self.auto_delays), src)
+        self.circuit.delay(&format!("z{}", self.auto_delays), src)
     }
 
     /// A named unit delay.

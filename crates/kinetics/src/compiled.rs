@@ -1,7 +1,7 @@
 //! Compilation of a [`Crn`] into flat arrays for fast simulation.
 
 use crate::SimSpec;
-use molseq_crn::Crn;
+use molseq_crn::{Crn, Rate};
 
 /// One reaction, flattened: resolved numeric rate, reactant exponents and a
 /// sparse net-change (delta) list.
@@ -9,6 +9,10 @@ use molseq_crn::Crn;
 pub(crate) struct CompiledReaction {
     /// Resolved rate constant (assignment × jitter).
     pub k: f64,
+    /// The symbolic rate category `k` was resolved from, kept so a
+    /// compiled network can be [re-bound](CompiledCrn::rebind) to a new
+    /// [`SimSpec`] without re-walking the reaction structure.
+    pub rate: Rate,
     /// `(species index, stoichiometric exponent)` for each distinct reactant.
     pub reactants: Vec<(usize, u32)>,
     /// `(species index, net change)` for each species with nonzero net change.
@@ -67,6 +71,7 @@ impl CompiledCrn {
                 }
                 CompiledReaction {
                     k,
+                    rate: r.rate(),
                     reactants,
                     delta,
                     delta_int,
@@ -77,6 +82,35 @@ impl CompiledCrn {
             species_count: crn.species_count(),
             reactions,
         }
+    }
+
+    /// Re-resolves the rate constants against a new `spec`, leaving the
+    /// flattened reaction structure untouched.
+    ///
+    /// This is the cheap path for parameter sweeps: compile the network
+    /// once, then `rebind` per sweep cell (new rate assignment and/or new
+    /// jitter draw). The result is identical to `CompiledCrn::new` on the
+    /// original network with the same `spec`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use molseq_crn::{Crn, RateAssignment};
+    /// use molseq_kinetics::{CompiledCrn, SimSpec};
+    ///
+    /// let crn: Crn = "X + Y -> Z @fast".parse().unwrap();
+    /// let base = CompiledCrn::new(&crn, &SimSpec::default());
+    /// let spec = SimSpec::new(RateAssignment::from_ratio(100.0));
+    /// assert_eq!(base.rebind(&spec), CompiledCrn::new(&crn, &spec));
+    /// ```
+    #[must_use]
+    pub fn rebind(&self, spec: &SimSpec) -> Self {
+        let mut rebound = self.clone();
+        for (j, r) in rebound.reactions.iter_mut().enumerate() {
+            let jitter = spec.jitter().map_or(1.0, |jit| jit.factor(j));
+            r.k = spec.assignment().value_of(r.rate) * jitter;
+        }
+        rebound
     }
 
     /// Number of species (the state-vector length).
@@ -286,6 +320,22 @@ mod tests {
         let mut n = [5i64, 0];
         c.fire(0, &mut n);
         assert_eq!(n, [3, 1]);
+    }
+
+    #[test]
+    fn rebind_matches_fresh_compile() {
+        let crn = network();
+        let base = CompiledCrn::new(&crn, &SimSpec::default());
+        for ratio in [1.0, 10.0, 1e3, 1e5] {
+            let spec = SimSpec::new(RateAssignment::from_ratio(ratio));
+            assert_eq!(base.rebind(&spec), CompiledCrn::new(&crn, &spec));
+        }
+        // jitter draws rebind too
+        let jit = RateJitter::sample(&crn, JitterSpec::new(0.3, 4));
+        let spec = SimSpec::default().with_jitter(jit);
+        assert_eq!(base.rebind(&spec), CompiledCrn::new(&crn, &spec));
+        // and rebinding back recovers the original
+        assert_eq!(base.rebind(&SimSpec::default()), base);
     }
 
     #[test]

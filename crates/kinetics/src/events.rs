@@ -256,12 +256,7 @@ impl TriggerRuntime {
 
     /// Checks all triggers against `state` at `time`; returns fired trigger
     /// indices and applies queue injections directly to `state`.
-    pub(crate) fn poll(
-        &mut self,
-        schedule: &Schedule,
-        time: f64,
-        state: &mut [f64],
-    ) -> Vec<usize> {
+    pub(crate) fn poll(&mut self, schedule: &Schedule, time: f64, state: &mut [f64]) -> Vec<usize> {
         let mut fired = Vec::new();
         for (i, t) in schedule.triggers().iter().enumerate() {
             let now = t.condition.eval(state);

@@ -62,10 +62,12 @@ pub use compare::{compare_trajectories, Divergence, MappedSpecies};
 pub use compiled::CompiledCrn;
 pub use error::SimError;
 pub use events::{Condition, Injection, Schedule, Trigger, TriggerAction};
-pub use ode::{simulate_ode, simulate_until_quiescent, OdeMethod, OdeOptions};
-pub use plot::{downsample, render_species, sparkline};
 pub use nrm::simulate_nrm;
-pub use ssa::{simulate_ssa, SsaOptions};
+pub use ode::{
+    simulate_ode, simulate_ode_compiled, simulate_until_quiescent, OdeMethod, OdeOptions,
+};
+pub use plot::{downsample, render_species, sparkline};
+pub use ssa::{simulate_ssa, simulate_ssa_compiled, SsaOptions};
 pub use state::State;
 pub use tau::{simulate_tau_leap, TauLeapOptions};
 pub use trace::{crossings, estimate_period, Crossing, Direction, Trace};

@@ -148,8 +148,7 @@ pub fn simulate_nrm(
             expected: crn.species_count(),
         });
     }
-    if !opts.t_start().is_finite() || !opts.t_end().is_finite() || opts.t_end() <= opts.t_start()
-    {
+    if !opts.t_start().is_finite() || !opts.t_end().is_finite() || opts.t_end() <= opts.t_start() {
         return Err(SimError::BadTimeSpan {
             t_start: opts.t_start(),
             t_end: opts.t_end(),
@@ -278,7 +277,9 @@ mod tests {
 
     #[test]
     fn dependency_graph_links_shared_species() {
-        let crn: Crn = "A -> B @slow\nB -> C @slow\nC + A -> 0 @fast".parse().unwrap();
+        let crn: Crn = "A -> B @slow\nB -> C @slow\nC + A -> 0 @fast"
+            .parse()
+            .unwrap();
         let compiled = CompiledCrn::new(&crn, &SimSpec::default());
         let deps = dependency_graph(&compiled);
         // firing r0 (A->B) changes A and B: affects r0, r1 (reads B), r2 (reads A)
@@ -325,8 +326,14 @@ mod tests {
         }
         let nrm_mean = nrm_sum / f64::from(runs as u32);
         let ssa_mean = ssa_sum / f64::from(runs as u32);
-        assert!((nrm_mean - expected).abs() < 60.0, "nrm {nrm_mean} vs {expected}");
-        assert!((ssa_mean - expected).abs() < 60.0, "ssa {ssa_mean} vs {expected}");
+        assert!(
+            (nrm_mean - expected).abs() < 60.0,
+            "nrm {nrm_mean} vs {expected}"
+        );
+        assert!(
+            (ssa_mean - expected).abs() < 60.0,
+            "ssa {ssa_mean} vs {expected}"
+        );
     }
 
     #[test]

@@ -180,6 +180,34 @@ pub fn simulate_ode(
     opts: &OdeOptions,
     spec: &SimSpec,
 ) -> Result<Trace, SimError> {
+    let compiled = CompiledCrn::new(crn, spec);
+    simulate_ode_compiled(crn, &compiled, init, schedule, opts)
+}
+
+/// Like [`simulate_ode`], but consumes a pre-built [`CompiledCrn`] instead
+/// of compiling one per call.
+///
+/// Sweeps that re-simulate one network under many rate interpretations
+/// should compile once, [`CompiledCrn::rebind`] per cell, and call this.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_ode`], plus
+/// [`SimError::DimensionMismatch`] if `compiled` was built from a network
+/// with a different species count than `crn`.
+pub fn simulate_ode_compiled(
+    crn: &Crn,
+    compiled: &CompiledCrn,
+    init: &State,
+    schedule: &Schedule,
+    opts: &OdeOptions,
+) -> Result<Trace, SimError> {
+    if compiled.species_count() != crn.species_count() {
+        return Err(SimError::DimensionMismatch {
+            supplied: compiled.species_count(),
+            expected: crn.species_count(),
+        });
+    }
     if init.len() != crn.species_count() {
         return Err(SimError::DimensionMismatch {
             supplied: init.len(),
@@ -193,7 +221,6 @@ pub fn simulate_ode(
         });
     }
 
-    let compiled = CompiledCrn::new(crn, spec);
     let mut x = init.as_slice().to_vec();
     let mut t = opts.t_start;
     let mut trace = Trace::new(crn);
@@ -216,7 +243,7 @@ pub fn simulate_ode(
 
         if segment_end > t {
             integrate_segment(
-                &compiled,
+                compiled,
                 &mut x,
                 &mut t,
                 segment_end,
@@ -252,7 +279,6 @@ pub fn simulate_ode(
     trace.push(t, &x);
     Ok(trace)
 }
-
 
 /// Integrates until the system is *quiescent* — every component of the
 /// derivative is below `eps` (absolute, per time unit) — or until
@@ -332,12 +358,11 @@ pub fn simulate_until_quiescent(
             let in_chunk = inj.time > t && inj.time <= t_next;
             let at_start = t == opts.t_start() && inj.time <= t;
             if in_chunk || at_start {
-                chunk_schedule =
-                    chunk_schedule.inject(inj.time.max(t), inj.species, inj.amount);
+                chunk_schedule = chunk_schedule.inject(inj.time.max(t), inj.species, inj.amount);
             }
         }
         let chunk_opts = (*opts).with_t_start(t).with_t_end(t_next);
-        let trace = simulate_ode(crn, &state, &chunk_schedule, &chunk_opts, spec)?;
+        let trace = simulate_ode_compiled(crn, &compiled, &state, &chunk_schedule, &chunk_opts)?;
         state = State::from_vec(trace.final_state().to_vec());
         match &mut full_trace {
             None => full_trace = Some(trace),
@@ -718,8 +743,7 @@ mod tests {
         let init = State::new(&crn); // starts empty
         let schedule = Schedule::new().inject(1.0, x, 5.0);
         let opts = OdeOptions::default().with_t_end(2.0);
-        let trace =
-            simulate_ode(&crn, &init, &schedule, &opts, &SimSpec::default()).unwrap();
+        let trace = simulate_ode(&crn, &init, &schedule, &opts, &SimSpec::default()).unwrap();
         assert!(trace.value_at(x, 0.9) < 1e-9);
         let just_after = trace.value_at(x, 1.0 + 1e-9);
         assert!(just_after > 4.9, "{just_after}");
@@ -738,8 +762,14 @@ mod tests {
             threshold: 1.0,
         }));
         let opts = OdeOptions::default().with_t_end(3.0);
-        let trace = simulate_ode(&crn, &State::new(&crn), &schedule, &opts, &SimSpec::default())
-            .unwrap();
+        let trace = simulate_ode(
+            &crn,
+            &State::new(&crn),
+            &schedule,
+            &opts,
+            &SimSpec::default(),
+        )
+        .unwrap();
         let marks = trace.mark_times(0);
         assert_eq!(marks.len(), 1);
         // detection granularity is one accepted step (≤ record interval)
@@ -767,8 +797,8 @@ mod tests {
         let mut init = State::new(&crn);
         init.set(x, 1.0);
         let opts = OdeOptions::default().with_t_start(5.0).with_t_end(1.0);
-        let err = simulate_ode(&crn, &init, &Schedule::new(), &opts, &SimSpec::default())
-            .unwrap_err();
+        let err =
+            simulate_ode(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap_err();
         assert!(matches!(err, SimError::BadTimeSpan { .. }));
     }
 
@@ -778,8 +808,8 @@ mod tests {
         let mut init = State::new(&crn);
         init.set(x, 1.0);
         let opts = OdeOptions::default().with_t_end(100.0).with_max_steps(5);
-        let err = simulate_ode(&crn, &init, &Schedule::new(), &opts, &SimSpec::default())
-            .unwrap_err();
+        let err =
+            simulate_ode(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap_err();
         assert!(matches!(err, SimError::StepLimitExceeded { .. }));
     }
 
@@ -791,8 +821,7 @@ mod tests {
         let b = crn.find_species("B").unwrap();
         let spec = SimSpec::new(RateAssignment::from_ratio(1e4));
         let opts = OdeOptions::default().with_t_end(2.0);
-        let trace =
-            simulate_ode(&crn, &State::new(&crn), &Schedule::new(), &opts, &spec).unwrap();
+        let trace = simulate_ode(&crn, &State::new(&crn), &Schedule::new(), &opts, &spec).unwrap();
         // quasi-steady state: A ≈ k_slow/k_fast, B accumulates ≈ t
         assert!(trace.final_state()[a.index()] < 1e-3);
         assert!((trace.final_state()[b.index()] - 2.0).abs() < 0.01);
@@ -913,12 +942,16 @@ mod tests {
         let coarse = run(
             &crn,
             &init,
-            &OdeOptions::default().with_t_end(1.0).with_record_interval(0.5),
+            &OdeOptions::default()
+                .with_t_end(1.0)
+                .with_record_interval(0.5),
         );
         let fine = run(
             &crn,
             &init,
-            &OdeOptions::default().with_t_end(1.0).with_record_interval(0.01),
+            &OdeOptions::default()
+                .with_t_end(1.0)
+                .with_record_interval(0.01),
         );
         assert!(fine.len() > coarse.len() * 5);
     }

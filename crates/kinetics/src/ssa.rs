@@ -128,6 +128,35 @@ pub fn simulate_ssa(
     opts: &SsaOptions,
     spec: &SimSpec,
 ) -> Result<Trace, SimError> {
+    let compiled = CompiledCrn::new(crn, spec);
+    simulate_ssa_compiled(crn, &compiled, init, schedule, opts)
+}
+
+/// Like [`simulate_ssa`], but consumes a pre-built [`CompiledCrn`] instead
+/// of compiling one per call.
+///
+/// Stochastic sweeps run many seeds against the same network; compiling
+/// once and calling this per seed avoids re-walking the reaction structure
+/// per replicate.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_ssa`], plus
+/// [`SimError::DimensionMismatch`] if `compiled` was built from a network
+/// with a different species count than `crn`.
+pub fn simulate_ssa_compiled(
+    crn: &Crn,
+    compiled: &CompiledCrn,
+    init: &State,
+    schedule: &Schedule,
+    opts: &SsaOptions,
+) -> Result<Trace, SimError> {
+    if compiled.species_count() != crn.species_count() {
+        return Err(SimError::DimensionMismatch {
+            supplied: compiled.species_count(),
+            expected: crn.species_count(),
+        });
+    }
     if init.len() != crn.species_count() {
         return Err(SimError::DimensionMismatch {
             supplied: init.len(),
@@ -145,7 +174,6 @@ pub fn simulate_ssa(
     for &v in init.as_slice() {
         n.push(to_count(v)?);
     }
-    let compiled = CompiledCrn::new(crn, spec);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut t = opts.t_start;
     let mut trace = Trace::new(crn);
@@ -332,8 +360,14 @@ mod tests {
         let x = crn.find_species("X").unwrap();
         let schedule = Schedule::new().inject(2.0, x, 10.0);
         let opts = SsaOptions::default().with_t_end(2.1).with_seed(5);
-        let trace =
-            simulate_ssa(&crn, &State::new(&crn), &schedule, &opts, &SimSpec::default()).unwrap();
+        let trace = simulate_ssa(
+            &crn,
+            &State::new(&crn),
+            &schedule,
+            &opts,
+            &SimSpec::default(),
+        )
+        .unwrap();
         assert!(trace.value_at(x, 1.9) < 1e-9);
         assert!(trace.value_at(x, 2.0 + 1e-9) >= 9.0);
     }

@@ -164,7 +164,8 @@ impl RosenbrockWork {
         }
         compiled.derivative(&self.y_new, &mut self.f2);
         for i in 0..n {
-            self.k3[i] = self.f2[i] - C32 * (self.k2[i] - self.f1[i]) - 2.0 * (self.k1[i] - self.f0[i]);
+            self.k3[i] =
+                self.f2[i] - C32 * (self.k2[i] - self.f1[i]) - 2.0 * (self.k1[i] - self.f0[i]);
         }
         lu.solve(&mut self.k3);
 

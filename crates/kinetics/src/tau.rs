@@ -96,7 +96,7 @@ pub fn simulate_tau_leap(
     if !base.t_start().is_finite()
         || !base.t_end().is_finite()
         || base.t_end() <= base.t_start()
-        || !(opts.epsilon > 0.0)
+        || opts.epsilon.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
     {
         return Err(SimError::BadTimeSpan {
             t_start: base.t_start(),
@@ -137,9 +137,9 @@ pub fn simulate_tau_leap(
             .map_or(f64::INFINITY, |inj| inj.time);
 
         let mut a0 = 0.0;
-        for j in 0..m {
-            propensities[j] = compiled.propensity(j, &n);
-            a0 += propensities[j];
+        for (j, p) in propensities.iter_mut().enumerate() {
+            *p = compiled.propensity(j, &n);
+            a0 += *p;
         }
         if a0 <= 0.0 {
             let stop = base.t_end().min(injection_time);
@@ -173,14 +173,14 @@ pub fn simulate_tau_leap(
                 // net drift and noise of species i
                 let mut mu = 0.0;
                 let mut sigma2 = 0.0;
-                for jj in 0..m {
+                for (jj, &p) in propensities.iter().enumerate() {
                     let v = compiled
                         .changed_species(jj)
                         .iter()
                         .find(|&&(ii, _)| ii == i)
                         .map_or(0, |&(_, d)| d) as f64;
-                    mu += v * propensities[jj];
-                    sigma2 += v * v * propensities[jj];
+                    mu += v * p;
+                    sigma2 += v * v * p;
                 }
                 let bound = (opts.epsilon * n[i].max(1) as f64).max(1.0);
                 if mu != 0.0 {
@@ -225,8 +225,8 @@ pub fn simulate_tau_leap(
             let pick: f64 = rng.random::<f64>() * a0;
             let mut acc = 0.0;
             let mut chosen = m - 1;
-            for j in 0..m {
-                acc += propensities[j];
+            for (j, &p) in propensities.iter().enumerate() {
+                acc += p;
                 if pick < acc {
                     chosen = j;
                     break;
@@ -242,8 +242,8 @@ pub fn simulate_tau_leap(
         // Leap (clipped at the next hard stop).
         let stop = base.t_end().min(injection_time);
         let tau = tau.min(stop - t);
-        for j in 0..m {
-            let k = poisson(&mut rng, propensities[j] * tau);
+        for (j, &p) in propensities.iter().enumerate() {
+            let k = poisson(&mut rng, p * tau);
             if k == 0 {
                 continue;
             }
@@ -320,14 +320,10 @@ mod tests {
             ..TauLeapOptions::default()
         };
         let trace =
-            simulate_tau_leap(&crn, &init, &Schedule::new(), &opts, &SimSpec::default())
-                .unwrap();
+            simulate_tau_leap(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap();
         let expected = n0 / std::f64::consts::E;
         let got = trace.final_state()[x.index()];
-        assert!(
-            (got - expected).abs() < 0.02 * n0,
-            "{got} vs {expected}"
-        );
+        assert!((got - expected).abs() < 0.02 * n0, "{got} vs {expected}");
     }
 
     #[test]
@@ -341,8 +337,7 @@ mod tests {
             ..TauLeapOptions::default()
         };
         let trace =
-            simulate_tau_leap(&crn, &init, &Schedule::new(), &opts, &SimSpec::default())
-                .unwrap();
+            simulate_tau_leap(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap();
         // tau-leaping with the zero-clamp can lose strict conservation only
         // through the clamp; at these counts it must hold exactly
         for i in 0..trace.len() {

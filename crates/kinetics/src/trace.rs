@@ -257,7 +257,11 @@ pub fn crossings(times: &[f64], series: &[f64], threshold: f64) -> Vec<Crossing>
         if !(crossed_up || crossed_down) {
             continue;
         }
-        let frac = if b == a { 1.0 } else { (threshold - a) / (b - a) };
+        let frac = if b == a {
+            1.0
+        } else {
+            (threshold - a) / (b - a)
+        };
         out.push(Crossing {
             time: times[i - 1] + frac * (times[i] - times[i - 1]),
             direction: if crossed_up {

@@ -130,7 +130,12 @@ pub fn subtract(
     output: SpeciesId,
 ) -> Result<(), ModuleError> {
     crn.reaction_labeled(&[(minuend, 1)], &[(output, 1)], Rate::Fast, "subtract move")?;
-    crn.reaction_labeled(&[(subtrahend, 1), (output, 1)], &[], Rate::Fast, "subtract eat")?;
+    crn.reaction_labeled(
+        &[(subtrahend, 1), (output, 1)],
+        &[],
+        Rate::Fast,
+        "subtract eat",
+    )?;
     Ok(())
 }
 

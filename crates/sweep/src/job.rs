@@ -1,0 +1,319 @@
+//! The unit of sweep work: a labelled, seeded, budgeted closure.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Resource limits applied to every job of a sweep.
+///
+/// Both limits are **cooperative**: the engine cannot preempt a running
+/// closure (std threads are not cancellable), so a job only observes its
+/// budget at the points where it consults the [`JobCtx`] —
+/// [`JobCtx::check`] for wall time, [`JobCtx::record_steps`] for steps.
+/// Simulation step budgets are better expressed in the simulator options
+/// (e.g. `OdeOptions::with_max_steps`), which enforce them densely; the
+/// step budget here exists for work without such a knob.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_sweep::JobBudget;
+/// use std::time::Duration;
+///
+/// let budget = JobBudget::unlimited()
+///     .with_max_wall(Duration::from_secs(30))
+///     .with_max_steps(1_000_000);
+/// assert_eq!(budget.max_steps(), Some(1_000_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobBudget {
+    max_wall: Option<Duration>,
+    max_steps: Option<u64>,
+}
+
+impl JobBudget {
+    /// A budget with no limits (the default).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        JobBudget::default()
+    }
+
+    /// Caps a job's wall-clock time (builder style). Checked by
+    /// [`JobCtx::check`]; note that wall time is machine-dependent, so
+    /// sweeps that must be bit-reproducible should prefer step budgets.
+    #[must_use]
+    pub fn with_max_wall(mut self, limit: Duration) -> Self {
+        self.max_wall = Some(limit);
+        self
+    }
+
+    /// Caps a job's self-reported step count (builder style). Checked by
+    /// [`JobCtx::record_steps`]; deterministic across machines.
+    #[must_use]
+    pub fn with_max_steps(mut self, limit: u64) -> Self {
+        self.max_steps = Some(limit);
+        self
+    }
+
+    /// The wall-clock limit, if any.
+    #[must_use]
+    pub fn max_wall(&self) -> Option<Duration> {
+        self.max_wall
+    }
+
+    /// The step limit, if any.
+    #[must_use]
+    pub fn max_steps(&self) -> Option<u64> {
+        self.max_steps
+    }
+}
+
+/// Why a job did not produce a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job detected a domain failure (a simulation error, a
+    /// divergence, a missing port, …).
+    Failed(String),
+    /// The job exhausted its [`JobBudget`].
+    BudgetExceeded(String),
+}
+
+impl JobError {
+    /// Convenience constructor wrapping any displayable error as
+    /// [`JobError::Failed`].
+    pub fn failed(err: impl fmt::Display) -> Self {
+        JobError::Failed(err.to_string())
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Failed(msg) => write!(f, "job failed: {msg}"),
+            JobError::BudgetExceeded(msg) => write!(f, "job budget exceeded: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Per-job context handed to the closure: its position in the sweep, its
+/// deterministic seed, and its budget meters.
+///
+/// The seed depends only on the sweep seed and the job index — never on
+/// which worker thread runs the job or in what order — which is what makes
+/// parallel sweeps bit-identical to serial ones.
+#[derive(Debug)]
+pub struct JobCtx {
+    index: usize,
+    seed: u64,
+    budget: JobBudget,
+    started: Instant,
+    steps: Cell<u64>,
+}
+
+impl JobCtx {
+    pub(crate) fn new(index: usize, seed: u64, budget: JobBudget) -> Self {
+        JobCtx {
+            index,
+            seed,
+            budget,
+            started: Instant::now(),
+            steps: Cell::new(0),
+        }
+    }
+
+    /// This job's position in the sweep's job list.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The deterministic per-job RNG seed, derived from the sweep seed and
+    /// the job index. Jobs that need randomness should seed from this so
+    /// that sweep output does not depend on scheduling.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Wall-clock time since this job started.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Cooperative wall-budget checkpoint: call between phases of a long
+    /// job and propagate the error with `?`.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::BudgetExceeded`] once elapsed wall time passes the
+    /// budget's `max_wall`.
+    pub fn check(&self) -> Result<(), JobError> {
+        if let Some(limit) = self.budget.max_wall() {
+            let elapsed = self.elapsed();
+            if elapsed > limit {
+                return Err(JobError::BudgetExceeded(format!(
+                    "wall {elapsed:.2?} > limit {limit:.2?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds `n` to this job's step meter and checks it against the step
+    /// budget. Deterministic, unlike wall checks.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::BudgetExceeded`] once the accumulated count passes the
+    /// budget's `max_steps`.
+    pub fn record_steps(&self, n: u64) -> Result<(), JobError> {
+        let total = self.steps.get().saturating_add(n);
+        self.steps.set(total);
+        if let Some(limit) = self.budget.max_steps() {
+            if total > limit {
+                return Err(JobError::BudgetExceeded(format!(
+                    "steps {total} > limit {limit}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The steps recorded so far via [`record_steps`](Self::record_steps).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps.get()
+    }
+}
+
+/// Derives the per-job seed from the sweep seed and job index with a
+/// SplitMix64 finalizer, so adjacent indices get statistically independent
+/// seeds.
+#[must_use]
+pub(crate) fn derive_seed(sweep_seed: u64, index: usize) -> u64 {
+    let mut z = sweep_seed
+        .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A labelled unit of sweep work.
+///
+/// The closure receives a [`JobCtx`] and returns either a value or a
+/// [`JobError`]. The lifetime parameter lets jobs borrow sweep-wide data
+/// (a compiled network, an input sequence) without cloning it per cell —
+/// the engine runs them on scoped threads.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_sweep::SweepJob;
+///
+/// let base = vec![1.0, 2.0, 3.0];
+/// let jobs: Vec<SweepJob<'_, f64>> = (0..4)
+///     .map(|i| {
+///         let base = &base;
+///         SweepJob::infallible(format!("cell {i}"), move |_ctx| {
+///             base.iter().sum::<f64>() * i as f64
+///         })
+///     })
+///     .collect();
+/// assert_eq!(jobs.len(), 4);
+/// ```
+pub struct SweepJob<'a, T> {
+    label: String,
+    run: JobFn<'a, T>,
+}
+
+/// The boxed work closure a [`SweepJob`] carries.
+type JobFn<'a, T> = Box<dyn Fn(&JobCtx) -> Result<T, JobError> + Send + Sync + 'a>;
+
+impl<'a, T> SweepJob<'a, T> {
+    /// Creates a job from a fallible closure.
+    pub fn new(
+        label: impl Into<String>,
+        run: impl Fn(&JobCtx) -> Result<T, JobError> + Send + Sync + 'a,
+    ) -> Self {
+        SweepJob {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// Creates a job from a closure that cannot fail (panics are still
+    /// caught and isolated by the engine).
+    pub fn infallible(
+        label: impl Into<String>,
+        run: impl Fn(&JobCtx) -> T + Send + Sync + 'a,
+    ) -> Self {
+        SweepJob::new(label, move |ctx| Ok(run(ctx)))
+    }
+
+    /// The job's human-readable label (parameter values, typically).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    pub(crate) fn call(&self, ctx: &JobCtx) -> Result<T, JobError> {
+        (self.run)(ctx)
+    }
+}
+
+impl<T> fmt::Debug for SweepJob<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepJob")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let a: Vec<u64> = (0..64).map(|i| derive_seed(7, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| derive_seed(7, i)).collect();
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len(), "no seed collisions");
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    #[test]
+    fn step_budget_trips_deterministically() {
+        let budget = JobBudget::unlimited().with_max_steps(10);
+        let ctx = JobCtx::new(0, 1, budget);
+        assert!(ctx.record_steps(6).is_ok());
+        assert!(ctx.record_steps(4).is_ok());
+        assert_eq!(ctx.steps(), 10);
+        let err = ctx.record_steps(1).unwrap_err();
+        assert!(matches!(err, JobError::BudgetExceeded(_)), "{err}");
+    }
+
+    #[test]
+    fn wall_budget_checkpoints() {
+        let ctx = JobCtx::new(0, 1, JobBudget::unlimited());
+        assert!(ctx.check().is_ok());
+        let tight = JobCtx::new(0, 1, JobBudget::unlimited().with_max_wall(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(tight.check().is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = JobError::failed("port `y` missing");
+        assert_eq!(e.to_string(), "job failed: port `y` missing");
+        let b = JobError::BudgetExceeded("steps 11 > limit 10".into());
+        assert!(b.to_string().contains("budget exceeded"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # molseq-sweep — parallel, fault-isolated batch simulation
+//!
+//! The paper-reproduction experiments are parameter sweeps: the same
+//! network simulated under many rate assignments, jitter draws, leak
+//! levels, or stochastic seeds. This crate turns such a sweep into a batch
+//! of [`SweepJob`]s executed on a pool of scoped worker threads
+//! ([`run_sweep`]), with three properties the experiments rely on:
+//!
+//! * **Determinism** — results come back in job order and each job's RNG
+//!   seed ([`JobCtx::seed`]) is a pure function of the sweep seed and the
+//!   job index, so parallel output is bit-identical to serial output.
+//! * **Fault isolation** — every job runs under `catch_unwind` with a
+//!   cooperative [`JobBudget`]; one diverging stiff integration is
+//!   reported as a failed cell ([`CellOutcome`]), not a dead sweep.
+//! * **Observability** — the engine aggregates a [`SweepSummary`]
+//!   (success/failure counts, per-job wall times, min/mean/max),
+//!   exportable as JSON or CSV, and can stream [`ProgressTick`]s while
+//!   running.
+//!
+//! The crate is deliberately simulation-agnostic — a job is any
+//! `Fn(&JobCtx) -> Result<T, JobError>` — and std-only: the pool is built
+//! on `std::thread::scope`, sized by `available_parallelism`, so jobs may
+//! borrow sweep-wide data (a compiled network, an input sequence) without
+//! `Arc`.
+//!
+//! ## Example
+//!
+//! ```
+//! use molseq_sweep::{run_sweep, SweepJob, SweepOptions};
+//!
+//! // One job per parameter value, all borrowing one input sequence.
+//! let input = vec![1.0, 4.0, 2.0, 8.0];
+//! let gains = [0.5, 1.0, 2.0, 4.0];
+//! let jobs: Vec<SweepJob<'_, f64>> = gains
+//!     .iter()
+//!     .map(|&g| {
+//!         let input = &input;
+//!         SweepJob::infallible(format!("gain={g}"), move |_ctx| {
+//!             input.iter().map(|x| g * x).sum::<f64>()
+//!         })
+//!     })
+//!     .collect();
+//!
+//! let out = run_sweep(&jobs, &SweepOptions::default().with_workers(2));
+//! assert_eq!(out.summary.succeeded, 4);
+//! assert_eq!(out.cells[2].value(), Some(&30.0)); // job order, not finish order
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod pool;
+mod progress;
+mod summary;
+
+pub use job::{JobBudget, JobCtx, JobError, SweepJob};
+pub use pool::{
+    run_sweep, run_sweep_with_progress, CellOutcome, CellResult, SweepOptions, SweepOutcome,
+};
+pub use progress::ProgressTick;
+pub use summary::{JobRecord, JobStatus, SweepSummary};

@@ -1,0 +1,370 @@
+//! The worker pool: scoped threads, fault isolation, ordered results.
+
+use crate::job::{derive_seed, JobCtx, JobError, SweepJob};
+use crate::{JobBudget, ProgressTick, SweepSummary};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Sweep-wide configuration: worker count, master seed, per-job budget.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_sweep::SweepOptions;
+///
+/// let opts = SweepOptions::default().with_workers(4).with_seed(42);
+/// assert_eq!(opts.workers(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    workers: usize,
+    seed: u64,
+    budget: JobBudget,
+}
+
+impl Default for SweepOptions {
+    /// Auto worker count (`available_parallelism`), seed `0`, unlimited
+    /// budget.
+    fn default() -> Self {
+        SweepOptions {
+            workers: 0,
+            seed: 0,
+            budget: JobBudget::unlimited(),
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Sets the worker-thread count (builder style). `0` means "one per
+    /// available hardware thread". `1` runs the jobs serially on the
+    /// calling thread — useful as the reference for determinism checks.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the master seed from which every job's seed is derived
+    /// (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-job budget (builder style).
+    #[must_use]
+    pub fn with_budget(mut self, budget: JobBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured worker count (`0` = auto).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured master seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured per-job budget.
+    #[must_use]
+    pub fn budget(&self) -> JobBudget {
+        self.budget
+    }
+
+    /// The worker count the engine will actually use for `job_count` jobs:
+    /// the configured count (or `available_parallelism` when auto), capped
+    /// by the number of jobs, and at least 1.
+    #[must_use]
+    pub fn resolved_workers(&self, job_count: usize) -> usize {
+        let configured = if self.workers == 0 {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        };
+        configured.min(job_count).max(1)
+    }
+}
+
+/// How one cell of the sweep ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome<T> {
+    /// The job returned a value.
+    Ok(T),
+    /// The job returned [`JobError::Failed`].
+    Failed(String),
+    /// The job panicked; the payload message was captured, the worker
+    /// survived, and the rest of the sweep completed normally.
+    Panicked(String),
+    /// The job exhausted its [`JobBudget`].
+    BudgetExceeded(String),
+}
+
+/// One cell of the sweep: index, label, wall time, and outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult<T> {
+    /// The job's position in the sweep (results are returned in this
+    /// order, regardless of completion order).
+    pub index: usize,
+    /// The job's label.
+    pub label: String,
+    /// The job's wall time.
+    pub wall: Duration,
+    /// How the job ended.
+    pub outcome: CellOutcome<T>,
+}
+
+impl<T> CellResult<T> {
+    /// The value, if the job succeeded.
+    #[must_use]
+    pub fn value(&self) -> Option<&T> {
+        match &self.outcome {
+            CellOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` if the job returned a value.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self.outcome, CellOutcome::Ok(_))
+    }
+
+    /// The failure message, if the job did not succeed.
+    #[must_use]
+    pub fn detail(&self) -> Option<&str> {
+        match &self.outcome {
+            CellOutcome::Ok(_) => None,
+            CellOutcome::Failed(msg)
+            | CellOutcome::Panicked(msg)
+            | CellOutcome::BudgetExceeded(msg) => Some(msg),
+        }
+    }
+}
+
+/// Everything a sweep produces: per-cell results in job order plus the
+/// aggregate [`SweepSummary`].
+#[derive(Debug, Clone)]
+pub struct SweepOutcome<T> {
+    /// Per-cell results, in job order.
+    pub cells: Vec<CellResult<T>>,
+    /// Aggregate statistics over the whole sweep.
+    pub summary: SweepSummary,
+}
+
+impl<T> SweepOutcome<T> {
+    /// The successful values in job order (`None` where a cell failed).
+    #[must_use]
+    pub fn values(&self) -> Vec<Option<&T>> {
+        self.cells.iter().map(CellResult::value).collect()
+    }
+
+    /// Consumes the outcome, yielding owned values in job order (`None`
+    /// where a cell failed).
+    #[must_use]
+    pub fn into_values(self) -> Vec<Option<T>> {
+        self.cells
+            .into_iter()
+            .map(|cell| match cell.outcome {
+                CellOutcome::Ok(v) => Some(v),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Runs `jobs` on a pool of scoped worker threads and returns their
+/// results **in job order**.
+///
+/// Guarantees:
+///
+/// * **Determinism** — each job's [`JobCtx::seed`] depends only on the
+///   sweep seed and the job index, and results are slotted by index, so
+///   output is bit-identical whatever the worker count or scheduling.
+/// * **Fault isolation** — a panicking job becomes
+///   [`CellOutcome::Panicked`] for that cell; every other cell still runs
+///   to completion. (The process-global panic hook still prints the panic
+///   message; wrap noisy sweeps in `std::panic::set_hook` if needed.)
+/// * **No oversubscription** — at most
+///   [`SweepOptions::resolved_workers`] jobs run at once; with one worker
+///   the jobs run serially on the calling thread, no threads spawned.
+pub fn run_sweep<'a, T: Send>(jobs: &[SweepJob<'a, T>], opts: &SweepOptions) -> SweepOutcome<T> {
+    run_sweep_with_progress(jobs, opts, |_| {})
+}
+
+/// Like [`run_sweep`], invoking `on_tick` after every completed job.
+///
+/// Ticks arrive in completion order, possibly from worker threads
+/// concurrently — the observer must serialize its own side effects (a
+/// `println!` is fine: stdout is line-locked).
+pub fn run_sweep_with_progress<'a, T: Send>(
+    jobs: &[SweepJob<'a, T>],
+    opts: &SweepOptions,
+    on_tick: impl Fn(&ProgressTick) + Send + Sync,
+) -> SweepOutcome<T> {
+    let started = Instant::now();
+    let workers = opts.resolved_workers(jobs.len());
+    let total = jobs.len();
+    let completed = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let tick = |cell: &CellResult<T>| {
+        if !cell.is_ok() {
+            failed.fetch_add(1, Ordering::Relaxed);
+        }
+        on_tick(&ProgressTick {
+            completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+            total,
+            failed: failed.load(Ordering::Relaxed),
+            label: cell.label.clone(),
+            elapsed: started.elapsed(),
+        });
+    };
+
+    let cells: Vec<CellResult<T>> = if workers <= 1 {
+        jobs.iter()
+            .enumerate()
+            .map(|(index, job)| {
+                let cell = execute(job, index, opts);
+                tick(&cell);
+                cell
+            })
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CellResult<T>>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let cell = execute(&jobs[index], index, opts);
+                    tick(&cell);
+                    *slots[index].lock().expect("result slot poisoned") = Some(cell);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot is filled before the scope ends")
+            })
+            .collect()
+    };
+
+    let summary = SweepSummary::from_cells(&cells, workers, started.elapsed());
+    SweepOutcome { cells, summary }
+}
+
+fn execute<T>(job: &SweepJob<'_, T>, index: usize, opts: &SweepOptions) -> CellResult<T> {
+    let ctx = JobCtx::new(index, derive_seed(opts.seed(), index), opts.budget());
+    let started = Instant::now();
+    let caught = catch_unwind(AssertUnwindSafe(|| job.call(&ctx)));
+    let wall = started.elapsed();
+    let outcome = match caught {
+        Ok(Ok(value)) => CellOutcome::Ok(value),
+        Ok(Err(JobError::Failed(msg))) => CellOutcome::Failed(msg),
+        Ok(Err(JobError::BudgetExceeded(msg))) => CellOutcome::BudgetExceeded(msg),
+        Err(payload) => CellOutcome::Panicked(panic_message(payload.as_ref())),
+    };
+    CellResult {
+        index,
+        label: job.label().to_owned(),
+        wall,
+        outcome,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolved_workers_caps_and_floors() {
+        let auto = SweepOptions::default();
+        assert!(auto.resolved_workers(1000) >= 1);
+        assert_eq!(auto.resolved_workers(1), 1);
+        assert_eq!(auto.resolved_workers(0), 1);
+        let four = SweepOptions::default().with_workers(4);
+        assert_eq!(four.resolved_workers(2), 2);
+        assert_eq!(four.resolved_workers(100), 4);
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        // Jobs finish in reverse submission order (later jobs are
+        // quicker); the cells must still come back index-ordered.
+        let jobs: Vec<SweepJob<'_, usize>> = (0..8)
+            .map(|i| {
+                SweepJob::infallible(format!("j{i}"), move |ctx| {
+                    std::thread::sleep(Duration::from_millis(8 - i as u64));
+                    ctx.index()
+                })
+            })
+            .collect();
+        let out = run_sweep(&jobs, &SweepOptions::default().with_workers(4));
+        for (i, cell) in out.cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.label, format!("j{i}"));
+            assert_eq!(cell.value(), Some(&i));
+        }
+    }
+
+    #[test]
+    fn progress_ticks_count_every_job() {
+        let jobs: Vec<SweepJob<'_, ()>> = (0..10)
+            .map(|i| SweepJob::infallible(format!("j{i}"), |_| ()))
+            .collect();
+        let seen = Mutex::new(Vec::new());
+        let out =
+            run_sweep_with_progress(&jobs, &SweepOptions::default().with_workers(3), |tick| {
+                seen.lock().unwrap().push((tick.completed, tick.total))
+            });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 10);
+        assert!(seen.iter().all(|&(_, total)| total == 10));
+        let mut counts: Vec<usize> = seen.iter().map(|&(c, _)| c).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, (1..=10).collect::<Vec<_>>());
+        assert_eq!(out.summary.succeeded, 10);
+    }
+
+    #[test]
+    fn jobs_borrow_sweep_wide_data() {
+        let shared = vec![2.0f64; 1000];
+        let jobs: Vec<SweepJob<'_, f64>> = (0..6)
+            .map(|i| {
+                let shared = &shared;
+                SweepJob::infallible(format!("j{i}"), move |_| {
+                    shared.iter().sum::<f64>() * i as f64
+                })
+            })
+            .collect();
+        let out = run_sweep(&jobs, &SweepOptions::default().with_workers(3));
+        for (i, cell) in out.cells.iter().enumerate() {
+            assert_eq!(cell.value(), Some(&(2000.0 * i as f64)));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Live progress reporting for running sweeps.
+
+use std::time::Duration;
+
+/// A snapshot emitted after every completed job.
+///
+/// Ticks arrive in **completion** order (not job order) and from worker
+/// threads, so observers must be `Send + Sync`; the engine's result
+/// ordering is unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressTick {
+    /// Jobs finished so far (in any state), including this one.
+    pub completed: usize,
+    /// Total jobs in the sweep.
+    pub total: usize,
+    /// Jobs finished in a non-success state so far.
+    pub failed: usize,
+    /// Label of the job that just finished.
+    pub label: String,
+    /// Wall time since the sweep started.
+    pub elapsed: Duration,
+}
+
+impl ProgressTick {
+    /// Renders the tick as a one-line status, e.g.
+    /// `[ 3/10] ratio=100 (1 failed, 2.41s)`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let width = self.total.to_string().len();
+        let mut line = format!("[{:>width$}/{}] {}", self.completed, self.total, self.label);
+        if self.failed > 0 {
+            line.push_str(&format!(" ({} failed)", self.failed));
+        }
+        line.push_str(&format!(" {:.2?}", self.elapsed));
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_mentions_failures_only_when_present() {
+        let mut tick = ProgressTick {
+            completed: 3,
+            total: 10,
+            failed: 0,
+            label: "ratio=100".into(),
+            elapsed: Duration::from_millis(2410),
+        };
+        let line = tick.render();
+        assert!(line.starts_with("[ 3/10] ratio=100"), "{line}");
+        assert!(!line.contains("failed"));
+        tick.failed = 1;
+        assert!(tick.render().contains("(1 failed)"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Aggregated sweep statistics, exportable as JSON or CSV.
+
+use crate::pool::{CellOutcome, CellResult};
+use serde::Serialize;
+use std::time::Duration;
+
+/// The terminal state of one sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JobStatus {
+    /// The job returned a value.
+    Ok,
+    /// The job returned [`JobError::Failed`](crate::JobError::Failed).
+    Failed,
+    /// The job panicked; the panic was caught and isolated.
+    Panicked,
+    /// The job exhausted its [`JobBudget`](crate::JobBudget).
+    BudgetExceeded,
+}
+
+impl JobStatus {
+    /// `true` only for [`JobStatus::Ok`].
+    #[must_use]
+    pub fn is_ok(self) -> bool {
+        matches!(self, JobStatus::Ok)
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Ok => "Ok",
+            JobStatus::Failed => "Failed",
+            JobStatus::Panicked => "Panicked",
+            JobStatus::BudgetExceeded => "BudgetExceeded",
+        }
+    }
+}
+
+/// One cell's row in the summary: everything except the payload value.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JobRecord {
+    /// The job's position in the sweep.
+    pub index: usize,
+    /// The job's label.
+    pub label: String,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// The job's wall time, in seconds.
+    pub wall_secs: f64,
+    /// Failure detail (empty for successful jobs).
+    pub detail: String,
+}
+
+/// Aggregate statistics for one sweep run.
+///
+/// Serializable to JSON via [`to_json`](Self::to_json) (the whole summary,
+/// nested) and to CSV via [`to_csv`](Self::to_csv) (one row per job).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepSummary {
+    /// Total jobs in the sweep.
+    pub total: usize,
+    /// Jobs that returned a value.
+    pub succeeded: usize,
+    /// Jobs that returned a domain failure.
+    pub failed: usize,
+    /// Jobs that panicked.
+    pub panicked: usize,
+    /// Jobs that exhausted their budget.
+    pub budget_exceeded: usize,
+    /// Worker threads the engine actually used.
+    pub workers: usize,
+    /// Wall time of the whole sweep, in seconds.
+    pub wall_secs: f64,
+    /// Fastest single job, in seconds (0 for an empty sweep).
+    pub min_job_secs: f64,
+    /// Mean job time, in seconds (0 for an empty sweep).
+    pub mean_job_secs: f64,
+    /// Slowest single job, in seconds (0 for an empty sweep).
+    pub max_job_secs: f64,
+    /// Per-job rows, in job order.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl SweepSummary {
+    pub(crate) fn from_cells<T>(cells: &[CellResult<T>], workers: usize, wall: Duration) -> Self {
+        let mut succeeded = 0;
+        let mut failed = 0;
+        let mut panicked = 0;
+        let mut budget_exceeded = 0;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        let jobs: Vec<JobRecord> = cells
+            .iter()
+            .map(|cell| {
+                let (status, detail) = match &cell.outcome {
+                    CellOutcome::Ok(_) => {
+                        succeeded += 1;
+                        (JobStatus::Ok, String::new())
+                    }
+                    CellOutcome::Failed(msg) => {
+                        failed += 1;
+                        (JobStatus::Failed, msg.clone())
+                    }
+                    CellOutcome::Panicked(msg) => {
+                        panicked += 1;
+                        (JobStatus::Panicked, msg.clone())
+                    }
+                    CellOutcome::BudgetExceeded(msg) => {
+                        budget_exceeded += 1;
+                        (JobStatus::BudgetExceeded, msg.clone())
+                    }
+                };
+                let wall_secs = cell.wall.as_secs_f64();
+                min = min.min(wall_secs);
+                max = max.max(wall_secs);
+                sum += wall_secs;
+                JobRecord {
+                    index: cell.index,
+                    label: cell.label.clone(),
+                    status,
+                    wall_secs,
+                    detail,
+                }
+            })
+            .collect();
+        let total = cells.len();
+        SweepSummary {
+            total,
+            succeeded,
+            failed,
+            panicked,
+            budget_exceeded,
+            workers,
+            wall_secs: wall.as_secs_f64(),
+            min_job_secs: if total == 0 { 0.0 } else { min },
+            mean_job_secs: if total == 0 { 0.0 } else { sum / total as f64 },
+            max_job_secs: max,
+            jobs,
+        }
+    }
+
+    /// Jobs that did not succeed, in job order.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&JobRecord> {
+        self.jobs.iter().filter(|j| !j.status.is_ok()).collect()
+    }
+
+    /// The whole summary as a JSON object (per-job rows nested under
+    /// `"jobs"`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        Serialize::to_json(self)
+    }
+
+    /// Per-job rows as CSV with an `index,label,status,wall_secs,detail`
+    /// header. Fields containing commas, quotes, or newlines are quoted.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("index,label,status,wall_secs,detail\n");
+        for job in &self.jobs {
+            out.push_str(&job.index.to_string());
+            out.push(',');
+            push_csv_field(&mut out, &job.label);
+            out.push(',');
+            out.push_str(job.status.as_str());
+            out.push(',');
+            out.push_str(&format!("{:.6}", job.wall_secs));
+            out.push(',');
+            push_csv_field(&mut out, &job.detail);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn push_csv_field(out: &mut String, field: &str) {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        out.push_str(&field.replace('"', "\"\""));
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells() -> Vec<CellResult<u32>> {
+        vec![
+            CellResult {
+                index: 0,
+                label: "a=1".into(),
+                wall: Duration::from_millis(10),
+                outcome: CellOutcome::Ok(1),
+            },
+            CellResult {
+                index: 1,
+                label: "a=2, b=3".into(),
+                wall: Duration::from_millis(30),
+                outcome: CellOutcome::Failed("diverged at t=4".into()),
+            },
+            CellResult {
+                index: 2,
+                label: "a=3".into(),
+                wall: Duration::from_millis(20),
+                outcome: CellOutcome::Panicked("index out of bounds".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn counts_and_timing_aggregate() {
+        let s = SweepSummary::from_cells(&cells(), 4, Duration::from_millis(35));
+        assert_eq!((s.total, s.succeeded, s.failed, s.panicked), (3, 1, 1, 1));
+        assert_eq!(s.budget_exceeded, 0);
+        assert_eq!(s.workers, 4);
+        assert!((s.min_job_secs - 0.010).abs() < 1e-9);
+        assert!((s.mean_job_secs - 0.020).abs() < 1e-9);
+        assert!((s.max_job_secs - 0.030).abs() < 1e-9);
+        assert_eq!(s.failures().len(), 2);
+    }
+
+    #[test]
+    fn empty_sweep_has_zero_stats() {
+        let s = SweepSummary::from_cells::<u32>(&[], 1, Duration::ZERO);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.min_job_secs, 0.0);
+        assert_eq!(s.mean_job_secs, 0.0);
+        assert_eq!(s.max_job_secs, 0.0);
+        assert_eq!(s.to_csv(), "index,label,status,wall_secs,detail\n");
+    }
+
+    #[test]
+    fn json_nests_job_rows() {
+        let s = SweepSummary::from_cells(&cells(), 2, Duration::from_millis(35));
+        let json = s.to_json();
+        assert!(json.contains("\"total\":3"), "{json}");
+        assert!(json.contains("\"status\":\"Panicked\""), "{json}");
+        assert!(json.contains("\"detail\":\"diverged at t=4\""), "{json}");
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas() {
+        let s = SweepSummary::from_cells(&cells(), 2, Duration::from_millis(35));
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(
+            lines[2].starts_with("1,\"a=2, b=3\",Failed,"),
+            "{}",
+            lines[2]
+        );
+        assert!(lines[1].starts_with("0,a=1,Ok,"), "{}", lines[1]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Integration tests for the sweep engine: parallel/serial determinism,
+//! fault isolation, budgets, and edge cases.
+
+use molseq_sweep::{
+    run_sweep, CellOutcome, JobBudget, JobError, JobStatus, SweepJob, SweepOptions,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Duration;
+
+/// A seed-dependent pseudo-simulation: enough arithmetic that scheduling
+/// races would surface as value differences if seeds leaked between jobs.
+fn noisy_sum(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..512).map(|_| rng.random::<f64>()).sum()
+}
+
+fn rng_jobs(n: usize) -> Vec<SweepJob<'static, f64>> {
+    (0..n)
+        .map(|i| SweepJob::infallible(format!("draw {i}"), |ctx| noisy_sum(ctx.seed())))
+        .collect()
+}
+
+#[test]
+fn parallel_results_are_bit_identical_to_serial() {
+    let jobs = rng_jobs(40);
+    let serial = run_sweep(&jobs, &SweepOptions::default().with_workers(1).with_seed(9));
+    for workers in [2, 4, 8] {
+        let parallel = run_sweep(
+            &jobs,
+            &SweepOptions::default().with_workers(workers).with_seed(9),
+        );
+        // Bit-identical: f64 equality, not approximate.
+        for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(s.index, p.index);
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.value(), p.value(), "workers={workers} index={}", s.index);
+        }
+    }
+}
+
+#[test]
+fn sweep_seed_changes_every_job_seed() {
+    let jobs = rng_jobs(8);
+    let a = run_sweep(&jobs, &SweepOptions::default().with_workers(1).with_seed(1));
+    let b = run_sweep(&jobs, &SweepOptions::default().with_workers(1).with_seed(2));
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_ne!(ca.value(), cb.value());
+    }
+}
+
+#[test]
+fn a_panicking_job_is_a_failed_cell_not_a_dead_sweep() {
+    let jobs: Vec<SweepJob<'_, usize>> = (0..16)
+        .map(|i| {
+            SweepJob::infallible(format!("cell {i}"), move |ctx| {
+                assert!(ctx.index() != 7, "cell 7 diverged");
+                ctx.index()
+            })
+        })
+        .collect();
+    let out = run_sweep(&jobs, &SweepOptions::default().with_workers(4));
+    assert_eq!(out.summary.total, 16);
+    assert_eq!(out.summary.succeeded, 15);
+    assert_eq!(out.summary.panicked, 1);
+    for (i, cell) in out.cells.iter().enumerate() {
+        if i == 7 {
+            match &cell.outcome {
+                CellOutcome::Panicked(msg) => {
+                    assert!(msg.contains("cell 7 diverged"), "{msg}")
+                }
+                other => panic!("expected a panicked cell, got {other:?}"),
+            }
+        } else {
+            assert_eq!(cell.value(), Some(&i), "cell {i} must still complete");
+        }
+    }
+    assert_eq!(out.summary.jobs[7].status, JobStatus::Panicked);
+}
+
+#[test]
+fn domain_failures_are_reported_per_cell() {
+    let jobs: Vec<SweepJob<'_, f64>> = (0..6)
+        .map(|i| {
+            SweepJob::new(format!("leak={i}"), move |_ctx| {
+                if i % 2 == 0 {
+                    Ok(f64::from(i))
+                } else {
+                    Err(JobError::Failed(format!("no settling at leak {i}")))
+                }
+            })
+        })
+        .collect();
+    let out = run_sweep(&jobs, &SweepOptions::default().with_workers(3));
+    assert_eq!(out.summary.succeeded, 3);
+    assert_eq!(out.summary.failed, 3);
+    assert_eq!(out.summary.panicked, 0);
+    assert_eq!(
+        out.values(),
+        vec![Some(&0.0), None, Some(&2.0), None, Some(&4.0), None]
+    );
+    assert!(out.summary.jobs[1].detail.contains("no settling at leak 1"));
+}
+
+#[test]
+fn step_budget_trips_as_budget_exceeded() {
+    let jobs: Vec<SweepJob<'_, u64>> = (0..4)
+        .map(|i| {
+            SweepJob::new(format!("cell {i}"), move |ctx| {
+                // Even cells stay inside the budget, odd cells blow it.
+                let steps = if i % 2 == 0 { 10 } else { 1000 };
+                for _ in 0..steps {
+                    ctx.record_steps(1)?;
+                }
+                Ok(ctx.steps())
+            })
+        })
+        .collect();
+    let opts = SweepOptions::default()
+        .with_workers(2)
+        .with_budget(JobBudget::unlimited().with_max_steps(100));
+    let out = run_sweep(&jobs, &opts);
+    assert_eq!(out.summary.succeeded, 2);
+    assert_eq!(out.summary.budget_exceeded, 2);
+    assert!(matches!(
+        out.cells[1].outcome,
+        CellOutcome::BudgetExceeded(_)
+    ));
+    assert_eq!(out.cells[0].value(), Some(&10));
+}
+
+#[test]
+fn wall_budget_checkpoints_cut_long_jobs() {
+    let jobs: Vec<SweepJob<'_, u32>> = vec![
+        SweepJob::new("quick", |_ctx| Ok(1)),
+        SweepJob::new("slow", |ctx| {
+            for _ in 0..100 {
+                std::thread::sleep(Duration::from_millis(1));
+                ctx.check()?;
+            }
+            Ok(2)
+        }),
+    ];
+    let opts = SweepOptions::default()
+        .with_workers(1)
+        .with_budget(JobBudget::unlimited().with_max_wall(Duration::from_millis(5)));
+    let out = run_sweep(&jobs, &opts);
+    assert_eq!(out.cells[0].value(), Some(&1));
+    assert!(matches!(
+        out.cells[1].outcome,
+        CellOutcome::BudgetExceeded(_)
+    ));
+}
+
+#[test]
+fn empty_sweep_completes_immediately() {
+    let jobs: Vec<SweepJob<'_, f64>> = Vec::new();
+    let out = run_sweep(&jobs, &SweepOptions::default());
+    assert!(out.cells.is_empty());
+    assert_eq!(out.summary.total, 0);
+    assert_eq!(
+        out.summary.to_csv(),
+        "index,label,status,wall_secs,detail\n"
+    );
+}
+
+#[test]
+fn single_job_sweep_runs_serially() {
+    let jobs = vec![SweepJob::infallible("only", |ctx| ctx.seed())];
+    let out = run_sweep(&jobs, &SweepOptions::default().with_workers(8).with_seed(3));
+    assert_eq!(out.summary.total, 1);
+    assert_eq!(out.summary.workers, 1, "one job never needs two workers");
+    assert!(out.cells[0].is_ok());
+}
+
+#[test]
+fn summary_exports_round_trip_the_cells() {
+    let jobs: Vec<SweepJob<'_, u32>> = vec![
+        SweepJob::new("ok cell", |_| Ok(1)),
+        SweepJob::new("bad, cell", |_| Err(JobError::failed("boom"))),
+    ];
+    let out = run_sweep(&jobs, &SweepOptions::default().with_workers(1));
+    let json = out.summary.to_json();
+    assert!(json.contains("\"succeeded\":1"), "{json}");
+    assert!(json.contains("\"label\":\"bad, cell\""), "{json}");
+    let csv = out.summary.to_csv();
+    assert!(csv.contains("\"bad, cell\",Failed"), "{csv}");
+    assert_eq!(csv.lines().count(), 3);
+}
+
+#[test]
+fn into_values_preserves_order_and_gaps() {
+    let jobs: Vec<SweepJob<'_, String>> = (0..5)
+        .map(|i| {
+            SweepJob::new(format!("v{i}"), move |_| {
+                if i == 2 {
+                    Err(JobError::failed("gap"))
+                } else {
+                    Ok(format!("value-{i}"))
+                }
+            })
+        })
+        .collect();
+    let out = run_sweep(&jobs, &SweepOptions::default().with_workers(2));
+    let values = out.into_values();
+    assert_eq!(values.len(), 5);
+    assert_eq!(values[0].as_deref(), Some("value-0"));
+    assert_eq!(values[2], None);
+    assert_eq!(values[4].as_deref(), Some("value-4"));
+}

@@ -27,10 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let product = *run.register_series("acc")?.last().expect("cycles ran");
-    println!(
-        "\nproduct: {product:.2} (exact {})\n",
-        mult.expected()
-    );
+    println!("\nproduct: {product:.2} (exact {})\n", mult.expected());
 
     // log2(8) by repeated halving
     let log = IterativeLog2::build(ClockSpec::default(), 8.0, 30.0)?;

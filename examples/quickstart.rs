@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         render_species(
             run.trace(),
-            &[(clock.red, "clk.R"), (clock.green, "clk.G"), (clock.blue, "clk.B")],
+            &[
+                (clock.red, "clk.R"),
+                (clock.green, "clk.G"),
+                (clock.blue, "clk.B")
+            ],
             72
         )
     );

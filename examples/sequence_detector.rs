@@ -30,8 +30,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             states[k],
         );
     }
-    println!(
-        "\nthe machine latched in S2 at cycle 3 (after the bits 1,0,1,1) and stays there"
-    );
+    println!("\nthe machine latched in S2 at cycle 3 (after the bits 1,0,1,1) and stays there");
     Ok(())
 }

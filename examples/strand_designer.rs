@@ -31,6 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for strand in library.strands() {
         println!("  {:4} {}", strand.name, sequences.render_strand(strand));
     }
-    println!("\nexample complement (t0*): {}", sequences.complement_of("t0").expect("assigned"));
+    println!(
+        "\nexample complement (t0*): {}",
+        sequences.complement_of("t0").expect("assigned")
+    );
     Ok(())
 }

@@ -69,7 +69,10 @@ fn average_survives_compilation() {
         80.0,
     );
     assert!((abstract_y - 22.0).abs() < 0.1, "{abstract_y}");
-    assert!((dsd_y - abstract_y).abs() < 0.5, "dsd {dsd_y} vs {abstract_y}");
+    assert!(
+        (dsd_y - abstract_y).abs() < 0.5,
+        "dsd {dsd_y} vs {abstract_y}"
+    );
 }
 
 #[test]
@@ -86,7 +89,10 @@ fn clamped_subtraction_survives_compilation() {
         80.0,
     );
     assert!((abstract_y - 32.0).abs() < 0.1, "{abstract_y}");
-    assert!((dsd_y - abstract_y).abs() < 1.0, "dsd {dsd_y} vs {abstract_y}");
+    assert!(
+        (dsd_y - abstract_y).abs() < 1.0,
+        "dsd {dsd_y} vs {abstract_y}"
+    );
 }
 
 #[test]
@@ -102,5 +108,8 @@ fn comparator_survives_compilation() {
         80.0,
     );
     assert!((abstract_a - 24.0).abs() < 0.1, "{abstract_a}");
-    assert!((dsd_a - abstract_a).abs() < 1.0, "dsd {dsd_a} vs {abstract_a}");
+    assert!(
+        (dsd_a - abstract_a).abs() < 1.0,
+        "dsd {dsd_a} vs {abstract_a}"
+    );
 }

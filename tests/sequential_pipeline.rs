@@ -44,7 +44,10 @@ fn moving_average_tracks_ideal_end_to_end() {
 fn weighted_fir_computes_its_coefficients() {
     // y(n) = ¾·x(n) + ¼·x(n−1)
     let filter = fir(
-        &[Ratio::new(3, 4).expect("ratio"), Ratio::new(1, 4).expect("ratio")],
+        &[
+            Ratio::new(3, 4).expect("ratio"),
+            Ratio::new(1, 4).expect("ratio"),
+        ],
         ClockSpec::default(),
     )
     .expect("builds");
@@ -136,8 +139,13 @@ fn clock_period_is_stable_inside_a_circuit() {
     let d = circuit.delay("d", x);
     circuit.output("y", d);
     let system = circuit.compile().expect("compiles");
-    let run = run_cycles(&system, &[("x", &[50.0, 0.0, 50.0])], 5, &RunConfig::default())
-        .expect("runs");
+    let run = run_cycles(
+        &system,
+        &[("x", &[50.0, 0.0, 50.0])],
+        5,
+        &RunConfig::default(),
+    )
+    .expect("runs");
     let period = run.mean_period().expect("at least two cycles");
     assert!(period > 1.0 && period < 60.0, "period {period}");
     // successive sample times are roughly evenly spaced

@@ -3,7 +3,9 @@
 
 use molseq::crn::RateAssignment;
 use molseq::kinetics::{simulate_ssa, Schedule, SimSpec, SsaOptions};
-use molseq::sync::{stored_final_value, BinaryCounter, ClockSpec, DelayChain, SchemeConfig, SyncRun};
+use molseq::sync::{
+    stored_final_value, BinaryCounter, ClockSpec, DelayChain, SchemeConfig, SyncRun,
+};
 
 #[test]
 fn delay_chain_is_mass_exact_under_ssa() {
@@ -14,8 +16,7 @@ fn delay_chain_is_mass_exact_under_ssa() {
         .with_record_interval(2.0)
         .with_seed(5);
     let spec = SimSpec::new(RateAssignment::from_ratio(100.0));
-    let trace =
-        simulate_ssa(chain.crn(), &init, &Schedule::new(), &opts, &spec).expect("runs");
+    let trace = simulate_ssa(chain.crn(), &init, &Schedule::new(), &opts, &spec).expect("runs");
     // pure transfers conserve every molecule: 40 + 12 + 7 arrive exactly
     let y = stored_final_value(chain.crn(), &trace, chain.output());
     assert_eq!(y, 59.0, "all molecules delivered");
@@ -26,7 +27,8 @@ fn counter_decodes_exactly_at_small_amplitude() {
     let counter = BinaryCounter::build(2, 8.0, ClockSpec::default()).expect("builds");
     let system = counter.system();
     let pulses = counter.pulse_train(&[true, true, true, false, false, false]);
-    let schedule = Schedule::new().trigger(system.input_trigger("pulse", &pulses).expect("trigger"));
+    let schedule =
+        Schedule::new().trigger(system.input_trigger("pulse", &pulses).expect("trigger"));
     let opts = SsaOptions::default()
         .with_t_end(220.0)
         .with_record_interval(1.0)
@@ -40,7 +42,11 @@ fn counter_decodes_exactly_at_small_amplitude() {
     )
     .expect("runs");
     let run = SyncRun::from_trace(system, trace);
-    assert!(run.cycles() >= 6, "enough cycles completed: {}", run.cycles());
+    assert!(
+        run.cycles() >= 6,
+        "enough cycles completed: {}",
+        run.cycles()
+    );
     assert_eq!(
         counter.decode(&run, run.cycles() - 1).expect("decodes"),
         3,

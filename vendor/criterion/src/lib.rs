@@ -1,0 +1,217 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the subset of the
+//! criterion API this workspace's benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`bench_function`/
+//! `bench_with_input`/`finish`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Each benchmark runs one warm-up iteration, then `sample_size` timed
+//! iterations, and prints min/mean/max per-iteration wall time. There is
+//! no statistical analysis, outlier rejection, or HTML report — this stub
+//! exists so `cargo bench` works without network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// True when cargo runs the bench target in test mode (`--test`):
+    /// benchmarks are checked with a single iteration instead of timed.
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Creates a harness, inspecting the process arguments the way cargo
+    /// invokes bench targets (`--test` in test mode).
+    #[must_use]
+    pub fn from_args() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let test_mode = self.test_mode;
+        run_one(&name.into(), 10, test_mode, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.render());
+        run_one(&id, self.sample_size, self.criterion.test_mode, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Closes the group (a no-op in the stub; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with a parameter, e.g. `derivative/24`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    #[must_use]
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Drives the closure under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, discarding its output via [`black_box`].
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(id: &str, samples: usize, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    if test_mode {
+        // `cargo test` runs bench targets with `--test`: check the
+        // benchmark executes, skip the timing loop.
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{id}: ok (test mode)");
+        return;
+    }
+    // Warm-up.
+    let mut b = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed);
+    }
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    let mean = times.iter().sum::<Duration>() / samples.max(1) as u32;
+    println!("{id}: min {min:.2?}  mean {mean:.2?}  max {max:.2?}  ({samples} samples)");
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = 0;
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("p", 7), &7, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        ran += 1;
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A miniature property-testing framework with the subset of the proptest
+//! API this workspace uses: the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_filter_map`, range and tuple strategies,
+//! [`strategy::Just`], [`collection::vec`], `prop_oneof!`, and the
+//! `proptest!` test macro with `ProptestConfig`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the sampled inputs'
+//!   `Debug` rendering instead of minimizing them.
+//! * **Deterministic seeding.** Each test's generator is seeded from a
+//!   hash of the test's name, so failures reproduce exactly across runs.
+//! * Assertion macros panic directly rather than threading `Result`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Configuration accepted by `proptest!`'s `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for API compatibility; the stub never persists failures.
+    pub failure_persistence: Option<()>,
+    /// Accepted for API compatibility; the stub never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, like the real crate.
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            failure_persistence: None,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// The deterministic test runner internals used by the macros.
+pub mod test_runner {
+    pub use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    /// A generator seeded deterministically from the test's name.
+    #[must_use]
+    pub fn rng_for(test_name: &str) -> TestRng {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// A source of random values of one type.
+    ///
+    /// The stub's strategies sample directly; there is no shrinking tree.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps sampled values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Maps sampled values through `f`, resampling when it returns
+        /// `None`. Panics (with `reason`) if 1000 consecutive samples are
+        /// all rejected.
+        fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type (used by `prop_oneof!`).
+    #[must_use]
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// A strategy that always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    #[derive(Debug, Clone)]
+    pub struct FilterMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<O>,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            for _ in 0..1000 {
+                if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter_map rejected 1000 consecutive samples: {}",
+                self.reason
+            );
+        }
+    }
+
+    /// A uniform choice among boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union; panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = (rng.random::<u64>() % self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.random::<u64>() % span) as $ty
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.random::<u64>() % span) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// A strategy producing `Vec`s with lengths drawn from `len` and
+    /// elements drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Vectors of `element` samples with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.random::<u64>() % span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// A uniform choice among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its inputs `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let ($($pat,)+) = (
+                    $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+
+                );
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::rng_for("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u32..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let w = Strategy::sample(&(5u32..=120), &mut rng);
+            assert!((5..=120).contains(&w));
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_vec_compose() {
+        let strat = collection::vec(
+            prop_oneof![Just(1u32), (10u32..20).prop_map(|v| v * 2)],
+            1..4,
+        );
+        let mut rng = crate::test_runner::rng_for("compose");
+        for _ in 0..200 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!(!v.is_empty() && v.len() < 4);
+            for x in v {
+                assert!(x == 1 || (20..40).contains(&x));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, failure_persistence: None, ..ProptestConfig::default() })]
+
+        #[test]
+        fn the_macro_samples_and_asserts(x in 1u32..10, v in collection::vec(0usize..3, 1..5)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

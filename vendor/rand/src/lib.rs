@@ -1,0 +1,166 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace vendors this tiny implementation so that builds need no
+//! network access. It provides exactly the subset of the `rand` API the
+//! workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`RngExt::random`] for the primitive types simulations draw.
+//!
+//! `StdRng` is xoshiro256** seeded through SplitMix64 — deterministic in
+//! the seed, with statistical quality far beyond what the stochastic
+//! simulators' tolerance checks require. It is **not** cryptographically
+//! secure, which matches how the workspace uses randomness (simulation
+//! only).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling of uniformly distributed values.
+///
+/// (Upstream `rand` splits this across `Rng`/`RngCore`; the workspace only
+/// ever calls `random`, so one extension trait suffices.)
+pub trait RngExt {
+    /// The next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its standard uniform distribution
+    /// (`[0, 1)` for floats, the full range for integers).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(&mut |/* rng */| self.next_u64())
+    }
+}
+
+/// Types with a standard uniform distribution this stub can sample.
+pub trait Standard: Sized {
+    /// Produces one sample given a source of raw 64-bit words.
+    fn sample(bits: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn sample(bits: &mut dyn FnMut() -> u64) -> Self {
+        (bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` using the top 24 bits.
+    fn sample(bits: &mut dyn FnMut() -> u64) -> Self {
+        (bits() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(bits: &mut dyn FnMut() -> u64) -> Self {
+        bits()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(bits: &mut dyn FnMut() -> u64) -> Self {
+        (bits() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(bits: &mut dyn FnMut() -> u64) -> Self {
+        bits() >> 63 == 1
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** with SplitMix64
+    /// seed expansion. Deterministic in the seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expands the 64-bit seed into the full 256-bit
+            // state; it cannot produce the all-zero state.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // state must not be all-zero (xoshiro's fixed point)
+        let first: u64 = rng.random();
+        let second: u64 = rng.random();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn other_primitives_sample() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: u32 = rng.random();
+        let _: f32 = rng.random();
+        let _: bool = rng.random();
+    }
+}

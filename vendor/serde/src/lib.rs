@@ -1,0 +1,209 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace vendors this minimal implementation so builds need no
+//! network access. It keeps serde's *shape* — `#[derive(Serialize,
+//! Deserialize)]`, the `Serialize`/`Deserialize<'de>` trait bounds — while
+//! implementing only what the workspace actually exercises: rendering a
+//! value as a JSON document.
+//!
+//! [`Serialize`] here is a single-method trait that appends a JSON
+//! rendering to a `String` (plus a provided [`Serialize::to_json`]
+//! convenience). [`Deserialize`] is a marker trait: nothing in the
+//! workspace parses serialized data back, but downstream code is written
+//! against the standard bound `for<'de> Deserialize<'de>` so swapping the
+//! real serde back in is a manifest change only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can render itself as JSON.
+pub trait Serialize {
+    /// Appends this value's JSON rendering to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// This value rendered as a standalone JSON document.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Marker for types that could be deserialized. The vendored stub never
+/// parses; the trait exists so standard serde bounds keep compiling.
+pub trait Deserialize<'de>: Sized {}
+
+/// Escapes and quotes `s` as a JSON string into `out`.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Serialize for f64 {
+    /// Finite values render as numbers; non-finite values as `null`
+    /// (matching `serde_json`'s default behaviour).
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    /// Keys are emitted in sorted order so the rendering is deterministic.
+    fn write_json(&self, out: &mut String) {
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(k, out);
+            out.push(':');
+            self[*k].write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(k, out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(3u32.to_json(), "3");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b".to_string().to_json(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(vec![1u32, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Some(1u32).to_json(), "1");
+        assert_eq!(None::<u32>.to_json(), "null");
+        let mut m = std::collections::HashMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        assert_eq!(m.to_json(), "{\"a\":1,\"b\":2}");
+    }
+}

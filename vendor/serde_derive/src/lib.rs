@@ -1,0 +1,307 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored serde stub by hand-parsing the item's token stream (the real
+//! `syn`/`quote` stack is unavailable offline). Supports the shapes this
+//! workspace derives on: non-generic structs (named, tuple, unit) and
+//! enums (unit, tuple, and struct variants).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed skeleton of a `struct` or `enum` item.
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (the vendored stub's JSON-writing trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn write_json(&self, out: &mut ::std::string::String) {{ {body} }}\n\
+         }}",
+        item.name
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (a marker impl under the vendored stub).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {} {{}}", item.name)
+        .parse()
+        .expect("generated impl parses")
+}
+
+fn serialize_body(item: &Item) -> String {
+    match &item.shape {
+        Shape::Unit => "out.push_str(\"null\");".to_owned(),
+        Shape::Tuple(1) => "::serde::Serialize::write_json(&self.0, out);".to_owned(),
+        Shape::Tuple(n) => {
+            let mut body = String::from("out.push('[');");
+            for i in 0..*n {
+                if i > 0 {
+                    body.push_str("out.push(',');");
+                }
+                body.push_str(&format!("::serde::Serialize::write_json(&self.{i}, out);"));
+            }
+            body.push_str("out.push(']');");
+            body
+        }
+        Shape::Named(fields) => named_fields_body(fields, "self."),
+        Shape::Enum(variants) => {
+            let mut body = String::from("match self {");
+            for v in variants {
+                let vn = &v.name;
+                let ty = &item.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        body.push_str(&format!("{ty}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),"));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!(
+                            "{ty}::{vn}({}) => {{ out.push_str(\"{{\\\"{vn}\\\":\");",
+                            binds.join(", ")
+                        ));
+                        if *n == 1 {
+                            body.push_str("::serde::Serialize::write_json(__f0, out);");
+                        } else {
+                            body.push_str("out.push('[');");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');");
+                                }
+                                body.push_str(&format!(
+                                    "::serde::Serialize::write_json({b}, out);"
+                                ));
+                            }
+                            body.push_str("out.push(']');");
+                        }
+                        body.push_str("out.push('}'); }");
+                    }
+                    VariantShape::Named(fields) => {
+                        body.push_str(&format!(
+                            "{ty}::{vn} {{ {} }} => {{ out.push_str(\"{{\\\"{vn}\\\":\");",
+                            fields.join(", ")
+                        ));
+                        body.push_str(&named_fields_body(fields, ""));
+                        body.push_str("out.push('}'); }");
+                    }
+                }
+            }
+            body.push('}');
+            body
+        }
+    }
+}
+
+/// JSON-object body for named fields; `prefix` is `"self."` for structs
+/// and empty for match-bound enum fields.
+fn named_fields_body(fields: &[String], prefix: &str) -> String {
+    let mut body = String::from("out.push('{');");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\
+             ::serde::Serialize::write_json(&{prefix}{f}, out);"
+        ));
+    }
+    body.push_str("out.push('}');");
+    body
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("the vendored serde_derive does not support generic types");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Field names of a named-field body, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.next() else {
+            break;
+        };
+        fields.push(id.to_string());
+        // Consume `:` and the type, up to a top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    let mut field_has_tokens = false;
+    for tok in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    field_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        field_has_tokens = true;
+    }
+    if !saw_any {
+        0
+    } else {
+        count + usize::from(field_has_tokens)
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.next() else {
+            break;
+        };
+        let name = id.to_string();
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an optional discriminant and the trailing comma.
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
