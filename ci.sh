@@ -8,6 +8,8 @@
 #   2. lints          cargo clippy --workspace --all-targets, warnings are errors
 #   3. tier-1 gate    cargo build --release && cargo test -q
 #   4. workspace      cargo test -q --workspace (every crate, incl. vendor stubs)
+#   5. benches        cargo bench --no-run (benches must keep compiling)
+#   6. kernel smoke   one pass over the kinetics hot-path workloads
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,5 +27,11 @@ cargo test -q
 
 echo "== workspace tests =="
 cargo test -q --workspace
+
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
+echo "== kernel smoke =="
+cargo bench -p molseq-bench --bench kinetics -- --test
 
 echo "ci: all stages passed"

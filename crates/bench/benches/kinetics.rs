@@ -1,0 +1,110 @@
+//! Kinetics hot-path benchmarks: the headline workloads tracked in
+//! `BENCH_kinetics.json`.
+//!
+//! Three workloads, chosen to exercise the deterministic kernel the way
+//! the experiments do:
+//!
+//! * `clock_40tu` — the E1 chemical clock integrated for 40 time units
+//!   (small network, long stiff limit cycle; dominated by step count);
+//! * `counter_cycles/<bits>` — a multi-bit binary counter driven through
+//!   a full pulse train by the cycle harness (the largest networks in the
+//!   workspace; dominated by Jacobian/LU cost per step);
+//! * `sweep_grid_32` — a 32-cell rate-ratio grid of the 2-tap
+//!   moving-average filter on the sweep engine (the E6/PR-1 shape: many
+//!   medium cells, compile-once/rebind-per-cell).
+//!
+//! Run with `cargo bench -p molseq-bench --bench kinetics`. Record the
+//! printed per-iteration means in `BENCH_kinetics.json` when the kernel
+//! changes, so the perf trajectory stays visible across PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molseq_crn::RateAssignment;
+use molseq_dsp::moving_average;
+use molseq_kinetics::{simulate_ode, CompiledCrn, OdeOptions, Schedule, SimSpec};
+use molseq_sweep::{run_sweep, JobError, SweepJob, SweepOptions};
+use molseq_sync::{run_cycles, BinaryCounter, Clock, ClockSpec, RunConfig, SchemeConfig};
+
+fn bench_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kinetics");
+    group.sample_size(10);
+    let clock = Clock::build(SchemeConfig::default(), 100.0).expect("clock builds");
+    let init = clock.initial_state();
+    group.bench_function("clock_40tu", |b| {
+        b.iter(|| {
+            simulate_ode(
+                clock.crn(),
+                &init,
+                &Schedule::new(),
+                &OdeOptions::default().with_t_end(40.0),
+                &SimSpec::default(),
+            )
+            .expect("clock simulates")
+        });
+    });
+    group.finish();
+}
+
+fn bench_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kinetics");
+    group.sample_size(10);
+    for bits in [2usize, 3, 4] {
+        let counter =
+            BinaryCounter::build(bits, 60.0, ClockSpec::default()).expect("counter builds");
+        let pulses = vec![true, true, true, true, true, false];
+        let samples = counter.pulse_train(&pulses);
+        let cycles = samples.len() + 1;
+        let species = counter.system().stats().species;
+        group.bench_with_input(
+            BenchmarkId::new("counter_cycles", format!("{bits}bits_{species}sp")),
+            &bits,
+            |b, _| {
+                b.iter(|| {
+                    run_cycles(
+                        counter.system(),
+                        &[("pulse", &samples)],
+                        cycles,
+                        &RunConfig::default(),
+                    )
+                    .expect("counter runs")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sweep_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kinetics");
+    group.sample_size(10);
+    let filter = moving_average(2, ClockSpec::default()).expect("filter builds");
+    let base = CompiledCrn::new(filter.system().crn(), &SimSpec::default());
+    let samples = [10.0, 50.0, 80.0];
+    // 32 ratios spanning the robust regime, log-spaced 10^2..10^5
+    let ratios: Vec<f64> = (0..32)
+        .map(|i| 10f64.powf(2.0 + 3.0 * i as f64 / 31.0))
+        .collect();
+    group.bench_function("sweep_grid_32", |b| {
+        b.iter(|| {
+            let jobs: Vec<SweepJob<'_, f64>> = ratios
+                .iter()
+                .map(|&ratio| {
+                    let (filter, base, samples) = (&filter, &base, &samples[..]);
+                    SweepJob::new(format!("ratio={ratio:.1}"), move |_job| {
+                        let spec = SimSpec::new(RateAssignment::from_ratio(ratio));
+                        let measured = filter
+                            .respond_compiled(&base.rebind(&spec), samples, &RunConfig::default())
+                            .map_err(JobError::failed)?;
+                        Ok(measured.iter().sum())
+                    })
+                })
+                .collect();
+            let out = run_sweep(&jobs, &SweepOptions::default());
+            assert_eq!(out.summary.succeeded, ratios.len());
+            out
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clock, bench_counter, bench_sweep_grid);
+criterion_main!(benches);

@@ -5,20 +5,32 @@
 //! cargo run --release -p molseq-bench --bin repro e3 e6      # a subset
 //! cargo run --release -p molseq-bench --bin repro --quick    # reduced workloads
 //! cargo run --release -p molseq-bench --bin repro --jobs 8   # sweep cells on 8 workers
+//! cargo run --release -p molseq-bench --bin repro --summary out/  # persist sweep summaries
 //! ```
 //!
 //! `--jobs N` controls how many worker threads the sweep-backed
 //! experiments use: `--jobs 1` forces serial execution, `--jobs 0` (the
 //! default) sizes the pool from the machine. Reports are byte-identical
 //! at every worker count.
+//!
+//! `--summary DIR` writes each sweep's engine summary (status, timing and
+//! step meter per cell) to `DIR/<id>.summary.json` and `.csv`.
+//! `--cell-steps N` / `--cell-wall SECS` impose a cooperative per-cell
+//! budget, enforced inside the integration loops via step hooks; cells
+//! that exceed it are reported as budget failures, not crashes. Step
+//! budgets are deterministic; wall budgets are machine-dependent and
+//! therefore break byte-reproducibility of failure rows.
 
 use molseq_bench::{all_experiments, ExpCtx};
-use std::time::Instant;
+use molseq_sweep::JobBudget;
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut jobs: usize = 0;
+    let mut summary_dir: Option<String> = None;
+    let mut budget = JobBudget::unlimited();
     let mut selected: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -31,20 +43,48 @@ fn main() {
                 };
                 jobs = n;
             }
+            "--summary" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--summary expects a directory path");
+                    std::process::exit(2);
+                };
+                summary_dir = Some(dir.clone());
+            }
+            "--cell-steps" => {
+                let Some(n) = iter.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--cell-steps expects a step count");
+                    std::process::exit(2);
+                };
+                budget = budget.with_max_steps(n);
+            }
+            "--cell-wall" => {
+                let Some(secs) = iter.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--cell-wall expects a duration in seconds");
+                    std::process::exit(2);
+                };
+                budget = budget.with_max_wall(Duration::from_secs_f64(secs));
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
-                eprintln!("usage: repro [--quick] [--jobs N] [experiment ids...]");
+                eprintln!(
+                    "usage: repro [--quick] [--jobs N] [--summary DIR] \
+                     [--cell-steps N] [--cell-wall SECS] [experiment ids...]"
+                );
                 std::process::exit(2);
             }
             other => selected.push(other),
         }
     }
-    let ctx = if quick {
+    let mut ctx = if quick {
         ExpCtx::quick()
     } else {
         ExpCtx::full()
     }
-    .with_jobs(jobs);
+    .with_jobs(jobs)
+    .with_budget(budget);
+    if let Some(dir) = summary_dir {
+        ctx = ctx.with_summary_dir(dir);
+    }
 
     let mut ran = 0;
     for (id, _title, runner) in all_experiments() {

@@ -8,7 +8,7 @@
 //! settles into an equilibrium crawl that never completes.
 
 use crate::{ExpCtx, Report};
-use molseq_kinetics::{crossings, simulate_ode, OdeOptions, Schedule, SimSpec};
+use molseq_kinetics::{crossings, simulate_ode, OdeOptions, Schedule, SimSpec, StepHook};
 use molseq_sweep::{run_sweep, SweepJob};
 use molseq_sync::{stored_value_terms, DelayChain, SchemeConfig};
 
@@ -19,16 +19,25 @@ struct Outcome {
     rise: f64,
 }
 
-fn evaluate(config: SchemeConfig, quantity: f64, t_end: f64) -> Outcome {
+fn evaluate(
+    config: SchemeConfig,
+    quantity: f64,
+    t_end: f64,
+    hook: Option<StepHook<'_>>,
+) -> Outcome {
     let chain = DelayChain::build(config, 1).expect("chain");
     let init = chain.initial_state(quantity, &[0.0]).expect("state");
+    let mut opts = OdeOptions::default()
+        .with_t_end(t_end)
+        .with_record_interval(0.05);
+    if let Some(hook) = hook {
+        opts = opts.with_step_hook(hook);
+    }
     let trace = simulate_ode(
         chain.crn(),
         &init,
         &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(t_end)
-            .with_record_interval(0.05),
+        &opts,
         &SimSpec::default(),
     )
     .expect("simulates");
@@ -72,10 +81,14 @@ pub fn run(ctx: &ExpCtx) -> Report {
     let jobs: Vec<SweepJob<'_, Outcome>> = arms
         .iter()
         .map(|&(label, config)| {
-            SweepJob::infallible(label, move |_job| evaluate(config, quantity, t_end))
+            SweepJob::infallible(label, move |job| {
+                let hook = job.step_hook();
+                evaluate(config, quantity, t_end, Some(&hook))
+            })
         })
         .collect();
     let out = run_sweep(&jobs, &ctx.sweep_options());
+    ctx.persist_summary("a1", &out.summary);
     let with = out.cells[0].value().expect("arm simulates");
     let without = out.cells[1].value().expect("arm simulates");
 

@@ -9,29 +9,37 @@
 //! transfers borrow ignition from leaders) at a measurable reaction-count
 //! cost.
 
-use crate::{ExpCtx, Report};
+use crate::{sim_job_error, ExpCtx, Report};
 use molseq_crn::CrnStats;
-use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
-use molseq_sweep::{run_sweep, SweepJob};
+use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, StepHook};
+use molseq_sweep::{run_sweep, JobError, SweepJob};
 use molseq_sync::{stored_value_at, DelayChain, SchemeConfig};
 
 /// Runs two parallel quantities through a chain and measures how far
 /// apart their arrivals spread, plus the construct size.
-fn evaluate(config: SchemeConfig, t_end: f64) -> (usize, f64, f64) {
+fn evaluate(
+    config: SchemeConfig,
+    t_end: f64,
+    hook: Option<StepHook<'_>>,
+) -> Result<(usize, f64, f64), JobError> {
     // two independent 1-element chains cannot interact except through the
     // shared indicators (and, with full coupling, the cross feedback)
     let chain = DelayChain::build(config, 2).expect("chain");
     let init = chain.initial_state(80.0, &[40.0, 0.0]).expect("state");
+    let mut opts = OdeOptions::default()
+        .with_t_end(t_end)
+        .with_record_interval(0.05);
+    if let Some(hook) = hook {
+        opts = opts.with_step_hook(hook);
+    }
     let trace = simulate_ode(
         chain.crn(),
         &init,
         &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(t_end)
-            .with_record_interval(0.05),
+        &opts,
         &SimSpec::default(),
     )
-    .expect("simulates");
+    .map_err(sim_job_error)?;
     let y = chain.output();
     let final_y = stored_value_at(chain.crn(), &trace, y, t_end);
     // arrival time of the first plateau (the staged 40)
@@ -42,7 +50,7 @@ fn evaluate(config: SchemeConfig, t_end: f64) -> (usize, f64, f64) {
             break;
         }
     }
-    (CrnStats::of(chain.crn()).reactions, final_y, t_first)
+    Ok((CrnStats::of(chain.crn()).reactions, final_y, t_first))
 }
 
 /// Runs the experiment.
@@ -62,9 +70,15 @@ pub fn run(ctx: &ExpCtx) -> Report {
     ];
     let jobs: Vec<SweepJob<'_, (usize, f64, f64)>> = arms
         .iter()
-        .map(|&(label, config)| SweepJob::infallible(label, move |_job| evaluate(config, t_end)))
+        .map(|&(label, config)| {
+            SweepJob::new(label, move |job| {
+                let hook = job.step_hook();
+                evaluate(config, t_end, Some(&hook))
+            })
+        })
         .collect();
     let out = run_sweep(&jobs, &ctx.sweep_options());
+    ctx.persist_summary("a2", &out.summary);
     let self_coupled = *out.cells[0].value().expect("arm simulates");
     let full = *out.cells[1].value().expect("arm simulates");
 

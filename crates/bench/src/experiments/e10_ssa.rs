@@ -24,63 +24,108 @@
 use crate::{ExpCtx, Report};
 use molseq_crn::RateAssignment;
 use molseq_dsp::{moving_average, rmse, Filter};
-use molseq_kinetics::{simulate_ssa_compiled, CompiledCrn, Schedule, SimSpec, SsaOptions};
-use molseq_sweep::{run_sweep, SweepJob};
+use molseq_kinetics::{
+    simulate_ssa_compiled, CompiledCrn, Schedule, SimError, SimSpec, SsaOptions,
+};
+use molseq_sweep::{run_sweep, JobCtx, JobError, SweepJob};
 use molseq_sync::{BinaryCounter, ClockSpec, SyncRun};
 
 /// One stochastic counter run: three pulses at amplitude `n`; returns the
-/// decoded final count.
-fn count_three(counter: &BinaryCounter, compiled: &CompiledCrn, seed: u64) -> Option<u32> {
+/// decoded final count (`None` for a domain failure — a stalled or
+/// mis-decoding run), or `Err` if the job budget interrupted it.
+fn count_three(
+    counter: &BinaryCounter,
+    compiled: &CompiledCrn,
+    seed: u64,
+    job: &JobCtx,
+) -> Result<Option<u32>, JobError> {
     let system = counter.system();
     let pulses = counter.pulse_train(&[true, true, true, false, false, false]);
-    let schedule = Schedule::new().trigger(system.input_trigger("pulse", &pulses).ok()?);
+    let Ok(trigger) = system.input_trigger("pulse", &pulses) else {
+        return Ok(None);
+    };
+    let schedule = Schedule::new().trigger(trigger);
     // dimer ignition is slower at integer counts (a feedback intermediate
     // must exist as a whole molecule), so cycles stretch vs the ODE run
+    let hook = job.step_hook();
     let opts = SsaOptions::default()
         .with_t_end(220.0)
         .with_record_interval(1.0)
-        .with_seed(seed);
-    let trace = simulate_ssa_compiled(
+        .with_seed(seed)
+        .with_step_hook(&hook);
+    let trace = match simulate_ssa_compiled(
         system.crn(),
         compiled,
         &system.initial_state(),
         &schedule,
         &opts,
-    )
-    .ok()?;
+    ) {
+        Ok(t) => t,
+        Err(SimError::Interrupted { time, reason }) => {
+            return Err(JobError::BudgetExceeded(format!(
+                "interrupted at t = {time}: {reason}"
+            )))
+        }
+        Err(_) => return Ok(None),
+    };
     let run = SyncRun::from_trace(system, trace);
-    counter.decode(&run, run.cycles().checked_sub(1)?).ok()
+    let Some(last) = run.cycles().checked_sub(1) else {
+        return Ok(None);
+    };
+    Ok(counter.decode(&run, last).ok())
 }
 
 /// One stochastic filter run at integer amplitude `n`: returns the RMS
-/// error against the ideal response, in *relative* units of `n`.
-fn filter_noise(filter: &Filter, compiled: &CompiledCrn, n: f64, seed: u64) -> Option<f64> {
+/// error against the ideal response, in *relative* units of `n` (`None`
+/// for a stalled run), or `Err` if the job budget interrupted it.
+fn filter_noise(
+    filter: &Filter,
+    compiled: &CompiledCrn,
+    n: f64,
+    seed: u64,
+    job: &JobCtx,
+) -> Result<Option<f64>, JobError> {
     let system = filter.system();
     // odd/even mix so parity losses actually occur
     let samples: Vec<f64> = [1.0, 3.0, 2.0, 5.0, 4.0, 1.0]
         .iter()
         .map(|&k| (k / 5.0 * n).round())
         .collect();
-    let schedule = Schedule::new().trigger(system.input_trigger("x", &samples).ok()?);
+    let Ok(trigger) = system.input_trigger("x", &samples) else {
+        return Ok(None);
+    };
+    let schedule = Schedule::new().trigger(trigger);
+    let hook = job.step_hook();
     let opts = SsaOptions::default()
         .with_t_end(400.0)
         .with_record_interval(1.0)
-        .with_seed(seed);
-    let trace = simulate_ssa_compiled(
+        .with_seed(seed)
+        .with_step_hook(&hook);
+    let trace = match simulate_ssa_compiled(
         system.crn(),
         compiled,
         &system.initial_state(),
         &schedule,
         &opts,
-    )
-    .ok()?;
+    ) {
+        Ok(t) => t,
+        Err(SimError::Interrupted { time, reason }) => {
+            return Err(JobError::BudgetExceeded(format!(
+                "interrupted at t = {time}: {reason}"
+            )))
+        }
+        Err(_) => return Ok(None),
+    };
     let run = SyncRun::from_trace(system, trace);
     if run.cycles() < samples.len() {
-        return None;
+        return Ok(None);
     }
-    let measured: Vec<f64> = run.register_series("y").ok()?[..samples.len()].to_vec();
+    let Ok(series) = run.register_series("y") else {
+        return Ok(None);
+    };
+    let measured: Vec<f64> = series[..samples.len()].to_vec();
     let ideal = filter.ideal_response(&samples);
-    Some(rmse(&measured, &ideal) / n)
+    Ok(Some(rmse(&measured, &ideal) / n))
 }
 
 /// Runs the experiment.
@@ -111,13 +156,14 @@ pub fn run(ctx: &ExpCtx) -> Report {
         .iter()
         .flat_map(|(n, counter, compiled)| {
             (0..runs).map(move |s| {
-                SweepJob::infallible(format!("counter n={n} seed={}", 11 + s), move |_job| {
-                    count_three(counter, compiled, 11 + s)
+                SweepJob::new(format!("counter n={n} seed={}", 11 + s), move |job| {
+                    count_three(counter, compiled, 11 + s, job)
                 })
             })
         })
         .collect();
     let counter_out = run_sweep(&counter_jobs, &ctx.sweep_options());
+    ctx.persist_summary("e10-counter", &counter_out.summary);
 
     report.line(format!(
         "counter (2 bits, 3 pulses) under Gillespie dynamics, {runs} seeds per amplitude:"
@@ -150,13 +196,14 @@ pub fn run(ctx: &ExpCtx) -> Report {
         .flat_map(|&n| {
             let (filter, compiled) = (&filter, &filter_compiled);
             (0..filter_runs).map(move |seed| {
-                SweepJob::infallible(format!("filter n={n} seed={}", 101 + seed), move |_job| {
-                    filter_noise(filter, compiled, n, 101 + seed)
+                SweepJob::new(format!("filter n={n} seed={}", 101 + seed), move |job| {
+                    filter_noise(filter, compiled, n, 101 + seed, job)
                 })
             })
         })
         .collect();
     let filter_out = run_sweep(&filter_jobs, &ctx.sweep_options());
+    ctx.persist_summary("e10-filter", &filter_out.summary);
 
     report.line(format!(
         "moving-average filter, odd/even stream, {filter_runs} seeds per amplitude:"

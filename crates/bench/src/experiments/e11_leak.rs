@@ -18,10 +18,10 @@
 //! buys instead is parallelism plus fault isolation: a diverging stiff
 //! integration at an extreme leak is a failed cell, not a dead report.
 
-use crate::{ExpCtx, Report};
+use crate::{sim_job_error, ExpCtx, Report};
 use molseq_crn::{Crn, RateAssignment};
 use molseq_dsd::{DsdParams, DsdSystem};
-use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
+use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, StepHook};
 use molseq_modules::{add, halve};
 use molseq_sweep::{run_sweep, JobError, SweepJob};
 
@@ -41,7 +41,12 @@ fn average_program() -> (Crn, [f64; 4], f64) {
 
 /// Runs the compiled program at one leak rate and fuel level; returns the
 /// output error.
-fn error_at_leak(leak: f64, fuel: f64, t_end: f64) -> Result<f64, JobError> {
+fn error_at_leak(
+    leak: f64,
+    fuel: f64,
+    t_end: f64,
+    hook: Option<StepHook<'_>>,
+) -> Result<f64, JobError> {
     let (formal, init, expected) = average_program();
     let y = formal.find_species("y").expect("exists");
     let params = DsdParams {
@@ -51,16 +56,20 @@ fn error_at_leak(leak: f64, fuel: f64, t_end: f64) -> Result<f64, JobError> {
     };
     let dsd = DsdSystem::compile(&formal, RateAssignment::default(), &params)
         .map_err(JobError::failed)?;
+    let mut opts = OdeOptions::default()
+        .with_t_end(t_end)
+        .with_record_interval(t_end / 50.0);
+    if let Some(hook) = hook {
+        opts = opts.with_step_hook(hook);
+    }
     let trace = simulate_ode(
         dsd.crn(),
         &dsd.initial_state(&init),
         &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(t_end)
-            .with_record_interval(t_end / 50.0),
+        &opts,
         &SimSpec::default(),
     )
-    .map_err(JobError::failed)?;
+    .map_err(sim_job_error)?;
     let fin = trace.final_state();
     let measured: f64 = dsd.apparent(y).iter().map(|s| fin[s.index()]).sum();
     Ok((measured - expected).abs())
@@ -80,12 +89,14 @@ pub fn run(ctx: &ExpCtx) -> Report {
     let leak_jobs: Vec<SweepJob<'_, f64>> = leaks
         .iter()
         .map(|&leak| {
-            SweepJob::new(format!("leak={leak:e}"), move |_job| {
-                error_at_leak(leak, default_fuel, t_end)
+            SweepJob::new(format!("leak={leak:e}"), move |job| {
+                let hook = job.step_hook();
+                error_at_leak(leak, default_fuel, t_end, Some(&hook))
             })
         })
         .collect();
     let leak_out = run_sweep(&leak_jobs, &ctx.sweep_options());
+    ctx.persist_summary("e11-leak", &leak_out.summary);
 
     report.line(format!(
         "combinational average y = (30 + 14)/2 compiled to DSD (fuel C = {default_fuel}); output error vs leak rate (t = {t_end})"
@@ -128,12 +139,14 @@ pub fn run(ctx: &ExpCtx) -> Report {
     let fuel_jobs: Vec<SweepJob<'_, f64>> = fuels
         .iter()
         .map(|&fuel| {
-            SweepJob::new(format!("fuel={fuel}"), move |_job| {
-                error_at_leak(leak, fuel, t_end)
+            SweepJob::new(format!("fuel={fuel}"), move |job| {
+                let hook = job.step_hook();
+                error_at_leak(leak, fuel, t_end, Some(&hook))
             })
         })
         .collect();
     let fuel_out = run_sweep(&fuel_jobs, &ctx.sweep_options());
+    ctx.persist_summary("e11-fuel", &fuel_out.summary);
 
     report.line(format!("error vs fuel pool at leak = {leak:.0e}:"));
     report.line("   fuel C | |error|".to_owned());
@@ -172,7 +185,7 @@ mod tests {
         let clean = report.metric_value("error without leak").unwrap();
         assert!(clean < 1.0, "{report}");
         let fuel = molseq_dsd::DsdParams::default().fuel;
-        let large_leak_err = super::error_at_leak(1e-9, fuel, 30.0).unwrap();
+        let large_leak_err = super::error_at_leak(1e-9, fuel, 30.0, None).unwrap();
         assert!(
             large_leak_err > clean + 0.5,
             "leak must hurt: {large_leak_err}"

@@ -11,11 +11,11 @@
 //! compiled once and re-bound per ratio, and the cells run in parallel
 //! with results in ratio order.
 
-use crate::{ExpCtx, Report};
+use crate::{sync_job_error, ExpCtx, Report};
 use molseq_crn::RateAssignment;
 use molseq_dsp::{moving_average, rmse};
 use molseq_kinetics::{CompiledCrn, SimSpec};
-use molseq_sweep::{run_sweep, JobError, SweepJob};
+use molseq_sweep::{run_sweep, SweepJob};
 use molseq_sync::{ClockSpec, RunConfig};
 
 /// The ratios swept by the figure.
@@ -45,18 +45,20 @@ pub fn run(ctx: &ExpCtx) -> Report {
         .iter()
         .map(|&ratio| {
             let (filter, ideal, samples, base) = (&filter, &ideal, &samples, &base);
-            SweepJob::new(format!("ratio={ratio}"), move |_job| {
+            SweepJob::new(format!("ratio={ratio}"), move |job| {
                 let spec = SimSpec::new(RateAssignment::from_ratio(ratio));
+                let hook = job.step_hook();
                 let config = RunConfig {
                     spec: spec.clone(),
                     // low separation makes phases long and mushy: allow
                     // more time
                     cycle_time_hint: if ratio < 100.0 { 120.0 } else { 45.0 },
+                    step_hook: Some(&hook),
                     ..RunConfig::default()
                 };
                 let measured = filter
                     .respond_compiled(&base.rebind(&spec), samples, &config)
-                    .map_err(JobError::failed)?;
+                    .map_err(sync_job_error)?;
                 let rms = rmse(&measured, ideal);
                 let max_err = measured
                     .iter()
@@ -68,6 +70,7 @@ pub fn run(ctx: &ExpCtx) -> Report {
         })
         .collect();
     let out = run_sweep(&jobs, &ctx.sweep_options());
+    ctx.persist_summary("e6", &out.summary);
 
     report.line("moving-average filter RMS error vs k_fast/k_slow".to_owned());
     report.line("   ratio |  RMS error | max |error| | period".to_owned());

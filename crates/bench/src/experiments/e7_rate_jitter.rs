@@ -12,11 +12,11 @@
 //! cell (not scheduling-dependent), so the report is byte-identical at
 //! any worker count.
 
-use crate::{ExpCtx, Report};
+use crate::{sync_job_error, ExpCtx, Report};
 use molseq_crn::{JitterSpec, RateJitter};
 use molseq_dsp::{moving_average, rmse};
 use molseq_kinetics::{CompiledCrn, SimSpec};
-use molseq_sweep::{run_sweep, JobError, SweepJob};
+use molseq_sweep::{run_sweep, SweepJob};
 use molseq_sync::{ClockSpec, RunConfig};
 
 /// Runs the experiment.
@@ -44,26 +44,29 @@ pub fn run(ctx: &ExpCtx) -> Report {
         .flat_map(|&sigma| {
             let (filter, ideal, samples, base) = (&filter, &ideal, &samples, &base);
             (0..draws).map(move |seed| {
-                SweepJob::new(format!("sigma={sigma} draw={seed}"), move |_job| {
+                SweepJob::new(format!("sigma={sigma} draw={seed}"), move |job| {
                     let jitter = RateJitter::sample(
                         filter.system().crn(),
                         JitterSpec::new(sigma, 1_000 + seed),
                     );
                     let spec = SimSpec::default().with_jitter(jitter);
+                    let hook = job.step_hook();
                     let config = RunConfig {
                         spec: spec.clone(),
                         cycle_time_hint: 90.0,
+                        step_hook: Some(&hook),
                         ..RunConfig::default()
                     };
                     let measured = filter
                         .respond_compiled(&base.rebind(&spec), samples, &config)
-                        .map_err(JobError::failed)?;
+                        .map_err(sync_job_error)?;
                     Ok(rmse(&measured, ideal))
                 })
             })
         })
         .collect();
     let out = run_sweep(&jobs, &ctx.sweep_options());
+    ctx.persist_summary("e7", &out.summary);
 
     report.line(format!(
         "moving-average RMS error under lognormal rate jitter ({draws} draws per sigma)"

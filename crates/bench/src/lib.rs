@@ -33,38 +33,50 @@ pub mod report;
 
 pub use report::Report;
 
-use molseq_sweep::SweepOptions;
+use molseq_kinetics::SimError;
+use molseq_sweep::{JobBudget, JobError, SweepOptions, SweepSummary};
+use molseq_sync::SyncError;
+use std::path::PathBuf;
 
-/// How an experiment should be run: workload size and sweep parallelism.
+/// How an experiment should be run: workload size, sweep parallelism,
+/// per-cell budgets, and where (if anywhere) to persist sweep summaries.
 ///
 /// The sweep-shaped experiments (E6/E7/E10/E11, A1/A2) fan their cells
 /// out on the [`molseq_sweep`] engine; `jobs` sets its worker count. The
 /// engine's per-cell results are deterministic in job order, so reports
-/// are byte-identical whatever `jobs` is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// are byte-identical whatever `jobs` is. `budget` is enforced *inside*
+/// each cell's simulation via the integrators' step hooks
+/// ([`molseq_kinetics::StepHook`]), so a runaway cell is cut off
+/// mid-integration instead of only between cells.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExpCtx {
     /// Reduced workload (used by tests and the criterion wrapper).
     pub quick: bool,
     /// Sweep worker threads: `0` = one per hardware thread, `1` = serial.
     pub jobs: usize,
+    /// Per-cell cooperative budget (steps and/or wall time).
+    pub budget: JobBudget,
+    /// When set, each sweep's [`SweepSummary`] is persisted under this
+    /// directory as `<id>.summary.json` and `<id>.summary.csv`.
+    pub summary_dir: Option<PathBuf>,
 }
 
 impl ExpCtx {
-    /// Full workload, auto parallelism.
+    /// Full workload, auto parallelism, unlimited budget.
     #[must_use]
     pub fn full() -> Self {
         ExpCtx {
             quick: false,
-            jobs: 0,
+            ..ExpCtx::default()
         }
     }
 
-    /// Reduced workload, auto parallelism.
+    /// Reduced workload, auto parallelism, unlimited budget.
     #[must_use]
     pub fn quick() -> Self {
         ExpCtx {
             quick: true,
-            jobs: 0,
+            ..ExpCtx::default()
         }
     }
 
@@ -75,10 +87,70 @@ impl ExpCtx {
         self
     }
 
+    /// Sets the per-cell budget (builder style).
+    #[must_use]
+    pub fn with_budget(mut self, budget: JobBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the summary persistence directory (builder style).
+    #[must_use]
+    pub fn with_summary_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.summary_dir = Some(dir.into());
+        self
+    }
+
     /// The sweep-engine options this context implies.
     #[must_use]
     pub fn sweep_options(&self) -> SweepOptions {
-        SweepOptions::default().with_workers(self.jobs)
+        SweepOptions::default()
+            .with_workers(self.jobs)
+            .with_budget(self.budget)
+    }
+
+    /// Persists `summary` as `<summary_dir>/<id>.summary.{json,csv}` when a
+    /// summary directory is configured; a no-op otherwise. I/O failures are
+    /// reported on stderr, not propagated — summary persistence must never
+    /// fail an experiment.
+    pub fn persist_summary(&self, id: &str, summary: &SweepSummary) {
+        let Some(dir) = &self.summary_dir else {
+            return;
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create summary dir {}: {e}", dir.display());
+            return;
+        }
+        for (ext, body) in [("json", summary.to_json()), ("csv", summary.to_csv())] {
+            let path = dir.join(format!("{id}.summary.{ext}"));
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Maps a harness error to the sweep's job-error taxonomy: a cooperative
+/// interruption (step hook / budget) is [`JobError::BudgetExceeded`],
+/// anything else a plain failure.
+#[must_use]
+pub fn sync_job_error(e: SyncError) -> JobError {
+    match e {
+        SyncError::Simulation(SimError::Interrupted { time, reason }) => {
+            JobError::BudgetExceeded(format!("interrupted at t = {time}: {reason}"))
+        }
+        other => JobError::failed(other),
+    }
+}
+
+/// [`sync_job_error`] for raw simulator errors.
+#[must_use]
+pub fn sim_job_error(e: SimError) -> JobError {
+    match e {
+        SimError::Interrupted { time, reason } => {
+            JobError::BudgetExceeded(format!("interrupted at t = {time}: {reason}"))
+        }
+        other => JobError::failed(other),
     }
 }
 

@@ -1,0 +1,58 @@
+//! Integration tests for the cooperative per-cell budget path: a tight
+//! step budget must cut sweep cells off *inside* the integration loop
+//! (via the kinetics step hooks), surface as `BudgetExceeded` rows in the
+//! sweep summary, and never panic or abort the experiment. With a step
+//! (not wall) budget the outcome is deterministic, so reports stay
+//! byte-identical across worker counts even when cells are interrupted.
+
+use molseq_bench::{all_experiments, ExpCtx};
+use molseq_sweep::JobBudget;
+
+fn tight_ctx(jobs: usize) -> ExpCtx {
+    // ~200 integrator steps is far below what any E6 cell needs: every
+    // cell must hit the budget mid-integration.
+    ExpCtx::quick()
+        .with_jobs(jobs)
+        .with_budget(JobBudget::unlimited().with_max_steps(200))
+}
+
+fn run_e6(ctx: &ExpCtx) -> String {
+    let (_, _, runner) = all_experiments()
+        .into_iter()
+        .find(|(id, _, _)| *id == "e6")
+        .expect("e6 exists");
+    runner(ctx).to_string()
+}
+
+#[test]
+fn step_budget_interrupts_cells_without_crashing() {
+    let report = run_e6(&tight_ctx(2));
+    assert!(
+        report.contains("interrupted at t ="),
+        "budget interruption should surface in the report:\n{report}"
+    );
+}
+
+#[test]
+fn interrupted_reports_are_deterministic_across_worker_counts() {
+    let serial = run_e6(&tight_ctx(1));
+    let parallel = run_e6(&tight_ctx(4));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn summary_persistence_records_budget_failures() {
+    let dir = std::env::temp_dir().join(format!("molseq-budget-summary-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ctx = tight_ctx(2).with_summary_dir(&dir);
+    run_e6(&ctx);
+
+    let json = std::fs::read_to_string(dir.join("e6.summary.json")).expect("summary json");
+    let csv = std::fs::read_to_string(dir.join("e6.summary.csv")).expect("summary csv");
+    assert!(
+        json.contains("BudgetExceeded"),
+        "summary should classify interrupted cells as budget failures:\n{json}"
+    );
+    assert!(csv.contains("BudgetExceeded"), "{csv}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -86,6 +86,6 @@ pub use error::SyncError;
 pub use fsm::Fsm;
 pub use measure::{stored_final_value, stored_value_at, stored_value_terms};
 pub use programs::{IterativeLog2, IterativeMultiplier};
-pub use runner::{run_cycles, run_cycles_compiled, RunConfig, SyncRun};
+pub use runner::{run_cycles, run_cycles_compiled, run_cycles_with_workspace, RunConfig, SyncRun};
 pub use scheme::{ClockSpec, SchemeBuilder, SchemeConfig};
 pub use system::{ClockHandles, CompiledSystem, RegisterHandles};

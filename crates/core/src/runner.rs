@@ -7,13 +7,14 @@
 
 use crate::{CompiledSystem, SyncError};
 use molseq_kinetics::{
-    simulate_ode_compiled, CompiledCrn, OdeMethod, OdeOptions, Schedule, SimError, SimSpec, Trace,
+    simulate_ode_with_workspace, CompiledCrn, OdeMethod, OdeOptions, OdeWorkspace, Schedule,
+    SimError, SimSpec, StepHook, Trace,
 };
 use std::collections::HashMap;
 
 /// Configuration for [`run_cycles`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct RunConfig {
+#[derive(Clone)]
+pub struct RunConfig<'h> {
     /// Kinetic interpretation (rate assignment + jitter).
     pub spec: SimSpec,
     /// Initial guess for the duration of one clock cycle, in simulated
@@ -27,9 +28,43 @@ pub struct RunConfig {
     pub record_interval: f64,
     /// Integration method.
     pub method: OdeMethod,
+    /// Optional cooperative interruption hook, forwarded to the
+    /// integrator (see [`molseq_kinetics::StepHook`]). The cumulative step
+    /// count restarts at every horizon-doubling retry.
+    pub step_hook: Option<StepHook<'h>>,
 }
 
-impl Default for RunConfig {
+impl std::fmt::Debug for RunConfig<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunConfig")
+            .field("spec", &self.spec)
+            .field("cycle_time_hint", &self.cycle_time_hint)
+            .field("max_extensions", &self.max_extensions)
+            .field("record_interval", &self.record_interval)
+            .field("method", &self.method)
+            .field("step_hook", &self.step_hook.map(|_| "<hook>"))
+            .finish()
+    }
+}
+
+impl PartialEq for RunConfig<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.cycle_time_hint == other.cycle_time_hint
+            && self.max_extensions == other.max_extensions
+            && self.record_interval == other.record_interval
+            && self.method == other.method
+            && match (self.step_hook, other.step_hook) {
+                (None, None) => true,
+                (Some(a), Some(b)) => {
+                    std::ptr::eq(a as *const _ as *const (), b as *const _ as *const ())
+                }
+                _ => false,
+            }
+    }
+}
+
+impl Default for RunConfig<'_> {
     /// Paper-default rates, 12 time units per cycle as the initial guess,
     /// up to 4 horizon doublings, stiff (Rosenbrock) integration.
     fn default() -> Self {
@@ -42,6 +77,7 @@ impl Default for RunConfig {
                 rtol: 1e-5,
                 atol: 1e-8,
             },
+            step_hook: None,
         }
     }
 }
@@ -228,6 +264,26 @@ pub fn run_cycles_compiled(
     cycles: usize,
     config: &RunConfig,
 ) -> Result<SyncRun, SyncError> {
+    let mut workspace = OdeWorkspace::new();
+    run_cycles_with_workspace(system, compiled, inputs, cycles, config, &mut workspace)
+}
+
+/// Like [`run_cycles_compiled`], but reuses the caller's
+/// [`OdeWorkspace`] across harness calls (and across the internal
+/// horizon-doubling retries), so sweeps allocate integrator buffers once
+/// per worker instead of once per cell.
+///
+/// # Errors
+///
+/// Same conditions as [`run_cycles`].
+pub fn run_cycles_with_workspace(
+    system: &CompiledSystem,
+    compiled: &CompiledCrn,
+    inputs: &[(&str, &[f64])],
+    cycles: usize,
+    config: &RunConfig,
+    workspace: &mut OdeWorkspace,
+) -> Result<SyncRun, SyncError> {
     if cycles == 0 {
         return Err(SyncError::InvalidAmount { value: 0.0 });
     }
@@ -242,12 +298,27 @@ pub fn run_cycles_compiled(
     let mut last_err: Option<SimError> = None;
     let mut best_found = 0usize;
     for _ in 0..=config.max_extensions {
-        let opts = OdeOptions::default()
+        let mut opts = OdeOptions::default()
             .with_t_end(t_end)
             .with_record_interval(config.record_interval)
             .with_method(config.method);
-        let trace = match simulate_ode_compiled(system.crn(), compiled, &init, &schedule, &opts) {
+        if let Some(hook) = config.step_hook {
+            opts = opts.with_step_hook(hook);
+        }
+        let trace = match simulate_ode_with_workspace(
+            system.crn(),
+            compiled,
+            &init,
+            &schedule,
+            &opts,
+            workspace,
+        ) {
             Ok(t) => t,
+            Err(e @ SimError::Interrupted { .. }) => {
+                // a cooperative budget fired: retrying on a doubled
+                // horizon would be interrupted again immediately
+                return Err(SyncError::Simulation(e));
+            }
             Err(e) => {
                 last_err = Some(e);
                 t_end *= 2.0;

@@ -1,7 +1,43 @@
 //! Compilation of a [`Crn`] into flat arrays for fast simulation.
+//!
+//! Besides the per-reaction records, compilation precomputes the sparsity
+//! structure of the mass-action Jacobian: mass-action CRNs from the
+//! synchronous-logic construction are extremely sparse (each reaction
+//! touches at most a handful of the tens-to-hundreds of species), so the
+//! Jacobian has `O(reactions)` nonzeros rather than `n²`. The pattern is
+//! stored CSR-style (`row_ptr`/`col_idx`) together with a flat
+//! scatter-slot table that maps every `(reaction, reactant, delta)`
+//! contribution to its nonzero slot, letting
+//! [`jacobian_sparse`](CompiledCrn::jacobian_sparse) fill only the
+//! nonzeros in one pass with no searching.
 
 use crate::SimSpec;
 use molseq_crn::{Crn, Rate};
+
+/// `x^s` for the small stoichiometries used in this workspace (1..=3),
+/// unrolled into straight multiplies; falls back to `powi` beyond.
+#[inline]
+pub(crate) fn pow_stoich(x: f64, s: u32) -> f64 {
+    match s {
+        0 => 1.0,
+        1 => x,
+        2 => x * x,
+        3 => x * x * x,
+        _ => x.powi(s as i32),
+    }
+}
+
+/// `x^(s−1)` for `s ≥ 1`, unrolled like [`pow_stoich`]. Matches
+/// `x.powi(s-1)` including the `0^0 = 1` convention at `s = 1`.
+#[inline]
+fn pow_stoich_minus_one(x: f64, s: u32) -> f64 {
+    match s {
+        1 => 1.0,
+        2 => x,
+        3 => x * x,
+        _ => x.powi(s as i32 - 1),
+    }
+}
 
 /// One reaction, flattened: resolved numeric rate, reactant exponents and a
 /// sparse net-change (delta) list.
@@ -42,13 +78,21 @@ pub(crate) struct CompiledReaction {
 pub struct CompiledCrn {
     species_count: usize,
     pub(crate) reactions: Vec<CompiledReaction>,
+    /// CSR row pointers of the Jacobian sparsity pattern (`n + 1` long).
+    jac_row_ptr: Vec<usize>,
+    /// CSR column indices, sorted within each row (`nnz` long).
+    jac_col_idx: Vec<usize>,
+    /// For every `(reaction, reactant jj, delta ii)` contribution — in the
+    /// exact iteration order of [`jacobian`](Self::jacobian) — the index of
+    /// the nonzero slot it accumulates into.
+    jac_slots: Vec<usize>,
 }
 
 impl CompiledCrn {
     /// Compiles `crn` under `spec`.
     #[must_use]
     pub fn new(crn: &Crn, spec: &SimSpec) -> Self {
-        let reactions = crn
+        let reactions: Vec<CompiledReaction> = crn
             .reactions()
             .iter()
             .enumerate()
@@ -78,9 +122,14 @@ impl CompiledCrn {
                 }
             })
             .collect();
+        let (jac_row_ptr, jac_col_idx, jac_slots) =
+            build_jacobian_pattern(crn.species_count(), &reactions);
         CompiledCrn {
             species_count: crn.species_count(),
             reactions,
+            jac_row_ptr,
+            jac_col_idx,
+            jac_slots,
         }
     }
 
@@ -132,8 +181,9 @@ impl CompiledCrn {
         let r = &self.reactions[j];
         let mut f = r.k;
         for &(i, stoich) in &r.reactants {
-            // stoichiometries in this workspace are 1..=3; powi is exact
-            f *= x[i].powi(stoich as i32);
+            // stoichiometries in this workspace are 1..=3; the unrolled
+            // multiply is exact (and matches powi bit-for-bit)
+            f *= pow_stoich(x[i], stoich);
         }
         f
     }
@@ -155,7 +205,7 @@ impl CompiledCrn {
             let mut f = r.k;
             for &(i, stoich) in &r.reactants {
                 let xi = x[i].max(0.0);
-                f *= xi.powi(stoich as i32);
+                f *= pow_stoich(xi, stoich);
             }
             if f == 0.0 {
                 continue;
@@ -186,10 +236,10 @@ impl CompiledCrn {
             for (jj, &(j, s_j)) in r.reactants.iter().enumerate() {
                 let mut partial = r.k * f64::from(s_j);
                 let xj = x[j].max(0.0);
-                partial *= xj.powi(s_j as i32 - 1);
+                partial *= pow_stoich_minus_one(xj, s_j);
                 for (ii, &(i, s_i)) in r.reactants.iter().enumerate() {
                     if ii != jj {
-                        partial *= x[i].max(0.0).powi(s_i as i32);
+                        partial *= pow_stoich(x[i].max(0.0), s_i);
                     }
                 }
                 if partial == 0.0 {
@@ -198,6 +248,79 @@ impl CompiledCrn {
                 for &(i, d) in &r.delta {
                     jac[i * n + j] += d * partial;
                 }
+            }
+        }
+    }
+
+    /// Writes the nonzero values of the analytic Jacobian into `vals`,
+    /// aligned with the precomputed CSR pattern (`jacobian_nnz()` long,
+    /// rows delimited by the pattern's row pointers).
+    ///
+    /// The accumulation order per nonzero is identical to
+    /// [`jacobian`](Self::jacobian), so the two paths agree bit-for-bit:
+    /// scattering `vals` through the pattern reproduces the dense matrix
+    /// exactly (see [`jacobian_sparse_to_dense`](Self::jacobian_sparse_to_dense)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `species_count()` long or `vals` is not
+    /// `jacobian_nnz()` long.
+    pub fn jacobian_sparse(&self, x: &[f64], vals: &mut [f64]) {
+        assert_eq!(x.len(), self.species_count);
+        assert_eq!(vals.len(), self.jac_col_idx.len());
+        vals.fill(0.0);
+        let mut cursor = 0usize;
+        for r in &self.reactions {
+            for (jj, &(j, s_j)) in r.reactants.iter().enumerate() {
+                let mut partial = r.k * f64::from(s_j);
+                let xj = x[j].max(0.0);
+                partial *= pow_stoich_minus_one(xj, s_j);
+                for (ii, &(i, s_i)) in r.reactants.iter().enumerate() {
+                    if ii != jj {
+                        partial *= pow_stoich(x[i].max(0.0), s_i);
+                    }
+                }
+                if partial == 0.0 {
+                    cursor += r.delta.len();
+                    continue;
+                }
+                for &(_, d) in &r.delta {
+                    vals[self.jac_slots[cursor]] += d * partial;
+                    cursor += 1;
+                }
+            }
+        }
+    }
+
+    /// Number of structural nonzeros in the Jacobian sparsity pattern.
+    #[must_use]
+    pub fn jacobian_nnz(&self) -> usize {
+        self.jac_col_idx.len()
+    }
+
+    /// The CSR Jacobian pattern as `(row_ptr, col_idx)`: row `i`'s nonzero
+    /// columns are `col_idx[row_ptr[i]..row_ptr[i + 1]]`, sorted ascending.
+    #[must_use]
+    pub fn jacobian_pattern(&self) -> (&[usize], &[usize]) {
+        (&self.jac_row_ptr, &self.jac_col_idx)
+    }
+
+    /// Scatters sparse Jacobian values (as written by
+    /// [`jacobian_sparse`](Self::jacobian_sparse)) into a dense row-major
+    /// `n × n` matrix. Entries outside the pattern are set to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is not `jacobian_nnz()` long or `jac` is not
+    /// `species_count()²` long.
+    pub fn jacobian_sparse_to_dense(&self, vals: &[f64], jac: &mut [f64]) {
+        let n = self.species_count;
+        assert_eq!(vals.len(), self.jac_col_idx.len());
+        assert_eq!(jac.len(), n * n);
+        jac.fill(0.0);
+        for i in 0..n {
+            for s in self.jac_row_ptr[i]..self.jac_row_ptr[i + 1] {
+                jac[i * n + self.jac_col_idx[s]] = vals[s];
             }
         }
     }
@@ -248,6 +371,49 @@ impl CompiledCrn {
             n[i] = (n[i] + d).max(0);
         }
     }
+}
+
+/// Builds the CSR Jacobian pattern and the flat scatter-slot table.
+///
+/// A reaction with reactant `j` and net change on species `i` contributes
+/// to `J[i][j]`; the pattern is the union of those `(i, j)` pairs. Slots
+/// are emitted in the exact loop order of `CompiledCrn::jacobian`
+/// (reaction → reactant `jj` → delta `ii`) so `jacobian_sparse` can walk
+/// them with a single cursor.
+fn build_jacobian_pattern(
+    species_count: usize,
+    reactions: &[CompiledReaction],
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut entries: Vec<(usize, usize)> = Vec::new();
+    for r in reactions {
+        for &(j, _) in &r.reactants {
+            for &(i, _) in &r.delta {
+                entries.push((i, j));
+            }
+        }
+    }
+    entries.sort_unstable();
+    entries.dedup();
+
+    let mut row_ptr = vec![0usize; species_count + 1];
+    for &(i, _) in &entries {
+        row_ptr[i + 1] += 1;
+    }
+    for i in 0..species_count {
+        row_ptr[i + 1] += row_ptr[i];
+    }
+    let col_idx: Vec<usize> = entries.iter().map(|&(_, j)| j).collect();
+
+    let mut slots = Vec::new();
+    for r in reactions {
+        for &(j, _) in &r.reactants {
+            for &(i, _) in &r.delta {
+                let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+                slots.push(row_ptr[i] + row.partition_point(|&c| c < j));
+            }
+        }
+    }
+    (row_ptr, col_idx, slots)
 }
 
 #[cfg(test)]
@@ -336,6 +502,66 @@ mod tests {
         assert_eq!(base.rebind(&spec), CompiledCrn::new(&crn, &spec));
         // and rebinding back recovers the original
         assert_eq!(base.rebind(&SimSpec::default()), base);
+    }
+
+    #[test]
+    fn sparse_jacobian_matches_dense_bitwise() {
+        let crn = network();
+        let c = CompiledCrn::new(&crn, &SimSpec::new(RateAssignment::new(10.0, 2.0).unwrap()));
+        let n = c.species_count();
+        for x in [
+            vec![0.0, 3.0, 0.0, 0.0, 5.0],
+            vec![1.5, 0.25, 7.0, 2.0, 0.0],
+            vec![-1.0, 2.0, 3.0, -0.5, 4.0], // clamping must agree too
+        ] {
+            let mut dense = vec![0.0; n * n];
+            c.jacobian(&x, &mut dense);
+            let mut vals = vec![0.0; c.jacobian_nnz()];
+            c.jacobian_sparse(&x, &mut vals);
+            let mut scattered = vec![0.0; n * n];
+            c.jacobian_sparse_to_dense(&vals, &mut scattered);
+            assert_eq!(dense, scattered, "at x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_covers_exactly_the_structural_nonzeros() {
+        let crn = network();
+        let c = CompiledCrn::new(&crn, &SimSpec::default());
+        let n = c.species_count();
+        let (row_ptr, col_idx) = c.jacobian_pattern();
+        assert_eq!(row_ptr.len(), n + 1);
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len());
+        // rows sorted, no duplicates
+        for i in 0..n {
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {i}: {row:?}");
+        }
+        // a dense Jacobian at a generic positive state is nonzero only
+        // inside the pattern
+        let x = vec![1.1, 2.3, 0.7, 1.9, 3.1];
+        let mut dense = vec![0.0; n * n];
+        c.jacobian(&x, &mut dense);
+        for i in 0..n {
+            for j in 0..n {
+                if dense[i * n + j] != 0.0 {
+                    let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+                    assert!(row.contains(&j), "({i},{j}) outside pattern");
+                }
+            }
+        }
+        // sparsity actually pays off on this network
+        assert!(c.jacobian_nnz() < n * n);
+    }
+
+    #[test]
+    fn pattern_survives_rebind() {
+        let crn = network();
+        let base = CompiledCrn::new(&crn, &SimSpec::default());
+        let spec = SimSpec::new(RateAssignment::from_ratio(1e4));
+        let rebound = base.rebind(&spec);
+        assert_eq!(base.jacobian_pattern(), rebound.jacobian_pattern());
+        assert_eq!(base.jacobian_nnz(), rebound.jacobian_nnz());
     }
 
     #[test]

@@ -45,6 +45,15 @@ pub enum SimError {
         /// The offending amount.
         amount: f64,
     },
+    /// A step hook (see `OdeOptions::with_step_hook` /
+    /// `SsaOptions::with_step_hook`) asked the simulator to stop — e.g. a
+    /// sweep cell exceeded its cooperative wall/step budget mid-run.
+    Interrupted {
+        /// Simulated time at which the hook interrupted the run.
+        time: f64,
+        /// The hook's stated reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -73,6 +82,9 @@ impl fmt::Display for SimError {
                 f,
                 "amount {amount} is not a non-negative integer copy number"
             ),
+            SimError::Interrupted { time, reason } => {
+                write!(f, "interrupted by step hook at t = {time}: {reason}")
+            }
         }
     }
 }
@@ -85,7 +97,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let errors: [SimError; 5] = [
+        let errors: [SimError; 6] = [
             SimError::StepLimitExceeded {
                 reached: 1.0,
                 t_end: 2.0,
@@ -104,6 +116,10 @@ mod tests {
                 t_end: 0.0,
             },
             SimError::NonIntegerAmount { amount: 0.5 },
+            SimError::Interrupted {
+                time: 3.0,
+                reason: "budget".into(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

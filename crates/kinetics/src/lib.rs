@@ -64,7 +64,8 @@ pub use error::SimError;
 pub use events::{Condition, Injection, Schedule, Trigger, TriggerAction};
 pub use nrm::simulate_nrm;
 pub use ode::{
-    simulate_ode, simulate_ode_compiled, simulate_until_quiescent, OdeMethod, OdeOptions,
+    simulate_ode, simulate_ode_compiled, simulate_ode_with_workspace, simulate_until_quiescent,
+    OdeMethod, OdeOptions, OdeWorkspace, StepHook, DEFAULT_JACOBIAN_REUSE,
 };
 pub use plot::{downsample, render_species, sparkline};
 pub use ssa::{simulate_ssa, simulate_ssa_compiled, SsaOptions};

@@ -25,6 +25,32 @@ use crate::compiled::CompiledCrn;
 use crate::events::TriggerRuntime;
 use crate::{Schedule, SimError, SimSpec, State, Trace};
 use molseq_crn::Crn;
+use std::ops::ControlFlow;
+
+/// A cooperative interruption hook polled once per integrator step (or
+/// stochastic event) with the cumulative step count and the current
+/// simulated time. Returning `ControlFlow::Break(reason)` aborts the run
+/// with [`SimError::Interrupted`].
+///
+/// This is how the sweep engine's wall/step budgets reach *inside* a
+/// simulation: `molseq-sweep`'s `JobCtx::step_hook` adapts
+/// `record_steps`/`check` to this signature, so a runaway cell is stopped
+/// mid-integration instead of only between cells.
+pub type StepHook<'h> = &'h dyn Fn(u64, f64) -> ControlFlow<String>;
+
+/// Number of accepted steps the default configuration reuses a Jacobian
+/// for before re-evaluating it (see [`OdeOptions::with_jacobian_reuse`]).
+///
+/// The default is `0` — evaluate every step. ode23s is not a W-method:
+/// its order conditions assume a current Jacobian, so a lagged one
+/// inflates the embedded error estimate and the controller responds by
+/// rejecting and retrying (measured on the paper's workloads: any
+/// nonzero reuse roughly *doubles* trial-step counts, eating the saved
+/// factorizations and more). The Jacobian evaluation itself is cheap
+/// here anyway (`jacobian_sparse` fills only the precomputed nonzeros);
+/// reuse remains available as an opt-in for systems whose Jacobian is
+/// genuinely slowly varying.
+pub const DEFAULT_JACOBIAN_REUSE: usize = 0;
 
 /// Integration method selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,19 +102,60 @@ impl Default for OdeMethod {
 ///     .with_method(OdeMethod::Rk4 { h: 1e-3 });
 /// assert_eq!(opts.t_end(), 50.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct OdeOptions {
+#[derive(Clone, Copy)]
+pub struct OdeOptions<'h> {
     method: OdeMethod,
     t_start: f64,
     t_end: f64,
     record_interval: f64,
     h_max: f64,
     max_steps: usize,
+    jacobian_reuse: usize,
+    step_hook: Option<StepHook<'h>>,
 }
 
-impl Default for OdeOptions {
+impl std::fmt::Debug for OdeOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OdeOptions")
+            .field("method", &self.method)
+            .field("t_start", &self.t_start)
+            .field("t_end", &self.t_end)
+            .field("record_interval", &self.record_interval)
+            .field("h_max", &self.h_max)
+            .field("max_steps", &self.max_steps)
+            .field("jacobian_reuse", &self.jacobian_reuse)
+            .field("step_hook", &self.step_hook.map(|_| "<hook>"))
+            .finish()
+    }
+}
+
+impl PartialEq for OdeOptions<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.method == other.method
+            && self.t_start == other.t_start
+            && self.t_end == other.t_end
+            && self.record_interval == other.record_interval
+            && self.h_max == other.h_max
+            && self.max_steps == other.max_steps
+            && self.jacobian_reuse == other.jacobian_reuse
+            && hooks_eq(self.step_hook, other.step_hook)
+    }
+}
+
+/// Hooks compare by identity (same closure object), not behavior.
+pub(crate) fn hooks_eq(a: Option<StepHook<'_>>, b: Option<StepHook<'_>>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => std::ptr::eq(a as *const _ as *const (), b as *const _ as *const ()),
+        _ => false,
+    }
+}
+
+impl Default for OdeOptions<'_> {
     /// Rosenbrock with `rtol = 1e-6`, `atol = 1e-9`, span `[0, 10]`,
-    /// recording every `0.1` time units, budget of 20 million steps.
+    /// recording every `0.1` time units, budget of 20 million steps,
+    /// Jacobian reuse of [`DEFAULT_JACOBIAN_REUSE`] accepted steps, no
+    /// step hook.
     fn default() -> Self {
         OdeOptions {
             method: OdeMethod::default(),
@@ -97,11 +164,13 @@ impl Default for OdeOptions {
             record_interval: 0.1,
             h_max: 0.25,
             max_steps: 20_000_000,
+            jacobian_reuse: DEFAULT_JACOBIAN_REUSE,
+            step_hook: None,
         }
     }
 }
 
-impl OdeOptions {
+impl<'h> OdeOptions<'h> {
     /// Sets the integration method (builder style).
     #[must_use]
     pub fn with_method(mut self, method: OdeMethod) -> Self {
@@ -146,6 +215,31 @@ impl OdeOptions {
         self
     }
 
+    /// Sets how many accepted steps the Rosenbrock integrator may reuse a
+    /// Jacobian for before re-evaluating it (builder style). `0` (the
+    /// default, see [`DEFAULT_JACOBIAN_REUSE`]) evaluates every step. The
+    /// Jacobian is always refreshed after a rejected step and at
+    /// discontinuities (injections, trigger firings), so reuse trades a
+    /// bounded amount of step-size efficiency — never stability — for
+    /// skipping `jacobian` + LU-factorization work. On this workspace's
+    /// stiff autocatalytic networks the trade is a net loss (staleness
+    /// triggers rejections), hence the conservative default; the knob is
+    /// for slowly varying systems.
+    #[must_use]
+    pub fn with_jacobian_reuse(mut self, accepted_steps: usize) -> Self {
+        self.jacobian_reuse = accepted_steps;
+        self
+    }
+
+    /// Installs a cooperative interruption hook (builder style), polled
+    /// once per attempted step with `(cumulative steps, current time)`.
+    /// See [`StepHook`].
+    #[must_use]
+    pub fn with_step_hook(mut self, hook: StepHook<'h>) -> Self {
+        self.step_hook = Some(hook);
+        self
+    }
+
     /// The configured end time.
     #[must_use]
     pub fn t_end(&self) -> f64 {
@@ -156,6 +250,68 @@ impl OdeOptions {
     #[must_use]
     pub fn t_start(&self) -> f64 {
         self.t_start
+    }
+
+    /// The configured Jacobian reuse horizon, in accepted steps.
+    #[must_use]
+    pub fn jacobian_reuse(&self) -> usize {
+        self.jacobian_reuse
+    }
+}
+
+/// Reusable integrator buffers: the step scratch (`Scratch` /
+/// `RosenbrockWork`, including the cached Jacobian + LU), the previous
+/// state, and the interpolation buffer for recorded samples.
+///
+/// One workspace serves any number of [`simulate_ode_with_workspace`]
+/// calls; buffers are lazily (re)sized to the network and method of each
+/// call, and all cached numerical state is invalidated on entry, so a
+/// reused workspace produces bit-identical results to a fresh one. This
+/// removes every per-segment and per-record allocation from the hot path:
+/// multi-cycle harness runs and sweep cells allocate integrator storage
+/// once instead of once per injection segment.
+#[derive(Default)]
+pub struct OdeWorkspace {
+    scratch: Option<Scratch>,
+    rosenbrock: Option<crate::stiff::RosenbrockWork>,
+    x: Vec<f64>,
+    x_prev: Vec<f64>,
+    sample: Vec<f64>,
+}
+
+impl OdeWorkspace {
+    /// An empty workspace; buffers are allocated on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        OdeWorkspace::default()
+    }
+
+    /// Sizes the buffers for `compiled` + `method`, loads `init` into the
+    /// state vector, and invalidates any cached Jacobian/LU state.
+    fn prepare(&mut self, compiled: &CompiledCrn, method: OdeMethod, init: &[f64]) {
+        let n = compiled.species_count();
+        self.x.clear();
+        self.x.extend_from_slice(init);
+        self.x_prev.clear();
+        self.x_prev.resize(n, 0.0);
+        self.sample.clear();
+        self.sample.resize(n, 0.0);
+        match method {
+            OdeMethod::Rosenbrock { .. } => {
+                // `matches` compares the Jacobian pattern, not just sizes:
+                // the workspace carries a symbolic factorization specific
+                // to that pattern.
+                match &mut self.rosenbrock {
+                    Some(work) if work.matches(compiled) => work.invalidate(),
+                    slot => *slot = Some(crate::stiff::RosenbrockWork::new(compiled)),
+                }
+            }
+            OdeMethod::Rk4 { .. } | OdeMethod::CashKarp { .. } => {
+                if self.scratch.as_ref().map(Scratch::len) != Some(n) {
+                    self.scratch = Some(Scratch::new(n));
+                }
+            }
+        }
     }
 }
 
@@ -202,6 +358,30 @@ pub fn simulate_ode_compiled(
     schedule: &Schedule,
     opts: &OdeOptions,
 ) -> Result<Trace, SimError> {
+    let mut workspace = OdeWorkspace::new();
+    simulate_ode_with_workspace(crn, compiled, init, schedule, opts, &mut workspace)
+}
+
+/// Like [`simulate_ode_compiled`], but reuses the caller's
+/// [`OdeWorkspace`] so repeated calls (multi-cycle harness retries, sweep
+/// cells) do not re-allocate integrator buffers.
+///
+/// All cached numerical state in the workspace is invalidated on entry:
+/// the result is bit-identical to [`simulate_ode_compiled`] with a fresh
+/// workspace.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_ode_compiled`], plus
+/// [`SimError::Interrupted`] if a step hook breaks.
+pub fn simulate_ode_with_workspace(
+    crn: &Crn,
+    compiled: &CompiledCrn,
+    init: &State,
+    schedule: &Schedule,
+    opts: &OdeOptions,
+    workspace: &mut OdeWorkspace,
+) -> Result<Trace, SimError> {
     if compiled.species_count() != crn.species_count() {
         return Err(SimError::DimensionMismatch {
             supplied: compiled.species_count(),
@@ -221,12 +401,12 @@ pub fn simulate_ode_compiled(
         });
     }
 
-    let mut x = init.as_slice().to_vec();
+    workspace.prepare(compiled, opts.method, init.as_slice());
     let mut t = opts.t_start;
-    let mut trace = Trace::new(crn);
-    trace.push(t, &x);
+    let mut trace = Trace::with_capacity(crn, expected_records(opts, schedule));
+    trace.push(t, &workspace.x);
 
-    let mut triggers = TriggerRuntime::new(schedule, &x);
+    let mut triggers = TriggerRuntime::new(schedule, &workspace.x);
     let injections = schedule.sorted_injections();
     let mut next_injection = 0usize;
     let mut next_record = opts.t_start + opts.record_interval;
@@ -244,7 +424,7 @@ pub fn simulate_ode_compiled(
         if segment_end > t {
             integrate_segment(
                 compiled,
-                &mut x,
+                workspace,
                 &mut t,
                 segment_end,
                 opts,
@@ -261,7 +441,7 @@ pub fn simulate_ode_compiled(
         let mut injected = false;
         while let Some(inj) = injections.get(next_injection) {
             if inj.time <= t + 1e-12 {
-                x[inj.species.index()] += inj.amount;
+                workspace.x[inj.species.index()] += inj.amount;
                 next_injection += 1;
                 injected = true;
             } else {
@@ -269,15 +449,33 @@ pub fn simulate_ode_compiled(
             }
         }
         if injected {
-            trace.push(t, &x);
-            for fired in triggers.poll(schedule, t, &mut x) {
+            trace.push(t, &workspace.x);
+            for fired in triggers.poll(schedule, t, &mut workspace.x) {
                 trace.push_mark(t, fired);
+            }
+            // the state jumped: any cached Jacobian is for the old state
+            if let Some(work) = workspace.rosenbrock.as_mut() {
+                work.invalidate();
             }
         }
     }
 
-    trace.push(t, &x);
+    trace.push(t, &workspace.x);
     Ok(trace)
+}
+
+/// Expected number of recorded samples, used to preallocate the trace:
+/// one per recording interval plus one per injection plus the endpoints.
+/// Trigger firings add a few more; the estimate is a capacity hint, not a
+/// bound, and is capped so absurd intervals cannot over-reserve.
+fn expected_records(opts: &OdeOptions, schedule: &Schedule) -> usize {
+    let span = opts.t_end - opts.t_start;
+    let regular = if opts.record_interval.is_finite() && opts.record_interval > 0.0 {
+        (span / opts.record_interval).ceil() as usize
+    } else {
+        0
+    };
+    (regular + schedule.injections().len() + 2).min(1 << 20)
 }
 
 /// Integrates until the system is *quiescent* — every component of the
@@ -348,6 +546,8 @@ pub fn simulate_until_quiescent(
     let mut state = init.clone();
     let mut full_trace: Option<Trace> = None;
     let mut settled = None;
+    let mut workspace = OdeWorkspace::new();
+    let mut dx = vec![0.0; state.len()];
 
     while t < opts.t_end() - 1e-12 {
         let t_next = (t + chunk).min(opts.t_end());
@@ -362,7 +562,14 @@ pub fn simulate_until_quiescent(
             }
         }
         let chunk_opts = (*opts).with_t_start(t).with_t_end(t_next);
-        let trace = simulate_ode_compiled(crn, &compiled, &state, &chunk_schedule, &chunk_opts)?;
+        let trace = simulate_ode_with_workspace(
+            crn,
+            &compiled,
+            &state,
+            &chunk_schedule,
+            &chunk_opts,
+            &mut workspace,
+        )?;
         state = State::from_vec(trace.final_state().to_vec());
         match &mut full_trace {
             None => full_trace = Some(trace),
@@ -371,7 +578,6 @@ pub fn simulate_until_quiescent(
         t = t_next;
 
         if t > last_injection {
-            let mut dx = vec![0.0; state.len()];
             compiled.derivative(state.as_slice(), &mut dx);
             if dx.iter().all(|d| d.abs() < eps) {
                 settled = Some(t);
@@ -393,7 +599,7 @@ fn initial_step(opts: &OdeOptions) -> f64 {
 #[allow(clippy::too_many_arguments)]
 fn integrate_segment(
     compiled: &CompiledCrn,
-    x: &mut [f64],
+    workspace: &mut OdeWorkspace,
     t: &mut f64,
     segment_end: f64,
     opts: &OdeOptions,
@@ -404,13 +610,16 @@ fn integrate_segment(
     schedule: &Schedule,
     triggers: &mut TriggerRuntime,
 ) -> Result<(), SimError> {
-    let n = x.len();
-    let mut scratch = Scratch::new(n);
-    let mut x_prev = vec![0.0; n];
-    let mut rosenbrock = match opts.method {
-        OdeMethod::Rosenbrock { .. } => Some(crate::stiff::RosenbrockWork::new(n)),
-        _ => None,
-    };
+    // Disjoint borrows of the workspace buffers; all were sized by
+    // `prepare`, nothing is allocated in the step loop below.
+    let OdeWorkspace {
+        scratch,
+        rosenbrock,
+        x,
+        x_prev,
+        sample,
+    } = workspace;
+    let x = x.as_mut_slice();
 
     while *t < segment_end - 1e-15 {
         if *steps_used >= opts.max_steps {
@@ -425,13 +634,15 @@ fn integrate_segment(
         x_prev.copy_from_slice(x);
         let (h_taken, accepted) = match opts.method {
             OdeMethod::Rk4 { h } => {
+                let scratch = scratch.as_mut().expect("prepared for this method");
                 let h_step = h.min(h_cap);
-                rk4_step(compiled, x, *t, h_step, &mut scratch);
+                rk4_step(compiled, x, *t, h_step, scratch);
                 (h_step, true)
             }
             OdeMethod::CashKarp { rtol, atol } => {
+                let scratch = scratch.as_mut().expect("prepared for this method");
                 let h_try = h_adaptive.min(h_cap).max(1e-14);
-                cash_karp_step(compiled, x, *t, h_try, &mut scratch);
+                cash_karp_step(compiled, x, *t, h_try, scratch);
                 let err_ratio = scratch.error_ratio(x, rtol, atol);
                 if err_ratio <= 1.0 {
                     x.copy_from_slice(&scratch.y5);
@@ -450,9 +661,9 @@ fn integrate_segment(
                 }
             }
             OdeMethod::Rosenbrock { rtol, atol } => {
-                let work = rosenbrock.as_mut().expect("allocated for this method");
+                let work = rosenbrock.as_mut().expect("prepared for this method");
                 let h_try = h_adaptive.min(h_cap).max(1e-14);
-                if !work.step(compiled, x, h_try) {
+                if !work.step(compiled, x, h_try, opts.jacobian_reuse) {
                     // singular W: retry with a smaller step
                     *h_adaptive = (h_try * 0.5).max(1e-14);
                     (0.0, false)
@@ -460,6 +671,7 @@ fn integrate_segment(
                     let err_ratio = work.error_ratio(x, rtol, atol);
                     if err_ratio <= 1.0 {
                         x.copy_from_slice(&work.y_new);
+                        work.on_accept();
                         // 2nd-order method: 0.9·err^(−1/3) controller
                         let grow = if err_ratio > 0.0 {
                             0.9 * err_ratio.powf(-1.0 / 3.0)
@@ -469,6 +681,7 @@ fn integrate_segment(
                         *h_adaptive = (h_try * grow.clamp(0.2, 5.0)).min(opts.h_max);
                         (h_try, true)
                     } else {
+                        work.on_reject();
                         let shrink = (0.9 * err_ratio.powf(-1.0 / 3.0)).clamp(0.1, 0.9);
                         *h_adaptive = (h_try * shrink).max(1e-14);
                         (0.0, false)
@@ -477,6 +690,11 @@ fn integrate_segment(
             }
         };
         *steps_used += 1;
+        if let Some(hook) = opts.step_hook {
+            if let ControlFlow::Break(reason) = hook(*steps_used as u64, *t) {
+                return Err(SimError::Interrupted { time: *t, reason });
+            }
+        }
         if !accepted {
             continue;
         }
@@ -504,17 +722,25 @@ fn integrate_segment(
             } else {
                 1.0
             };
-            let sample: Vec<f64> = x_prev
-                .iter()
-                .zip(x.iter())
-                .map(|(&a, &b)| a + alpha * (b - a))
-                .collect();
-            trace.push(*next_record, &sample);
+            for ((s, &a), &b) in sample.iter_mut().zip(x_prev.iter()).zip(x.iter()) {
+                *s = a + alpha * (b - a);
+            }
+            trace.push(*next_record, sample);
             *next_record += opts.record_interval;
         }
-        for fired in triggers.poll(schedule, *t, x) {
-            trace.push_mark(*t, fired);
-            trace.push(*t, x);
+        let fired_any = {
+            let fired = triggers.poll(schedule, *t, x);
+            for &f in &fired {
+                trace.push_mark(*t, f);
+                trace.push(*t, x);
+            }
+            !fired.is_empty()
+        };
+        if fired_any {
+            // queue injections may have jumped the state
+            if let Some(work) = rosenbrock.as_mut() {
+                work.invalidate();
+            }
         }
     }
     Ok(())
@@ -536,6 +762,10 @@ impl Scratch {
             y5: vec![0.0; n],
             y4: vec![0.0; n],
         }
+    }
+
+    fn len(&self) -> usize {
+        self.ytmp.len()
     }
 
     /// Max over components of `|y5 − y4| / (atol + rtol·max(|y|, |y5|))`.
@@ -932,6 +1162,91 @@ mod tests {
             &SimSpec::default(),
             1e-9,
         );
+    }
+
+    #[test]
+    fn step_hook_interrupts_integration() {
+        let (crn, x) = decay();
+        let mut init = State::new(&crn);
+        init.set(x, 1.0);
+        let hook = |steps: u64, _t: f64| {
+            if steps >= 3 {
+                ControlFlow::Break("test budget".to_owned())
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        let opts = OdeOptions::default().with_t_end(10.0).with_step_hook(&hook);
+        let err =
+            simulate_ode(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap_err();
+        assert!(
+            matches!(err, SimError::Interrupted { ref reason, .. } if reason == "test budget"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh() {
+        // The same workspace driven across different networks and methods
+        // must give exactly the trace a fresh workspace gives.
+        let crn: Crn = "A + B -> C @fast\nC -> A @slow".parse().unwrap();
+        let a = crn.find_species("A").unwrap();
+        let mut init = State::new(&crn);
+        init.set(a, 2.0);
+        let other: Crn = "X -> 2X @slow\n2X -> X @fast".parse().unwrap();
+        let xo = other.find_species("X").unwrap();
+        let mut other_init = State::new(&other);
+        other_init.set(xo, 1.0);
+
+        let spec = SimSpec::default();
+        let compiled = CompiledCrn::new(&crn, &spec);
+        let other_compiled = CompiledCrn::new(&other, &spec);
+        let schedule = Schedule::new();
+        let mut ws = OdeWorkspace::new();
+        for method in [
+            OdeMethod::default(),
+            OdeMethod::CashKarp {
+                rtol: 1e-6,
+                atol: 1e-9,
+            },
+        ] {
+            let opts = OdeOptions::default().with_t_end(4.0).with_method(method);
+            // dirty the workspace with a different-sized problem first
+            let _ = simulate_ode_with_workspace(
+                &other,
+                &other_compiled,
+                &other_init,
+                &schedule,
+                &opts,
+                &mut ws,
+            )
+            .unwrap();
+            let reused =
+                simulate_ode_with_workspace(&crn, &compiled, &init, &schedule, &opts, &mut ws)
+                    .unwrap();
+            let fresh = simulate_ode_compiled(&crn, &compiled, &init, &schedule, &opts).unwrap();
+            assert_eq!(reused, fresh, "method {method:?}");
+        }
+    }
+
+    #[test]
+    fn jacobian_reuse_stays_within_tolerance() {
+        // Opt-in reuse changes which Jacobian W is built from, not the
+        // accepted error bound: trajectories must stay within integration
+        // tolerance of the evaluate-every-step default.
+        let crn: Crn = "A + B -> C @fast\nC -> A + B @slow\nA -> 0 @slow"
+            .parse()
+            .unwrap();
+        let a = crn.find_species("A").unwrap();
+        let b = crn.find_species("B").unwrap();
+        let mut init = State::new(&crn);
+        init.set(a, 3.0).set(b, 2.0);
+        let base = OdeOptions::default().with_t_end(20.0);
+        let every_step = run(&crn, &init, &base);
+        let reused = run(&crn, &init, &base.with_jacobian_reuse(8));
+        for (p, q) in every_step.final_state().iter().zip(reused.final_state()) {
+            assert!((p - q).abs() < 1e-4, "{p} vs {q}");
+        }
     }
 
     #[test]

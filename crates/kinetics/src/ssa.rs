@@ -8,10 +8,12 @@
 
 use crate::compiled::CompiledCrn;
 use crate::events::TriggerRuntime;
+use crate::ode::StepHook;
 use crate::{Schedule, SimError, SimSpec, State, Trace};
 use molseq_crn::Crn;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::ops::ControlFlow;
 
 /// Options controlling one stochastic run.
 ///
@@ -23,18 +25,43 @@ use rand::{RngExt, SeedableRng};
 /// let opts = SsaOptions::default().with_t_end(20.0).with_seed(7);
 /// assert_eq!(opts.t_end(), 20.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SsaOptions {
+#[derive(Clone, Copy)]
+pub struct SsaOptions<'h> {
     t_start: f64,
     t_end: f64,
     record_interval: f64,
     max_events: usize,
     seed: u64,
+    step_hook: Option<StepHook<'h>>,
 }
 
-impl Default for SsaOptions {
+impl std::fmt::Debug for SsaOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsaOptions")
+            .field("t_start", &self.t_start)
+            .field("t_end", &self.t_end)
+            .field("record_interval", &self.record_interval)
+            .field("max_events", &self.max_events)
+            .field("seed", &self.seed)
+            .field("step_hook", &self.step_hook.map(|_| "<hook>"))
+            .finish()
+    }
+}
+
+impl PartialEq for SsaOptions<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.t_start == other.t_start
+            && self.t_end == other.t_end
+            && self.record_interval == other.record_interval
+            && self.max_events == other.max_events
+            && self.seed == other.seed
+            && crate::ode::hooks_eq(self.step_hook, other.step_hook)
+    }
+}
+
+impl Default for SsaOptions<'_> {
     /// Span `[0, 10]`, recording every `0.1`, 50 million event budget,
-    /// seed `0`.
+    /// seed `0`, no step hook.
     fn default() -> Self {
         SsaOptions {
             t_start: 0.0,
@@ -42,11 +69,12 @@ impl Default for SsaOptions {
             record_interval: 0.1,
             max_events: 50_000_000,
             seed: 0,
+            step_hook: None,
         }
     }
 }
 
-impl SsaOptions {
+impl<'h> SsaOptions<'h> {
     /// Sets the end time (builder style).
     #[must_use]
     pub fn with_t_end(mut self, t: f64) -> Self {
@@ -73,6 +101,15 @@ impl SsaOptions {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a cooperative interruption hook (builder style), polled
+    /// once per fired reaction event with `(cumulative events, current
+    /// time)`. See [`StepHook`].
+    #[must_use]
+    pub fn with_step_hook(mut self, hook: StepHook<'h>) -> Self {
+        self.step_hook = Some(hook);
         self
     }
 
@@ -104,6 +141,12 @@ impl SsaOptions {
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The configured step hook, if any.
+    #[must_use]
+    pub fn step_hook(&self) -> Option<StepHook<'h>> {
+        self.step_hook
     }
 }
 
@@ -233,6 +276,11 @@ pub fn simulate_ssa_compiled(
             });
         }
         events += 1;
+        if let Some(hook) = opts.step_hook {
+            if let ControlFlow::Break(reason) = hook(events as u64, t) {
+                return Err(SimError::Interrupted { time: t, reason });
+            }
+        }
         record_until(&mut trace, &f64_state, &mut next_record, t_next, opts);
         t = t_next;
         let pick: f64 = rng.random::<f64>() * a0;
@@ -417,6 +465,31 @@ mod tests {
             simulate_ssa(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap();
         assert_eq!(trace.final_state()[x.index()], 0.0);
         assert_eq!(trace.final_state()[y.index()], 1.0);
+    }
+
+    #[test]
+    fn step_hook_interrupts_event_loop() {
+        let crn: Crn = "X -> Y @slow\nY -> X @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 1000.0);
+        let hook = |events: u64, _t: f64| {
+            if events > 50 {
+                ControlFlow::Break("test budget".to_owned())
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        let opts = SsaOptions::default()
+            .with_t_end(1000.0)
+            .with_seed(9)
+            .with_step_hook(&hook);
+        let err =
+            simulate_ssa(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap_err();
+        match err {
+            SimError::Interrupted { reason, .. } => assert_eq!(reason, "test budget"),
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
     }
 
     #[test]

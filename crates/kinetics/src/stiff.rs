@@ -5,8 +5,40 @@
 //! on the `k_slow` timescale. Explicit methods are stability-limited to
 //! steps of `~1/(k_fast·X)`; the Rosenbrock method here (the classic
 //! ode23s pair of Shampine & Reichelt) takes steps sized by *accuracy*
-//! instead, using the analytic mass-action Jacobian and one dense LU
-//! factorization per step.
+//! instead, using the analytic mass-action Jacobian.
+//!
+//! Three structural optimizations keep the per-step cost down on the
+//! large networks (multi-bit counters run past 100 species):
+//!
+//! * the Jacobian is evaluated through the precomputed CSR pattern
+//!   ([`CompiledCrn::jacobian_sparse`]) and `W = I − h·d·J` is assembled
+//!   by scattering only the nonzeros — no dense Jacobian is ever formed;
+//! * the linear algebra exploits that W's sparsity pattern is *fixed*
+//!   across the whole simulation: a one-time symbolic analysis
+//!   ([`Symbolic`]) closes the pattern under the fill-in of Gaussian
+//!   elimination, and the per-step numeric factorization and the three
+//!   triangular solves then visit only structural nonzeros (a few percent
+//!   of the dense positions on the counter networks). The factorization
+//!   runs without pivoting — at the step sizes the controller accepts,
+//!   `W = I − h·d·J` is dominated by its unit diagonal — but every pivot
+//!   and multiplier is checked against a stability guard, and a step
+//!   whose elimination misbehaves transparently falls back to the
+//!   pivoted dense LU ([`Lu`], slice-based and vectorized);
+//! * all scratch, including the symbolic structure, lives in
+//!   [`RosenbrockWork`] and is reused across steps, segments and whole
+//!   simulations.
+//!
+//! The Jacobian (and, when `h` repeats bit-identically, the whole LU) can
+//! additionally be *reused* across accepted steps
+//! (`OdeOptions::with_jacobian_reuse`), refreshed on rejection or after
+//! the configured number of accepted steps. This is off by default:
+//! ode23s is not a W-method — a lagged Jacobian inflates the embedded
+//! error estimate, and on this workspace's autocatalytic networks the
+//! resulting reject/refresh/retry cycles cost more than the skipped
+//! factorizations save (see `DEFAULT_JACOBIAN_REUSE`). The machinery is
+//! kept for genuinely slowly varying systems, and the error estimate
+//! still bounds local error under staleness, so opting in affects step
+//! size, never accuracy.
 
 // Index loops mirror the textbook linear-algebra formulas.
 #![allow(clippy::needless_range_loop)]
@@ -16,7 +48,18 @@ use crate::compiled::CompiledCrn;
 const D: f64 = 0.2928932188134524; // 1 / (2 + √2)
 const C32: f64 = 7.414213562373095; // 6 + √2
 
+/// A multiplier this large during the no-pivot elimination means the
+/// natural ordering is numerically unstable for this particular `W`;
+/// the step falls back to the pivoted dense factorization. Partial
+/// pivoting bounds multipliers by 1, so 10⁴ already concedes ~4 digits —
+/// on the mass-action `W = I − h·d·J` matrices here, where the unit
+/// diagonal dominates at accepted step sizes, the guard never trips in
+/// practice.
+const MULTIPLIER_GUARD: f64 = 1e4;
+
 /// Dense LU factorization with partial pivoting (row-major `n×n`).
+/// The fallback backend when the no-pivot sparse elimination trips its
+/// stability guard, and the reference the sparse path is tested against.
 pub(crate) struct Lu {
     lu: Vec<f64>,
     pivots: Vec<usize>,
@@ -24,10 +67,17 @@ pub(crate) struct Lu {
 }
 
 impl Lu {
-    /// Factors `a` in place. Returns `None` for a (numerically) singular
-    /// matrix.
-    pub(crate) fn factor(mut a: Vec<f64>, n: usize) -> Option<Lu> {
-        let mut pivots = vec![0usize; n];
+    /// Factors `a` in place, reusing `pivots` as the permutation storage.
+    /// Returns both buffers untouched as the error value for a
+    /// (numerically) singular matrix, so callers can recover them instead
+    /// of re-allocating.
+    pub(crate) fn factor(
+        mut a: Vec<f64>,
+        mut pivots: Vec<usize>,
+        n: usize,
+    ) -> Result<Lu, (Vec<f64>, Vec<usize>)> {
+        pivots.clear();
+        pivots.resize(n, 0);
         for col in 0..n {
             // pivot search
             let mut pivot_row = col;
@@ -40,7 +90,7 @@ impl Lu {
                 }
             }
             if best < 1e-300 {
-                return None;
+                return Err((a, pivots));
             }
             pivots[col] = pivot_row;
             if pivot_row != col {
@@ -49,17 +99,21 @@ impl Lu {
                 }
             }
             let inv = 1.0 / a[col * n + col];
-            for row in (col + 1)..n {
-                let factor = a[row * n + col] * inv;
-                a[row * n + col] = factor;
+            // Slice the pivot row off so the update is over plain slices:
+            // the bounds-check-free zip below vectorizes.
+            let (top, below) = a.split_at_mut((col + 1) * n);
+            let pivot_tail = &top[col * n + col + 1..];
+            for row in below.chunks_exact_mut(n) {
+                let factor = row[col] * inv;
+                row[col] = factor;
                 if factor != 0.0 {
-                    for k in (col + 1)..n {
-                        a[row * n + k] -= factor * a[col * n + k];
+                    for (x, &p) in row[col + 1..].iter_mut().zip(pivot_tail) {
+                        *x -= factor * p;
                     }
                 }
             }
         }
-        Some(Lu { lu: a, pivots, n })
+        Ok(Lu { lu: a, pivots, n })
     }
 
     /// Solves `A·x = b` in place.
@@ -68,30 +122,342 @@ impl Lu {
         for col in 0..n {
             b.swap(col, self.pivots[col]);
         }
-        // forward substitution (unit lower triangle)
+        // forward substitution (unit lower triangle); row-major dot
+        // products over slices so the reductions vectorize
         for row in 1..n {
+            let lu_row = &self.lu[row * n..row * n + row];
             let mut acc = b[row];
-            for k in 0..row {
-                acc -= self.lu[row * n + k] * b[k];
+            for (&l, &x) in lu_row.iter().zip(b.iter()) {
+                acc -= l * x;
             }
             b[row] = acc;
         }
         // back substitution
         for row in (0..n).rev() {
+            let lu_row = &self.lu[row * n + row + 1..(row + 1) * n];
             let mut acc = b[row];
-            for k in (row + 1)..n {
-                acc -= self.lu[row * n + k] * b[k];
+            for (&l, &x) in lu_row.iter().zip(b[row + 1..].iter()) {
+                acc -= l * x;
             }
             b[row] = acc / self.lu[row * n + row];
         }
     }
+
+    /// Releases the factor and pivot storage for reuse as scratch.
+    fn into_buffers(self) -> (Vec<f64>, Vec<usize>) {
+        (self.lu, self.pivots)
+    }
 }
 
-/// Reusable buffers for Rosenbrock stepping.
+/// Greedy minimum-degree ordering of the symmetrized pattern: repeatedly
+/// eliminate the vertex with the fewest remaining neighbors, connecting
+/// its neighborhood into a clique (the fill that elimination would
+/// create). The sequential networks here contain hub species — the clock
+/// phases couple to almost every reaction — whose early elimination fills
+/// the matrix almost completely (66% on the 2-bit counter, vs 7.5%
+/// structural); deferring them keeps the factors sparse. Quadratic-ish
+/// and dense-matrix naive, but it runs once per workspace and `n` stays
+/// in the low hundreds.
+fn min_degree_order(n: usize, pat: &[bool]) -> Vec<usize> {
+    let mut adj = vec![false; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && (pat[i * n + j] || pat[j * n + i]) {
+                adj[i * n + j] = true;
+                adj[j * n + i] = true;
+            }
+        }
+    }
+    let mut eliminated = vec![false; n];
+    let mut perm = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (mut best, mut best_deg) = (usize::MAX, usize::MAX);
+        for v in 0..n {
+            if eliminated[v] {
+                continue;
+            }
+            let deg = (0..n).filter(|&u| !eliminated[u] && adj[v * n + u]).count();
+            if deg < best_deg {
+                best_deg = deg;
+                best = v;
+            }
+        }
+        eliminated[best] = true;
+        let nbrs: Vec<usize> = (0..n)
+            .filter(|&u| !eliminated[u] && adj[best * n + u])
+            .collect();
+        for (k, &u) in nbrs.iter().enumerate() {
+            for &v in &nbrs[k + 1..] {
+                adj[u * n + v] = true;
+                adj[v * n + u] = true;
+            }
+        }
+        perm.push(best);
+    }
+    perm
+}
+
+/// One-time symbolic factorization of `W = I − h·d·J`: a fill-reducing
+/// (minimum-degree) symmetric permutation of the Jacobian pattern plus
+/// the diagonal, closed under the fill-in of Gaussian elimination in the
+/// permuted order. The numeric factorization and the triangular solves
+/// iterate over these index lists instead of scanning dense rows, so
+/// their cost scales with structural nonzeros, not with `n²`/`n³`.
+pub(crate) struct Symbolic {
+    n: usize,
+    /// Copy of the source Jacobian pattern — the compatibility key that
+    /// decides whether a recycled workspace still matches a network.
+    src_row_ptr: Vec<usize>,
+    src_col_idx: Vec<usize>,
+    /// `perm[k]` = the original index eliminated at step `k`; `pinv` is
+    /// its inverse. The factored matrix is `W' = P·W·Pᵀ`, i.e.
+    /// `W'[k, l] = W[perm[k], perm[l]]`.
+    perm: Vec<usize>,
+    pinv: Vec<usize>,
+    /// For each pivot column `k`: rows `i > k` with a (filled) nonzero at
+    /// `(i, k)` — the L column pattern driving the elimination.
+    below_ptr: Vec<usize>,
+    below_idx: Vec<usize>,
+    /// For each row `k`: columns `j > k` with a (filled) nonzero — the U
+    /// row pattern, shared by the update loop and back substitution.
+    right_ptr: Vec<usize>,
+    right_idx: Vec<usize>,
+    /// For each row `i`: columns `j < i` with a (filled) nonzero — the L
+    /// row pattern, used in forward substitution.
+    lrow_ptr: Vec<usize>,
+    lrow_idx: Vec<usize>,
+}
+
+impl Symbolic {
+    pub(crate) fn new(compiled: &CompiledCrn) -> Self {
+        let n = compiled.species_count();
+        let (row_ptr, col_idx) = compiled.jacobian_pattern();
+        let mut src = vec![false; n * n];
+        for i in 0..n {
+            src[i * n + i] = true;
+            for s in row_ptr[i]..row_ptr[i + 1] {
+                src[i * n + col_idx[s]] = true;
+            }
+        }
+        let perm = min_degree_order(n, &src);
+        let mut pinv = vec![0usize; n];
+        for (k, &v) in perm.iter().enumerate() {
+            pinv[v] = k;
+        }
+        // the pattern of W' = P·W·Pᵀ
+        let mut pat = vec![false; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if src[i * n + j] {
+                    pat[pinv[i] * n + pinv[j]] = true;
+                }
+            }
+        }
+        // Fill-in: eliminating column k against pivot row k creates a
+        // nonzero at (i, j) whenever (i, k) and (k, j) are nonzero. One
+        // boolean Gaussian elimination, run once per workspace.
+        for k in 0..n {
+            let (top, below) = pat.split_at_mut((k + 1) * n);
+            let pivot_tail = &top[k * n + k + 1..];
+            for row in below.chunks_exact_mut(n) {
+                if row[k] {
+                    for (x, &p) in row[k + 1..].iter_mut().zip(pivot_tail) {
+                        *x |= p;
+                    }
+                }
+            }
+        }
+        let mut sym = Symbolic {
+            n,
+            src_row_ptr: row_ptr.to_vec(),
+            src_col_idx: col_idx.to_vec(),
+            perm,
+            pinv,
+            below_ptr: Vec::with_capacity(n + 1),
+            below_idx: Vec::new(),
+            right_ptr: Vec::with_capacity(n + 1),
+            right_idx: Vec::new(),
+            lrow_ptr: Vec::with_capacity(n + 1),
+            lrow_idx: Vec::new(),
+        };
+        sym.below_ptr.push(0);
+        sym.right_ptr.push(0);
+        sym.lrow_ptr.push(0);
+        for k in 0..n {
+            for i in (k + 1)..n {
+                if pat[i * n + k] {
+                    sym.below_idx.push(i);
+                }
+            }
+            sym.below_ptr.push(sym.below_idx.len());
+            for j in (k + 1)..n {
+                if pat[k * n + j] {
+                    sym.right_idx.push(j);
+                }
+            }
+            sym.right_ptr.push(sym.right_idx.len());
+            for j in 0..k {
+                if pat[k * n + j] {
+                    sym.lrow_idx.push(j);
+                }
+            }
+            sym.lrow_ptr.push(sym.lrow_idx.len());
+        }
+        sym
+    }
+
+    /// Whether this symbolic analysis was built for exactly `compiled`'s
+    /// Jacobian pattern (species count included).
+    pub(crate) fn matches(&self, compiled: &CompiledCrn) -> bool {
+        let (row_ptr, col_idx) = compiled.jacobian_pattern();
+        self.n == compiled.species_count()
+            && self.src_row_ptr.as_slice() == row_ptr
+            && self.src_col_idx.as_slice() == col_idx
+    }
+
+    /// Scatters `W' = P·(I − h·d·J)·Pᵀ` over the permuted Jacobian
+    /// pattern into the dense scratch matrix `w` (`hd = h·D`).
+    pub(crate) fn assemble(
+        &self,
+        compiled: &CompiledCrn,
+        jac_vals: &[f64],
+        hd: f64,
+        w: &mut [f64],
+    ) {
+        let n = self.n;
+        w.fill(0.0);
+        let (row_ptr, col_idx) = compiled.jacobian_pattern();
+        for i in 0..n {
+            let base = self.pinv[i] * n;
+            for s in row_ptr[i]..row_ptr[i + 1] {
+                w[base + self.pinv[col_idx[s]]] = -hd * jac_vals[s];
+            }
+            w[base + self.pinv[i]] += 1.0;
+        }
+    }
+
+    /// No-pivot numeric LU of `a` (dense row-major storage, zero outside
+    /// the unfilled pattern) over the precomputed structure. On success
+    /// the unit-lower L and U overwrite `a` in place. Returns `false` —
+    /// leaving `a` partially eliminated — when a pivot vanishes or a
+    /// multiplier exceeds [`MULTIPLIER_GUARD`]; the caller then rebuilds
+    /// `W` and falls back to the pivoted dense [`Lu`].
+    // The negated comparisons are deliberate: they send NaN pivots and
+    // multipliers down the bail-out path too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub(crate) fn factor(&self, a: &mut [f64]) -> bool {
+        let n = self.n;
+        for k in 0..n {
+            let piv = a[k * n + k];
+            if !(piv.abs() > 1e-300) {
+                return false;
+            }
+            let inv = 1.0 / piv;
+            let right = &self.right_idx[self.right_ptr[k]..self.right_ptr[k + 1]];
+            for &i in &self.below_idx[self.below_ptr[k]..self.below_ptr[k + 1]] {
+                let m = a[i * n + k] * inv;
+                if !(m.abs() <= MULTIPLIER_GUARD) {
+                    return false;
+                }
+                a[i * n + k] = m;
+                if m != 0.0 {
+                    for &j in right {
+                        a[i * n + j] -= m * a[k * n + j];
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Solves `W·x = b` in place against a factor produced by
+    /// [`Symbolic::factor`], visiting only structural nonzeros. `b` is in
+    /// original species order; `scratch` (length `n`) holds the permuted
+    /// right-hand side while the triangular solves run.
+    pub(crate) fn solve(&self, a: &[f64], b: &mut [f64], scratch: &mut [f64]) {
+        let n = self.n;
+        // W'·(P·x) = P·b
+        for k in 0..n {
+            scratch[k] = b[self.perm[k]];
+        }
+        // forward substitution (unit lower triangle)
+        for i in 1..n {
+            let mut acc = scratch[i];
+            for &j in &self.lrow_idx[self.lrow_ptr[i]..self.lrow_ptr[i + 1]] {
+                acc -= a[i * n + j] * scratch[j];
+            }
+            scratch[i] = acc;
+        }
+        // back substitution
+        for i in (0..n).rev() {
+            let mut acc = scratch[i];
+            for &j in &self.right_idx[self.right_ptr[i]..self.right_ptr[i + 1]] {
+                acc -= a[i * n + j] * scratch[j];
+            }
+            scratch[i] = acc / a[i * n + i];
+        }
+        for k in 0..n {
+            b[self.perm[k]] = scratch[k];
+        }
+    }
+}
+
+/// A factored `W`, ready to back the three stage solves of a step.
+enum Factored {
+    /// No-pivot LU over the symbolic pattern; values in dense storage.
+    Sparse(Vec<f64>),
+    /// Pivoted dense LU — the fallback when the stability guard trips.
+    Dense(Lu),
+}
+
+impl Factored {
+    fn solve(&self, sym: &Symbolic, b: &mut [f64], scratch: &mut [f64]) {
+        match self {
+            Factored::Sparse(a) => sym.solve(a, b, scratch),
+            Factored::Dense(lu) => lu.solve(b),
+        }
+    }
+}
+
+/// Scatters `W = I − h·d·J` over the Jacobian pattern into the dense
+/// scratch matrix `w` (`hd = h·D`), in original (unpermuted) species
+/// order — the layout the pivoted dense fallback factors.
+fn assemble_w(compiled: &CompiledCrn, jac_vals: &[f64], hd: f64, w: &mut [f64]) {
+    let n = compiled.species_count();
+    w.fill(0.0);
+    let (row_ptr, col_idx) = compiled.jacobian_pattern();
+    for i in 0..n {
+        let base = i * n;
+        for s in row_ptr[i]..row_ptr[i + 1] {
+            w[base + col_idx[s]] = -hd * jac_vals[s];
+        }
+        w[base + i] += 1.0;
+    }
+}
+
+/// Reusable buffers and cached factorization state for Rosenbrock
+/// stepping. Survives across steps, segments and — via
+/// [`OdeWorkspace`](crate::OdeWorkspace) — across whole simulation calls;
+/// no per-step allocation happens once constructed.
 pub(crate) struct RosenbrockWork {
     n: usize,
-    jac: Vec<f64>,
-    w: Vec<f64>,
+    /// Elimination structure of `W`'s fixed sparsity pattern.
+    sym: Symbolic,
+    /// Jacobian nonzeros aligned with the compiled CSR pattern.
+    jac_vals: Vec<f64>,
+    /// True when `jac_vals` holds an evaluation the reuse policy still
+    /// accepts (fresh at some accepted state, aged `jac_age` steps).
+    jac_fresh: bool,
+    /// Accepted steps since `jac_vals` was evaluated.
+    jac_age: usize,
+    /// Cached factorization of `W = I − h·d·J` for `lu_h` and the current
+    /// `jac_vals`; `None` when it must be rebuilt.
+    lu: Option<Factored>,
+    lu_h: f64,
+    /// The `n×n` scratch matrix when `lu` does not own it.
+    w_spare: Vec<f64>,
+    /// The pivot permutation buffer when no `Factored::Dense` owns it.
+    pivots_spare: Vec<usize>,
     f0: Vec<f64>,
     f1: Vec<f64>,
     f2: Vec<f64>,
@@ -99,18 +465,28 @@ pub(crate) struct RosenbrockWork {
     k2: Vec<f64>,
     k3: Vec<f64>,
     ytmp: Vec<f64>,
-    /// 5th-order… rather, the advanced solution of the trial step.
+    /// Permuted right-hand side scratch for the sparse triangular solves.
+    bperm: Vec<f64>,
+    /// The advanced solution of the trial step.
     pub y_new: Vec<f64>,
     /// Per-component error estimate of the trial step.
     pub err: Vec<f64>,
 }
 
 impl RosenbrockWork {
-    pub(crate) fn new(n: usize) -> Self {
+    pub(crate) fn new(compiled: &CompiledCrn) -> Self {
+        let n = compiled.species_count();
+        let nnz = compiled.jacobian_nnz();
         RosenbrockWork {
             n,
-            jac: vec![0.0; n * n],
-            w: vec![0.0; n * n],
+            sym: Symbolic::new(compiled),
+            jac_vals: vec![0.0; nnz],
+            jac_fresh: false,
+            jac_age: 0,
+            lu: None,
+            lu_h: f64::NAN,
+            w_spare: vec![0.0; n * n],
+            pivots_spare: vec![0usize; n],
             f0: vec![0.0; n],
             f1: vec![0.0; n],
             f2: vec![0.0; n],
@@ -118,34 +494,120 @@ impl RosenbrockWork {
             k2: vec![0.0; n],
             k3: vec![0.0; n],
             ytmp: vec![0.0; n],
+            bperm: vec![0.0; n],
             y_new: vec![0.0; n],
             err: vec![0.0; n],
+        }
+    }
+
+    /// Whether this workspace (buffer sizes *and* symbolic elimination
+    /// structure) was built for `compiled` — the compatibility key for
+    /// workspace reuse across simulation calls.
+    pub(crate) fn matches(&self, compiled: &CompiledCrn) -> bool {
+        self.jac_vals.len() == compiled.jacobian_nnz() && self.sym.matches(compiled)
+    }
+
+    /// Forgets the cached Jacobian and factorization. Call when the state
+    /// changes discontinuously (injections, trigger firings) or when the
+    /// workspace is recycled for a new simulation: the next step then
+    /// behaves exactly like the first step of a fresh workspace.
+    pub(crate) fn invalidate(&mut self) {
+        self.jac_fresh = false;
+        self.jac_age = 0;
+    }
+
+    /// Bookkeeping after an accepted step: the cached Jacobian is now one
+    /// state older.
+    pub(crate) fn on_accept(&mut self) {
+        self.jac_age += 1;
+    }
+
+    /// Bookkeeping after a rejected step: a Jacobian evaluated at the
+    /// current state is still exact (only `h` was wrong), but an *aged*
+    /// one is suspect — the staleness may be what caused the rejection —
+    /// so force a refresh before the retry.
+    pub(crate) fn on_reject(&mut self) {
+        if self.jac_age > 0 {
+            self.jac_fresh = false;
+        }
+    }
+
+    /// Recovers the `n×n` scratch matrix and pivot buffer from wherever
+    /// they currently live.
+    fn take_w(&mut self) -> (Vec<f64>, Vec<usize>) {
+        match self.lu.take() {
+            Some(Factored::Sparse(a)) => (a, std::mem::take(&mut self.pivots_spare)),
+            Some(Factored::Dense(lu)) => lu.into_buffers(),
+            None => (
+                std::mem::take(&mut self.w_spare),
+                std::mem::take(&mut self.pivots_spare),
+            ),
         }
     }
 
     /// One ode23s trial step of size `h` from `y`. Fills `y_new` and
     /// `err`; returns `false` when the linear system is singular (caller
     /// should shrink the step).
-    pub(crate) fn step(&mut self, compiled: &CompiledCrn, y: &[f64], h: f64) -> bool {
+    ///
+    /// The Jacobian is re-evaluated only when the cache is invalid or has
+    /// aged past `max_age` accepted steps (`max_age == 0` reproduces the
+    /// evaluate-every-step behavior exactly). The LU factorization is
+    /// additionally reused when `h` is bit-identical to the cached one —
+    /// which it is whenever the controller pins `h` at `h_max`.
+    pub(crate) fn step(
+        &mut self,
+        compiled: &CompiledCrn,
+        y: &[f64],
+        h: f64,
+        max_age: usize,
+    ) -> bool {
         let n = self.n;
-        compiled.jacobian(y, &mut self.jac);
-        // W = I − h·d·J
-        let hd = h * D;
-        for i in 0..n {
-            for j in 0..n {
-                let idx = i * n + j;
-                self.w[idx] = -hd * self.jac[idx];
+        if !self.jac_fresh || self.jac_age > max_age {
+            compiled.jacobian_sparse(y, &mut self.jac_vals);
+            self.jac_fresh = true;
+            self.jac_age = 0;
+            // any cached factorization was built from the old values
+            match self.lu.take() {
+                Some(Factored::Sparse(a)) => self.w_spare = a,
+                Some(Factored::Dense(lu)) => {
+                    (self.w_spare, self.pivots_spare) = lu.into_buffers();
+                }
+                None => {}
             }
-            self.w[i * n + i] += 1.0;
         }
-        let Some(lu) = Lu::factor(std::mem::take(&mut self.w), n) else {
-            self.w = vec![0.0; n * n];
-            return false;
-        };
+        if self.lu.is_none() || self.lu_h != h {
+            let (mut w, pivots) = self.take_w();
+            let hd = h * D;
+            self.sym.assemble(compiled, &self.jac_vals, hd, &mut w);
+            if self.sym.factor(&mut w) {
+                self.lu = Some(Factored::Sparse(w));
+                self.pivots_spare = pivots;
+                self.lu_h = h;
+            } else {
+                // the guard tripped mid-elimination and clobbered `w`:
+                // rebuild it — unpermuted this time — and fall back to
+                // the pivoted factorization
+                assemble_w(compiled, &self.jac_vals, hd, &mut w);
+                match Lu::factor(w, pivots, n) {
+                    Ok(lu) => {
+                        self.lu = Some(Factored::Dense(lu));
+                        self.lu_h = h;
+                    }
+                    Err((buf, pivots)) => {
+                        self.w_spare = buf;
+                        self.pivots_spare = pivots;
+                        // retry from an exact Jacobian at the smaller step
+                        self.jac_fresh = false;
+                        return false;
+                    }
+                }
+            }
+        }
+        let lu = self.lu.take().expect("factored above");
 
         compiled.derivative(y, &mut self.f0);
         self.k1.copy_from_slice(&self.f0);
-        lu.solve(&mut self.k1);
+        lu.solve(&self.sym, &mut self.k1, &mut self.bperm);
 
         for i in 0..n {
             self.ytmp[i] = y[i] + 0.5 * h * self.k1[i];
@@ -154,7 +616,7 @@ impl RosenbrockWork {
         for i in 0..n {
             self.k2[i] = self.f1[i] - self.k1[i];
         }
-        lu.solve(&mut self.k2);
+        lu.solve(&self.sym, &mut self.k2, &mut self.bperm);
         for i in 0..n {
             self.k2[i] += self.k1[i];
         }
@@ -167,13 +629,13 @@ impl RosenbrockWork {
             self.k3[i] =
                 self.f2[i] - C32 * (self.k2[i] - self.f1[i]) - 2.0 * (self.k1[i] - self.f0[i]);
         }
-        lu.solve(&mut self.k3);
+        lu.solve(&self.sym, &mut self.k3, &mut self.bperm);
 
         for i in 0..n {
             self.err[i] = h / 6.0 * (self.k1[i] - 2.0 * self.k2[i] + self.k3[i]);
         }
-        // recover W's buffer for the next step
-        self.w = lu.lu;
+        // keep the factorization for possible reuse at the same h
+        self.lu = Some(lu);
         true
     }
 
@@ -192,13 +654,13 @@ impl RosenbrockWork {
 mod tests {
     use super::*;
     use crate::{SimSpec, State};
-    use molseq_crn::Crn;
+    use molseq_crn::{Crn, Rate};
 
     #[test]
     fn lu_solves_a_known_system() {
         // A = [[2, 1], [1, 3]], b = [5, 10] → x = [1, 3]
         let a = vec![2.0, 1.0, 1.0, 3.0];
-        let lu = Lu::factor(a, 2).expect("nonsingular");
+        let lu = Lu::factor(a, Vec::new(), 2).unwrap_or_else(|_| panic!("nonsingular"));
         let mut b = vec![5.0, 10.0];
         lu.solve(&mut b);
         assert!((b[0] - 1.0).abs() < 1e-12);
@@ -209,7 +671,8 @@ mod tests {
     fn lu_needs_pivoting() {
         // zero on the diagonal forces a row swap
         let a = vec![0.0, 1.0, 1.0, 0.0];
-        let lu = Lu::factor(a, 2).expect("nonsingular with pivoting");
+        let lu =
+            Lu::factor(a, Vec::new(), 2).unwrap_or_else(|_| panic!("nonsingular with pivoting"));
         let mut b = vec![2.0, 3.0];
         lu.solve(&mut b);
         assert!((b[0] - 3.0).abs() < 1e-12);
@@ -217,20 +680,155 @@ mod tests {
     }
 
     #[test]
-    fn lu_detects_singular() {
+    fn lu_detects_singular_and_returns_the_buffer() {
         let a = vec![1.0, 2.0, 2.0, 4.0];
-        assert!(Lu::factor(a, 2).is_none());
+        let (buf, pivots) = Lu::factor(a, Vec::new(), 2).err().expect("singular");
+        assert_eq!(buf.len(), 4);
+        assert_eq!(pivots.len(), 2);
+    }
+
+    /// A star network whose hub species couples to every leaf: eliminating
+    /// the hub column fills the whole trailing block, so this exercises
+    /// the fill-in computation, not just the original pattern.
+    fn star_crn(leaves: usize) -> Crn {
+        let mut crn = Crn::new();
+        let hub = crn.species("hub");
+        let leaf: Vec<_> = (0..leaves)
+            .map(|i| crn.species(format!("leaf{i}")))
+            .collect();
+        for (i, &l) in leaf.iter().enumerate() {
+            let next = leaf[(i + 1) % leaves];
+            crn.reaction(&[(hub, 1), (l, 1)], &[(next, 1)], Rate::Slow)
+                .expect("reaction");
+            crn.reaction(&[(l, 1)], &[(hub, 1)], Rate::Fast)
+                .expect("reaction");
+        }
+        crn
+    }
+
+    #[test]
+    fn sparse_factor_matches_pivoted_dense() {
+        let crn = star_crn(5);
+        let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+        let n = compiled.species_count();
+        let sym = Symbolic::new(&compiled);
+
+        let x: Vec<f64> = (0..n).map(|i| 1.5 + i as f64).collect();
+        let mut jac_vals = vec![0.0; compiled.jacobian_nnz()];
+        compiled.jacobian_sparse(&x, &mut jac_vals);
+        // the sparse path factors the permuted W, the dense reference the
+        // unpermuted one; both solve the same original-order system
+        let mut wp = vec![0.0; n * n];
+        sym.assemble(&compiled, &jac_vals, 1e-4 * D, &mut wp);
+        let mut wd = vec![0.0; n * n];
+        assemble_w(&compiled, &jac_vals, 1e-4 * D, &mut wd);
+
+        let dense = Lu::factor(wd, Vec::new(), n).unwrap_or_else(|_| panic!("nonsingular"));
+        assert!(sym.factor(&mut wp), "guard must not trip on a tame W");
+
+        let b0: Vec<f64> = (0..n).map(|i| (i as f64) - 2.0).collect();
+        let mut bs = b0.clone();
+        let mut bd = b0.clone();
+        let mut scratch = vec![0.0; n];
+        sym.solve(&wp, &mut bs, &mut scratch);
+        dense.solve(&mut bd);
+        for (s, d) in bs.iter().zip(&bd) {
+            assert!((s - d).abs() <= 1e-12 * d.abs().max(1.0), "{s} vs {d}");
+        }
+    }
+
+    /// A fully dense 2×2 structure with the identity ordering, so the
+    /// test controls exactly which entry becomes the first pivot.
+    fn dense_2x2_symbolic() -> Symbolic {
+        Symbolic {
+            n: 2,
+            src_row_ptr: vec![0, 2, 4],
+            src_col_idx: vec![0, 1, 0, 1],
+            perm: vec![0, 1],
+            pinv: vec![0, 1],
+            below_ptr: vec![0, 1, 1],
+            below_idx: vec![1],
+            right_ptr: vec![0, 1, 1],
+            right_idx: vec![1],
+            lrow_ptr: vec![0, 0, 1],
+            lrow_idx: vec![0],
+        }
+    }
+
+    #[test]
+    fn sparse_factor_guard_rejects_unstable_elimination() {
+        // a tiny leading pivot makes the multiplier blow past the guard
+        // without pivoting, while a row swap keeps the matrix perfectly
+        // well-conditioned for the pivoted backend
+        let sym = dense_2x2_symbolic();
+        let w = vec![1e-9, 1.0, 1.0, 1.0];
+        assert!(!sym.factor(&mut w.clone()), "guard must trip");
+        assert!(Lu::factor(w, Vec::new(), 2).is_ok());
+        // an exactly singular leading pivot is rejected too
+        let mut singular = vec![0.0, 1.0, 1.0, 1.0];
+        assert!(!sym.factor(&mut singular));
+    }
+
+    #[test]
+    fn symbolic_matches_is_pattern_exact() {
+        let a = CompiledCrn::new(&star_crn(4), &SimSpec::default());
+        let b = CompiledCrn::new(&star_crn(5), &SimSpec::default());
+        let sym = Symbolic::new(&a);
+        assert!(sym.matches(&a));
+        assert!(!sym.matches(&b));
     }
 
     #[test]
     fn rosenbrock_step_matches_decay() {
         let crn: Crn = "X -> 0 @slow".parse().unwrap();
         let compiled = CompiledCrn::new(&crn, &SimSpec::default());
-        let mut work = RosenbrockWork::new(1);
+        let mut work = RosenbrockWork::new(&compiled);
         let y = State::from_vec(vec![1.0]);
-        assert!(work.step(&compiled, y.as_slice(), 0.01));
+        assert!(work.step(&compiled, y.as_slice(), 0.01, 0));
         // exp(-0.01) ≈ 0.99004983…; a 2nd-order step is close
         assert!((work.y_new[0] - (-0.01f64).exp()).abs() < 1e-7);
         assert!(work.error_ratio(y.as_slice(), 1e-6, 1e-9) < 100.0);
+    }
+
+    #[test]
+    fn reused_jacobian_matches_fresh_on_linear_system() {
+        // For a linear network J is constant, so reuse is *exact*: the
+        // second step must agree bit-for-bit whether or not the Jacobian
+        // is re-evaluated.
+        let crn: Crn = "X -> 0 @slow".parse().unwrap();
+        let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+
+        let mut fresh = RosenbrockWork::new(&compiled);
+        let mut reused = RosenbrockWork::new(&compiled);
+        let y0 = [1.0];
+        assert!(fresh.step(&compiled, &y0, 0.01, 0));
+        assert!(reused.step(&compiled, &y0, 0.01, 8));
+        assert_eq!(fresh.y_new, reused.y_new);
+        let y1 = [fresh.y_new[0]];
+        fresh.on_accept();
+        reused.on_accept();
+        assert!(fresh.step(&compiled, &y1, 0.01, 0));
+        assert!(reused.step(&compiled, &y1, 0.01, 8));
+        assert_eq!(fresh.y_new, reused.y_new);
+        assert_eq!(fresh.err, reused.err);
+    }
+
+    #[test]
+    fn invalidate_forces_refresh() {
+        let crn: Crn = "2X -> Y @slow".parse().unwrap();
+        let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+        let mut work = RosenbrockWork::new(&compiled);
+        let ya = [4.0, 0.0];
+        assert!(work.step(&compiled, &ya, 0.01, usize::MAX));
+        work.on_accept();
+        // without invalidation the Jacobian from `ya` would be reused;
+        // after invalidation the step must match a fresh workspace at `yb`
+        let yb = [1.0, 1.5];
+        work.invalidate();
+        assert!(work.step(&compiled, &yb, 0.02, usize::MAX));
+        let mut fresh = RosenbrockWork::new(&compiled);
+        assert!(fresh.step(&compiled, &yb, 0.02, 0));
+        assert_eq!(work.y_new, fresh.y_new);
+        assert_eq!(work.err, fresh.err);
     }
 }

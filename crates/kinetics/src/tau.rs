@@ -22,15 +22,16 @@ use rand::{RngExt, SeedableRng};
 /// Options for [`simulate_tau_leap`], wrapping the shared stochastic
 /// options with the leap-control parameter.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TauLeapOptions {
-    /// The shared stochastic options (span, recording, seed, budget).
-    pub base: SsaOptions,
+pub struct TauLeapOptions<'h> {
+    /// The shared stochastic options (span, recording, seed, budget,
+    /// step hook — polled once per leap or exact step).
+    pub base: SsaOptions<'h>,
     /// Largest relative propensity change allowed per leap (the
     /// Cao–Gillespie `ε`; default `0.03`).
     pub epsilon: f64,
 }
 
-impl Default for TauLeapOptions {
+impl Default for TauLeapOptions<'_> {
     fn default() -> Self {
         TauLeapOptions {
             base: SsaOptions::default(),
@@ -131,6 +132,11 @@ pub fn simulate_tau_leap(
             });
         }
         steps += 1;
+        if let Some(hook) = base.step_hook() {
+            if let std::ops::ControlFlow::Break(reason) = hook(steps as u64, t) {
+                return Err(SimError::Interrupted { time: t, reason });
+            }
+        }
 
         let injection_time = injections
             .get(next_injection)

@@ -8,11 +8,19 @@ use molseq_crn::{Crn, SpeciesId};
 /// Samples are appended by the simulators at the recording interval given in
 /// their options, plus one sample at every event (injection or trigger
 /// firing) so that discontinuities are visible.
+///
+/// State snapshots are stored in one flat row-major buffer (`width` values
+/// per sample) rather than one `Vec` per sample: recording a sample is a
+/// single `extend_from_slice` into an amortized buffer instead of a fresh
+/// heap allocation, and [`Trace::state`] is a stride-indexed subslice.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     names: Vec<String>,
+    /// Number of species per snapshot (row width of `data`).
+    width: usize,
     times: Vec<f64>,
-    states: Vec<Vec<f64>>,
+    /// Row-major snapshots: sample `i` is `data[i*width .. (i+1)*width]`.
+    data: Vec<f64>,
     marks: Vec<(f64, usize)>,
 }
 
@@ -20,20 +28,30 @@ impl Trace {
     /// Creates an empty trace that records the species of `crn`.
     #[must_use]
     pub fn new(crn: &Crn) -> Self {
+        Trace::with_capacity(crn, 0)
+    }
+
+    /// Creates an empty trace preallocated for `samples` snapshots.
+    #[must_use]
+    pub fn with_capacity(crn: &Crn, samples: usize) -> Self {
+        let names: Vec<String> = crn
+            .species_iter()
+            .map(|(_, s)| s.name().to_owned())
+            .collect();
+        let width = names.len();
         Trace {
-            names: crn
-                .species_iter()
-                .map(|(_, s)| s.name().to_owned())
-                .collect(),
-            times: Vec::new(),
-            states: Vec::new(),
+            names,
+            width,
+            times: Vec::with_capacity(samples),
+            data: Vec::with_capacity(samples * width),
             marks: Vec::new(),
         }
     }
 
     pub(crate) fn push(&mut self, time: f64, state: &[f64]) {
+        debug_assert_eq!(state.len(), self.width, "snapshot width mismatch");
         self.times.push(time);
-        self.states.push(state.to_vec());
+        self.data.extend_from_slice(state);
     }
 
     pub(crate) fn push_mark(&mut self, time: f64, trigger: usize) {
@@ -48,18 +66,15 @@ impl Trace {
     /// Panics if the traces record different species sets.
     pub fn append(&mut self, other: &Trace) {
         assert_eq!(self.names, other.names, "traces must share a network");
-        for i in 0..other.len() {
-            if i == 0
-                && self
-                    .times
-                    .last()
-                    .is_some_and(|&t| (t - other.times[0]).abs() < 1e-12)
-            {
-                continue;
-            }
-            self.times.push(other.times[i]);
-            self.states.push(other.states[i].clone());
-        }
+        let skip_first = !other.is_empty()
+            && self
+                .times
+                .last()
+                .is_some_and(|&t| (t - other.times[0]).abs() < 1e-12);
+        let from = usize::from(skip_first);
+        self.times.extend_from_slice(&other.times[from..]);
+        self.data
+            .extend_from_slice(&other.data[from * other.width..]);
         self.marks.extend_from_slice(&other.marks);
     }
 
@@ -94,7 +109,8 @@ impl Trace {
     /// Panics if `i` is out of range.
     #[must_use]
     pub fn state(&self, i: usize) -> &[f64] {
-        &self.states[i]
+        assert!(i < self.len(), "sample index {i} out of range");
+        &self.data[i * self.width..(i + 1) * self.width]
     }
 
     /// The last recorded state.
@@ -104,13 +120,19 @@ impl Trace {
     /// Panics if the trace is empty.
     #[must_use]
     pub fn final_state(&self) -> &[f64] {
-        self.states.last().expect("trace is not empty")
+        assert!(!self.is_empty(), "trace is not empty");
+        self.state(self.len() - 1)
     }
 
     /// The time series of one species.
     #[must_use]
     pub fn series(&self, species: SpeciesId) -> Vec<f64> {
-        self.states.iter().map(|s| s[species.index()]).collect()
+        self.data
+            .iter()
+            .skip(species.index())
+            .step_by(self.width.max(1))
+            .copied()
+            .collect()
     }
 
     /// Linear interpolation of one species at time `t` (clamped to the
@@ -124,7 +146,7 @@ impl Trace {
         assert!(!self.is_empty(), "trace is empty");
         let idx = species.index();
         if t <= self.times[0] {
-            return self.states[0][idx];
+            return self.state(0)[idx];
         }
         if t >= *self.times.last().expect("nonempty") {
             return self.final_state()[idx];
@@ -132,7 +154,7 @@ impl Trace {
         let hi = self.times.partition_point(|&x| x < t);
         let lo = hi - 1;
         let (t0, t1) = (self.times[lo], self.times[hi]);
-        let (v0, v1) = (self.states[lo][idx], self.states[hi][idx]);
+        let (v0, v1) = (self.state(lo)[idx], self.state(hi)[idx]);
         if t1 == t0 {
             return v1;
         }
@@ -170,9 +192,11 @@ impl Trace {
     /// Maximum value reached by a species over the whole trace.
     #[must_use]
     pub fn max_of(&self, species: SpeciesId) -> f64 {
-        self.states
+        self.data
             .iter()
-            .map(|s| s[species.index()])
+            .skip(species.index())
+            .step_by(self.width.max(1))
+            .copied()
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
@@ -200,7 +224,7 @@ impl Trace {
         writeln!(w)?;
         for (i, &t) in self.times.iter().enumerate() {
             write!(w, "{t}")?;
-            for v in &self.states[i] {
+            for v in self.state(i) {
                 write!(w, ",{v}")?;
             }
             writeln!(w)?;
@@ -370,6 +394,75 @@ mod tests {
         assert_eq!(lines[1], "0,1,2");
         assert_eq!(lines[2], "0.5,3,4");
         assert_eq!(lines.len(), 3);
+    }
+
+    /// The flat row-major storage must be observationally identical to the
+    /// obvious `Vec<Vec<f64>>` representation it replaced: same states,
+    /// same interpolation, same CSV bytes, same append/boundary-dedup
+    /// behavior.
+    #[test]
+    fn flat_storage_matches_nested_reference_model() {
+        let mut crn = Crn::new();
+        let a = crn.species("A");
+        let b = crn.species("B");
+        let c = crn.species("C");
+
+        // Deterministic pseudo-random sample set (LCG; no rand dep here).
+        let mut seed = 0x2545F491u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut reference: Vec<(f64, Vec<f64>)> = Vec::new();
+        let mut trace = Trace::with_capacity(&crn, 8); // deliberately small hint
+        for i in 0..100 {
+            let t = i as f64 * 0.25;
+            let row = vec![next(), next(), next()];
+            trace.push(t, &row);
+            reference.push((t, row));
+        }
+
+        assert_eq!(trace.len(), reference.len());
+        for (i, (t, row)) in reference.iter().enumerate() {
+            assert_eq!(trace.times()[i], *t);
+            assert_eq!(trace.state(i), row.as_slice());
+        }
+        assert_eq!(trace.final_state(), reference.last().unwrap().1.as_slice());
+        for (k, sp) in [a, b, c].into_iter().enumerate() {
+            let expect: Vec<f64> = reference.iter().map(|(_, r)| r[k]).collect();
+            assert_eq!(trace.series(sp), expect);
+            let max = expect.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(trace.max_of(sp), max);
+        }
+
+        // Interpolation between two reference rows.
+        let mid = 0.5 * (reference[3].0 + reference[4].0);
+        let expect_mid = 0.5 * (reference[3].1[1] + reference[4].1[1]);
+        assert!((trace.value_at(b, mid) - expect_mid).abs() < 1e-12);
+
+        // CSV bytes match a hand-rolled writer over the reference model.
+        let mut got = Vec::new();
+        trace.write_csv(&mut got).unwrap();
+        let mut want = String::from("time,A,B,C\n");
+        for (t, row) in &reference {
+            want.push_str(&format!("{t},{},{},{}\n", row[0], row[1], row[2]));
+        }
+        assert_eq!(String::from_utf8(got).unwrap(), want);
+
+        // Append with duplicate boundary sample: the boundary row is kept
+        // once, exactly as the nested representation did it.
+        let mut tail = Trace::new(&crn);
+        let boundary = reference.last().unwrap().clone();
+        tail.push(boundary.0, &boundary.1);
+        tail.push(boundary.0 + 1.0, &[9.0, 8.0, 7.0]);
+        tail.push_mark(boundary.0 + 1.0, 2);
+        let before = trace.len();
+        trace.append(&tail);
+        assert_eq!(trace.len(), before + 1);
+        assert_eq!(trace.final_state(), &[9.0, 8.0, 7.0]);
+        assert_eq!(trace.marks(), &[(boundary.0 + 1.0, 2)]);
     }
 
     #[test]

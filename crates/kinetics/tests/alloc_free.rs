@@ -1,0 +1,126 @@
+//! Regression test: the warm ODE hot path must not allocate per step.
+//!
+//! A counting [`GlobalAlloc`] wraps the system allocator; a warm
+//! [`simulate_ode_with_workspace`] run is allowed a small constant number
+//! of allocations (the returned `Trace`'s preallocated buffers, species
+//! name clones, trigger runtime) but the count must not grow with the
+//! number of integration steps — doubling the time span may not add
+//! meaningfully to it. Before the workspace refactor the integrator
+//! allocated fresh scratch per segment and a fresh sample `Vec` per
+//! record, which this test would catch as O(steps) growth.
+//!
+//! Single `#[test]` on purpose: parallel tests in the same binary would
+//! share (and pollute) the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use molseq_crn::{Crn, Rate};
+use molseq_kinetics::{
+    simulate_ode_with_workspace, CompiledCrn, OdeOptions, OdeWorkspace, Schedule, SimSpec, State,
+};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn warm_ode_run_allocates_a_step_independent_constant() {
+    // A stiff fast/slow ring: plenty of steps, no triggers or injections.
+    let mut crn = Crn::new();
+    let a = crn.species("a");
+    let b = crn.species("b");
+    let c = crn.species("c");
+    crn.reaction(&[(a, 1)], &[(b, 1)], Rate::Fast).unwrap();
+    crn.reaction(&[(b, 1)], &[(c, 1)], Rate::Fast).unwrap();
+    crn.reaction(&[(c, 1)], &[(a, 1)], Rate::Slow).unwrap();
+    let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+    let mut init = State::new(&crn);
+    init.set(a, 50.0);
+
+    let schedule = Schedule::new();
+    let opts_for = |t_end: f64| {
+        OdeOptions::default()
+            .with_t_end(t_end)
+            .with_record_interval(0.01)
+    };
+
+    let mut workspace = OdeWorkspace::new();
+    // Warm-up: let the workspace and any lazy runtime structures size
+    // themselves (also warms the allocator itself).
+    let warm = simulate_ode_with_workspace(
+        &crn,
+        &compiled,
+        &init,
+        &schedule,
+        &opts_for(40.0),
+        &mut workspace,
+    )
+    .expect("warm-up simulates");
+    assert!(warm.len() > 1000, "workload too small to be meaningful");
+
+    let mut run = |t_end: f64| {
+        let mut trace = None;
+        let n = count_allocs(|| {
+            trace = Some(
+                simulate_ode_with_workspace(
+                    &crn,
+                    &compiled,
+                    &init,
+                    &schedule,
+                    &opts_for(t_end),
+                    &mut workspace,
+                )
+                .expect("simulates"),
+            );
+        });
+        (n, trace.unwrap())
+    };
+
+    let (short_allocs, short_trace) = run(20.0);
+    let (long_allocs, long_trace) = run(40.0);
+    assert!(
+        long_trace.len() >= 2 * short_trace.len() - 2,
+        "long run should take ~2x the records: {} vs {}",
+        long_trace.len(),
+        short_trace.len()
+    );
+
+    // The absolute budget: the returned Trace's buffers plus one name
+    // clone per species plus small fixed runtime state.
+    assert!(
+        short_allocs < 64,
+        "warm run made {short_allocs} allocations; hot path is allocating"
+    );
+    // The regression criterion: doubling the step count must not scale
+    // the allocation count.
+    assert!(
+        long_allocs <= short_allocs + 8,
+        "allocation count grows with steps: {short_allocs} for T, {long_allocs} for 2T"
+    );
+}

@@ -187,6 +187,57 @@ impl JobCtx {
     pub fn steps(&self) -> u64 {
         self.steps.get()
     }
+
+    /// Adapts this context's budget meters to the simulators' step-hook
+    /// signature (`Fn(u64, f64) -> ControlFlow<String>`): bind the return
+    /// value and pass a reference as `OdeOptions::with_step_hook` /
+    /// `SsaOptions::with_step_hook`, and the sweep's wall/step budgets are
+    /// then enforced *inside* the integration loop instead of only between
+    /// jobs.
+    ///
+    /// The hook receives each simulator call's cumulative step count; the
+    /// adapter records only the per-call increment, so one job may drive
+    /// several simulations (e.g. a harness's horizon-doubling retries,
+    /// whose counters restart) against a single shared meter.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use molseq_sweep::{JobBudget, JobCtx};
+    /// use std::ops::ControlFlow;
+    ///
+    /// let ctx = JobCtx::new_for_test(0, 1, JobBudget::unlimited().with_max_steps(100));
+    /// let hook = ctx.step_hook();
+    /// assert!(matches!(hook(90, 1.0), ControlFlow::Continue(())));
+    /// assert!(matches!(hook(101, 2.0), ControlFlow::Break(_)));
+    /// ```
+    pub fn step_hook(&self) -> impl Fn(u64, f64) -> std::ops::ControlFlow<String> + '_ {
+        let last = Cell::new(0u64);
+        move |steps, _t| {
+            // a new simulator call restarts its counter at 1
+            let delta = if steps < last.get() {
+                steps
+            } else {
+                steps - last.get()
+            };
+            last.set(steps);
+            if let Err(e) = self.record_steps(delta) {
+                return std::ops::ControlFlow::Break(e.to_string());
+            }
+            if let Err(e) = self.check() {
+                return std::ops::ControlFlow::Break(e.to_string());
+            }
+            std::ops::ControlFlow::Continue(())
+        }
+    }
+
+    /// Test-only constructor (public so doctests and downstream
+    /// integration tests can fabricate a context without running a sweep).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn new_for_test(index: usize, seed: u64, budget: JobBudget) -> Self {
+        JobCtx::new(index, seed, budget)
+    }
 }
 
 /// Derives the per-job seed from the sweep seed and job index with a
@@ -307,6 +358,21 @@ mod tests {
         let tight = JobCtx::new(0, 1, JobBudget::unlimited().with_max_wall(Duration::ZERO));
         std::thread::sleep(Duration::from_millis(1));
         assert!(tight.check().is_err());
+    }
+
+    #[test]
+    fn step_hook_meters_deltas_and_survives_counter_resets() {
+        let ctx = JobCtx::new(0, 1, JobBudget::unlimited().with_max_steps(100));
+        let hook = ctx.step_hook();
+        // first simulator call: cumulative 1, 2, ... 60
+        assert!(hook(60, 0.5).is_continue());
+        assert_eq!(ctx.steps(), 60);
+        // second call restarts its counter: 10 fresh steps, not a rollback
+        assert!(hook(10, 0.1).is_continue());
+        assert_eq!(ctx.steps(), 70);
+        // pushing past the budget breaks with the budget message
+        let broke = hook(50, 0.2);
+        assert!(matches!(broke, std::ops::ControlFlow::Break(ref m) if m.contains("budget")));
     }
 
     #[test]
