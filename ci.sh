@@ -10,6 +10,10 @@
 #   4. workspace      cargo test -q --workspace (every crate, incl. vendor stubs)
 #   5. benches        cargo bench --no-run (benches must keep compiling)
 #   6. kernel smoke   one pass over the kinetics hot-path workloads
+#   7. sweep smoke    repro --quick --jobs 2 --summary on a stochastic
+#                     experiment: report must match --jobs 1 byte-for-byte
+#                     and the persisted summaries must parse and carry the
+#                     per-cell simulator-metrics columns
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -33,5 +37,28 @@ cargo bench --workspace --no-run
 
 echo "== kernel smoke =="
 cargo bench -p molseq-bench --bench kinetics -- --test
+
+echo "== sweep smoke: parallel determinism + per-cell metrics =="
+SWEEP_TMP="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_TMP"' EXIT
+target/release/repro e10 --quick --jobs 1 --summary "$SWEEP_TMP/j1" > "$SWEEP_TMP/report_j1.txt"
+target/release/repro e10 --quick --jobs 2 --summary "$SWEEP_TMP/j2" > "$SWEEP_TMP/report_j2.txt"
+# the "(generated in ...)" wall-clock line is the only permitted difference
+diff <(grep -v "generated in" "$SWEEP_TMP/report_j1.txt") \
+     <(grep -v "generated in" "$SWEEP_TMP/report_j2.txt") \
+  || { echo "ci: repro e10 report differs between --jobs 1 and --jobs 2" >&2; exit 1; }
+for summary in "$SWEEP_TMP"/j1/*.summary.json "$SWEEP_TMP"/j2/*.summary.json; do
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$summary" > /dev/null \
+      || { echo "ci: summary is not valid JSON: $summary" >&2; exit 1; }
+  else
+    grep -q '"jobs"' "$summary" \
+      || { echo "ci: summary missing jobs array: $summary" >&2; exit 1; }
+  fi
+done
+for csv in "$SWEEP_TMP"/j1/*.summary.csv; do
+  head -n 1 "$csv" | grep -q "ssa_events" \
+    || { echo "ci: summary CSV missing simulator-metrics columns: $csv" >&2; exit 1; }
+done
 
 echo "ci: all stages passed"

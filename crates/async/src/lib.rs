@@ -42,7 +42,9 @@
 #![warn(missing_docs)]
 
 use molseq_crn::{Crn, SpeciesId};
-use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, State, Trace};
+use molseq_kinetics::{
+    simulate_ode, MetricsSink, OdeOptions, Schedule, SimSpec, State, StepHook, Trace,
+};
 use molseq_sync::{Color, SchemeBuilder, SchemeConfig, SyncError};
 
 /// The arithmetic applied to a quantity on one hop of the pipeline.
@@ -90,20 +92,76 @@ pub struct Throughput {
 }
 
 /// Options for latency measurement.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MeasureConfig {
+#[derive(Clone)]
+pub struct MeasureConfig<'h> {
     /// Kinetic interpretation.
     pub spec: SimSpec,
     /// Time horizon.
     pub t_end: f64,
+    /// Optional cooperative interruption hook, forwarded to the
+    /// integrator (see [`molseq_kinetics::StepHook`]). Lets a sweep meter
+    /// a measurement's steps against its budget.
+    pub step_hook: Option<StepHook<'h>>,
+    /// Optional metrics sink, forwarded to the integrator (see
+    /// [`molseq_kinetics::SimMetrics`]).
+    pub metrics: Option<MetricsSink<'h>>,
 }
 
-impl Default for MeasureConfig {
+impl std::fmt::Debug for MeasureConfig<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeasureConfig")
+            .field("spec", &self.spec)
+            .field("t_end", &self.t_end)
+            .field("step_hook", &self.step_hook.map(|_| "<hook>"))
+            .field("metrics", &self.metrics.map(|_| "<sink>"))
+            .finish()
+    }
+}
+
+impl PartialEq for MeasureConfig<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.t_end == other.t_end
+            && match (self.step_hook, other.step_hook) {
+                (None, None) => true,
+                (Some(a), Some(b)) => {
+                    std::ptr::eq(a as *const _ as *const (), b as *const _ as *const ())
+                }
+                _ => false,
+            }
+            && match (self.metrics, other.metrics) {
+                (None, None) => true,
+                (Some(a), Some(b)) => std::ptr::eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Default for MeasureConfig<'_> {
     fn default() -> Self {
         MeasureConfig {
             spec: SimSpec::default(),
             t_end: 400.0,
+            step_hook: None,
+            metrics: None,
         }
+    }
+}
+
+impl<'h> MeasureConfig<'h> {
+    /// The integrator options this measurement corresponds to: horizon,
+    /// recording interval, and the optional hook/sink forwarded through.
+    fn ode_options(&self) -> OdeOptions<'h> {
+        let mut opts = OdeOptions::default()
+            .with_t_end(self.t_end)
+            .with_record_interval(0.1);
+        if let Some(hook) = self.step_hook {
+            opts = opts.with_step_hook(hook);
+        }
+        if let Some(sink) = self.metrics {
+            opts = opts.with_metrics(sink);
+        }
+        opts
     }
 }
 
@@ -267,16 +325,14 @@ impl AsyncPipeline {
     /// # Errors
     ///
     /// Propagates simulator errors.
-    pub fn run_wavefront(&self, x: f64, config: &MeasureConfig) -> Result<Trace, SyncError> {
+    pub fn run_wavefront(&self, x: f64, config: &MeasureConfig<'_>) -> Result<Trace, SyncError> {
         let mut init = State::new(&self.crn);
         init.set(self.input, x);
         let trace = simulate_ode(
             &self.crn,
             &init,
             &Schedule::new(),
-            &OdeOptions::default()
-                .with_t_end(config.t_end)
-                .with_record_interval(0.1),
+            &config.ode_options(),
             &config.spec,
         )?;
         Ok(trace)
@@ -326,7 +382,7 @@ impl AsyncPipeline {
         &self,
         x: f64,
         count: usize,
-        config: &MeasureConfig,
+        config: &MeasureConfig<'_>,
     ) -> Result<Throughput, SyncError> {
         if count == 0 {
             return Err(SyncError::InvalidAmount { value: 0.0 });
@@ -345,9 +401,7 @@ impl AsyncPipeline {
             &self.crn,
             &init,
             &schedule,
-            &OdeOptions::default()
-                .with_t_end(config.t_end)
-                .with_record_interval(0.1),
+            &config.ode_options(),
             &config.spec,
         )?;
         let marks = trace.mark_times(0);
@@ -373,7 +427,11 @@ impl AsyncPipeline {
     /// # Errors
     ///
     /// Propagates simulator errors.
-    pub fn measure_latency(&self, x: f64, config: &MeasureConfig) -> Result<Latency, SyncError> {
+    pub fn measure_latency(
+        &self,
+        x: f64,
+        config: &MeasureConfig<'_>,
+    ) -> Result<Latency, SyncError> {
         let trace = self.run_wavefront(x, config)?;
         let series = self.output_series(&trace);
         let final_value = *series.last().unwrap_or(&0.0);
@@ -429,6 +487,22 @@ mod tests {
         let l1 = lat(1);
         let l4 = lat(4);
         assert!(l4 > l1 * 2.0, "latency must grow: {l1} vs {l4}");
+    }
+
+    #[test]
+    fn metrics_sink_reports_integrator_work() {
+        use molseq_kinetics::SimMetrics;
+        let pipe = AsyncPipeline::build(SchemeConfig::default(), &[HopOp::Identity]).unwrap();
+        let sink = std::cell::Cell::new(SimMetrics::default());
+        let config = MeasureConfig {
+            t_end: 50.0,
+            metrics: Some(&sink),
+            ..MeasureConfig::default()
+        };
+        pipe.measure_latency(40.0, &config).unwrap();
+        let m = sink.get();
+        assert!(m.ode_steps_accepted > 0, "{m:?}");
+        assert_eq!(m.final_time, 50.0, "{m:?}");
     }
 
     #[test]

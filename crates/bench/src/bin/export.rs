@@ -3,75 +3,200 @@
 //!
 //! ```sh
 //! cargo run --release -p molseq-bench --bin export -- out_dir
+//! cargo run --release -p molseq-bench --bin export -- out_dir --jobs 2
+//! cargo run --release -p molseq-bench --bin export -- out_dir --summary sums/
 //! dot -Tsvg out_dir/clock.dot -o clock.svg
 //! ```
+//!
+//! The three trace simulations are sweep cells: they run in parallel
+//! under `--jobs N` (`0` = one worker per core, `1` = serial) and render
+//! their CSV bytes in-memory; files are then written serially in job
+//! order, so the artifacts and the printed log are byte-identical at any
+//! worker count. `--summary DIR` persists the sweep's engine summary
+//! (status, timing and simulator metrics per cell) as
+//! `DIR/export.summary.{json,csv}`.
 
+use molseq_bench::{record_sim_metrics, sim_job_error, sync_job_error, ExpCtx};
 use molseq_crn::to_dot;
 use molseq_dsp::moving_average;
-use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
+use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimMetrics, SimSpec};
+use molseq_sweep::{run_sweep, JobCtx, JobError, SweepJob};
 use molseq_sync::{run_cycles, Clock, ClockSpec, DelayChain, RunConfig, SchemeConfig};
+use std::cell::Cell;
 use std::fs;
 use std::path::Path;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "export".to_owned());
-    let dir = Path::new(&dir);
-    fs::create_dir_all(dir)?;
+/// One exported figure: the file stem plus rendered artifact bodies.
+struct Artifact {
+    stem: &'static str,
+    csv: Vec<u8>,
+    dot: String,
+    samples: usize,
+}
 
-    // E1: the clock — trace + network graph
-    let clock = Clock::build(SchemeConfig::default(), 100.0)?;
-    let trace = simulate_ode(
+/// E1: the clock — trace + network graph.
+fn clock_artifact(job: &JobCtx) -> Result<Artifact, JobError> {
+    let clock = Clock::build(SchemeConfig::default(), 100.0).map_err(sync_job_error)?;
+    let hook = job.step_hook();
+    let sink = Cell::new(SimMetrics::default());
+    let opts = OdeOptions::default()
+        .with_t_end(60.0)
+        .with_record_interval(0.02)
+        .with_step_hook(&hook)
+        .with_metrics(&sink);
+    let result = simulate_ode(
         clock.crn(),
         &clock.initial_state(),
         &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(60.0)
-            .with_record_interval(0.02),
+        &opts,
         &SimSpec::default(),
-    )?;
-    trace.write_csv(fs::File::create(dir.join("clock.csv"))?)?;
-    fs::write(dir.join("clock.dot"), to_dot(clock.crn()))?;
-    println!("wrote clock.csv ({} samples) and clock.dot", trace.len());
+    );
+    record_sim_metrics(job, sink.get());
+    let trace = result.map_err(sim_job_error)?;
+    let mut csv = Vec::new();
+    trace.write_csv(&mut csv).map_err(JobError::failed)?;
+    Ok(Artifact {
+        stem: "clock",
+        csv,
+        dot: to_dot(clock.crn()),
+        samples: trace.len(),
+    })
+}
 
-    // E2: the delay chain
-    let chain = DelayChain::build(SchemeConfig::default(), 2)?;
-    let trace = simulate_ode(
+/// E2: the delay chain.
+fn delay_chain_artifact(job: &JobCtx) -> Result<Artifact, JobError> {
+    let chain = DelayChain::build(SchemeConfig::default(), 2).map_err(sync_job_error)?;
+    let init = chain
+        .initial_state(80.0, &[30.0, 55.0])
+        .map_err(sync_job_error)?;
+    let hook = job.step_hook();
+    let sink = Cell::new(SimMetrics::default());
+    let opts = OdeOptions::default()
+        .with_t_end(60.0)
+        .with_record_interval(0.02)
+        .with_step_hook(&hook)
+        .with_metrics(&sink);
+    let result = simulate_ode(
         chain.crn(),
-        &chain.initial_state(80.0, &[30.0, 55.0])?,
+        &init,
         &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(60.0)
-            .with_record_interval(0.02),
+        &opts,
         &SimSpec::default(),
-    )?;
-    trace.write_csv(fs::File::create(dir.join("delay_chain.csv"))?)?;
-    fs::write(dir.join("delay_chain.dot"), to_dot(chain.crn()))?;
-    println!(
-        "wrote delay_chain.csv ({} samples) and delay_chain.dot",
-        trace.len()
     );
+    record_sim_metrics(job, sink.get());
+    let trace = result.map_err(sim_job_error)?;
+    let mut csv = Vec::new();
+    trace.write_csv(&mut csv).map_err(JobError::failed)?;
+    Ok(Artifact {
+        stem: "delay_chain",
+        csv,
+        dot: to_dot(chain.crn()),
+        samples: trace.len(),
+    })
+}
 
-    // E3: the moving-average filter, full run
-    let filter = moving_average(2, ClockSpec::default())?;
+/// E3: the moving-average filter, full run.
+fn moving_average_artifact(job: &JobCtx) -> Result<Artifact, JobError> {
+    let filter = moving_average(2, ClockSpec::default()).map_err(sync_job_error)?;
     let samples = [10.0, 50.0, 10.0, 80.0, 80.0, 20.0, 20.0, 60.0];
-    let run = run_cycles(
-        filter.system(),
-        &[("x", &samples)],
-        samples.len(),
-        &RunConfig::default(),
-    )?;
-    run.trace()
-        .write_csv(fs::File::create(dir.join("moving_average.csv"))?)?;
-    fs::write(
-        dir.join("moving_average.dot"),
-        to_dot(filter.system().crn()),
-    )?;
-    println!(
-        "wrote moving_average.csv ({} samples) and moving_average.dot",
-        run.trace().len()
-    );
+    let hook = job.step_hook();
+    let sink = Cell::new(SimMetrics::default());
+    let config = RunConfig {
+        step_hook: Some(&hook),
+        metrics: Some(&sink),
+        ..RunConfig::default()
+    };
+    let result = run_cycles(filter.system(), &[("x", &samples)], samples.len(), &config);
+    record_sim_metrics(job, sink.get());
+    let run = result.map_err(sync_job_error)?;
+    let mut csv = Vec::new();
+    run.trace().write_csv(&mut csv).map_err(JobError::failed)?;
+    Ok(Artifact {
+        stem: "moving_average",
+        csv,
+        dot: to_dot(filter.system().crn()),
+        samples: run.trace().len(),
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir_arg: Option<String> = None;
+    let mut jobs: usize = 0;
+    let mut summary_dir: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let Some(n) = iter.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--jobs expects a worker count (0 = one per core)");
+                    std::process::exit(2);
+                };
+                jobs = n;
+            }
+            "--summary" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--summary expects a directory path");
+                    std::process::exit(2);
+                };
+                summary_dir = Some(dir.clone());
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                eprintln!("usage: export [out_dir] [--jobs N] [--summary DIR]");
+                std::process::exit(2);
+            }
+            other if dir_arg.is_none() => dir_arg = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let dir_arg = dir_arg.unwrap_or_else(|| "export".to_owned());
+    let dir = Path::new(&dir_arg);
+    fs::create_dir_all(dir)?;
+
+    let mut ctx = ExpCtx::full().with_jobs(jobs);
+    if let Some(s) = summary_dir {
+        ctx = ctx.with_summary_dir(s);
+    }
+
+    let export_jobs: Vec<SweepJob<'static, Artifact>> = vec![
+        SweepJob::new("clock", clock_artifact),
+        SweepJob::new("delay_chain", delay_chain_artifact),
+        SweepJob::new("moving_average", moving_average_artifact),
+    ];
+    let out = run_sweep(&export_jobs, &ctx.sweep_options());
+    ctx.persist_summary("export", &out.summary);
+
+    // file writes and log lines stay serial and in job order, whatever
+    // the worker count — the artifacts must be byte-identical
+    let mut failures = 0usize;
+    for cell in &out.cells {
+        match cell.value() {
+            Some(artifact) => {
+                fs::write(dir.join(format!("{}.csv", artifact.stem)), &artifact.csv)?;
+                fs::write(dir.join(format!("{}.dot", artifact.stem)), &artifact.dot)?;
+                println!(
+                    "wrote {stem}.csv ({} samples) and {stem}.dot",
+                    artifact.samples,
+                    stem = artifact.stem
+                );
+            }
+            None => {
+                failures += 1;
+                eprintln!(
+                    "export `{}` failed: {}",
+                    cell.label,
+                    cell.detail().unwrap_or("unknown error")
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
 
     println!(
         "\nrender the graphs with e.g.:  dot -Tsvg {}/clock.dot -o clock.svg",

@@ -86,8 +86,23 @@ fn main() {
         ctx = ctx.with_summary_dir(dir);
     }
 
-    let mut ran = 0;
-    for (id, _title, runner) in all_experiments() {
+    let experiments = all_experiments();
+    // validate the whole selection upfront: every unknown id is an error,
+    // even when other requested ids are valid — a typo must not silently
+    // shrink the run
+    let unknown: Vec<&str> = selected
+        .iter()
+        .copied()
+        .filter(|id| !experiments.iter().any(|(known, _, _)| known == id))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment id(s): {}", unknown.join(" "));
+        let available: Vec<&str> = experiments.iter().map(|(id, _, _)| *id).collect();
+        eprintln!("available: {}", available.join(" "));
+        std::process::exit(2);
+    }
+
+    for (id, _title, runner) in experiments {
         if !selected.is_empty() && !selected.contains(&id) {
             continue;
         }
@@ -95,11 +110,5 @@ fn main() {
         let report = runner(&ctx);
         println!("{report}");
         println!("  (generated in {:.1?})\n", start.elapsed());
-        ran += 1;
-    }
-    if ran == 0 {
-        eprintln!("unknown experiment id(s): {selected:?}");
-        eprintln!("available: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 a1 a2");
-        std::process::exit(2);
     }
 }

@@ -16,19 +16,23 @@
 //! Expected shape: logic reliability is essentially perfect at all counts;
 //! arithmetic precision improves inversely with amplitude.
 //!
-//! Replicates are sweep cells: each network is compiled once, shared
-//! across its seeds, and the seeds run in parallel on the
-//! [`molseq_sweep`] engine. Seeds are fixed per cell, so the report is
-//! byte-identical at any worker count.
+//! Replicates are sweep cells, stamped out by a
+//! [`Replicator`](molseq_kinetics::Replicator): each network is compiled
+//! once, shared across its seeds, and the seeds run in parallel on the
+//! [`molseq_sweep`] engine. Replicate seeds derive from the base seed and
+//! replicate number only, so the report is byte-identical at any worker
+//! count and stable when the grid grows.
 
 use crate::{ExpCtx, Report};
 use molseq_crn::RateAssignment;
 use molseq_dsp::{moving_average, rmse, Filter};
 use molseq_kinetics::{
-    simulate_ssa_compiled, CompiledCrn, Schedule, SimError, SimSpec, SsaOptions,
+    simulate_ssa_compiled, CompiledCrn, Replicator, Schedule, SimError, SimMetrics, SimSpec,
+    SsaOptions,
 };
 use molseq_sweep::{run_sweep, JobCtx, JobError, SweepJob};
 use molseq_sync::{BinaryCounter, ClockSpec, SyncRun};
+use std::cell::Cell;
 
 /// One stochastic counter run: three pulses at amplitude `n`; returns the
 /// decoded final count (`None` for a domain failure — a stalled or
@@ -48,18 +52,22 @@ fn count_three(
     // dimer ignition is slower at integer counts (a feedback intermediate
     // must exist as a whole molecule), so cycles stretch vs the ODE run
     let hook = job.step_hook();
+    let sink = Cell::new(SimMetrics::default());
     let opts = SsaOptions::default()
         .with_t_end(220.0)
         .with_record_interval(1.0)
         .with_seed(seed)
-        .with_step_hook(&hook);
-    let trace = match simulate_ssa_compiled(
+        .with_step_hook(&hook)
+        .with_metrics(&sink);
+    let result = simulate_ssa_compiled(
         system.crn(),
         compiled,
         &system.initial_state(),
         &schedule,
         &opts,
-    ) {
+    );
+    crate::record_sim_metrics(job, sink.get());
+    let trace = match result {
         Ok(t) => t,
         Err(SimError::Interrupted { time, reason }) => {
             return Err(JobError::BudgetExceeded(format!(
@@ -96,18 +104,22 @@ fn filter_noise(
     };
     let schedule = Schedule::new().trigger(trigger);
     let hook = job.step_hook();
+    let sink = Cell::new(SimMetrics::default());
     let opts = SsaOptions::default()
         .with_t_end(400.0)
         .with_record_interval(1.0)
         .with_seed(seed)
-        .with_step_hook(&hook);
-    let trace = match simulate_ssa_compiled(
+        .with_step_hook(&hook)
+        .with_metrics(&sink);
+    let result = simulate_ssa_compiled(
         system.crn(),
         compiled,
         &system.initial_state(),
         &schedule,
         &opts,
-    ) {
+    );
+    crate::record_sim_metrics(job, sink.get());
+    let trace = match result {
         Ok(t) => t,
         Err(SimError::Interrupted { time, reason }) => {
             return Err(JobError::BudgetExceeded(format!(
@@ -155,11 +167,11 @@ pub fn run(ctx: &ExpCtx) -> Report {
     let counter_jobs: Vec<SweepJob<'_, Option<u32>>> = counters
         .iter()
         .flat_map(|(n, counter, compiled)| {
-            (0..runs).map(move |s| {
-                SweepJob::new(format!("counter n={n} seed={}", 11 + s), move |job| {
-                    count_three(counter, compiled, 11 + s, job)
-                })
-            })
+            Replicator::new(compiled, 11).jobs(
+                format!("counter n={n}"),
+                runs as usize,
+                move |compiled, seed, job| count_three(counter, compiled, seed, job),
+            )
         })
         .collect();
     let counter_out = run_sweep(&counter_jobs, &ctx.sweep_options());
@@ -191,15 +203,16 @@ pub fn run(ctx: &ExpCtx) -> Report {
         filter.system().crn(),
         &SimSpec::new(RateAssignment::default()),
     );
+    let filter_rep = Replicator::new(&filter_compiled, 101);
     let filter_jobs: Vec<SweepJob<'_, Option<f64>>> = filter_amplitudes
         .iter()
         .flat_map(|&n| {
-            let (filter, compiled) = (&filter, &filter_compiled);
-            (0..filter_runs).map(move |seed| {
-                SweepJob::new(format!("filter n={n} seed={}", 101 + seed), move |job| {
-                    filter_noise(filter, compiled, n, 101 + seed, job)
-                })
-            })
+            let filter = &filter;
+            filter_rep.jobs(
+                format!("filter n={n}"),
+                filter_runs as usize,
+                move |compiled, seed, job| filter_noise(filter, compiled, n, seed, job),
+            )
         })
         .collect();
     let filter_out = run_sweep(&filter_jobs, &ctx.sweep_options());
@@ -245,5 +258,12 @@ mod tests {
             .metric_value("filter relative RMS at largest amplitude")
             .unwrap();
         assert!(noise < 0.2, "{report}");
+    }
+
+    #[test]
+    fn parallel_report_matches_serial() {
+        let serial = super::run(&ExpCtx::quick().with_jobs(1));
+        let parallel = super::run(&ExpCtx::quick().with_jobs(4));
+        assert_eq!(serial.to_string(), parallel.to_string());
     }
 }

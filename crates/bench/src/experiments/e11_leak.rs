@@ -21,9 +21,10 @@
 use crate::{sim_job_error, ExpCtx, Report};
 use molseq_crn::{Crn, RateAssignment};
 use molseq_dsd::{DsdParams, DsdSystem};
-use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, StepHook};
+use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimMetrics, SimSpec};
 use molseq_modules::{add, halve};
-use molseq_sweep::{run_sweep, JobError, SweepJob};
+use molseq_sweep::{run_sweep, JobCtx, JobError, SweepJob};
+use std::cell::Cell;
 
 /// Builds the abstract average program and its expected output.
 fn average_program() -> (Crn, [f64; 4], f64) {
@@ -41,12 +42,7 @@ fn average_program() -> (Crn, [f64; 4], f64) {
 
 /// Runs the compiled program at one leak rate and fuel level; returns the
 /// output error.
-fn error_at_leak(
-    leak: f64,
-    fuel: f64,
-    t_end: f64,
-    hook: Option<StepHook<'_>>,
-) -> Result<f64, JobError> {
+fn error_at_leak(leak: f64, fuel: f64, t_end: f64, job: &JobCtx) -> Result<f64, JobError> {
     let (formal, init, expected) = average_program();
     let y = formal.find_species("y").expect("exists");
     let params = DsdParams {
@@ -56,20 +52,22 @@ fn error_at_leak(
     };
     let dsd = DsdSystem::compile(&formal, RateAssignment::default(), &params)
         .map_err(JobError::failed)?;
-    let mut opts = OdeOptions::default()
+    let hook = job.step_hook();
+    let sink = Cell::new(SimMetrics::default());
+    let opts = OdeOptions::default()
         .with_t_end(t_end)
-        .with_record_interval(t_end / 50.0);
-    if let Some(hook) = hook {
-        opts = opts.with_step_hook(hook);
-    }
-    let trace = simulate_ode(
+        .with_record_interval(t_end / 50.0)
+        .with_step_hook(&hook)
+        .with_metrics(&sink);
+    let result = simulate_ode(
         dsd.crn(),
         &dsd.initial_state(&init),
         &Schedule::new(),
         &opts,
         &SimSpec::default(),
-    )
-    .map_err(sim_job_error)?;
+    );
+    crate::record_sim_metrics(job, sink.get());
+    let trace = result.map_err(sim_job_error)?;
     let fin = trace.final_state();
     let measured: f64 = dsd.apparent(y).iter().map(|s| fin[s.index()]).sum();
     Ok((measured - expected).abs())
@@ -90,8 +88,7 @@ pub fn run(ctx: &ExpCtx) -> Report {
         .iter()
         .map(|&leak| {
             SweepJob::new(format!("leak={leak:e}"), move |job| {
-                let hook = job.step_hook();
-                error_at_leak(leak, default_fuel, t_end, Some(&hook))
+                error_at_leak(leak, default_fuel, t_end, job)
             })
         })
         .collect();
@@ -140,8 +137,7 @@ pub fn run(ctx: &ExpCtx) -> Report {
         .iter()
         .map(|&fuel| {
             SweepJob::new(format!("fuel={fuel}"), move |job| {
-                let hook = job.step_hook();
-                error_at_leak(leak, fuel, t_end, Some(&hook))
+                error_at_leak(leak, fuel, t_end, job)
             })
         })
         .collect();
@@ -185,7 +181,8 @@ mod tests {
         let clean = report.metric_value("error without leak").unwrap();
         assert!(clean < 1.0, "{report}");
         let fuel = molseq_dsd::DsdParams::default().fuel;
-        let large_leak_err = super::error_at_leak(1e-9, fuel, 30.0, None).unwrap();
+        let ctx = molseq_sweep::JobCtx::new_for_test(0, 1, molseq_sweep::JobBudget::unlimited());
+        let large_leak_err = super::error_at_leak(1e-9, fuel, 30.0, &ctx).unwrap();
         assert!(
             large_leak_err > clean + 0.5,
             "leak must hurt: {large_leak_err}"

@@ -9,12 +9,19 @@
 //! amplitude estimate would be biased low whenever the samples straddle
 //! the output sinusoid's peaks.
 //!
+//! The filter network does not depend on the probe frequency, so it is
+//! compiled once and every probe is a sweep cell driving the shared
+//! [`CompiledCrn`]; the report is byte-identical at any worker count.
+//!
 //! Expected shape: gain ≈ 1 at DC, rolling off to 0 at the Nyquist
 //! frequency (ω = π), tracking `cos(ω/2)` in between.
 
-use crate::{ExpCtx, Report};
-use molseq_dsp::moving_average;
+use crate::{sync_job_error, ExpCtx, Report};
+use molseq_dsp::{moving_average, Filter};
+use molseq_kinetics::{CompiledCrn, SimMetrics, SimSpec};
+use molseq_sweep::{run_sweep, JobCtx, JobError, SweepJob};
 use molseq_sync::{ClockSpec, RunConfig};
+use std::cell::Cell;
 
 /// Single-bin DFT magnitude of a series' tail at frequency `omega`
 /// (radians per sample). The tail must cover whole periods.
@@ -30,9 +37,15 @@ fn dft_magnitude(series: &[f64], tail: usize, omega: f64) -> f64 {
     (re * re + im * im).sqrt() * 2.0 / window.len() as f64
 }
 
-/// Runs one probe at `samples_per_period` and returns (measured gain,
-/// theoretical gain).
-fn probe(samples_per_period: usize, quick: bool) -> Option<(f64, f64)> {
+/// Runs one probe at `samples_per_period` against the shared compiled
+/// network and returns (measured gain, theoretical gain).
+fn probe(
+    filter: &Filter,
+    compiled: &CompiledCrn,
+    samples_per_period: usize,
+    quick: bool,
+    job: &JobCtx,
+) -> Result<(f64, f64), JobError> {
     let amplitude = 30.0;
     let offset = 40.0;
     let periods = if quick { 3 } else { 5 };
@@ -42,14 +55,22 @@ fn probe(samples_per_period: usize, quick: bool) -> Option<(f64, f64)> {
         .map(|k| offset + amplitude * (omega * k as f64).cos())
         .collect();
 
-    let filter = moving_average(2, ClockSpec::default()).ok()?;
-    let measured_series = filter.respond(&samples, &RunConfig::default()).ok()?;
+    let hook = job.step_hook();
+    let sink = Cell::new(SimMetrics::default());
+    let config = RunConfig {
+        step_hook: Some(&hook),
+        metrics: Some(&sink),
+        ..RunConfig::default()
+    };
+    let result = filter.respond_compiled(compiled, &samples, &config);
+    crate::record_sim_metrics(job, sink.get());
+    let measured_series = result.map_err(sync_job_error)?;
     // skip the first period (transient), use whole periods of the rest
     let tail = n - samples_per_period;
     let out_amp = dft_magnitude(&measured_series, tail, omega);
     let in_amp = dft_magnitude(&samples, tail, omega);
     let theory = (omega / 2.0).cos().abs();
-    Some((out_amp / in_amp, theory))
+    Ok((out_amp / in_amp, theory))
 }
 
 /// Runs the experiment.
@@ -62,14 +83,28 @@ pub fn run(ctx: &ExpCtx) -> Report {
         vec![16, 8, 4, 3, 2]
     };
 
+    let filter = moving_average(2, ClockSpec::default()).expect("filter builds");
+    let compiled = CompiledCrn::new(filter.system().crn(), &SimSpec::default());
+    let jobs: Vec<SweepJob<'_, (f64, f64)>> = sample_counts
+        .iter()
+        .map(|&spp| {
+            let (filter, compiled) = (&filter, &compiled);
+            SweepJob::new(format!("spp={spp}"), move |job| {
+                probe(filter, compiled, spp, quick, job)
+            })
+        })
+        .collect();
+    let out = run_sweep(&jobs, &ctx.sweep_options());
+    ctx.persist_summary("e12", &out.summary);
+
     report.line(
         "moving-average filter driven by offset sinusoids; gain vs normalized frequency".to_owned(),
     );
     report.line("samples/period |   ω/π | measured gain | cos(ω/2) |  error".to_owned());
     let mut worst = 0.0f64;
-    for &spp in &sample_counts {
-        match probe(spp, quick) {
-            Some((measured, theory)) => {
+    for (cell, &spp) in out.cells.iter().zip(&sample_counts) {
+        match cell.value() {
+            Some(&(measured, theory)) => {
                 let err = (measured - theory).abs();
                 worst = worst.max(err);
                 report.line(format!(
@@ -95,5 +130,12 @@ mod tests {
         let report = super::run(&crate::ExpCtx::quick());
         let worst = report.metric_value("worst |gain - theory|").unwrap();
         assert!(worst < 0.12, "{report}");
+    }
+
+    #[test]
+    fn parallel_report_matches_serial() {
+        let serial = super::run(&crate::ExpCtx::quick().with_jobs(1));
+        let parallel = super::run(&crate::ExpCtx::quick().with_jobs(4));
+        assert_eq!(serial.to_string(), parallel.to_string());
     }
 }

@@ -14,9 +14,10 @@
 use crate::{sync_job_error, ExpCtx, Report};
 use molseq_crn::RateAssignment;
 use molseq_dsp::{moving_average, rmse};
-use molseq_kinetics::{CompiledCrn, SimSpec};
+use molseq_kinetics::{CompiledCrn, SimMetrics, SimSpec};
 use molseq_sweep::{run_sweep, SweepJob};
 use molseq_sync::{ClockSpec, RunConfig};
+use std::cell::Cell;
 
 /// The ratios swept by the figure.
 pub fn ratios(quick: bool) -> Vec<f64> {
@@ -48,17 +49,19 @@ pub fn run(ctx: &ExpCtx) -> Report {
             SweepJob::new(format!("ratio={ratio}"), move |job| {
                 let spec = SimSpec::new(RateAssignment::from_ratio(ratio));
                 let hook = job.step_hook();
+                let sink = Cell::new(SimMetrics::default());
                 let config = RunConfig {
                     spec: spec.clone(),
                     // low separation makes phases long and mushy: allow
                     // more time
                     cycle_time_hint: if ratio < 100.0 { 120.0 } else { 45.0 },
                     step_hook: Some(&hook),
+                    metrics: Some(&sink),
                     ..RunConfig::default()
                 };
-                let measured = filter
-                    .respond_compiled(&base.rebind(&spec), samples, &config)
-                    .map_err(sync_job_error)?;
+                let result = filter.respond_compiled(&base.rebind(&spec), samples, &config);
+                crate::record_sim_metrics(job, sink.get());
+                let measured = result.map_err(sync_job_error)?;
                 let rms = rmse(&measured, ideal);
                 let max_err = measured
                     .iter()

@@ -15,9 +15,10 @@
 use crate::{sync_job_error, ExpCtx, Report};
 use molseq_crn::{JitterSpec, RateJitter};
 use molseq_dsp::{moving_average, rmse};
-use molseq_kinetics::{CompiledCrn, SimSpec};
+use molseq_kinetics::{CompiledCrn, SimMetrics, SimSpec};
 use molseq_sweep::{run_sweep, SweepJob};
 use molseq_sync::{ClockSpec, RunConfig};
+use std::cell::Cell;
 
 /// Runs the experiment.
 pub fn run(ctx: &ExpCtx) -> Report {
@@ -51,15 +52,17 @@ pub fn run(ctx: &ExpCtx) -> Report {
                     );
                     let spec = SimSpec::default().with_jitter(jitter);
                     let hook = job.step_hook();
+                    let sink = Cell::new(SimMetrics::default());
                     let config = RunConfig {
                         spec: spec.clone(),
                         cycle_time_hint: 90.0,
                         step_hook: Some(&hook),
+                        metrics: Some(&sink),
                         ..RunConfig::default()
                     };
-                    let measured = filter
-                        .respond_compiled(&base.rebind(&spec), samples, &config)
-                        .map_err(sync_job_error)?;
+                    let result = filter.respond_compiled(&base.rebind(&spec), samples, &config);
+                    crate::record_sim_metrics(job, sink.get());
+                    let measured = result.map_err(sync_job_error)?;
                     Ok(rmse(&measured, ideal))
                 })
             })

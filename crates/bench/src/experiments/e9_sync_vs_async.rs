@@ -6,17 +6,24 @@
 //! Expected shape: both scale linearly in chain length; the self-timed
 //! chain's latency per element is smaller, because the clocked design
 //! paces every hop by the (token-sized) clock rotation.
+//!
+//! Each chain length is one sweep cell (both measurements of a row share
+//! a metrics sink and a budget meter), so the scan parallelizes across
+//! lengths while the report stays byte-identical at any worker count.
 
-use crate::{ExpCtx, Report};
+use crate::{sync_job_error, ExpCtx, Report};
 use molseq_async::{AsyncPipeline, HopOp, MeasureConfig};
-use molseq_kinetics::crossings;
+use molseq_kinetics::{crossings, SimMetrics};
+use molseq_sweep::{run_sweep, SweepJob};
 use molseq_sync::{
-    run_cycles, stored_value_terms, ClockSpec, RunConfig, SchemeConfig, SyncCircuit,
+    run_cycles, stored_value_terms, ClockSpec, RunConfig, SchemeConfig, SyncCircuit, SyncError,
 };
+use std::cell::Cell;
 
 /// Latency of a value through `n` clocked registers, measured from the
-/// trace: time at which the output register first holds 95% of the value.
-fn sync_latency(n: usize, x: f64) -> Option<f64> {
+/// trace: time at which the output register first holds 95% of the value
+/// (`None` if it never does within the horizon).
+fn sync_latency(n: usize, x: f64, config: &RunConfig) -> Result<Option<f64>, SyncError> {
     let mut circuit = SyncCircuit::new(ClockSpec::default());
     let input = circuit.input("x");
     let mut node = input;
@@ -24,10 +31,10 @@ fn sync_latency(n: usize, x: f64) -> Option<f64> {
         node = circuit.delay(&format!("d{i}"), node);
     }
     circuit.output("y", node);
-    let system = circuit.compile().ok()?;
+    let system = circuit.compile()?;
     let samples = vec![x];
-    let run = run_cycles(&system, &[("x", &samples)], n + 3, &RunConfig::default()).ok()?;
-    let y = system.output_species("y").ok()?;
+    let run = run_cycles(&system, &[("x", &samples)], n + 3, config)?;
+    let y = system.output_species("y")?;
     let terms = stored_value_terms(system.crn(), y);
     let trace = run.trace();
     let series: Vec<f64> = (0..trace.len())
@@ -38,9 +45,9 @@ fn sync_latency(n: usize, x: f64) -> Option<f64> {
                 .sum()
         })
         .collect();
-    crossings(trace.times(), &series, 0.95 * x)
+    Ok(crossings(trace.times(), &series, 0.95 * x)
         .first()
-        .map(|c| c.time)
+        .map(|c| c.time))
 }
 
 /// Runs the experiment.
@@ -50,33 +57,62 @@ pub fn run(ctx: &ExpCtx) -> Report {
     let lengths: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 4, 6] };
     let x = 80.0;
 
+    // one cell per chain length: the self-timed measurement and the
+    // clocked reference share the cell's budget meter and metrics sink
+    let jobs: Vec<SweepJob<'_, (f64, Option<f64>)>> = lengths
+        .iter()
+        .map(|&n| {
+            SweepJob::new(format!("chain n={n}"), move |job| {
+                let hook = job.step_hook();
+                let sink = Cell::new(SimMetrics::default());
+                let pipe = AsyncPipeline::build(SchemeConfig::default(), &vec![HopOp::Identity; n])
+                    .map_err(sync_job_error)?;
+                let async_config = MeasureConfig {
+                    t_end: 600.0,
+                    step_hook: Some(&hook),
+                    metrics: Some(&sink),
+                    ..MeasureConfig::default()
+                };
+                let async_result = pipe.measure_latency(x, &async_config);
+                let sync_config = RunConfig {
+                    step_hook: Some(&hook),
+                    metrics: Some(&sink),
+                    ..RunConfig::default()
+                };
+                let sync_result = match async_result {
+                    Ok(_) => sync_latency(n, x, &sync_config),
+                    Err(_) => Ok(None), // unused; the async error returns below
+                };
+                crate::record_sim_metrics(job, sink.get());
+                let async_t95 = async_result.map_err(sync_job_error)?.t95;
+                let clocked = sync_result.map_err(sync_job_error)?;
+                Ok((async_t95, clocked))
+            })
+        })
+        .collect();
+    let out = run_sweep(&jobs, &ctx.sweep_options());
+    ctx.persist_summary("e9", &out.summary);
+
     report.line(format!(
         "latency to deliver a quantity of {x} through n elements"
     ));
     report.line("   n | self-timed t95 | clocked t95 | ratio".to_owned());
     let mut last_ratio = f64::NAN;
-    for &n in &lengths {
-        let pipe = AsyncPipeline::build(SchemeConfig::default(), &vec![HopOp::Identity; n])
-            .expect("pipeline");
-        let async_latency = pipe
-            .measure_latency(
-                x,
-                &MeasureConfig {
-                    t_end: 600.0,
-                    ..MeasureConfig::default()
-                },
-            )
-            .expect("async run")
-            .t95;
-        let sync_latency = sync_latency(n, x);
-        match sync_latency {
-            Some(s) => {
-                last_ratio = s / async_latency;
+    for (cell, &n) in out.cells.iter().zip(&lengths) {
+        match cell.value() {
+            Some(&(async_t95, Some(s))) => {
+                last_ratio = s / async_t95;
                 report.line(format!(
-                    "{n:4} | {async_latency:14.2} | {s:11.2} | {last_ratio:5.2}"
+                    "{n:4} | {async_t95:14.2} | {s:11.2} | {last_ratio:5.2}"
                 ));
             }
-            None => report.line(format!("{n:4} | {async_latency:14.2} |           — |")),
+            Some(&(async_t95, None)) => {
+                report.line(format!("{n:4} | {async_t95:14.2} |           — |"));
+            }
+            None => report.line(format!(
+                "{n:4} | failed: {}",
+                cell.detail().unwrap_or("unknown")
+            )),
         }
     }
     report.metric(
@@ -99,5 +135,12 @@ mod tests {
             .metric_value("clocked/self-timed latency ratio (longest chain)")
             .unwrap();
         assert!(ratio.is_finite() && ratio > 0.8, "{report}");
+    }
+
+    #[test]
+    fn parallel_report_matches_serial() {
+        let serial = super::run(&crate::ExpCtx::quick().with_jobs(1));
+        let parallel = super::run(&crate::ExpCtx::quick().with_jobs(4));
+        assert_eq!(serial.to_string(), parallel.to_string());
     }
 }

@@ -33,8 +33,8 @@ pub mod report;
 
 pub use report::Report;
 
-use molseq_kinetics::SimError;
-use molseq_sweep::{JobBudget, JobError, SweepOptions, SweepSummary};
+use molseq_kinetics::{SimError, SimMetrics};
+use molseq_sweep::{JobBudget, JobCtx, JobError, SweepOptions, SweepSummary};
 use molseq_sync::SyncError;
 use std::path::PathBuf;
 
@@ -141,6 +141,23 @@ pub fn sync_job_error(e: SyncError) -> JobError {
         }
         other => JobError::failed(other),
     }
+}
+
+/// Records every field of a simulator's [`SimMetrics`] as per-cell sweep
+/// metrics, so every experiment's summary carries the same columns
+/// (irrelevant counters are simply zero — an ODE cell reports
+/// `ssa_events = 0`). Call it right after the simulation, *before* acting
+/// on its result, so interrupted and failed cells still report the work
+/// they did. The `seed` column is lossy above 2^53 (metrics are `f64`);
+/// replicate labels carry the exact seed.
+pub fn record_sim_metrics(job: &JobCtx, m: SimMetrics) {
+    job.record_metric("ode_steps_accepted", m.ode_steps_accepted as f64);
+    job.record_metric("ode_steps_rejected", m.ode_steps_rejected as f64);
+    job.record_metric("lu_factorizations", m.lu_factorizations as f64);
+    job.record_metric("ssa_events", m.ssa_events as f64);
+    job.record_metric("tau_leaps", m.tau_leaps as f64);
+    job.record_metric("final_time", m.final_time);
+    job.record_metric("seed", m.seed as f64);
 }
 
 /// [`sync_job_error`] for raw simulator errors.

@@ -7,8 +7,8 @@
 
 use crate::{CompiledSystem, SyncError};
 use molseq_kinetics::{
-    simulate_ode_with_workspace, CompiledCrn, OdeMethod, OdeOptions, OdeWorkspace, Schedule,
-    SimError, SimSpec, StepHook, Trace,
+    simulate_ode_with_workspace, CompiledCrn, MetricsSink, OdeMethod, OdeOptions, OdeWorkspace,
+    Schedule, SimError, SimSpec, StepHook, Trace,
 };
 use std::collections::HashMap;
 
@@ -32,6 +32,12 @@ pub struct RunConfig<'h> {
     /// integrator (see [`molseq_kinetics::StepHook`]). The cumulative step
     /// count restarts at every horizon-doubling retry.
     pub step_hook: Option<StepHook<'h>>,
+    /// Optional metrics sink, forwarded to the integrator (see
+    /// [`molseq_kinetics::SimMetrics`]). Counters **accumulate** across
+    /// the harness's horizon-doubling retries, so the sink reports the
+    /// total work the harness spent on the cell, not just the final
+    /// successful pass.
+    pub metrics: Option<MetricsSink<'h>>,
 }
 
 impl std::fmt::Debug for RunConfig<'_> {
@@ -43,6 +49,7 @@ impl std::fmt::Debug for RunConfig<'_> {
             .field("record_interval", &self.record_interval)
             .field("method", &self.method)
             .field("step_hook", &self.step_hook.map(|_| "<hook>"))
+            .field("metrics", &self.metrics.map(|_| "<sink>"))
             .finish()
     }
 }
@@ -59,6 +66,11 @@ impl PartialEq for RunConfig<'_> {
                 (Some(a), Some(b)) => {
                     std::ptr::eq(a as *const _ as *const (), b as *const _ as *const ())
                 }
+                _ => false,
+            }
+            && match (self.metrics, other.metrics) {
+                (None, None) => true,
+                (Some(a), Some(b)) => std::ptr::eq(a, b),
                 _ => false,
             }
     }
@@ -78,6 +90,7 @@ impl Default for RunConfig<'_> {
                 atol: 1e-8,
             },
             step_hook: None,
+            metrics: None,
         }
     }
 }
@@ -305,6 +318,9 @@ pub fn run_cycles_with_workspace(
         if let Some(hook) = config.step_hook {
             opts = opts.with_step_hook(hook);
         }
+        if let Some(sink) = config.metrics {
+            opts = opts.with_metrics(sink);
+        }
         let trace = match simulate_ode_with_workspace(
             system.crn(),
             compiled,
@@ -387,7 +403,17 @@ mod tests {
         let sys = c.compile().unwrap();
 
         let samples = [40.0, 10.0, 70.0, 0.0];
-        let run = run_cycles(&sys, &[("x", &samples)], 5, &RunConfig::default()).unwrap();
+        let sink = std::cell::Cell::new(molseq_kinetics::SimMetrics::default());
+        let config = RunConfig {
+            metrics: Some(&sink),
+            ..RunConfig::default()
+        };
+        let run = run_cycles(&sys, &[("x", &samples)], 5, &config).unwrap();
+        let metrics = sink.get();
+        assert!(
+            metrics.ode_steps_accepted > 0 && metrics.final_time > 0.0,
+            "the harness forwards the sink to the integrator: {metrics:?}"
+        );
         let d_series = run.register_series("d").unwrap();
         let y_series = run.register_series("y").unwrap();
 

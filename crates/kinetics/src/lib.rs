@@ -49,9 +49,11 @@ mod compare;
 mod compiled;
 mod error;
 mod events;
+mod metrics;
 mod nrm;
 mod ode;
 mod plot;
+mod replicate;
 mod ssa;
 mod state;
 mod stiff;
@@ -62,12 +64,14 @@ pub use compare::{compare_trajectories, Divergence, MappedSpecies};
 pub use compiled::CompiledCrn;
 pub use error::SimError;
 pub use events::{Condition, Injection, Schedule, Trigger, TriggerAction};
+pub use metrics::{MetricsSink, SimMetrics};
 pub use nrm::simulate_nrm;
 pub use ode::{
     simulate_ode, simulate_ode_compiled, simulate_ode_with_workspace, simulate_until_quiescent,
     OdeMethod, OdeOptions, OdeWorkspace, StepHook, DEFAULT_JACOBIAN_REUSE,
 };
 pub use plot::{downsample, render_species, sparkline};
+pub use replicate::Replicator;
 pub use ssa::{simulate_ssa, simulate_ssa_compiled, SsaOptions};
 pub use state::State;
 pub use tau::{simulate_tau_leap, TauLeapOptions};

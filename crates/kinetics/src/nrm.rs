@@ -12,10 +12,12 @@
 
 use crate::compiled::CompiledCrn;
 use crate::events::TriggerRuntime;
+use crate::metrics::SimMetrics;
 use crate::{Schedule, SimError, SimSpec, SsaOptions, State, Trace};
 use molseq_crn::Crn;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::ops::ControlFlow;
 
 /// An indexed binary min-heap over `(time, reaction)`, supporting
 /// decrease/increase-key by reaction index.
@@ -155,6 +157,31 @@ pub fn simulate_nrm(
         });
     }
 
+    let mut stats = SimMetrics {
+        seed: opts.seed(),
+        final_time: opts.t_start(),
+        ..SimMetrics::default()
+    };
+    let result = nrm_core(crn, init, schedule, opts, spec, &mut stats);
+    // flush even on failure: an interrupted or step-limited run still
+    // reports the work it did
+    SimMetrics::flush(opts.metrics(), stats);
+    result
+}
+
+// Zero-propensity audit note: unlike the direct method's prefix-sum scan
+// (see `crate::ssa::select_reaction`), the next-reaction method cannot
+// select a zero-propensity reaction by round-off — a reaction with zero
+// propensity is assigned an *infinite* tentative time, and the heap
+// minimum is compared against the finite stop time before firing.
+fn nrm_core(
+    crn: &Crn,
+    init: &State,
+    schedule: &Schedule,
+    opts: &SsaOptions,
+    spec: &SimSpec,
+    stats: &mut SimMetrics,
+) -> Result<Trace, SimError> {
     let mut n: Vec<i64> = Vec::with_capacity(init.len());
     for &v in init.as_slice() {
         n.push(crate::ssa::to_count(v)?);
@@ -201,6 +228,7 @@ pub fn simulate_nrm(
                 next_record += opts.record_interval();
             }
             t = stop;
+            stats.final_time = t;
             if injection_time <= opts.t_end() {
                 let inj = &injections[next_injection];
                 n[inj.species.index()] += crate::ssa::to_count(inj.amount)?;
@@ -229,11 +257,18 @@ pub fn simulate_nrm(
             });
         }
         events += 1;
+        stats.ssa_events = events as u64;
+        if let Some(hook) = opts.step_hook() {
+            if let ControlFlow::Break(reason) = hook(events as u64, t) {
+                return Err(SimError::Interrupted { time: t, reason });
+            }
+        }
         while next_record <= t_next && next_record <= opts.t_end() {
             trace.push(next_record, &f64_state);
             next_record += opts.record_interval();
         }
         t = t_next;
+        stats.final_time = t;
         compiled.fire(reaction, &mut n);
         for &(i, _) in compiled.changed_species(reaction) {
             f64_state[i] = n[i] as f64;
@@ -353,6 +388,51 @@ mod tests {
         .unwrap();
         assert!(trace.value_at(y, 4.9) < 1e-9);
         assert_eq!(trace.final_state()[y.index()], 50.0);
+    }
+
+    #[test]
+    fn step_hook_interrupts_event_loop() {
+        let crn: Crn = "X -> Y @slow\nY -> X @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 1000.0);
+        let hook = |events: u64, _t: f64| {
+            if events > 40 {
+                ControlFlow::Break("budget".to_owned())
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        let opts = SsaOptions::default()
+            .with_t_end(1000.0)
+            .with_seed(8)
+            .with_step_hook(&hook);
+        let err =
+            simulate_nrm(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap_err();
+        assert!(
+            matches!(err, SimError::Interrupted { ref reason, .. } if reason == "budget"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_report_events() {
+        use std::cell::Cell;
+
+        let crn: Crn = "X -> Y @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 50.0);
+        let sink = Cell::new(SimMetrics::default());
+        let opts = SsaOptions::default()
+            .with_t_end(50.0)
+            .with_seed(3)
+            .with_metrics(&sink);
+        simulate_nrm(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap();
+        let m = sink.get();
+        assert_eq!(m.ssa_events, 50);
+        assert_eq!(m.seed, 3);
+        assert_eq!(m.final_time, 50.0);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::compiled::CompiledCrn;
 use crate::events::TriggerRuntime;
+use crate::metrics::{sinks_eq, MetricsSink, SimMetrics};
 use crate::{Schedule, SimError, SimSpec, State, Trace};
 use molseq_crn::Crn;
 use std::ops::ControlFlow;
@@ -112,6 +113,7 @@ pub struct OdeOptions<'h> {
     max_steps: usize,
     jacobian_reuse: usize,
     step_hook: Option<StepHook<'h>>,
+    metrics: Option<MetricsSink<'h>>,
 }
 
 impl std::fmt::Debug for OdeOptions<'_> {
@@ -125,6 +127,7 @@ impl std::fmt::Debug for OdeOptions<'_> {
             .field("max_steps", &self.max_steps)
             .field("jacobian_reuse", &self.jacobian_reuse)
             .field("step_hook", &self.step_hook.map(|_| "<hook>"))
+            .field("metrics", &self.metrics.map(|_| "<sink>"))
             .finish()
     }
 }
@@ -139,6 +142,7 @@ impl PartialEq for OdeOptions<'_> {
             && self.max_steps == other.max_steps
             && self.jacobian_reuse == other.jacobian_reuse
             && hooks_eq(self.step_hook, other.step_hook)
+            && sinks_eq(self.metrics, other.metrics)
     }
 }
 
@@ -166,6 +170,7 @@ impl Default for OdeOptions<'_> {
             max_steps: 20_000_000,
             jacobian_reuse: DEFAULT_JACOBIAN_REUSE,
             step_hook: None,
+            metrics: None,
         }
     }
 }
@@ -237,6 +242,16 @@ impl<'h> OdeOptions<'h> {
     #[must_use]
     pub fn with_step_hook(mut self, hook: StepHook<'h>) -> Self {
         self.step_hook = Some(hook);
+        self
+    }
+
+    /// Installs a metrics sink (builder style). On every exit path —
+    /// success or error — the integrator absorbs its work counters
+    /// (accepted/rejected steps, LU factorizations, final time) into the
+    /// sink. See [`SimMetrics`].
+    #[must_use]
+    pub fn with_metrics(mut self, sink: MetricsSink<'h>) -> Self {
+        self.metrics = Some(sink);
         self
     }
 
@@ -402,6 +417,10 @@ pub fn simulate_ode_with_workspace(
     }
 
     workspace.prepare(compiled, opts.method, init.as_slice());
+    let lu_before = workspace
+        .rosenbrock
+        .as_ref()
+        .map_or(0, crate::stiff::RosenbrockWork::factorizations);
     let mut t = opts.t_start;
     let mut trace = Trace::with_capacity(crn, expected_records(opts, schedule));
     trace.push(t, &workspace.x);
@@ -411,6 +430,8 @@ pub fn simulate_ode_with_workspace(
     let mut next_injection = 0usize;
     let mut next_record = opts.t_start + opts.record_interval;
     let mut steps_used = 0usize;
+    let mut metrics = SimMetrics::default();
+    let mut failure = None;
 
     // Adaptive state persists across segments.
     let mut h_adaptive = initial_step(opts);
@@ -422,7 +443,7 @@ pub fn simulate_ode_with_workspace(
             .map_or(opts.t_end, |inj| inj.time.clamp(opts.t_start, opts.t_end));
 
         if segment_end > t {
-            integrate_segment(
+            if let Err(e) = integrate_segment(
                 compiled,
                 workspace,
                 &mut t,
@@ -434,7 +455,11 @@ pub fn simulate_ode_with_workspace(
                 &mut trace,
                 schedule,
                 &mut triggers,
-            )?;
+                &mut metrics,
+            ) {
+                failure = Some(e);
+                break;
+            }
         }
 
         // Apply any injections scheduled at (or before) the reached time.
@@ -460,6 +485,19 @@ pub fn simulate_ode_with_workspace(
         }
     }
 
+    // Flush the work counters even on failure: an interrupted or
+    // step-limited cell still reports what it cost.
+    metrics.final_time = t;
+    metrics.lu_factorizations = workspace
+        .rosenbrock
+        .as_ref()
+        .map_or(0, crate::stiff::RosenbrockWork::factorizations)
+        - lu_before;
+    SimMetrics::flush(opts.metrics, metrics);
+
+    if let Some(e) = failure {
+        return Err(e);
+    }
     trace.push(t, &workspace.x);
     Ok(trace)
 }
@@ -609,6 +647,7 @@ fn integrate_segment(
     trace: &mut Trace,
     schedule: &Schedule,
     triggers: &mut TriggerRuntime,
+    metrics: &mut SimMetrics,
 ) -> Result<(), SimError> {
     // Disjoint borrows of the workspace buffers; all were sized by
     // `prepare`, nothing is allocated in the step loop below.
@@ -690,6 +729,11 @@ fn integrate_segment(
             }
         };
         *steps_used += 1;
+        if accepted {
+            metrics.ode_steps_accepted += 1;
+        } else {
+            metrics.ode_steps_rejected += 1;
+        }
         if let Some(hook) = opts.step_hook {
             if let ControlFlow::Break(reason) = hook(*steps_used as u64, *t) {
                 return Err(SimError::Interrupted { time: *t, reason });

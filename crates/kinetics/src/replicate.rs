@@ -1,0 +1,203 @@
+//! Replicate fan-out: compile once, simulate under many seeds.
+//!
+//! Stochastic experiments (E10's amplitude×replicate grid, noise scans)
+//! re-simulate one network under many RNG seeds. A [`Replicator`] pairs a
+//! shared, pre-built [`CompiledCrn`] with a base seed and stamps out one
+//! [`SweepJob`](molseq_sweep::SweepJob) per replicate, so the sweep engine
+//! runs the replicates in parallel while every replicate reuses the same
+//! compiled reaction structure.
+//!
+//! Replicate seeds are derived from the *base seed and replicate number
+//! only* — never from the job's position in the sweep's job list — so a
+//! replicate keeps its seed (and therefore its trajectory) when jobs are
+//! added, removed, or reordered around it. That is what makes replicate
+//! grids extensible without invalidating previously published numbers.
+
+use crate::compiled::CompiledCrn;
+use molseq_sweep::{JobCtx, JobError, SweepJob};
+use std::sync::Arc;
+
+/// A compiled network plus a base seed, from which per-replicate sweep
+/// jobs are stamped out.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::Crn;
+/// use molseq_kinetics::{
+///     simulate_ssa_compiled, CompiledCrn, Replicator, Schedule, SimSpec, SsaOptions, State,
+/// };
+/// use molseq_sweep::{run_sweep, SweepOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let crn: Crn = "X -> 0 @slow".parse()?;
+/// let x = crn.find_species("X").expect("parsed");
+/// let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+/// let mut init = State::new(&crn);
+/// init.set(x, 40.0);
+///
+/// let rep = Replicator::new(&compiled, 11);
+/// let jobs = rep.jobs("decay", 4, move |compiled, seed, _job| {
+///     let opts = SsaOptions::default().with_t_end(0.5).with_seed(seed);
+///     let trace = simulate_ssa_compiled(&crn, compiled, &init, &Schedule::new(), &opts)
+///         .map_err(molseq_sweep::JobError::failed)?;
+///     Ok(trace.final_state()[x.index()])
+/// });
+/// let out = run_sweep(&jobs, &SweepOptions::default());
+/// assert_eq!(out.cells.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Replicator<'c> {
+    compiled: &'c CompiledCrn,
+    base_seed: u64,
+}
+
+impl<'c> Replicator<'c> {
+    /// A replicator over `compiled` whose replicate seeds derive from
+    /// `base_seed`.
+    #[must_use]
+    pub fn new(compiled: &'c CompiledCrn, base_seed: u64) -> Self {
+        Replicator {
+            compiled,
+            base_seed,
+        }
+    }
+
+    /// The shared compiled network.
+    #[must_use]
+    pub fn compiled(&self) -> &'c CompiledCrn {
+        self.compiled
+    }
+
+    /// The seed of replicate `r`: a SplitMix64 finalizer over the base
+    /// seed and the replicate number, so adjacent replicates get
+    /// statistically independent streams. Depends on nothing else — in
+    /// particular not on the sweep's job order.
+    #[must_use]
+    pub fn seed(&self, replicate: usize) -> u64 {
+        let mut z = self
+            .base_seed
+            .wrapping_add((replicate as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Stamps out one [`SweepJob`] per replicate. Each job is labelled
+    /// `"{label} rep={r} seed={seed}"` and calls `f(compiled, seed, ctx)`
+    /// with the replicate's stable seed baked in, so the result of a
+    /// replicate is independent of which worker runs it and where it sits
+    /// in the job list.
+    pub fn jobs<T, F>(
+        &self,
+        label: impl Into<String>,
+        replicates: usize,
+        f: F,
+    ) -> Vec<SweepJob<'c, T>>
+    where
+        F: Fn(&'c CompiledCrn, u64, &JobCtx) -> Result<T, JobError> + Send + Sync + 'c,
+    {
+        let label = label.into();
+        let f = Arc::new(f);
+        let compiled = self.compiled;
+        (0..replicates)
+            .map(|r| {
+                let seed = self.seed(r);
+                let f = Arc::clone(&f);
+                SweepJob::new(format!("{label} rep={r} seed={seed}"), move |ctx| {
+                    f(compiled, seed, ctx)
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_ssa_compiled, Schedule, SimSpec, SsaOptions, State};
+    use molseq_crn::Crn;
+    use molseq_sweep::{run_sweep, SweepOptions};
+
+    fn decay_setup() -> (Crn, CompiledCrn, State) {
+        let crn: Crn = "X -> 0 @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+        let mut init = State::new(&crn);
+        init.set(x, 30.0);
+        (crn, compiled, init)
+    }
+
+    #[test]
+    fn seeds_are_deterministic_distinct_and_index_free() {
+        let (_crn, compiled, _init) = decay_setup();
+        let rep = Replicator::new(&compiled, 42);
+        let seeds: Vec<u64> = (0..32).map(|r| rep.seed(r)).collect();
+        assert_eq!(seeds, (0..32).map(|r| rep.seed(r)).collect::<Vec<_>>());
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seeds.len(), "no collisions");
+        assert_ne!(
+            Replicator::new(&compiled, 42).seed(0),
+            Replicator::new(&compiled, 43).seed(0)
+        );
+    }
+
+    #[test]
+    fn replicate_results_are_stable_under_job_reordering() {
+        // The same replicates embedded at different positions of a sweep
+        // must produce identical values: seeds are baked in at job
+        // construction, not derived from the job index.
+        let (crn, compiled, init) = decay_setup();
+        let x = crn.find_species("X").unwrap();
+        let rep = Replicator::new(&compiled, 7);
+        let run_one = {
+            let crn = &crn;
+            let init = &init;
+            move |compiled: &CompiledCrn, seed: u64| {
+                let opts = SsaOptions::default().with_t_end(0.4).with_seed(seed);
+                simulate_ssa_compiled(crn, compiled, init, &Schedule::new(), &opts)
+                    .map(|tr| tr.final_state()[x.index()])
+                    .map_err(JobError::failed)
+            }
+        };
+
+        let forward = rep.jobs("fwd", 6, move |c, seed, _ctx| run_one(c, seed));
+        let mut shuffled = rep.jobs("rev", 6, move |c, seed, _ctx| run_one(c, seed));
+        shuffled.reverse();
+
+        let a = run_sweep(&forward, &SweepOptions::default());
+        let b = run_sweep(&shuffled, &SweepOptions::default().with_workers(3));
+        for r in 0..6 {
+            let fwd = a
+                .cells
+                .iter()
+                .find(|c| c.label.contains(&format!("rep={r} ")))
+                .unwrap();
+            let rev = b
+                .cells
+                .iter()
+                .find(|c| c.label.contains(&format!("rep={r} ")))
+                .unwrap();
+            assert_eq!(
+                fwd.value().expect("forward replicate succeeded"),
+                rev.value().expect("reordered replicate succeeded"),
+                "replicate {r} changed value when reordered"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_carry_replicate_and_seed() {
+        let (_crn, compiled, _init) = decay_setup();
+        let rep = Replicator::new(&compiled, 3);
+        let jobs = rep.jobs("cell n=8", 2, |_c, _seed, _ctx| Ok::<_, JobError>(0u8));
+        assert!(jobs[0].label().starts_with("cell n=8 rep=0 seed="));
+        assert!(jobs[1].label().starts_with("cell n=8 rep=1 seed="));
+        assert!(jobs[0].label().ends_with(&rep.seed(0).to_string()));
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::compiled::CompiledCrn;
 use crate::events::TriggerRuntime;
+use crate::metrics::{sinks_eq, MetricsSink, SimMetrics};
 use crate::ode::StepHook;
 use crate::{Schedule, SimError, SimSpec, State, Trace};
 use molseq_crn::Crn;
@@ -33,6 +34,7 @@ pub struct SsaOptions<'h> {
     max_events: usize,
     seed: u64,
     step_hook: Option<StepHook<'h>>,
+    metrics: Option<MetricsSink<'h>>,
 }
 
 impl std::fmt::Debug for SsaOptions<'_> {
@@ -44,6 +46,7 @@ impl std::fmt::Debug for SsaOptions<'_> {
             .field("max_events", &self.max_events)
             .field("seed", &self.seed)
             .field("step_hook", &self.step_hook.map(|_| "<hook>"))
+            .field("metrics", &self.metrics.map(|_| "<sink>"))
             .finish()
     }
 }
@@ -56,6 +59,7 @@ impl PartialEq for SsaOptions<'_> {
             && self.max_events == other.max_events
             && self.seed == other.seed
             && crate::ode::hooks_eq(self.step_hook, other.step_hook)
+            && sinks_eq(self.metrics, other.metrics)
     }
 }
 
@@ -70,6 +74,7 @@ impl Default for SsaOptions<'_> {
             max_events: 50_000_000,
             seed: 0,
             step_hook: None,
+            metrics: None,
         }
     }
 }
@@ -113,6 +118,16 @@ impl<'h> SsaOptions<'h> {
         self
     }
 
+    /// Installs a metrics sink (builder style). On every exit path —
+    /// success or error — the simulator absorbs its work counters (events
+    /// fired, final time, seed) into the sink. See
+    /// [`SimMetrics`].
+    #[must_use]
+    pub fn with_metrics(mut self, sink: MetricsSink<'h>) -> Self {
+        self.metrics = Some(sink);
+        self
+    }
+
     /// The configured end time.
     #[must_use]
     pub fn t_end(&self) -> f64 {
@@ -147,6 +162,12 @@ impl<'h> SsaOptions<'h> {
     #[must_use]
     pub fn step_hook(&self) -> Option<StepHook<'h>> {
         self.step_hook
+    }
+
+    /// The configured metrics sink, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<MetricsSink<'h>> {
+        self.metrics
     }
 }
 
@@ -213,6 +234,26 @@ pub fn simulate_ssa_compiled(
         });
     }
 
+    let mut stats = SimMetrics {
+        seed: opts.seed,
+        final_time: opts.t_start,
+        ..SimMetrics::default()
+    };
+    let result = ssa_core(crn, compiled, init, schedule, opts, &mut stats);
+    // flush even on failure: an interrupted or step-limited run still
+    // reports the work it did
+    SimMetrics::flush(opts.metrics, stats);
+    result
+}
+
+fn ssa_core(
+    crn: &Crn,
+    compiled: &CompiledCrn,
+    init: &State,
+    schedule: &Schedule,
+    opts: &SsaOptions,
+    stats: &mut SimMetrics,
+) -> Result<Trace, SimError> {
     let mut n: Vec<i64> = Vec::with_capacity(init.len());
     for &v in init.as_slice() {
         n.push(to_count(v)?);
@@ -252,6 +293,7 @@ pub fn simulate_ssa_compiled(
             // Record the plateau up to `stop`.
             record_until(&mut trace, &f64_state, &mut next_record, stop, opts);
             t = stop;
+            stats.final_time = t;
             if injection_time <= opts.t_end {
                 let inj = &injections[next_injection];
                 n[inj.species.index()] += to_count(inj.amount)?;
@@ -276,6 +318,7 @@ pub fn simulate_ssa_compiled(
             });
         }
         events += 1;
+        stats.ssa_events = events as u64;
         if let Some(hook) = opts.step_hook {
             if let ControlFlow::Break(reason) = hook(events as u64, t) {
                 return Err(SimError::Interrupted { time: t, reason });
@@ -283,16 +326,13 @@ pub fn simulate_ssa_compiled(
         }
         record_until(&mut trace, &f64_state, &mut next_record, t_next, opts);
         t = t_next;
+        stats.final_time = t;
         let pick: f64 = rng.random::<f64>() * a0;
-        let mut acc = 0.0;
-        let mut chosen = compiled.reaction_count() - 1;
-        for j in 0..compiled.reaction_count() {
-            acc += compiled.propensity(j, &n);
-            if pick < acc {
-                chosen = j;
-                break;
-            }
-        }
+        let chosen = select_reaction(
+            compiled.reaction_count(),
+            |j| compiled.propensity(j, &n),
+            pick,
+        );
         compiled.fire(chosen, &mut n);
         for (f, &c) in f64_state.iter_mut().zip(&n) {
             *f = c as f64;
@@ -308,6 +348,37 @@ pub fn simulate_ssa_compiled(
 
     trace.push(t, &f64_state);
     Ok(trace)
+}
+
+/// Selects the reaction to fire from a prefix-sum scan of the propensities.
+///
+/// `pick` is uniform in `[0, a0)` where `a0` is the (positive) propensity
+/// total, so the scan normally terminates at the first `j` with
+/// `pick < Σ_{k≤j} a_k` — necessarily a reaction with positive propensity.
+/// Floating-point round-off can, however, leave `pick >= acc` even after
+/// the last reaction (the re-summed `acc` may land just below `a0`). The
+/// fallback for that case must be the last reaction with *positive*
+/// propensity: defaulting to the last reaction unconditionally (the old
+/// behavior) could fire a zero-propensity reaction whose reactants are
+/// exhausted and drive copy numbers negative.
+pub(crate) fn select_reaction(
+    count: usize,
+    mut propensity: impl FnMut(usize) -> f64,
+    pick: f64,
+) -> usize {
+    let mut acc = 0.0;
+    let mut last_positive = 0;
+    for j in 0..count {
+        let p = propensity(j);
+        if p > 0.0 {
+            last_positive = j;
+        }
+        acc += p;
+        if pick < acc {
+            return j;
+        }
+    }
+    last_positive
 }
 
 pub(crate) fn to_count(v: f64) -> Result<i64, SimError> {
@@ -490,6 +561,75 @@ mod tests {
             SimError::Interrupted { reason, .. } => assert_eq!(reason, "test budget"),
             other => panic!("expected Interrupted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn selection_never_falls_back_to_a_zero_propensity_reaction() {
+        // Regression: with propensities [2, 0] and a round-off pick at (or
+        // beyond) the total, the old fallback (`chosen = last reaction`)
+        // fired reaction 1 despite its zero propensity — firing it would
+        // drive its exhausted reactant negative. The fallback must be the
+        // last reaction with positive propensity.
+        let props = [2.0, 0.0];
+        assert_eq!(select_reaction(2, |j| props[j], 2.0), 0);
+        assert_eq!(select_reaction(2, |j| props[j], f64::INFINITY), 0);
+        // zero-propensity reactions in the middle are skipped too
+        let props = [0.0, 1.5, 0.0];
+        assert_eq!(select_reaction(3, |j| props[j], 1.5), 1);
+        // normal in-range picks are untouched by the fix
+        let props = [1.0, 2.0, 3.0];
+        assert_eq!(select_reaction(3, |j| props[j], 0.5), 0);
+        assert_eq!(select_reaction(3, |j| props[j], 1.5), 1);
+        assert_eq!(select_reaction(3, |j| props[j], 5.9), 2);
+    }
+
+    #[test]
+    fn metrics_report_events_seed_and_final_time() {
+        use crate::SimMetrics;
+        use std::cell::Cell;
+
+        let crn: Crn = "X -> Y @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 100.0);
+        let sink = Cell::new(SimMetrics::default());
+        let opts = SsaOptions::default()
+            .with_t_end(50.0)
+            .with_seed(6)
+            .with_metrics(&sink);
+        simulate_ssa(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap();
+        let m = sink.get();
+        // every X was converted exactly once
+        assert_eq!(m.ssa_events, 100);
+        assert_eq!(m.seed, 6);
+        assert_eq!(m.final_time, 50.0);
+        assert_eq!(m.ode_steps_accepted, 0);
+    }
+
+    #[test]
+    fn metrics_flush_on_interruption() {
+        use crate::SimMetrics;
+        use std::cell::Cell;
+
+        let crn: Crn = "X -> Y @slow\nY -> X @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 1000.0);
+        let hook = |events: u64, _t: f64| {
+            if events > 50 {
+                ControlFlow::Break("budget".to_owned())
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        let sink = Cell::new(SimMetrics::default());
+        let opts = SsaOptions::default()
+            .with_t_end(1000.0)
+            .with_seed(9)
+            .with_step_hook(&hook)
+            .with_metrics(&sink);
+        simulate_ssa(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap_err();
+        assert_eq!(sink.get().ssa_events, 51);
     }
 
     #[test]

@@ -467,6 +467,10 @@ pub(crate) struct RosenbrockWork {
     ytmp: Vec<f64>,
     /// Permuted right-hand side scratch for the sparse triangular solves.
     bperm: Vec<f64>,
+    /// Completed numeric factorizations of `W` over the workspace's
+    /// lifetime (sparse and pivoted-dense both count; a guard-tripped
+    /// sparse attempt that falls back to dense counts once).
+    factorizations: u64,
     /// The advanced solution of the trial step.
     pub y_new: Vec<f64>,
     /// Per-component error estimate of the trial step.
@@ -495,9 +499,17 @@ impl RosenbrockWork {
             k3: vec![0.0; n],
             ytmp: vec![0.0; n],
             bperm: vec![0.0; n],
+            factorizations: 0,
             y_new: vec![0.0; n],
             err: vec![0.0; n],
         }
+    }
+
+    /// Cumulative completed numeric factorizations (monotone over the
+    /// workspace's lifetime; callers snapshot-and-subtract to attribute
+    /// them to one simulation call).
+    pub(crate) fn factorizations(&self) -> u64 {
+        self.factorizations
     }
 
     /// Whether this workspace (buffer sizes *and* symbolic elimination
@@ -583,6 +595,7 @@ impl RosenbrockWork {
                 self.lu = Some(Factored::Sparse(w));
                 self.pivots_spare = pivots;
                 self.lu_h = h;
+                self.factorizations += 1;
             } else {
                 // the guard tripped mid-elimination and clobbered `w`:
                 // rebuild it — unpermuted this time — and fall back to
@@ -592,6 +605,7 @@ impl RosenbrockWork {
                     Ok(lu) => {
                         self.lu = Some(Factored::Dense(lu));
                         self.lu_h = h;
+                        self.factorizations += 1;
                     }
                     Err((buf, pivots)) => {
                         self.w_spare = buf;

@@ -14,6 +14,7 @@
 //! the exact methods are slowest.
 
 use crate::compiled::CompiledCrn;
+use crate::metrics::SimMetrics;
 use crate::{Schedule, SimError, SimSpec, SsaOptions, State, Trace};
 use molseq_crn::Crn;
 use rand::rngs::StdRng;
@@ -40,13 +41,19 @@ impl Default for TauLeapOptions<'_> {
     }
 }
 
-/// Samples a Poisson(λ) variate (Knuth for small λ, normal approximation
-/// for large).
+/// Samples a Poisson(λ) variate exactly: Knuth's product-of-uniforms
+/// method for small λ, Hörmann's PTRS transformed rejection for `λ ≥ 10`.
+///
+/// An earlier version substituted a Box–Muller normal approximation for
+/// large λ, clamping negative draws to zero — the clamp biases the mean
+/// upward and the symmetric normal erases the distribution's skew
+/// (`1/√λ`); the `poisson_large_lambda_keeps_skewness` regression test
+/// catches both.
 fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
     if lambda <= 0.0 {
         return 0;
     }
-    if lambda < 30.0 {
+    if lambda < 10.0 {
         let limit = (-lambda).exp();
         let mut product: f64 = rng.random();
         let mut count = 0u64;
@@ -56,12 +63,60 @@ fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
         }
         count
     } else {
-        // Box–Muller normal approximation, clamped at zero
-        let u1: f64 = 1.0 - rng.random::<f64>();
-        let u2: f64 = rng.random();
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        (lambda + z * lambda.sqrt()).round().max(0.0) as u64
+        poisson_ptrs(rng, lambda)
     }
+}
+
+/// Hörmann's PTRS sampler (transformed rejection with squeeze): an exact
+/// Poisson sampler for `λ ≥ 10` costing ~2 uniforms per draw.
+fn poisson_ptrs(rng: &mut StdRng, lambda: f64) -> u64 {
+    let b = 0.931 + 2.53 * lambda.sqrt();
+    let a = -0.059 + 0.02483 * b;
+    let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    let v_r = 0.9277 - 3.6224 / (b - 2.0);
+    let log_lambda = lambda.ln();
+    loop {
+        let u: f64 = rng.random::<f64>() - 0.5;
+        let v: f64 = rng.random();
+        let us = 0.5 - u.abs();
+        let k = ((2.0 * a / us + b) * u + lambda + 0.43).floor();
+        if us >= 0.07 && v <= v_r {
+            return k as u64;
+        }
+        if k < 0.0 || (us < 0.013 && v > us) {
+            continue;
+        }
+        if v.ln() + inv_alpha.ln() - (a / (us * us) + b).ln()
+            <= k * log_lambda - lambda - ln_gamma(k + 1.0)
+        {
+            return k as u64;
+        }
+    }
+}
+
+/// Natural log of the gamma function for positive arguments (Lanczos
+/// approximation, `g = 7`, 9 coefficients; absolute error below `1e-10`
+/// over the range PTRS evaluates).
+#[allow(clippy::excessive_precision)] // canonical published Lanczos digits
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 8] = [
+        676.5203681218851,
+        -1259.1392167224028,
+        771.3234287776531,
+        -176.6150291621406,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984369578019572e-6,
+        1.5056327351493116e-7,
+    ];
+    debug_assert!(x > 0.0);
+    let x = x - 1.0;
+    let mut acc = 0.99999999999980993;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i as f64 + 1.0));
+    }
+    let t = x + 7.5;
+    0.5 * std::f64::consts::TAU.ln() + (x + 0.5) * t.ln() - t + acc.ln()
 }
 
 /// Runs explicit tau-leaping on `crn` from the integer copy numbers in
@@ -105,6 +160,27 @@ pub fn simulate_tau_leap(
         });
     }
 
+    let mut stats = SimMetrics {
+        seed: base.seed(),
+        final_time: base.t_start(),
+        ..SimMetrics::default()
+    };
+    let result = tau_core(crn, init, schedule, opts, spec, &mut stats);
+    // flush even on failure: an interrupted or step-limited run still
+    // reports the work it did
+    SimMetrics::flush(base.metrics(), stats);
+    result
+}
+
+fn tau_core(
+    crn: &Crn,
+    init: &State,
+    schedule: &Schedule,
+    opts: &TauLeapOptions,
+    spec: &SimSpec,
+    stats: &mut SimMetrics,
+) -> Result<Trace, SimError> {
+    let base = &opts.base;
     let mut n: Vec<i64> = Vec::with_capacity(init.len());
     for &v in init.as_slice() {
         n.push(crate::ssa::to_count(v)?);
@@ -154,6 +230,7 @@ pub fn simulate_tau_leap(
                 next_record += base.record_interval();
             }
             t = stop;
+            stats.final_time = t;
             if injection_time <= base.t_end() {
                 apply_injection(
                     &injections[next_injection],
@@ -210,6 +287,7 @@ pub fn simulate_tau_leap(
                     next_record += base.record_interval();
                 }
                 t = stop;
+                stats.final_time = t;
                 if injection_time <= base.t_end() {
                     apply_injection(
                         &injections[next_injection],
@@ -228,16 +306,13 @@ pub fn simulate_tau_leap(
                 next_record += base.record_interval();
             }
             t = t_next;
+            stats.final_time = t;
+            stats.ssa_events += 1;
             let pick: f64 = rng.random::<f64>() * a0;
-            let mut acc = 0.0;
-            let mut chosen = m - 1;
-            for (j, &p) in propensities.iter().enumerate() {
-                acc += p;
-                if pick < acc {
-                    chosen = j;
-                    break;
-                }
-            }
+            // shared fallback-to-positive-propensity selection: the cached
+            // prefix scan here had the same zero-propensity fallback bug as
+            // the direct method's
+            let chosen = crate::ssa::select_reaction(m, |j| propensities[j], pick);
             compiled.fire(chosen, &mut n);
             for &(i, _) in compiled.changed_species(chosen) {
                 f64_state[i] = n[i] as f64;
@@ -248,6 +323,7 @@ pub fn simulate_tau_leap(
         // Leap (clipped at the next hard stop).
         let stop = base.t_end().min(injection_time);
         let tau = tau.min(stop - t);
+        stats.tau_leaps += 1;
         for (j, &p) in propensities.iter().enumerate() {
             let k = poisson(&mut rng, p * tau);
             if k == 0 {
@@ -266,6 +342,7 @@ pub fn simulate_tau_leap(
             next_record += base.record_interval();
         }
         t = t_next;
+        stats.final_time = t;
         if (t - injection_time).abs() < 1e-12 && injection_time <= base.t_end() {
             apply_injection(
                 &injections[next_injection],
@@ -302,14 +379,76 @@ mod tests {
 
     #[test]
     fn poisson_matches_mean() {
+        // Covers both samplers (Knuth below 10, PTRS above) including
+        // λ = 40, squarely in the range where the old clamped normal
+        // approximation ran. Tolerance is 4 standard errors of the sample
+        // mean — tight enough that a clamp-induced mean shift at small
+        // PTRS λ would also register.
         let mut rng = StdRng::seed_from_u64(1);
-        for &lambda in &[0.5, 5.0, 80.0] {
+        for &lambda in &[0.5, 5.0, 12.0, 40.0, 80.0] {
             let n = 4000;
             let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
             let mean = sum as f64 / f64::from(n);
             assert!(
-                (mean - lambda).abs() < 5.0 * (lambda / f64::from(n)).sqrt().max(0.05),
+                (mean - lambda).abs() < 4.0 * (lambda / f64::from(n)).sqrt(),
                 "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_matches_variance() {
+        // The clamped normal approximation also shrinks the variance
+        // (truncation); the exact sampler's sample variance must track λ.
+        let mut rng = StdRng::seed_from_u64(5);
+        for &lambda in &[12.0, 40.0] {
+            let n = 8000usize;
+            let draws: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
+            let mean = draws.iter().sum::<f64>() / n as f64;
+            let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+            // Var[sample var] ≈ (μ4 − σ⁴)/n; for Poisson μ4 = λ(1+3λ),
+            // so the SE at λ=40 with n=8000 is ≈ 0.8 — allow 5 SEs.
+            let se = ((lambda * (1.0 + 3.0 * lambda) - lambda * lambda) / n as f64).sqrt();
+            assert!(
+                (var - lambda).abs() < 5.0 * se,
+                "lambda {lambda}: variance {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_large_lambda_keeps_skewness() {
+        // Regression for the clamped Box–Muller branch: a Poisson(λ) has
+        // skewness 1/√λ, while the old symmetric normal approximation had
+        // skewness ≈ 0. At λ = 40 and n = 20 000 the exact sampler's
+        // sample skewness concentrates near 0.158 with standard error
+        // ≈ 0.017, so asserting > 0.08 separates the two by several
+        // standard errors — this test fails on the old sampler.
+        let mut rng = StdRng::seed_from_u64(3);
+        let lambda = 40.0;
+        let n = 20_000usize;
+        let draws: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let m2 = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+        let m3 = draws.iter().map(|d| (d - mean).powi(3)).sum::<f64>() / n as f64;
+        let skew = m3 / m2.powf(1.5);
+        assert!((mean - lambda).abs() < 0.2, "mean {mean}");
+        assert!(
+            skew > 0.08,
+            "sample skewness {skew}: symmetric draws indicate a normal approximation"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for k in 1..=20u32 {
+            fact *= f64::from(k);
+            let got = ln_gamma(f64::from(k) + 1.0);
+            assert!(
+                (got - fact.ln()).abs() < 1e-10,
+                "k = {k}: {got} vs {}",
+                fact.ln()
             );
         }
     }
@@ -374,6 +513,30 @@ mod tests {
         .unwrap();
         assert!(trace.value_at(x, 1.9) < 1e-9);
         assert!(trace.value_at(x, 2.01) > 9_000.0);
+    }
+
+    #[test]
+    fn metrics_report_leaps_and_exact_steps() {
+        use crate::SimMetrics;
+        use std::cell::Cell;
+
+        let crn: Crn = "X -> 0 @slow".parse().unwrap();
+        let x = crn.find_species("X").unwrap();
+        let mut init = State::new(&crn);
+        init.set(x, 100_000.0);
+        let sink = Cell::new(SimMetrics::default());
+        let opts = TauLeapOptions {
+            base: SsaOptions::default()
+                .with_t_end(1.0)
+                .with_seed(2)
+                .with_metrics(&sink),
+            ..TauLeapOptions::default()
+        };
+        simulate_tau_leap(&crn, &init, &Schedule::new(), &opts, &SimSpec::default()).unwrap();
+        let m = sink.get();
+        assert!(m.tau_leaps > 0, "{m:?}");
+        assert_eq!(m.final_time, 1.0);
+        assert_eq!(m.seed, 2);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The unit of sweep work: a labelled, seeded, budgeted closure.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -110,6 +110,7 @@ pub struct JobCtx {
     budget: JobBudget,
     started: Instant,
     steps: Cell<u64>,
+    metrics: RefCell<Vec<(String, f64)>>,
 }
 
 impl JobCtx {
@@ -120,6 +121,7 @@ impl JobCtx {
             budget,
             started: Instant::now(),
             steps: Cell::new(0),
+            metrics: RefCell::new(Vec::new()),
         }
     }
 
@@ -228,6 +230,40 @@ impl JobCtx {
                 return std::ops::ControlFlow::Break(e.to_string());
             }
             std::ops::ControlFlow::Continue(())
+        }
+    }
+
+    /// Records a named per-cell metric (a simulator counter, a measured
+    /// latency, a convergence residual, …). The engine copies recorded
+    /// metrics into [`CellResult::metrics`](crate::CellResult) and the
+    /// summary's [`JobRecord::metrics`](crate::JobRecord), so they land in
+    /// the sweep's JSON/CSV artefacts without the job's payload type
+    /// having to carry them.
+    ///
+    /// Metrics are kept in call order; recording the same name twice keeps
+    /// both entries, and the summary's CSV export uses the **last** value
+    /// for a repeated name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use molseq_sweep::{JobBudget, JobCtx};
+    ///
+    /// let ctx = JobCtx::new_for_test(0, 1, JobBudget::unlimited());
+    /// ctx.record_metric("ssa_events", 1024.0);
+    /// ctx.record_metric("final_time", 50.0);
+    /// ```
+    pub fn record_metric(&self, name: impl Into<String>, value: f64) {
+        self.metrics.borrow_mut().push((name.into(), value));
+    }
+
+    /// Drains the recorded metrics (engine-side, after the job returns).
+    /// Tolerates a borrow leaked by a panicking job: the metrics are then
+    /// simply dropped with the rest of the cell's work.
+    pub(crate) fn take_metrics(&self) -> Vec<(String, f64)> {
+        match self.metrics.try_borrow_mut() {
+            Ok(mut m) => std::mem::take(&mut *m),
+            Err(_) => Vec::new(),
         }
     }
 
@@ -373,6 +409,23 @@ mod tests {
         // pushing past the budget breaks with the budget message
         let broke = hook(50, 0.2);
         assert!(matches!(broke, std::ops::ControlFlow::Break(ref m) if m.contains("budget")));
+    }
+
+    #[test]
+    fn metrics_record_in_call_order_and_drain_once() {
+        let ctx = JobCtx::new(0, 1, JobBudget::unlimited());
+        ctx.record_metric("events", 10.0);
+        ctx.record_metric("final_time", 2.5);
+        ctx.record_metric("events", 12.0); // duplicates are kept
+        assert_eq!(
+            ctx.take_metrics(),
+            vec![
+                ("events".to_string(), 10.0),
+                ("final_time".to_string(), 2.5),
+                ("events".to_string(), 12.0),
+            ]
+        );
+        assert!(ctx.take_metrics().is_empty(), "drained exactly once");
     }
 
     #[test]

@@ -120,6 +120,11 @@ pub struct CellResult<T> {
     pub wall: Duration,
     /// How the job ended.
     pub outcome: CellOutcome<T>,
+    /// Metrics the job recorded via
+    /// [`JobCtx::record_metric`](crate::JobCtx::record_metric), in call
+    /// order. Kept even for failed cells — a job that records counters
+    /// before erroring still reports how far it got.
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl<T> CellResult<T> {
@@ -284,6 +289,7 @@ fn execute<T>(job: &SweepJob<'_, T>, index: usize, opts: &SweepOptions) -> CellR
         label: job.label().to_owned(),
         wall,
         outcome,
+        metrics: ctx.take_metrics(),
     }
 }
 
@@ -349,6 +355,24 @@ mod tests {
         counts.sort_unstable();
         assert_eq!(counts, (1..=10).collect::<Vec<_>>());
         assert_eq!(out.summary.succeeded, 10);
+    }
+
+    #[test]
+    fn recorded_metrics_reach_the_cell_even_on_failure() {
+        let jobs = vec![
+            SweepJob::<'_, ()>::new("ok", |ctx| {
+                ctx.record_metric("events", 7.0);
+                Ok(())
+            }),
+            SweepJob::new("fails late", |ctx| {
+                ctx.record_metric("events", 3.0);
+                Err(crate::JobError::failed("diverged"))
+            }),
+        ];
+        let out = run_sweep(&jobs, &SweepOptions::default().with_workers(1));
+        assert_eq!(out.cells[0].metrics, vec![("events".to_string(), 7.0)]);
+        assert_eq!(out.cells[1].metrics, vec![("events".to_string(), 3.0)]);
+        assert!(!out.cells[1].is_ok());
     }
 
     #[test]

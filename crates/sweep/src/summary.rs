@@ -47,6 +47,10 @@ pub struct JobRecord {
     pub wall_secs: f64,
     /// Failure detail (empty for successful jobs).
     pub detail: String,
+    /// Metrics the job recorded via
+    /// [`JobCtx::record_metric`](crate::JobCtx::record_metric), in call
+    /// order. Serialized to JSON as an array of `[name, value]` pairs.
+    pub metrics: Vec<(String, f64)>,
 }
 
 /// Aggregate statistics for one sweep run.
@@ -119,6 +123,7 @@ impl SweepSummary {
                     status,
                     wall_secs,
                     detail,
+                    metrics: cell.metrics.clone(),
                 }
             })
             .collect();
@@ -153,9 +158,29 @@ impl SweepSummary {
 
     /// Per-job rows as CSV with an `index,label,status,wall_secs,detail`
     /// header. Fields containing commas, quotes, or newlines are quoted.
+    ///
+    /// When any job recorded metrics, one column per distinct metric name
+    /// (in first-seen order across the whole sweep) is appended after
+    /// `detail`; a job that did not record a given metric leaves that cell
+    /// empty, and a job that recorded the same name twice contributes its
+    /// last value. Sweeps without metrics keep the historical five-column
+    /// header byte-for-byte.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("index,label,status,wall_secs,detail\n");
+        let mut metric_names: Vec<&str> = Vec::new();
+        for job in &self.jobs {
+            for (name, _) in &job.metrics {
+                if !metric_names.contains(&name.as_str()) {
+                    metric_names.push(name);
+                }
+            }
+        }
+        let mut out = String::from("index,label,status,wall_secs,detail");
+        for name in &metric_names {
+            out.push(',');
+            push_csv_field(&mut out, name);
+        }
+        out.push('\n');
         for job in &self.jobs {
             out.push_str(&job.index.to_string());
             out.push(',');
@@ -166,9 +191,26 @@ impl SweepSummary {
             out.push_str(&format!("{:.6}", job.wall_secs));
             out.push(',');
             push_csv_field(&mut out, &job.detail);
+            for name in &metric_names {
+                out.push(',');
+                if let Some((_, v)) = job.metrics.iter().rev().find(|(n, _)| n == name) {
+                    out.push_str(&format_metric(*v));
+                }
+            }
             out.push('\n');
         }
         out
+    }
+}
+
+/// Renders a metric value compactly: integer-valued counters (the common
+/// case — event counts, step counts, seeds) print without a fractional
+/// part, everything else with `f64`'s shortest round-trip form.
+fn format_metric(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
     }
 }
 
@@ -193,18 +235,55 @@ mod tests {
                 label: "a=1".into(),
                 wall: Duration::from_millis(10),
                 outcome: CellOutcome::Ok(1),
+                metrics: Vec::new(),
             },
             CellResult {
                 index: 1,
                 label: "a=2, b=3".into(),
                 wall: Duration::from_millis(30),
                 outcome: CellOutcome::Failed("diverged at t=4".into()),
+                metrics: Vec::new(),
             },
             CellResult {
                 index: 2,
                 label: "a=3".into(),
                 wall: Duration::from_millis(20),
                 outcome: CellOutcome::Panicked("index out of bounds".into()),
+                metrics: Vec::new(),
+            },
+        ]
+    }
+
+    fn cells_with_metrics() -> Vec<CellResult<u32>> {
+        vec![
+            CellResult {
+                index: 0,
+                label: "rep=0".into(),
+                wall: Duration::from_millis(10),
+                outcome: CellOutcome::Ok(1),
+                metrics: vec![
+                    ("ssa_events".to_string(), 120.0),
+                    ("final_time".to_string(), 49.5),
+                ],
+            },
+            CellResult {
+                index: 1,
+                label: "rep=1".into(),
+                wall: Duration::from_millis(12),
+                outcome: CellOutcome::Ok(2),
+                // different metric set, plus a repeated name (last wins)
+                metrics: vec![
+                    ("final_time".to_string(), 50.0),
+                    ("tau_leaps".to_string(), 8.0),
+                    ("tau_leaps".to_string(), 9.0),
+                ],
+            },
+            CellResult {
+                index: 2,
+                label: "rep=2".into(),
+                wall: Duration::from_millis(9),
+                outcome: CellOutcome::Failed("boom".into()),
+                metrics: Vec::new(),
             },
         ]
     }
@@ -252,5 +331,51 @@ mod tests {
             lines[2]
         );
         assert!(lines[1].starts_with("0,a=1,Ok,"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn csv_appends_metric_columns_in_first_seen_order() {
+        let s = SweepSummary::from_cells(&cells_with_metrics(), 2, Duration::from_millis(31));
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "index,label,status,wall_secs,detail,ssa_events,final_time,tau_leaps"
+        );
+        assert!(lines[1].ends_with(",120,49.5,"), "{}", lines[1]);
+        // repeated `tau_leaps` keeps the last value; missing `ssa_events`
+        // leaves an empty cell
+        assert!(lines[2].ends_with(",,50,9"), "{}", lines[2]);
+        // a failed job with no metrics still gets the empty cells
+        assert!(lines[3].ends_with(",boom,,,"), "{}", lines[3]);
+    }
+
+    #[test]
+    fn csv_header_is_unchanged_without_metrics() {
+        let s = SweepSummary::from_cells(&cells(), 2, Duration::from_millis(35));
+        assert!(s
+            .to_csv()
+            .starts_with("index,label,status,wall_secs,detail\n"));
+    }
+
+    #[test]
+    fn json_carries_metric_pairs() {
+        let s = SweepSummary::from_cells(&cells_with_metrics(), 2, Duration::from_millis(31));
+        let json = s.to_json();
+        assert!(
+            json.contains("\"metrics\":[[\"ssa_events\",120.0]"),
+            "{json}"
+        );
+        assert!(json.contains("[\"final_time\",49.5]"), "{json}");
+        assert!(json.contains("\"metrics\":[]"), "{json}");
+    }
+
+    #[test]
+    fn metric_values_format_compactly() {
+        assert_eq!(format_metric(120.0), "120");
+        assert_eq!(format_metric(49.5), "49.5");
+        assert_eq!(format_metric(-3.0), "-3");
+        // beyond exact-integer range, fall through to `{}` formatting
+        assert_eq!(format_metric(1.0e18), format!("{}", 1.0e18f64));
     }
 }
