@@ -14,6 +14,11 @@
 #                     experiment: report must match --jobs 1 byte-for-byte
 #                     and the persisted summaries must parse and carry the
 #                     per-cell simulator-metrics columns
+#   8. trend gate     trend over the two stage-7 summary directories must
+#                     pass (deterministic counters identical across worker
+#                     counts); the checked-in fixture pair with an injected
+#                     step-count regression must fail; --append must fold a
+#                     trajectory entry into a BENCH-style file
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -60,5 +65,37 @@ for csv in "$SWEEP_TMP"/j1/*.summary.csv; do
   head -n 1 "$csv" | grep -q "ssa_events" \
     || { echo "ci: summary CSV missing simulator-metrics columns: $csv" >&2; exit 1; }
 done
+
+echo "== trend gate: counters stable across worker counts, fixtures gate =="
+# the --jobs 1 and --jobs 2 runs of stage 7 are the same experiments on the
+# same seeds, so every deterministic counter must match; per-cell wall
+# clocks legitimately inflate under worker contention (2 workers on a
+# 1-core container), so wall gating is disabled for this comparison
+target/release/trend "$SWEEP_TMP/j1" "$SWEEP_TMP/j2" \
+  --wall-tol 1000000 > "$SWEEP_TMP/trend.md" \
+  || { echo "ci: trend gate failed between --jobs 1 and --jobs 2 summaries" >&2
+       cat "$SWEEP_TMP/trend.md" >&2; exit 1; }
+# the checked-in fixture pair carries an injected step-count regression and
+# must make the gate fire with exit code 1 exactly
+set +e
+target/release/trend crates/bench/tests/fixtures/trend/baseline \
+                     crates/bench/tests/fixtures/trend/regressed > "$SWEEP_TMP/trend_fixture.md"
+TREND_STATUS=$?
+set -e
+[ "$TREND_STATUS" -eq 1 ] \
+  || { echo "ci: fixture regression not caught (trend exited $TREND_STATUS, want 1)" >&2; exit 1; }
+grep -q "ode_steps_accepted" "$SWEEP_TMP/trend_fixture.md" \
+  || { echo "ci: trend report does not name the regressed counter" >&2; exit 1; }
+# appending a trajectory entry must keep the BENCH file valid JSON (wall
+# gating stays off here too — this step checks the append, not the gate)
+cp BENCH_kinetics.json "$SWEEP_TMP/bench.json"
+target/release/trend "$SWEEP_TMP/j1" "$SWEEP_TMP/j2" --wall-tol 1000000 \
+  --append "$SWEEP_TMP/bench.json" --label ci-smoke > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$SWEEP_TMP/bench.json" > /dev/null \
+    || { echo "ci: --append corrupted the BENCH file" >&2; exit 1; }
+fi
+grep -q '"label": "ci-smoke"' "$SWEEP_TMP/bench.json" \
+  || { echo "ci: --append did not record the trajectory entry" >&2; exit 1; }
 
 echo "ci: all stages passed"

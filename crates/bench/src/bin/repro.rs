@@ -20,16 +20,32 @@
 //! that exceed it are reported as budget failures, not crashes. Step
 //! budgets are deterministic; wall budgets are machine-dependent and
 //! therefore break byte-reproducibility of failure rows.
+//!
+//! `--trend-against DIR` (requires `--summary`) compares the summaries
+//! this run just persisted against a previously persisted baseline
+//! directory and exits `1` when a deterministic simulator counter moved
+//! or a cell's wall clock regressed beyond tolerance — see the `trend`
+//! binary for the standalone comparator and the tolerance knobs.
 
 use molseq_bench::{all_experiments, ExpCtx};
-use molseq_sweep::JobBudget;
+use molseq_sweep::{compare_dirs, JobBudget, TrendOptions};
+use std::path::Path;
 use std::time::{Duration, Instant};
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--jobs N] [--summary DIR] [--cell-steps N] \
+         [--cell-wall SECS] [--trend-against DIR] [experiment ids...]"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut jobs: usize = 0;
     let mut summary_dir: Option<String> = None;
+    let mut trend_against: Option<String> = None;
     let mut budget = JobBudget::unlimited();
     let mut selected: Vec<&str> = Vec::new();
     let mut iter = args.iter();
@@ -51,29 +67,44 @@ fn main() {
                 summary_dir = Some(dir.clone());
             }
             "--cell-steps" => {
-                let Some(n) = iter.next().and_then(|v| v.parse().ok()) else {
-                    eprintln!("--cell-steps expects a step count");
+                // a zero budget would fail every cell on its first step —
+                // always a typo, never a useful run
+                let Some(n) = iter.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) else {
+                    eprintln!("--cell-steps expects a positive step count");
                     std::process::exit(2);
                 };
                 budget = budget.with_max_steps(n);
             }
             "--cell-wall" => {
-                let Some(secs) = iter.next().and_then(|v| v.parse::<f64>().ok()) else {
-                    eprintln!("--cell-wall expects a duration in seconds");
+                // `Duration::from_secs_f64` panics on negative/NaN/overflow
+                // input; validate here and exit 2 like every other bad flag
+                let secs = iter.next().and_then(|v| v.parse::<f64>().ok());
+                let wall = secs
+                    .filter(|&s| s > 0.0)
+                    .and_then(|s| Duration::try_from_secs_f64(s).ok());
+                let Some(wall) = wall else {
+                    eprintln!("--cell-wall expects a positive duration in seconds");
                     std::process::exit(2);
                 };
-                budget = budget.with_max_wall(Duration::from_secs_f64(secs));
+                budget = budget.with_max_wall(wall);
+            }
+            "--trend-against" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--trend-against expects a baseline summary directory");
+                    std::process::exit(2);
+                };
+                trend_against = Some(dir.clone());
             }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
-                eprintln!(
-                    "usage: repro [--quick] [--jobs N] [--summary DIR] \
-                     [--cell-steps N] [--cell-wall SECS] [experiment ids...]"
-                );
-                std::process::exit(2);
+                usage_and_exit();
             }
             other => selected.push(other),
         }
+    }
+    if trend_against.is_some() && summary_dir.is_none() {
+        eprintln!("--trend-against needs --summary DIR to have a candidate to compare");
+        std::process::exit(2);
     }
     let mut ctx = if quick {
         ExpCtx::quick()
@@ -82,8 +113,8 @@ fn main() {
     }
     .with_jobs(jobs)
     .with_budget(budget);
-    if let Some(dir) = summary_dir {
-        ctx = ctx.with_summary_dir(dir);
+    if let Some(dir) = &summary_dir {
+        ctx = ctx.with_summary_dir(dir.clone());
     }
 
     let experiments = all_experiments();
@@ -110,5 +141,27 @@ fn main() {
         let report = runner(&ctx);
         println!("{report}");
         println!("  (generated in {:.1?})\n", start.elapsed());
+    }
+
+    if let Some(baseline) = trend_against {
+        let candidate = summary_dir.expect("checked together with --trend-against");
+        // a subset run (`repro e10 --trend-against full-baseline/`) is the
+        // common case, so experiments present on only one side don't gate
+        let opts = TrendOptions::default().with_require_matching_experiments(false);
+        match compare_dirs(Path::new(&baseline), Path::new(&candidate), &opts) {
+            Ok(report) => {
+                print!(
+                    "trend: {baseline} (baseline) vs {candidate} (this run)\n\n{}",
+                    report.to_markdown()
+                );
+                if report.is_regression() {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("trend: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 }

@@ -1,0 +1,266 @@
+//! Compares two `--summary` directories and gates on metric regressions.
+//!
+//! ```sh
+//! # persist a baseline, then check a candidate run against it
+//! cargo run --release -p molseq-bench --bin repro -- e10 --quick --summary base/
+//! cargo run --release -p molseq-bench --bin repro -- e10 --quick --summary cand/
+//! cargo run --release -p molseq-bench --bin trend -- base/ cand/
+//! ```
+//!
+//! Prints a markdown report to stdout and exits:
+//!
+//! * `0` — nothing moved (or only wall-clock improvements);
+//! * `1` — a deterministic counter changed, a wall-clock reading exceeded
+//!   tolerance, or the two runs have different shapes (cells or whole
+//!   experiments present on only one side);
+//! * `2` — usage or I/O error.
+//!
+//! Deterministic simulator counters (step counts, LU factorizations, SSA
+//! events, …) must match exactly; per-cell wall clocks compare against
+//! `--wall-tol` (relative, default 0.5) with a `--wall-floor` noise floor
+//! (seconds, default 0.05). `--json FILE` additionally writes the full
+//! report as JSON for machine consumption, and `--append FILE` folds the
+//! candidate run's headline numbers into a `BENCH_*.json`-style
+//! `"trajectory"` array so the perf history accumulates run over run.
+
+use molseq_sweep::{
+    classify_metric, compare_dirs, load_summaries, JsonValue, MetricClass, SweepSummary,
+    TrendOptions,
+};
+use std::path::Path;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trend BASELINE_DIR CANDIDATE_DIR [--wall-tol REL] [--wall-floor SECS]\n\
+         \x20            [--json FILE] [--append FILE] [--label NAME] [--ignore-missing]"
+    );
+    exit(2);
+}
+
+/// Parses a tolerance-style flag value: finite and non-negative.
+fn parse_tolerance(flag: &str, value: Option<&String>) -> f64 {
+    let parsed = value.and_then(|v| v.parse::<f64>().ok());
+    match parsed {
+        Some(v) if v.is_finite() && v >= 0.0 => v,
+        _ => {
+            eprintln!("{flag} expects a finite, non-negative number");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs: Vec<String> = Vec::new();
+    let mut opts = TrendOptions::default();
+    let mut json_path: Option<String> = None;
+    let mut append_path: Option<String> = None;
+    let mut label: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--wall-tol" => opts.wall_rel_tol = parse_tolerance("--wall-tol", iter.next()),
+            "--wall-floor" => {
+                opts.wall_floor_secs = parse_tolerance("--wall-floor", iter.next());
+            }
+            "--json" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--json expects a file path");
+                    exit(2);
+                };
+                json_path = Some(path.clone());
+            }
+            "--append" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--append expects a file path");
+                    exit(2);
+                };
+                append_path = Some(path.clone());
+            }
+            "--label" => {
+                let Some(name) = iter.next() else {
+                    eprintln!("--label expects a name");
+                    exit(2);
+                };
+                label = Some(name.clone());
+            }
+            "--ignore-missing" => opts.require_matching_experiments = false,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+            other => dirs.push(other.to_owned()),
+        }
+    }
+    if dirs.len() != 2 {
+        usage();
+    }
+    let (baseline, candidate) = (Path::new(&dirs[0]), Path::new(&dirs[1]));
+
+    let report = match compare_dirs(baseline, candidate, &opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("trend: {e}");
+            exit(2);
+        }
+    };
+
+    print!(
+        "trend: {} (baseline) vs {} (candidate)\n\n{}",
+        baseline.display(),
+        candidate.display(),
+        report.to_markdown()
+    );
+
+    if let Some(path) = json_path {
+        // wrap the report with the inputs and tolerances that produced it
+        let mut doc = JsonValue::Object(vec![
+            (
+                "baseline".to_owned(),
+                JsonValue::String(baseline.display().to_string()),
+            ),
+            (
+                "candidate".to_owned(),
+                JsonValue::String(candidate.display().to_string()),
+            ),
+        ]);
+        doc.set(
+            "options",
+            JsonValue::Object(vec![
+                (
+                    "wall_rel_tol".to_owned(),
+                    JsonValue::from_f64(opts.wall_rel_tol),
+                ),
+                (
+                    "wall_floor_secs".to_owned(),
+                    JsonValue::from_f64(opts.wall_floor_secs),
+                ),
+                (
+                    "require_matching_experiments".to_owned(),
+                    JsonValue::Bool(opts.require_matching_experiments),
+                ),
+            ]),
+        );
+        let body = JsonValue::parse(&report.to_json()).expect("report serializes to valid JSON");
+        doc.set("report", body);
+        let mut text = String::new();
+        doc.render_compact(&mut text);
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("trend: cannot write {path}: {e}");
+            exit(2);
+        }
+    }
+
+    if let Some(path) = append_path {
+        let summaries = match load_summaries(candidate) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trend: {e}");
+                exit(2);
+            }
+        };
+        if let Err(e) = append_trajectory(Path::new(&path), &summaries, label.as_deref()) {
+            eprintln!("trend: {e}");
+            exit(2);
+        }
+        println!("appended trajectory entry to {path}");
+    }
+
+    if report.is_regression() {
+        exit(1);
+    }
+}
+
+/// Folds a run's headline numbers into a `BENCH_*.json`-style perf
+/// trajectory: one entry per invocation, appended to the file's
+/// `"trajectory"` array (created, file included, when absent). Exact-class
+/// metrics are summed across every cell of every experiment (the `seed`
+/// column, whose sum is meaningless, is skipped); wall time is the sum of
+/// per-cell walls.
+fn append_trajectory(
+    path: &Path,
+    summaries: &[(String, SweepSummary)],
+    label: Option<&str>,
+) -> Result<(), String> {
+    let mut doc = match std::fs::read_to_string(path) {
+        Ok(text) => JsonValue::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => JsonValue::Object(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    if doc.as_object().is_none() {
+        return Err(format!(
+            "{}: top level is not a JSON object",
+            path.display()
+        ));
+    }
+    if doc.get("trajectory").is_none() {
+        doc.set("trajectory", JsonValue::Array(Vec::new()));
+    }
+
+    let mut cells = 0usize;
+    let mut cell_wall = 0.0f64;
+    let mut totals: Vec<(String, f64)> = Vec::new();
+    let mut ids: Vec<JsonValue> = Vec::new();
+    for (id, summary) in summaries {
+        ids.push(JsonValue::String(id.clone()));
+        cells += summary.jobs.len();
+        for job in &summary.jobs {
+            cell_wall += job.wall_secs;
+            // last value per name, like the CSV export
+            let mut seen: Vec<(&str, f64)> = Vec::new();
+            for (name, value) in &job.metrics {
+                if let Some(entry) = seen.iter_mut().find(|(n, _)| *n == name.as_str()) {
+                    entry.1 = *value;
+                } else {
+                    seen.push((name.as_str(), *value));
+                }
+            }
+            for (name, value) in seen {
+                if name == "seed" || classify_metric(name) != MetricClass::Exact {
+                    continue;
+                }
+                if let Some(entry) = totals.iter_mut().find(|(n, _)| n == name) {
+                    entry.1 += value;
+                } else {
+                    totals.push((name.to_owned(), value));
+                }
+            }
+        }
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let metrics = JsonValue::Object(
+        totals
+            .into_iter()
+            .map(|(name, value)| (name, JsonValue::from_f64(value)))
+            .collect(),
+    );
+    let entry = JsonValue::Object(vec![
+        (
+            "label".to_owned(),
+            JsonValue::String(label.unwrap_or("run").to_owned()),
+        ),
+        (
+            "unix_time".to_owned(),
+            JsonValue::from_f64(unix_time as f64),
+        ),
+        ("experiments".to_owned(), JsonValue::Array(ids)),
+        ("cells".to_owned(), JsonValue::from_f64(cells as f64)),
+        (
+            "cell_wall_secs".to_owned(),
+            JsonValue::from_f64((cell_wall * 1e6).round() / 1e6),
+        ),
+        ("metrics".to_owned(), metrics),
+    ]);
+    doc.get_mut("trajectory")
+        .and_then(JsonValue::as_array_mut)
+        .ok_or_else(|| format!("{}: `trajectory` is not an array", path.display()))?
+        .push(entry);
+
+    std::fs::write(path, doc.render_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}

@@ -1,0 +1,234 @@
+//! End-to-end tests for the regression gate: the `trend` binary against
+//! the checked-in fixtures, the `repro` flag validation, and the CSV
+//! fallback path of the directory loader.
+
+use molseq_sweep::{compare_dirs, read_summary_json, JsonValue, TrendOptions, TrendVerdict};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/trend")
+        .join(name)
+}
+
+/// A per-test scratch directory under the system temp dir, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(test: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("molseq-trend-{test}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_trend(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trend"))
+        .args(args)
+        .output()
+        .expect("run trend binary")
+}
+
+fn run_repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("run repro binary")
+}
+
+#[test]
+fn identical_fixture_dirs_exit_zero() {
+    let base = fixture("baseline");
+    let out = run_trend(&[base.to_str().unwrap(), base.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("**verdict: UNCHANGED**"), "{stdout}");
+}
+
+#[test]
+fn injected_step_count_regression_exits_one_and_names_the_metric() {
+    let out = run_trend(&[
+        fixture("baseline").to_str().unwrap(),
+        fixture("regressed").to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("**verdict: REGRESSED**"), "{stdout}");
+    // the report must name the counter that moved, with both values
+    assert!(
+        stdout.contains("| ode_steps_accepted | 1200 | 2400 | regressed |"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn json_report_records_the_verdict() {
+    let scratch = Scratch::new("json-report");
+    let report = scratch.path("report.json");
+    let out = run_trend(&[
+        fixture("baseline").to_str().unwrap(),
+        fixture("regressed").to_str().unwrap(),
+        "--json",
+        report.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = fs::read_to_string(&report).expect("report written");
+    let doc = JsonValue::parse(&text).expect("report is valid JSON");
+    let verdict = doc
+        .get("report")
+        .and_then(|r| r.get("verdict"))
+        .and_then(JsonValue::as_str);
+    assert_eq!(verdict, Some("Regressed"), "{text}");
+    assert!(doc.get("options").is_some(), "{text}");
+}
+
+#[test]
+fn widened_tolerance_is_respected_but_counters_still_gate() {
+    // wall-clock deltas in the fixtures are large relative to the cells;
+    // even an enormous tolerance must not excuse the counter change
+    let out = run_trend(&[
+        fixture("baseline").to_str().unwrap(),
+        fixture("regressed").to_str().unwrap(),
+        "--wall-tol",
+        "1000",
+        "--wall-floor",
+        "1000",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn csv_only_directories_compare_through_the_fallback_reader() {
+    let scratch = Scratch::new("csv-fallback");
+    let summary =
+        read_summary_json(&fs::read_to_string(fixture("baseline/e10.summary.json")).unwrap())
+            .expect("fixture parses");
+    for side in ["a", "b"] {
+        let dir = scratch.path(side);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("e10.summary.csv"), summary.to_csv()).unwrap();
+    }
+    let trend = compare_dirs(
+        &scratch.path("a"),
+        &scratch.path("b"),
+        &TrendOptions::default(),
+    )
+    .expect("CSV directories load");
+    assert_eq!(trend.experiments.len(), 1);
+    assert_eq!(trend.experiments[0].id, "e10");
+    assert_eq!(trend.verdict, TrendVerdict::Unchanged);
+}
+
+#[test]
+fn append_builds_a_trajectory_from_scratch() {
+    let scratch = Scratch::new("append");
+    let bench = scratch.path("bench.json");
+    let out = run_trend(&[
+        fixture("baseline").to_str().unwrap(),
+        fixture("baseline").to_str().unwrap(),
+        "--append",
+        bench.to_str().unwrap(),
+        "--label",
+        "fixture-run",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let doc = JsonValue::parse(&fs::read_to_string(&bench).unwrap()).expect("valid JSON");
+    let entries = doc
+        .get("trajectory")
+        .and_then(JsonValue::as_array)
+        .expect("trajectory array");
+    assert_eq!(entries.len(), 1);
+    let entry = &entries[0];
+    assert_eq!(
+        entry.get("label").and_then(JsonValue::as_str),
+        Some("fixture-run")
+    );
+    assert_eq!(entry.get("cells").and_then(JsonValue::as_f64), Some(2.0));
+    let metrics = entry.get("metrics").expect("metrics object");
+    // exact counters summed over both cells; the seed column is skipped
+    assert_eq!(
+        metrics
+            .get("ode_steps_accepted")
+            .and_then(JsonValue::as_f64),
+        Some(2388.0)
+    );
+    assert!(metrics.get("seed").is_none());
+
+    // a second append accumulates rather than replaces
+    let out = run_trend(&[
+        fixture("baseline").to_str().unwrap(),
+        fixture("regressed").to_str().unwrap(),
+        "--append",
+        bench.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "regression still gates with --append"
+    );
+    let doc = JsonValue::parse(&fs::read_to_string(&bench).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("trajectory")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .len(),
+        2
+    );
+}
+
+#[test]
+fn trend_usage_errors_exit_two() {
+    assert_eq!(run_trend(&[]).status.code(), Some(2));
+    let base = fixture("baseline");
+    let base = base.to_str().unwrap();
+    assert_eq!(run_trend(&[base]).status.code(), Some(2), "one dir");
+    assert_eq!(
+        run_trend(&[base, base, "--wall-tol", "-1"]).status.code(),
+        Some(2),
+        "negative tolerance"
+    );
+    assert_eq!(
+        run_trend(&[base, base, "--wall-floor", "nan"])
+            .status
+            .code(),
+        Some(2),
+        "NaN floor"
+    );
+    assert_eq!(
+        run_trend(&[base, "/nonexistent-molseq-trend-dir"])
+            .status
+            .code(),
+        Some(2),
+        "missing candidate directory"
+    );
+}
+
+#[test]
+fn repro_rejects_bad_budget_flags_instead_of_panicking() {
+    for args in [
+        &["e10", "--cell-wall", "-1"][..],
+        &["e10", "--cell-wall", "nan"],
+        &["e10", "--cell-wall", "inf"],
+        &["e10", "--cell-wall", "0"],
+        &["e10", "--cell-steps", "0"],
+        &["e10", "--trend-against", "somewhere"], // without --summary
+    ] {
+        let out = run_repro(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!stderr.contains("panicked"), "args {args:?}: {stderr}");
+    }
+}

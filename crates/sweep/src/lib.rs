@@ -17,6 +17,13 @@
 //!   exportable as JSON or CSV, and can stream [`ProgressTick`]s while
 //!   running.
 //!
+//! Persisted summaries are also *readable*: [`read_summary_json`] and
+//! [`read_summary_csv`] invert the exporters exactly, and the trend layer
+//! ([`compare_summaries`], [`compare_dirs`]) diffs two runs cell-by-cell —
+//! deterministic simulator counters must match exactly, wall-clock
+//! readings compare against a tolerance ([`TrendOptions`]) — so a
+//! persisted baseline can gate CI against silent metric regressions.
+//!
 //! The crate is deliberately simulation-agnostic — a job is any
 //! `Fn(&JobCtx) -> Result<T, JobError>` — and std-only: the pool is built
 //! on `std::thread::scope`, sized by `available_parallelism`, so jobs may
@@ -52,11 +59,19 @@
 mod job;
 mod pool;
 mod progress;
+mod read;
 mod summary;
+mod trend;
 
 pub use job::{JobBudget, JobCtx, JobError, SweepJob};
 pub use pool::{
     run_sweep, run_sweep_with_progress, CellOutcome, CellResult, SweepOptions, SweepOutcome,
 };
 pub use progress::ProgressTick;
+pub use read::{read_summary_csv, read_summary_json, JsonValue, ReadError};
 pub use summary::{JobRecord, JobStatus, SweepSummary};
+pub use trend::{
+    classify_metric, compare_dirs, compare_summaries, load_summaries, CellTrend, DirTrend,
+    ExperimentTrend, MetricClass, MetricDelta, SummaryTrend, TrendOptions, TrendVerdict,
+    MARKDOWN_MAX_ROWS,
+};

@@ -1,0 +1,881 @@
+//! Readers for persisted sweep artifacts.
+//!
+//! The sweep engine has always been write-only: [`SweepSummary::to_json`]
+//! and [`SweepSummary::to_csv`] persist a run, and nothing in the
+//! workspace could load one back (the vendored serde stub serializes but
+//! never deserializes). This module closes that gap with hand-rolled
+//! parsers kept inside the stub's API subset, so swapping the real serde
+//! back in never conflicts with them:
+//!
+//! * [`JsonValue`] — a minimal ordered JSON document model with a lenient
+//!   recursive-descent parser and compact/pretty renderers. Number tokens
+//!   keep their source lexeme, so a parse → edit → render cycle (the
+//!   `trend --append` perf-trajectory workflow) does not reformat
+//!   untouched values.
+//! * [`read_summary_json`] — the exact inverse of `to_json`: every
+//!   summary the writer can produce reads back value-identical, with JSON
+//!   `null` metric values mapped to NaN ("recorded but not finite").
+//! * [`read_summary_csv`] — the inverse of `to_csv` at row level: quoted
+//!   labels (commas, quotes, embedded newlines), union metric columns and
+//!   `null` cells all round-trip; re-serializing the parsed summary
+//!   reproduces the input CSV byte-for-byte. Aggregates the CSV does not
+//!   carry (sweep wall time, worker count) are recomputed or zeroed.
+//!
+//! Both readers also accept the pre-unification legacy CSV forms for
+//! non-finite metrics (`NaN`, `inf`, `-inf`), which older summary
+//! artifacts may still contain.
+
+use crate::summary::{JobRecord, JobStatus, SweepSummary};
+use std::fmt;
+
+/// Why a persisted artifact could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    msg: String,
+}
+
+impl ReadError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ReadError { msg: msg.into() }
+    }
+
+    /// The human-readable failure description.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// A parsed JSON document.
+///
+/// Object member order is preserved (members are a `Vec`, not a map), and
+/// numbers remember their source lexeme, so rendering a parsed-and-edited
+/// document back out leaves every untouched value byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as parsed value plus source lexeme.
+    Number {
+        /// The parsed value.
+        value: f64,
+        /// The exact token from the source (or a canonical rendering for
+        /// constructed numbers), emitted verbatim by the renderers.
+        raw: String,
+    },
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in member order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Deepest value nesting the parser accepts; beyond this it reports an
+/// error instead of risking a stack overflow on hostile input.
+const MAX_DEPTH: usize = 128;
+
+impl JsonValue {
+    /// Parses a JSON document.
+    ///
+    /// The grammar is standard JSON, slightly lenient on number tokens
+    /// (anything `f64::from_str` accepts, e.g. `1.` or `+5`, parses).
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError`] with a byte offset on malformed input, unbalanced
+    /// structure, trailing garbage, or nesting deeper than 128 levels.
+    pub fn parse(text: &str) -> Result<JsonValue, ReadError> {
+        let mut p = Parser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.parse_value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after JSON document"));
+        }
+        Ok(value)
+    }
+
+    /// A number value with a canonical lexeme: integer-valued finite
+    /// numbers render without a fractional part, other finite numbers in
+    /// shortest round-trip form, non-finite numbers as [`JsonValue::Null`].
+    #[must_use]
+    pub fn from_f64(value: f64) -> JsonValue {
+        if !value.is_finite() {
+            return JsonValue::Null;
+        }
+        let raw = if value.fract() == 0.0 && value.abs() < 9.0e15 {
+            format!("{value:.0}")
+        } else {
+            format!("{value}")
+        };
+        JsonValue::Number { value, raw }
+    }
+
+    /// Object member lookup (first match). `None` for non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members
+                .iter()
+                .find(|(k, _)| k.as_str() == key)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable object member lookup (first match).
+    #[must_use]
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut JsonValue> {
+        match self {
+            JsonValue::Object(members) => members
+                .iter_mut()
+                .find(|(k, _)| k.as_str() == key)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Upserts an object member: replaces the first member named `key`, or
+    /// appends one. No-op on non-objects.
+    pub fn set(&mut self, key: &str, value: JsonValue) {
+        if let JsonValue::Object(members) = self {
+            if let Some((_, v)) = members.iter_mut().find(|(k, _)| k.as_str() == key) {
+                *v = value;
+            } else {
+                members.push((key.to_owned(), value));
+            }
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the elements, if this is an array.
+    #[must_use]
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<JsonValue>> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members in order, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Renders the document compactly (no whitespace), matching the
+    /// vendored serde stub's output format.
+    pub fn render_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number { raw, .. } => out.push_str(raw),
+            JsonValue::String(s) => serde::write_json_string(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::write_json_string(k, out);
+                    out.push(':');
+                    v.render_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The document rendered with two-space indentation (the
+    /// `BENCH_*.json` house style), with a trailing newline.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_pretty_at(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_pretty_at(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    v.render_pretty_at(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    serde::write_json_string(k, out);
+                    out.push_str(": ");
+                    v.render_pretty_at(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.render_compact(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// Recursive-descent JSON parser state.
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, msg: &str) -> ReadError {
+        ReadError::new(format!("json: {msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.text[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<JsonValue, ReadError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.bytes.get(self.pos) {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') if self.eat("null") => Ok(JsonValue::Null),
+            Some(b't') if self.eat("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat("false") => Ok(JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JsonValue::Array(items));
+                        }
+                        _ => return Err(self.error("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut members = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                loop {
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'"') {
+                        return Err(self.error("expected string object key"));
+                    }
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b':') {
+                        return Err(self.error("expected `:` after object key"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let value = self.parse_value(depth + 1)?;
+                    members.push((key, value));
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(JsonValue::Object(members));
+                        }
+                        _ => return Err(self.error("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, ReadError> {
+        let start = self.pos;
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let raw = &self.text[start..self.pos];
+        let value: f64 = raw
+            .parse()
+            .map_err(|_| ReadError::new(format!("json: invalid number `{raw}` at byte {start}")))?;
+        Ok(JsonValue::Number {
+            value,
+            raw: raw.to_owned(),
+        })
+    }
+
+    /// Parses a string literal (cursor on the opening quote). Unescaped
+    /// content is copied by slice, so UTF-8 passes through untouched;
+    /// `\uXXXX` escapes (including surrogate pairs) are decoded.
+    fn parse_string(&mut self) -> Result<String, ReadError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        let mut run_start = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(&self.text[run_start..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&self.text[run_start..self.pos]);
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // high surrogate: a `\uXXXX` low surrogate
+                                // must follow
+                                if !self.eat("\\u") {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid \\u escape")),
+                            }
+                            // parse_hex4 leaves the cursor after the last
+                            // hex digit; skip the +1 below
+                            run_start = self.pos;
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                    run_start = self.pos;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ReadError> {
+        let Some(hex) = self.text.get(self.pos..self.pos + 4) else {
+            return Err(self.error("truncated \\u escape"));
+        };
+        let unit =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape digits"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+}
+
+/// Looks up a required object member.
+fn field<'a>(obj: &'a JsonValue, name: &str) -> Result<&'a JsonValue, ReadError> {
+    obj.get(name)
+        .ok_or_else(|| ReadError::new(format!("summary json: missing field `{name}`")))
+}
+
+fn field_f64(obj: &JsonValue, name: &str) -> Result<f64, ReadError> {
+    field(obj, name)?
+        .as_f64()
+        .ok_or_else(|| ReadError::new(format!("summary json: field `{name}` is not a number")))
+}
+
+fn field_usize(obj: &JsonValue, name: &str) -> Result<usize, ReadError> {
+    let v = field_f64(obj, name)?;
+    if v.fract() != 0.0 || !(0.0..9.0e15).contains(&v) {
+        return Err(ReadError::new(format!(
+            "summary json: field `{name}` is not a non-negative integer (got {v})"
+        )));
+    }
+    Ok(v as usize)
+}
+
+fn field_str<'a>(obj: &'a JsonValue, name: &str) -> Result<&'a str, ReadError> {
+    field(obj, name)?
+        .as_str()
+        .ok_or_else(|| ReadError::new(format!("summary json: field `{name}` is not a string")))
+}
+
+/// Reads a summary previously written by [`SweepSummary::to_json`].
+///
+/// The exact inverse of the writer: all aggregate fields are taken
+/// verbatim, per-job metric pairs keep their order, and a JSON `null`
+/// metric value (how both writers persist non-finite values) reads back
+/// as NaN. Unknown fields are ignored, so summaries written by future
+/// revisions with extra fields still load.
+///
+/// # Errors
+///
+/// [`ReadError`] on malformed JSON or a document missing the summary
+/// schema's fields.
+pub fn read_summary_json(text: &str) -> Result<SweepSummary, ReadError> {
+    let doc = JsonValue::parse(text)?;
+    if doc.as_object().is_none() {
+        return Err(ReadError::new("summary json: document is not an object"));
+    }
+    let jobs_value = field(&doc, "jobs")?
+        .as_array()
+        .ok_or_else(|| ReadError::new("summary json: `jobs` is not an array"))?;
+    let mut jobs = Vec::with_capacity(jobs_value.len());
+    for (row, job) in jobs_value.iter().enumerate() {
+        jobs.push(
+            read_job(job)
+                .map_err(|e| ReadError::new(format!("summary json: job {row}: {}", e.message())))?,
+        );
+    }
+    Ok(SweepSummary {
+        total: field_usize(&doc, "total")?,
+        succeeded: field_usize(&doc, "succeeded")?,
+        failed: field_usize(&doc, "failed")?,
+        panicked: field_usize(&doc, "panicked")?,
+        budget_exceeded: field_usize(&doc, "budget_exceeded")?,
+        workers: field_usize(&doc, "workers")?,
+        wall_secs: field_f64(&doc, "wall_secs")?,
+        min_job_secs: field_f64(&doc, "min_job_secs")?,
+        mean_job_secs: field_f64(&doc, "mean_job_secs")?,
+        max_job_secs: field_f64(&doc, "max_job_secs")?,
+        jobs,
+    })
+}
+
+fn read_job(job: &JsonValue) -> Result<JobRecord, ReadError> {
+    let status_name = field_str(job, "status")?;
+    let Some(status) = JobStatus::parse(status_name) else {
+        return Err(ReadError::new(format!("unknown status `{status_name}`")));
+    };
+    let pairs = field(job, "metrics")?
+        .as_array()
+        .ok_or_else(|| ReadError::new("`metrics` is not an array"))?;
+    let mut metrics = Vec::with_capacity(pairs.len());
+    for pair in pairs {
+        let Some([name, value]) = pair.as_array().and_then(|a| <&[_; 2]>::try_from(a).ok()) else {
+            return Err(ReadError::new("metric entry is not a [name, value] pair"));
+        };
+        let Some(name) = name.as_str() else {
+            return Err(ReadError::new("metric name is not a string"));
+        };
+        // `null` is how both writers persist non-finite values
+        let value = match value {
+            JsonValue::Null => f64::NAN,
+            other => other
+                .as_f64()
+                .ok_or_else(|| ReadError::new("metric value is not a number or null"))?,
+        };
+        metrics.push((name.to_owned(), value));
+    }
+    Ok(JobRecord {
+        index: field_usize(job, "index")?,
+        label: field_str(job, "label")?.to_owned(),
+        status,
+        wall_secs: field_f64(job, "wall_secs")?,
+        detail: field_str(job, "detail")?.to_owned(),
+        metrics,
+    })
+}
+
+/// Reads a summary previously written by [`SweepSummary::to_csv`].
+///
+/// Per-job rows round-trip exactly — quoted labels (commas, quotes,
+/// embedded newlines), union metric columns in header order, empty cells
+/// for never-recorded metrics, and `null` cells for non-finite values
+/// (read back as NaN; the legacy `NaN`/`inf`/`-inf` forms written before
+/// the writers were unified are accepted too). Re-serializing the result
+/// with `to_csv` reproduces the input byte-for-byte.
+///
+/// The CSV carries no sweep-level aggregates, so success/failure counts
+/// and min/mean/max job times are recomputed from the rows, while
+/// `workers` and the sweep's own `wall_secs` — not recoverable — are 0.
+///
+/// # Errors
+///
+/// [`ReadError`] on an unrecognized header, unbalanced quoting, a row
+/// with the wrong column count, or unparseable numeric cells.
+pub fn read_summary_csv(text: &str) -> Result<SweepSummary, ReadError> {
+    let records = parse_csv_records(text)?;
+    let Some((header, rows)) = records.split_first() else {
+        return Err(ReadError::new("summary csv: missing header"));
+    };
+    const FIXED: [&str; 5] = ["index", "label", "status", "wall_secs", "detail"];
+    if header.len() < FIXED.len() || header[..FIXED.len()] != FIXED {
+        return Err(ReadError::new(format!(
+            "summary csv: unrecognized header `{}`",
+            header.join(",")
+        )));
+    }
+    let metric_names = &header[FIXED.len()..];
+
+    let mut jobs = Vec::with_capacity(rows.len());
+    let mut counts = [0usize; 4]; // ok, failed, panicked, budget
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    for (row_no, row) in rows.iter().enumerate() {
+        let context = |msg: String| ReadError::new(format!("summary csv: row {row_no}: {msg}"));
+        if row.len() != header.len() {
+            return Err(context(format!(
+                "expected {} fields, found {}",
+                header.len(),
+                row.len()
+            )));
+        }
+        let index: usize = row[0]
+            .parse()
+            .map_err(|_| context(format!("invalid index `{}`", row[0])))?;
+        let Some(status) = JobStatus::parse(&row[2]) else {
+            return Err(context(format!("unknown status `{}`", row[2])));
+        };
+        let wall_secs: f64 = row[3]
+            .parse()
+            .map_err(|_| context(format!("invalid wall_secs `{}`", row[3])))?;
+        let mut metrics = Vec::new();
+        for (name, cell) in metric_names.iter().zip(&row[FIXED.len()..]) {
+            if cell.is_empty() {
+                continue; // never recorded
+            }
+            let value = if cell == "null" {
+                f64::NAN
+            } else {
+                // also accepts the legacy `NaN` / `inf` / `-inf` cells
+                cell.parse()
+                    .map_err(|_| context(format!("invalid metric `{name}` value `{cell}`")))?
+            };
+            metrics.push((name.clone(), value));
+        }
+        counts[match status {
+            JobStatus::Ok => 0,
+            JobStatus::Failed => 1,
+            JobStatus::Panicked => 2,
+            JobStatus::BudgetExceeded => 3,
+        }] += 1;
+        min = min.min(wall_secs);
+        max = max.max(wall_secs);
+        sum += wall_secs;
+        jobs.push(JobRecord {
+            index,
+            label: row[1].clone(),
+            status,
+            wall_secs,
+            detail: row[4].clone(),
+            metrics,
+        });
+    }
+    let total = jobs.len();
+    Ok(SweepSummary {
+        total,
+        succeeded: counts[0],
+        failed: counts[1],
+        panicked: counts[2],
+        budget_exceeded: counts[3],
+        workers: 0,
+        wall_secs: 0.0,
+        min_job_secs: if total == 0 { 0.0 } else { min },
+        mean_job_secs: if total == 0 { 0.0 } else { sum / total as f64 },
+        max_job_secs: max,
+        jobs,
+    })
+}
+
+/// Splits CSV text into records of unescaped fields, honouring quoting:
+/// quoted fields may contain commas, doubled quotes, and newlines.
+fn parse_csv_records(text: &str) -> Result<Vec<Vec<String>>, ReadError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut fld = String::new();
+    let mut field_started = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if !field_started => {
+                // quoted field: consume to the closing quote
+                field_started = true;
+                loop {
+                    match chars.next() {
+                        None => return Err(ReadError::new("csv: unterminated quoted field")),
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                fld.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(other) => fld.push(other),
+                    }
+                }
+            }
+            ',' => {
+                record.push(std::mem::take(&mut fld));
+                field_started = false;
+            }
+            '\n' | '\r' => {
+                if c == '\r' && chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                record.push(std::mem::take(&mut fld));
+                records.push(std::mem::take(&mut record));
+                field_started = false;
+            }
+            other => {
+                fld.push(other);
+                field_started = true;
+            }
+        }
+    }
+    // text without a trailing newline still yields its last record
+    if field_started || !fld.is_empty() || !record.is_empty() {
+        record.push(fld);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_scalars_parse() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("\"a b\"").unwrap().as_str(), Some("a b"));
+        let n = JsonValue::parse("-12.5e2").unwrap();
+        assert_eq!(n.as_f64(), Some(-1250.0));
+    }
+
+    #[test]
+    fn json_numbers_keep_their_lexeme() {
+        let doc = JsonValue::parse("{\"a\": 10, \"b\": 0.14199}").unwrap();
+        let mut out = String::new();
+        doc.render_compact(&mut out);
+        // `10` must not become `10.0`, `0.14199` must not be reformatted
+        assert_eq!(out, "{\"a\":10,\"b\":0.14199}");
+    }
+
+    #[test]
+    fn json_string_escapes_round_trip() {
+        let doc = JsonValue::parse(r#""a\"b\\c\ndAé""#).unwrap();
+        assert_eq!(doc.as_str(), Some("a\"b\\c\nd\u{41}\u{e9}"));
+        // surrogate pair
+        let astral = JsonValue::parse(r#""😀""#).unwrap();
+        assert_eq!(astral.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn json_structure_errors_are_reported() {
+        assert!(JsonValue::parse("{\"a\":1").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("1 2").is_err());
+        assert!(JsonValue::parse("{\"a\" 1}").is_err());
+        assert!(JsonValue::parse("\"abc").is_err());
+        let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(JsonValue::parse(&deep).is_err(), "depth limit enforced");
+    }
+
+    #[test]
+    fn json_object_edits_preserve_member_order() {
+        let mut doc = JsonValue::parse("{\"keep\": 1, \"arr\": []}").unwrap();
+        doc.get_mut("arr")
+            .and_then(JsonValue::as_array_mut)
+            .unwrap()
+            .push(JsonValue::from_f64(7.0));
+        doc.set("new", JsonValue::Bool(false));
+        let mut out = String::new();
+        doc.render_compact(&mut out);
+        assert_eq!(out, "{\"keep\":1,\"arr\":[7],\"new\":false}");
+    }
+
+    #[test]
+    fn pretty_rendering_indents_by_two() {
+        let doc = JsonValue::parse("{\"a\":[1,2],\"b\":{},\"c\":{\"d\":null}}").unwrap();
+        assert_eq!(
+            doc.render_pretty(),
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {},\n  \"c\": {\n    \"d\": null\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn from_f64_uses_canonical_lexemes() {
+        assert_eq!(
+            JsonValue::from_f64(7.0),
+            JsonValue::Number {
+                value: 7.0,
+                raw: "7".to_owned()
+            }
+        );
+        assert_eq!(JsonValue::from_f64(0.5).as_f64(), Some(0.5));
+        assert_eq!(JsonValue::from_f64(f64::NAN), JsonValue::Null);
+    }
+
+    #[test]
+    fn csv_records_handle_quoting_and_embedded_newlines() {
+        let recs = parse_csv_records("a,\"b,c\",\"d\"\"e\"\n\"multi\nline\",2,3\n").unwrap();
+        assert_eq!(
+            recs,
+            vec![
+                vec!["a".to_owned(), "b,c".to_owned(), "d\"e".to_owned()],
+                vec!["multi\nline".to_owned(), "2".to_owned(), "3".to_owned()],
+            ]
+        );
+        // no trailing newline still yields the final record
+        let recs = parse_csv_records("x,y").unwrap();
+        assert_eq!(recs, vec![vec!["x".to_owned(), "y".to_owned()]]);
+        assert!(parse_csv_records("\"open").is_err());
+    }
+
+    #[test]
+    fn summary_csv_reader_rejects_malformed_rows() {
+        assert!(read_summary_csv("not,a,summary\n").is_err());
+        let missing_cols = "index,label,status,wall_secs,detail\n0,a,Ok\n";
+        assert!(read_summary_csv(missing_cols).is_err());
+        let bad_status = "index,label,status,wall_secs,detail\n0,a,Exploded,0.1,\n";
+        assert!(read_summary_csv(bad_status).is_err());
+    }
+
+    #[test]
+    fn summary_csv_reader_accepts_legacy_non_finite_forms() {
+        let csv = "index,label,status,wall_secs,detail,residual,peak\n\
+                   0,a,Ok,0.100000,,NaN,inf\n\
+                   1,b,Ok,0.200000,,null,-inf\n";
+        let s = read_summary_csv(csv).unwrap();
+        assert!(s.jobs[0].metrics[0].1.is_nan());
+        assert_eq!(s.jobs[0].metrics[1].1, f64::INFINITY);
+        assert!(s.jobs[1].metrics[0].1.is_nan());
+        assert_eq!(s.jobs[1].metrics[1].1, f64::NEG_INFINITY);
+        // re-serialization uses the unified `null` form for all of them
+        let rewritten = s.to_csv();
+        assert!(
+            rewritten.contains("0,a,Ok,0.100000,,null,null"),
+            "{rewritten}"
+        );
+    }
+
+    #[test]
+    fn summary_json_reader_requires_schema_fields() {
+        assert!(read_summary_json("[]").is_err());
+        assert!(read_summary_json("{\"total\":1}").is_err());
+        let bad_status = "{\"total\":0,\"succeeded\":0,\"failed\":0,\"panicked\":0,\
+             \"budget_exceeded\":0,\"workers\":1,\"wall_secs\":0.0,\"min_job_secs\":0.0,\
+             \"mean_job_secs\":0.0,\"max_job_secs\":0.0,\"jobs\":[{\"index\":0,\
+             \"label\":\"a\",\"status\":\"Nope\",\"wall_secs\":0.1,\"detail\":\"\",\
+             \"metrics\":[]}]}";
+        let err = read_summary_json(bad_status).unwrap_err();
+        assert!(err.message().contains("unknown status"), "{err}");
+    }
+}

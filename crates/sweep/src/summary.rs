@@ -24,12 +24,29 @@ impl JobStatus {
         matches!(self, JobStatus::Ok)
     }
 
-    fn as_str(self) -> &'static str {
+    /// The status's canonical serialized name (`"Ok"`, `"Failed"`,
+    /// `"Panicked"`, `"BudgetExceeded"`) — the form both the JSON and CSV
+    /// exporters write and [`JobStatus::parse`] accepts.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
         match self {
             JobStatus::Ok => "Ok",
             JobStatus::Failed => "Failed",
             JobStatus::Panicked => "Panicked",
             JobStatus::BudgetExceeded => "BudgetExceeded",
+        }
+    }
+
+    /// Parses a canonical status name back into a [`JobStatus`]; the
+    /// inverse of [`JobStatus::as_str`]. Returns `None` for anything else.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "Ok" => Some(JobStatus::Ok),
+            "Failed" => Some(JobStatus::Failed),
+            "Panicked" => Some(JobStatus::Panicked),
+            "BudgetExceeded" => Some(JobStatus::BudgetExceeded),
+            _ => None,
         }
     }
 }
@@ -206,15 +223,24 @@ impl SweepSummary {
 /// Renders a metric value compactly: integer-valued counters (the common
 /// case — event counts, step counts, seeds) print without a fractional
 /// part, everything else with `f64`'s shortest round-trip form.
-fn format_metric(v: f64) -> String {
-    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+///
+/// Non-finite values render as `null`, matching the JSON writer (the
+/// vendored serde stub serializes non-finite `f64` as JSON `null`, like
+/// `serde_json`), so the two persisted forms agree: a NaN metric is
+/// `null` in both artifacts, and the readers in [`crate::read`] map it
+/// back to NaN. An empty CSV cell still means "metric never recorded" —
+/// distinct from `null`, which means "recorded but not finite".
+pub(crate) fn format_metric(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_owned()
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
         format!("{v:.0}")
     } else {
         format!("{v}")
     }
 }
 
-fn push_csv_field(out: &mut String, field: &str) {
+pub(crate) fn push_csv_field(out: &mut String, field: &str) {
     if field.contains([',', '"', '\n', '\r']) {
         out.push('"');
         out.push_str(&field.replace('"', "\"\""));
@@ -377,5 +403,34 @@ mod tests {
         assert_eq!(format_metric(-3.0), "-3");
         // beyond exact-integer range, fall through to `{}` formatting
         assert_eq!(format_metric(1.0e18), format!("{}", 1.0e18f64));
+        // negative zero keeps its sign and round-trips through `parse`
+        assert_eq!(format_metric(-0.0), "-0");
+        assert!("-0".parse::<f64>().unwrap().is_sign_negative());
+    }
+
+    #[test]
+    fn non_finite_metrics_serialize_as_null_in_both_writers() {
+        // the JSON writer (serde stub) has always emitted `null` for
+        // non-finite floats; the CSV writer must agree
+        assert_eq!(format_metric(f64::NAN), "null");
+        assert_eq!(format_metric(f64::INFINITY), "null");
+        assert_eq!(format_metric(f64::NEG_INFINITY), "null");
+
+        let cells = vec![CellResult {
+            index: 0,
+            label: "rep=0".into(),
+            wall: Duration::from_millis(10),
+            outcome: CellOutcome::Ok(1u32),
+            metrics: vec![
+                ("residual".to_string(), f64::NAN),
+                ("ssa_events".to_string(), 7.0),
+            ],
+        }];
+        let s = SweepSummary::from_cells(&cells, 1, Duration::from_millis(10));
+        let json = s.to_json();
+        assert!(json.contains("[\"residual\",null]"), "{json}");
+        let csv = s.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.ends_with(",null,7"), "{row}");
     }
 }

@@ -1,0 +1,836 @@
+//! Regression trending over persisted sweep summaries.
+//!
+//! The metrics pipeline persists *what every cell did* (`--summary`
+//! writes per-cell simulator counters next to status and timing); this
+//! module is the part that finally reads two such runs and says whether
+//! anything moved. The comparison is metric-class aware:
+//!
+//! * **Deterministic counters** — step counts, LU factorizations, SSA
+//!   events, final integration times, seeds — must match *exactly*. Any
+//!   difference, in either direction, is a regression verdict: the
+//!   reproduction's claims (e.g. E6's error cliff at the rate-ratio
+//!   boundary) only stay reproduced while these numbers are stable, and a
+//!   "2× fewer steps" surprise deserves a deliberately regenerated
+//!   baseline, not a silent pass.
+//! * **Wall-clock readings** — the per-cell `wall_secs` column and any
+//!   metric whose name marks it as a timing (see [`classify_metric`]) —
+//!   are machine- and load-dependent, so they compare against a relative
+//!   tolerance plus an absolute noise floor ([`TrendOptions`]); getting
+//!   *faster* beyond the same threshold is reported as an improvement,
+//!   never a failure.
+//!
+//! Cells pair by label (duplicate labels pair positionally); cells present
+//! on only one side, like experiments present in only one directory, are
+//! structural changes and gate by default. [`compare_summaries`] compares
+//! two loaded summaries, [`compare_dirs`] two `--summary` directories, and
+//! [`DirTrend::to_markdown`] / [`DirTrend::to_json`] render the verdict
+//! for humans and for CI.
+
+use crate::read::{read_summary_csv, read_summary_json, ReadError};
+use crate::summary::{format_metric, JobRecord, JobStatus, SweepSummary};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Tolerances and gating policy for a trend comparison.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrendOptions {
+    /// Relative tolerance for wall-clock comparisons: a timing may grow by
+    /// `baseline * wall_rel_tol` before it counts as a regression.
+    pub wall_rel_tol: f64,
+    /// Absolute noise floor, in seconds: timing deltas smaller than this
+    /// never gate, whatever the relative change (sub-floor cells are all
+    /// scheduler noise).
+    pub wall_floor_secs: f64,
+    /// When `true` (the default), an experiment id present in only one of
+    /// the compared directories is itself a regression. Disable when the
+    /// candidate is a deliberate subset run (e.g. `repro e10
+    /// --trend-against` a full-run baseline).
+    pub require_matching_experiments: bool,
+}
+
+impl Default for TrendOptions {
+    /// 50% relative wall tolerance, 50 ms noise floor, matching
+    /// experiment sets required.
+    fn default() -> Self {
+        TrendOptions {
+            wall_rel_tol: 0.5,
+            wall_floor_secs: 0.05,
+            require_matching_experiments: true,
+        }
+    }
+}
+
+impl TrendOptions {
+    /// Sets the relative wall-clock tolerance (builder style).
+    #[must_use]
+    pub fn with_wall_rel_tol(mut self, tol: f64) -> Self {
+        self.wall_rel_tol = tol;
+        self
+    }
+
+    /// Sets the absolute wall-clock noise floor (builder style).
+    #[must_use]
+    pub fn with_wall_floor_secs(mut self, secs: f64) -> Self {
+        self.wall_floor_secs = secs;
+        self
+    }
+
+    /// Sets whether mismatched experiment sets gate (builder style).
+    #[must_use]
+    pub fn with_require_matching_experiments(mut self, require: bool) -> Self {
+        self.require_matching_experiments = require;
+        self
+    }
+}
+
+/// How a metric is compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MetricClass {
+    /// Deterministic counter: compared exactly, any change gates.
+    Exact,
+    /// Wall-clock reading: compared with tolerance plus noise floor.
+    Timing,
+}
+
+/// Classifies a metric by name: `wall_secs` itself, names ending in
+/// `_secs` or `_wall`, and names starting with `wall_` are
+/// [`MetricClass::Timing`]; everything else — the simulator counters, the
+/// final integration time, the seed — is [`MetricClass::Exact`].
+#[must_use]
+pub fn classify_metric(name: &str) -> MetricClass {
+    if name == "wall_secs"
+        || name.ends_with("_secs")
+        || name.ends_with("_wall")
+        || name.starts_with("wall_")
+    {
+        MetricClass::Timing
+    } else {
+        MetricClass::Exact
+    }
+}
+
+/// The outcome of a comparison, at any granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TrendVerdict {
+    /// Nothing moved beyond tolerance.
+    Unchanged,
+    /// Only wall-clock readings moved, and only downward.
+    Improved,
+    /// A deterministic value changed, a timing exceeded tolerance, or the
+    /// compared structures do not match.
+    Regressed,
+}
+
+/// One metric's movement between baseline and candidate.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricDelta {
+    /// The metric name (`"wall_secs"` for the cell's wall-time column).
+    pub name: String,
+    /// The baseline value; `None` when the metric is new in the candidate.
+    pub baseline: Option<f64>,
+    /// The candidate value; `None` when the metric disappeared.
+    pub candidate: Option<f64>,
+    /// How the metric was compared.
+    pub class: MetricClass,
+    /// What the movement means.
+    pub verdict: TrendVerdict,
+}
+
+/// A paired cell whose comparison found movement. Unchanged cells are only
+/// counted, not materialized.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CellTrend {
+    /// The cell label both sides share.
+    pub label: String,
+    /// The baseline cell's terminal status.
+    pub baseline_status: JobStatus,
+    /// The candidate cell's terminal status.
+    pub candidate_status: JobStatus,
+    /// Metrics that moved (regressions and improvements only).
+    pub deltas: Vec<MetricDelta>,
+    /// The cell's overall verdict.
+    pub verdict: TrendVerdict,
+}
+
+/// The comparison of one experiment's two summaries.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SummaryTrend {
+    /// Cells in the baseline summary.
+    pub baseline_cells: usize,
+    /// Cells in the candidate summary.
+    pub candidate_cells: usize,
+    /// The baseline sweep's wall time (informational — worker counts may
+    /// differ between runs, so sweep-level wall never gates).
+    pub baseline_wall_secs: f64,
+    /// The candidate sweep's wall time (informational).
+    pub candidate_wall_secs: f64,
+    /// Paired cells with movement, in candidate order.
+    pub cells: Vec<CellTrend>,
+    /// Labels present only in the baseline (a structural regression).
+    pub missing: Vec<String>,
+    /// Labels present only in the candidate (a structural regression).
+    pub added: Vec<String>,
+    /// Paired cells with no movement.
+    pub unchanged: usize,
+    /// Paired cells whose only movement was wall-clock improvement.
+    pub improved: usize,
+    /// Paired cells with at least one regressed comparison.
+    pub regressed: usize,
+    /// The experiment's overall verdict.
+    pub verdict: TrendVerdict,
+}
+
+/// Compares two exact values, treating NaN as equal to NaN (both writers
+/// persist every non-finite value as `null`, which reads back as NaN).
+fn exact_equal(a: f64, b: f64) -> bool {
+    a == b || (a.is_nan() && b.is_nan())
+}
+
+/// A job's metrics as CSV semantics see them: last value per name, in
+/// first-recorded order.
+fn last_values(job: &JobRecord) -> Vec<(&str, f64)> {
+    let mut out: Vec<(&str, f64)> = Vec::with_capacity(job.metrics.len());
+    for (name, value) in &job.metrics {
+        if let Some(entry) = out.iter_mut().find(|(n, _)| *n == name.as_str()) {
+            entry.1 = *value;
+        } else {
+            out.push((name.as_str(), *value));
+        }
+    }
+    out
+}
+
+/// Compares one timing reading. Returns the verdict of the movement.
+fn timing_verdict(baseline: f64, candidate: f64, opts: &TrendOptions) -> TrendVerdict {
+    let threshold = (baseline.abs() * opts.wall_rel_tol).max(opts.wall_floor_secs);
+    if candidate - baseline > threshold {
+        TrendVerdict::Regressed
+    } else if baseline - candidate > threshold {
+        TrendVerdict::Improved
+    } else {
+        TrendVerdict::Unchanged
+    }
+}
+
+fn compare_cell(base: &JobRecord, cand: &JobRecord, opts: &TrendOptions) -> CellTrend {
+    let mut deltas = Vec::new();
+    let base_metrics = last_values(base);
+    let cand_metrics = last_values(cand);
+
+    // candidate order first, then baseline-only names
+    let mut names: Vec<&str> = cand_metrics.iter().map(|(n, _)| *n).collect();
+    for (name, _) in &base_metrics {
+        if !names.contains(name) {
+            names.push(name);
+        }
+    }
+
+    for name in names {
+        let b = base_metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v);
+        let c = cand_metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v);
+        let class = classify_metric(name);
+        let verdict = match (b, c) {
+            // a metric appearing or disappearing is a shape change
+            (None, Some(_)) | (Some(_), None) => TrendVerdict::Regressed,
+            (Some(b), Some(c)) => match class {
+                MetricClass::Exact if exact_equal(b, c) => TrendVerdict::Unchanged,
+                MetricClass::Exact => TrendVerdict::Regressed,
+                MetricClass::Timing => timing_verdict(b, c, opts),
+            },
+            (None, None) => unreachable!("name came from one of the sides"),
+        };
+        if verdict != TrendVerdict::Unchanged {
+            deltas.push(MetricDelta {
+                name: name.to_owned(),
+                baseline: b,
+                candidate: c,
+                class,
+                verdict,
+            });
+        }
+    }
+
+    // the per-cell wall-time column, compared as a timing
+    let wall_verdict = timing_verdict(base.wall_secs, cand.wall_secs, opts);
+    if wall_verdict != TrendVerdict::Unchanged {
+        deltas.push(MetricDelta {
+            name: "wall_secs".to_owned(),
+            baseline: Some(base.wall_secs),
+            candidate: Some(cand.wall_secs),
+            class: MetricClass::Timing,
+            verdict: wall_verdict,
+        });
+    }
+
+    let status_changed = base.status != cand.status;
+    let verdict = if status_changed || deltas.iter().any(|d| d.verdict == TrendVerdict::Regressed) {
+        TrendVerdict::Regressed
+    } else if deltas.is_empty() {
+        TrendVerdict::Unchanged
+    } else {
+        TrendVerdict::Improved
+    };
+    CellTrend {
+        label: cand.label.clone(),
+        baseline_status: base.status,
+        candidate_status: cand.status,
+        deltas,
+        verdict,
+    }
+}
+
+/// Compares two summaries of the same sweep cell-by-cell.
+///
+/// Cells pair by label; a label recorded several times pairs positionally
+/// (first baseline occurrence with first candidate occurrence, and so on).
+/// Unpaired cells land in [`SummaryTrend::missing`] / `added` and force a
+/// regressed verdict — a sweep that changed shape is not comparable, and
+/// silently skipping cells would defeat the gate.
+#[must_use]
+pub fn compare_summaries(
+    baseline: &SweepSummary,
+    candidate: &SweepSummary,
+    opts: &TrendOptions,
+) -> SummaryTrend {
+    let mut by_label: HashMap<&str, Vec<&JobRecord>> = HashMap::new();
+    for job in &baseline.jobs {
+        by_label.entry(job.label.as_str()).or_default().push(job);
+    }
+
+    let mut consumed: HashMap<&str, usize> = HashMap::new();
+    let mut cells = Vec::new();
+    let mut added = Vec::new();
+    let (mut unchanged, mut improved, mut regressed) = (0usize, 0usize, 0usize);
+    for cand in &candidate.jobs {
+        let taken = consumed.entry(cand.label.as_str()).or_insert(0);
+        let base = by_label
+            .get(cand.label.as_str())
+            .and_then(|group| group.get(*taken));
+        let Some(base) = base else {
+            added.push(cand.label.clone());
+            continue;
+        };
+        *taken += 1;
+        let cell = compare_cell(base, cand, opts);
+        match cell.verdict {
+            TrendVerdict::Unchanged => unchanged += 1,
+            TrendVerdict::Improved => improved += 1,
+            TrendVerdict::Regressed => regressed += 1,
+        }
+        if cell.verdict != TrendVerdict::Unchanged {
+            cells.push(cell);
+        }
+    }
+    // baseline cells never paired, in job order
+    let missing: Vec<String> = baseline
+        .jobs
+        .iter()
+        .filter(|job| {
+            let group = &by_label[job.label.as_str()];
+            let used = consumed.get(job.label.as_str()).copied().unwrap_or(0);
+            // the first `used` occurrences of this label were paired
+            let occurrence = group
+                .iter()
+                .position(|j| std::ptr::eq(*j, *job))
+                .expect("job indexed by its own label");
+            occurrence >= used
+        })
+        .map(|job| job.label.clone())
+        .collect();
+
+    let verdict = if regressed > 0 || !missing.is_empty() || !added.is_empty() {
+        TrendVerdict::Regressed
+    } else if improved > 0 {
+        TrendVerdict::Improved
+    } else {
+        TrendVerdict::Unchanged
+    };
+    SummaryTrend {
+        baseline_cells: baseline.jobs.len(),
+        candidate_cells: candidate.jobs.len(),
+        baseline_wall_secs: baseline.wall_secs,
+        candidate_wall_secs: candidate.wall_secs,
+        cells,
+        missing,
+        added,
+        unchanged,
+        improved,
+        regressed,
+        verdict,
+    }
+}
+
+/// One experiment's comparison inside a directory-level trend.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExperimentTrend {
+    /// The experiment id (the `<id>.summary.json` file stem).
+    pub id: String,
+    /// The experiment's comparison.
+    pub trend: SummaryTrend,
+}
+
+/// The comparison of two `--summary` directories.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DirTrend {
+    /// Experiments present in both directories, by id.
+    pub experiments: Vec<ExperimentTrend>,
+    /// Experiment ids present only in the baseline directory.
+    pub missing: Vec<String>,
+    /// Experiment ids present only in the candidate directory.
+    pub added: Vec<String>,
+    /// The overall verdict (the gate: regressed ⇒ exit nonzero).
+    pub verdict: TrendVerdict,
+}
+
+impl DirTrend {
+    /// `true` when CI should fail.
+    #[must_use]
+    pub fn is_regression(&self) -> bool {
+        self.verdict == TrendVerdict::Regressed
+    }
+
+    /// The whole report as a JSON document (for machine consumption).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        Serialize::to_json(self)
+    }
+
+    /// The report as a GitHub-flavoured markdown table block: one overview
+    /// row per experiment, one detail table per experiment with movement,
+    /// and a bold overall verdict line. Detail tables are capped at
+    /// [`MARKDOWN_MAX_ROWS`] rows each.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| experiment | baseline cells | candidate cells | unchanged | improved | regressed | verdict |\n\
+             |---|---|---|---|---|---|---|\n",
+        );
+        for exp in &self.experiments {
+            let t = &exp.trend;
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} |\n",
+                exp.id,
+                t.baseline_cells,
+                t.candidate_cells,
+                t.unchanged,
+                t.improved,
+                t.regressed + t.missing.len() + t.added.len(),
+                verdict_word(t.verdict),
+            ));
+        }
+        for id in &self.missing {
+            out.push_str(&format!(
+                "| {id} | ? | — | — | — | — | missing in candidate |\n"
+            ));
+        }
+        for id in &self.added {
+            out.push_str(&format!(
+                "| {id} | — | ? | — | — | — | missing in baseline |\n"
+            ));
+        }
+        for exp in &self.experiments {
+            let t = &exp.trend;
+            if t.verdict == TrendVerdict::Unchanged {
+                continue;
+            }
+            out.push_str(&format!("\n**{}** — cells with movement:\n\n", exp.id));
+            out.push_str(
+                "| cell | metric | baseline | candidate | verdict |\n|---|---|---|---|---|\n",
+            );
+            let mut rows = 0usize;
+            let mut emit = |line: String| {
+                if rows < MARKDOWN_MAX_ROWS {
+                    out.push_str(&line);
+                }
+                rows += 1;
+            };
+            for cell in &t.cells {
+                if cell.baseline_status != cell.candidate_status {
+                    emit(format!(
+                        "| {} | status | {} | {} | regressed |\n",
+                        cell.label,
+                        cell.baseline_status.as_str(),
+                        cell.candidate_status.as_str(),
+                    ));
+                }
+                for d in &cell.deltas {
+                    emit(format!(
+                        "| {} | {} | {} | {} | {} |\n",
+                        cell.label,
+                        d.name,
+                        d.baseline.map_or_else(|| "—".to_owned(), format_metric),
+                        d.candidate.map_or_else(|| "—".to_owned(), format_metric),
+                        verdict_word(d.verdict),
+                    ));
+                }
+            }
+            for label in &t.missing {
+                emit(format!("| {label} | — | present | missing | regressed |\n"));
+            }
+            for label in &t.added {
+                emit(format!("| {label} | — | missing | present | regressed |\n"));
+            }
+            if rows > MARKDOWN_MAX_ROWS {
+                out.push_str(&format!("\n… and {} more rows\n", rows - MARKDOWN_MAX_ROWS));
+            }
+        }
+        out.push_str(&format!(
+            "\n**verdict: {}**\n",
+            verdict_word(self.verdict).to_uppercase()
+        ));
+        out
+    }
+}
+
+/// Detail-table row cap per experiment in [`DirTrend::to_markdown`].
+pub const MARKDOWN_MAX_ROWS: usize = 50;
+
+fn verdict_word(v: TrendVerdict) -> &'static str {
+    match v {
+        TrendVerdict::Unchanged => "unchanged",
+        TrendVerdict::Improved => "improved",
+        TrendVerdict::Regressed => "regressed",
+    }
+}
+
+/// Loads every summary in a `--summary` directory: files named
+/// `<id>.summary.json` (preferred) or `<id>.summary.csv` (fallback when no
+/// JSON twin exists), sorted by id.
+///
+/// # Errors
+///
+/// [`ReadError`] when the directory cannot be listed, a file cannot be
+/// read, or a summary fails to parse.
+pub fn load_summaries(dir: &Path) -> Result<Vec<(String, SweepSummary)>, ReadError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| ReadError::new(format!("cannot list {}: {e}", dir.display())))?;
+    let mut by_id: Vec<(String, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| ReadError::new(format!("cannot list {}: {e}", dir.display())))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let (id, is_json) = if let Some(stem) = name.strip_suffix(".summary.json") {
+            (stem.to_owned(), true)
+        } else if let Some(stem) = name.strip_suffix(".summary.csv") {
+            (stem.to_owned(), false)
+        } else {
+            continue;
+        };
+        match by_id.iter_mut().find(|(known, _)| *known == id) {
+            Some(entry) if is_json => entry.1 = path, // JSON wins over CSV
+            Some(_) => {}
+            None => by_id.push((id, path)),
+        }
+    }
+    by_id.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::with_capacity(by_id.len());
+    for (id, path) in by_id {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| ReadError::new(format!("cannot read {}: {e}", path.display())))?;
+        let summary = if path.extension().is_some_and(|e| e == "json") {
+            read_summary_json(&text)
+        } else {
+            read_summary_csv(&text)
+        }
+        .map_err(|e| ReadError::new(format!("{}: {}", path.display(), e.message())))?;
+        out.push((id, summary));
+    }
+    Ok(out)
+}
+
+/// Compares two `--summary` directories experiment-by-experiment.
+///
+/// Experiments pair by file stem (`e10.summary.json` ↔
+/// `e10.summary.csv`); ids present on only one side go to
+/// [`DirTrend::missing`] / `added` and gate unless
+/// [`TrendOptions::require_matching_experiments`] is off.
+///
+/// # Errors
+///
+/// [`ReadError`] when either directory cannot be loaded (see
+/// [`load_summaries`]).
+pub fn compare_dirs(
+    baseline: &Path,
+    candidate: &Path,
+    opts: &TrendOptions,
+) -> Result<DirTrend, ReadError> {
+    let base = load_summaries(baseline)?;
+    let cand = load_summaries(candidate)?;
+    let mut experiments = Vec::new();
+    let mut missing = Vec::new();
+    let mut added = Vec::new();
+    for (id, base_summary) in &base {
+        match cand.iter().find(|(cid, _)| cid == id) {
+            Some((_, cand_summary)) => experiments.push(ExperimentTrend {
+                id: id.clone(),
+                trend: compare_summaries(base_summary, cand_summary, opts),
+            }),
+            None => missing.push(id.clone()),
+        }
+    }
+    for (id, _) in &cand {
+        if !base.iter().any(|(bid, _)| bid == id) {
+            added.push(id.clone());
+        }
+    }
+    let structural =
+        opts.require_matching_experiments && (!missing.is_empty() || !added.is_empty());
+    let verdict = if structural
+        || experiments
+            .iter()
+            .any(|e| e.trend.verdict == TrendVerdict::Regressed)
+    {
+        TrendVerdict::Regressed
+    } else if experiments
+        .iter()
+        .any(|e| e.trend.verdict == TrendVerdict::Improved)
+    {
+        TrendVerdict::Improved
+    } else {
+        TrendVerdict::Unchanged
+    };
+    Ok(DirTrend {
+        experiments,
+        missing,
+        added,
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(label: &str, status: JobStatus, wall: f64, metrics: &[(&str, f64)]) -> JobRecord {
+        JobRecord {
+            index: 0,
+            label: label.to_owned(),
+            status,
+            wall_secs: wall,
+            detail: String::new(),
+            metrics: metrics.iter().map(|(n, v)| ((*n).to_owned(), *v)).collect(),
+        }
+    }
+
+    fn summary(jobs: Vec<JobRecord>) -> SweepSummary {
+        let total = jobs.len();
+        SweepSummary {
+            total,
+            succeeded: total,
+            failed: 0,
+            panicked: 0,
+            budget_exceeded: 0,
+            workers: 1,
+            wall_secs: 0.1,
+            min_job_secs: 0.0,
+            mean_job_secs: 0.0,
+            max_job_secs: 0.0,
+            jobs,
+        }
+    }
+
+    #[test]
+    fn metric_classification_by_name() {
+        assert_eq!(classify_metric("ode_steps_accepted"), MetricClass::Exact);
+        assert_eq!(classify_metric("final_time"), MetricClass::Exact);
+        assert_eq!(classify_metric("seed"), MetricClass::Exact);
+        assert_eq!(classify_metric("wall_secs"), MetricClass::Timing);
+        assert_eq!(classify_metric("setup_secs"), MetricClass::Timing);
+        assert_eq!(classify_metric("phase1_wall"), MetricClass::Timing);
+        assert_eq!(classify_metric("wall_budget_used"), MetricClass::Timing);
+    }
+
+    #[test]
+    fn identical_summaries_are_unchanged() {
+        let s = summary(vec![
+            job("a", JobStatus::Ok, 0.01, &[("ssa_events", 120.0)]),
+            job("b", JobStatus::Failed, 0.02, &[("ssa_events", 7.0)]),
+        ]);
+        let t = compare_summaries(&s, &s.clone(), &TrendOptions::default());
+        assert_eq!(t.verdict, TrendVerdict::Unchanged);
+        assert_eq!(t.unchanged, 2);
+        assert!(t.cells.is_empty());
+    }
+
+    #[test]
+    fn changed_counter_regresses_in_either_direction() {
+        let base = summary(vec![job("a", JobStatus::Ok, 0.01, &[("steps", 100.0)])]);
+        for cand_value in [200.0, 50.0] {
+            let cand = summary(vec![job(
+                "a",
+                JobStatus::Ok,
+                0.01,
+                &[("steps", cand_value)],
+            )]);
+            let t = compare_summaries(&base, &cand, &TrendOptions::default());
+            assert_eq!(t.verdict, TrendVerdict::Regressed, "steps → {cand_value}");
+            let delta = &t.cells[0].deltas[0];
+            assert_eq!(delta.name, "steps");
+            assert_eq!(delta.baseline, Some(100.0));
+            assert_eq!(delta.candidate, Some(cand_value));
+        }
+    }
+
+    #[test]
+    fn nan_counters_compare_equal_to_nan() {
+        let base = summary(vec![job(
+            "a",
+            JobStatus::Ok,
+            0.01,
+            &[("residual", f64::NAN)],
+        )]);
+        let cand = summary(vec![job(
+            "a",
+            JobStatus::Ok,
+            0.01,
+            &[("residual", f64::NAN)],
+        )]);
+        let t = compare_summaries(&base, &cand, &TrendOptions::default());
+        assert_eq!(t.verdict, TrendVerdict::Unchanged);
+    }
+
+    #[test]
+    fn wall_clock_respects_tolerance_and_floor() {
+        let opts = TrendOptions::default()
+            .with_wall_rel_tol(0.5)
+            .with_wall_floor_secs(0.05);
+        // under the floor: a 10× blowup of a 1 ms cell is noise
+        let base = summary(vec![job("a", JobStatus::Ok, 0.001, &[])]);
+        let cand = summary(vec![job("a", JobStatus::Ok, 0.010, &[])]);
+        assert_eq!(
+            compare_summaries(&base, &cand, &opts).verdict,
+            TrendVerdict::Unchanged
+        );
+        // above the floor and beyond 50%: gates
+        let base = summary(vec![job("a", JobStatus::Ok, 1.0, &[])]);
+        let cand = summary(vec![job("a", JobStatus::Ok, 1.6, &[])]);
+        let t = compare_summaries(&base, &cand, &opts);
+        assert_eq!(t.verdict, TrendVerdict::Regressed);
+        assert_eq!(t.cells[0].deltas[0].class, MetricClass::Timing);
+        // beyond 50% faster: improvement, not failure
+        let cand = summary(vec![job("a", JobStatus::Ok, 0.4, &[])]);
+        let t = compare_summaries(&base, &cand, &opts);
+        assert_eq!(t.verdict, TrendVerdict::Improved);
+        assert_eq!(t.improved, 1);
+    }
+
+    #[test]
+    fn timing_named_metric_uses_tolerance() {
+        let base = summary(vec![job("a", JobStatus::Ok, 0.01, &[("setup_secs", 1.0)])]);
+        let within = summary(vec![job("a", JobStatus::Ok, 0.01, &[("setup_secs", 1.2)])]);
+        assert_eq!(
+            compare_summaries(&base, &within, &TrendOptions::default()).verdict,
+            TrendVerdict::Unchanged
+        );
+        let beyond = summary(vec![job("a", JobStatus::Ok, 0.01, &[("setup_secs", 2.0)])]);
+        assert_eq!(
+            compare_summaries(&base, &beyond, &TrendOptions::default()).verdict,
+            TrendVerdict::Regressed
+        );
+    }
+
+    #[test]
+    fn status_change_regresses() {
+        let base = summary(vec![job("a", JobStatus::Ok, 0.01, &[])]);
+        let cand = summary(vec![job("a", JobStatus::Panicked, 0.01, &[])]);
+        let t = compare_summaries(&base, &cand, &TrendOptions::default());
+        assert_eq!(t.verdict, TrendVerdict::Regressed);
+        assert_eq!(t.cells[0].baseline_status, JobStatus::Ok);
+        assert_eq!(t.cells[0].candidate_status, JobStatus::Panicked);
+    }
+
+    #[test]
+    fn metric_appearing_or_disappearing_regresses() {
+        let base = summary(vec![job("a", JobStatus::Ok, 0.01, &[("steps", 5.0)])]);
+        let cand = summary(vec![job("a", JobStatus::Ok, 0.01, &[])]);
+        let t = compare_summaries(&base, &cand, &TrendOptions::default());
+        assert_eq!(t.verdict, TrendVerdict::Regressed);
+        assert_eq!(t.cells[0].deltas[0].candidate, None);
+        let t = compare_summaries(&cand, &base, &TrendOptions::default());
+        assert_eq!(t.cells[0].deltas[0].baseline, None);
+    }
+
+    #[test]
+    fn missing_and_added_cells_gate() {
+        let base = summary(vec![
+            job("a", JobStatus::Ok, 0.01, &[]),
+            job("b", JobStatus::Ok, 0.01, &[]),
+        ]);
+        let cand = summary(vec![
+            job("a", JobStatus::Ok, 0.01, &[]),
+            job("c", JobStatus::Ok, 0.01, &[]),
+        ]);
+        let t = compare_summaries(&base, &cand, &TrendOptions::default());
+        assert_eq!(t.missing, vec!["b".to_owned()]);
+        assert_eq!(t.added, vec!["c".to_owned()]);
+        assert_eq!(t.verdict, TrendVerdict::Regressed);
+    }
+
+    #[test]
+    fn duplicate_labels_pair_positionally() {
+        let base = summary(vec![
+            job("rep", JobStatus::Ok, 0.01, &[("steps", 1.0)]),
+            job("rep", JobStatus::Ok, 0.01, &[("steps", 2.0)]),
+        ]);
+        let cand = summary(vec![
+            job("rep", JobStatus::Ok, 0.01, &[("steps", 1.0)]),
+            job("rep", JobStatus::Ok, 0.01, &[("steps", 2.0)]),
+        ]);
+        let t = compare_summaries(&base, &cand, &TrendOptions::default());
+        assert_eq!(t.verdict, TrendVerdict::Unchanged, "{t:?}");
+        // swapping the two values pairs first-with-first: both regress
+        let swapped = summary(vec![
+            job("rep", JobStatus::Ok, 0.01, &[("steps", 2.0)]),
+            job("rep", JobStatus::Ok, 0.01, &[("steps", 1.0)]),
+        ]);
+        let t = compare_summaries(&base, &swapped, &TrendOptions::default());
+        assert_eq!(t.regressed, 2);
+    }
+
+    #[test]
+    fn duplicate_metric_names_compare_by_last_value() {
+        let base = summary(vec![job(
+            "a",
+            JobStatus::Ok,
+            0.01,
+            &[("steps", 1.0), ("steps", 9.0)],
+        )]);
+        let cand = summary(vec![job("a", JobStatus::Ok, 0.01, &[("steps", 9.0)])]);
+        let t = compare_summaries(&base, &cand, &TrendOptions::default());
+        assert_eq!(t.verdict, TrendVerdict::Unchanged, "{t:?}");
+    }
+
+    #[test]
+    fn markdown_report_names_the_moving_metric() {
+        let base = summary(vec![job("n=3", JobStatus::Ok, 0.01, &[("steps", 100.0)])]);
+        let cand = summary(vec![job("n=3", JobStatus::Ok, 0.01, &[("steps", 240.0)])]);
+        let dir = DirTrend {
+            experiments: vec![ExperimentTrend {
+                id: "e6".to_owned(),
+                trend: compare_summaries(&base, &cand, &TrendOptions::default()),
+            }],
+            missing: Vec::new(),
+            added: Vec::new(),
+            verdict: TrendVerdict::Regressed,
+        };
+        let md = dir.to_markdown();
+        assert!(
+            md.contains("| n=3 | steps | 100 | 240 | regressed |"),
+            "{md}"
+        );
+        assert!(md.contains("**verdict: REGRESSED**"), "{md}");
+        let json = dir.to_json();
+        assert!(json.contains("\"verdict\":\"Regressed\""), "{json}");
+        assert!(json.contains("\"id\":\"e6\""), "{json}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Property tests: every summary the writers can produce must read back
+//! through the `read` module.
+//!
+//! * JSON is lossless (modulo the documented non-finite → `null` → NaN
+//!   collapse), so `read_summary_json(to_json(s))` must re-serialize to
+//!   the identical JSON document.
+//! * CSV drops sweep-level aggregates and per-job metric duplicates by
+//!   design, so the property there is serialization stability:
+//!   `read_summary_csv(csv).to_csv() == csv`.
+//!
+//! The generator deliberately covers the writer's hard cases: labels and
+//! details with commas, quotes and newlines; empty sweeps; cells missing
+//! some metric columns; duplicate metric names inside one cell; NaN
+//! metric values.
+
+use molseq_sweep::{read_summary_csv, read_summary_json, JobRecord, JobStatus, SweepSummary};
+use proptest::prelude::*;
+
+/// Characters the label/detail generator draws from — heavy on CSV and
+/// JSON metacharacters.
+const LABEL_CHARS: &[char] = &[
+    'a', 'b', 'k', '=', '1', '7', '.', ' ', ',', '"', '\n', '\r', '\t', '\\', 'é', 'Ω',
+];
+
+/// Metric names the generator draws from; a small pool forces collisions
+/// (duplicate names within a cell, shared columns across cells).
+const METRIC_NAMES: &[&str] = &[
+    "ode_steps_accepted",
+    "ssa_events",
+    "final_time",
+    "seed",
+    "metric,with\"punct",
+];
+
+fn text(rng_draws: Vec<usize>) -> String {
+    rng_draws.into_iter().map(|i| LABEL_CHARS[i]).collect()
+}
+
+fn status(choice: usize) -> JobStatus {
+    [
+        JobStatus::Ok,
+        JobStatus::Failed,
+        JobStatus::Panicked,
+        JobStatus::BudgetExceeded,
+    ][choice]
+}
+
+/// One generated metric: (name index, value). Values mix integers (the
+/// counter case), fractions, and NaN.
+fn metric(name_idx: usize, value_kind: usize, magnitude: u32) -> (String, f64) {
+    let value = match value_kind {
+        0 => f64::from(magnitude),       // integer-valued counter
+        1 => f64::from(magnitude) / 8.0, // fractional
+        2 => -f64::from(magnitude),      // negative counter
+        _ => f64::NAN,                   // recorded-but-undefined
+    };
+    (METRIC_NAMES[name_idx].to_string(), value)
+}
+
+/// A generated job before materialization: index, label chars, status
+/// choice, wall in 0.1 ms units, detail chars, metric draws.
+type RawJob = (
+    usize,
+    Vec<usize>,
+    usize,
+    u32,
+    Vec<usize>,
+    Vec<(usize, usize, u32)>,
+);
+
+fn job_strategy() -> impl Strategy<Value = RawJob> {
+    // the vendored proptest stub supports tuples up to arity 4, so the six
+    // components are generated as two nested triples
+    (
+        (
+            0usize..1000,                                      // index
+            collection::vec(0usize..LABEL_CHARS.len(), 0..12), // label chars
+            0usize..4,                                         // status
+        ),
+        (
+            0u32..50_000,                                      // wall, 0.1 ms units
+            collection::vec(0usize..LABEL_CHARS.len(), 0..12), // detail chars
+            collection::vec((0usize..METRIC_NAMES.len(), 0usize..4, 0u32..100_000), 0..6), // metrics
+        ),
+    )
+        .prop_map(|((index, label, st), (wall, detail, metrics))| {
+            (index, label, st, wall, detail, metrics)
+        })
+}
+
+fn build_summary(workers: usize, wall: u32, raw_jobs: Vec<RawJob>) -> SweepSummary {
+    let jobs: Vec<JobRecord> = raw_jobs
+        .into_iter()
+        .map(|(index, label, st, wall, detail, metrics)| JobRecord {
+            index,
+            label: text(label),
+            status: status(st),
+            wall_secs: f64::from(wall) / 10_000.0,
+            detail: text(detail),
+            metrics: metrics
+                .into_iter()
+                .map(|(n, k, m)| metric(n, k, m))
+                .collect(),
+        })
+        .collect();
+    // aggregates consistent with the rows, as the engine would produce
+    let total = jobs.len();
+    let succeeded = jobs.iter().filter(|j| j.status == JobStatus::Ok).count();
+    let failed = jobs
+        .iter()
+        .filter(|j| j.status == JobStatus::Failed)
+        .count();
+    let panicked = jobs
+        .iter()
+        .filter(|j| j.status == JobStatus::Panicked)
+        .count();
+    let budget_exceeded = total - succeeded - failed - panicked;
+    let min = jobs
+        .iter()
+        .map(|j| j.wall_secs)
+        .fold(f64::INFINITY, f64::min);
+    let max = jobs.iter().map(|j| j.wall_secs).fold(0.0, f64::max);
+    let sum: f64 = jobs.iter().map(|j| j.wall_secs).sum();
+    SweepSummary {
+        total,
+        succeeded,
+        failed,
+        panicked,
+        budget_exceeded,
+        workers,
+        wall_secs: f64::from(wall) / 10_000.0,
+        min_job_secs: if total == 0 { 0.0 } else { min },
+        mean_job_secs: if total == 0 { 0.0 } else { sum / total as f64 },
+        max_job_secs: max,
+        jobs,
+    }
+}
+
+/// NaN-aware value equality between two summaries (derived `PartialEq`
+/// would reject NaN metrics that round-tripped perfectly).
+fn summaries_equal(a: &SweepSummary, b: &SweepSummary) -> bool {
+    let scalar = |a: f64, b: f64| a == b || (a.is_nan() && b.is_nan());
+    a.total == b.total
+        && a.succeeded == b.succeeded
+        && a.failed == b.failed
+        && a.panicked == b.panicked
+        && a.budget_exceeded == b.budget_exceeded
+        && a.workers == b.workers
+        && scalar(a.wall_secs, b.wall_secs)
+        && scalar(a.min_job_secs, b.min_job_secs)
+        && scalar(a.mean_job_secs, b.mean_job_secs)
+        && scalar(a.max_job_secs, b.max_job_secs)
+        && a.jobs.len() == b.jobs.len()
+        && a.jobs.iter().zip(&b.jobs).all(|(x, y)| {
+            x.index == y.index
+                && x.label == y.label
+                && x.status == y.status
+                && scalar(x.wall_secs, y.wall_secs)
+                && x.detail == y.detail
+                && x.metrics.len() == y.metrics.len()
+                && x.metrics
+                    .iter()
+                    .zip(&y.metrics)
+                    .all(|((n1, v1), (n2, v2))| n1 == n2 && scalar(*v1, *v2))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    #[test]
+    fn json_round_trips_value_and_document(
+        workers in 0usize..16,
+        wall in 0u32..100_000,
+        raw_jobs in collection::vec(job_strategy(), 0..8),
+    ) {
+        let summary = build_summary(workers, wall, raw_jobs);
+        let json = summary.to_json();
+        let parsed = read_summary_json(&json).expect("writer output must parse");
+        prop_assert!(
+            summaries_equal(&summary, &parsed),
+            "value mismatch:\n  wrote: {summary:?}\n  read:  {parsed:?}"
+        );
+        // document-level stability: re-serializing reproduces the bytes
+        prop_assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn csv_round_trips_rows_and_document(
+        workers in 0usize..16,
+        wall in 0u32..100_000,
+        raw_jobs in collection::vec(job_strategy(), 0..8),
+    ) {
+        let summary = build_summary(workers, wall, raw_jobs);
+        let csv = summary.to_csv();
+        let parsed = read_summary_csv(&csv).expect("writer output must parse");
+        // row identity: same labels, statuses and details in order
+        prop_assert_eq!(parsed.jobs.len(), summary.jobs.len());
+        for (wrote, read) in summary.jobs.iter().zip(&parsed.jobs) {
+            prop_assert_eq!(wrote.index, read.index);
+            prop_assert_eq!(&wrote.label, &read.label);
+            prop_assert_eq!(wrote.status, read.status);
+            prop_assert_eq!(&wrote.detail, &read.detail);
+        }
+        // document-level stability through a full read → write cycle
+        prop_assert_eq!(parsed.to_csv(), csv);
+    }
+
+    #[test]
+    fn csv_then_json_then_csv_is_stable(
+        raw_jobs in collection::vec(job_strategy(), 0..6),
+    ) {
+        // chaining the two formats must not corrupt rows: CSV → summary →
+        // JSON → summary → CSV reproduces the first CSV
+        let summary = build_summary(2, 1000, raw_jobs);
+        let csv = summary.to_csv();
+        let via_csv = read_summary_csv(&csv).expect("csv parses");
+        let via_json = read_summary_json(&via_csv.to_json()).expect("json parses");
+        prop_assert_eq!(via_json.to_csv(), csv);
+    }
+}
+
+#[test]
+fn empty_sweep_round_trips_in_both_formats() {
+    let summary = build_summary(1, 0, Vec::new());
+    let parsed = read_summary_json(&summary.to_json()).unwrap();
+    assert!(summaries_equal(&summary, &parsed));
+    let csv = summary.to_csv();
+    assert_eq!(csv, "index,label,status,wall_secs,detail\n");
+    assert_eq!(read_summary_csv(&csv).unwrap().to_csv(), csv);
+}
+
+#[test]
+fn nan_metric_cell_round_trips_as_null_in_both_formats() {
+    let raw = vec![(
+        0usize,
+        vec![0usize],
+        0usize,
+        100u32,
+        vec![],
+        vec![(0, 3, 0)],
+    )];
+    let summary = build_summary(1, 100, raw);
+    assert!(summary.jobs[0].metrics[0].1.is_nan(), "generator sanity");
+
+    let json = summary.to_json();
+    assert!(json.contains(",null]"), "JSON persists NaN as null: {json}");
+    let parsed = read_summary_json(&json).unwrap();
+    assert!(parsed.jobs[0].metrics[0].1.is_nan());
+    assert_eq!(parsed.to_json(), json);
+
+    let csv = summary.to_csv();
+    assert!(
+        csv.lines().nth(1).unwrap().ends_with(",null"),
+        "CSV persists NaN as null: {csv}"
+    );
+    let parsed = read_summary_csv(&csv).unwrap();
+    assert!(parsed.jobs[0].metrics[0].1.is_nan());
+    assert_eq!(parsed.to_csv(), csv);
+}
