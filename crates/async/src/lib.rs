@@ -43,7 +43,7 @@
 
 use molseq_crn::{Crn, SpeciesId};
 use molseq_kinetics::{
-    simulate_ode, MetricsSink, OdeOptions, Schedule, SimSpec, State, StepHook, Trace,
+    CompiledCrn, MetricsSink, OdeOptions, Schedule, SimSpec, Simulation, State, StepHook, Trace,
 };
 use molseq_sync::{Color, SchemeBuilder, SchemeConfig, SyncError};
 
@@ -328,13 +328,11 @@ impl AsyncPipeline {
     pub fn run_wavefront(&self, x: f64, config: &MeasureConfig<'_>) -> Result<Trace, SyncError> {
         let mut init = State::new(&self.crn);
         init.set(self.input, x);
-        let trace = simulate_ode(
-            &self.crn,
-            &init,
-            &Schedule::new(),
-            &config.ode_options(),
-            &config.spec,
-        )?;
+        let compiled = CompiledCrn::new(&self.crn, &config.spec);
+        let trace = Simulation::new(&self.crn, &compiled)
+            .init(&init)
+            .options(config.ode_options())
+            .run()?;
         Ok(trace)
     }
 
@@ -397,13 +395,12 @@ impl AsyncPipeline {
             self.input,
             vec![x; count - 1],
         ));
-        let trace = simulate_ode(
-            &self.crn,
-            &init,
-            &schedule,
-            &config.ode_options(),
-            &config.spec,
-        )?;
+        let compiled = CompiledCrn::new(&self.crn, &config.spec);
+        let trace = Simulation::new(&self.crn, &compiled)
+            .init(&init)
+            .schedule(&schedule)
+            .options(config.ode_options())
+            .run()?;
         let marks = trace.mark_times(0);
         if marks.len() < count - 1 {
             return Err(SyncError::InsufficientCycles {
@@ -569,16 +566,17 @@ mod tests {
         let mut init = State::new(pipe.crn());
         init.set(pipe.input(), 50.0);
         let schedule = Schedule::new().inject(120.0, pipe.input(), 30.0);
-        let trace = simulate_ode(
-            pipe.crn(),
-            &init,
-            &schedule,
-            &OdeOptions::default()
-                .with_t_end(300.0)
-                .with_record_interval(0.2),
-            &SimSpec::default(),
-        )
-        .unwrap();
+        let compiled = CompiledCrn::new(pipe.crn(), &SimSpec::default());
+        let trace = Simulation::new(pipe.crn(), &compiled)
+            .init(&init)
+            .schedule(&schedule)
+            .options(
+                OdeOptions::default()
+                    .with_t_end(300.0)
+                    .with_record_interval(0.2),
+            )
+            .run()
+            .unwrap();
         let y = *pipe.output_series(&trace).last().unwrap();
         assert!((y - 80.0).abs() < 1.0, "both wavefronts arrive: {y}");
     }

@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use molseq_crn::Crn;
 use molseq_kinetics::{
-    simulate_nrm, simulate_ode, simulate_ssa, CompiledCrn, OdeMethod, OdeOptions, Schedule,
-    SimSpec, SsaOptions, State,
+    CompiledCrn, OdeMethod, OdeOptions, SimMethod, SimSpec, Simulation, SsaOptions, State,
 };
 use molseq_sync::{Clock, DelayChain, SchemeConfig};
 
@@ -23,6 +22,7 @@ fn bench_integrators(c: &mut Criterion) {
     group.sample_size(10);
     let clock = Clock::build(SchemeConfig::default(), 100.0).expect("builds");
     let init = clock.initial_state();
+    let compiled = CompiledCrn::new(clock.crn(), &SimSpec::default());
 
     for (name, method) in [
         (
@@ -42,14 +42,11 @@ fn bench_integrators(c: &mut Criterion) {
     ] {
         group.bench_function(format!("clock_20tu_{name}"), |b| {
             b.iter(|| {
-                simulate_ode(
-                    clock.crn(),
-                    &init,
-                    &Schedule::new(),
-                    &OdeOptions::default().with_t_end(20.0).with_method(method),
-                    &SimSpec::default(),
-                )
-                .expect("simulates")
+                Simulation::new(clock.crn(), &compiled)
+                    .init(&init)
+                    .options(OdeOptions::default().with_t_end(20.0).with_method(method))
+                    .run()
+                    .expect("simulates")
             });
         });
     }
@@ -60,17 +57,25 @@ fn bench_stochastic(c: &mut Criterion) {
     let mut group = c.benchmark_group("stochastic");
     group.sample_size(10);
     let (crn, init) = chain_workload(2);
+    let compiled = CompiledCrn::new(&crn, &SimSpec::default());
     let opts = SsaOptions::default().with_t_end(30.0).with_seed(1);
 
     group.bench_function("direct_chain2_30tu", |b| {
         b.iter(|| {
-            simulate_ssa(&crn, &init, &Schedule::new(), &opts, &SimSpec::default())
+            Simulation::new(&crn, &compiled)
+                .init(&init)
+                .options(opts)
+                .run()
                 .expect("simulates")
         });
     });
     group.bench_function("next_reaction_chain2_30tu", |b| {
         b.iter(|| {
-            simulate_nrm(&crn, &init, &Schedule::new(), &opts, &SimSpec::default())
+            Simulation::new(&crn, &compiled)
+                .init(&init)
+                .method(SimMethod::Nrm)
+                .options(opts)
+                .run()
                 .expect("simulates")
         });
     });

@@ -20,25 +20,25 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use molseq_crn::RateAssignment;
 use molseq_dsp::moving_average;
-use molseq_kinetics::{simulate_ode, CompiledCrn, OdeOptions, Schedule, SimSpec};
+use molseq_kinetics::{CompiledCrn, OdeOptions, SimSpec, Simulation};
 use molseq_sweep::{run_sweep, JobError, SweepJob, SweepOptions};
-use molseq_sync::{run_cycles, BinaryCounter, Clock, ClockSpec, RunConfig, SchemeConfig};
+use molseq_sync::{
+    drive_cycles, BinaryCounter, Clock, ClockSpec, CycleResources, RunConfig, SchemeConfig,
+};
 
 fn bench_clock(c: &mut Criterion) {
     let mut group = c.benchmark_group("kinetics");
     group.sample_size(10);
     let clock = Clock::build(SchemeConfig::default(), 100.0).expect("clock builds");
     let init = clock.initial_state();
+    let compiled = CompiledCrn::new(clock.crn(), &SimSpec::default());
     group.bench_function("clock_40tu", |b| {
         b.iter(|| {
-            simulate_ode(
-                clock.crn(),
-                &init,
-                &Schedule::new(),
-                &OdeOptions::default().with_t_end(40.0),
-                &SimSpec::default(),
-            )
-            .expect("clock simulates")
+            Simulation::new(clock.crn(), &compiled)
+                .init(&init)
+                .options(OdeOptions::default().with_t_end(40.0))
+                .run()
+                .expect("clock simulates")
         });
     });
     group.finish();
@@ -59,11 +59,12 @@ fn bench_counter(c: &mut Criterion) {
             &bits,
             |b, _| {
                 b.iter(|| {
-                    run_cycles(
+                    drive_cycles(
                         counter.system(),
                         &[("pulse", &samples)],
                         cycles,
                         &RunConfig::default(),
+                        CycleResources::default(),
                     )
                     .expect("counter runs")
                 });
@@ -92,7 +93,7 @@ fn bench_sweep_grid(c: &mut Criterion) {
                     SweepJob::new(format!("ratio={ratio:.1}"), move |_job| {
                         let spec = SimSpec::new(RateAssignment::from_ratio(ratio));
                         let measured = filter
-                            .respond_compiled(&base.rebind(&spec), samples, &RunConfig::default())
+                            .respond_with(samples, &RunConfig::default(), Some(&base.rebind(&spec)))
                             .map_err(JobError::failed)?;
                         Ok(measured.iter().sum())
                     })

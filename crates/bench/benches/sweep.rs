@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use molseq_crn::{Crn, RateAssignment};
 use molseq_dsd::{DsdParams, DsdSystem};
-use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
+use molseq_kinetics::{CompiledCrn, OdeOptions, SimSpec, Simulation};
 use molseq_modules::{add, halve};
 use molseq_sweep::{run_sweep, JobError, SweepJob, SweepOptions};
 
@@ -42,16 +42,16 @@ fn error_at_leak(leak: f64) -> Result<f64, JobError> {
     };
     let dsd = DsdSystem::compile(&formal, RateAssignment::default(), &params)
         .map_err(JobError::failed)?;
-    let trace = simulate_ode(
-        dsd.crn(),
-        &dsd.initial_state(&init),
-        &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(30.0)
-            .with_record_interval(1.0),
-        &SimSpec::default(),
-    )
-    .map_err(JobError::failed)?;
+    let compiled = CompiledCrn::new(dsd.crn(), &SimSpec::default());
+    let trace = Simulation::new(dsd.crn(), &compiled)
+        .init(&dsd.initial_state(&init))
+        .options(
+            OdeOptions::default()
+                .with_t_end(30.0)
+                .with_record_interval(1.0),
+        )
+        .run()
+        .map_err(JobError::failed)?;
     let fin = trace.final_state();
     let measured: f64 = dsd.apparent(y).iter().map(|s| fin[s.index()]).sum();
     Ok((measured - expected).abs())

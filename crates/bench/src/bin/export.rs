@@ -19,9 +19,11 @@
 use molseq_bench::{record_sim_metrics, sim_job_error, sync_job_error, ExpCtx};
 use molseq_crn::to_dot;
 use molseq_dsp::moving_average;
-use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimMetrics, SimSpec};
+use molseq_kinetics::{CompiledCrn, OdeOptions, SimMetrics, SimSpec, Simulation};
 use molseq_sweep::{run_sweep, JobCtx, JobError, SweepJob};
-use molseq_sync::{run_cycles, Clock, ClockSpec, DelayChain, RunConfig, SchemeConfig};
+use molseq_sync::{
+    drive_cycles, Clock, ClockSpec, CycleResources, DelayChain, RunConfig, SchemeConfig,
+};
 use std::cell::Cell;
 use std::fs;
 use std::path::Path;
@@ -44,13 +46,11 @@ fn clock_artifact(job: &JobCtx) -> Result<Artifact, JobError> {
         .with_record_interval(0.02)
         .with_step_hook(&hook)
         .with_metrics(&sink);
-    let result = simulate_ode(
-        clock.crn(),
-        &clock.initial_state(),
-        &Schedule::new(),
-        &opts,
-        &SimSpec::default(),
-    );
+    let compiled = CompiledCrn::new(clock.crn(), &SimSpec::default());
+    let result = Simulation::new(clock.crn(), &compiled)
+        .init(&clock.initial_state())
+        .options(opts)
+        .run();
     record_sim_metrics(job, sink.get());
     let trace = result.map_err(sim_job_error)?;
     let mut csv = Vec::new();
@@ -76,13 +76,11 @@ fn delay_chain_artifact(job: &JobCtx) -> Result<Artifact, JobError> {
         .with_record_interval(0.02)
         .with_step_hook(&hook)
         .with_metrics(&sink);
-    let result = simulate_ode(
-        chain.crn(),
-        &init,
-        &Schedule::new(),
-        &opts,
-        &SimSpec::default(),
-    );
+    let compiled = CompiledCrn::new(chain.crn(), &SimSpec::default());
+    let result = Simulation::new(chain.crn(), &compiled)
+        .init(&init)
+        .options(opts)
+        .run();
     record_sim_metrics(job, sink.get());
     let trace = result.map_err(sim_job_error)?;
     let mut csv = Vec::new();
@@ -106,7 +104,13 @@ fn moving_average_artifact(job: &JobCtx) -> Result<Artifact, JobError> {
         metrics: Some(&sink),
         ..RunConfig::default()
     };
-    let result = run_cycles(filter.system(), &[("x", &samples)], samples.len(), &config);
+    let result = drive_cycles(
+        filter.system(),
+        &[("x", &samples)],
+        samples.len(),
+        &config,
+        CycleResources::default(),
+    );
     record_sim_metrics(job, sink.get());
     let run = result.map_err(sync_job_error)?;
     let mut csv = Vec::new();

@@ -18,7 +18,10 @@
 //! Deterministic simulator counters (step counts, LU factorizations, SSA
 //! events, …) must match exactly; per-cell wall clocks compare against
 //! `--wall-tol` (relative, default 0.5) with a `--wall-floor` noise floor
-//! (seconds, default 0.05). `--json FILE` additionally writes the full
+//! (seconds, default 0.05). A repeatable `--tolerance NAME=REL` moves the
+//! named metric into an explicit relative band instead — e.g.
+//! `--tolerance newton_iterations=0.2` lets a platform-noisy counter
+//! drift ±20% before gating. `--json FILE` additionally writes the full
 //! report as JSON for machine consumption, and `--append FILE` folds the
 //! candidate run's headline numbers into a `BENCH_*.json`-style
 //! `"trajectory"` array so the perf history accumulates run over run.
@@ -33,9 +36,31 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage: trend BASELINE_DIR CANDIDATE_DIR [--wall-tol REL] [--wall-floor SECS]\n\
-         \x20            [--json FILE] [--append FILE] [--label NAME] [--ignore-missing]"
+         \x20            [--tolerance NAME=REL]... [--json FILE] [--append FILE]\n\
+         \x20            [--label NAME] [--ignore-missing]"
     );
     exit(2);
+}
+
+/// Parses a `--tolerance NAME=REL` override.
+fn parse_metric_tolerance(value: Option<&String>) -> (String, f64) {
+    let Some(value) = value else {
+        eprintln!("--tolerance expects NAME=REL (e.g. newton_iterations=0.2)");
+        exit(2);
+    };
+    let Some((name, rel)) = value.split_once('=') else {
+        eprintln!("--tolerance expects NAME=REL, got `{value}`");
+        exit(2);
+    };
+    if name.is_empty() {
+        eprintln!("--tolerance expects a non-empty metric name, got `{value}`");
+        exit(2);
+    }
+    let rel_owned = rel.to_owned();
+    (
+        name.to_owned(),
+        parse_tolerance("--tolerance", Some(&rel_owned)),
+    )
 }
 
 /// Parses a tolerance-style flag value: finite and non-negative.
@@ -63,6 +88,10 @@ fn main() {
             "--wall-tol" => opts.wall_rel_tol = parse_tolerance("--wall-tol", iter.next()),
             "--wall-floor" => {
                 opts.wall_floor_secs = parse_tolerance("--wall-floor", iter.next());
+            }
+            "--tolerance" => {
+                let (name, rel_tol) = parse_metric_tolerance(iter.next());
+                opts = opts.with_tolerance(name, rel_tol);
             }
             "--json" => {
                 let Some(path) = iter.next() else {
@@ -139,6 +168,20 @@ fn main() {
                 (
                     "require_matching_experiments".to_owned(),
                     JsonValue::Bool(opts.require_matching_experiments),
+                ),
+                (
+                    "tolerances".to_owned(),
+                    JsonValue::Array(
+                        opts.tolerances
+                            .iter()
+                            .map(|t| {
+                                JsonValue::Object(vec![
+                                    ("name".to_owned(), JsonValue::String(t.name.clone())),
+                                    ("rel_tol".to_owned(), JsonValue::from_f64(t.rel_tol)),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
             ]),
         );

@@ -8,7 +8,7 @@
 //! settles into an equilibrium crawl that never completes.
 
 use crate::{ExpCtx, Report};
-use molseq_kinetics::{crossings, simulate_ode, OdeOptions, Schedule, SimSpec, StepHook};
+use molseq_kinetics::{crossings, CompiledCrn, OdeOptions, SimSpec, Simulation, StepHook};
 use molseq_sweep::{run_sweep, SweepJob};
 use molseq_sync::{stored_value_terms, DelayChain, SchemeConfig};
 
@@ -33,14 +33,12 @@ fn evaluate(
     if let Some(hook) = hook {
         opts = opts.with_step_hook(hook);
     }
-    let trace = simulate_ode(
-        chain.crn(),
-        &init,
-        &Schedule::new(),
-        &opts,
-        &SimSpec::default(),
-    )
-    .expect("simulates");
+    let compiled = CompiledCrn::new(chain.crn(), &SimSpec::default());
+    let trace = Simulation::new(chain.crn(), &compiled)
+        .init(&init)
+        .options(opts)
+        .run()
+        .expect("simulates");
     let terms = stored_value_terms(chain.crn(), chain.output());
     let series: Vec<f64> = (0..trace.len())
         .map(|i| {

@@ -11,7 +11,7 @@
 
 use crate::{sim_job_error, ExpCtx, Report};
 use molseq_crn::CrnStats;
-use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, StepHook};
+use molseq_kinetics::{CompiledCrn, OdeOptions, SimSpec, Simulation, StepHook};
 use molseq_sweep::{run_sweep, JobError, SweepJob};
 use molseq_sync::{stored_value_at, DelayChain, SchemeConfig};
 
@@ -32,14 +32,12 @@ fn evaluate(
     if let Some(hook) = hook {
         opts = opts.with_step_hook(hook);
     }
-    let trace = simulate_ode(
-        chain.crn(),
-        &init,
-        &Schedule::new(),
-        &opts,
-        &SimSpec::default(),
-    )
-    .map_err(sim_job_error)?;
+    let compiled = CompiledCrn::new(chain.crn(), &SimSpec::default());
+    let trace = Simulation::new(chain.crn(), &compiled)
+        .init(&init)
+        .options(opts)
+        .run()
+        .map_err(sim_job_error)?;
     let y = chain.output();
     let final_y = stored_value_at(chain.crn(), &trace, y, t_end);
     // arrival time of the first plateau (the staged 40)

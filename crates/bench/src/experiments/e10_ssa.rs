@@ -27,8 +27,7 @@ use crate::{ExpCtx, Report};
 use molseq_crn::RateAssignment;
 use molseq_dsp::{moving_average, rmse, Filter};
 use molseq_kinetics::{
-    simulate_ssa_compiled, CompiledCrn, Replicator, Schedule, SimError, SimMetrics, SimSpec,
-    SsaOptions,
+    CompiledCrn, Replicator, Schedule, SimError, SimMetrics, SimSpec, Simulation, SsaOptions,
 };
 use molseq_sweep::{run_sweep, JobCtx, JobError, SweepJob};
 use molseq_sync::{BinaryCounter, ClockSpec, SyncRun};
@@ -59,13 +58,11 @@ fn count_three(
         .with_seed(seed)
         .with_step_hook(&hook)
         .with_metrics(&sink);
-    let result = simulate_ssa_compiled(
-        system.crn(),
-        compiled,
-        &system.initial_state(),
-        &schedule,
-        &opts,
-    );
+    let result = Simulation::new(system.crn(), compiled)
+        .init(&system.initial_state())
+        .schedule(&schedule)
+        .options(opts)
+        .run();
     crate::record_sim_metrics(job, sink.get());
     let trace = match result {
         Ok(t) => t,
@@ -111,13 +108,11 @@ fn filter_noise(
         .with_seed(seed)
         .with_step_hook(&hook)
         .with_metrics(&sink);
-    let result = simulate_ssa_compiled(
-        system.crn(),
-        compiled,
-        &system.initial_state(),
-        &schedule,
-        &opts,
-    );
+    let result = Simulation::new(system.crn(), compiled)
+        .init(&system.initial_state())
+        .schedule(&schedule)
+        .options(opts)
+        .run();
     crate::record_sim_metrics(job, sink.get());
     let trace = match result {
         Ok(t) => t,

@@ -21,7 +21,7 @@
 use crate::{sim_job_error, ExpCtx, Report};
 use molseq_crn::{Crn, RateAssignment};
 use molseq_dsd::{DsdParams, DsdSystem};
-use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimMetrics, SimSpec};
+use molseq_kinetics::{CompiledCrn, OdeOptions, SimMetrics, SimSpec, Simulation};
 use molseq_modules::{add, halve};
 use molseq_sweep::{run_sweep, JobCtx, JobError, SweepJob};
 use std::cell::Cell;
@@ -59,13 +59,11 @@ fn error_at_leak(leak: f64, fuel: f64, t_end: f64, job: &JobCtx) -> Result<f64, 
         .with_record_interval(t_end / 50.0)
         .with_step_hook(&hook)
         .with_metrics(&sink);
-    let result = simulate_ode(
-        dsd.crn(),
-        &dsd.initial_state(&init),
-        &Schedule::new(),
-        &opts,
-        &SimSpec::default(),
-    );
+    let compiled = CompiledCrn::new(dsd.crn(), &SimSpec::default());
+    let result = Simulation::new(dsd.crn(), &compiled)
+        .init(&dsd.initial_state(&init))
+        .options(opts)
+        .run();
     crate::record_sim_metrics(job, sink.get());
     let trace = result.map_err(sim_job_error)?;
     let fin = trace.final_state();

@@ -62,7 +62,7 @@ fn probe(
         metrics: Some(&sink),
         ..RunConfig::default()
     };
-    let result = filter.respond_compiled(compiled, &samples, &config);
+    let result = filter.respond_with(&samples, &config, Some(compiled));
     crate::record_sim_metrics(job, sink.get());
     let measured_series = result.map_err(sync_job_error)?;
     // skip the first period (transient), use whole periods of the rest

@@ -1,0 +1,207 @@
+//! E13 — stiff clocked kinetics: implicit vs explicit tau-leaping.
+//!
+//! The absence-indicator clocks put every stochastic run in the same
+//! regime: an indicator species is produced from nothing at a fast rate
+//! and consumed fast by a large catalyst population, settling into a
+//! quasi-steady equilibrium that fluctuates thousands of times per slow
+//! clock event. The explicit Cao–Gillespie leaper must resolve each of
+//! those fluctuations — its step selection is pinned to the fast pair —
+//! so a fixed leap budget is exhausted long before the slow dynamics
+//! finish. The implicit leaper detects the balanced reverse pair, drops
+//! it from the step selection, and strides over the equilibrium on the
+//! slow timescale with a damped-Newton update per leap.
+//!
+//! Expected shape: at every stiffness level the explicit leaper exhausts
+//! the budget short of `t_end` while the implicit leaper completes, using
+//! a step count orders of magnitude below the explicit one — and the time
+//! the explicit leaper manages to cover shrinks in proportion to the
+//! fast/slow separation while the implicit step count barely moves.
+//!
+//! Each stiffness level is one sweep cell running both arms back to back, so
+//! the per-cell metrics carry the explicit counters (`tau_leaps`,
+//! `ssa_events`) and the implicit counters (`tau_leaps_implicit`,
+//! `newton_iterations`, `leap_switchovers`) side by side.
+
+use crate::{ExpCtx, Report};
+use molseq_crn::Crn;
+use molseq_kinetics::{
+    CompiledCrn, SimError, SimMetrics, SimSpec, Simulation, SsaOptions, State,
+    TauLeapImplicitOptions, TauLeapOptions,
+};
+use molseq_sweep::{run_sweep, SweepJob};
+use std::cell::Cell;
+
+/// What one arm of a cell observed.
+#[derive(Clone, Copy)]
+struct Arm {
+    /// Reached `t_end` within the leap budget.
+    completed: bool,
+    /// Steps the arm took: leaps (explicit or implicit) plus exact-SSA
+    /// fallback events.
+    steps: u64,
+    /// Time reached when the arm stopped.
+    final_time: f64,
+}
+
+/// The stiff clocked motif at production rate `k_fast`: the indicator
+/// `R` is produced from nothing and consumed fast by the catalyst pool
+/// `X` (a structurally reversible pair at quasi-steady state around
+/// `R ≈ k_fast / (100 · X)`) while `X` drains into `Y` on the slow
+/// timescale. Raising `k_fast` raises the equilibrium churn — the
+/// stiffness — without moving the slow dynamics at all.
+fn stiff_clock(k_fast: f64) -> (Crn, State) {
+    let crn: Crn = format!("0 -> R @{k_fast}\nR + X -> X @100\nX -> Y @0.01")
+        .parse()
+        .expect("motif parses");
+    let x = crn.find_species("X").expect("exists");
+    let mut init = State::new(&crn);
+    init.set(x, 100.0);
+    (crn, init)
+}
+
+fn total_steps(m: &SimMetrics) -> u64 {
+    m.tau_leaps + m.tau_leaps_implicit + m.ssa_events
+}
+
+/// Runs one leaper arm; `implicit` chooses the method via the options
+/// genre. Budget exhaustion is an expected outcome, not a cell failure.
+fn run_arm(
+    crn: &Crn,
+    compiled: &CompiledCrn,
+    init: &State,
+    budget: usize,
+    t_end: f64,
+    implicit: bool,
+) -> (Arm, SimMetrics) {
+    let sink = Cell::new(SimMetrics::default());
+    let base = TauLeapOptions {
+        base: SsaOptions::default()
+            .with_t_end(t_end)
+            .with_seed(13)
+            .with_max_events(budget)
+            .with_metrics(&sink),
+        ..TauLeapOptions::default()
+    };
+    let sim = Simulation::new(crn, compiled).init(init);
+    let result = if implicit {
+        sim.options(TauLeapImplicitOptions {
+            base,
+            ..TauLeapImplicitOptions::default()
+        })
+        .run()
+    } else {
+        sim.options(base).run()
+    };
+    let m = sink.get();
+    let completed = match result {
+        Ok(_) => true,
+        Err(SimError::StepLimitExceeded { .. }) => false,
+        Err(e) => panic!("stiff clock must only fail by budget: {e}"),
+    };
+    (
+        Arm {
+            completed,
+            steps: total_steps(&m),
+            final_time: m.final_time,
+        },
+        m,
+    )
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) -> Report {
+    let mut report = Report::new(
+        "e13",
+        "stiff clocked kinetics: implicit vs explicit tau-leaping",
+    );
+    let budget = 5_000usize;
+    let t_end = 10.0;
+    let rates: Vec<f64> = if ctx.quick {
+        vec![1e4]
+    } else {
+        vec![1e4, 1e5, 1e6]
+    };
+
+    let jobs: Vec<SweepJob<'_, (Arm, Arm)>> = rates
+        .iter()
+        .map(|&k_fast| {
+            SweepJob::infallible(format!("k_fast={k_fast:e}"), move |job| {
+                let (crn, init) = stiff_clock(k_fast);
+                let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+                let (explicit, m_ex) = run_arm(&crn, &compiled, &init, budget, t_end, false);
+                let (implicit, m_im) = run_arm(&crn, &compiled, &init, budget, t_end, true);
+                let mut combined = m_ex;
+                combined.absorb(&m_im);
+                crate::record_sim_metrics(job, combined);
+                (explicit, implicit)
+            })
+        })
+        .collect();
+    let out = run_sweep(&jobs, &ctx.sweep_options());
+    ctx.persist_summary("e13", &out.summary);
+
+    report.line(format!(
+        "stiff motif (0 -> R @k_fast; R + X -> X @100; X -> Y @0.01), X(0) = 100, leap budget {budget}, t = 0..{t_end}"
+    ));
+    report.line(
+        "  k_fast | explicit steps | reached t | implicit steps | reached t | step ratio"
+            .to_owned(),
+    );
+    let mut last_ratio = f64::NAN;
+    let mut implicit_completed = 0usize;
+    let mut explicit_exhausted = 0usize;
+    let mut last_implicit_steps = f64::NAN;
+    for (cell, &k_fast) in out.cells.iter().zip(&rates) {
+        let &(ex, im) = cell.value().expect("infallible cell");
+        last_ratio = ex.steps as f64 / im.steps.max(1) as f64;
+        report.line(format!(
+            "{k_fast:8.0e} | {:14} | {:9.3} | {:14} | {:9.3} | {last_ratio:10.1}",
+            ex.steps, ex.final_time, im.steps, im.final_time
+        ));
+        implicit_completed += usize::from(im.completed);
+        explicit_exhausted += usize::from(!ex.completed);
+        last_implicit_steps = im.steps as f64;
+    }
+    report.metric(
+        "explicit runs exhausting the budget",
+        explicit_exhausted as f64,
+    );
+    report.metric(
+        "implicit runs completing within budget",
+        implicit_completed as f64,
+    );
+    report.metric("implicit steps (stiffest cell)", last_implicit_steps);
+    report.metric("explicit/implicit step ratio", last_ratio);
+    report.line(
+        "expected: the explicit leaper burns its whole budget resolving the fast equilibrium; the implicit leaper strides over it and finishes in orders of magnitude fewer steps"
+            .to_owned(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ExpCtx;
+
+    #[test]
+    fn implicit_leaper_beats_explicit_on_the_stiff_clock() {
+        let report = super::run(&ExpCtx::quick());
+        let exhausted = report
+            .metric_value("explicit runs exhausting the budget")
+            .unwrap();
+        let completed = report
+            .metric_value("implicit runs completing within budget")
+            .unwrap();
+        assert_eq!(exhausted, 1.0, "{report}");
+        assert_eq!(completed, 1.0, "{report}");
+        let ratio = report.metric_value("explicit/implicit step ratio").unwrap();
+        assert!(ratio >= 10.0, "implicit must be >=10x cheaper: {report}");
+    }
+
+    #[test]
+    fn parallel_report_matches_serial() {
+        let serial = super::run(&ExpCtx::quick().with_jobs(1));
+        let parallel = super::run(&ExpCtx::quick().with_jobs(4));
+        assert_eq!(serial.to_string(), parallel.to_string());
+    }
+}

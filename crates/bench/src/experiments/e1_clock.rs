@@ -7,8 +7,8 @@
 
 use crate::{ExpCtx, Report};
 use molseq_kinetics::{
-    crossings, estimate_period, render_species, simulate_ode, Direction, OdeOptions, Schedule,
-    SimSpec,
+    crossings, estimate_period, render_species, CompiledCrn, Direction, OdeOptions, SimSpec,
+    Simulation,
 };
 use molseq_sync::{Clock, SchemeConfig};
 
@@ -19,16 +19,16 @@ pub fn run(ctx: &ExpCtx) -> Report {
     let token = 100.0;
     let t_end = if quick { 30.0 } else { 120.0 };
     let clock = Clock::build(SchemeConfig::default(), token).expect("valid clock");
-    let trace = simulate_ode(
-        clock.crn(),
-        &clock.initial_state(),
-        &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(t_end)
-            .with_record_interval(0.02),
-        &SimSpec::default(),
-    )
-    .expect("clock simulates");
+    let compiled = CompiledCrn::new(clock.crn(), &SimSpec::default());
+    let trace = Simulation::new(clock.crn(), &compiled)
+        .init(&clock.initial_state())
+        .options(
+            OdeOptions::default()
+                .with_t_end(t_end)
+                .with_record_interval(0.02),
+        )
+        .run()
+        .expect("clock simulates");
 
     report.line(format!(
         "one-element ring, token = {token}, k_fast = 1000, k_slow = 1, t = 0..{t_end}"

@@ -7,7 +7,7 @@
 //! then +80) and the final total is exact.
 
 use crate::{ExpCtx, Report};
-use molseq_kinetics::{render_species, simulate_ode, OdeOptions, Schedule, SimSpec};
+use molseq_kinetics::{render_species, CompiledCrn, OdeOptions, SimSpec, Simulation};
 use molseq_sync::{stored_value_at, DelayChain, SchemeConfig};
 
 /// Runs the experiment.
@@ -18,16 +18,16 @@ pub fn run(ctx: &ExpCtx) -> Report {
     let (x, d1, d2) = (80.0, 30.0, 55.0);
     let init = chain.initial_state(x, &[d1, d2]).expect("valid state");
     let t_end = if quick { 40.0 } else { 120.0 };
-    let trace = simulate_ode(
-        chain.crn(),
-        &init,
-        &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(t_end)
-            .with_record_interval(0.05),
-        &SimSpec::default(),
-    )
-    .expect("chain simulates");
+    let compiled = CompiledCrn::new(chain.crn(), &SimSpec::default());
+    let trace = Simulation::new(chain.crn(), &compiled)
+        .init(&init)
+        .options(
+            OdeOptions::default()
+                .with_t_end(t_end)
+                .with_record_interval(0.05),
+        )
+        .run()
+        .expect("chain simulates");
 
     report.line(format!(
         "chain of 2 delay elements; X = {x}, D1 = {d1}, D2 = {d2} (all staged blue)"

@@ -28,7 +28,7 @@ pub fn run(ctx: &ExpCtx) -> Report {
     let filter = moving_average(2, ClockSpec::default()).expect("valid filter");
     let samples = input_stream(quick);
     let measured = filter
-        .respond(&samples, &RunConfig::default())
+        .respond_with(&samples, &RunConfig::default(), None)
         .expect("filter runs");
     let ideal = filter.ideal_response(&samples);
 

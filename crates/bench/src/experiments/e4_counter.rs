@@ -5,7 +5,7 @@
 //! encode the number of pulses exactly.
 
 use crate::{ExpCtx, Report};
-use molseq_sync::{run_cycles, BinaryCounter, ClockSpec, RunConfig};
+use molseq_sync::{drive_cycles, BinaryCounter, ClockSpec, CycleResources, RunConfig};
 
 /// Runs the experiment.
 pub fn run(ctx: &ExpCtx) -> Report {
@@ -22,11 +22,12 @@ pub fn run(ctx: &ExpCtx) -> Report {
     let counter = BinaryCounter::build(bits, 60.0, ClockSpec::default()).expect("valid counter");
     let samples = counter.pulse_train(&pulses);
     let cycles = samples.len() + 1;
-    let run = run_cycles(
+    let run = drive_cycles(
         counter.system(),
         &[("pulse", &samples)],
         cycles,
         &RunConfig::default(),
+        CycleResources::default(),
     )
     .expect("counter runs");
 

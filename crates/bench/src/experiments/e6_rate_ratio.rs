@@ -59,7 +59,7 @@ pub fn run(ctx: &ExpCtx) -> Report {
                     metrics: Some(&sink),
                     ..RunConfig::default()
                 };
-                let result = filter.respond_compiled(&base.rebind(&spec), samples, &config);
+                let result = filter.respond_with(samples, &config, Some(&base.rebind(&spec)));
                 crate::record_sim_metrics(job, sink.get());
                 let measured = result.map_err(sync_job_error)?;
                 let rms = rmse(&measured, ideal);

@@ -12,20 +12,22 @@ use crate::{ExpCtx, Report};
 use molseq_crn::RateAssignment;
 use molseq_dsd::{DsdParams, DsdSystem};
 use molseq_dsp::moving_average;
-use molseq_kinetics::{estimate_period, simulate_ode, OdeOptions, Schedule, SimSpec, State, Trace};
+use molseq_kinetics::{
+    estimate_period, CompiledCrn, OdeOptions, SimSpec, Simulation, State, Trace,
+};
 use molseq_sync::{Clock, ClockSpec, DelayChain, SchemeConfig};
 
 fn simulate(dsd: &DsdSystem, init: &State, t_end: f64) -> Trace {
-    simulate_ode(
-        dsd.crn(),
-        init,
-        &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(t_end)
-            .with_record_interval(0.05),
-        &SimSpec::default(),
-    )
-    .expect("DSD system simulates")
+    let compiled = CompiledCrn::new(dsd.crn(), &SimSpec::default());
+    Simulation::new(dsd.crn(), &compiled)
+        .init(init)
+        .options(
+            OdeOptions::default()
+                .with_t_end(t_end)
+                .with_record_interval(0.05),
+        )
+        .run()
+        .expect("DSD system simulates")
 }
 
 /// Runs the experiment.
@@ -38,16 +40,16 @@ pub fn run(ctx: &ExpCtx) -> Report {
 
     // 1. the chemical clock, before and after compilation
     let clock = Clock::build(config, 100.0).expect("clock");
-    let formal_trace = simulate_ode(
-        clock.crn(),
-        &clock.initial_state(),
-        &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(if quick { 30.0 } else { 60.0 })
-            .with_record_interval(0.02),
-        &SimSpec::default(),
-    )
-    .expect("formal clock simulates");
+    let formal_compiled = CompiledCrn::new(clock.crn(), &SimSpec::default());
+    let formal_trace = Simulation::new(clock.crn(), &formal_compiled)
+        .init(&clock.initial_state())
+        .options(
+            OdeOptions::default()
+                .with_t_end(if quick { 30.0 } else { 60.0 })
+                .with_record_interval(0.02),
+        )
+        .run()
+        .expect("formal clock simulates");
     let formal_period = estimate_period(
         formal_trace.times(),
         &formal_trace.series(clock.red()),

@@ -16,7 +16,8 @@ use molseq_async::{AsyncPipeline, HopOp, MeasureConfig};
 use molseq_kinetics::{crossings, SimMetrics};
 use molseq_sweep::{run_sweep, SweepJob};
 use molseq_sync::{
-    run_cycles, stored_value_terms, ClockSpec, RunConfig, SchemeConfig, SyncCircuit, SyncError,
+    drive_cycles, stored_value_terms, ClockSpec, CycleResources, RunConfig, SchemeConfig,
+    SyncCircuit, SyncError,
 };
 use std::cell::Cell;
 
@@ -33,7 +34,13 @@ fn sync_latency(n: usize, x: f64, config: &RunConfig) -> Result<Option<f64>, Syn
     circuit.output("y", node);
     let system = circuit.compile()?;
     let samples = vec![x];
-    let run = run_cycles(&system, &[("x", &samples)], n + 3, config)?;
+    let run = drive_cycles(
+        &system,
+        &[("x", &samples)],
+        n + 3,
+        config,
+        CycleResources::default(),
+    )?;
     let y = system.output_species("y")?;
     let terms = stored_value_terms(system.crn(), y);
     let trace = run.trace();

@@ -18,6 +18,7 @@
 //! | E10 | stochastic validity at small counts (figure) |
 //! | E11 | strand-displacement leak robustness (figure) |
 //! | E12 | filter frequency response (figure) |
+//! | E13 | stiff clocked kinetics: implicit vs explicit tau-leaping (table) |
 //! | A1 | ablation: sharpeners on/off |
 //! | A2 | ablation: self vs cross-coupled feedback |
 //!
@@ -156,6 +157,9 @@ pub fn record_sim_metrics(job: &JobCtx, m: SimMetrics) {
     job.record_metric("lu_factorizations", m.lu_factorizations as f64);
     job.record_metric("ssa_events", m.ssa_events as f64);
     job.record_metric("tau_leaps", m.tau_leaps as f64);
+    job.record_metric("tau_leaps_implicit", m.tau_leaps_implicit as f64);
+    job.record_metric("newton_iterations", m.newton_iterations as f64);
+    job.record_metric("leap_switchovers", m.leap_switchovers as f64);
     job.record_metric("final_time", m.final_time);
     job.record_metric("seed", m.seed as f64);
 }
@@ -228,6 +232,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e12",
             "filter frequency response",
             experiments::e12_frequency::run,
+        ),
+        (
+            "e13",
+            "stiff clocked kinetics: implicit vs explicit tau-leaping",
+            experiments::e13_stiff_clock::run,
         ),
         (
             "a1",

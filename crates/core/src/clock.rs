@@ -111,20 +111,18 @@ impl Clock {
 ///
 /// ```
 /// use molseq_sync::{DelayChain, SchemeConfig};
-/// use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
+/// use molseq_kinetics::{CompiledCrn, OdeOptions, SimSpec, Simulation};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// use molseq_sync::stored_final_value;
 ///
 /// let chain = DelayChain::build(SchemeConfig::default(), 2)?;
 /// let init = chain.initial_state(80.0, &[0.0, 0.0])?;
-/// let trace = simulate_ode(
-///     chain.crn(),
-///     &init,
-///     &Schedule::new(),
-///     &OdeOptions::default().with_t_end(60.0),
-///     &SimSpec::default(),
-/// )?;
+/// let compiled = CompiledCrn::new(chain.crn(), &SimSpec::default());
+/// let trace = Simulation::new(chain.crn(), &compiled)
+///     .init(&init)
+///     .options(OdeOptions::default().with_t_end(60.0))
+///     .run()?;
 /// let y = stored_final_value(chain.crn(), &trace, chain.output());
 /// assert!((y - 80.0).abs() < 1.0, "X arrived at Y: {y}");
 /// # Ok(())
@@ -265,19 +263,19 @@ impl DelayChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use molseq_kinetics::{estimate_period, simulate_ode, OdeOptions, Schedule, SimSpec};
+    use molseq_kinetics::{estimate_period, CompiledCrn, OdeOptions, SimSpec, Simulation};
 
     fn ode(crn: &Crn, init: &State, t_end: f64) -> molseq_kinetics::Trace {
-        simulate_ode(
-            crn,
-            init,
-            &Schedule::new(),
-            &OdeOptions::default()
-                .with_t_end(t_end)
-                .with_record_interval(0.05),
-            &SimSpec::default(),
-        )
-        .unwrap()
+        let compiled = CompiledCrn::new(crn, &SimSpec::default());
+        Simulation::new(crn, &compiled)
+            .init(init)
+            .options(
+                OdeOptions::default()
+                    .with_t_end(t_end)
+                    .with_record_interval(0.05),
+            )
+            .run()
+            .unwrap()
     }
 
     #[test]

@@ -26,13 +26,19 @@ use crate::{ClockSpec, CompiledSystem, SyncCircuit, SyncError, SyncRun};
 /// # Examples
 ///
 /// ```no_run
-/// use molseq_sync::{BinaryCounter, ClockSpec, RunConfig, run_cycles};
+/// use molseq_sync::{drive_cycles, BinaryCounter, ClockSpec, CycleResources, RunConfig};
 ///
 /// # fn main() -> Result<(), molseq_sync::SyncError> {
 /// let counter = BinaryCounter::build(3, 60.0, ClockSpec::default())?;
 /// // five pulses, then three settle cycles
 /// let pulses = counter.pulse_train(&[true, true, true, true, true, false, false, false]);
-/// let run = run_cycles(counter.system(), &[("pulse", &pulses)], 9, &RunConfig::default())?;
+/// let run = drive_cycles(
+///     counter.system(),
+///     &[("pulse", &pulses)],
+///     9,
+///     &RunConfig::default(),
+///     CycleResources::default(),
+/// )?;
 /// assert_eq!(counter.decode(&run, 8)?, 5);
 /// # Ok(())
 /// # }
@@ -86,7 +92,8 @@ impl BinaryCounter {
     }
 
     /// The compiled system (drive it with
-    /// [`run_cycles`](crate::run_cycles); the input port is `"pulse"`).
+    /// [`drive_cycles`](crate::drive_cycles); the input port is
+    /// `"pulse"`).
     #[must_use]
     pub fn system(&self) -> &CompiledSystem {
         &self.system
@@ -141,7 +148,7 @@ impl BinaryCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{run_cycles, RunConfig};
+    use crate::{drive_cycles, CycleResources, RunConfig};
 
     #[test]
     fn rejects_degenerate_parameters() {
@@ -167,11 +174,12 @@ mod tests {
     fn counts_three_pulses() {
         let counter = BinaryCounter::build(2, 60.0, ClockSpec::default()).unwrap();
         let pulses = counter.pulse_train(&[true, true, true, false, false]);
-        let run = run_cycles(
+        let run = drive_cycles(
             counter.system(),
             &[("pulse", &pulses)],
             6,
             &RunConfig::default(),
+            CycleResources::default(),
         )
         .unwrap();
         let value = counter.decode(&run, 5).unwrap();

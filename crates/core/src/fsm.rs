@@ -20,7 +20,10 @@
 //! discipline provides; a transition therefore completes in one clock
 //! cycle, exactly like a flip-flop-based FSM in the electronic analogy.
 
-use crate::{run_cycles, ClockSpec, CompiledSystem, RunConfig, SyncCircuit, SyncError, SyncRun};
+use crate::{
+    drive_cycles, ClockSpec, CompiledSystem, CycleResources, RunConfig, SyncCircuit, SyncError,
+    SyncRun,
+};
 
 /// A compiled Moore finite-state machine with a single binary input.
 ///
@@ -171,7 +174,13 @@ impl Fsm {
         config: &RunConfig,
     ) -> Result<(SyncRun, Vec<usize>), SyncError> {
         let samples = self.input_train(bits);
-        let run = run_cycles(&self.system, &[("x", &samples)], bits.len(), config)?;
+        let run = drive_cycles(
+            &self.system,
+            &[("x", &samples)],
+            bits.len(),
+            config,
+            CycleResources::default(),
+        )?;
         let states = (0..bits.len())
             .map(|k| self.decode(&run, k))
             .collect::<Result<Vec<_>, _>>()?;

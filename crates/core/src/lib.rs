@@ -37,25 +37,25 @@
 //!   per cycle.
 //! * [`BinaryCounter`] — the paper's finite-state example, built on
 //!   [`SyncCircuit`].
-//! * [`run_cycles`] / [`SyncRun`] — simulation harness: drives a compiled
-//!   system for N clock cycles, locates cycle boundaries from the clock
-//!   waveform and samples every register once per cycle.
+//! * [`drive_cycles`] / [`SyncRun`] — simulation harness: drives a
+//!   compiled system for N clock cycles under a [`RunConfig`]-selected
+//!   kinetic interpretation (ODE or exact stochastic), locates cycle
+//!   boundaries from the clock waveform and samples every register once
+//!   per cycle.
 //!
 //! ## Example: a free-running chemical clock
 //!
 //! ```
 //! use molseq_sync::{Clock, SchemeConfig};
-//! use molseq_kinetics::{simulate_ode, estimate_period, OdeOptions, Schedule, SimSpec};
+//! use molseq_kinetics::{estimate_period, CompiledCrn, OdeOptions, SimSpec, Simulation};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let clock = Clock::build(SchemeConfig::default(), 100.0)?;
-//! let trace = simulate_ode(
-//!     clock.crn(),
-//!     &clock.initial_state(),
-//!     &Schedule::new(),
-//!     &OdeOptions::default().with_t_end(120.0),
-//!     &SimSpec::default(),
-//! )?;
+//! let compiled = CompiledCrn::new(clock.crn(), &SimSpec::default());
+//! let trace = Simulation::new(clock.crn(), &compiled)
+//!     .init(&clock.initial_state())
+//!     .options(OdeOptions::default().with_t_end(120.0))
+//!     .run()?;
 //! let series = trace.series(clock.red());
 //! let period = estimate_period(trace.times(), &series, 50.0);
 //! assert!(period.is_some(), "the clock oscillates");
@@ -86,6 +86,8 @@ pub use error::SyncError;
 pub use fsm::Fsm;
 pub use measure::{stored_final_value, stored_value_at, stored_value_terms};
 pub use programs::{IterativeLog2, IterativeMultiplier};
-pub use runner::{run_cycles, run_cycles_compiled, run_cycles_with_workspace, RunConfig, SyncRun};
+pub use runner::{drive_cycles, CycleResources, RunConfig, SyncRun};
+#[allow(deprecated)]
+pub use runner::{run_cycles, run_cycles_compiled, run_cycles_with_workspace};
 pub use scheme::{ClockSpec, SchemeBuilder, SchemeConfig};
 pub use system::{ClockHandles, CompiledSystem, RegisterHandles};

@@ -18,7 +18,8 @@
 //! extra cycle of latency in their documented schedules.
 
 use crate::{
-    run_cycles, ClockSpec, CompiledSystem, Node, RunConfig, SyncCircuit, SyncError, SyncRun,
+    drive_cycles, ClockSpec, CompiledSystem, CycleResources, Node, RunConfig, SyncCircuit,
+    SyncError, SyncRun,
 };
 
 /// Builds the presence-gated value `min(value, M·counter)` inside a
@@ -139,7 +140,13 @@ impl IterativeMultiplier {
     ///
     /// Propagates harness errors.
     pub fn run(&self, config: &RunConfig) -> Result<f64, SyncError> {
-        let run = run_cycles(&self.system, &[], self.cycles_needed, config)?;
+        let run = drive_cycles(
+            &self.system,
+            &[],
+            self.cycles_needed,
+            config,
+            CycleResources::default(),
+        )?;
         let acc = run.register_series("acc")?;
         Ok(*acc.last().expect("at least one cycle"))
     }
@@ -151,7 +158,13 @@ impl IterativeMultiplier {
     ///
     /// Propagates harness errors.
     pub fn run_traced(&self, config: &RunConfig) -> Result<SyncRun, SyncError> {
-        run_cycles(&self.system, &[], self.cycles_needed, config)
+        drive_cycles(
+            &self.system,
+            &[],
+            self.cycles_needed,
+            config,
+            CycleResources::default(),
+        )
     }
 }
 
@@ -253,7 +266,13 @@ impl IterativeLog2 {
     ///
     /// Propagates harness errors.
     pub fn run(&self, config: &RunConfig) -> Result<f64, SyncError> {
-        let run = run_cycles(&self.system, &[], self.cycles_needed, config)?;
+        let run = drive_cycles(
+            &self.system,
+            &[],
+            self.cycles_needed,
+            config,
+            CycleResources::default(),
+        )?;
         let count = run.register_series("count")?;
         Ok(*count.last().expect("at least one cycle") / self.unit)
     }

@@ -2,17 +2,20 @@
 //!
 //! Driving a compiled system means: inject one input sample per clock
 //! cycle, run the kinetics, find the cycle boundaries in the clock
-//! waveform, and read every register once per cycle. [`run_cycles`] does
-//! all of it and returns a [`SyncRun`].
+//! waveform, and read every register once per cycle. [`drive_cycles`]
+//! does all of it and returns a [`SyncRun`]; [`RunConfig::sim`] selects
+//! the kinetic interpretation (deterministic ODE or an exact stochastic
+//! method), and [`CycleResources`] carries any pre-built compiled network
+//! and integrator workspace a sweep wants to reuse across cells.
 
 use crate::{CompiledSystem, SyncError};
 use molseq_kinetics::{
-    simulate_ode_with_workspace, CompiledCrn, MetricsSink, OdeMethod, OdeOptions, OdeWorkspace,
-    Schedule, SimError, SimSpec, StepHook, Trace,
+    CompiledCrn, MetricsSink, OdeMethod, OdeOptions, OdeWorkspace, Schedule, SimError, SimMethod,
+    SimSpec, Simulation, SsaOptions, StepHook, Trace,
 };
 use std::collections::HashMap;
 
-/// Configuration for [`run_cycles`].
+/// Configuration for [`drive_cycles`].
 #[derive(Clone)]
 pub struct RunConfig<'h> {
     /// Kinetic interpretation (rate assignment + jitter).
@@ -26,8 +29,15 @@ pub struct RunConfig<'h> {
     pub max_extensions: u32,
     /// Trace recording interval.
     pub record_interval: f64,
-    /// Integration method.
+    /// Simulation method driving the kinetics. [`SimMethod::Ode`]
+    /// (the default), [`SimMethod::Ssa`] and [`SimMethod::Nrm`] are
+    /// supported; the tau-leaping methods reject the harness's input
+    /// triggers.
+    pub sim: SimMethod,
+    /// ODE integration method (used when `sim` is [`SimMethod::Ode`]).
     pub method: OdeMethod,
+    /// RNG seed (used by the stochastic methods).
+    pub seed: u64,
     /// Optional cooperative interruption hook, forwarded to the
     /// integrator (see [`molseq_kinetics::StepHook`]). The cumulative step
     /// count restarts at every horizon-doubling retry.
@@ -47,7 +57,9 @@ impl std::fmt::Debug for RunConfig<'_> {
             .field("cycle_time_hint", &self.cycle_time_hint)
             .field("max_extensions", &self.max_extensions)
             .field("record_interval", &self.record_interval)
+            .field("sim", &self.sim)
             .field("method", &self.method)
+            .field("seed", &self.seed)
             .field("step_hook", &self.step_hook.map(|_| "<hook>"))
             .field("metrics", &self.metrics.map(|_| "<sink>"))
             .finish()
@@ -60,7 +72,9 @@ impl PartialEq for RunConfig<'_> {
             && self.cycle_time_hint == other.cycle_time_hint
             && self.max_extensions == other.max_extensions
             && self.record_interval == other.record_interval
+            && self.sim == other.sim
             && self.method == other.method
+            && self.seed == other.seed
             && match (self.step_hook, other.step_hook) {
                 (None, None) => true,
                 (Some(a), Some(b)) => {
@@ -78,21 +92,42 @@ impl PartialEq for RunConfig<'_> {
 
 impl Default for RunConfig<'_> {
     /// Paper-default rates, 12 time units per cycle as the initial guess,
-    /// up to 4 horizon doublings, stiff (Rosenbrock) integration.
+    /// up to 4 horizon doublings, deterministic stiff (Rosenbrock)
+    /// integration.
     fn default() -> Self {
         RunConfig {
             spec: SimSpec::default(),
             cycle_time_hint: 12.0,
             max_extensions: 4,
             record_interval: 0.1,
+            sim: SimMethod::Ode,
             method: OdeMethod::Rosenbrock {
                 rtol: 1e-5,
                 atol: 1e-8,
             },
+            seed: 0,
             step_hook: None,
             metrics: None,
         }
     }
+}
+
+/// Pre-built simulation resources for [`drive_cycles`], reusable across
+/// sweep cells. Both fields are optional: an absent compiled network is
+/// compiled per call from `config.spec`, an absent workspace is allocated
+/// fresh.
+#[derive(Default)]
+pub struct CycleResources<'a> {
+    /// Pre-built compiled network. When supplied, `config.spec` is
+    /// ignored — the rates baked into the compiled network govern the
+    /// kinetics. This is the sweep path: compile once,
+    /// [`CompiledCrn::rebind`](molseq_kinetics::CompiledCrn::rebind) per
+    /// cell, drive the rebound copy.
+    pub compiled: Option<&'a CompiledCrn>,
+    /// Reusable integrator workspace (ODE methods), so sweeps allocate
+    /// integrator buffers once per worker instead of once per cell. Also
+    /// reused across the harness's internal horizon-doubling retries.
+    pub workspace: Option<&'a mut OdeWorkspace>,
 }
 
 /// The result of driving a compiled system for a number of clock cycles.
@@ -235,7 +270,9 @@ fn high_intervals(times: &[f64], series: &[f64], threshold: f64) -> Vec<(f64, f6
 }
 
 /// Drives `system` until `cycles` clock cycles have completed, injecting
-/// one sample per cycle for every listed input.
+/// one sample per cycle for every listed input. `config.sim` picks the
+/// kinetic interpretation; `resources` optionally carries a pre-built
+/// compiled network and a reusable integrator workspace.
 ///
 /// Cycle boundaries and register values are extracted with
 /// [`SyncRun::from_trace`]: registers are read as the maximum of their
@@ -248,58 +285,41 @@ fn high_intervals(times: &[f64], series: &[f64], threshold: f64) -> Vec<(f64, f6
 /// * [`SyncError::UnknownPort`] for an unknown input name.
 /// * [`SyncError::InvalidAmount`] if `cycles` is zero.
 /// * Simulation errors are wrapped in [`SyncError::Simulation`].
-pub fn run_cycles(
+///
+/// # Panics
+///
+/// Panics if `config.sim` is a tau-leaping method: the leapers reject the
+/// per-cycle input triggers this harness relies on.
+pub fn drive_cycles(
     system: &CompiledSystem,
     inputs: &[(&str, &[f64])],
     cycles: usize,
     config: &RunConfig,
+    resources: CycleResources<'_>,
 ) -> Result<SyncRun, SyncError> {
-    let compiled = CompiledCrn::new(system.crn(), &config.spec);
-    run_cycles_compiled(system, &compiled, inputs, cycles, config)
-}
-
-/// Like [`run_cycles`], but consumes a pre-built [`CompiledCrn`] instead
-/// of compiling the system's network per call. The compiled network is
-/// also reused across the harness's horizon-doubling retries.
-///
-/// This is the entry point for parameter sweeps: compile the system once,
-/// [`CompiledCrn::rebind`](molseq_kinetics::CompiledCrn::rebind) per sweep
-/// cell, and drive the rebound copy. `config.spec` is ignored — the rates
-/// baked into `compiled` govern the kinetics.
-///
-/// # Errors
-///
-/// Same conditions as [`run_cycles`].
-pub fn run_cycles_compiled(
-    system: &CompiledSystem,
-    compiled: &CompiledCrn,
-    inputs: &[(&str, &[f64])],
-    cycles: usize,
-    config: &RunConfig,
-) -> Result<SyncRun, SyncError> {
-    let mut workspace = OdeWorkspace::new();
-    run_cycles_with_workspace(system, compiled, inputs, cycles, config, &mut workspace)
-}
-
-/// Like [`run_cycles_compiled`], but reuses the caller's
-/// [`OdeWorkspace`] across harness calls (and across the internal
-/// horizon-doubling retries), so sweeps allocate integrator buffers once
-/// per worker instead of once per cell.
-///
-/// # Errors
-///
-/// Same conditions as [`run_cycles`].
-pub fn run_cycles_with_workspace(
-    system: &CompiledSystem,
-    compiled: &CompiledCrn,
-    inputs: &[(&str, &[f64])],
-    cycles: usize,
-    config: &RunConfig,
-    workspace: &mut OdeWorkspace,
-) -> Result<SyncRun, SyncError> {
+    assert!(
+        matches!(config.sim, SimMethod::Ode | SimMethod::Ssa | SimMethod::Nrm),
+        "the cycle harness injects inputs via triggers, which tau-leaping does not support"
+    );
     if cycles == 0 {
         return Err(SyncError::InvalidAmount { value: 0.0 });
     }
+    let owned_compiled;
+    let compiled = match resources.compiled {
+        Some(c) => c,
+        None => {
+            owned_compiled = CompiledCrn::new(system.crn(), &config.spec);
+            &owned_compiled
+        }
+    };
+    let mut owned_workspace;
+    let workspace = match resources.workspace {
+        Some(w) => w,
+        None => {
+            owned_workspace = OdeWorkspace::new();
+            &mut owned_workspace
+        }
+    };
     let mut schedule = Schedule::new();
     for (name, samples) in inputs {
         schedule = schedule.trigger(system.input_trigger(name, samples)?);
@@ -311,24 +331,35 @@ pub fn run_cycles_with_workspace(
     let mut last_err: Option<SimError> = None;
     let mut best_found = 0usize;
     for _ in 0..=config.max_extensions {
-        let mut opts = OdeOptions::default()
-            .with_t_end(t_end)
-            .with_record_interval(config.record_interval)
-            .with_method(config.method);
+        let mut sim = Simulation::new(system.crn(), compiled)
+            .init(&init)
+            .schedule(&schedule)
+            .workspace(&mut *workspace);
+        match config.sim {
+            SimMethod::Ode => {
+                sim = sim.options(
+                    OdeOptions::default()
+                        .with_t_end(t_end)
+                        .with_record_interval(config.record_interval)
+                        .with_method(config.method),
+                );
+            }
+            _ => {
+                sim = sim.method(config.sim).options(
+                    SsaOptions::default()
+                        .with_t_end(t_end)
+                        .with_record_interval(config.record_interval)
+                        .with_seed(config.seed),
+                );
+            }
+        }
         if let Some(hook) = config.step_hook {
-            opts = opts.with_step_hook(hook);
+            sim = sim.step_hook(hook);
         }
         if let Some(sink) = config.metrics {
-            opts = opts.with_metrics(sink);
+            sim = sim.metrics(sink);
         }
-        let trace = match simulate_ode_with_workspace(
-            system.crn(),
-            compiled,
-            &init,
-            &schedule,
-            &opts,
-            workspace,
-        ) {
+        let trace = match sim.run() {
             Ok(t) => t,
             Err(e @ SimError::Interrupted { .. }) => {
                 // a cooperative budget fired: retrying on a doubled
@@ -363,6 +394,84 @@ pub fn run_cycles_with_workspace(
     ))
 }
 
+/// Drives `system` for `cycles` clock cycles, compiling its network per
+/// call.
+///
+/// # Errors
+///
+/// Same conditions as [`drive_cycles`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use drive_cycles(system, inputs, cycles, config, CycleResources::default())"
+)]
+pub fn run_cycles(
+    system: &CompiledSystem,
+    inputs: &[(&str, &[f64])],
+    cycles: usize,
+    config: &RunConfig,
+) -> Result<SyncRun, SyncError> {
+    drive_cycles(system, inputs, cycles, config, CycleResources::default())
+}
+
+/// Like [`run_cycles`], but consumes a pre-built [`CompiledCrn`] instead
+/// of compiling the system's network per call.
+///
+/// # Errors
+///
+/// Same conditions as [`drive_cycles`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use drive_cycles(.., CycleResources { compiled: Some(compiled), ..Default::default() })"
+)]
+pub fn run_cycles_compiled(
+    system: &CompiledSystem,
+    compiled: &CompiledCrn,
+    inputs: &[(&str, &[f64])],
+    cycles: usize,
+    config: &RunConfig,
+) -> Result<SyncRun, SyncError> {
+    drive_cycles(
+        system,
+        inputs,
+        cycles,
+        config,
+        CycleResources {
+            compiled: Some(compiled),
+            workspace: None,
+        },
+    )
+}
+
+/// Like [`run_cycles_compiled`], but reuses the caller's
+/// [`OdeWorkspace`].
+///
+/// # Errors
+///
+/// Same conditions as [`drive_cycles`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use drive_cycles(.., CycleResources { compiled: Some(compiled), workspace: Some(ws) })"
+)]
+pub fn run_cycles_with_workspace(
+    system: &CompiledSystem,
+    compiled: &CompiledCrn,
+    inputs: &[(&str, &[f64])],
+    cycles: usize,
+    config: &RunConfig,
+    workspace: &mut OdeWorkspace,
+) -> Result<SyncRun, SyncError> {
+    drive_cycles(
+        system,
+        inputs,
+        cycles,
+        config,
+        CycleResources {
+            compiled: Some(compiled),
+            workspace: Some(workspace),
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,7 +498,64 @@ mod tests {
         let x = c.input("x");
         c.output("y", x);
         let sys = c.compile().unwrap();
-        assert!(run_cycles(&sys, &[], 0, &RunConfig::default()).is_err());
+        assert!(drive_cycles(
+            &sys,
+            &[],
+            0,
+            &RunConfig::default(),
+            CycleResources::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "tau-leaping")]
+    fn tau_methods_are_rejected_by_the_harness() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        c.output("y", x);
+        let sys = c.compile().unwrap();
+        let config = RunConfig {
+            sim: SimMethod::TauLeap,
+            ..RunConfig::default()
+        };
+        let _ = drive_cycles(&sys, &[], 1, &config, CycleResources::default());
+    }
+
+    /// The harness drives the same circuit under the exact stochastic
+    /// interpretation: the one-cycle register delay survives molecular
+    /// noise at the default token count.
+    #[test]
+    fn stochastic_harness_delays_by_one_cycle() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let d = c.delay("d", x);
+        c.output("y", d);
+        let sys = c.compile().unwrap();
+
+        let samples = [60.0, 20.0];
+        let config = RunConfig {
+            sim: SimMethod::Ssa,
+            seed: 7,
+            ..RunConfig::default()
+        };
+        let run = drive_cycles(
+            &sys,
+            &[("x", &samples)],
+            3,
+            &config,
+            CycleResources::default(),
+        )
+        .unwrap();
+        let y_series = run.register_series("y").unwrap();
+        for (k, &expect) in samples.iter().enumerate() {
+            assert!(
+                (y_series[k + 1] - expect).abs() < 0.25 * expect,
+                "y at cycle {}: {} vs {expect} (full: {y_series:?})",
+                k + 1,
+                y_series[k + 1]
+            );
+        }
     }
 
     /// End-to-end: a single register delays its input by exactly one
@@ -408,7 +574,14 @@ mod tests {
             metrics: Some(&sink),
             ..RunConfig::default()
         };
-        let run = run_cycles(&sys, &[("x", &samples)], 5, &config).unwrap();
+        let run = drive_cycles(
+            &sys,
+            &[("x", &samples)],
+            5,
+            &config,
+            CycleResources::default(),
+        )
+        .unwrap();
         let metrics = sink.get();
         assert!(
             metrics.ode_steps_accepted > 0 && metrics.final_time > 0.0,

@@ -458,19 +458,19 @@ impl DsdSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec};
+    use molseq_kinetics::{CompiledCrn, OdeOptions, SimSpec, Simulation};
 
     fn simulate(system: &DsdSystem, init: &State, t_end: f64) -> molseq_kinetics::Trace {
-        simulate_ode(
-            system.crn(),
-            init,
-            &Schedule::new(),
-            &OdeOptions::default()
-                .with_t_end(t_end)
-                .with_record_interval(t_end / 100.0),
-            &SimSpec::default(),
-        )
-        .unwrap()
+        let compiled = CompiledCrn::new(system.crn(), &SimSpec::default());
+        Simulation::new(system.crn(), &compiled)
+            .init(init)
+            .options(
+                OdeOptions::default()
+                    .with_t_end(t_end)
+                    .with_record_interval(t_end / 100.0),
+            )
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -620,7 +620,7 @@ mod tests {
 
     #[test]
     fn mapping_feeds_trajectory_comparison() {
-        use molseq_kinetics::{compare_trajectories, OdeOptions, Schedule, SimSpec, State};
+        use molseq_kinetics::{compare_trajectories, OdeOptions, SimSpec, State};
         let formal: Crn = "A -> B @slow\nA + B -> 0 @fast".parse().unwrap();
         let a = formal.find_species("A").unwrap();
         let mut init = State::new(&formal);
@@ -628,25 +628,21 @@ mod tests {
         let opts = OdeOptions::default()
             .with_t_end(20.0)
             .with_record_interval(0.2);
-        let formal_trace = molseq_kinetics::simulate_ode(
-            &formal,
-            &init,
-            &Schedule::new(),
-            &opts,
-            &SimSpec::default(),
-        )
-        .unwrap();
+        let formal_compiled = CompiledCrn::new(&formal, &SimSpec::default());
+        let formal_trace = Simulation::new(&formal, &formal_compiled)
+            .init(&init)
+            .options(opts)
+            .run()
+            .unwrap();
 
         let dsd =
             DsdSystem::compile(&formal, RateAssignment::default(), &DsdParams::default()).unwrap();
-        let dsd_trace = molseq_kinetics::simulate_ode(
-            dsd.crn(),
-            &dsd.initial_state(init.as_slice()),
-            &Schedule::new(),
-            &opts,
-            &SimSpec::default(),
-        )
-        .unwrap();
+        let dsd_compiled = CompiledCrn::new(dsd.crn(), &SimSpec::default());
+        let dsd_trace = Simulation::new(dsd.crn(), &dsd_compiled)
+            .init(&dsd.initial_state(init.as_slice()))
+            .options(opts)
+            .run()
+            .unwrap();
 
         let report = compare_trajectories(&formal_trace, &dsd_trace, &dsd.mapping());
         // the DSD image tracks the formal trajectory within a few percent

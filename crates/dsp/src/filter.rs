@@ -2,9 +2,7 @@
 
 use crate::{Ratio, SfgBuilder};
 use molseq_kinetics::CompiledCrn;
-use molseq_sync::{
-    run_cycles, run_cycles_compiled, ClockSpec, CompiledSystem, RunConfig, SyncError,
-};
+use molseq_sync::{drive_cycles, ClockSpec, CompiledSystem, CycleResources, RunConfig, SyncError};
 
 /// A compiled molecular filter plus its ideal floating-point reference.
 ///
@@ -69,7 +67,11 @@ impl Filter {
 
     /// Runs the molecular filter on an input sequence and returns one
     /// output value per input sample, aligned with
-    /// [`ideal_response`](Self::ideal_response).
+    /// [`ideal_response`](Self::ideal_response). When `compiled` is
+    /// supplied, it drives that pre-built network instead of compiling the
+    /// filter's network per call (the sweep path: compile the filter once
+    /// and [`CompiledCrn::rebind`] per cell; `config.spec` is then ignored
+    /// in favour of the rates baked into `compiled`).
     ///
     /// Output `y(n)` is computed during cycle `n` and committed into the
     /// output register at its end, so the cycle-`n` plateau reading *is*
@@ -77,37 +79,55 @@ impl Filter {
     ///
     /// # Errors
     ///
-    /// Propagates harness errors from [`run_cycles`].
-    pub fn respond(&self, samples: &[f64], config: &RunConfig) -> Result<Vec<f64>, SyncError> {
-        let run = run_cycles(&self.system, &[("x", samples)], samples.len(), config)?;
+    /// Propagates harness errors from [`drive_cycles`].
+    pub fn respond_with(
+        &self,
+        samples: &[f64],
+        config: &RunConfig,
+        compiled: Option<&CompiledCrn>,
+    ) -> Result<Vec<f64>, SyncError> {
+        let run = drive_cycles(
+            &self.system,
+            &[("x", samples)],
+            samples.len(),
+            config,
+            CycleResources {
+                compiled,
+                workspace: None,
+            },
+        )?;
         let series = run.register_series("y")?;
         Ok(series[..samples.len()].to_vec())
     }
 
-    /// Like [`respond`](Self::respond), but drives a pre-built
-    /// [`CompiledCrn`] of this filter's network. Sweeps compile the filter
-    /// once and [`CompiledCrn::rebind`] per cell; `config.spec` is ignored
-    /// in favour of the rates baked into `compiled`.
+    /// Runs the filter on an input sequence, compiling its network per
+    /// call.
     ///
     /// # Errors
     ///
-    /// Propagates harness errors from
-    /// [`run_cycles_compiled`](molseq_sync::run_cycles_compiled).
+    /// Same conditions as [`respond_with`](Self::respond_with).
+    #[deprecated(since = "0.5.0", note = "use respond_with(samples, config, None)")]
+    pub fn respond(&self, samples: &[f64], config: &RunConfig) -> Result<Vec<f64>, SyncError> {
+        self.respond_with(samples, config, None)
+    }
+
+    /// Like [`respond`](Self::respond), but drives a pre-built
+    /// [`CompiledCrn`] of this filter's network.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`respond_with`](Self::respond_with).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use respond_with(samples, config, Some(compiled))"
+    )]
     pub fn respond_compiled(
         &self,
         compiled: &CompiledCrn,
         samples: &[f64],
         config: &RunConfig,
     ) -> Result<Vec<f64>, SyncError> {
-        let run = run_cycles_compiled(
-            &self.system,
-            compiled,
-            &[("x", samples)],
-            samples.len(),
-            config,
-        )?;
-        let series = run.register_series("y")?;
-        Ok(series[..samples.len()].to_vec())
+        self.respond_with(samples, config, Some(compiled))
     }
 }
 

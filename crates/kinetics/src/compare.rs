@@ -51,7 +51,7 @@ pub struct Divergence {
 /// ```
 /// use molseq_crn::Crn;
 /// use molseq_kinetics::{
-///     compare_trajectories, simulate_ode, MappedSpecies, OdeOptions, Schedule, SimSpec, State,
+///     compare_trajectories, CompiledCrn, MappedSpecies, OdeOptions, SimSpec, Simulation, State,
 /// };
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -60,9 +60,10 @@ pub struct Divergence {
 /// let x = crn.find_species("X").expect("parsed");
 /// let mut init = State::new(&crn);
 /// init.set(x, 10.0);
+/// let compiled = CompiledCrn::new(&crn, &SimSpec::default());
 /// let opts = OdeOptions::default().with_t_end(3.0);
-/// let a = simulate_ode(&crn, &init, &Schedule::new(), &opts, &SimSpec::default())?;
-/// let b = simulate_ode(&crn, &init, &Schedule::new(), &opts, &SimSpec::default())?;
+/// let a = Simulation::new(&crn, &compiled).init(&init).options(opts).run()?;
+/// let b = Simulation::new(&crn, &compiled).init(&init).options(opts).run()?;
 /// let report = compare_trajectories(
 ///     &a,
 ///     &b,
@@ -128,7 +129,7 @@ pub fn compare_trajectories(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{simulate_ode, OdeOptions, Schedule, SimSpec, State};
+    use crate::{CompiledCrn, OdeOptions, SimSpec, Simulation, State};
     use molseq_crn::{Crn, RateAssignment};
 
     fn decay_trace(k_slow: f64, t_end: f64) -> (Crn, Trace) {
@@ -137,14 +138,12 @@ mod tests {
         let mut init = State::new(&crn);
         init.set(x, 10.0);
         let spec = SimSpec::new(RateAssignment::new(1000.0, k_slow).unwrap());
-        let trace = simulate_ode(
-            &crn,
-            &init,
-            &Schedule::new(),
-            &OdeOptions::default().with_t_end(t_end),
-            &spec,
-        )
-        .unwrap();
+        let compiled = CompiledCrn::new(&crn, &spec);
+        let trace = Simulation::new(&crn, &compiled)
+            .init(&init)
+            .options(OdeOptions::default().with_t_end(t_end))
+            .run()
+            .unwrap();
         (crn, trace)
     }
 

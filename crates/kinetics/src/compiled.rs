@@ -343,6 +343,64 @@ impl CompiledCrn {
         a
     }
 
+    /// Continuous extension of [`propensity`](Self::propensity) to real
+    /// states: `k · Π_i Π_{s<stoich_i} max(x_i − s, 0) / stoich_i!`.
+    ///
+    /// At integer states it equals the discrete propensity; between
+    /// integers it interpolates the falling factorial with every factor
+    /// clamped at zero, which is what the implicit tau-leap Newton solve
+    /// iterates on.
+    #[must_use]
+    pub fn propensity_f(&self, j: usize, x: &[f64]) -> f64 {
+        let r = &self.reactions[j];
+        let mut a = r.k;
+        for &(i, stoich) in &r.reactants {
+            a *= falling_factorial(x[i], stoich);
+        }
+        a
+    }
+
+    /// Writes the nonzero values of the propensity Jacobian
+    /// `∂(ν·a)_i/∂x_j` (the derivative of the net stochastic drift
+    /// `Σ_j ν_j · a_j(x)` in its continuous extension) into `vals`,
+    /// aligned with the same CSR pattern as
+    /// [`jacobian_sparse`](Self::jacobian_sparse): the pattern is the union
+    /// of `(delta species, reactant species)` pairs, which the mass-action
+    /// and combinatorial forms share.
+    ///
+    /// Clamped falling-factorial factors contribute a zero derivative, so
+    /// the values are consistent with [`propensity_f`](Self::propensity_f)
+    /// everywhere the latter is differentiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `species_count()` long or `vals` is not
+    /// `jacobian_nnz()` long.
+    pub fn propensity_jacobian_sparse(&self, x: &[f64], vals: &mut [f64]) {
+        assert_eq!(x.len(), self.species_count);
+        assert_eq!(vals.len(), self.jac_col_idx.len());
+        vals.fill(0.0);
+        let mut cursor = 0usize;
+        for r in &self.reactions {
+            for (jj, &(j, s_j)) in r.reactants.iter().enumerate() {
+                let mut partial = r.k * falling_factorial_derivative(x[j], s_j);
+                for (ii, &(i, s_i)) in r.reactants.iter().enumerate() {
+                    if ii != jj {
+                        partial *= falling_factorial(x[i], s_i);
+                    }
+                }
+                if partial == 0.0 {
+                    cursor += r.delta.len();
+                    continue;
+                }
+                for &(_, d) in &r.delta {
+                    vals[self.jac_slots[cursor]] += d * partial;
+                    cursor += 1;
+                }
+            }
+        }
+    }
+
     /// The `(species index, stoichiometric exponent)` pairs of reaction
     /// `j`'s reactants — what its propensity depends on.
     ///
@@ -371,6 +429,40 @@ impl CompiledCrn {
             n[i] = (n[i] + d).max(0);
         }
     }
+}
+
+/// `Π_{s<stoich} max(x − s, 0) / stoich!` — the clamped continuous
+/// falling factorial of the combinatorial propensity.
+#[inline]
+fn falling_factorial(x: f64, stoich: u32) -> f64 {
+    let mut comb = 1.0;
+    for s in 0..i64::from(stoich) {
+        comb *= (x - s as f64).max(0.0);
+    }
+    let fact: f64 = (1..=i64::from(stoich)).map(|v| v as f64).product();
+    comb / fact
+}
+
+/// `d/dx` of [`falling_factorial`]: the product rule over the unclamped
+/// factors (a factor clamped at zero has derivative zero and kills every
+/// other term it appears in).
+#[inline]
+fn falling_factorial_derivative(x: f64, stoich: u32) -> f64 {
+    let mut sum = 0.0;
+    for q in 0..i64::from(stoich) {
+        if x <= q as f64 {
+            continue; // the max(x − q, 0) factor is flat here
+        }
+        let mut term = 1.0;
+        for s in 0..i64::from(stoich) {
+            if s != q {
+                term *= (x - s as f64).max(0.0);
+            }
+        }
+        sum += term;
+    }
+    let fact: f64 = (1..=i64::from(stoich)).map(|v| v as f64).product();
+    sum / fact
 }
 
 /// Builds the CSR Jacobian pattern and the flat scatter-slot table.
@@ -552,6 +644,61 @@ mod tests {
         }
         // sparsity actually pays off on this network
         assert!(c.jacobian_nnz() < n * n);
+    }
+
+    #[test]
+    fn continuous_propensity_matches_discrete_at_integers() {
+        let crn = network();
+        let c = CompiledCrn::new(&crn, &SimSpec::new(RateAssignment::new(10.0, 2.0).unwrap()));
+        for n in [
+            vec![0i64, 3, 0, 0, 5],
+            vec![1, 1, 7, 2, 0],
+            vec![4, 0, 0, 1, 9],
+        ] {
+            let x: Vec<f64> = n.iter().map(|&v| v as f64).collect();
+            for j in 0..c.reaction_count() {
+                assert_eq!(c.propensity_f(j, &x), c.propensity(j, &n), "reaction {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn propensity_jacobian_matches_finite_differences() {
+        let crn = network();
+        let c = CompiledCrn::new(&crn, &SimSpec::new(RateAssignment::new(10.0, 2.0).unwrap()));
+        let n = c.species_count();
+        let x = vec![1.3, 2.7, 0.4, 1.9, 3.6];
+        let mut vals = vec![0.0; c.jacobian_nnz()];
+        c.propensity_jacobian_sparse(&x, &mut vals);
+        let mut dense = vec![0.0; n * n];
+        c.jacobian_sparse_to_dense(&vals, &mut dense);
+        // J[i][j] = ∂ drift_i / ∂ x_j, with drift_i = Σ_r ν_ri · a_r(x)
+        let drift = |x: &[f64]| {
+            let mut d = vec![0.0; n];
+            for j in 0..c.reaction_count() {
+                let a = c.propensity_f(j, x);
+                for &(i, v) in c.changed_species(j) {
+                    d[i] += v as f64 * a;
+                }
+            }
+            d
+        };
+        let h = 1e-6;
+        for col in 0..n {
+            let mut xp = x.clone();
+            xp[col] += h;
+            let mut xm = x.clone();
+            xm[col] -= h;
+            let (dp, dm) = (drift(&xp), drift(&xm));
+            for row in 0..n {
+                let fd = (dp[row] - dm[row]) / (2.0 * h);
+                assert!(
+                    (dense[row * n + col] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                    "({row},{col}): analytic {} vs fd {fd}",
+                    dense[row * n + col]
+                );
+            }
+        }
     }
 
     #[test]

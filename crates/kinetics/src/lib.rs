@@ -1,25 +1,29 @@
 //! # molseq-kinetics — simulators for chemical reaction networks
 //!
-//! Two simulators over the [`molseq_crn::Crn`] model:
+//! Five integrators over the [`molseq_crn::Crn`] model, all driven through
+//! the [`Simulation`] builder and selected by [`SimMethod`]:
 //!
-//! * **Deterministic mass-action ODE** integration ([`simulate_ode`]) with a
-//!   fixed-step RK4 and an adaptive Cash–Karp RKF45 method, non-negativity
+//! * **Deterministic mass-action ODE** integration ([`SimMethod::Ode`])
+//!   with an adaptive Rosenbrock default plus RK4/Cash–Karp, non-negativity
 //!   projection, timed injections and condition triggers. This is the
 //!   workhorse behind every figure of the paper reproduction: the paper
 //!   validates its designs "through ODE simulations of the mass-action
 //!   chemical kinetics".
-//! * **Stochastic simulation** ([`simulate_ssa`]) with Gillespie's direct
-//!   method over integer copy numbers, used to check that the constructs
-//!   survive molecular noise at finite counts (experiment E10).
+//! * **Exact stochastic simulation** ([`SimMethod::Ssa`],
+//!   [`SimMethod::Nrm`]) over integer copy numbers, used to check that the
+//!   constructs survive molecular noise at finite counts (experiment E10).
+//! * **Tau-leaping**, explicit ([`SimMethod::TauLeap`]) and
+//!   stiffness-aware implicit ([`SimMethod::TauLeapImplicit`]), for the
+//!   large-count and stiff regimes where exact methods crawl.
 //!
-//! Both share the [`Trace`] recording type and the [`Schedule`] event model,
-//! so an experiment can be run under either interpretation without changes.
+//! All share the [`Trace`] recording type and the [`Schedule`] event model,
+//! so an experiment can be run under any interpretation without changes.
 //!
 //! ## Example
 //!
 //! ```
-//! use molseq_crn::{Crn, RateAssignment};
-//! use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, State};
+//! use molseq_crn::Crn;
+//! use molseq_kinetics::{CompiledCrn, OdeOptions, Schedule, SimSpec, Simulation, State};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Exponential decay: X -> 0 at the slow rate (k = 1).
@@ -29,13 +33,11 @@
 //! let mut init = State::new(&crn);
 //! init.set(x, 1.0);
 //!
-//! let trace = simulate_ode(
-//!     &crn,
-//!     &init,
-//!     &Schedule::new(),
-//!     &OdeOptions::default().with_t_end(1.0),
-//!     &SimSpec::new(RateAssignment::default()),
-//! )?;
+//! let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+//! let trace = Simulation::new(&crn, &compiled)
+//!     .init(&init)
+//!     .options(OdeOptions::default().with_t_end(1.0))
+//!     .run()?;
 //! let final_x = trace.final_state()[x.index()];
 //! assert!((final_x - (-1.0f64).exp()).abs() < 1e-4);
 //! # Ok(())
@@ -54,10 +56,12 @@ mod nrm;
 mod ode;
 mod plot;
 mod replicate;
+mod sim;
 mod ssa;
 mod state;
 mod stiff;
 mod tau;
+mod tau_implicit;
 mod trace;
 
 pub use compare::{compare_trajectories, Divergence, MappedSpecies};
@@ -65,16 +69,24 @@ pub use compiled::CompiledCrn;
 pub use error::SimError;
 pub use events::{Condition, Injection, Schedule, Trigger, TriggerAction};
 pub use metrics::{MetricsSink, SimMetrics};
+#[allow(deprecated)]
 pub use nrm::simulate_nrm;
+#[allow(deprecated)]
+pub use ode::{simulate_ode, simulate_ode_compiled, simulate_ode_with_workspace};
 pub use ode::{
-    simulate_ode, simulate_ode_compiled, simulate_ode_with_workspace, simulate_until_quiescent,
-    OdeMethod, OdeOptions, OdeWorkspace, StepHook, DEFAULT_JACOBIAN_REUSE,
+    simulate_until_quiescent, OdeMethod, OdeOptions, OdeWorkspace, StepHook, DEFAULT_JACOBIAN_REUSE,
 };
 pub use plot::{downsample, render_species, sparkline};
 pub use replicate::Replicator;
-pub use ssa::{simulate_ssa, simulate_ssa_compiled, SsaOptions};
+pub use sim::{SimMethod, SimOptions, Simulation};
+pub use ssa::SsaOptions;
+#[allow(deprecated)]
+pub use ssa::{simulate_ssa, simulate_ssa_compiled};
 pub use state::State;
-pub use tau::{simulate_tau_leap, TauLeapOptions};
+#[allow(deprecated)]
+pub use tau::simulate_tau_leap;
+pub use tau::TauLeapOptions;
+pub use tau_implicit::TauLeapImplicitOptions;
 pub use trace::{crossings, estimate_period, Crossing, Direction, Trace};
 
 use molseq_crn::{RateAssignment, RateJitter};

@@ -32,7 +32,7 @@ pub type MetricsSink<'h> = &'h Cell<SimMetrics>;
 /// ```
 /// use std::cell::Cell;
 /// use molseq_crn::Crn;
-/// use molseq_kinetics::{simulate_ode, OdeOptions, Schedule, SimMetrics, SimSpec, State};
+/// use molseq_kinetics::{CompiledCrn, OdeOptions, SimMetrics, SimSpec, Simulation, State};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let crn: Crn = "X -> 0 @slow".parse()?;
@@ -40,8 +40,9 @@ pub type MetricsSink<'h> = &'h Cell<SimMetrics>;
 /// let mut init = State::new(&crn);
 /// init.set(x, 1.0);
 /// let sink = Cell::new(SimMetrics::default());
+/// let compiled = CompiledCrn::new(&crn, &SimSpec::default());
 /// let opts = OdeOptions::default().with_t_end(1.0).with_metrics(&sink);
-/// simulate_ode(&crn, &init, &Schedule::new(), &opts, &SimSpec::default())?;
+/// Simulation::new(&crn, &compiled).init(&init).options(opts).run()?;
 /// let m = sink.get();
 /// assert!(m.ode_steps_accepted > 0);
 /// assert_eq!(m.final_time, 1.0);
@@ -62,7 +63,17 @@ pub struct SimMetrics {
     /// exact-step fallback of tau-leaping).
     pub ssa_events: u64,
     /// Tau-leap steps taken (each fires a Poisson batch of reactions).
+    /// Counts explicit leaps only; implicit leaps have their own counter.
     pub tau_leaps: u64,
+    /// Implicit tau-leap steps taken (each solves a damped-Newton system
+    /// and fires a rounded batch of reaction extents).
+    pub tau_leaps_implicit: u64,
+    /// Newton iterations spent inside implicit leaps (each assembles and
+    /// solves one `I − τ·ν·(∂a/∂x)` system).
+    pub newton_iterations: u64,
+    /// Explicit↔implicit regime changes between consecutive leaps of the
+    /// stiffness-aware leaper.
+    pub leap_switchovers: u64,
     /// Simulated time reached by the most recent run that reported into
     /// this record.
     pub final_time: f64,
@@ -80,6 +91,9 @@ impl SimMetrics {
         self.lu_factorizations += other.lu_factorizations;
         self.ssa_events += other.ssa_events;
         self.tau_leaps += other.tau_leaps;
+        self.tau_leaps_implicit += other.tau_leaps_implicit;
+        self.newton_iterations += other.newton_iterations;
+        self.leap_switchovers += other.leap_switchovers;
         self.final_time = other.final_time;
         if other.seed != 0 {
             self.seed = other.seed;
@@ -120,18 +134,27 @@ mod tests {
             lu_factorizations: 5,
             ssa_events: 0,
             tau_leaps: 0,
+            tau_leaps_implicit: 2,
+            newton_iterations: 6,
+            leap_switchovers: 1,
             final_time: 4.0,
             seed: 7,
         };
         total.absorb(&SimMetrics {
             ode_steps_accepted: 2,
             ssa_events: 30,
+            tau_leaps_implicit: 3,
+            newton_iterations: 9,
+            leap_switchovers: 2,
             final_time: 9.0,
             ..SimMetrics::default()
         });
         assert_eq!(total.ode_steps_accepted, 12);
         assert_eq!(total.ode_steps_rejected, 1);
         assert_eq!(total.ssa_events, 30);
+        assert_eq!(total.tau_leaps_implicit, 5);
+        assert_eq!(total.newton_iterations, 15);
+        assert_eq!(total.leap_switchovers, 3);
         assert_eq!(total.final_time, 9.0);
         // a deterministic follow-up run (seed 0) keeps the stochastic seed
         assert_eq!(total.seed, 7);

@@ -137,6 +137,10 @@ fn dependency_graph(compiled: &CompiledCrn) -> Vec<Vec<usize>> {
 /// # Errors
 ///
 /// Same conditions as [`simulate_ssa`](crate::simulate_ssa).
+#[deprecated(
+    since = "0.5.0",
+    note = "use Simulation::new(&crn, &compiled).method(SimMethod::Nrm).options(opts).run()"
+)]
 pub fn simulate_nrm(
     crn: &Crn,
     init: &State,
@@ -144,6 +148,31 @@ pub fn simulate_nrm(
     opts: &SsaOptions,
     spec: &SimSpec,
 ) -> Result<Trace, SimError> {
+    let compiled = CompiledCrn::new(crn, spec);
+    crate::sim::Simulation::new(crn, &compiled)
+        .init(init)
+        .schedule(schedule)
+        .method(crate::sim::SimMethod::Nrm)
+        .options(*opts)
+        .run()
+}
+
+/// Validated entry point over a precompiled network: what the
+/// [`Simulation`](crate::Simulation) builder dispatches to for
+/// [`SimMethod::Nrm`](crate::SimMethod::Nrm).
+pub(crate) fn run_nrm(
+    crn: &Crn,
+    compiled: &CompiledCrn,
+    init: &State,
+    schedule: &Schedule,
+    opts: &SsaOptions,
+) -> Result<Trace, SimError> {
+    if compiled.species_count() != crn.species_count() {
+        return Err(SimError::DimensionMismatch {
+            supplied: compiled.species_count(),
+            expected: crn.species_count(),
+        });
+    }
     if init.len() != crn.species_count() {
         return Err(SimError::DimensionMismatch {
             supplied: init.len(),
@@ -162,7 +191,7 @@ pub fn simulate_nrm(
         final_time: opts.t_start(),
         ..SimMetrics::default()
     };
-    let result = nrm_core(crn, init, schedule, opts, spec, &mut stats);
+    let result = nrm_core(crn, compiled, init, schedule, opts, &mut stats);
     // flush even on failure: an interrupted or step-limited run still
     // reports the work it did
     SimMetrics::flush(opts.metrics(), stats);
@@ -176,19 +205,18 @@ pub fn simulate_nrm(
 // minimum is compared against the finite stop time before firing.
 fn nrm_core(
     crn: &Crn,
+    compiled: &CompiledCrn,
     init: &State,
     schedule: &Schedule,
     opts: &SsaOptions,
-    spec: &SimSpec,
     stats: &mut SimMetrics,
 ) -> Result<Trace, SimError> {
     let mut n: Vec<i64> = Vec::with_capacity(init.len());
     for &v in init.as_slice() {
         n.push(crate::ssa::to_count(v)?);
     }
-    let compiled = CompiledCrn::new(crn, spec);
     let m = compiled.reaction_count();
-    let deps = dependency_graph(&compiled);
+    let deps = dependency_graph(compiled);
     let mut rng = StdRng::seed_from_u64(opts.seed());
     let mut t = opts.t_start();
     let mut trace = Trace::new(crn);
@@ -297,8 +325,42 @@ fn nrm_core(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulate_ssa;
     use molseq_crn::RateAssignment;
+
+    /// Builder-backed stand-in for the deprecated free function (shadows
+    /// any glob import), keeping every test on the new entry point.
+    fn simulate_nrm(
+        crn: &Crn,
+        init: &State,
+        schedule: &Schedule,
+        opts: &SsaOptions,
+        spec: &SimSpec,
+    ) -> Result<Trace, SimError> {
+        let compiled = CompiledCrn::new(crn, spec);
+        crate::sim::Simulation::new(crn, &compiled)
+            .init(init)
+            .schedule(schedule)
+            .method(crate::sim::SimMethod::Nrm)
+            .options(*opts)
+            .run()
+    }
+
+    /// Builder-backed direct-method run, for the cross-method statistics
+    /// comparison below.
+    fn simulate_ssa(
+        crn: &Crn,
+        init: &State,
+        schedule: &Schedule,
+        opts: &SsaOptions,
+        spec: &SimSpec,
+    ) -> Result<Trace, SimError> {
+        let compiled = CompiledCrn::new(crn, spec);
+        crate::sim::Simulation::new(crn, &compiled)
+            .init(init)
+            .schedule(schedule)
+            .options(*opts)
+            .run()
+    }
 
     #[test]
     fn heap_orders_and_updates() {

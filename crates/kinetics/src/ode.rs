@@ -278,10 +278,11 @@ impl<'h> OdeOptions<'h> {
 /// `RosenbrockWork`, including the cached Jacobian + LU), the previous
 /// state, and the interpolation buffer for recorded samples.
 ///
-/// One workspace serves any number of [`simulate_ode_with_workspace`]
-/// calls; buffers are lazily (re)sized to the network and method of each
-/// call, and all cached numerical state is invalidated on entry, so a
-/// reused workspace produces bit-identical results to a fresh one. This
+/// One workspace serves any number of [`crate::Simulation`] runs (attach
+/// it with `Simulation::workspace`); buffers are lazily (re)sized to the
+/// network and method of each call, and all cached numerical state is
+/// invalidated on entry, so a reused workspace produces bit-identical
+/// results to a fresh one. This
 /// removes every per-segment and per-record allocation from the hot path:
 /// multi-cycle harness runs and sweep cells allocate integrator storage
 /// once instead of once per injection segment.
@@ -292,6 +293,9 @@ pub struct OdeWorkspace {
     x: Vec<f64>,
     x_prev: Vec<f64>,
     sample: Vec<f64>,
+    /// Newton solver buffers for the implicit tau-leaper; sized lazily by
+    /// `run_tau_implicit` so purely deterministic callers pay nothing.
+    pub(crate) newton: Option<crate::tau_implicit::NewtonWork>,
 }
 
 impl OdeWorkspace {
@@ -344,6 +348,10 @@ impl OdeWorkspace {
 /// * [`SimError::BadTimeSpan`] if the span is empty or inverted.
 /// * [`SimError::StepLimitExceeded`] if `max_steps` is exhausted.
 /// * [`SimError::NonFiniteState`] if the state blows up.
+#[deprecated(
+    since = "0.5.0",
+    note = "use Simulation::new(&crn, &compiled).options(opts).run()"
+)]
 pub fn simulate_ode(
     crn: &Crn,
     init: &State,
@@ -352,7 +360,11 @@ pub fn simulate_ode(
     spec: &SimSpec,
 ) -> Result<Trace, SimError> {
     let compiled = CompiledCrn::new(crn, spec);
-    simulate_ode_compiled(crn, &compiled, init, schedule, opts)
+    crate::sim::Simulation::new(crn, &compiled)
+        .init(init)
+        .schedule(schedule)
+        .options(*opts)
+        .run()
 }
 
 /// Like [`simulate_ode`], but consumes a pre-built [`CompiledCrn`] instead
@@ -366,6 +378,10 @@ pub fn simulate_ode(
 /// Same conditions as [`simulate_ode`], plus
 /// [`SimError::DimensionMismatch`] if `compiled` was built from a network
 /// with a different species count than `crn`.
+#[deprecated(
+    since = "0.5.0",
+    note = "use Simulation::new(&crn, &compiled).options(opts).run()"
+)]
 pub fn simulate_ode_compiled(
     crn: &Crn,
     compiled: &CompiledCrn,
@@ -373,8 +389,11 @@ pub fn simulate_ode_compiled(
     schedule: &Schedule,
     opts: &OdeOptions,
 ) -> Result<Trace, SimError> {
-    let mut workspace = OdeWorkspace::new();
-    simulate_ode_with_workspace(crn, compiled, init, schedule, opts, &mut workspace)
+    crate::sim::Simulation::new(crn, compiled)
+        .init(init)
+        .schedule(schedule)
+        .options(*opts)
+        .run()
 }
 
 /// Like [`simulate_ode_compiled`], but reuses the caller's
@@ -389,7 +408,31 @@ pub fn simulate_ode_compiled(
 ///
 /// Same conditions as [`simulate_ode_compiled`], plus
 /// [`SimError::Interrupted`] if a step hook breaks.
+#[deprecated(
+    since = "0.5.0",
+    note = "use Simulation::new(&crn, &compiled).options(opts).workspace(ws).run()"
+)]
 pub fn simulate_ode_with_workspace(
+    crn: &Crn,
+    compiled: &CompiledCrn,
+    init: &State,
+    schedule: &Schedule,
+    opts: &OdeOptions,
+    workspace: &mut OdeWorkspace,
+) -> Result<Trace, SimError> {
+    crate::sim::Simulation::new(crn, compiled)
+        .init(init)
+        .schedule(schedule)
+        .options(*opts)
+        .workspace(workspace)
+        .run()
+}
+
+/// Shared deterministic core behind the [`crate::Simulation`] builder and
+/// the deprecated `simulate_ode*` shims: validates dimensions and span,
+/// integrates segment by segment between timed injections, and flushes
+/// work counters on every exit path.
+pub(crate) fn run_ode(
     crn: &Crn,
     compiled: &CompiledCrn,
     init: &State,
@@ -529,8 +572,8 @@ fn expected_records(opts: &OdeOptions, schedule: &Schedule) -> usize {
 /// # Panics
 ///
 /// Panics if the schedule contains triggers — trigger state cannot be
-/// carried across the internal integration chunks; use [`simulate_ode`]
-/// for event-driven runs.
+/// carried across the internal integration chunks; use the
+/// [`crate::Simulation`] builder for event-driven runs.
 ///
 /// # Errors
 ///
@@ -600,7 +643,7 @@ pub fn simulate_until_quiescent(
             }
         }
         let chunk_opts = (*opts).with_t_start(t).with_t_end(t_next);
-        let trace = simulate_ode_with_workspace(
+        let trace = run_ode(
             crn,
             &compiled,
             &state,
@@ -657,6 +700,7 @@ fn integrate_segment(
         x,
         x_prev,
         sample,
+        ..
     } = workspace;
     let x = x.as_mut_slice();
 
@@ -942,6 +986,54 @@ mod tests {
         let crn: Crn = "X -> 0 @slow".parse().unwrap();
         let x = crn.find_species("X").unwrap();
         (crn, x)
+    }
+
+    // Local builder-backed stand-ins shadow the deprecated free functions
+    // pulled in by `use super::*`, so the test bodies below exercise the
+    // `Simulation` API without churn.
+    fn simulate_ode(
+        crn: &Crn,
+        init: &State,
+        schedule: &Schedule,
+        opts: &OdeOptions,
+        spec: &SimSpec,
+    ) -> Result<Trace, SimError> {
+        let compiled = CompiledCrn::new(crn, spec);
+        crate::sim::Simulation::new(crn, &compiled)
+            .init(init)
+            .schedule(schedule)
+            .options(*opts)
+            .run()
+    }
+
+    fn simulate_ode_compiled(
+        crn: &Crn,
+        compiled: &CompiledCrn,
+        init: &State,
+        schedule: &Schedule,
+        opts: &OdeOptions,
+    ) -> Result<Trace, SimError> {
+        crate::sim::Simulation::new(crn, compiled)
+            .init(init)
+            .schedule(schedule)
+            .options(*opts)
+            .run()
+    }
+
+    fn simulate_ode_with_workspace(
+        crn: &Crn,
+        compiled: &CompiledCrn,
+        init: &State,
+        schedule: &Schedule,
+        opts: &OdeOptions,
+        workspace: &mut OdeWorkspace,
+    ) -> Result<Trace, SimError> {
+        crate::sim::Simulation::new(crn, compiled)
+            .init(init)
+            .schedule(schedule)
+            .options(*opts)
+            .workspace(workspace)
+            .run()
     }
 
     fn run(crn: &Crn, init: &State, opts: &OdeOptions) -> Trace {

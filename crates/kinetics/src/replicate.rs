@@ -25,7 +25,7 @@ use std::sync::Arc;
 /// ```
 /// use molseq_crn::Crn;
 /// use molseq_kinetics::{
-///     simulate_ssa_compiled, CompiledCrn, Replicator, Schedule, SimSpec, SsaOptions, State,
+///     CompiledCrn, Replicator, SimSpec, Simulation, SsaOptions, State,
 /// };
 /// use molseq_sweep::{run_sweep, SweepOptions};
 ///
@@ -39,7 +39,10 @@ use std::sync::Arc;
 /// let rep = Replicator::new(&compiled, 11);
 /// let jobs = rep.jobs("decay", 4, move |compiled, seed, _job| {
 ///     let opts = SsaOptions::default().with_t_end(0.5).with_seed(seed);
-///     let trace = simulate_ssa_compiled(&crn, compiled, &init, &Schedule::new(), &opts)
+///     let trace = Simulation::new(&crn, compiled)
+///         .init(&init)
+///         .options(opts)
+///         .run()
 ///         .map_err(molseq_sweep::JobError::failed)?;
 ///     Ok(trace.final_state()[x.index()])
 /// });
@@ -118,7 +121,7 @@ impl<'c> Replicator<'c> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{simulate_ssa_compiled, Schedule, SimSpec, SsaOptions, State};
+    use crate::{SimSpec, Simulation, SsaOptions, State};
     use molseq_crn::Crn;
     use molseq_sweep::{run_sweep, SweepOptions};
 
@@ -160,7 +163,10 @@ mod tests {
             let init = &init;
             move |compiled: &CompiledCrn, seed: u64| {
                 let opts = SsaOptions::default().with_t_end(0.4).with_seed(seed);
-                simulate_ssa_compiled(crn, compiled, init, &Schedule::new(), &opts)
+                Simulation::new(crn, compiled)
+                    .init(init)
+                    .options(opts)
+                    .run()
                     .map(|tr| tr.final_state()[x.index()])
                     .map_err(JobError::failed)
             }

@@ -185,6 +185,10 @@ impl<'h> SsaOptions<'h> {
 /// * [`SimError::BadTimeSpan`] if the span is empty or inverted.
 /// * [`SimError::NonIntegerAmount`] if an amount is not an integer.
 /// * [`SimError::StepLimitExceeded`] if `max_events` is exhausted.
+#[deprecated(
+    since = "0.5.0",
+    note = "use Simulation::new(&crn, &compiled).options(opts).run()"
+)]
 pub fn simulate_ssa(
     crn: &Crn,
     init: &State,
@@ -193,7 +197,11 @@ pub fn simulate_ssa(
     spec: &SimSpec,
 ) -> Result<Trace, SimError> {
     let compiled = CompiledCrn::new(crn, spec);
-    simulate_ssa_compiled(crn, &compiled, init, schedule, opts)
+    crate::sim::Simulation::new(crn, &compiled)
+        .init(init)
+        .schedule(schedule)
+        .options(*opts)
+        .run()
 }
 
 /// Like [`simulate_ssa`], but consumes a pre-built [`CompiledCrn`] instead
@@ -208,7 +216,28 @@ pub fn simulate_ssa(
 /// Same conditions as [`simulate_ssa`], plus
 /// [`SimError::DimensionMismatch`] if `compiled` was built from a network
 /// with a different species count than `crn`.
+#[deprecated(
+    since = "0.5.0",
+    note = "use Simulation::new(&crn, &compiled).options(opts).run()"
+)]
 pub fn simulate_ssa_compiled(
+    crn: &Crn,
+    compiled: &CompiledCrn,
+    init: &State,
+    schedule: &Schedule,
+    opts: &SsaOptions,
+) -> Result<Trace, SimError> {
+    crate::sim::Simulation::new(crn, compiled)
+        .init(init)
+        .schedule(schedule)
+        .options(*opts)
+        .run()
+}
+
+/// Validated entry point over a precompiled network: what the
+/// [`Simulation`](crate::Simulation) builder dispatches to for
+/// [`SimMethod::Ssa`](crate::SimMethod::Ssa).
+pub(crate) fn run_ssa(
     crn: &Crn,
     compiled: &CompiledCrn,
     init: &State,
@@ -415,6 +444,23 @@ fn record_until(
 mod tests {
     use super::*;
     use molseq_crn::{Crn, RateAssignment};
+
+    /// Builder-backed stand-in for the deprecated free function (shadows
+    /// the glob import), keeping every test on the new entry point.
+    fn simulate_ssa(
+        crn: &Crn,
+        init: &State,
+        schedule: &Schedule,
+        opts: &SsaOptions,
+        spec: &SimSpec,
+    ) -> Result<Trace, SimError> {
+        let compiled = CompiledCrn::new(crn, spec);
+        crate::sim::Simulation::new(crn, &compiled)
+            .init(init)
+            .schedule(schedule)
+            .options(*opts)
+            .run()
+    }
 
     #[test]
     fn decay_reaches_zero_and_conserves_integers() {

@@ -144,7 +144,7 @@ impl Lu {
     }
 
     /// Releases the factor and pivot storage for reuse as scratch.
-    fn into_buffers(self) -> (Vec<f64>, Vec<usize>) {
+    pub(crate) fn into_buffers(self) -> (Vec<f64>, Vec<usize>) {
         (self.lu, self.pivots)
     }
 }
@@ -402,8 +402,10 @@ impl Symbolic {
     }
 }
 
-/// A factored `W`, ready to back the three stage solves of a step.
-enum Factored {
+/// A factored `W`, ready to back the three stage solves of a step (also
+/// reused by the implicit tau-leaper's Newton solves, whose matrix
+/// `I − τ·ν·(∂a/∂x)` shares the Jacobian pattern).
+pub(crate) enum Factored {
     /// No-pivot LU over the symbolic pattern; values in dense storage.
     Sparse(Vec<f64>),
     /// Pivoted dense LU — the fallback when the stability guard trips.
@@ -411,7 +413,7 @@ enum Factored {
 }
 
 impl Factored {
-    fn solve(&self, sym: &Symbolic, b: &mut [f64], scratch: &mut [f64]) {
+    pub(crate) fn solve(&self, sym: &Symbolic, b: &mut [f64], scratch: &mut [f64]) {
         match self {
             Factored::Sparse(a) => sym.solve(a, b, scratch),
             Factored::Dense(lu) => lu.solve(b),
@@ -422,7 +424,7 @@ impl Factored {
 /// Scatters `W = I − h·d·J` over the Jacobian pattern into the dense
 /// scratch matrix `w` (`hd = h·D`), in original (unpermuted) species
 /// order — the layout the pivoted dense fallback factors.
-fn assemble_w(compiled: &CompiledCrn, jac_vals: &[f64], hd: f64, w: &mut [f64]) {
+pub(crate) fn assemble_w(compiled: &CompiledCrn, jac_vals: &[f64], hd: f64, w: &mut [f64]) {
     let n = compiled.species_count();
     w.fill(0.0);
     let (row_ptr, col_idx) = compiled.jacobian_pattern();

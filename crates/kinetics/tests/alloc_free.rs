@@ -1,7 +1,7 @@
 //! Regression test: the warm ODE hot path must not allocate per step.
 //!
 //! A counting [`GlobalAlloc`] wraps the system allocator; a warm
-//! [`simulate_ode_with_workspace`] run is allowed a small constant number
+//! workspace-backed [`Simulation`] run is allowed a small constant number
 //! of allocations (the returned `Trace`'s preallocated buffers, species
 //! name clones, trigger runtime) but the count must not grow with the
 //! number of integration steps — doubling the time span may not add
@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use molseq_crn::{Crn, Rate};
 use molseq_kinetics::{
-    simulate_ode_with_workspace, CompiledCrn, OdeOptions, OdeWorkspace, Schedule, SimSpec, State,
+    CompiledCrn, OdeOptions, OdeWorkspace, Schedule, SimSpec, Simulation, State,
 };
 
 struct CountingAlloc;
@@ -73,30 +73,26 @@ fn warm_ode_run_allocates_a_step_independent_constant() {
     let mut workspace = OdeWorkspace::new();
     // Warm-up: let the workspace and any lazy runtime structures size
     // themselves (also warms the allocator itself).
-    let warm = simulate_ode_with_workspace(
-        &crn,
-        &compiled,
-        &init,
-        &schedule,
-        &opts_for(40.0),
-        &mut workspace,
-    )
-    .expect("warm-up simulates");
+    let warm = Simulation::new(&crn, &compiled)
+        .init(&init)
+        .schedule(&schedule)
+        .options(opts_for(40.0))
+        .workspace(&mut workspace)
+        .run()
+        .expect("warm-up simulates");
     assert!(warm.len() > 1000, "workload too small to be meaningful");
 
     let mut run = |t_end: f64| {
         let mut trace = None;
         let n = count_allocs(|| {
             trace = Some(
-                simulate_ode_with_workspace(
-                    &crn,
-                    &compiled,
-                    &init,
-                    &schedule,
-                    &opts_for(t_end),
-                    &mut workspace,
-                )
-                .expect("simulates"),
+                Simulation::new(&crn, &compiled)
+                    .init(&init)
+                    .schedule(&schedule)
+                    .options(opts_for(t_end))
+                    .workspace(&mut workspace)
+                    .run()
+                    .expect("simulates"),
             );
         });
         (n, trace.unwrap())

@@ -54,7 +54,7 @@ pub use ops::{add, annihilate, double, fanout, halve, scale, subtract, transfer,
 
 use molseq_crn::{Crn, SpeciesId};
 use molseq_kinetics::{
-    simulate_ode, simulate_until_quiescent, OdeOptions, Schedule, SimSpec, State,
+    simulate_until_quiescent, CompiledCrn, OdeOptions, Schedule, SimSpec, Simulation, State,
 };
 
 /// Evaluates a combinational network to quiescence: runs the kinetics from
@@ -126,15 +126,15 @@ pub fn run_to_completion(
     for &(s, amount) in initial {
         init.set(s, amount);
     }
-    let trace = simulate_ode(
-        crn,
-        &init,
-        &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(t_end)
-            .with_record_interval(t_end / 50.0),
-        &SimSpec::default(),
-    )?;
+    let compiled = CompiledCrn::new(crn, &SimSpec::default());
+    let trace = Simulation::new(crn, &compiled)
+        .init(&init)
+        .options(
+            OdeOptions::default()
+                .with_t_end(t_end)
+                .with_record_interval(t_end / 50.0),
+        )
+        .run()?;
     Ok(trace.final_state().to_vec())
 }
 
@@ -160,16 +160,16 @@ mod tests {
         for ratio in [10.0, 1_000.0, 100_000.0] {
             let mut init = State::new(&crn);
             init.set(a, 9.0).set(b, 3.0);
-            let trace = simulate_ode(
-                &crn,
-                &init,
-                &Schedule::new(),
-                &OdeOptions::default()
-                    .with_t_end(400.0)
-                    .with_record_interval(10.0),
-                &SimSpec::new(RateAssignment::from_ratio(ratio)),
-            )
-            .unwrap();
+            let compiled = CompiledCrn::new(&crn, &SimSpec::new(RateAssignment::from_ratio(ratio)));
+            let trace = Simulation::new(&crn, &compiled)
+                .init(&init)
+                .options(
+                    OdeOptions::default()
+                        .with_t_end(400.0)
+                        .with_record_interval(10.0),
+                )
+                .run()
+                .unwrap();
             answers.push(trace.final_state()[y.index()]);
         }
         for &ans in &answers {

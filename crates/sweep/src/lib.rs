@@ -72,6 +72,6 @@ pub use read::{read_summary_csv, read_summary_json, JsonValue, ReadError};
 pub use summary::{JobRecord, JobStatus, SweepSummary};
 pub use trend::{
     classify_metric, compare_dirs, compare_summaries, load_summaries, CellTrend, DirTrend,
-    ExperimentTrend, MetricClass, MetricDelta, SummaryTrend, TrendOptions, TrendVerdict,
-    MARKDOWN_MAX_ROWS,
+    ExperimentTrend, MetricClass, MetricDelta, MetricTolerance, SummaryTrend, TrendOptions,
+    TrendVerdict, MARKDOWN_MAX_ROWS,
 };

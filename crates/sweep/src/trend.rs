@@ -18,6 +18,11 @@
 //!   tolerance plus an absolute noise floor ([`TrendOptions`]); getting
 //!   *faster* beyond the same threshold is reported as an improvement,
 //!   never a failure.
+//! * **Per-metric overrides** — [`TrendOptions::tolerances`] (the CLI's
+//!   repeatable `--tolerance name=REL` flag) moves a named metric out of
+//!   its class into an explicit relative band, for counters that are
+//!   deterministic in principle but platform-noisy in practice (e.g.
+//!   Newton iteration totals under differing FMA contraction).
 //!
 //! Cells pair by label (duplicate labels pair positionally); cells present
 //! on only one side, like experiments present in only one directory, are
@@ -31,6 +36,24 @@ use crate::summary::{format_metric, JobRecord, JobStatus, SweepSummary};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+
+/// A per-metric relative tolerance override: the named metric is compared
+/// against `baseline.abs() * rel_tol` instead of its class default (no
+/// absolute noise floor — the caller chose the band deliberately).
+///
+/// This is how a gate keeps exact comparison for most counters while
+/// allowing a deliberately noisy one (e.g. `newton_iterations` across
+/// platform-dependent rounding) a bounded drift band.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricTolerance {
+    /// The exact metric name the override applies to (`"wall_secs"` is
+    /// allowed and overrides the per-cell wall-time column).
+    pub name: String,
+    /// Relative tolerance: the metric may move by `baseline.abs() *
+    /// rel_tol` in either direction before the movement counts; beyond
+    /// that, growth regresses and shrinkage improves.
+    pub rel_tol: f64,
+}
 
 /// Tolerances and gating policy for a trend comparison.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -47,16 +70,21 @@ pub struct TrendOptions {
     /// candidate is a deliberate subset run (e.g. `repro e10
     /// --trend-against` a full-run baseline).
     pub require_matching_experiments: bool,
+    /// Per-metric relative tolerance overrides (first match by name wins).
+    /// An overridden metric is compared as [`MetricClass::Tolerance`]
+    /// instead of its name-derived class.
+    pub tolerances: Vec<MetricTolerance>,
 }
 
 impl Default for TrendOptions {
     /// 50% relative wall tolerance, 50 ms noise floor, matching
-    /// experiment sets required.
+    /// experiment sets required, no per-metric overrides.
     fn default() -> Self {
         TrendOptions {
             wall_rel_tol: 0.5,
             wall_floor_secs: 0.05,
             require_matching_experiments: true,
+            tolerances: Vec::new(),
         }
     }
 }
@@ -82,6 +110,26 @@ impl TrendOptions {
         self.require_matching_experiments = require;
         self
     }
+
+    /// Adds a per-metric relative tolerance override (builder style).
+    #[must_use]
+    pub fn with_tolerance(mut self, name: impl Into<String>, rel_tol: f64) -> Self {
+        self.tolerances.push(MetricTolerance {
+            name: name.into(),
+            rel_tol,
+        });
+        self
+    }
+
+    /// The relative tolerance overriding `name`'s comparison, if any
+    /// (first match wins).
+    #[must_use]
+    pub fn tolerance_for(&self, name: &str) -> Option<f64> {
+        self.tolerances
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| t.rel_tol)
+    }
 }
 
 /// How a metric is compared.
@@ -91,6 +139,9 @@ pub enum MetricClass {
     Exact,
     /// Wall-clock reading: compared with tolerance plus noise floor.
     Timing,
+    /// Explicitly overridden: compared against a caller-supplied relative
+    /// band (see [`MetricTolerance`]).
+    Tolerance,
 }
 
 /// Classifies a metric by name: `wall_secs` itself, names ending in
@@ -213,6 +264,19 @@ fn timing_verdict(baseline: f64, candidate: f64, opts: &TrendOptions) -> TrendVe
     }
 }
 
+/// Compares a metric under a per-metric relative override (no absolute
+/// floor).
+fn tolerance_verdict(baseline: f64, candidate: f64, rel_tol: f64) -> TrendVerdict {
+    let threshold = baseline.abs() * rel_tol;
+    if candidate - baseline > threshold {
+        TrendVerdict::Regressed
+    } else if baseline - candidate > threshold {
+        TrendVerdict::Improved
+    } else {
+        TrendVerdict::Unchanged
+    }
+}
+
 fn compare_cell(base: &JobRecord, cand: &JobRecord, opts: &TrendOptions) -> CellTrend {
     let mut deltas = Vec::new();
     let base_metrics = last_values(base);
@@ -235,7 +299,12 @@ fn compare_cell(base: &JobRecord, cand: &JobRecord, opts: &TrendOptions) -> Cell
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, v)| *v);
-        let class = classify_metric(name);
+        let override_tol = opts.tolerance_for(name);
+        let class = if override_tol.is_some() {
+            MetricClass::Tolerance
+        } else {
+            classify_metric(name)
+        };
         let verdict = match (b, c) {
             // a metric appearing or disappearing is a shape change
             (None, Some(_)) | (Some(_), None) => TrendVerdict::Regressed,
@@ -243,6 +312,9 @@ fn compare_cell(base: &JobRecord, cand: &JobRecord, opts: &TrendOptions) -> Cell
                 MetricClass::Exact if exact_equal(b, c) => TrendVerdict::Unchanged,
                 MetricClass::Exact => TrendVerdict::Regressed,
                 MetricClass::Timing => timing_verdict(b, c, opts),
+                MetricClass::Tolerance => {
+                    tolerance_verdict(b, c, override_tol.expect("class implies an override"))
+                }
             },
             (None, None) => unreachable!("name came from one of the sides"),
         };
@@ -257,14 +329,23 @@ fn compare_cell(base: &JobRecord, cand: &JobRecord, opts: &TrendOptions) -> Cell
         }
     }
 
-    // the per-cell wall-time column, compared as a timing
-    let wall_verdict = timing_verdict(base.wall_secs, cand.wall_secs, opts);
+    // the per-cell wall-time column: a timing, unless overridden by name
+    let (wall_class, wall_verdict) = match opts.tolerance_for("wall_secs") {
+        Some(tol) => (
+            MetricClass::Tolerance,
+            tolerance_verdict(base.wall_secs, cand.wall_secs, tol),
+        ),
+        None => (
+            MetricClass::Timing,
+            timing_verdict(base.wall_secs, cand.wall_secs, opts),
+        ),
+    };
     if wall_verdict != TrendVerdict::Unchanged {
         deltas.push(MetricDelta {
             name: "wall_secs".to_owned(),
             baseline: Some(base.wall_secs),
             candidate: Some(cand.wall_secs),
-            class: MetricClass::Timing,
+            class: wall_class,
             verdict: wall_verdict,
         });
     }
@@ -737,6 +818,64 @@ mod tests {
             compare_summaries(&base, &beyond, &TrendOptions::default()).verdict,
             TrendVerdict::Regressed
         );
+    }
+
+    #[test]
+    fn tolerance_override_relaxes_an_exact_counter() {
+        let base = summary(vec![job(
+            "a",
+            JobStatus::Ok,
+            0.01,
+            &[("newton_iterations", 100.0)],
+        )]);
+        let within = summary(vec![job(
+            "a",
+            JobStatus::Ok,
+            0.01,
+            &[("newton_iterations", 115.0)],
+        )]);
+        let opts = TrendOptions::default().with_tolerance("newton_iterations", 0.2);
+        // 15% drift sits inside the 20% band that would gate exactly
+        assert_eq!(
+            compare_summaries(&base, &within, &TrendOptions::default()).verdict,
+            TrendVerdict::Regressed
+        );
+        assert_eq!(
+            compare_summaries(&base, &within, &opts).verdict,
+            TrendVerdict::Unchanged
+        );
+        // beyond the band: regresses upward, improves downward
+        let beyond = summary(vec![job(
+            "a",
+            JobStatus::Ok,
+            0.01,
+            &[("newton_iterations", 130.0)],
+        )]);
+        let t = compare_summaries(&base, &beyond, &opts);
+        assert_eq!(t.verdict, TrendVerdict::Regressed);
+        assert_eq!(t.cells[0].deltas[0].class, MetricClass::Tolerance);
+        let faster = summary(vec![job(
+            "a",
+            JobStatus::Ok,
+            0.01,
+            &[("newton_iterations", 70.0)],
+        )]);
+        assert_eq!(
+            compare_summaries(&base, &faster, &opts).verdict,
+            TrendVerdict::Improved
+        );
+    }
+
+    #[test]
+    fn tolerance_override_reaches_the_wall_column() {
+        // 1 ms → 10 ms sits under the default 50 ms floor, but a strict
+        // wall_secs override has no floor and gates it.
+        let base = summary(vec![job("a", JobStatus::Ok, 0.001, &[])]);
+        let cand = summary(vec![job("a", JobStatus::Ok, 0.010, &[])]);
+        let opts = TrendOptions::default().with_tolerance("wall_secs", 0.5);
+        let t = compare_summaries(&base, &cand, &opts);
+        assert_eq!(t.verdict, TrendVerdict::Regressed);
+        assert_eq!(t.cells[0].deltas[0].class, MetricClass::Tolerance);
     }
 
     #[test]

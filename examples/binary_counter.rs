@@ -6,7 +6,7 @@
 //! cargo run --release --example binary_counter
 //! ```
 
-use molseq::sync::{run_cycles, BinaryCounter, ClockSpec, RunConfig};
+use molseq::sync::{drive_cycles, BinaryCounter, ClockSpec, CycleResources, RunConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let counter = BinaryCounter::build(3, 60.0, ClockSpec::default())?;
@@ -20,11 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pulses = [true, true, true, true, true, false, false, false];
     let samples = counter.pulse_train(&pulses);
     let cycles = samples.len() + 1;
-    let run = run_cycles(
+    let run = drive_cycles(
         counter.system(),
         &[("pulse", &samples)],
         cycles,
         &RunConfig::default(),
+        CycleResources::default(),
     )?;
 
     println!("\ncycle | pulse |      b0 |      b1 |      b2 | decoded");

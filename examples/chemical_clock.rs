@@ -6,7 +6,7 @@
 //! ```
 
 use molseq::kinetics::{
-    estimate_period, render_species, simulate_ode, OdeOptions, Schedule, SimSpec,
+    estimate_period, render_species, CompiledCrn, OdeOptions, SimSpec, Simulation,
 };
 use molseq::sync::{Clock, SchemeConfig};
 
@@ -14,15 +14,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clock = Clock::build(SchemeConfig::default(), 100.0)?;
     println!("clock network:\n{}", clock.crn());
 
-    let trace = simulate_ode(
-        clock.crn(),
-        &clock.initial_state(),
-        &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(60.0)
-            .with_record_interval(0.05),
-        &SimSpec::default(),
-    )?;
+    let compiled = CompiledCrn::new(clock.crn(), &SimSpec::default());
+    let trace = Simulation::new(clock.crn(), &compiled)
+        .init(&clock.initial_state())
+        .options(
+            OdeOptions::default()
+                .with_t_end(60.0)
+                .with_record_interval(0.05),
+        )
+        .run()?;
 
     print!(
         "{}",

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples = [
         10.0, 50.0, 10.0, 50.0, 10.0, 80.0, 80.0, 80.0, 20.0, 20.0, 20.0, 60.0,
     ];
-    let measured = filter.respond(&samples, &RunConfig::default())?;
+    let measured = filter.respond_with(&samples, &RunConfig::default(), None)?;
     let ideal = filter.ideal_response(&samples);
 
     println!("\n    n |    x(n) | molecular y(n) | ideal y(n) |   error");

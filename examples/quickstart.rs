@@ -6,7 +6,7 @@
 //! ```
 
 use molseq::kinetics::render_species;
-use molseq::sync::{run_cycles, ClockSpec, RunConfig, SyncCircuit};
+use molseq::sync::{drive_cycles, ClockSpec, CycleResources, RunConfig, SyncCircuit};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // y(n) = x(n - 2): two registers in series.
@@ -25,7 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Feed the sample stream 60, 20, 80, 0, 0 — one value per clock cycle.
     let samples = [60.0, 20.0, 80.0, 0.0, 0.0];
-    let run = run_cycles(&system, &[("x", &samples)], 7, &RunConfig::default())?;
+    let run = drive_cycles(
+        &system,
+        &[("x", &samples)],
+        7,
+        &RunConfig::default(),
+        CycleResources::default(),
+    )?;
 
     println!(
         "\nmeasured clock period: {:.2} time units\n",

@@ -12,7 +12,7 @@
 
 use molseq::crn::{Crn, RateAssignment};
 use molseq::dsd::{DsdParams, DsdSystem};
-use molseq::kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, State};
+use molseq::kinetics::{CompiledCrn, OdeOptions, SimSpec, Simulation, State};
 use molseq::modules::{add, halve};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,13 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // abstract simulation
     let mut init = State::new(&formal);
     init.set(a, 30.0).set(b, 14.0);
-    let abstract_trace = simulate_ode(
-        &formal,
-        &init,
-        &Schedule::new(),
-        &OdeOptions::default().with_t_end(60.0),
-        &SimSpec::default(),
-    )?;
+    let formal_compiled = CompiledCrn::new(&formal, &SimSpec::default());
+    let abstract_trace = Simulation::new(&formal, &formal_compiled)
+        .init(&init)
+        .options(OdeOptions::default().with_t_end(60.0))
+        .run()?;
     let abstract_y = abstract_trace.final_state()[y.index()];
 
     // compiled to strand displacement
@@ -47,13 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let dsd_init = dsd.initial_state(&[30.0, 14.0, 0.0, 0.0]);
-    let dsd_trace = simulate_ode(
-        dsd.crn(),
-        &dsd_init,
-        &Schedule::new(),
-        &OdeOptions::default().with_t_end(60.0),
-        &SimSpec::default(),
-    )?;
+    let dsd_compiled = CompiledCrn::new(dsd.crn(), &SimSpec::default());
+    let dsd_trace = Simulation::new(dsd.crn(), &dsd_compiled)
+        .init(&dsd_init)
+        .options(OdeOptions::default().with_t_end(60.0))
+        .run()?;
     let dsd_y = dsd_trace.final_state()[dsd.signal(y).index()];
 
     println!("\n(30 + 14) / 2 = 22");

@@ -22,7 +22,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use molseq::sync::{run_cycles, ClockSpec, RunConfig, SyncCircuit};
+//! use molseq::sync::{drive_cycles, ClockSpec, CycleResources, RunConfig, SyncCircuit};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A one-register circuit: y(n) = x(n − 1), delayed by one clock cycle.
@@ -33,7 +33,13 @@
 //! let system = circuit.compile()?;
 //!
 //! let samples = [60.0, 20.0];
-//! let run = run_cycles(&system, &[("x", &samples)], 3, &RunConfig::default())?;
+//! let run = drive_cycles(
+//!     &system,
+//!     &[("x", &samples)],
+//!     3,
+//!     &RunConfig::default(),
+//!     CycleResources::default(),
+//! )?;
 //! let d_values = run.register_series("d")?;
 //! assert!((d_values[0] - 60.0).abs() < 1.5);
 //! assert!((d_values[1] - 20.0).abs() < 1.5);
@@ -54,13 +60,16 @@
 //!    species that exist only while an entire color category is empty —
 //!    and made crisp by autocatalytic feedback driven by the clock ring's
 //!    large token.
-//! 4. The result is a plain [`crn::Crn`]: simulate it deterministically
-//!    ([`kinetics::simulate_ode`], stiff Rosenbrock by default) or
-//!    stochastically ([`kinetics::simulate_ssa`] /
-//!    [`kinetics::simulate_nrm`]), drive inputs per clock cycle and read
-//!    registers per cycle with [`sync::run_cycles`], or compile the whole
-//!    thing to DNA strand displacement ([`dsd::DsdSystem`]) and simulate
-//!    *that*.
+//! 4. The result is a plain [`crn::Crn`]: simulate it with the unified
+//!    [`kinetics::Simulation`] builder — deterministically
+//!    ([`kinetics::SimMethod::Ode`], stiff Rosenbrock by default),
+//!    stochastically ([`kinetics::SimMethod::Ssa`] /
+//!    [`kinetics::SimMethod::Nrm`]), or with explicit/implicit tau-leaping
+//!    ([`kinetics::SimMethod::TauLeap`] /
+//!    [`kinetics::SimMethod::TauLeapImplicit`]) — drive inputs per clock
+//!    cycle and read registers per cycle with [`sync::drive_cycles`], or
+//!    compile the whole thing to DNA strand displacement
+//!    ([`dsd::DsdSystem`]) and simulate *that*.
 //!
 //! The defining property, inherited from the paper: only the **coarse rate
 //! categories** matter. Every generated reaction is `fast` or `slow`, and

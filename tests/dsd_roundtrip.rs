@@ -3,22 +3,22 @@
 
 use molseq::crn::{Crn, RateAssignment};
 use molseq::dsd::{DsdParams, DsdSystem};
-use molseq::kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, State};
+use molseq::kinetics::{CompiledCrn, OdeOptions, SimSpec, Simulation, State};
 use molseq::modules::{add, annihilate, halve, subtract};
 
 fn final_state(crn: &Crn, init: &State, t_end: f64) -> Vec<f64> {
-    simulate_ode(
-        crn,
-        init,
-        &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(t_end)
-            .with_record_interval(t_end / 20.0),
-        &SimSpec::default(),
-    )
-    .expect("simulates")
-    .final_state()
-    .to_vec()
+    let compiled = CompiledCrn::new(crn, &SimSpec::default());
+    Simulation::new(crn, &compiled)
+        .init(init)
+        .options(
+            OdeOptions::default()
+                .with_t_end(t_end)
+                .with_record_interval(t_end / 20.0),
+        )
+        .run()
+        .expect("simulates")
+        .final_state()
+        .to_vec()
 }
 
 /// Builds, simulates abstract + compiled, returns (abstract, dsd) values
@@ -33,16 +33,16 @@ fn roundtrip(crn: &Crn, initial: &[(usize, f64)], output: usize, t_end: f64) -> 
     let dsd = DsdSystem::compile(crn, RateAssignment::default(), &DsdParams::default())
         .expect("compiles");
     let dsd_init = dsd.initial_state(init.as_slice());
-    let trace = simulate_ode(
-        dsd.crn(),
-        &dsd_init,
-        &Schedule::new(),
-        &OdeOptions::default()
-            .with_t_end(t_end)
-            .with_record_interval(t_end / 20.0),
-        &SimSpec::default(),
-    )
-    .expect("dsd simulates");
+    let dsd_compiled = CompiledCrn::new(dsd.crn(), &SimSpec::default());
+    let trace = Simulation::new(dsd.crn(), &dsd_compiled)
+        .init(&dsd_init)
+        .options(
+            OdeOptions::default()
+                .with_t_end(t_end)
+                .with_record_interval(t_end / 20.0),
+        )
+        .run()
+        .expect("dsd simulates");
     let out_id = molseq::crn::SpeciesId::from_index(output);
     let dsd_value: f64 = dsd
         .apparent(out_id)

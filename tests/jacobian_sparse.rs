@@ -14,7 +14,7 @@
 //!    clock compared to refreshing every step.
 
 use molseq::crn::{Crn, Rate};
-use molseq::kinetics::{estimate_period, simulate_ode, CompiledCrn, OdeOptions, Schedule, SimSpec};
+use molseq::kinetics::{estimate_period, CompiledCrn, OdeOptions, SimSpec, Simulation};
 use molseq::sync::{Clock, SchemeConfig};
 use proptest::prelude::*;
 
@@ -145,14 +145,17 @@ proptest! {
 fn jacobian_reuse_preserves_clock_observables() {
     let token = 100.0;
     let clock = Clock::build(SchemeConfig::default(), token).expect("clock");
-    let schedule = Schedule::new();
     let spec = SimSpec::default();
+    let compiled = CompiledCrn::new(clock.crn(), &spec);
     let base = OdeOptions::default()
         .with_t_end(30.0)
         .with_record_interval(0.02);
 
     let run = |opts: &OdeOptions| {
-        simulate_ode(clock.crn(), &clock.initial_state(), &schedule, opts, &spec)
+        Simulation::new(clock.crn(), &compiled)
+            .init(&clock.initial_state())
+            .options(*opts)
+            .run()
             .expect("clock simulates")
     };
     let fresh = run(&base);

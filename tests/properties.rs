@@ -2,9 +2,9 @@
 //! each case integrates a stiff ODE system — but the inputs are random.
 
 use molseq::crn::{conservation_laws, law_value, Crn, Rate};
-use molseq::kinetics::{simulate_ode, OdeOptions, Schedule, SimSpec, State};
+use molseq::kinetics::{CompiledCrn, OdeOptions, SimSpec, Simulation, State};
 use molseq::modules::{add, fanout, halve};
-use molseq::sync::{run_cycles, ClockSpec, RunConfig, SyncCircuit};
+use molseq::sync::{drive_cycles, ClockSpec, CycleResources, RunConfig, SyncCircuit};
 use proptest::prelude::*;
 
 fn amount() -> impl Strategy<Value = f64> {
@@ -31,8 +31,14 @@ proptest! {
         let d = circuit.delay("d", x);
         circuit.output("y", d);
         let system = circuit.compile().expect("compiles");
-        let run = run_cycles(&system, &[("x", &samples)], samples.len() + 1, &RunConfig::default())
-            .expect("runs");
+        let run = drive_cycles(
+            &system,
+            &[("x", &samples)],
+            samples.len() + 1,
+            &RunConfig::default(),
+            CycleResources::default(),
+        )
+        .expect("runs");
         let d_series = run.register_series("d").expect("d");
         for (k, &expect) in samples.iter().enumerate() {
             prop_assert!(
@@ -55,13 +61,12 @@ proptest! {
 
         let mut init = State::new(&crn);
         init.set(input, x);
-        let trace = simulate_ode(
-            &crn,
-            &init,
-            &Schedule::new(),
-            &OdeOptions::default().with_t_end(50.0),
-            &SimSpec::default(),
-        ).expect("simulates");
+        let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+        let trace = Simulation::new(&crn, &compiled)
+            .init(&init)
+            .options(OdeOptions::default().with_t_end(50.0))
+            .run()
+            .expect("simulates");
         let y = trace.final_state()[out.index()];
         prop_assert!((y - x * width as f64).abs() < 1e-3, "{y} vs {}", x * width as f64);
     }
@@ -78,13 +83,12 @@ proptest! {
 
         let mut init = State::new(&crn);
         init.set(input, x);
-        let trace = simulate_ode(
-            &crn,
-            &init,
-            &Schedule::new(),
-            &OdeOptions::default().with_t_end(400.0),
-            &SimSpec::default(),
-        ).expect("simulates");
+        let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+        let trace = Simulation::new(&crn, &compiled)
+            .init(&init)
+            .options(OdeOptions::default().with_t_end(400.0))
+            .run()
+            .expect("simulates");
         let y = trace.final_state()[out.index()];
         prop_assert!((y - x / 4.0).abs() < 0.02 * x, "{y} vs {}", x / 4.0);
     }
@@ -110,13 +114,12 @@ proptest! {
             init.set(species[i], v);
         }
         let initial_value = law_value(&laws[0], init.as_slice());
-        let trace = simulate_ode(
-            &crn,
-            &init,
-            &Schedule::new(),
-            &OdeOptions::default().with_t_end(5.0),
-            &SimSpec::default(),
-        ).expect("simulates");
+        let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+        let trace = Simulation::new(&crn, &compiled)
+            .init(&init)
+            .options(OdeOptions::default().with_t_end(5.0))
+            .run()
+            .expect("simulates");
         for i in 0..trace.len() {
             let v = law_value(&laws[0], trace.state(i));
             prop_assert!((v - initial_value).abs() < 1e-4 * initial_value.max(1.0));

@@ -18,7 +18,7 @@ fn filter_answers_survive_a_rate_ratio_sweep() {
             cycle_time_hint: 120.0,
             ..RunConfig::default()
         };
-        let measured = filter.respond(&samples, &config).expect("runs");
+        let measured = filter.respond_with(&samples, &config, None).expect("runs");
         assert!(
             rmse(&measured, &ideal) < 2.0,
             "ratio {ratio}: {measured:?} vs {ideal:?}"
@@ -39,7 +39,7 @@ fn filter_answers_survive_per_reaction_jitter() {
             cycle_time_hint: 90.0,
             ..RunConfig::default()
         };
-        let measured = filter.respond(&samples, &config).expect("runs");
+        let measured = filter.respond_with(&samples, &config, None).expect("runs");
         assert!(
             rmse(&measured, &ideal) < 2.0,
             "seed {seed}: {measured:?} vs {ideal:?}"

@@ -2,7 +2,9 @@
 //! generator → stiff ODE simulation → cycle-level harness.
 
 use molseq::dsp::{biquad, fir, iir_first_order, moving_average, rmse, Ratio};
-use molseq::sync::{run_cycles, BinaryCounter, ClockSpec, Fsm, RunConfig, SyncCircuit};
+use molseq::sync::{
+    drive_cycles, BinaryCounter, ClockSpec, CycleResources, Fsm, RunConfig, SyncCircuit,
+};
 
 #[test]
 fn two_register_pipeline_delays_by_two_cycles() {
@@ -14,7 +16,14 @@ fn two_register_pipeline_delays_by_two_cycles() {
     let system = circuit.compile().expect("compiles");
 
     let samples = [60.0, 20.0, 80.0];
-    let run = run_cycles(&system, &[("x", &samples)], 6, &RunConfig::default()).expect("runs");
+    let run = drive_cycles(
+        &system,
+        &[("x", &samples)],
+        6,
+        &RunConfig::default(),
+        CycleResources::default(),
+    )
+    .expect("runs");
     let d2_series = run.register_series("d2").expect("d2 exists");
     for (k, &expect) in samples.iter().enumerate() {
         assert!(
@@ -31,7 +40,7 @@ fn moving_average_tracks_ideal_end_to_end() {
     let filter = moving_average(2, ClockSpec::default()).expect("builds");
     let samples = [10.0, 50.0, 10.0, 80.0, 20.0];
     let measured = filter
-        .respond(&samples, &RunConfig::default())
+        .respond_with(&samples, &RunConfig::default(), None)
         .expect("runs");
     let ideal = filter.ideal_response(&samples);
     assert!(
@@ -53,7 +62,7 @@ fn weighted_fir_computes_its_coefficients() {
     .expect("builds");
     let samples = [40.0, 0.0, 80.0];
     let measured = filter
-        .respond(&samples, &RunConfig::default())
+        .respond_with(&samples, &RunConfig::default(), None)
         .expect("runs");
     let ideal = filter.ideal_response(&samples);
     assert_eq!(ideal, vec![30.0, 10.0, 60.0]);
@@ -71,7 +80,7 @@ fn leaky_integrator_feedback_loop_converges() {
     .expect("builds");
     let samples = [40.0; 6];
     let measured = filter
-        .respond(&samples, &RunConfig::default())
+        .respond_with(&samples, &RunConfig::default(), None)
         .expect("runs");
     let ideal = filter.ideal_response(&samples);
     assert!(rmse(&measured, &ideal) < 1.5, "{measured:?} vs {ideal:?}");
@@ -99,7 +108,7 @@ fn biquad_with_negative_feedback_tracks_ideal() {
     .expect("builds");
     let samples = [40.0, 40.0, 40.0, 0.0, 0.0, 40.0];
     let measured = filter
-        .respond(&samples, &RunConfig::default())
+        .respond_with(&samples, &RunConfig::default(), None)
         .expect("runs");
     let ideal = filter.ideal_response(&samples);
     assert!(
@@ -122,11 +131,12 @@ fn counter_counts_five_pulses() {
     let counter = BinaryCounter::build(3, 60.0, ClockSpec::default()).expect("builds");
     let pulses = [true, true, true, true, true, false, false, false];
     let samples = counter.pulse_train(&pulses);
-    let run = run_cycles(
+    let run = drive_cycles(
         counter.system(),
         &[("pulse", &samples)],
         samples.len() + 1,
         &RunConfig::default(),
+        CycleResources::default(),
     )
     .expect("runs");
     assert_eq!(counter.decode(&run, run.cycles() - 1).expect("decodes"), 5);
@@ -139,11 +149,12 @@ fn clock_period_is_stable_inside_a_circuit() {
     let d = circuit.delay("d", x);
     circuit.output("y", d);
     let system = circuit.compile().expect("compiles");
-    let run = run_cycles(
+    let run = drive_cycles(
         &system,
         &[("x", &[50.0, 0.0, 50.0])],
         5,
         &RunConfig::default(),
+        CycleResources::default(),
     )
     .expect("runs");
     let period = run.mean_period().expect("at least two cycles");

@@ -2,7 +2,7 @@
 //! regime a DNA implementation actually lives in.
 
 use molseq::crn::RateAssignment;
-use molseq::kinetics::{simulate_ssa, Schedule, SimSpec, SsaOptions};
+use molseq::kinetics::{CompiledCrn, Schedule, SimSpec, Simulation, SsaOptions};
 use molseq::sync::{
     stored_final_value, BinaryCounter, ClockSpec, DelayChain, SchemeConfig, SyncRun,
 };
@@ -16,7 +16,12 @@ fn delay_chain_is_mass_exact_under_ssa() {
         .with_record_interval(2.0)
         .with_seed(5);
     let spec = SimSpec::new(RateAssignment::from_ratio(100.0));
-    let trace = simulate_ssa(chain.crn(), &init, &Schedule::new(), &opts, &spec).expect("runs");
+    let compiled = CompiledCrn::new(chain.crn(), &spec);
+    let trace = Simulation::new(chain.crn(), &compiled)
+        .init(&init)
+        .options(opts)
+        .run()
+        .expect("runs");
     // pure transfers conserve every molecule: 40 + 12 + 7 arrive exactly
     let y = stored_final_value(chain.crn(), &trace, chain.output());
     assert_eq!(y, 59.0, "all molecules delivered");
@@ -33,14 +38,13 @@ fn counter_decodes_exactly_at_small_amplitude() {
         .with_t_end(220.0)
         .with_record_interval(1.0)
         .with_seed(3);
-    let trace = simulate_ssa(
-        system.crn(),
-        &system.initial_state(),
-        &schedule,
-        &opts,
-        &SimSpec::default(),
-    )
-    .expect("runs");
+    let compiled = CompiledCrn::new(system.crn(), &SimSpec::default());
+    let trace = Simulation::new(system.crn(), &compiled)
+        .init(&system.initial_state())
+        .schedule(&schedule)
+        .options(opts)
+        .run()
+        .expect("runs");
     let run = SyncRun::from_trace(system, trace);
     assert!(
         run.cycles() >= 6,
