@@ -28,6 +28,12 @@
 #  11. deprecations   in-repo code must not call the deprecated pre-0.5
 #                     simulation entry points (shims exist for external
 #                     callers only)
+#  12. batch server   boot `serve` on an ephemeral port at --workers 1 and
+#                     --workers 4; `repro --via-server` must produce
+#                     byte-identical persisted summaries at both counts,
+#                     report nonzero compiled-CRN cache hits, and pass the
+#                     cancel and budget-exceeded probes; the server must
+#                     exit cleanly on the wire shutdown op
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -148,5 +154,55 @@ DEPRECATED_USES="$(cargo build --workspace --all-targets 2>&1 | grep "use of dep
 [ -z "$DEPRECATED_USES" ] \
   || { echo "ci: in-repo call sites still use deprecated APIs:" >&2
        echo "$DEPRECATED_USES" >&2; exit 1; }
+
+echo "== batch server: worker-count determinism, cache hits, cancel + budget =="
+serve_roundtrip() { # <workers> <outdir>
+  local workers="$1" outdir="$2" boot_log addr serve_pid
+  boot_log="$SWEEP_TMP/serve_w${workers}.log"
+  target/release/serve --workers "$workers" --budget-tenant strict=25 > "$boot_log" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on " "$boot_log" && break
+    kill -0 "$serve_pid" 2>/dev/null \
+      || { echo "ci: serve (--workers $workers) died before binding" >&2; exit 1; }
+    sleep 0.1
+  done
+  addr="$(sed -n 's/^listening on //p' "$boot_log")"
+  [ -n "$addr" ] || { echo "ci: serve did not announce its address" >&2
+                      kill "$serve_pid" 2>/dev/null; exit 1; }
+  target/release/repro --via-server "$addr" --server-budget-tenant strict \
+    --summary "$outdir" > "$outdir.report.txt" \
+    || { echo "ci: repro --via-server failed against --workers $workers" >&2
+         kill "$serve_pid" 2>/dev/null; exit 1; }
+  # the wire shutdown op, via bash's built-in tcp redirection
+  exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+  printf '{"op":"shutdown"}\n' >&3
+  head -n 1 <&3 > /dev/null
+  exec 3<&- 3>&-
+  wait "$serve_pid" \
+    || { echo "ci: serve (--workers $workers) exited nonzero after shutdown" >&2; exit 1; }
+}
+serve_roundtrip 1 "$SWEEP_TMP/srv_w1"
+serve_roundtrip 4 "$SWEEP_TMP/srv_w4"
+# the persisted sweep rows and server counters must not depend on the
+# server's worker count — byte-for-byte
+for artifact in via-server.summary.json via-server.summary.csv \
+                server-stats.summary.json server-stats.summary.csv; do
+  cmp "$SWEEP_TMP/srv_w1/$artifact" "$SWEEP_TMP/srv_w4/$artifact" \
+    || { echo "ci: $artifact differs between --workers 1 and --workers 4" >&2; exit 1; }
+done
+grep -q "cache 1 hit(s)" "$SWEEP_TMP/srv_w1.report.txt" \
+  || { echo "ci: via-server run did not report a compiled-CRN cache hit" >&2; exit 1; }
+grep -q "all Cancelled" "$SWEEP_TMP/srv_w1.report.txt" \
+  || { echo "ci: via-server cancel probe did not drain as Cancelled" >&2; exit 1; }
+grep -q "budget probe cut all" "$SWEEP_TMP/srv_w1.report.txt" \
+  || { echo "ci: via-server budget probe did not cut the strict tenant" >&2; exit 1; }
+grep -q '\["cache_hits",2' "$SWEEP_TMP/srv_w1/server-stats.summary.json" \
+  || { echo "ci: server-stats summary does not carry the cache-hit counter" >&2; exit 1; }
+# the stats artifact rides the standard summary pipeline: trend must accept
+# it as a baseline/candidate pair across the two worker counts
+target/release/trend "$SWEEP_TMP/srv_w1" "$SWEEP_TMP/srv_w4" > "$SWEEP_TMP/trend_serve.md" \
+  || { echo "ci: trend gate failed across server worker counts" >&2
+       cat "$SWEEP_TMP/trend_serve.md" >&2; exit 1; }
 
 echo "ci: all stages passed"

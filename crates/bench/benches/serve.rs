@@ -1,0 +1,86 @@
+//! Criterion harness: batch-server round-trip throughput.
+//!
+//! Boots an in-process `molseq-serve` instance once per arm and times a
+//! full client round trip — submit a stochastic replicate sweep over
+//! TCP, stream every row back — under two regimes:
+//!
+//! * `cold_cache` — every iteration submits a *fresh* network (a longer
+//!   decay chain each time), so each round trip pays one compile;
+//! * `warm_cache` — every iteration resubmits the same network, so the
+//!   compiled-CRN cache serves all iterations after the first.
+//!
+//! The gap between the arms is the compile amortization the cache buys;
+//! the `warm_cache` arm is the steady-state serving cost (wire + queue +
+//! simulate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molseq_serve::{CellSpec, Client, Method, Server, ServerConfig, SubmitRequest};
+
+const REPS: usize = 8;
+
+/// A decay chain `X0 -> X1 -> … -> Xn` as reaction text; `salt` varies
+/// the chain length so every cold-cache iteration is a new structure.
+fn chain_network(stages: usize) -> String {
+    (0..stages)
+        .map(|i| format!("X{i} -> X{} @slow\n", i + 1))
+        .collect()
+}
+
+fn submit(network: String) -> SubmitRequest {
+    SubmitRequest {
+        tenant: "bench".to_owned(),
+        network,
+        init: vec![("X0".to_owned(), 64.0)],
+        method: Method::Ssa,
+        t_end: 1.0e4,
+        record_interval: None,
+        seed: 17,
+        injections: vec![],
+        cells: (0..REPS)
+            .map(|i| CellSpec {
+                label: format!("rep={i}"),
+                k_fast: None,
+                k_slow: None,
+            })
+            .collect(),
+    }
+}
+
+fn roundtrip(client: &mut Client, request: &SubmitRequest) -> usize {
+    let ack = client.submit(request).expect("submission is valid");
+    let rows = client.fetch_all(&ack.job_id).expect("job completes");
+    assert_eq!(rows.len(), REPS);
+    rows.iter().map(|r| r.final_state.len()).sum()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let server = Server::start(ServerConfig::default()).expect("server boots");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    let warm = submit(chain_network(6));
+    group.bench_with_input(
+        BenchmarkId::new("roundtrip", "warm_cache"),
+        &warm,
+        |b, req| {
+            b.iter(|| std::hint::black_box(roundtrip(&mut client, req)));
+        },
+    );
+
+    let mut stages = 8;
+    group.bench_function("roundtrip/cold_cache", |b| {
+        b.iter(|| {
+            // a new chain length every iteration: never a cache hit
+            stages += 1;
+            std::hint::black_box(roundtrip(&mut client, &submit(chain_network(stages))))
+        });
+    });
+    group.finish();
+
+    client.shutdown().expect("shutdown round trip");
+    server.join();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

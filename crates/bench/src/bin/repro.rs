@@ -26,6 +26,15 @@
 //! directory and exits `1` when a deterministic simulator counter moved
 //! or a cell's wall clock regressed beyond tolerance — see the `trend`
 //! binary for the standalone comparator and the tolerance knobs.
+//!
+//! `--via-server HOST:PORT` skips the local experiments and instead
+//! drives an E10-style stochastic sweep through a running `serve`
+//! instance over the wire, twice, verifying byte-identical results and
+//! compiled-CRN cache hits, plus a cancellation probe — and, with
+//! `--server-budget-tenant NAME`, a deterministic budget-cut probe
+//! against a tenant the server step-budgets. `--summary DIR` persists
+//! the sweep rows and the server counters through the standard summary
+//! pipeline (`via-server.summary.*`, `server-stats.summary.*`).
 
 use molseq_bench::{all_experiments, ExpCtx};
 use molseq_sweep::{compare_dirs, JobBudget, TrendOptions};
@@ -35,7 +44,8 @@ use std::time::{Duration, Instant};
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro [--quick] [--jobs N] [--summary DIR] [--cell-steps N] \
-         [--cell-wall SECS] [--trend-against DIR] [experiment ids...]"
+         [--cell-wall SECS] [--trend-against DIR] [--via-server HOST:PORT] \
+         [--server-budget-tenant NAME] [experiment ids...]"
     );
     std::process::exit(2);
 }
@@ -46,6 +56,8 @@ fn main() {
     let mut jobs: usize = 0;
     let mut summary_dir: Option<String> = None;
     let mut trend_against: Option<String> = None;
+    let mut via_server: Option<String> = None;
+    let mut budget_tenant: Option<String> = None;
     let mut budget = JobBudget::unlimited();
     let mut selected: Vec<&str> = Vec::new();
     let mut iter = args.iter();
@@ -88,6 +100,20 @@ fn main() {
                 };
                 budget = budget.with_max_wall(wall);
             }
+            "--via-server" => {
+                let Some(addr) = iter.next() else {
+                    eprintln!("--via-server expects a HOST:PORT address");
+                    std::process::exit(2);
+                };
+                via_server = Some(addr.clone());
+            }
+            "--server-budget-tenant" => {
+                let Some(name) = iter.next() else {
+                    eprintln!("--server-budget-tenant expects a tenant name");
+                    std::process::exit(2);
+                };
+                budget_tenant = Some(name.clone());
+            }
             "--trend-against" => {
                 let Some(dir) = iter.next() else {
                     eprintln!("--trend-against expects a baseline summary directory");
@@ -105,6 +131,30 @@ fn main() {
     if trend_against.is_some() && summary_dir.is_none() {
         eprintln!("--trend-against needs --summary DIR to have a candidate to compare");
         std::process::exit(2);
+    }
+    if budget_tenant.is_some() && via_server.is_none() {
+        eprintln!("--server-budget-tenant only makes sense with --via-server");
+        std::process::exit(2);
+    }
+    if let Some(addr) = via_server {
+        if !selected.is_empty() {
+            eprintln!("--via-server runs the server smoke suite, not local experiments");
+            std::process::exit(2);
+        }
+        match molseq_bench::run_via_server(
+            &addr,
+            budget_tenant.as_deref(),
+            summary_dir.as_deref().map(Path::new),
+        ) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("via-server: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     let mut ctx = if quick {
         ExpCtx::quick()

@@ -31,8 +31,10 @@
 
 pub mod experiments;
 pub mod report;
+pub mod via_server;
 
 pub use report::Report;
+pub use via_server::run_via_server;
 
 use molseq_kinetics::{SimError, SimMetrics};
 use molseq_sweep::{JobBudget, JobCtx, JobError, SweepOptions, SweepSummary};

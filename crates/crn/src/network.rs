@@ -284,6 +284,83 @@ impl Crn {
         }
         issues
     }
+
+    /// A stable 64-bit fingerprint of this network's *structure*: species
+    /// names in registration order, each reaction's canonical reactant and
+    /// product terms, and each reaction's [`Rate`] **category** (a
+    /// [`Rate::Fixed`] constant is part of the structure; the numeric
+    /// values a `Fast`/`Slow` tag later resolves to are not).
+    ///
+    /// The hash is a hand-rolled FNV-1a, so it is identical across
+    /// processes, platforms, and runs — unlike `std`'s randomized
+    /// `DefaultHasher` — which makes it usable as a persistent cache key:
+    /// two networks built independently (or parsed from the same reaction
+    /// text) hash equal exactly when a compiled form of one can be rebound
+    /// to serve the other. Reaction labels are documentation, not
+    /// structure, and do not contribute.
+    #[must_use]
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.species.len());
+        for s in &self.species {
+            h.write_bytes(s.name().as_bytes());
+            h.write_u8(0xFF); // name terminator: ["ab","c"] != ["a","bc"]
+        }
+        h.write_usize(self.reactions.len());
+        for r in &self.reactions {
+            let mut side = |terms: &[Term]| {
+                h.write_usize(terms.len());
+                for t in terms {
+                    h.write_usize(t.species.index());
+                    h.write_u64(u64::from(t.stoich));
+                }
+            };
+            side(r.reactants());
+            side(r.products());
+            match r.rate() {
+                Rate::Fast => h.write_u8(1),
+                Rate::Slow => h.write_u8(2),
+                Rate::Fixed(k) => {
+                    h.write_u8(3);
+                    h.write_u64(k.to_bits());
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator backing [`Crn::structural_hash`]. Kept local
+/// (not `std::hash::Hasher`) because the whole point is a byte-for-byte
+/// specified, process-stable digest.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u8(&mut self, byte: u8) {
+        self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 impl fmt::Display for Crn {
@@ -328,6 +405,60 @@ mod tests {
         assert_eq!(crn.find_species("B"), Some(b));
         assert_eq!(crn.find_species("C"), None);
         assert_eq!(crn.species_count(), 2);
+    }
+
+    #[test]
+    fn structural_hash_is_stable_and_structure_sensitive() {
+        let build = |label: Option<&str>| {
+            let mut crn = Crn::new();
+            let x = crn.species("X");
+            let y = crn.species("Y");
+            match label {
+                Some(l) => crn
+                    .reaction_labeled(&[(x, 1)], &[(y, 1)], Rate::Fast, l)
+                    .unwrap(),
+                None => crn.reaction(&[(x, 1)], &[(y, 1)], Rate::Fast).unwrap(),
+            };
+            crn
+        };
+        let a = build(None);
+        // independently built identical structure hashes equal; labels are
+        // not structure
+        assert_eq!(a.structural_hash(), build(None).structural_hash());
+        assert_eq!(a.structural_hash(), build(Some("tag")).structural_hash());
+        // parse round-trip (how a server receives networks) preserves it
+        let reparsed: Crn = a.to_string().parse().unwrap();
+        assert_eq!(reparsed.structural_hash(), a.structural_hash());
+        // any structural change — species name, stoichiometry, rate
+        // category, explicit constant — moves the hash
+        let mut renamed = Crn::new();
+        let x = renamed.species("X");
+        let z = renamed.species("Z");
+        renamed.reaction(&[(x, 1)], &[(z, 1)], Rate::Fast).unwrap();
+        assert_ne!(renamed.structural_hash(), a.structural_hash());
+        let mut doubled = build(None);
+        let x = doubled.find_species("X").unwrap();
+        let y = doubled.find_species("Y").unwrap();
+        doubled.reaction(&[(y, 2)], &[(x, 1)], Rate::Slow).unwrap();
+        assert_ne!(doubled.structural_hash(), a.structural_hash());
+        let mut slow = Crn::new();
+        let x = slow.species("X");
+        let y = slow.species("Y");
+        slow.reaction(&[(x, 1)], &[(y, 1)], Rate::Slow).unwrap();
+        assert_ne!(slow.structural_hash(), a.structural_hash());
+        let mut fixed1 = Crn::new();
+        let x = fixed1.species("X");
+        let y = fixed1.species("Y");
+        fixed1
+            .reaction(&[(x, 1)], &[(y, 1)], Rate::Fixed(1.0))
+            .unwrap();
+        let mut fixed2 = Crn::new();
+        let x = fixed2.species("X");
+        let y = fixed2.species("Y");
+        fixed2
+            .reaction(&[(x, 1)], &[(y, 1)], Rate::Fixed(2.0))
+            .unwrap();
+        assert_ne!(fixed1.structural_hash(), fixed2.structural_hash());
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! A cross-request cache of compiled networks.
+//!
+//! The compile-once/rebind-many pattern ([`CompiledCrn::new`] once,
+//! [`CompiledCrn::rebind`] per sweep cell) amortizes compilation *within*
+//! one sweep. A long-running process — the batch-simulation server — sees
+//! the same networks arrive across many independent requests, so the same
+//! pattern deserves to span requests: [`CompiledCache`] stores one
+//! default-spec compile per [`Crn::structural_hash`] and serves every
+//! structurally identical network from it, rebound to whatever [`SimSpec`]
+//! the request wants. Because `rebind` is property-tested equal to a fresh
+//! `CompiledCrn::new`, a cache hit is bit-identical to compiling from
+//! scratch — caching can never change simulation results.
+
+use crate::{CompiledCrn, SimSpec};
+use molseq_crn::Crn;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A thread-safe, structurally keyed cache of [`CompiledCrn`]s.
+///
+/// Entries are keyed by [`Crn::structural_hash`] and hold the network
+/// compiled under [`SimSpec::default`]; [`get_or_compile`] rebinds the
+/// cached entry to the caller's spec. Hit/miss counters are atomic so a
+/// server can report them from its stats path without taking the map lock.
+///
+/// [`get_or_compile`]: Self::get_or_compile
+///
+/// # Examples
+///
+/// ```
+/// use molseq_crn::Crn;
+/// use molseq_kinetics::{CompiledCache, CompiledCrn, SimSpec};
+///
+/// let cache = CompiledCache::new();
+/// let crn: Crn = "X + Y -> Z @fast".parse().unwrap();
+/// let spec = SimSpec::default();
+/// let first = cache.get_or_compile(&crn, &spec);
+/// let again = cache.get_or_compile(&crn, &spec);
+/// assert_eq!(*first, *again);
+/// assert_eq!(again, CompiledCrn::new(&crn, &spec).into());
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct CompiledCache {
+    entries: Mutex<HashMap<u64, Arc<CompiledCrn>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompiledCache {
+    /// An empty cache with zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        CompiledCache::default()
+    }
+
+    /// Returns `crn` compiled under `spec`, compiling only on a structural
+    /// miss.
+    ///
+    /// On a miss the network is compiled under [`SimSpec::default`] and
+    /// stored; hit or miss, the stored entry is then
+    /// [rebound](CompiledCrn::rebind) to `spec` — except for the exact
+    /// default spec, which is served as the stored `Arc` without a copy
+    /// (the common case for SSA workloads, whose per-cell variation is the
+    /// seed, not the rates).
+    #[must_use]
+    pub fn get_or_compile(&self, crn: &Crn, spec: &SimSpec) -> Arc<CompiledCrn> {
+        let key = crn.structural_hash();
+        let entry = {
+            let mut entries = self.entries.lock().expect("compiled cache poisoned");
+            match entries.get(&key) {
+                Some(entry) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(entry)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let compiled = Arc::new(CompiledCrn::new(crn, &SimSpec::default()));
+                    entries.insert(key, Arc::clone(&compiled));
+                    compiled
+                }
+            }
+        };
+        if *spec == SimSpec::default() {
+            entry
+        } else {
+            Arc::new(entry.rebind(spec))
+        }
+    }
+
+    /// Requests served from an existing entry.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to compile and insert.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct network structures currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("compiled cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molseq_crn::RateAssignment;
+
+    fn chain(n: usize) -> Crn {
+        let mut crn = Crn::new();
+        let ids: Vec<_> = (0..=n).map(|i| crn.species(format!("S{i}"))).collect();
+        for w in ids.windows(2) {
+            crn.reaction(&[(w[0], 1)], &[(w[1], 1)], molseq_crn::Rate::Fast)
+                .unwrap();
+        }
+        crn
+    }
+
+    #[test]
+    fn distinct_structures_get_distinct_entries() {
+        let cache = CompiledCache::new();
+        let spec = SimSpec::default();
+        let _ = cache.get_or_compile(&chain(2), &spec);
+        let _ = cache.get_or_compile(&chain(3), &spec);
+        assert_eq!(cache.len(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        let _ = cache.get_or_compile(&chain(2), &spec);
+        assert_eq!(cache.len(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn default_spec_hits_share_the_stored_allocation() {
+        let cache = CompiledCache::new();
+        let crn = chain(2);
+        let a = cache.get_or_compile(&crn, &SimSpec::default());
+        let b = cache.get_or_compile(&crn, &SimSpec::default());
+        assert!(Arc::ptr_eq(&a, &b), "no per-hit copy for the default spec");
+    }
+
+    #[test]
+    fn non_default_spec_is_rebound_not_shared() {
+        let cache = CompiledCache::new();
+        let crn = chain(2);
+        let spec = SimSpec::new(RateAssignment::from_ratio(50.0));
+        let hit = cache.get_or_compile(&crn, &spec);
+        assert_eq!(*hit, CompiledCrn::new(&crn, &spec));
+        // the stored default-spec entry is untouched
+        let stored = cache.get_or_compile(&crn, &SimSpec::default());
+        assert_eq!(*stored, CompiledCrn::new(&crn, &SimSpec::default()));
+    }
+
+    #[test]
+    fn concurrent_access_counts_every_request() {
+        let cache = CompiledCache::new();
+        let crn = chain(4);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..16 {
+                        let _ = cache.get_or_compile(&crn, &SimSpec::default());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hits() + cache.misses(), 128);
+        assert_eq!(cache.len(), 1);
+    }
+}

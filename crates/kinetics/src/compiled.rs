@@ -77,6 +77,9 @@ pub(crate) struct CompiledReaction {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledCrn {
     species_count: usize,
+    /// The source network's [`Crn::structural_hash`], captured at compile
+    /// time and preserved by [`rebind`](Self::rebind).
+    structural_hash: u64,
     pub(crate) reactions: Vec<CompiledReaction>,
     /// CSR row pointers of the Jacobian sparsity pattern (`n + 1` long).
     jac_row_ptr: Vec<usize>,
@@ -126,6 +129,7 @@ impl CompiledCrn {
             build_jacobian_pattern(crn.species_count(), &reactions);
         CompiledCrn {
             species_count: crn.species_count(),
+            structural_hash: crn.structural_hash(),
             reactions,
             jac_row_ptr,
             jac_col_idx,
@@ -166,6 +170,19 @@ impl CompiledCrn {
     #[must_use]
     pub fn species_count(&self) -> usize {
         self.species_count
+    }
+
+    /// The source network's [`Crn::structural_hash`], captured when this
+    /// compiled form was built and invariant under
+    /// [`rebind`](Self::rebind).
+    ///
+    /// Two compiled networks with equal hashes came from structurally
+    /// identical `Crn`s, so either can serve as the other's compile — this
+    /// is the key the cross-request [`CompiledCache`](crate::CompiledCache)
+    /// is keyed by.
+    #[must_use]
+    pub fn structural_hash(&self) -> u64 {
+        self.structural_hash
     }
 
     /// Number of reactions.

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod compare;
 mod compiled;
 mod error;
@@ -64,6 +65,7 @@ mod tau;
 mod tau_implicit;
 mod trace;
 
+pub use cache::CompiledCache;
 pub use compare::{compare_trajectories, Divergence, MappedSpecies};
 pub use compiled::CompiledCrn;
 pub use error::SimError;

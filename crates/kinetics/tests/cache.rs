@@ -1,0 +1,89 @@
+//! Property tests for the cross-request compiled-CRN cache.
+//!
+//! The cache's correctness claim has two halves:
+//!
+//! * **Sharing** — two *structurally identical* networks share one cache
+//!   entry, even when they were built independently and are simulated
+//!   under different rate constants (the entry stores the default-spec
+//!   compile; requests rebind it).
+//! * **Transparency** — what a cache hit returns is bit-identical to
+//!   compiling the request's network fresh under the request's spec, so
+//!   caching can never change simulation results.
+
+use molseq_crn::{Crn, Rate, RateAssignment};
+use molseq_kinetics::{CompiledCache, CompiledCrn, SimSpec};
+use proptest::prelude::*;
+
+/// A generated network recipe: species count plus reaction draws
+/// `(reactant species, product species, rate choice)`. Building the same
+/// recipe twice yields two independently constructed but structurally
+/// identical `Crn`s.
+fn build(species: usize, reactions: &[(usize, usize, usize)]) -> Crn {
+    let mut crn = Crn::new();
+    let ids: Vec<_> = (0..species).map(|i| crn.species(format!("S{i}"))).collect();
+    for &(r, p, rate) in reactions {
+        let rate = match rate {
+            0 => Rate::Fast,
+            1 => Rate::Slow,
+            _ => Rate::Fixed(2.5),
+        };
+        let (r, p) = (ids[r % species], ids[p % species]);
+        crn.reaction(&[(r, 1)], &[(p, 1)], rate)
+            .expect("unary reactions over interned species are valid");
+    }
+    crn
+}
+
+fn spec(k_fast: u32, k_slow: u32) -> SimSpec {
+    // ranges keep k_fast >= 10 > 9 >= k_slow, so `new` cannot fail
+    SimSpec::new(
+        RateAssignment::new(f64::from(k_fast), f64::from(k_slow))
+            .expect("generated k_fast > k_slow"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn structurally_identical_networks_share_one_entry_and_hits_match_fresh_compiles(
+        species in 1usize..6,
+        reactions in collection::vec((0usize..8, 0usize..8, 0usize..3), 0..6),
+        ka in (10u32..10_000, 1u32..9),
+        kb in (10u32..10_000, 1u32..9),
+    ) {
+        let crn_a = build(species, &reactions);
+        let crn_b = build(species, &reactions);
+        prop_assert_eq!(crn_a.structural_hash(), crn_b.structural_hash());
+
+        let spec_a = spec(ka.0, ka.1);
+        let spec_b = spec(kb.0, kb.1);
+        let cache = CompiledCache::new();
+        let a = cache.get_or_compile(&crn_a, &spec_a);
+        let b = cache.get_or_compile(&crn_b, &spec_b);
+
+        // one structural entry serves both, whatever the rate constants
+        prop_assert_eq!(cache.len(), 1);
+        prop_assert_eq!(cache.misses(), 1);
+        prop_assert_eq!(cache.hits(), 1);
+
+        // a cache hit is bit-identical to a fresh compile under the
+        // request's own spec (PartialEq on CompiledCrn compares every
+        // resolved rate constant exactly)
+        prop_assert_eq!(&*a, &CompiledCrn::new(&crn_a, &spec_a));
+        prop_assert_eq!(&*b, &CompiledCrn::new(&crn_b, &spec_b));
+    }
+
+    #[test]
+    fn rate_constants_never_perturb_the_structural_key(
+        species in 1usize..5,
+        reactions in collection::vec((0usize..6, 0usize..6, 0usize..3), 1..5),
+        k in (10u32..10_000, 1u32..9),
+    ) {
+        let crn = build(species, &reactions);
+        let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+        let rebound = compiled.rebind(&spec(k.0, k.1));
+        prop_assert_eq!(rebound.structural_hash(), compiled.structural_hash());
+        prop_assert_eq!(compiled.structural_hash(), crn.structural_hash());
+    }
+}

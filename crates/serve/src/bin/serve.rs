@@ -1,0 +1,98 @@
+//! The `serve` binary: boots a batch-simulation server and blocks until
+//! a client sends the wire `shutdown` op.
+//!
+//! Prints exactly one `listening on ADDR` line to stdout once the socket
+//! is bound, so scripts binding port 0 can discover the ephemeral port.
+
+use molseq_serve::{Server, ServerConfig, TenantPolicy};
+use molseq_sweep::JobBudget;
+use std::io::Write;
+
+const USAGE: &str = "\
+usage: serve [options]
+
+options:
+  --addr HOST:PORT     bind address (default 127.0.0.1:0; port 0 = ephemeral)
+  --workers N          worker threads (default: one per hardware thread)
+  --max-inflight N     per-tenant in-flight job limit (default 4)
+  --max-steps N        per-cell simulator step budget (default unlimited)
+  --budget-tenant NAME=STEPS
+                       step-budget one tenant (repeatable); other limits
+                       follow the default policy
+  --help               print this help
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        fail(&format!("{flag} needs a value"));
+    };
+    value
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("{flag} got a malformed value `{value}`")))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut config = ServerConfig::default();
+    let mut policy = TenantPolicy::default();
+    let mut budget_tenants: Vec<(String, u64)> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(addr) = args.next() else {
+                    fail("--addr needs a value");
+                };
+                config = config.with_addr(addr);
+            }
+            "--workers" => config = config.with_workers(parse_number("--workers", args.next())),
+            "--max-inflight" => {
+                policy.max_inflight = parse_number("--max-inflight", args.next());
+            }
+            "--max-steps" => {
+                policy.budget =
+                    JobBudget::unlimited().with_max_steps(parse_number("--max-steps", args.next()));
+            }
+            "--budget-tenant" => {
+                let Some(value) = args.next() else {
+                    fail("--budget-tenant needs a NAME=STEPS value");
+                };
+                let Some((name, steps)) = value.split_once('=') else {
+                    fail(&format!("--budget-tenant got `{value}`, want NAME=STEPS"));
+                };
+                let steps = steps.parse().unwrap_or_else(|_| {
+                    fail(&format!("--budget-tenant steps `{steps}` malformed"))
+                });
+                budget_tenants.push((name.to_owned(), steps));
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument `{other}`")),
+        }
+    }
+    config = config.with_default_policy(policy);
+    for (name, steps) in budget_tenants {
+        let strict = TenantPolicy {
+            budget: JobBudget::unlimited().with_max_steps(steps),
+            ..policy
+        };
+        config = config.with_tenant_policy(name, strict);
+    }
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+    server.join();
+}

@@ -1,0 +1,298 @@
+//! A blocking line-JSON client for the serve wire protocol.
+//!
+//! One [`Client`] owns one TCP connection; every method is a synchronous
+//! request/response round trip. The same client drives the end-to-end
+//! tests, the `repro --via-server` smoke path, and the CI stage — there
+//! is deliberately no second implementation of the protocol.
+
+use crate::protocol::{CellRow, ProtocolError, Request, SubmitRequest};
+use molseq_sweep::JsonValue;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke (or could not be established).
+    Io(std::io::Error),
+    /// The server's reply did not match the protocol.
+    Protocol(ProtocolError),
+    /// The server answered with `"ok": false`; the payload is its error
+    /// message.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A submission acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitAck {
+    /// The id to use in `status`/`fetch`/`cancel` calls.
+    pub job_id: String,
+    /// How many cells the job has.
+    pub cells: usize,
+    /// The network's species names in registration order — the order of
+    /// every row's `final_state` vector.
+    pub species: Vec<String>,
+}
+
+/// A job's progress, as reported by `status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatusInfo {
+    /// `queued`, `running`, `cancelling`, `cancelled`, or `done`.
+    pub state: String,
+    /// Completed cells.
+    pub completed: usize,
+    /// Total cells.
+    pub total: usize,
+}
+
+/// One page of fetched rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchPage {
+    /// The rows, contiguous from the requested index.
+    pub rows: Vec<CellRow>,
+    /// The index to request next.
+    pub next: usize,
+    /// Whether the job has reached a terminal state.
+    pub done: bool,
+}
+
+/// A blocking client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<JsonValue, ClientError> {
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let doc = JsonValue::parse(&reply)
+            .map_err(|e| ClientError::Protocol(ProtocolError::new(format!("bad reply: {e}"))))?;
+        match doc.get("ok") {
+            Some(JsonValue::Bool(true)) => Ok(doc),
+            Some(JsonValue::Bool(false)) => Err(ClientError::Server(
+                doc.get("error")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("unspecified server error")
+                    .to_owned(),
+            )),
+            _ => Err(ClientError::Protocol(ProtocolError::new(
+                "reply lacks an `ok` field",
+            ))),
+        }
+    }
+
+    fn field_usize(doc: &JsonValue, key: &str) -> Result<usize, ClientError> {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+            .map(|n| n as usize)
+            .ok_or_else(|| {
+                ClientError::Protocol(ProtocolError::new(format!("reply lacks `{key}`")))
+            })
+    }
+
+    fn field_str(doc: &JsonValue, key: &str) -> Result<String, ClientError> {
+        doc.get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| {
+                ClientError::Protocol(ProtocolError::new(format!("reply lacks `{key}`")))
+            })
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] if the submission is rejected (admission
+    /// control, validation); `Io`/`Protocol` for transport faults.
+    pub fn submit(&mut self, request: &SubmitRequest) -> Result<SubmitAck, ClientError> {
+        let doc = self.roundtrip(&Request::Submit(Box::new(request.clone())))?;
+        let species = doc
+            .get("species")
+            .and_then(JsonValue::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(JsonValue::as_str)
+                    .map(str::to_owned)
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(SubmitAck {
+            job_id: Self::field_str(&doc, "job")?,
+            cells: Self::field_usize(&doc, "cells")?,
+            species,
+        })
+    }
+
+    /// Queries a job's progress.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for an unknown job id.
+    pub fn status(&mut self, job_id: &str) -> Result<JobStatusInfo, ClientError> {
+        let doc = self.roundtrip(&Request::Status {
+            job_id: job_id.to_owned(),
+        })?;
+        Ok(JobStatusInfo {
+            state: Self::field_str(&doc, "state")?,
+            completed: Self::field_usize(&doc, "completed")?,
+            total: Self::field_usize(&doc, "total")?,
+        })
+    }
+
+    /// Fetches completed rows starting at `from`. With `wait`, blocks
+    /// until at least one new row (or a terminal state) is available.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for an unknown job id.
+    pub fn fetch(
+        &mut self,
+        job_id: &str,
+        from: usize,
+        wait: bool,
+    ) -> Result<FetchPage, ClientError> {
+        let doc = self.roundtrip(&Request::Fetch {
+            job_id: job_id.to_owned(),
+            from,
+            wait,
+        })?;
+        let rows = doc
+            .get("rows")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ClientError::Protocol(ProtocolError::new("reply lacks `rows`")))?
+            .iter()
+            .map(CellRow::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FetchPage {
+            rows,
+            next: Self::field_usize(&doc, "next")?,
+            done: matches!(doc.get("done"), Some(JsonValue::Bool(true))),
+        })
+    }
+
+    /// Streams a job to completion: repeated waiting fetches, rows
+    /// concatenated in index order.
+    ///
+    /// # Errors
+    ///
+    /// Any error a single [`fetch`](Self::fetch) can produce.
+    pub fn fetch_all(&mut self, job_id: &str) -> Result<Vec<CellRow>, ClientError> {
+        let mut rows = Vec::new();
+        loop {
+            let page = self.fetch(job_id, rows.len(), true)?;
+            rows.extend(page.rows);
+            if page.done && rows.len() >= page.next {
+                return Ok(rows);
+            }
+        }
+    }
+
+    /// Cancels a job. Cells already past their last cooperative
+    /// checkpoint still finish; everything else ends `Cancelled`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for an unknown job id.
+    pub fn cancel(&mut self, job_id: &str) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Cancel {
+            job_id: job_id.to_owned(),
+        })?;
+        Ok(())
+    }
+
+    /// Reads the server counters, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// `Io`/`Protocol` for transport faults.
+    pub fn stats(&mut self) -> Result<Vec<(String, f64)>, ClientError> {
+        let doc = self.roundtrip(&Request::Stats)?;
+        doc.get("counters")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ClientError::Protocol(ProtocolError::new("reply lacks `counters`")))?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                    ClientError::Protocol(ProtocolError::new("counter entry is not a pair"))
+                })?;
+                let name = items[0].as_str().ok_or_else(|| {
+                    ClientError::Protocol(ProtocolError::new("counter name is not a string"))
+                })?;
+                let value = items[1].as_f64().ok_or_else(|| {
+                    ClientError::Protocol(ProtocolError::new("counter value is not a number"))
+                })?;
+                Ok((name.to_owned(), value))
+            })
+            .collect()
+    }
+
+    /// Asks the server to shut down (accept loop and workers exit once
+    /// the queue drains).
+    ///
+    /// # Errors
+    ///
+    /// `Io`/`Protocol` for transport faults.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Shutdown)?;
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}

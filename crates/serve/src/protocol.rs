@@ -1,0 +1,681 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! Every request is one JSON object on one line, answered by exactly one
+//! JSON object on one line. Responses always carry `"ok"`; failures carry
+//! `"error"` with a human-readable message. The document model is
+//! [`molseq_sweep::JsonValue`] — the same hand-rolled, stub-compatible
+//! JSON layer the sweep artifacts use — so the protocol needs no
+//! deserialization support from the vendored serde.
+//!
+//! Operations:
+//!
+//! * `submit` — a batch of sweep cells over one network (reaction text in
+//!   the [`Crn`](molseq_crn::Crn) `Display`/`FromStr` format). Replies
+//!   with a job id.
+//! * `status` — queued/running/done counts for a job.
+//! * `fetch` — the job's completed rows from a given index, optionally
+//!   blocking until more are ready. Rows stream back in **index order**
+//!   (the contiguous completed prefix), so what a streaming client
+//!   accumulates is byte-identical to a batch fetch after completion.
+//! * `cancel` — raise the job's [`CancelToken`](molseq_sweep::CancelToken).
+//! * `stats` — server counters (cache hits/misses, queue depths,
+//!   per-tenant rejections), sorted by name.
+//! * `shutdown` — stop accepting and drain.
+//!
+//! Result rows deliberately carry **no wall-clock readings** — only the
+//! deterministic fields (status, detail, metrics, final state) — so two
+//! runs of the same submission are byte-comparable regardless of worker
+//! count or machine.
+
+use molseq_sweep::{JobRecord, JobStatus, JsonValue, SweepSummary};
+use std::fmt;
+
+/// Why a wire message could not be understood.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    msg: String,
+}
+
+impl ProtocolError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ProtocolError { msg: msg.into() }
+    }
+
+    /// The human-readable failure description.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Which simulator a submission runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Exact stochastic simulation (Gillespie SSA).
+    Ssa,
+    /// Deterministic mass-action ODE integration.
+    Ode,
+}
+
+impl Method {
+    /// The wire name (`"ssa"` / `"ode"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Ssa => "ssa",
+            Method::Ode => "ode",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] for anything but `"ssa"` or `"ode"`.
+    pub fn parse(s: &str) -> Result<Self, ProtocolError> {
+        match s {
+            "ssa" => Ok(Method::Ssa),
+            "ode" => Ok(Method::Ode),
+            other => Err(ProtocolError::new(format!("unknown method `{other}`"))),
+        }
+    }
+}
+
+/// One sweep cell of a submission: a label plus an optional rate-constant
+/// override (both of `k_fast`/`k_slow`, or neither — the server rejects a
+/// half-specified pair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Human-readable cell label, carried into result rows.
+    pub label: String,
+    /// Fast-category rate constant override.
+    pub k_fast: Option<f64>,
+    /// Slow-category rate constant override.
+    pub k_slow: Option<f64>,
+}
+
+/// A batch-simulation submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// The tenant this job is accounted to (admission control and budgets
+    /// are per tenant).
+    pub tenant: String,
+    /// The network, as reaction text (the `Crn` `Display` format).
+    pub network: String,
+    /// Initial amounts by species name; unmentioned species start at 0.
+    pub init: Vec<(String, f64)>,
+    /// Which simulator to run.
+    pub method: Method,
+    /// Simulated end time.
+    pub t_end: f64,
+    /// Trace recording interval (simulator default when absent).
+    pub record_interval: Option<f64>,
+    /// The sweep master seed; each cell's seed derives from it and the
+    /// cell index exactly as [`molseq_sweep::derive_seed`] does.
+    pub seed: u64,
+    /// Timed injections `(time, species name, amount)`.
+    pub injections: Vec<(f64, String, f64)>,
+    /// The cells to run, in index order.
+    pub cells: Vec<CellSpec>,
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a new job.
+    Submit(Box<SubmitRequest>),
+    /// Query a job's progress.
+    Status {
+        /// The job to query.
+        job_id: String,
+    },
+    /// Fetch completed rows.
+    Fetch {
+        /// The job to read from.
+        job_id: String,
+        /// First row index wanted.
+        from: usize,
+        /// Block until at least one new row (or a terminal state) is
+        /// available.
+        wait: bool,
+    },
+    /// Cancel a job.
+    Cancel {
+        /// The job to cancel.
+        job_id: String,
+    },
+    /// Read the server counters.
+    Stats,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// One completed cell as it travels over the wire: the deterministic
+/// subset of a sweep cell (no wall clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRow {
+    /// The cell's index in the submission.
+    pub index: usize,
+    /// The cell's label.
+    pub label: String,
+    /// How the cell ended.
+    pub status: JobStatus,
+    /// Failure detail (empty for `Ok`).
+    pub detail: String,
+    /// Recorded metrics, in a fixed deterministic order.
+    pub metrics: Vec<(String, f64)>,
+    /// Final state vector, in species registration order (empty unless
+    /// the cell succeeded).
+    pub final_state: Vec<f64>,
+}
+
+fn obj(members: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+fn num(v: f64) -> JsonValue {
+    JsonValue::from_f64(v)
+}
+
+fn string(s: &str) -> JsonValue {
+    JsonValue::String(s.to_owned())
+}
+
+fn get_str(v: &JsonValue, key: &str) -> Result<String, ProtocolError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| ProtocolError::new(format!("missing string field `{key}`")))
+}
+
+fn get_f64(v: &JsonValue, key: &str) -> Result<f64, ProtocolError> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| ProtocolError::new(format!("missing numeric field `{key}`")))
+}
+
+fn get_usize(v: &JsonValue, key: &str) -> Result<usize, ProtocolError> {
+    let n = get_f64(v, key)?;
+    if n.fract() != 0.0 || !(0.0..9.0e15).contains(&n) {
+        return Err(ProtocolError::new(format!(
+            "field `{key}` is not a non-negative integer"
+        )));
+    }
+    Ok(n as usize)
+}
+
+fn opt_f64(v: &JsonValue, key: &str) -> Option<f64> {
+    v.get(key).and_then(JsonValue::as_f64)
+}
+
+impl Request {
+    /// Renders this request as one compact JSON line (no trailing
+    /// newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let doc = match self {
+            Request::Submit(req) => {
+                let cells: Vec<JsonValue> = req
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        let mut members = vec![("label", string(&c.label))];
+                        if let Some(k) = c.k_fast {
+                            members.push(("k_fast", num(k)));
+                        }
+                        if let Some(k) = c.k_slow {
+                            members.push(("k_slow", num(k)));
+                        }
+                        obj(members)
+                    })
+                    .collect();
+                let init: Vec<JsonValue> = req
+                    .init
+                    .iter()
+                    .map(|(name, amount)| JsonValue::Array(vec![string(name), num(*amount)]))
+                    .collect();
+                let injections: Vec<JsonValue> = req
+                    .injections
+                    .iter()
+                    .map(|(time, name, amount)| {
+                        JsonValue::Array(vec![num(*time), string(name), num(*amount)])
+                    })
+                    .collect();
+                let mut members = vec![
+                    ("op", string("submit")),
+                    ("tenant", string(&req.tenant)),
+                    ("network", string(&req.network)),
+                    ("init", JsonValue::Array(init)),
+                    ("method", string(req.method.as_str())),
+                    ("t_end", num(req.t_end)),
+                ];
+                if let Some(dt) = req.record_interval {
+                    members.push(("record_interval", num(dt)));
+                }
+                members.push(("seed", num(req.seed as f64)));
+                if !req.injections.is_empty() {
+                    members.push(("injections", JsonValue::Array(injections)));
+                }
+                members.push(("cells", JsonValue::Array(cells)));
+                obj(members)
+            }
+            Request::Status { job_id } => {
+                obj(vec![("op", string("status")), ("job", string(job_id))])
+            }
+            Request::Fetch { job_id, from, wait } => obj(vec![
+                ("op", string("fetch")),
+                ("job", string(job_id)),
+                ("from", num(*from as f64)),
+                ("wait", JsonValue::Bool(*wait)),
+            ]),
+            Request::Cancel { job_id } => {
+                obj(vec![("op", string("cancel")), ("job", string(job_id))])
+            }
+            Request::Stats => obj(vec![("op", string("stats"))]),
+            Request::Shutdown => obj(vec![("op", string("shutdown"))]),
+        };
+        let mut out = String::new();
+        doc.render_compact(&mut out);
+        out
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on malformed JSON, an unknown `op`, or missing
+    /// fields.
+    pub fn parse(line: &str) -> Result<Request, ProtocolError> {
+        let doc = JsonValue::parse(line)
+            .map_err(|e| ProtocolError::new(format!("malformed request: {e}")))?;
+        let op = get_str(&doc, "op")?;
+        match op.as_str() {
+            "submit" => Ok(Request::Submit(Box::new(parse_submit(&doc)?))),
+            "status" => Ok(Request::Status {
+                job_id: get_str(&doc, "job")?,
+            }),
+            "fetch" => Ok(Request::Fetch {
+                job_id: get_str(&doc, "job")?,
+                from: get_usize(&doc, "from").unwrap_or(0),
+                wait: matches!(doc.get("wait"), Some(JsonValue::Bool(true))),
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job_id: get_str(&doc, "job")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
+        }
+    }
+}
+
+fn parse_submit(doc: &JsonValue) -> Result<SubmitRequest, ProtocolError> {
+    let init = match doc.get("init") {
+        None => Vec::new(),
+        Some(v) => {
+            v.as_array()
+                .ok_or_else(|| ProtocolError::new("`init` is not an array"))?
+                .iter()
+                .map(|pair| {
+                    let items = pair.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                        ProtocolError::new("init entry is not a [name, amount] pair")
+                    })?;
+                    let name = items[0]
+                        .as_str()
+                        .ok_or_else(|| ProtocolError::new("init species name is not a string"))?;
+                    let amount = items[1]
+                        .as_f64()
+                        .ok_or_else(|| ProtocolError::new("init amount is not a number"))?;
+                    Ok((name.to_owned(), amount))
+                })
+                .collect::<Result<_, ProtocolError>>()?
+        }
+    };
+    let injections = match doc.get("injections") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| ProtocolError::new("`injections` is not an array"))?
+            .iter()
+            .map(|triple| {
+                let items = triple.as_array().filter(|a| a.len() == 3).ok_or_else(|| {
+                    ProtocolError::new("injection entry is not a [time, species, amount] triple")
+                })?;
+                let time = items[0]
+                    .as_f64()
+                    .ok_or_else(|| ProtocolError::new("injection time is not a number"))?;
+                let name = items[1]
+                    .as_str()
+                    .ok_or_else(|| ProtocolError::new("injection species is not a string"))?;
+                let amount = items[2]
+                    .as_f64()
+                    .ok_or_else(|| ProtocolError::new("injection amount is not a number"))?;
+                Ok((time, name.to_owned(), amount))
+            })
+            .collect::<Result<_, ProtocolError>>()?,
+    };
+    let cells = doc
+        .get("cells")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ProtocolError::new("missing `cells` array"))?
+        .iter()
+        .map(|cell| {
+            Ok(CellSpec {
+                label: get_str(cell, "label")?,
+                k_fast: opt_f64(cell, "k_fast"),
+                k_slow: opt_f64(cell, "k_slow"),
+            })
+        })
+        .collect::<Result<Vec<_>, ProtocolError>>()?;
+    let seed = match doc.get("seed") {
+        None => 0,
+        Some(_) => {
+            let n = get_f64(doc, "seed")?;
+            if n.fract() != 0.0 || !(0.0..9.0e15).contains(&n) {
+                return Err(ProtocolError::new("`seed` is not a non-negative integer"));
+            }
+            n as u64
+        }
+    };
+    Ok(SubmitRequest {
+        tenant: get_str(doc, "tenant")?,
+        network: get_str(doc, "network")?,
+        init,
+        method: Method::parse(&get_str(doc, "method")?)?,
+        t_end: get_f64(doc, "t_end")?,
+        record_interval: opt_f64(doc, "record_interval"),
+        seed,
+        injections,
+        cells,
+    })
+}
+
+impl CellRow {
+    /// This row as a JSON value (the element type of fetch responses).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("index", num(self.index as f64)),
+            ("label", string(&self.label)),
+            ("status", string(self.status.as_str())),
+            ("detail", string(&self.detail)),
+            (
+                "metrics",
+                JsonValue::Array(
+                    self.metrics
+                        .iter()
+                        .map(|(name, v)| JsonValue::Array(vec![string(name), num(*v)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "final_state",
+                JsonValue::Array(self.final_state.iter().map(|&v| num(v)).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a row from a fetch response element.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on a value that does not match the row schema.
+    pub fn from_json(v: &JsonValue) -> Result<CellRow, ProtocolError> {
+        let status_name = get_str(v, "status")?;
+        let status = JobStatus::parse(&status_name)
+            .ok_or_else(|| ProtocolError::new(format!("unknown status `{status_name}`")))?;
+        let metrics = v
+            .get("metrics")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ProtocolError::new("missing `metrics` array"))?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                    ProtocolError::new("metric entry is not a [name, value] pair")
+                })?;
+                let name = items[0]
+                    .as_str()
+                    .ok_or_else(|| ProtocolError::new("metric name is not a string"))?;
+                // null is how non-finite values travel, as in the artifacts
+                let value = match &items[1] {
+                    JsonValue::Null => f64::NAN,
+                    other => other
+                        .as_f64()
+                        .ok_or_else(|| ProtocolError::new("metric value is not a number"))?,
+                };
+                Ok((name.to_owned(), value))
+            })
+            .collect::<Result<_, ProtocolError>>()?;
+        let final_state = v
+            .get("final_state")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ProtocolError::new("missing `final_state` array"))?
+            .iter()
+            .map(|x| {
+                x.as_f64()
+                    .ok_or_else(|| ProtocolError::new("final_state entry is not a number"))
+            })
+            .collect::<Result<_, ProtocolError>>()?;
+        Ok(CellRow {
+            index: get_usize(v, "index")?,
+            label: get_str(v, "label")?,
+            status,
+            detail: get_str(v, "detail")?,
+            metrics,
+            final_state,
+        })
+    }
+
+    /// This row as a sweep [`JobRecord`] with a zero wall clock, so sets
+    /// of fetched rows can be aggregated into a [`SweepSummary`] and fed
+    /// through the persisted-artifact / trend pipeline.
+    #[must_use]
+    pub fn to_job_record(&self) -> JobRecord {
+        JobRecord {
+            index: self.index,
+            label: self.label.clone(),
+            status: self.status,
+            wall_secs: 0.0,
+            detail: self.detail.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+/// Aggregates fetched rows into a [`SweepSummary`] with zeroed wall
+/// clocks, suitable for `to_json`/`to_csv` persistence and `trend`
+/// comparison. Because every field is deterministic, two summaries built
+/// from the same submission are byte-identical however many workers the
+/// server ran.
+#[must_use]
+pub fn rows_to_summary(rows: &[CellRow], workers: usize) -> SweepSummary {
+    let jobs: Vec<JobRecord> = rows.iter().map(CellRow::to_job_record).collect();
+    let count = |status: JobStatus| jobs.iter().filter(|j| j.status == status).count();
+    SweepSummary {
+        total: jobs.len(),
+        succeeded: count(JobStatus::Ok),
+        failed: count(JobStatus::Failed),
+        panicked: count(JobStatus::Panicked),
+        budget_exceeded: count(JobStatus::BudgetExceeded),
+        cancelled: count(JobStatus::Cancelled),
+        workers,
+        wall_secs: 0.0,
+        min_job_secs: 0.0,
+        mean_job_secs: 0.0,
+        max_job_secs: 0.0,
+        jobs,
+    }
+}
+
+/// Wraps a `stats` counter snapshot in a one-row [`SweepSummary`] (label
+/// `server-stats`), so server counters land in the same persisted-summary
+/// pipeline the experiments use and `trend` can gate on them. Counters
+/// must already be sorted by name — the server emits them that way.
+#[must_use]
+pub fn stats_summary(counters: &[(String, f64)]) -> SweepSummary {
+    let row = CellRow {
+        index: 0,
+        label: "server-stats".to_owned(),
+        status: JobStatus::Ok,
+        detail: String::new(),
+        metrics: counters.to_vec(),
+        final_state: Vec::new(),
+    };
+    rows_to_summary(std::slice::from_ref(&row), 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_submit() -> SubmitRequest {
+        SubmitRequest {
+            tenant: "acme".to_owned(),
+            network: "X -> Y @fast\n".to_owned(),
+            init: vec![("X".to_owned(), 10.0)],
+            method: Method::Ssa,
+            t_end: 5.0,
+            record_interval: Some(1.0),
+            seed: 42,
+            injections: vec![(2.0, "X".to_owned(), 3.0)],
+            cells: vec![
+                CellSpec {
+                    label: "rep=0".to_owned(),
+                    k_fast: None,
+                    k_slow: None,
+                },
+                CellSpec {
+                    label: "k=500".to_owned(),
+                    k_fast: Some(500.0),
+                    k_slow: Some(1.0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_through_their_lines() {
+        let requests = vec![
+            Request::Submit(Box::new(sample_submit())),
+            Request::Status {
+                job_id: "j-1".to_owned(),
+            },
+            Request::Fetch {
+                job_id: "j-1".to_owned(),
+                from: 3,
+                wait: true,
+            },
+            Request::Cancel {
+                job_id: "j-2".to_owned(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let line = req.to_line();
+            assert!(!line.contains('\n'), "one line per message: {line}");
+            assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn submit_defaults_apply_when_fields_are_absent() {
+        let line = "{\"op\":\"submit\",\"tenant\":\"t\",\"network\":\"X -> Y @fast\",\
+                    \"method\":\"ode\",\"t_end\":1,\"cells\":[{\"label\":\"only\"}]}";
+        let Request::Submit(req) = Request::parse(line).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(req.seed, 0);
+        assert!(req.init.is_empty());
+        assert!(req.injections.is_empty());
+        assert_eq!(req.record_interval, None);
+        assert_eq!(req.method, Method::Ode);
+        assert_eq!(req.cells[0].k_fast, None);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_context() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"op\":\"explode\"}").is_err());
+        let missing_cells =
+            "{\"op\":\"submit\",\"tenant\":\"t\",\"network\":\"\",\"method\":\"ssa\",\"t_end\":1}";
+        let err = Request::parse(missing_cells).unwrap_err();
+        assert!(err.message().contains("cells"), "{err}");
+        assert!(Method::parse("tau").is_err());
+    }
+
+    #[test]
+    fn cell_rows_round_trip_including_non_finite_metrics() {
+        let row = CellRow {
+            index: 3,
+            label: "rep=3".to_owned(),
+            status: JobStatus::BudgetExceeded,
+            detail: "steps 11 > limit 10".to_owned(),
+            metrics: vec![
+                ("final_time".to_owned(), 4.5),
+                ("residual".to_owned(), f64::NAN),
+                ("ssa_events".to_owned(), 120.0),
+            ],
+            final_state: vec![0.0, 2.0, 8.0],
+        };
+        let parsed = CellRow::from_json(&row.to_json()).unwrap();
+        assert_eq!(parsed.index, row.index);
+        assert_eq!(parsed.status, row.status);
+        assert_eq!(parsed.final_state, row.final_state);
+        assert!(parsed.metrics[1].1.is_nan());
+        assert_eq!(parsed.metrics[0], row.metrics[0]);
+        assert_eq!(parsed.metrics[2], row.metrics[2]);
+    }
+
+    #[test]
+    fn rows_to_summary_counts_by_status_and_zeroes_clocks() {
+        let row = |index, status| CellRow {
+            index,
+            label: format!("r{index}"),
+            status,
+            detail: String::new(),
+            metrics: vec![("ssa_events".to_owned(), 10.0)],
+            final_state: Vec::new(),
+        };
+        let rows = vec![
+            row(0, JobStatus::Ok),
+            row(1, JobStatus::Cancelled),
+            row(2, JobStatus::BudgetExceeded),
+        ];
+        let summary = rows_to_summary(&rows, 4);
+        assert_eq!(summary.total, 3);
+        assert_eq!(summary.succeeded, 1);
+        assert_eq!(summary.cancelled, 1);
+        assert_eq!(summary.budget_exceeded, 1);
+        assert_eq!(summary.wall_secs, 0.0);
+        assert_eq!(summary.jobs[1].wall_secs, 0.0);
+        // metric columns come from the shared sorted-union helper
+        assert_eq!(summary.metric_columns(), vec!["ssa_events"]);
+    }
+
+    #[test]
+    fn stats_summary_is_one_ok_row_with_counter_metrics() {
+        let counters = vec![
+            ("cache_hits".to_owned(), 3.0),
+            ("cache_misses".to_owned(), 1.0),
+        ];
+        let s = stats_summary(&counters);
+        assert_eq!((s.total, s.succeeded), (1, 1));
+        assert_eq!(s.jobs[0].label, "server-stats");
+        assert_eq!(s.jobs[0].metrics, counters);
+        assert_eq!(s.metric_columns(), vec!["cache_hits", "cache_misses"]);
+    }
+}

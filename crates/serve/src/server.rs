@@ -1,0 +1,855 @@
+//! The server: a TCP accept loop, a persistent worker pool, the job
+//! table, the compiled-CRN cache, and per-tenant admission control.
+//!
+//! Every simulation cell runs through [`molseq_sweep::run_cell`] — the
+//! exact engine `run_sweep` uses, with the same seed derivation and fault
+//! isolation — so the rows a job streams back are bit-identical to an
+//! in-process sweep of the same request, whatever the worker count.
+
+use crate::protocol::{CellRow, CellSpec, Method, Request, SubmitRequest};
+use molseq_crn::{Crn, RateAssignment};
+use molseq_kinetics::{
+    CompiledCache, CompiledCrn, OdeOptions, Schedule, SimError, SimMetrics, SimSpec, Simulation,
+    SsaOptions, State,
+};
+use molseq_sweep::{
+    run_cell, CancelToken, CellOutcome, JobBudget, JobCtx, JobError, JobStatus, JsonValue,
+    SweepJob, SweepOptions,
+};
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How long a `fetch` with `wait: true` blocks before replying with
+/// whatever rows are ready, so a stalled job cannot wedge a connection.
+const FETCH_WAIT_CAP: Duration = Duration::from_secs(30);
+
+/// Per-tenant limits: how many jobs the tenant may have in flight and
+/// the [`JobBudget`] every cell of its jobs runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Submissions beyond this many unfinished jobs are rejected.
+    pub max_inflight: usize,
+    /// The per-cell budget (step budgets are deterministic; wall budgets
+    /// are machine-dependent and break byte-reproducibility).
+    pub budget: JobBudget,
+}
+
+impl Default for TenantPolicy {
+    /// Four jobs in flight, unlimited budget.
+    fn default() -> Self {
+        TenantPolicy {
+            max_inflight: 4,
+            budget: JobBudget::unlimited(),
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    addr: String,
+    workers: usize,
+    default_policy: TenantPolicy,
+    tenant_policies: Vec<(String, TenantPolicy)>,
+}
+
+impl Default for ServerConfig {
+    /// An ephemeral local port, one worker per hardware thread, the
+    /// default [`TenantPolicy`] for every tenant.
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 0,
+            default_policy: TenantPolicy::default(),
+            tenant_policies: Vec::new(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the bind address (builder style). Port `0` picks an
+    /// ephemeral port; read the real one from [`Server::addr`].
+    #[must_use]
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker-thread count (builder style); `0` means one per
+    /// available hardware thread.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the policy applied to tenants without an explicit override
+    /// (builder style).
+    #[must_use]
+    pub fn with_default_policy(mut self, policy: TenantPolicy) -> Self {
+        self.default_policy = policy;
+        self
+    }
+
+    /// Overrides the policy for one named tenant (builder style).
+    #[must_use]
+    pub fn with_tenant_policy(mut self, tenant: impl Into<String>, policy: TenantPolicy) -> Self {
+        self.tenant_policies.push((tenant.into(), policy));
+        self
+    }
+
+    fn policy_for(&self, tenant: &str) -> TenantPolicy {
+        self.tenant_policies
+            .iter()
+            .rev()
+            .find(|(name, _)| name == tenant)
+            .map_or(self.default_policy, |(_, policy)| *policy)
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Everything the server validated out of a submission; workers only
+/// read it.
+struct JobPlan {
+    crn: Crn,
+    init: State,
+    schedule: Schedule,
+    method: Method,
+    t_end: f64,
+    record_interval: Option<f64>,
+    cells: Vec<PlanCell>,
+}
+
+/// One planned cell: its label and its (possibly rebound) compile.
+struct PlanCell {
+    label: String,
+    compiled: Arc<CompiledCrn>,
+}
+
+/// A job's mutable progress, guarded by the entry's mutex.
+struct JobProgress {
+    rows: Vec<Option<CellRow>>,
+    completed: usize,
+    finished: bool,
+    cancel_requested: bool,
+}
+
+struct JobEntry {
+    id: String,
+    tenant: String,
+    plan: JobPlan,
+    opts: SweepOptions,
+    cancel: CancelToken,
+    progress: Mutex<JobProgress>,
+    progressed: Condvar,
+}
+
+#[derive(Default)]
+struct Counters {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    tenant_rejections: AtomicU64,
+    cells_ok: AtomicU64,
+    cells_failed: AtomicU64,
+    cells_panicked: AtomicU64,
+    cells_budget_exceeded: AtomicU64,
+    cells_cancelled: AtomicU64,
+    running_cells: AtomicU64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    cache: CompiledCache,
+    queue: Mutex<VecDeque<(Arc<JobEntry>, usize)>>,
+    queue_ready: Condvar,
+    jobs: Mutex<HashMap<String, Arc<JobEntry>>>,
+    inflight: Mutex<HashMap<String, usize>>,
+    rejections: Mutex<BTreeMap<String, u64>>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    next_job: AtomicU64,
+}
+
+/// A running batch-simulation server.
+///
+/// Dropping the handle does **not** stop the server; call
+/// [`shutdown`](Self::shutdown) (or send the wire `shutdown` op) and then
+/// [`join`](Self::join).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the configured address, spawns the worker pool and the
+    /// accept loop, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding the listener.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let worker_count = config.resolved_workers();
+        let shared = Arc::new(Shared {
+            config,
+            cache: CompiledCache::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            rejections: Mutex::new(BTreeMap::new()),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            next_job: AtomicU64::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The address the server is actually listening on (resolves an
+    /// ephemeral port request).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A sorted snapshot of the server counters — the same data the wire
+    /// `stats` op returns.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, f64)> {
+        snapshot_counters(&self.shared)
+    }
+
+    /// Asks the server to stop: no new connections, workers drain the
+    /// queue and exit. Idempotent; the wire `shutdown` op does the same.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared, self.addr);
+    }
+
+    /// Waits for the accept loop and every worker to exit. Call after
+    /// [`shutdown`](Self::shutdown) (or after a client sent the wire
+    /// `shutdown` op).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn begin_shutdown(shared: &Shared, addr: SocketAddr) {
+    shared.shutdown.store(true, Ordering::Release);
+    shared.queue_ready.notify_all();
+    // the accept loop blocks in `incoming`; poke it awake so it can
+    // observe the flag
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let addr = listener.local_addr().ok();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // connection threads are detached: they exit when the client
+        // disconnects, and the process exits once `join` returns
+        thread::spawn(move || {
+            let _ = serve_connection(stream, &shared, addr);
+        });
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    addr: Option<SocketAddr>,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, is_shutdown) = match Request::parse(&line) {
+            Err(e) => (error_response(e.message()), false),
+            Ok(request) => dispatch(shared, &request),
+        };
+        let mut out = String::new();
+        response.render_compact(&mut out);
+        out.push('\n');
+        writer.write_all(out.as_bytes())?;
+        writer.flush()?;
+        if is_shutdown {
+            if let Some(addr) = addr {
+                begin_shutdown(shared, addr);
+            }
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn error_response(msg: &str) -> JsonValue {
+    JsonValue::Object(vec![
+        ("ok".to_owned(), JsonValue::Bool(false)),
+        ("error".to_owned(), JsonValue::String(msg.to_owned())),
+    ])
+}
+
+fn ok_response(mut members: Vec<(&str, JsonValue)>) -> JsonValue {
+    let mut all = vec![("ok".to_owned(), JsonValue::Bool(true))];
+    all.extend(members.drain(..).map(|(k, v)| (k.to_owned(), v)));
+    JsonValue::Object(all)
+}
+
+fn dispatch(shared: &Shared, request: &Request) -> (JsonValue, bool) {
+    match request {
+        Request::Submit(req) => (
+            handle_submit(shared, req).unwrap_or_else(|msg| error_response(&msg)),
+            false,
+        ),
+        Request::Status { job_id } => (handle_status(shared, job_id), false),
+        Request::Fetch { job_id, from, wait } => {
+            (handle_fetch(shared, job_id, *from, *wait), false)
+        }
+        Request::Cancel { job_id } => (handle_cancel(shared, job_id), false),
+        Request::Stats => (handle_stats(shared), false),
+        Request::Shutdown => (ok_response(vec![]), true),
+    }
+}
+
+/// Reserves an in-flight slot for `tenant`, or reports the rejection.
+fn admit(shared: &Shared, tenant: &str) -> Result<(), String> {
+    let policy = shared.config.policy_for(tenant);
+    let mut inflight = shared.inflight.lock().expect("inflight map poisoned");
+    let slot = inflight.entry(tenant.to_owned()).or_insert(0);
+    if *slot >= policy.max_inflight {
+        drop(inflight);
+        shared
+            .counters
+            .tenant_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        *shared
+            .rejections
+            .lock()
+            .expect("rejection map poisoned")
+            .entry(tenant.to_owned())
+            .or_insert(0) += 1;
+        return Err(format!(
+            "tenant `{tenant}` is at its in-flight limit ({})",
+            policy.max_inflight
+        ));
+    }
+    *slot += 1;
+    Ok(())
+}
+
+fn release_slot(shared: &Shared, tenant: &str) {
+    let mut inflight = shared.inflight.lock().expect("inflight map poisoned");
+    if let Some(slot) = inflight.get_mut(tenant) {
+        *slot = slot.saturating_sub(1);
+    }
+}
+
+fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<JsonValue, String> {
+    if req.cells.is_empty() {
+        return Err("a submission needs at least one cell".to_owned());
+    }
+    if !req.t_end.is_finite() || req.t_end <= 0.0 {
+        return Err("`t_end` must be finite and positive".to_owned());
+    }
+    admit(shared, &req.tenant)?;
+    // any validation failure from here on must hand the slot back
+    let plan = match build_plan(shared, req) {
+        Ok(plan) => plan,
+        Err(msg) => {
+            release_slot(shared, &req.tenant);
+            return Err(msg);
+        }
+    };
+    let policy = shared.config.policy_for(&req.tenant);
+    let id = format!("j-{}", shared.next_job.fetch_add(1, Ordering::Relaxed) + 1);
+    let species: Vec<JsonValue> = plan
+        .crn
+        .species_iter()
+        .map(|(_, s)| JsonValue::String(s.name().to_owned()))
+        .collect();
+    let cells = plan.cells.len();
+    let entry = Arc::new(JobEntry {
+        id: id.clone(),
+        tenant: req.tenant.clone(),
+        plan,
+        opts: SweepOptions::default()
+            .with_seed(req.seed)
+            .with_budget(policy.budget),
+        cancel: CancelToken::new(),
+        progress: Mutex::new(JobProgress {
+            rows: vec![None; cells],
+            completed: 0,
+            finished: false,
+            cancel_requested: false,
+        }),
+        progressed: Condvar::new(),
+    });
+    shared
+        .jobs
+        .lock()
+        .expect("job table poisoned")
+        .insert(id.clone(), Arc::clone(&entry));
+    {
+        let mut queue = shared.queue.lock().expect("work queue poisoned");
+        for index in 0..cells {
+            queue.push_back((Arc::clone(&entry), index));
+        }
+    }
+    shared.queue_ready.notify_all();
+    shared
+        .counters
+        .jobs_submitted
+        .fetch_add(1, Ordering::Relaxed);
+    Ok(ok_response(vec![
+        ("job", JsonValue::String(id)),
+        ("cells", JsonValue::from_f64(cells as f64)),
+        ("species", JsonValue::Array(species)),
+    ]))
+}
+
+fn build_plan(shared: &Shared, req: &SubmitRequest) -> Result<JobPlan, String> {
+    let crn: Crn = req
+        .network
+        .parse()
+        .map_err(|e| format!("network does not parse: {e}"))?;
+    let mut init = State::new(&crn);
+    for (name, amount) in &req.init {
+        let species = crn
+            .find_species(name)
+            .ok_or_else(|| format!("init names unknown species `{name}`"))?;
+        if !amount.is_finite() || *amount < 0.0 {
+            return Err(format!("init amount for `{name}` must be finite and >= 0"));
+        }
+        init.set(species, *amount);
+    }
+    let mut schedule = Schedule::new();
+    for (time, name, amount) in &req.injections {
+        let species = crn
+            .find_species(name)
+            .ok_or_else(|| format!("injection names unknown species `{name}`"))?;
+        if !time.is_finite() || *time < 0.0 {
+            return Err("injection time must be finite and >= 0".to_owned());
+        }
+        if !amount.is_finite() || *amount < 0.0 {
+            return Err(format!(
+                "injection amount for `{name}` must be finite and >= 0"
+            ));
+        }
+        schedule = schedule.inject(*time, species, *amount);
+    }
+    // one cache access per submission: the entry stores the default-spec
+    // compile, and cells with rate overrides rebind from it (rebinding is
+    // property-tested bit-identical to a fresh compile)
+    let base = shared.cache.get_or_compile(&crn, &SimSpec::default());
+    let cells = req
+        .cells
+        .iter()
+        .map(|cell| {
+            let compiled = match cell_spec(cell)? {
+                None => Arc::clone(&base),
+                Some(spec) => Arc::new(base.rebind(&spec)),
+            };
+            Ok(PlanCell {
+                label: cell.label.clone(),
+                compiled,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(JobPlan {
+        crn,
+        init,
+        schedule,
+        method: req.method,
+        t_end: req.t_end,
+        record_interval: req.record_interval,
+        cells,
+    })
+}
+
+fn cell_spec(cell: &CellSpec) -> Result<Option<SimSpec>, String> {
+    match (cell.k_fast, cell.k_slow) {
+        (None, None) => Ok(None),
+        (Some(k_fast), Some(k_slow)) => {
+            let assignment = RateAssignment::new(k_fast, k_slow)
+                .map_err(|e| format!("cell `{}`: {e}", cell.label))?;
+            Ok(Some(SimSpec::new(assignment)))
+        }
+        _ => Err(format!(
+            "cell `{}`: `k_fast` and `k_slow` must be given together",
+            cell.label
+        )),
+    }
+}
+
+fn handle_status(shared: &Shared, job_id: &str) -> JsonValue {
+    let Some(entry) = lookup(shared, job_id) else {
+        return error_response(&format!("unknown job `{job_id}`"));
+    };
+    let progress = entry.progress.lock().expect("job progress poisoned");
+    let state = if progress.finished {
+        if progress.cancel_requested {
+            "cancelled"
+        } else {
+            "done"
+        }
+    } else if progress.cancel_requested {
+        "cancelling"
+    } else if progress.completed > 0 {
+        "running"
+    } else {
+        "queued"
+    };
+    ok_response(vec![
+        ("job", JsonValue::String(entry.id.clone())),
+        ("state", JsonValue::String(state.to_owned())),
+        ("completed", JsonValue::from_f64(progress.completed as f64)),
+        ("total", JsonValue::from_f64(progress.rows.len() as f64)),
+    ])
+}
+
+fn handle_fetch(shared: &Shared, job_id: &str, from: usize, wait: bool) -> JsonValue {
+    let Some(entry) = lookup(shared, job_id) else {
+        return error_response(&format!("unknown job `{job_id}`"));
+    };
+    let mut progress = entry.progress.lock().expect("job progress poisoned");
+    loop {
+        // rows stream in completion order, but fetch only exposes the
+        // contiguous completed prefix: what a client accumulates is in
+        // index order, identical to a batch read after completion
+        let ready = progress.rows.iter().take_while(|row| row.is_some()).count();
+        if ready > from || progress.finished || !wait {
+            let rows: Vec<JsonValue> = progress.rows[from.min(ready)..ready]
+                .iter()
+                .map(|row| row.as_ref().expect("prefix rows are complete").to_json())
+                .collect();
+            return ok_response(vec![
+                ("rows", JsonValue::Array(rows)),
+                ("next", JsonValue::from_f64(ready as f64)),
+                ("done", JsonValue::Bool(progress.finished)),
+            ]);
+        }
+        let (next, timeout) = entry
+            .progressed
+            .wait_timeout(progress, FETCH_WAIT_CAP)
+            .expect("job progress poisoned");
+        progress = next;
+        if timeout.timed_out() {
+            let ready = progress.rows.iter().take_while(|row| row.is_some()).count();
+            let rows: Vec<JsonValue> = progress.rows[from.min(ready)..ready]
+                .iter()
+                .map(|row| row.as_ref().expect("prefix rows are complete").to_json())
+                .collect();
+            return ok_response(vec![
+                ("rows", JsonValue::Array(rows)),
+                ("next", JsonValue::from_f64(ready as f64)),
+                ("done", JsonValue::Bool(progress.finished)),
+            ]);
+        }
+    }
+}
+
+fn handle_cancel(shared: &Shared, job_id: &str) -> JsonValue {
+    let Some(entry) = lookup(shared, job_id) else {
+        return error_response(&format!("unknown job `{job_id}`"));
+    };
+    entry.cancel.cancel();
+    let mut progress = entry.progress.lock().expect("job progress poisoned");
+    if !progress.cancel_requested {
+        progress.cancel_requested = true;
+        shared
+            .counters
+            .jobs_cancelled
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let state = ok_response(vec![
+        ("job", JsonValue::String(entry.id.clone())),
+        ("finished", JsonValue::Bool(progress.finished)),
+    ]);
+    drop(progress);
+    entry.progressed.notify_all();
+    state
+}
+
+fn handle_stats(shared: &Shared) -> JsonValue {
+    let counters: Vec<JsonValue> = snapshot_counters(shared)
+        .into_iter()
+        .map(|(name, value)| {
+            JsonValue::Array(vec![JsonValue::String(name), JsonValue::from_f64(value)])
+        })
+        .collect();
+    ok_response(vec![("counters", JsonValue::Array(counters))])
+}
+
+fn lookup(shared: &Shared, job_id: &str) -> Option<Arc<JobEntry>> {
+    shared
+        .jobs
+        .lock()
+        .expect("job table poisoned")
+        .get(job_id)
+        .cloned()
+}
+
+/// The sorted counter snapshot behind the wire `stats` op and
+/// [`Server::counters`].
+fn snapshot_counters(shared: &Shared) -> Vec<(String, f64)> {
+    let c = &shared.counters;
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+    let mut counters = vec![
+        ("cache_hits".to_owned(), shared.cache.hits() as f64),
+        ("cache_misses".to_owned(), shared.cache.misses() as f64),
+        (
+            "cells_budget_exceeded".to_owned(),
+            load(&c.cells_budget_exceeded),
+        ),
+        ("cells_cancelled".to_owned(), load(&c.cells_cancelled)),
+        ("cells_failed".to_owned(), load(&c.cells_failed)),
+        ("cells_ok".to_owned(), load(&c.cells_ok)),
+        ("cells_panicked".to_owned(), load(&c.cells_panicked)),
+        ("jobs_cancelled".to_owned(), load(&c.jobs_cancelled)),
+        ("jobs_completed".to_owned(), load(&c.jobs_completed)),
+        ("jobs_submitted".to_owned(), load(&c.jobs_submitted)),
+        (
+            "queued_cells".to_owned(),
+            shared.queue.lock().expect("work queue poisoned").len() as f64,
+        ),
+        ("running_cells".to_owned(), load(&c.running_cells)),
+        ("tenant_rejections".to_owned(), load(&c.tenant_rejections)),
+    ];
+    for (tenant, count) in shared
+        .rejections
+        .lock()
+        .expect("rejection map poisoned")
+        .iter()
+    {
+        counters.push((format!("rejections.{tenant}"), *count as f64));
+    }
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    counters
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let item = {
+            let mut queue = shared.queue.lock().expect("work queue poisoned");
+            loop {
+                if let Some(item) = queue.pop_front() {
+                    break Some(item);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.queue_ready.wait(queue).expect("work queue poisoned");
+            }
+        };
+        let Some((entry, index)) = item else { return };
+        shared
+            .counters
+            .running_cells
+            .fetch_add(1, Ordering::Relaxed);
+        let row = run_plan_cell(&entry, index);
+        shared
+            .counters
+            .running_cells
+            .fetch_sub(1, Ordering::Relaxed);
+        match row.status {
+            JobStatus::Ok => &shared.counters.cells_ok,
+            JobStatus::Failed => &shared.counters.cells_failed,
+            JobStatus::Panicked => &shared.counters.cells_panicked,
+            JobStatus::BudgetExceeded => &shared.counters.cells_budget_exceeded,
+            JobStatus::Cancelled => &shared.counters.cells_cancelled,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let mut progress = entry.progress.lock().expect("job progress poisoned");
+        progress.rows[index] = Some(row);
+        progress.completed += 1;
+        let finished = progress.completed == progress.rows.len();
+        let cancel_requested = progress.cancel_requested;
+        progress.finished = finished;
+        if finished {
+            // settle the slot and counters before waking fetchers, so a
+            // stats call issued right after a fetch returns sees them
+            release_slot(shared, &entry.tenant);
+            if !cancel_requested {
+                shared
+                    .counters
+                    .jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drop(progress);
+        entry.progressed.notify_all();
+    }
+}
+
+/// Runs one cell of a job through [`run_cell`] — the sweep engine's own
+/// single-cell entry point — and converts the result to a wire row.
+fn run_plan_cell(entry: &JobEntry, index: usize) -> CellRow {
+    let plan = &entry.plan;
+    let cell = &plan.cells[index];
+    let job = SweepJob::new(cell.label.clone(), move |ctx: &JobCtx| {
+        simulate_cell(plan, cell, ctx)
+    });
+    let result = run_cell(&job, index, &entry.opts, Some(&entry.cancel));
+    let final_state = match &result.outcome {
+        CellOutcome::Ok(state) => state.clone(),
+        _ => Vec::new(),
+    };
+    let status = match &result.outcome {
+        CellOutcome::Ok(_) => JobStatus::Ok,
+        CellOutcome::Failed(_) => JobStatus::Failed,
+        CellOutcome::Panicked(_) => JobStatus::Panicked,
+        CellOutcome::BudgetExceeded(_) => JobStatus::BudgetExceeded,
+        CellOutcome::Cancelled(_) => JobStatus::Cancelled,
+    };
+    let detail = result.detail().unwrap_or("").to_owned();
+    CellRow {
+        index,
+        label: result.label,
+        status,
+        detail,
+        metrics: result.metrics,
+        final_state,
+    }
+}
+
+fn simulate_cell(plan: &JobPlan, cell: &PlanCell, ctx: &JobCtx) -> Result<Vec<f64>, JobError> {
+    let hook = ctx.step_hook();
+    let sink = Cell::new(SimMetrics::default());
+    let result = match plan.method {
+        Method::Ssa => {
+            let mut opts = SsaOptions::default()
+                .with_t_end(plan.t_end)
+                .with_seed(ctx.seed())
+                .with_step_hook(&hook)
+                .with_metrics(&sink);
+            if let Some(dt) = plan.record_interval {
+                opts = opts.with_record_interval(dt);
+            }
+            Simulation::new(&plan.crn, &cell.compiled)
+                .init(&plan.init)
+                .schedule(&plan.schedule)
+                .options(opts)
+                .run()
+        }
+        Method::Ode => {
+            let mut opts = OdeOptions::default()
+                .with_t_end(plan.t_end)
+                .with_step_hook(&hook)
+                .with_metrics(&sink);
+            if let Some(dt) = plan.record_interval {
+                opts = opts.with_record_interval(dt);
+            }
+            Simulation::new(&plan.crn, &cell.compiled)
+                .init(&plan.init)
+                .schedule(&plan.schedule)
+                .options(opts)
+                .run()
+        }
+    };
+    record_metrics(ctx, sink.get());
+    let trace = result.map_err(|e| match e {
+        SimError::Interrupted { time, reason } => {
+            // the step hook relays the sweep context's own verdict: a
+            // raised cancel token and an exhausted budget both surface
+            // as Interrupted, distinguished by the relayed message
+            if reason.contains("cancelled") {
+                JobError::Cancelled(reason)
+            } else {
+                JobError::BudgetExceeded(format!("interrupted at t = {time}: {reason}"))
+            }
+        }
+        other => JobError::failed(other),
+    })?;
+    Ok(trace.final_state().to_vec())
+}
+
+/// Records the simulator counters under the same metric names the bench
+/// experiments use, so server rows aggregate through the identical
+/// summary/trend pipeline.
+fn record_metrics(ctx: &JobCtx, m: SimMetrics) {
+    ctx.record_metric("ode_steps_accepted", m.ode_steps_accepted as f64);
+    ctx.record_metric("ode_steps_rejected", m.ode_steps_rejected as f64);
+    ctx.record_metric("lu_factorizations", m.lu_factorizations as f64);
+    ctx.record_metric("ssa_events", m.ssa_events as f64);
+    ctx.record_metric("tau_leaps", m.tau_leaps as f64);
+    ctx.record_metric("tau_leaps_implicit", m.tau_leaps_implicit as f64);
+    ctx.record_metric("newton_iterations", m.newton_iterations as f64);
+    ctx.record_metric("leap_switchovers", m.leap_switchovers as f64);
+    ctx.record_metric("final_time", m.final_time);
+    ctx.record_metric("seed", m.seed as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_policies_resolve_per_tenant_with_overrides() {
+        let strict = TenantPolicy {
+            max_inflight: 1,
+            budget: JobBudget::unlimited().with_max_steps(10),
+        };
+        let config = ServerConfig::default().with_tenant_policy("greedy", strict);
+        assert_eq!(config.policy_for("greedy"), strict);
+        assert_eq!(config.policy_for("anyone"), TenantPolicy::default());
+        // later overrides win
+        let relaxed = TenantPolicy {
+            max_inflight: 9,
+            budget: JobBudget::unlimited(),
+        };
+        let config = config.with_tenant_policy("greedy", relaxed);
+        assert_eq!(config.policy_for("greedy"), relaxed);
+    }
+
+    #[test]
+    fn resolved_workers_defaults_to_parallelism() {
+        assert!(ServerConfig::default().resolved_workers() >= 1);
+        assert_eq!(
+            ServerConfig::default().with_workers(3).resolved_workers(),
+            3
+        );
+    }
+}

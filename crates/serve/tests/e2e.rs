@@ -1,0 +1,295 @@
+//! End-to-end acceptance tests: real TCP servers, the reference client,
+//! and the wire protocol — no in-process shortcuts.
+//!
+//! The three claims under test:
+//!
+//! 1. the same submission produces **byte-identical** results whatever
+//!    the server's worker count, and a resubmission **hits the
+//!    compiled-CRN cache**;
+//! 2. a tenant exceeding its step budget is cut **deterministically**
+//!    without disturbing other tenants' results;
+//! 3. admission control rejects a tenant at its in-flight limit, and
+//!    cancellation both stops the job and frees the slot.
+
+use molseq_serve::{
+    rows_to_summary, CellRow, CellSpec, Client, ClientError, Method, Server, ServerConfig,
+    SubmitRequest, TenantPolicy,
+};
+use molseq_sweep::{JobBudget, JobStatus};
+
+/// A stochastic decay sweep: `amplitude` copies of X decaying to Y,
+/// `reps` seeds, plus one cell with an explicit rate override so the
+/// rebind path is always exercised.
+fn decay_submit(tenant: &str, amplitude: f64, reps: usize) -> SubmitRequest {
+    let mut cells: Vec<CellSpec> = (0..reps)
+        .map(|i| CellSpec {
+            label: format!("rep={i}"),
+            k_fast: None,
+            k_slow: None,
+        })
+        .collect();
+    cells.push(CellSpec {
+        label: "k=500/2".to_owned(),
+        k_fast: Some(500.0),
+        k_slow: Some(2.0),
+    });
+    SubmitRequest {
+        tenant: tenant.to_owned(),
+        network: "X -> Y @slow".to_owned(),
+        init: vec![("X".to_owned(), amplitude)],
+        method: Method::Ssa,
+        t_end: 1.0e6,
+        record_interval: None,
+        seed: 11,
+        injections: vec![(0.5, "X".to_owned(), 3.0)],
+        cells,
+    }
+}
+
+/// Renders rows plus their aggregate summary to the exact bytes a client
+/// would persist (worker count pinned so only genuine result fields can
+/// differ).
+fn render(rows: &[CellRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        row.to_json().render_compact(&mut out);
+        out.push('\n');
+    }
+    out.push_str(&rows_to_summary(rows, 1).to_json());
+    out
+}
+
+fn counter(stats: &[(String, f64)], name: &str) -> f64 {
+    stats
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("counter `{name}` missing from {stats:?}"))
+}
+
+#[test]
+fn same_submission_is_byte_identical_across_worker_counts_and_hits_the_cache() {
+    let serial = Server::start(ServerConfig::default().with_workers(1)).expect("server boots");
+    let threaded = Server::start(ServerConfig::default().with_workers(4)).expect("server boots");
+    let mut on_serial = Client::connect(serial.addr()).expect("client connects");
+    let mut on_threaded = Client::connect(threaded.addr()).expect("client connects");
+    let request = decay_submit("acme", 40.0, 6);
+
+    let first = on_serial.submit(&request).expect("submission is valid");
+    assert_eq!(first.cells, 7);
+    assert_eq!(first.species, vec!["X".to_owned(), "Y".to_owned()]);
+    let rows_serial = on_serial.fetch_all(&first.job_id).expect("job completes");
+    assert_eq!(rows_serial.len(), 7);
+    assert!(rows_serial.iter().all(|r| r.status == JobStatus::Ok));
+    // all 43 molecules (40 initial + 3 injected) end up decayed into Y
+    for row in &rows_serial {
+        assert_eq!(row.final_state, vec![0.0, 43.0], "{}", row.label);
+    }
+
+    // (a) byte-identical results, independent of worker count
+    let ack = on_threaded.submit(&request).expect("submission is valid");
+    let rows_threaded = on_threaded.fetch_all(&ack.job_id).expect("job completes");
+    assert_eq!(render(&rows_serial), render(&rows_threaded));
+
+    // (b) resubmitting reuses the compiled network: one miss, then hits
+    let stats = on_serial.stats().expect("stats round trip");
+    assert_eq!(counter(&stats, "cache_misses"), 1.0);
+    assert_eq!(counter(&stats, "cache_hits"), 0.0);
+    let again = on_serial.submit(&request).expect("resubmission is valid");
+    let rows_again = on_serial.fetch_all(&again.job_id).expect("job completes");
+    assert_eq!(render(&rows_serial), render(&rows_again));
+    let stats = on_serial.stats().expect("stats round trip");
+    assert_eq!(counter(&stats, "cache_misses"), 1.0);
+    assert_eq!(counter(&stats, "cache_hits"), 1.0);
+    assert_eq!(counter(&stats, "jobs_completed"), 2.0);
+    assert_eq!(counter(&stats, "cells_ok"), 14.0);
+
+    // non-waiting page reads after completion reproduce the stream
+    let mut paged = Vec::new();
+    loop {
+        let page = on_serial
+            .fetch(&first.job_id, paged.len(), false)
+            .expect("fetch round trip");
+        paged.extend(page.rows);
+        if page.done && paged.len() >= page.next {
+            break;
+        }
+    }
+    assert_eq!(paged, rows_serial);
+
+    on_serial.shutdown().expect("shutdown round trip");
+    on_threaded.shutdown().expect("shutdown round trip");
+    serial.join();
+    threaded.join();
+}
+
+#[test]
+fn budget_cuts_one_tenant_deterministically_without_disturbing_another() {
+    let strict = TenantPolicy {
+        max_inflight: 4,
+        budget: JobBudget::unlimited().with_max_steps(25),
+    };
+    let config = ServerConfig::default()
+        .with_workers(4)
+        .with_tenant_policy("greedy", strict);
+    let server = Server::start(config).expect("server boots");
+    let mut greedy = Client::connect(server.addr()).expect("client connects");
+    let mut modest = Client::connect(server.addr()).expect("client connects");
+
+    // the greedy job needs ~203 SSA events, far past its 25-step budget;
+    // the modest job runs the same shape within an unlimited budget
+    let greedy_ack = greedy
+        .submit(&decay_submit("greedy", 200.0, 4))
+        .expect("submission is valid");
+    let modest_ack = modest
+        .submit(&decay_submit("modest", 30.0, 4))
+        .expect("submission is valid");
+
+    let greedy_rows = greedy.fetch_all(&greedy_ack.job_id).expect("job completes");
+    for row in &greedy_rows {
+        assert_eq!(row.status, JobStatus::BudgetExceeded, "{}", row.label);
+        assert!(row.detail.contains("steps"), "detail: {}", row.detail);
+        assert!(row.final_state.is_empty());
+    }
+
+    let modest_rows = modest.fetch_all(&modest_ack.job_id).expect("job completes");
+    assert!(modest_rows.iter().all(|r| r.status == JobStatus::Ok));
+
+    // isolation: the modest tenant's rows match a run on an idle server
+    // with no budget-constrained neighbour, byte for byte
+    let alone = Server::start(ServerConfig::default().with_workers(4)).expect("server boots");
+    let mut solo = Client::connect(alone.addr()).expect("client connects");
+    let solo_ack = solo
+        .submit(&decay_submit("modest", 30.0, 4))
+        .expect("submission is valid");
+    let solo_rows = solo.fetch_all(&solo_ack.job_id).expect("job completes");
+    assert_eq!(render(&modest_rows), render(&solo_rows));
+
+    let stats = greedy.stats().expect("stats round trip");
+    assert_eq!(counter(&stats, "cells_budget_exceeded"), 5.0);
+    assert_eq!(counter(&stats, "cells_ok"), 5.0);
+    // both jobs used the same network: the second submission was a hit
+    assert_eq!(counter(&stats, "cache_misses"), 1.0);
+    assert_eq!(counter(&stats, "cache_hits"), 1.0);
+
+    greedy.shutdown().expect("shutdown round trip");
+    server.join();
+    solo.shutdown().expect("shutdown round trip");
+    alone.join();
+}
+
+#[test]
+fn admission_control_rejects_at_the_inflight_limit_and_cancel_frees_the_slot() {
+    let one_at_a_time = TenantPolicy {
+        max_inflight: 1,
+        budget: JobBudget::unlimited(),
+    };
+    // four workers: both long cells and the small job run concurrently,
+    // so the small job cannot queue behind the work it must not disturb
+    let config = ServerConfig::default()
+        .with_workers(4)
+        .with_tenant_policy("busy", one_at_a_time);
+    let server = Server::start(config).expect("server boots");
+    let mut busy = Client::connect(server.addr()).expect("client connects");
+    let mut other = Client::connect(server.addr()).expect("client connects");
+
+    // a job that cannot finish on its own: the two-way flip keeps firing
+    // SSA events for the whole (astronomical) horizon, so it is
+    // guaranteed to still be running through the admission and
+    // cancellation checks below; cancellation cuts it at the next event
+    let long = SubmitRequest {
+        tenant: "busy".to_owned(),
+        network: "X -> Y @slow\nY -> X @slow".to_owned(),
+        init: vec![("X".to_owned(), 100.0)],
+        method: Method::Ssa,
+        t_end: 1.0e9,
+        record_interval: None,
+        seed: 3,
+        injections: vec![],
+        cells: (0..2)
+            .map(|i| CellSpec {
+                label: format!("long rep={i}"),
+                k_fast: None,
+                k_slow: None,
+            })
+            .collect(),
+    };
+    let running = busy.submit(&long).expect("first job is admitted");
+
+    // the tenant is at its in-flight limit: the next submission bounces
+    let rejected = busy.submit(&long);
+    match rejected {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("in-flight"), "rejection message: {msg}");
+        }
+        other => panic!("expected a server rejection, got {other:?}"),
+    }
+
+    // an unrelated tenant is not affected by the rejection or the load
+    let small = other
+        .submit(&decay_submit("calm", 20.0, 2))
+        .expect("other tenant admitted");
+    let small_rows = other.fetch_all(&small.job_id).expect("job completes");
+    assert!(small_rows.iter().all(|r| r.status == JobStatus::Ok));
+
+    // cancel the long job: every cell ends Cancelled, cooperatively
+    busy.cancel(&running.job_id).expect("cancel round trip");
+    let cancelled_rows = busy.fetch_all(&running.job_id).expect("job drains");
+    assert_eq!(cancelled_rows.len(), 2);
+    for row in &cancelled_rows {
+        assert_eq!(row.status, JobStatus::Cancelled, "{}", row.label);
+        assert!(!row.detail.is_empty());
+    }
+    let status = busy.status(&running.job_id).expect("status round trip");
+    assert_eq!(status.state, "cancelled");
+    assert_eq!(status.completed, 2);
+
+    // the cancellation released the tenant's slot
+    let after = busy.submit(&decay_submit("busy", 10.0, 1));
+    assert!(after.is_ok(), "slot should be free again: {after:?}");
+    busy.fetch_all(&after.unwrap().job_id)
+        .expect("job completes");
+
+    let stats = busy.stats().expect("stats round trip");
+    assert_eq!(counter(&stats, "tenant_rejections"), 1.0);
+    assert_eq!(counter(&stats, "rejections.busy"), 1.0);
+    assert_eq!(counter(&stats, "jobs_cancelled"), 1.0);
+    assert_eq!(counter(&stats, "cells_cancelled"), 2.0);
+
+    busy.shutdown().expect("shutdown round trip");
+    server.join();
+}
+
+#[test]
+fn malformed_and_unknown_requests_fail_cleanly_without_killing_the_connection() {
+    let server = Server::start(ServerConfig::default().with_workers(1)).expect("server boots");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    let unknown = client.status("j-999");
+    assert!(matches!(unknown, Err(ClientError::Server(ref msg)) if msg.contains("unknown job")));
+
+    let bad_network = client.submit(&SubmitRequest {
+        network: "not a network ->".to_owned(),
+        ..decay_submit("acme", 10.0, 1)
+    });
+    assert!(matches!(bad_network, Err(ClientError::Server(_))));
+
+    let bad_species = client.submit(&SubmitRequest {
+        init: vec![("Zz".to_owned(), 1.0)],
+        ..decay_submit("acme", 10.0, 1)
+    });
+    assert!(
+        matches!(bad_species, Err(ClientError::Server(ref msg)) if msg.contains("unknown species"))
+    );
+
+    // a failed submission must not leak the reserved admission slot
+    for _ in 0..6 {
+        let ok = client
+            .submit(&decay_submit("acme", 5.0, 1))
+            .expect("valid submissions still admitted");
+        client.fetch_all(&ok.job_id).expect("job completes");
+    }
+
+    client.shutdown().expect("shutdown round trip");
+    server.join();
+}

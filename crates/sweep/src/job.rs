@@ -2,7 +2,55 @@
 
 use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared flag for cooperatively cancelling in-flight work.
+///
+/// Cloning the token is cheap (an `Arc` bump) and every clone observes the
+/// same flag. A job whose [`JobCtx`] carries a token observes cancellation
+/// at its budget checkpoints — [`JobCtx::check`], [`JobCtx::record_steps`],
+/// and therefore inside any simulator driven through
+/// [`JobCtx::step_hook`] — and ends as
+/// [`CellOutcome::Cancelled`](crate::CellOutcome::Cancelled). Like the
+/// budgets, cancellation is cooperative: std threads cannot be preempted,
+/// so a closure that never consults its context runs to completion.
+///
+/// # Examples
+///
+/// ```
+/// use molseq_sweep::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// Resource limits applied to every job of a sweep.
 ///
@@ -76,6 +124,8 @@ pub enum JobError {
     Failed(String),
     /// The job exhausted its [`JobBudget`].
     BudgetExceeded(String),
+    /// The job observed its [`CancelToken`] raised and stopped early.
+    Cancelled(String),
 }
 
 impl JobError {
@@ -91,6 +141,7 @@ impl fmt::Display for JobError {
         match self {
             JobError::Failed(msg) => write!(f, "job failed: {msg}"),
             JobError::BudgetExceeded(msg) => write!(f, "job budget exceeded: {msg}"),
+            JobError::Cancelled(msg) => write!(f, "job cancelled: {msg}"),
         }
     }
 }
@@ -108,6 +159,7 @@ pub struct JobCtx {
     index: usize,
     seed: u64,
     budget: JobBudget,
+    cancel: Option<CancelToken>,
     started: Instant,
     steps: Cell<u64>,
     metrics: RefCell<Vec<(String, f64)>>,
@@ -115,10 +167,20 @@ pub struct JobCtx {
 
 impl JobCtx {
     pub(crate) fn new(index: usize, seed: u64, budget: JobBudget) -> Self {
+        JobCtx::with_cancel(index, seed, budget, None)
+    }
+
+    pub(crate) fn with_cancel(
+        index: usize,
+        seed: u64,
+        budget: JobBudget,
+        cancel: Option<CancelToken>,
+    ) -> Self {
         JobCtx {
             index,
             seed,
             budget,
+            cancel,
             started: Instant::now(),
             steps: Cell::new(0),
             metrics: RefCell::new(Vec::new()),
@@ -145,14 +207,20 @@ impl JobCtx {
         self.started.elapsed()
     }
 
-    /// Cooperative wall-budget checkpoint: call between phases of a long
-    /// job and propagate the error with `?`.
+    /// Cooperative wall-budget and cancellation checkpoint: call between
+    /// phases of a long job and propagate the error with `?`.
     ///
     /// # Errors
     ///
-    /// [`JobError::BudgetExceeded`] once elapsed wall time passes the
-    /// budget's `max_wall`.
+    /// [`JobError::Cancelled`] if this context carries a raised
+    /// [`CancelToken`]; [`JobError::BudgetExceeded`] once elapsed wall
+    /// time passes the budget's `max_wall`.
     pub fn check(&self) -> Result<(), JobError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(JobError::Cancelled("cancel token raised".into()));
+            }
+        }
         if let Some(limit) = self.budget.max_wall() {
             let elapsed = self.elapsed();
             if elapsed > limit {
@@ -279,8 +347,13 @@ impl JobCtx {
 /// Derives the per-job seed from the sweep seed and job index with a
 /// SplitMix64 finalizer, so adjacent indices get statistically independent
 /// seeds.
+///
+/// This is the exact function [`run_sweep`](crate::run_sweep) uses for
+/// [`JobCtx::seed`]; it is public so external schedulers (e.g. a server
+/// dispatching cells one at a time onto a persistent pool) can reproduce
+/// a sweep's per-cell seeds bit-for-bit.
 #[must_use]
-pub(crate) fn derive_seed(sweep_seed: u64, index: usize) -> u64 {
+pub fn derive_seed(sweep_seed: u64, index: usize) -> u64 {
     let mut z = sweep_seed
         .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -426,6 +499,19 @@ mod tests {
             ]
         );
         assert!(ctx.take_metrics().is_empty(), "drained exactly once");
+    }
+
+    #[test]
+    fn cancel_token_trips_check_and_step_hook() {
+        let token = CancelToken::new();
+        let ctx = JobCtx::with_cancel(0, 1, JobBudget::unlimited(), Some(token.clone()));
+        assert!(ctx.check().is_ok());
+        let hook = ctx.step_hook();
+        assert!(hook(5, 0.1).is_continue());
+        token.cancel();
+        assert!(matches!(ctx.check(), Err(JobError::Cancelled(_))));
+        let broke = hook(10, 0.2);
+        assert!(matches!(broke, std::ops::ControlFlow::Break(ref m) if m.contains("cancelled")));
     }
 
     #[test]

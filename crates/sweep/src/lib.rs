@@ -63,9 +63,10 @@ mod read;
 mod summary;
 mod trend;
 
-pub use job::{JobBudget, JobCtx, JobError, SweepJob};
+pub use job::{derive_seed, CancelToken, JobBudget, JobCtx, JobError, SweepJob};
 pub use pool::{
-    run_sweep, run_sweep_with_progress, CellOutcome, CellResult, SweepOptions, SweepOutcome,
+    run_cell, run_sweep, run_sweep_with_progress, CellOutcome, CellResult, SweepOptions,
+    SweepOutcome,
 };
 pub use progress::ProgressTick;
 pub use read::{read_summary_csv, read_summary_json, JsonValue, ReadError};

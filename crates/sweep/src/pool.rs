@@ -1,6 +1,6 @@
 //! The worker pool: scoped threads, fault isolation, ordered results.
 
-use crate::job::{derive_seed, JobCtx, JobError, SweepJob};
+use crate::job::{derive_seed, CancelToken, JobCtx, JobError, SweepJob};
 use crate::{JobBudget, ProgressTick, SweepSummary};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -106,6 +106,10 @@ pub enum CellOutcome<T> {
     Panicked(String),
     /// The job exhausted its [`JobBudget`].
     BudgetExceeded(String),
+    /// The job was cancelled via a [`CancelToken`] — either before it
+    /// started (the token was already raised) or at a cooperative
+    /// checkpoint mid-run.
+    Cancelled(String),
 }
 
 /// One cell of the sweep: index, label, wall time, and outcome.
@@ -150,7 +154,8 @@ impl<T> CellResult<T> {
             CellOutcome::Ok(_) => None,
             CellOutcome::Failed(msg)
             | CellOutcome::Panicked(msg)
-            | CellOutcome::BudgetExceeded(msg) => Some(msg),
+            | CellOutcome::BudgetExceeded(msg)
+            | CellOutcome::Cancelled(msg) => Some(msg),
         }
     }
 }
@@ -274,7 +279,43 @@ pub fn run_sweep_with_progress<'a, T: Send>(
 }
 
 fn execute<T>(job: &SweepJob<'_, T>, index: usize, opts: &SweepOptions) -> CellResult<T> {
-    let ctx = JobCtx::new(index, derive_seed(opts.seed(), index), opts.budget());
+    run_cell(job, index, opts, None)
+}
+
+/// Runs a single sweep cell exactly the way [`run_sweep`] would — same
+/// seed derivation, same `catch_unwind` fault isolation, same budget and
+/// outcome mapping — but under the caller's own scheduling, with an
+/// optional [`CancelToken`].
+///
+/// This is the building block for external dispatchers (a batch server's
+/// persistent worker pool, a work-stealing harness) that cannot hand a
+/// whole job slice to [`run_sweep`] but still need their per-cell results
+/// bit-identical to it. A token that is already raised when the cell
+/// starts short-circuits to [`CellOutcome::Cancelled`] without invoking
+/// the closure, so draining a cancelled queue is cheap and deterministic.
+pub fn run_cell<T>(
+    job: &SweepJob<'_, T>,
+    index: usize,
+    opts: &SweepOptions,
+    cancel: Option<&CancelToken>,
+) -> CellResult<T> {
+    if let Some(token) = cancel {
+        if token.is_cancelled() {
+            return CellResult {
+                index,
+                label: job.label().to_owned(),
+                wall: Duration::ZERO,
+                outcome: CellOutcome::Cancelled("cancelled before start".into()),
+                metrics: Vec::new(),
+            };
+        }
+    }
+    let ctx = JobCtx::with_cancel(
+        index,
+        derive_seed(opts.seed(), index),
+        opts.budget(),
+        cancel.cloned(),
+    );
     let started = Instant::now();
     let caught = catch_unwind(AssertUnwindSafe(|| job.call(&ctx)));
     let wall = started.elapsed();
@@ -282,6 +323,7 @@ fn execute<T>(job: &SweepJob<'_, T>, index: usize, opts: &SweepOptions) -> CellR
         Ok(Ok(value)) => CellOutcome::Ok(value),
         Ok(Err(JobError::Failed(msg))) => CellOutcome::Failed(msg),
         Ok(Err(JobError::BudgetExceeded(msg))) => CellOutcome::BudgetExceeded(msg),
+        Ok(Err(JobError::Cancelled(msg))) => CellOutcome::Cancelled(msg),
         Err(payload) => CellOutcome::Panicked(panic_message(payload.as_ref())),
     };
     CellResult {
@@ -373,6 +415,36 @@ mod tests {
         assert_eq!(out.cells[0].metrics, vec![("events".to_string(), 7.0)]);
         assert_eq!(out.cells[1].metrics, vec![("events".to_string(), 3.0)]);
         assert!(!out.cells[1].is_ok());
+    }
+
+    #[test]
+    fn run_cell_matches_run_sweep_and_honours_cancellation() {
+        let jobs: Vec<SweepJob<'_, u64>> = (0..4)
+            .map(|i| SweepJob::infallible(format!("j{i}"), |ctx| ctx.seed()))
+            .collect();
+        let opts = SweepOptions::default().with_workers(2).with_seed(99);
+        let swept = run_sweep(&jobs, &opts);
+        for (index, job) in jobs.iter().enumerate() {
+            let solo = run_cell(job, index, &opts, None);
+            assert_eq!(solo.value(), swept.cells[index].value(), "seed parity");
+        }
+        // a raised token short-circuits without invoking the closure
+        let token = CancelToken::new();
+        token.cancel();
+        let cell = run_cell(&jobs[0], 0, &opts, Some(&token));
+        assert!(matches!(cell.outcome, CellOutcome::Cancelled(_)));
+        assert_eq!(cell.detail(), Some("cancelled before start"));
+        // a mid-run cancellation surfaces through ctx.check()
+        let mid = CancelToken::new();
+        let raiser = mid.clone();
+        let job = SweepJob::<'_, ()>::new("mid", move |ctx| {
+            raiser.cancel();
+            ctx.check()?;
+            Ok(())
+        });
+        let cell = run_cell(&job, 0, &opts, Some(&mid));
+        assert!(matches!(cell.outcome, CellOutcome::Cancelled(_)));
+        assert_eq!(cell.detail(), Some("cancel token raised"));
     }
 
     #[test]

@@ -507,6 +507,16 @@ fn field_usize(obj: &JsonValue, name: &str) -> Result<usize, ReadError> {
     Ok(v as usize)
 }
 
+/// Like [`field_usize`] but tolerating an absent member: fields added to
+/// the summary schema after artifacts were first persisted (`cancelled`)
+/// default instead of failing, so checked-in baselines still load.
+fn field_usize_or(obj: &JsonValue, name: &str, default: usize) -> Result<usize, ReadError> {
+    if obj.get(name).is_none() {
+        return Ok(default);
+    }
+    field_usize(obj, name)
+}
+
 fn field_str<'a>(obj: &'a JsonValue, name: &str) -> Result<&'a str, ReadError> {
     field(obj, name)?
         .as_str()
@@ -546,6 +556,7 @@ pub fn read_summary_json(text: &str) -> Result<SweepSummary, ReadError> {
         failed: field_usize(&doc, "failed")?,
         panicked: field_usize(&doc, "panicked")?,
         budget_exceeded: field_usize(&doc, "budget_exceeded")?,
+        cancelled: field_usize_or(&doc, "cancelled", 0)?,
         workers: field_usize(&doc, "workers")?,
         wall_secs: field_f64(&doc, "wall_secs")?,
         min_job_secs: field_f64(&doc, "min_job_secs")?,
@@ -622,7 +633,7 @@ pub fn read_summary_csv(text: &str) -> Result<SweepSummary, ReadError> {
     let metric_names = &header[FIXED.len()..];
 
     let mut jobs = Vec::with_capacity(rows.len());
-    let mut counts = [0usize; 4]; // ok, failed, panicked, budget
+    let mut counts = [0usize; 5]; // ok, failed, panicked, budget, cancelled
     let mut min = f64::INFINITY;
     let mut max = 0.0f64;
     let mut sum = 0.0f64;
@@ -663,6 +674,7 @@ pub fn read_summary_csv(text: &str) -> Result<SweepSummary, ReadError> {
             JobStatus::Failed => 1,
             JobStatus::Panicked => 2,
             JobStatus::BudgetExceeded => 3,
+            JobStatus::Cancelled => 4,
         }] += 1;
         min = min.min(wall_secs);
         max = max.max(wall_secs);
@@ -683,6 +695,7 @@ pub fn read_summary_csv(text: &str) -> Result<SweepSummary, ReadError> {
         failed: counts[1],
         panicked: counts[2],
         budget_exceeded: counts[3],
+        cancelled: counts[4],
         workers: 0,
         wall_secs: 0.0,
         min_job_secs: if total == 0 { 0.0 } else { min },
@@ -864,6 +877,27 @@ mod tests {
             rewritten.contains("0,a,Ok,0.100000,,null,null"),
             "{rewritten}"
         );
+    }
+
+    #[test]
+    fn summary_json_reader_defaults_missing_cancelled_to_zero() {
+        // artifacts persisted before the `cancelled` field existed
+        let legacy = "{\"total\":0,\"succeeded\":0,\"failed\":0,\"panicked\":0,\
+             \"budget_exceeded\":0,\"workers\":1,\"wall_secs\":0.0,\"min_job_secs\":0.0,\
+             \"mean_job_secs\":0.0,\"max_job_secs\":0.0,\"jobs\":[]}";
+        let s = read_summary_json(legacy).unwrap();
+        assert_eq!(s.cancelled, 0);
+    }
+
+    #[test]
+    fn summary_csv_reader_counts_cancelled_rows() {
+        let csv = "index,label,status,wall_secs,detail\n\
+                   0,a,Ok,0.100000,\n\
+                   1,b,Cancelled,0.000000,cancelled before start\n";
+        let s = read_summary_csv(csv).unwrap();
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.succeeded, 1);
+        assert_eq!(s.to_csv(), csv);
     }
 
     #[test]

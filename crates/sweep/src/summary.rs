@@ -15,6 +15,8 @@ pub enum JobStatus {
     Panicked,
     /// The job exhausted its [`JobBudget`](crate::JobBudget).
     BudgetExceeded,
+    /// The job was cancelled via a [`CancelToken`](crate::CancelToken).
+    Cancelled,
 }
 
 impl JobStatus {
@@ -25,8 +27,8 @@ impl JobStatus {
     }
 
     /// The status's canonical serialized name (`"Ok"`, `"Failed"`,
-    /// `"Panicked"`, `"BudgetExceeded"`) — the form both the JSON and CSV
-    /// exporters write and [`JobStatus::parse`] accepts.
+    /// `"Panicked"`, `"BudgetExceeded"`, `"Cancelled"`) — the form both
+    /// the JSON and CSV exporters write and [`JobStatus::parse`] accepts.
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
@@ -34,6 +36,7 @@ impl JobStatus {
             JobStatus::Failed => "Failed",
             JobStatus::Panicked => "Panicked",
             JobStatus::BudgetExceeded => "BudgetExceeded",
+            JobStatus::Cancelled => "Cancelled",
         }
     }
 
@@ -46,6 +49,7 @@ impl JobStatus {
             "Failed" => Some(JobStatus::Failed),
             "Panicked" => Some(JobStatus::Panicked),
             "BudgetExceeded" => Some(JobStatus::BudgetExceeded),
+            "Cancelled" => Some(JobStatus::Cancelled),
             _ => None,
         }
     }
@@ -86,6 +90,8 @@ pub struct SweepSummary {
     pub panicked: usize,
     /// Jobs that exhausted their budget.
     pub budget_exceeded: usize,
+    /// Jobs cancelled via a [`CancelToken`](crate::CancelToken).
+    pub cancelled: usize,
     /// Worker threads the engine actually used.
     pub workers: usize,
     /// Wall time of the whole sweep, in seconds.
@@ -106,6 +112,7 @@ impl SweepSummary {
         let mut failed = 0;
         let mut panicked = 0;
         let mut budget_exceeded = 0;
+        let mut cancelled = 0;
         let mut min = f64::INFINITY;
         let mut max = 0.0f64;
         let mut sum = 0.0f64;
@@ -129,6 +136,10 @@ impl SweepSummary {
                         budget_exceeded += 1;
                         (JobStatus::BudgetExceeded, msg.clone())
                     }
+                    CellOutcome::Cancelled(msg) => {
+                        cancelled += 1;
+                        (JobStatus::Cancelled, msg.clone())
+                    }
                 };
                 let wall_secs = cell.wall.as_secs_f64();
                 min = min.min(wall_secs);
@@ -151,6 +162,7 @@ impl SweepSummary {
             failed,
             panicked,
             budget_exceeded,
+            cancelled,
             workers,
             wall_secs: wall.as_secs_f64(),
             min_job_secs: if total == 0 { 0.0 } else { min },
@@ -173,17 +185,16 @@ impl SweepSummary {
         Serialize::to_json(self)
     }
 
-    /// Per-job rows as CSV with an `index,label,status,wall_secs,detail`
-    /// header. Fields containing commas, quotes, or newlines are quoted.
+    /// The union of metric names recorded across all jobs, sorted
+    /// lexicographically.
     ///
-    /// When any job recorded metrics, one column per distinct metric name
-    /// (in first-seen order across the whole sweep) is appended after
-    /// `detail`; a job that did not record a given metric leaves that cell
-    /// empty, and a job that recorded the same name twice contributes its
-    /// last value. Sweeps without metrics keep the historical five-column
-    /// header byte-for-byte.
+    /// This single ordering is shared by every consumer that lays metrics
+    /// out side by side — [`to_csv`](Self::to_csv) column order, the batch
+    /// server's `stats` output — so two summaries over the same metric set
+    /// are column-compatible regardless of which job ran first or which
+    /// worker recorded a name earliest.
     #[must_use]
-    pub fn to_csv(&self) -> String {
+    pub fn metric_columns(&self) -> Vec<&str> {
         let mut metric_names: Vec<&str> = Vec::new();
         for job in &self.jobs {
             for (name, _) in &job.metrics {
@@ -192,6 +203,22 @@ impl SweepSummary {
                 }
             }
         }
+        metric_names.sort_unstable();
+        metric_names
+    }
+
+    /// Per-job rows as CSV with an `index,label,status,wall_secs,detail`
+    /// header. Fields containing commas, quotes, or newlines are quoted.
+    ///
+    /// When any job recorded metrics, one column per distinct metric name
+    /// (the sorted union from [`metric_columns`](Self::metric_columns)) is
+    /// appended after `detail`; a job that did not record a given metric
+    /// leaves that cell empty, and a job that recorded the same name twice
+    /// contributes its last value. Sweeps without metrics keep the
+    /// historical five-column header byte-for-byte.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let metric_names = self.metric_columns();
         let mut out = String::from("index,label,status,wall_secs,detail");
         for name in &metric_names {
             out.push(',');
@@ -327,6 +354,24 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_cells_aggregate_and_round_trip_their_status() {
+        let cells = vec![CellResult {
+            index: 0,
+            label: "rep=0".into(),
+            wall: Duration::ZERO,
+            outcome: CellOutcome::<u32>::Cancelled("cancelled before start".into()),
+            metrics: Vec::new(),
+        }];
+        let s = SweepSummary::from_cells(&cells, 1, Duration::from_millis(1));
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.succeeded, 0);
+        assert_eq!(s.jobs[0].status, JobStatus::Cancelled);
+        assert_eq!(JobStatus::parse("Cancelled"), Some(JobStatus::Cancelled));
+        assert_eq!(JobStatus::Cancelled.as_str(), "Cancelled");
+        assert!(s.to_json().contains("\"cancelled\":1"));
+    }
+
+    #[test]
     fn empty_sweep_has_zero_stats() {
         let s = SweepSummary::from_cells::<u32>(&[], 1, Duration::ZERO);
         assert_eq!(s.total, 0);
@@ -360,18 +405,24 @@ mod tests {
     }
 
     #[test]
-    fn csv_appends_metric_columns_in_first_seen_order() {
+    fn csv_appends_metric_columns_in_sorted_union_order() {
         let s = SweepSummary::from_cells(&cells_with_metrics(), 2, Duration::from_millis(31));
+        assert_eq!(
+            s.metric_columns(),
+            vec!["final_time", "ssa_events", "tau_leaps"]
+        );
         let csv = s.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
+        // sorted union, not first-seen order: recording order must not
+        // leak into the artifact layout
         assert_eq!(
             lines[0],
-            "index,label,status,wall_secs,detail,ssa_events,final_time,tau_leaps"
+            "index,label,status,wall_secs,detail,final_time,ssa_events,tau_leaps"
         );
-        assert!(lines[1].ends_with(",120,49.5,"), "{}", lines[1]);
+        assert!(lines[1].ends_with(",49.5,120,"), "{}", lines[1]);
         // repeated `tau_leaps` keeps the last value; missing `ssa_events`
         // leaves an empty cell
-        assert!(lines[2].ends_with(",,50,9"), "{}", lines[2]);
+        assert!(lines[2].ends_with(",50,,9"), "{}", lines[2]);
         // a failed job with no metrics still gets the empty cells
         assert!(lines[3].ends_with(",boom,,,"), "{}", lines[3]);
     }

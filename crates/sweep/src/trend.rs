@@ -711,6 +711,7 @@ mod tests {
             failed: 0,
             panicked: 0,
             budget_exceeded: 0,
+            cancelled: 0,
             workers: 1,
             wall_secs: 0.1,
             min_job_secs: 0.0,

@@ -42,6 +42,7 @@ fn status(choice: usize) -> JobStatus {
         JobStatus::Failed,
         JobStatus::Panicked,
         JobStatus::BudgetExceeded,
+        JobStatus::Cancelled,
     ][choice]
 }
 
@@ -75,7 +76,7 @@ fn job_strategy() -> impl Strategy<Value = RawJob> {
         (
             0usize..1000,                                      // index
             collection::vec(0usize..LABEL_CHARS.len(), 0..12), // label chars
-            0usize..4,                                         // status
+            0usize..5,                                         // status
         ),
         (
             0u32..50_000,                                      // wall, 0.1 ms units
@@ -114,7 +115,14 @@ fn build_summary(workers: usize, wall: u32, raw_jobs: Vec<RawJob>) -> SweepSumma
         .iter()
         .filter(|j| j.status == JobStatus::Panicked)
         .count();
-    let budget_exceeded = total - succeeded - failed - panicked;
+    let budget_exceeded = jobs
+        .iter()
+        .filter(|j| j.status == JobStatus::BudgetExceeded)
+        .count();
+    let cancelled = jobs
+        .iter()
+        .filter(|j| j.status == JobStatus::Cancelled)
+        .count();
     let min = jobs
         .iter()
         .map(|j| j.wall_secs)
@@ -127,6 +135,7 @@ fn build_summary(workers: usize, wall: u32, raw_jobs: Vec<RawJob>) -> SweepSumma
         failed,
         panicked,
         budget_exceeded,
+        cancelled,
         workers,
         wall_secs: f64::from(wall) / 10_000.0,
         min_job_secs: if total == 0 { 0.0 } else { min },
@@ -145,6 +154,7 @@ fn summaries_equal(a: &SweepSummary, b: &SweepSummary) -> bool {
         && a.failed == b.failed
         && a.panicked == b.panicked
         && a.budget_exceeded == b.budget_exceeded
+        && a.cancelled == b.cancelled
         && a.workers == b.workers
         && scalar(a.wall_secs, b.wall_secs)
         && scalar(a.min_job_secs, b.min_job_secs)
