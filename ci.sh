@@ -34,6 +34,13 @@
 #                     report nonzero compiled-CRN cache hits, and pass the
 #                     cancel and budget-exceeded probes; the server must
 #                     exit cleanly on the wire shutdown op
+#  13. batched ODE     repro e6 at --batch 4/--batch 8 must reproduce the
+#                     scalar run: reports byte-identical, summary labels,
+#                     statuses and deterministic counters byte-identical,
+#                     wall and batch-shape metrics tolerance-gated by
+#                     trend; non-power-of-2 --batch values are usage
+#                     errors, and trend --history renders the perf
+#                     trajectory with a passing drift gate
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -204,5 +211,51 @@ grep -q '\["cache_hits",2' "$SWEEP_TMP/srv_w1/server-stats.summary.json" \
 target/release/trend "$SWEEP_TMP/srv_w1" "$SWEEP_TMP/srv_w4" > "$SWEEP_TMP/trend_serve.md" \
   || { echo "ci: trend gate failed across server worker counts" >&2
        cat "$SWEEP_TMP/trend_serve.md" >&2; exit 1; }
+
+echo "== batched ODE: lock-step batch reproduces the scalar sweep =="
+target/release/repro e6 --quick --jobs 2 --summary "$SWEEP_TMP/e6_scalar" > "$SWEEP_TMP/report_e6_scalar.txt"
+target/release/repro e6 --quick --jobs 2 --batch 4 --summary "$SWEEP_TMP/e6_b4" > "$SWEEP_TMP/report_e6_b4.txt"
+target/release/repro e6 --quick --jobs 1 --batch 8 --summary "$SWEEP_TMP/e6_b8" > "$SWEEP_TMP/report_e6_b8.txt"
+for batched in e6_b4 e6_b8; do
+  # the experiment report (moving-average traces, fitted slopes) must not
+  # depend on the batch width at all
+  diff <(grep -v "generated in" "$SWEEP_TMP/report_e6_scalar.txt") \
+       <(grep -v "generated in" "$SWEEP_TMP/report_$batched.txt") \
+    || { echo "ci: repro e6 report differs between scalar and $batched" >&2; exit 1; }
+  # summary rows: every column except the wall clock and the batch-shape
+  # metrics (batch_width, lanes_retired) must be byte-identical
+  for csv in "$SWEEP_TMP/$batched"/*.summary.csv; do
+    base_csv="$SWEEP_TMP/e6_scalar/$(basename "$csv")"
+    strip_batch_columns() {
+      awk -F, 'NR==1 { for (i=1;i<=NF;i++) drop[i] = ($i=="wall_secs" || $i=="batch_width" || $i=="lanes_retired") }
+               { out=""; for (i=1;i<=NF;i++) if (!drop[i]) out = out (out=="" ? "" : ",") $i; print out }' "$1"
+    }
+    cmp <(strip_batch_columns "$base_csv") <(strip_batch_columns "$csv") \
+      || { echo "ci: $csv deterministic columns differ from the scalar run" >&2; exit 1; }
+  done
+  # the wall clock and batch-shape metrics are gated, not byte-compared:
+  # trend's symmetric per-metric bands absorb them, everything else exact
+  target/release/trend "$SWEEP_TMP/e6_scalar" "$SWEEP_TMP/$batched" --wall-tol 1000000 \
+    --tolerance batch_width=1000000000 --tolerance lanes_retired=1000000000 \
+    > "$SWEEP_TMP/trend_$batched.md" \
+    || { echo "ci: trend gate failed between scalar and $batched e6 summaries" >&2
+         cat "$SWEEP_TMP/trend_$batched.md" >&2; exit 1; }
+done
+# --batch only takes power-of-2 lane counts; 0 and 3 are usage errors
+for bad in 0 3; do
+  set +e
+  target/release/repro e6 --quick --batch "$bad" > /dev/null 2>&1
+  BATCH_STATUS=$?
+  set -e
+  [ "$BATCH_STATUS" -eq 2 ] \
+    || { echo "ci: repro --batch $bad not rejected (exited $BATCH_STATUS, want 2)" >&2; exit 1; }
+done
+# trend --history must render the checked-in perf trajectory and pass its
+# drift gate (entries from other experiment sets are skipped, not compared)
+target/release/trend --history BENCH_kinetics.json --gate-last 5 > "$SWEEP_TMP/history.md" \
+  || { echo "ci: trend --history gate failed on BENCH_kinetics.json" >&2
+       cat "$SWEEP_TMP/history.md" >&2; exit 1; }
+grep -q "drift gate" "$SWEEP_TMP/history.md" \
+  || { echo "ci: trend --history report is missing the drift gate" >&2; exit 1; }
 
 echo "ci: all stages passed"

@@ -18,10 +18,11 @@
 //! changes, so the perf trajectory stays visible across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molseq_bench::{filter_grid_units, FilterGridCell};
 use molseq_crn::RateAssignment;
 use molseq_dsp::moving_average;
 use molseq_kinetics::{CompiledCrn, OdeOptions, SimSpec, Simulation};
-use molseq_sweep::{run_sweep, JobError, SweepJob, SweepOptions};
+use molseq_sweep::{run_sweep, run_units, JobError, SweepJob, SweepOptions};
 use molseq_sync::{
     drive_cycles, BinaryCounter, Clock, ClockSpec, CycleResources, RunConfig, SchemeConfig,
 };
@@ -100,6 +101,32 @@ fn bench_sweep_grid(c: &mut Criterion) {
                 })
                 .collect();
             let out = run_sweep(&jobs, &SweepOptions::default());
+            assert_eq!(out.summary.succeeded, ratios.len());
+            out
+        });
+    });
+    // the same 32-cell grid through the lock-step batched path: 16 lanes
+    // share one symbolic analysis and advance together, so the speedup
+    // over `sweep_grid_32` is the headline number for the batched engine
+    // (16 is the sweet spot on this grid — wider batches spill the
+    // n²·width W block out of cache)
+    let specs: Vec<FilterGridCell> = ratios
+        .iter()
+        .map(|&ratio| {
+            (
+                format!("ratio={ratio:.1}"),
+                SimSpec::new(RateAssignment::from_ratio(ratio)),
+                12.0,
+            )
+        })
+        .collect();
+    group.bench_function("sweep_grid_32_batched", |b| {
+        b.iter(|| {
+            let units =
+                filter_grid_units(&filter, &base, &samples, &specs, 16, |_job, measured| {
+                    Ok(measured.iter().sum::<f64>())
+                });
+            let out = run_units(&units, &SweepOptions::default().with_batch_width(16));
             assert_eq!(out.summary.succeeded, ratios.len());
             out
         });

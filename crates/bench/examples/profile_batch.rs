@@ -1,0 +1,46 @@
+//! Times the sweep_grid_32 workload through the sweep engine at several
+//! lock-step batch widths, so the batched-kernel speedup is measurable in
+//! isolation (serial pool, no criterion, no co-running load).
+//!
+//! ```sh
+//! cargo run --release -p molseq-bench --example profile_batch
+//! ```
+
+use molseq_bench::{filter_grid_units, FilterGridCell};
+use molseq_crn::RateAssignment;
+use molseq_dsp::moving_average;
+use molseq_kinetics::{CompiledCrn, SimSpec};
+use molseq_sweep::{run_units, SweepOptions};
+use molseq_sync::ClockSpec;
+use std::time::Instant;
+
+fn main() {
+    let filter = moving_average(2, ClockSpec::default()).expect("filter builds");
+    let base = CompiledCrn::new(filter.system().crn(), &SimSpec::default());
+    let samples = [10.0, 50.0, 80.0];
+    let ratios: Vec<f64> = (0..32)
+        .map(|i| 10f64.powf(2.0 + 3.0 * i as f64 / 31.0))
+        .collect();
+    let specs: Vec<FilterGridCell> = ratios
+        .iter()
+        .map(|&ratio| {
+            (
+                format!("ratio={ratio:.1}"),
+                SimSpec::new(RateAssignment::from_ratio(ratio)),
+                12.0,
+            )
+        })
+        .collect();
+    for width in [1usize, 2, 4, 8, 16, 32] {
+        let units = filter_grid_units(&filter, &base, &samples, &specs, width, |_job, measured| {
+            Ok(measured.iter().sum::<f64>())
+        });
+        let opts = SweepOptions::default()
+            .with_workers(1)
+            .with_batch_width(width);
+        let start = Instant::now();
+        let out = run_units(&units, &opts);
+        assert_eq!(out.summary.succeeded, ratios.len());
+        println!("width {width:2}: {:?}", start.elapsed());
+    }
+}

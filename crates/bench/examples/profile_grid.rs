@@ -1,0 +1,60 @@
+//! Times the sweep_grid_32 workload cell-by-cell and prints the simulator
+//! counters, so kernel work (steps, factorizations) is attributable before
+//! and after batching changes.
+//!
+//! ```sh
+//! cargo run --release -p molseq-bench --example profile_grid
+//! ```
+
+use molseq_crn::RateAssignment;
+use molseq_dsp::moving_average;
+use molseq_kinetics::{CompiledCrn, SimMetrics, SimSpec};
+use molseq_sync::{ClockSpec, RunConfig};
+use std::time::Instant;
+
+fn main() {
+    let filter = moving_average(2, ClockSpec::default()).expect("filter builds");
+    let base = CompiledCrn::new(filter.system().crn(), &SimSpec::default());
+    let samples = [10.0, 50.0, 80.0];
+    let ratios: Vec<f64> = (0..32)
+        .map(|i| 10f64.powf(2.0 + 3.0 * i as f64 / 31.0))
+        .collect();
+    println!(
+        "species = {}, reactions = {}",
+        filter.system().crn().species_count(),
+        filter.system().crn().reactions().len()
+    );
+    let total = Instant::now();
+    let mut grand = SimMetrics::default();
+    for &ratio in &ratios {
+        let spec = SimSpec::new(RateAssignment::from_ratio(ratio));
+        let compiled = base.rebind(&spec);
+        let sink = std::cell::Cell::new(SimMetrics::default());
+        let config = RunConfig {
+            metrics: Some(&sink),
+            ..RunConfig::default()
+        };
+        let start = Instant::now();
+        let measured = filter
+            .respond_with(&samples, &config, Some(&compiled))
+            .expect("cell runs");
+        let m = sink.get();
+        println!(
+            "ratio {ratio:9.1}: {:7.1?}  acc {:6} rej {:5} lu {:5} t_end {:7.1}  sum {:.2}",
+            start.elapsed(),
+            m.ode_steps_accepted,
+            m.ode_steps_rejected,
+            m.lu_factorizations,
+            m.final_time,
+            measured.iter().sum::<f64>()
+        );
+        grand.absorb(&m);
+    }
+    println!(
+        "total {:?}: acc {} rej {} lu {}",
+        total.elapsed(),
+        grand.ode_steps_accepted,
+        grand.ode_steps_rejected,
+        grand.lu_factorizations
+    );
+}

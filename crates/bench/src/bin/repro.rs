@@ -13,6 +13,12 @@
 //! default) sizes the pool from the machine. Reports are byte-identical
 //! at every worker count.
 //!
+//! `--batch WIDTH` runs the ODE sweep experiments through the lock-step
+//! batched kinetics engine, WIDTH cells per group (power of 2; `1`, the
+//! default, is the plain scalar path). Simulation results are
+//! bit-identical at every width, so reports don't change — only wall
+//! time and the `batch_width`/`lanes_retired` metric columns do.
+//!
 //! `--summary DIR` writes each sweep's engine summary (status, timing and
 //! step meter per cell) to `DIR/<id>.summary.json` and `.csv`.
 //! `--cell-steps N` / `--cell-wall SECS` impose a cooperative per-cell
@@ -43,9 +49,10 @@ use std::time::{Duration, Instant};
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--jobs N] [--summary DIR] [--cell-steps N] \
-         [--cell-wall SECS] [--trend-against DIR] [--via-server HOST:PORT] \
-         [--server-budget-tenant NAME] [experiment ids...]"
+        "usage: repro [--quick] [--jobs N] [--batch WIDTH] [--summary DIR] \
+         [--cell-steps N] [--cell-wall SECS] [--trend-against DIR] \
+         [--via-server HOST:PORT] [--server-budget-tenant NAME] \
+         [experiment ids...]"
     );
     std::process::exit(2);
 }
@@ -54,6 +61,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut jobs: usize = 0;
+    let mut batch: usize = 1;
     let mut summary_dir: Option<String> = None;
     let mut trend_against: Option<String> = None;
     let mut via_server: Option<String> = None;
@@ -70,6 +78,19 @@ fn main() {
                     std::process::exit(2);
                 };
                 jobs = n;
+            }
+            "--batch" => {
+                // the SoA lanes want a power-of-2 width so chunks stay
+                // register-aligned; 0 would mean "no lanes at all"
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n.is_power_of_two())
+                else {
+                    eprintln!("--batch expects a power-of-2 lane count (1 = scalar)");
+                    std::process::exit(2);
+                };
+                batch = n;
             }
             "--summary" => {
                 let Some(dir) = iter.next() else {
@@ -162,6 +183,7 @@ fn main() {
         ExpCtx::full()
     }
     .with_jobs(jobs)
+    .with_batch(batch)
     .with_budget(budget);
     if let Some(dir) = &summary_dir {
         ctx = ctx.with_summary_dir(dir.clone());

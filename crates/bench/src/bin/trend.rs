@@ -25,10 +25,18 @@
 //! report as JSON for machine consumption, and `--append FILE` folds the
 //! candidate run's headline numbers into a `BENCH_*.json`-style
 //! `"trajectory"` array so the perf history accumulates run over run.
+//!
+//! `--history FILE` switches to trajectory mode: instead of two summary
+//! directories, the input is one `BENCH_*.json` file whose `"trajectory"`
+//! array was grown by `--append`. The report renders every entry in a
+//! markdown table, and `--gate-last K` additionally drift-gates the last
+//! `K` entries — oldest comparable entry against newest, skipping entries
+//! that cover a different experiment set — with the same exit codes and
+//! tolerance flags as directory mode.
 
 use molseq_sweep::{
-    classify_metric, compare_dirs, load_summaries, JsonValue, MetricClass, SweepSummary,
-    TrendOptions,
+    classify_metric, compare_dirs, history_report, load_summaries, parse_trajectory, JsonValue,
+    MetricClass, SweepSummary, TrendOptions,
 };
 use std::path::Path;
 use std::process::exit;
@@ -37,7 +45,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: trend BASELINE_DIR CANDIDATE_DIR [--wall-tol REL] [--wall-floor SECS]\n\
          \x20            [--tolerance NAME=REL]... [--json FILE] [--append FILE]\n\
-         \x20            [--label NAME] [--ignore-missing]"
+         \x20            [--label NAME] [--ignore-missing]\n\
+         \x20      trend --history FILE [--gate-last K] [--wall-tol REL]\n\
+         \x20            [--wall-floor SECS] [--tolerance NAME=REL]... [--json FILE]"
     );
     exit(2);
 }
@@ -82,9 +92,29 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut append_path: Option<String> = None;
     let mut label: Option<String> = None;
+    let mut history_path: Option<String> = None;
+    let mut gate_last: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--history" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--history expects a BENCH_*.json file path");
+                    exit(2);
+                };
+                history_path = Some(path.clone());
+            }
+            "--gate-last" => {
+                let Some(k) = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&k| k > 0)
+                else {
+                    eprintln!("--gate-last expects a positive entry count");
+                    exit(2);
+                };
+                gate_last = Some(k);
+            }
             "--wall-tol" => opts.wall_rel_tol = parse_tolerance("--wall-tol", iter.next()),
             "--wall-floor" => {
                 opts.wall_floor_secs = parse_tolerance("--wall-floor", iter.next());
@@ -121,6 +151,16 @@ fn main() {
             }
             other => dirs.push(other.to_owned()),
         }
+    }
+    if let Some(path) = history_path {
+        if !dirs.is_empty() || append_path.is_some() {
+            usage();
+        }
+        run_history(Path::new(&path), gate_last, &opts, json_path.as_deref());
+    }
+    if gate_last.is_some() {
+        eprintln!("--gate-last only applies with --history");
+        exit(2);
     }
     if dirs.len() != 2 {
         usage();
@@ -214,6 +254,61 @@ fn main() {
     if report.is_regression() {
         exit(1);
     }
+}
+
+/// Runs trajectory mode: renders the full perf history of one
+/// `BENCH_*.json` file and optionally drift-gates the last `gate_last`
+/// entries.
+fn run_history(
+    path: &Path,
+    gate_last: Option<usize>,
+    opts: &TrendOptions,
+    json_path: Option<&str>,
+) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trend: cannot read {}: {e}", path.display());
+            exit(2);
+        }
+    };
+    let doc = match JsonValue::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("trend: {}: {e}", path.display());
+            exit(2);
+        }
+    };
+    let entries = match parse_trajectory(&doc) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("trend: {}: {e}", path.display());
+            exit(2);
+        }
+    };
+    let report = history_report(&entries, gate_last, opts);
+    print!(
+        "trend: perf history of {} ({} entries)\n\n{}",
+        path.display(),
+        entries.len(),
+        report.to_markdown()
+    );
+    if let Some(out) = json_path {
+        let mut doc = JsonValue::Object(vec![(
+            "history".to_owned(),
+            JsonValue::String(path.display().to_string()),
+        )]);
+        let body = JsonValue::parse(&report.to_json()).expect("report serializes to valid JSON");
+        doc.set("report", body);
+        let mut text = String::new();
+        doc.render_compact(&mut text);
+        text.push('\n');
+        if let Err(e) = std::fs::write(out, text) {
+            eprintln!("trend: cannot write {out}: {e}");
+            exit(2);
+        }
+    }
+    exit(i32::from(report.is_regression()));
 }
 
 /// Folds a run's headline numbers into a `BENCH_*.json`-style perf

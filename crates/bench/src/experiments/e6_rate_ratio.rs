@@ -11,13 +11,12 @@
 //! compiled once and re-bound per ratio, and the cells run in parallel
 //! with results in ratio order.
 
-use crate::{sync_job_error, ExpCtx, Report};
+use crate::{filter_grid_units, ExpCtx, FilterGridCell, Report};
 use molseq_crn::RateAssignment;
 use molseq_dsp::{moving_average, rmse};
-use molseq_kinetics::{CompiledCrn, SimMetrics, SimSpec};
-use molseq_sweep::{run_sweep, SweepJob};
-use molseq_sync::{ClockSpec, RunConfig};
-use std::cell::Cell;
+use molseq_kinetics::{CompiledCrn, SimSpec};
+use molseq_sweep::run_units;
+use molseq_sync::ClockSpec;
 
 /// The ratios swept by the figure.
 pub fn ratios(quick: bool) -> Vec<f64> {
@@ -42,37 +41,36 @@ pub fn run(ctx: &ExpCtx) -> Report {
     let base = CompiledCrn::new(filter.system().crn(), &SimSpec::default());
 
     let swept = ratios(ctx.quick);
-    let jobs: Vec<SweepJob<'_, (f64, f64)>> = swept
+    let specs: Vec<FilterGridCell> = swept
         .iter()
         .map(|&ratio| {
-            let (filter, ideal, samples, base) = (&filter, &ideal, &samples, &base);
-            SweepJob::new(format!("ratio={ratio}"), move |job| {
-                let spec = SimSpec::new(RateAssignment::from_ratio(ratio));
-                let hook = job.step_hook();
-                let sink = Cell::new(SimMetrics::default());
-                let config = RunConfig {
-                    spec: spec.clone(),
-                    // low separation makes phases long and mushy: allow
-                    // more time
-                    cycle_time_hint: if ratio < 100.0 { 120.0 } else { 45.0 },
-                    step_hook: Some(&hook),
-                    metrics: Some(&sink),
-                    ..RunConfig::default()
-                };
-                let result = filter.respond_with(samples, &config, Some(&base.rebind(&spec)));
-                crate::record_sim_metrics(job, sink.get());
-                let measured = result.map_err(sync_job_error)?;
-                let rms = rmse(&measured, ideal);
-                let max_err = measured
-                    .iter()
-                    .zip(ideal)
-                    .map(|(m, i)| (m - i).abs())
-                    .fold(0.0f64, f64::max);
-                Ok((rms, max_err))
-            })
+            (
+                format!("ratio={ratio}"),
+                SimSpec::new(RateAssignment::from_ratio(ratio)),
+                // low separation makes phases long and mushy: allow more
+                // time
+                if ratio < 100.0 { 120.0 } else { 45.0 },
+            )
         })
         .collect();
-    let out = run_sweep(&jobs, &ctx.sweep_options());
+    let ideal_ref = &ideal;
+    let units = filter_grid_units(
+        &filter,
+        &base,
+        &samples,
+        &specs,
+        ctx.sweep_options().batch_width(),
+        move |_job, measured| {
+            let rms = rmse(&measured, ideal_ref);
+            let max_err = measured
+                .iter()
+                .zip(ideal_ref)
+                .map(|(m, i)| (m - i).abs())
+                .fold(0.0f64, f64::max);
+            Ok((rms, max_err))
+        },
+    );
+    let out = run_units(&units, &ctx.sweep_options());
     ctx.persist_summary("e6", &out.summary);
 
     report.line("moving-average filter RMS error vs k_fast/k_slow".to_owned());
@@ -121,5 +119,14 @@ mod tests {
         let serial = super::run(&ExpCtx::quick().with_jobs(1));
         let parallel = super::run(&ExpCtx::quick().with_jobs(4));
         assert_eq!(serial.to_string(), parallel.to_string());
+    }
+
+    #[test]
+    fn batched_report_matches_scalar() {
+        let scalar = super::run(&ExpCtx::quick().with_jobs(1));
+        for width in [2usize, 8] {
+            let batched = super::run(&ExpCtx::quick().with_jobs(1).with_batch(width));
+            assert_eq!(scalar.to_string(), batched.to_string(), "width {width}");
+        }
     }
 }

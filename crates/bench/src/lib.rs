@@ -36,9 +36,13 @@ pub mod via_server;
 pub use report::Report;
 pub use via_server::run_via_server;
 
-use molseq_kinetics::{SimError, SimMetrics};
-use molseq_sweep::{JobBudget, JobCtx, JobError, SweepOptions, SweepSummary};
-use molseq_sync::SyncError;
+use molseq_dsp::Filter;
+use molseq_kinetics::{BatchedOdeWorkspace, CompiledCrn, SimError, SimMetrics, SimSpec};
+use molseq_sweep::{
+    GroupJob, JobBudget, JobCtx, JobError, SweepJob, SweepOptions, SweepSummary, SweepUnit,
+};
+use molseq_sync::{BatchCell, RunConfig, SyncError};
+use std::cell::Cell;
 use std::path::PathBuf;
 
 /// How an experiment should be run: workload size, sweep parallelism,
@@ -62,6 +66,12 @@ pub struct ExpCtx {
     /// When set, each sweep's [`SweepSummary`] is persisted under this
     /// directory as `<id>.summary.json` and `<id>.summary.csv`.
     pub summary_dir: Option<PathBuf>,
+    /// Lock-step batch width for the ODE sweep experiments: how many
+    /// structurally identical cells advance together through one
+    /// `molseq_kinetics::run_ode_batch` call. `0` or `1` = scalar cells.
+    /// Results are bit-identical at any width; only the wall time and the
+    /// `batch_width`/`lanes_retired` metrics change.
+    pub batch: usize,
 }
 
 impl ExpCtx {
@@ -104,12 +114,20 @@ impl ExpCtx {
         self
     }
 
+    /// Sets the lock-step batch width (builder style).
+    #[must_use]
+    pub fn with_batch(mut self, width: usize) -> Self {
+        self.batch = width;
+        self
+    }
+
     /// The sweep-engine options this context implies.
     #[must_use]
     pub fn sweep_options(&self) -> SweepOptions {
         SweepOptions::default()
             .with_workers(self.jobs)
             .with_budget(self.budget)
+            .with_batch_width(self.batch)
     }
 
     /// Persists `summary` as `<summary_dir>/<id>.summary.{json,csv}` when a
@@ -164,6 +182,113 @@ pub fn record_sim_metrics(job: &JobCtx, m: SimMetrics) {
     job.record_metric("leap_switchovers", m.leap_switchovers as f64);
     job.record_metric("final_time", m.final_time);
     job.record_metric("seed", m.seed as f64);
+    job.record_metric("batch_width", m.batch_width as f64);
+    job.record_metric("lanes_retired", m.lanes_retired as f64);
+}
+
+/// One cell of a batched filter grid: label, rate binding, and the
+/// cycle-time hint the harness should start from.
+pub type FilterGridCell = (String, SimSpec, f64);
+
+/// Builds the sweep units for a rate grid over one filter: one lane per
+/// spec, packed into lock-step [`GroupJob`]s of `width` consecutive cells
+/// (the grouping is sound because every
+/// [`CompiledCrn::rebind`] of `base` keeps the network's structural hash,
+/// so all lanes share one Jacobian pattern). Width `0`/`1` — and any
+/// leftover singleton chunk — fall back to plain scalar [`SweepJob`]s.
+///
+/// Per-cell labels, SplitMix64 seeds (global index order), step-hook
+/// budgets, recorded [`SimMetrics`] columns and job-order results are all
+/// preserved: a sweep built at any width reports the same cells in the
+/// same order with bit-identical simulation results, so downstream
+/// summaries differ only in wall time and in the `batch_width` /
+/// `lanes_retired` columns.
+///
+/// `map` turns one cell's measured response into its sweep value; it
+/// receives the cell's [`JobCtx`] (for index/seed-dependent work).
+pub fn filter_grid_units<'a, T, F>(
+    filter: &'a Filter,
+    base: &'a CompiledCrn,
+    samples: &'a [f64],
+    specs: &'a [FilterGridCell],
+    width: usize,
+    map: F,
+) -> Vec<SweepUnit<'a, T>>
+where
+    T: Send,
+    F: Fn(&JobCtx, Vec<f64>) -> Result<T, JobError> + Send + Sync + Copy + 'a,
+{
+    let width = width.max(1);
+    let scalar_unit = |cell: &'a FilterGridCell| {
+        let (label, spec, hint) = cell;
+        SweepUnit::Single(SweepJob::new(label.clone(), move |job| {
+            let hook = job.step_hook();
+            let sink = Cell::new(SimMetrics::default());
+            let config = RunConfig {
+                spec: spec.clone(),
+                cycle_time_hint: *hint,
+                step_hook: Some(&hook),
+                metrics: Some(&sink),
+                ..RunConfig::default()
+            };
+            let result = filter.respond_with(samples, &config, Some(&base.rebind(spec)));
+            record_sim_metrics(job, sink.get());
+            let measured = result.map_err(sync_job_error)?;
+            map(job, measured)
+        }))
+    };
+    specs
+        .chunks(width)
+        .flat_map(|chunk| {
+            if chunk.len() < 2 {
+                return chunk.iter().map(scalar_unit).collect::<Vec<_>>();
+            }
+            let labels = chunk.iter().map(|(label, _, _)| label.clone()).collect();
+            vec![SweepUnit::Group(GroupJob::new(labels, move |ctxs| {
+                let hooks: Vec<_> = ctxs.iter().map(JobCtx::step_hook).collect();
+                let sinks: Vec<Cell<SimMetrics>> = ctxs
+                    .iter()
+                    .map(|_| Cell::new(SimMetrics::default()))
+                    .collect();
+                let rebound: Vec<CompiledCrn> =
+                    chunk.iter().map(|(_, spec, _)| base.rebind(spec)).collect();
+                let cells: Vec<BatchCell> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (_, spec, hint))| BatchCell {
+                        compiled: &rebound[k],
+                        config: RunConfig {
+                            spec: spec.clone(),
+                            cycle_time_hint: *hint,
+                            step_hook: Some(&hooks[k]),
+                            metrics: Some(&sinks[k]),
+                            ..RunConfig::default()
+                        },
+                    })
+                    .collect();
+                let mut workspace = BatchedOdeWorkspace::new();
+                match filter.respond_batch(samples, &cells, &mut workspace) {
+                    Ok(results) => results
+                        .into_iter()
+                        .zip(ctxs)
+                        .zip(&sinks)
+                        .map(|((result, job), sink)| {
+                            record_sim_metrics(job, sink.get());
+                            let measured = result.map_err(sync_job_error)?;
+                            map(job, measured)
+                        })
+                        .collect(),
+                    Err(shared) => {
+                        for (job, sink) in ctxs.iter().zip(&sinks) {
+                            record_sim_metrics(job, sink.get());
+                        }
+                        let err = sync_job_error(shared);
+                        ctxs.iter().map(|_| Err(err.clone())).collect()
+                    }
+                }
+            }))]
+        })
+        .collect()
 }
 
 /// [`sync_job_error`] for raw simulator errors.

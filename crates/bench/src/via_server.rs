@@ -50,6 +50,7 @@ fn main_sweep() -> SubmitRequest {
         record_interval: None,
         seed: 11,
         injections: vec![(1.0, "X".to_owned(), 5.0)],
+        batch: 1,
         cells,
     }
 }
@@ -66,6 +67,7 @@ fn endless_job(tenant: &str) -> SubmitRequest {
         record_interval: None,
         seed: 5,
         injections: vec![],
+        batch: 1,
         cells: (0..2)
             .map(|i| CellSpec {
                 label: format!("endless rep={i}"),

@@ -86,7 +86,7 @@ pub use error::SyncError;
 pub use fsm::Fsm;
 pub use measure::{stored_final_value, stored_value_at, stored_value_terms};
 pub use programs::{IterativeLog2, IterativeMultiplier};
-pub use runner::{drive_cycles, CycleResources, RunConfig, SyncRun};
+pub use runner::{drive_cycles, drive_cycles_batch, BatchCell, CycleResources, RunConfig, SyncRun};
 #[allow(deprecated)]
 pub use runner::{run_cycles, run_cycles_compiled, run_cycles_with_workspace};
 pub use scheme::{ClockSpec, SchemeBuilder, SchemeConfig};

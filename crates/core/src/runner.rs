@@ -10,8 +10,8 @@
 
 use crate::{CompiledSystem, SyncError};
 use molseq_kinetics::{
-    CompiledCrn, MetricsSink, OdeMethod, OdeOptions, OdeWorkspace, Schedule, SimError, SimMethod,
-    SimSpec, Simulation, SsaOptions, StepHook, Trace,
+    run_ode_batch, BatchLane, BatchedOdeWorkspace, CompiledCrn, MetricsSink, OdeMethod, OdeOptions,
+    OdeWorkspace, Schedule, SimError, SimMethod, SimSpec, Simulation, SsaOptions, StepHook, Trace,
 };
 use std::collections::HashMap;
 
@@ -394,6 +394,168 @@ pub fn drive_cycles(
     ))
 }
 
+/// One cell of a [`drive_cycles_batch`] call: a rate-bound compiled copy
+/// of the shared system network plus that cell's run configuration.
+pub struct BatchCell<'a, 'h> {
+    /// The cell's compiled network — typically
+    /// [`CompiledCrn::rebind`](molseq_kinetics::CompiledCrn::rebind) of one
+    /// shared compilation, so every cell keeps the same structure.
+    /// `config.spec` is ignored in favour of the rates baked in here.
+    pub compiled: &'a CompiledCrn,
+    /// The cell's harness configuration. `sim` must be [`SimMethod::Ode`]
+    /// and `method` must be [`OdeMethod::Rosenbrock`]; `step_hook` and
+    /// `metrics` are forwarded per cell.
+    pub config: RunConfig<'h>,
+}
+
+/// Drives up to `cells.len()` rate-bound copies of `system` in lock-step
+/// through the batched ODE engine
+/// ([`run_ode_batch`](molseq_kinetics::run_ode_batch)): one shared
+/// symbolic factorization, all cells advancing together, each lane
+/// bit-identical to a solo [`drive_cycles`] call with the same
+/// configuration. Inputs, the cycle count and the initial state are
+/// shared; rates, hooks, sinks and extension policies are per cell.
+///
+/// Each cell keeps the scalar harness's horizon-doubling behaviour
+/// independently: a cell that comes up short of `cycles` retries on a
+/// doubled span (up to its own `max_extensions`) in the next batched
+/// round together with every other still-unfinished cell, so stragglers
+/// re-batch with each other rather than serializing.
+///
+/// # Errors
+///
+/// Shared-setup failures ([`SyncError::UnknownPort`],
+/// [`SyncError::InvalidAmount`] for zero cycles) fail the whole call;
+/// per-cell simulation failures are reported in the per-cell results,
+/// with the same error mapping as [`drive_cycles`].
+///
+/// # Panics
+///
+/// Panics if any cell's `config.sim` is not [`SimMethod::Ode`] or its
+/// `config.method` is not [`OdeMethod::Rosenbrock`] — the batched engine
+/// is the deterministic stiff path; route other methods through
+/// [`drive_cycles`].
+pub fn drive_cycles_batch(
+    system: &CompiledSystem,
+    inputs: &[(&str, &[f64])],
+    cycles: usize,
+    cells: &[BatchCell<'_, '_>],
+    workspace: &mut BatchedOdeWorkspace,
+) -> Result<Vec<Result<SyncRun, SyncError>>, SyncError> {
+    for cell in cells {
+        assert!(
+            matches!(cell.config.sim, SimMethod::Ode)
+                && matches!(cell.config.method, OdeMethod::Rosenbrock { .. }),
+            "drive_cycles_batch is the deterministic stiff path (Ode + Rosenbrock)"
+        );
+    }
+    if cycles == 0 {
+        return Err(SyncError::InvalidAmount { value: 0.0 });
+    }
+    let mut schedule = Schedule::new();
+    for (name, samples) in inputs {
+        schedule = schedule.trigger(system.input_trigger(name, samples)?);
+    }
+    let init = system.initial_state();
+
+    struct CellProgress {
+        t_end: f64,
+        attempts_left: u32,
+        last_err: Option<SimError>,
+        best_found: usize,
+        done: Option<Result<SyncRun, SyncError>>,
+    }
+    let mut progress: Vec<CellProgress> = cells
+        .iter()
+        .map(|cell| CellProgress {
+            t_end: cell.config.cycle_time_hint * (cycles as f64 + 1.0),
+            attempts_left: cell.config.max_extensions + 1,
+            last_err: None,
+            best_found: 0,
+            done: None,
+        })
+        .collect();
+
+    loop {
+        let active: Vec<usize> = progress
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.done.is_none() && p.attempts_left > 0)
+            .map(|(i, _)| i)
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        let lanes: Vec<BatchLane> = active
+            .iter()
+            .map(|&i| {
+                let config = &cells[i].config;
+                let mut options = OdeOptions::default()
+                    .with_t_end(progress[i].t_end)
+                    .with_record_interval(config.record_interval)
+                    .with_method(config.method);
+                if let Some(hook) = config.step_hook {
+                    options = options.with_step_hook(hook);
+                }
+                if let Some(sink) = config.metrics {
+                    options = options.with_metrics(sink);
+                }
+                BatchLane {
+                    compiled: cells[i].compiled,
+                    init: &init,
+                    schedule: &schedule,
+                    options,
+                }
+            })
+            .collect();
+        let results = run_ode_batch(system.crn(), &lanes, workspace);
+        for (&i, result) in active.iter().zip(results) {
+            let p = &mut progress[i];
+            p.attempts_left -= 1;
+            match result {
+                Ok(trace) => {
+                    let run = SyncRun::from_trace(system, trace);
+                    if run.cycles() >= cycles {
+                        let mut run = run;
+                        run.sample_times.truncate(cycles);
+                        for series in run.registers.values_mut() {
+                            series.truncate(cycles);
+                        }
+                        p.done = Some(Ok(run));
+                    } else {
+                        p.best_found = p.best_found.max(run.cycles());
+                        p.t_end *= 2.0;
+                    }
+                }
+                Err(e @ SimError::Interrupted { .. }) => {
+                    // a cooperative budget fired: retrying on a doubled
+                    // horizon would be interrupted again immediately
+                    p.done = Some(Err(SyncError::Simulation(e)));
+                }
+                Err(e) => {
+                    p.last_err = Some(e);
+                    p.t_end *= 2.0;
+                }
+            }
+        }
+    }
+
+    Ok(progress
+        .into_iter()
+        .map(|p| {
+            p.done.unwrap_or_else(|| {
+                Err(p.last_err.map_or(
+                    SyncError::InsufficientCycles {
+                        requested: cycles,
+                        found: p.best_found,
+                    },
+                    SyncError::Simulation,
+                ))
+            })
+        })
+        .collect())
+}
+
 /// Drives `system` for `cycles` clock cycles, compiling its network per
 /// call.
 ///
@@ -556,6 +718,75 @@ mod tests {
                 y_series[k + 1]
             );
         }
+    }
+
+    /// The batched harness reproduces solo scalar runs bit for bit: same
+    /// sample times, same register series, per rate binding.
+    #[test]
+    fn batched_harness_matches_scalar_bitwise() {
+        use molseq_kinetics::SimSpec;
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let d = c.delay("d", x);
+        c.output("y", d);
+        let sys = c.compile().unwrap();
+        let samples = [40.0, 10.0, 70.0];
+        let inputs: [(&str, &[f64]); 1] = [("x", &samples)];
+
+        let base = CompiledCrn::new(sys.crn(), &SimSpec::default());
+        let ratios = [200.0, 1000.0, 5000.0];
+        let compiled: Vec<CompiledCrn> = ratios
+            .iter()
+            .map(|&r| base.rebind(&SimSpec::new(molseq_crn::RateAssignment::from_ratio(r))))
+            .collect();
+        let cells: Vec<BatchCell> = compiled
+            .iter()
+            .map(|c| BatchCell {
+                compiled: c,
+                config: RunConfig::default(),
+            })
+            .collect();
+        let mut ws = BatchedOdeWorkspace::new();
+        let batched = drive_cycles_batch(&sys, &inputs, 3, &cells, &mut ws).unwrap();
+        for (c, result) in compiled.iter().zip(batched) {
+            let scalar = drive_cycles(
+                &sys,
+                &inputs,
+                3,
+                &RunConfig::default(),
+                CycleResources {
+                    compiled: Some(c),
+                    workspace: None,
+                },
+            )
+            .unwrap();
+            let run = result.unwrap();
+            assert_eq!(scalar.sample_times(), run.sample_times());
+            for name in sys.register_names() {
+                assert_eq!(
+                    scalar.register_series(name).unwrap(),
+                    run.register_series(name).unwrap(),
+                    "register {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_harness_rejects_zero_cycles() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        c.output("y", x);
+        let sys = c.compile().unwrap();
+        let compiled = CompiledCrn::new(sys.crn(), &molseq_kinetics::SimSpec::default());
+        let cells = [BatchCell {
+            compiled: &compiled,
+            config: RunConfig::default(),
+        }];
+        assert!(matches!(
+            drive_cycles_batch(&sys, &[], 0, &cells, &mut BatchedOdeWorkspace::new()),
+            Err(SyncError::InvalidAmount { .. })
+        ));
     }
 
     /// End-to-end: a single register delays its input by exactly one

@@ -1,8 +1,11 @@
 //! Ready-made filter structures with ideal reference models.
 
 use crate::{Ratio, SfgBuilder};
-use molseq_kinetics::CompiledCrn;
-use molseq_sync::{drive_cycles, ClockSpec, CompiledSystem, CycleResources, RunConfig, SyncError};
+use molseq_kinetics::{BatchedOdeWorkspace, CompiledCrn};
+use molseq_sync::{
+    drive_cycles, drive_cycles_batch, BatchCell, ClockSpec, CompiledSystem, CycleResources,
+    RunConfig, SyncError,
+};
 
 /// A compiled molecular filter plus its ideal floating-point reference.
 ///
@@ -98,6 +101,40 @@ impl Filter {
         )?;
         let series = run.register_series("y")?;
         Ok(series[..samples.len()].to_vec())
+    }
+
+    /// Runs the molecular filter under several rate bindings at once
+    /// through the batched lock-step engine
+    /// ([`drive_cycles_batch`]): one compiled cell per rate binding, all
+    /// sharing this filter's network structure, each result bit-identical
+    /// to a solo [`respond_with`](Self::respond_with) call with the same
+    /// configuration. `workspace` is reused across calls.
+    ///
+    /// # Errors
+    ///
+    /// Shared-setup errors fail the whole call; per-cell harness errors
+    /// come back in the per-cell results.
+    pub fn respond_batch(
+        &self,
+        samples: &[f64],
+        cells: &[BatchCell<'_, '_>],
+        workspace: &mut BatchedOdeWorkspace,
+    ) -> Result<Vec<Result<Vec<f64>, SyncError>>, SyncError> {
+        let runs = drive_cycles_batch(
+            &self.system,
+            &[("x", samples)],
+            samples.len(),
+            cells,
+            workspace,
+        )?;
+        Ok(runs
+            .into_iter()
+            .map(|run| {
+                let run = run?;
+                let series = run.register_series("y")?;
+                Ok(series[..samples.len()].to_vec())
+            })
+            .collect())
     }
 
     /// Runs the filter on an input sequence, compiling its network per
@@ -315,6 +352,39 @@ mod tests {
         assert_eq!(y[0], 4.0); // 0.5·8
         assert_eq!(y[1], 0.0); // 0.25·8 − 0.5·4 = 0, clamped at 0
         assert!(y.iter().all(|&v| v >= 0.0));
+    }
+
+    /// The batched path over a small rate-ratio grid of the paper's
+    /// moving-average example agrees with per-cell scalar runs exactly
+    /// (the engine's contract is bit-identity, so no tolerance needed).
+    #[test]
+    fn moving_average_grid_batched_matches_scalar() {
+        use molseq_crn::RateAssignment;
+        use molseq_kinetics::SimSpec;
+        let f = moving_average(2, ClockSpec::default()).unwrap();
+        let samples = [10.0, 50.0, 80.0];
+        let base = CompiledCrn::new(f.system().crn(), &SimSpec::default());
+        let ratios = [100.0, 400.0, 1000.0, 4000.0];
+        let compiled: Vec<CompiledCrn> = ratios
+            .iter()
+            .map(|&r| base.rebind(&SimSpec::new(RateAssignment::from_ratio(r))))
+            .collect();
+        let cells: Vec<BatchCell> = compiled
+            .iter()
+            .map(|c| BatchCell {
+                compiled: c,
+                config: RunConfig::default(),
+            })
+            .collect();
+        let mut ws = BatchedOdeWorkspace::new();
+        let batched = f.respond_batch(&samples, &cells, &mut ws).unwrap();
+        assert_eq!(batched.len(), ratios.len());
+        for (c, result) in compiled.iter().zip(batched) {
+            let scalar = f
+                .respond_with(&samples, &RunConfig::default(), Some(c))
+                .unwrap();
+            assert_eq!(scalar, result.unwrap());
+        }
     }
 
     #[test]

@@ -315,6 +315,183 @@ impl CompiledCrn {
         self.jac_col_idx.len()
     }
 
+    /// Gathers the resolved rate constants of `lanes` into reaction-major,
+    /// lane-contiguous layout (`ks[j * width + l]` = reaction `j`'s rate in
+    /// lane `l`) — the per-lane parameterization the batched kernels
+    /// consume. Every lane must be structurally identical to `self`
+    /// (same source network, typically produced by [`rebind`](Self::rebind)).
+    pub(crate) fn gather_rates(&self, lanes: &[&CompiledCrn], ks: &mut Vec<f64>) {
+        let width = lanes.len();
+        ks.clear();
+        ks.resize(self.reactions.len() * width, 0.0);
+        for (l, lane) in lanes.iter().enumerate() {
+            assert_eq!(
+                lane.structural_hash, self.structural_hash,
+                "batched lanes must share one network structure"
+            );
+            assert_eq!(lane.reactions.len(), self.reactions.len());
+            for (j, r) in lane.reactions.iter().enumerate() {
+                ks[j * width + l] = r.k;
+            }
+        }
+    }
+
+    /// Multi-lane [`derivative`](Self::derivative): `x` and `dx` hold
+    /// `width` cell states in species-major, lane-contiguous layout
+    /// (`x[i * width + l]` = species `i` in lane `l`), `ks` holds the
+    /// per-lane rate constants from [`gather_rates`](Self::gather_rates),
+    /// and `flux` is a `width`-long scratch buffer.
+    ///
+    /// Per lane, the arithmetic (including the zero-flux scatter skip) is
+    /// performed in exactly the scalar order, so every lane's result is
+    /// bit-identical to a scalar `derivative` call on that lane's state.
+    pub(crate) fn derivative_batch(&self, ks: &[f64], x: &[f64], dx: &mut [f64], flux: &mut [f64]) {
+        // monomorphize the hot widths so the lane loops unroll and
+        // vectorize with a compile-time trip count (WDC = 0 keeps one
+        // dynamic-width body for everything else)
+        match flux.len() {
+            2 => self.derivative_batch_impl::<2>(ks, x, dx, flux),
+            4 => self.derivative_batch_impl::<4>(ks, x, dx, flux),
+            8 => self.derivative_batch_impl::<8>(ks, x, dx, flux),
+            16 => self.derivative_batch_impl::<16>(ks, x, dx, flux),
+            32 => self.derivative_batch_impl::<32>(ks, x, dx, flux),
+            _ => self.derivative_batch_impl::<0>(ks, x, dx, flux),
+        }
+    }
+
+    #[inline(always)]
+    fn derivative_batch_impl<const WDC: usize>(
+        &self,
+        ks: &[f64],
+        x: &[f64],
+        dx: &mut [f64],
+        flux: &mut [f64],
+    ) {
+        let width = if WDC == 0 { flux.len() } else { WDC };
+        assert_eq!(flux.len(), width);
+        assert_eq!(x.len(), self.species_count * width);
+        assert_eq!(dx.len(), self.species_count * width);
+        assert_eq!(ks.len(), self.reactions.len() * width);
+        dx.fill(0.0);
+        for (j, r) in self.reactions.iter().enumerate() {
+            flux.copy_from_slice(&ks[j * width..(j + 1) * width]);
+            for &(i, stoich) in &r.reactants {
+                let xi = &x[i * width..(i + 1) * width];
+                // hoist the stoichiometry match out of the lane loop so the
+                // per-lane multiplies stay straight-line (and bit-identical
+                // to the scalar `pow_stoich` forms)
+                match stoich {
+                    1 => {
+                        for (f, &v) in flux.iter_mut().zip(xi) {
+                            *f *= v.max(0.0);
+                        }
+                    }
+                    2 => {
+                        for (f, &v) in flux.iter_mut().zip(xi) {
+                            let c = v.max(0.0);
+                            *f *= c * c;
+                        }
+                    }
+                    _ => {
+                        for (f, &v) in flux.iter_mut().zip(xi) {
+                            *f *= pow_stoich(v.max(0.0), stoich);
+                        }
+                    }
+                }
+            }
+            // the scalar path skips zero fluxes entirely; when every lane's
+            // flux is zero the selects below would all keep old bits, so the
+            // scatter is a no-op and can be skipped wholesale
+            if flux.iter().all(|&f| f == 0.0) {
+                continue;
+            }
+            for &(i, d) in &r.delta {
+                let row = &mut dx[i * width..(i + 1) * width];
+                for (acc, &f) in row.iter_mut().zip(flux.iter()) {
+                    // the select keeps skipped lanes' bits (±0.0 included)
+                    let updated = *acc + d * f;
+                    *acc = if f != 0.0 { updated } else { *acc };
+                }
+            }
+        }
+    }
+
+    /// Multi-lane [`jacobian_sparse`](Self::jacobian_sparse): writes the
+    /// nonzero Jacobian values of `width` lanes into `vals`
+    /// (slot-major, lane-contiguous: `vals[s * width + l]`). `partial` is a
+    /// `width`-long scratch buffer. Per lane the accumulation order and the
+    /// zero-partial skip match the scalar path bit-for-bit.
+    pub(crate) fn jacobian_sparse_batch(
+        &self,
+        ks: &[f64],
+        x: &[f64],
+        vals: &mut [f64],
+        partial: &mut [f64],
+    ) {
+        match partial.len() {
+            2 => self.jacobian_sparse_batch_impl::<2>(ks, x, vals, partial),
+            4 => self.jacobian_sparse_batch_impl::<4>(ks, x, vals, partial),
+            8 => self.jacobian_sparse_batch_impl::<8>(ks, x, vals, partial),
+            16 => self.jacobian_sparse_batch_impl::<16>(ks, x, vals, partial),
+            32 => self.jacobian_sparse_batch_impl::<32>(ks, x, vals, partial),
+            _ => self.jacobian_sparse_batch_impl::<0>(ks, x, vals, partial),
+        }
+    }
+
+    #[inline(always)]
+    fn jacobian_sparse_batch_impl<const WDC: usize>(
+        &self,
+        ks: &[f64],
+        x: &[f64],
+        vals: &mut [f64],
+        partial: &mut [f64],
+    ) {
+        let width = if WDC == 0 { partial.len() } else { WDC };
+        assert_eq!(partial.len(), width);
+        assert_eq!(x.len(), self.species_count * width);
+        assert_eq!(vals.len(), self.jac_col_idx.len() * width);
+        vals.fill(0.0);
+        let mut cursor = 0usize;
+        for (jr, r) in self.reactions.iter().enumerate() {
+            for (jj, &(j, s_j)) in r.reactants.iter().enumerate() {
+                let xj = &x[j * width..(j + 1) * width];
+                let sj = f64::from(s_j);
+                for ((p, &k), &v) in partial
+                    .iter_mut()
+                    .zip(&ks[jr * width..(jr + 1) * width])
+                    .zip(xj)
+                {
+                    *p = k * sj * pow_stoich_minus_one(v.max(0.0), s_j);
+                }
+                for (ii, &(i, s_i)) in r.reactants.iter().enumerate() {
+                    if ii != jj {
+                        let xi = &x[i * width..(i + 1) * width];
+                        for (p, &v) in partial.iter_mut().zip(xi) {
+                            *p *= pow_stoich(v.max(0.0), s_i);
+                        }
+                    }
+                }
+                // the scalar path bulk-skips a zero partial; when every
+                // lane's partial is zero the scatter is a no-op, so only
+                // the cursor needs to advance
+                if partial.iter().all(|&p| p == 0.0) {
+                    cursor += r.delta.len();
+                    continue;
+                }
+                for &(_, d) in &r.delta {
+                    let slot = self.jac_slots[cursor];
+                    cursor += 1;
+                    let row = &mut vals[slot * width..(slot + 1) * width];
+                    for (acc, &p) in row.iter_mut().zip(partial.iter()) {
+                        // the select leaves skipped lanes' bits untouched
+                        let updated = *acc + d * p;
+                        *acc = if p != 0.0 { updated } else { *acc };
+                    }
+                }
+            }
+        }
+    }
+
     /// The CSR Jacobian pattern as `(row_ptr, col_idx)`: row `i`'s nonzero
     /// columns are `col_idx[row_ptr[i]..row_ptr[i + 1]]`, sorted ascending.
     #[must_use]

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cache;
 mod compare;
 mod compiled;
@@ -65,6 +66,7 @@ mod tau;
 mod tau_implicit;
 mod trace;
 
+pub use batch::{run_ode_batch, BatchLane, BatchedOdeWorkspace};
 pub use cache::CompiledCache;
 pub use compare::{compare_trajectories, Divergence, MappedSpecies};
 pub use compiled::CompiledCrn;

@@ -80,6 +80,14 @@ pub struct SimMetrics {
     /// RNG seed of the most recent stochastic run (`0` for deterministic
     /// runs).
     pub seed: u64,
+    /// Lane count of the batched ODE engine for the most recent run that
+    /// reported into this record (`0` for scalar runs).
+    pub batch_width: u64,
+    /// For a cell run through the batched ODE engine: how many sibling
+    /// lanes of its batch had already retired (finished or failed) when
+    /// this cell's lane retired. Cumulative across runs, like the step
+    /// counters, so harness retries show the total retirement churn.
+    pub lanes_retired: u64,
 }
 
 impl SimMetrics {
@@ -94,9 +102,13 @@ impl SimMetrics {
         self.tau_leaps_implicit += other.tau_leaps_implicit;
         self.newton_iterations += other.newton_iterations;
         self.leap_switchovers += other.leap_switchovers;
+        self.lanes_retired += other.lanes_retired;
         self.final_time = other.final_time;
         if other.seed != 0 {
             self.seed = other.seed;
+        }
+        if other.batch_width != 0 {
+            self.batch_width = other.batch_width;
         }
     }
 
@@ -139,6 +151,8 @@ mod tests {
             leap_switchovers: 1,
             final_time: 4.0,
             seed: 7,
+            batch_width: 0,
+            lanes_retired: 0,
         };
         total.absorb(&SimMetrics {
             ode_steps_accepted: 2,
@@ -147,6 +161,8 @@ mod tests {
             newton_iterations: 9,
             leap_switchovers: 2,
             final_time: 9.0,
+            batch_width: 8,
+            lanes_retired: 3,
             ..SimMetrics::default()
         });
         assert_eq!(total.ode_steps_accepted, 12);
@@ -158,6 +174,11 @@ mod tests {
         assert_eq!(total.final_time, 9.0);
         // a deterministic follow-up run (seed 0) keeps the stochastic seed
         assert_eq!(total.seed, 7);
+        assert_eq!(total.batch_width, 8);
+        assert_eq!(total.lanes_retired, 3);
+        // a scalar follow-up (width 0) keeps the batched width
+        total.absorb(&SimMetrics::default());
+        assert_eq!(total.batch_width, 8);
     }
 
     #[test]

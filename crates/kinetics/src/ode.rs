@@ -272,6 +272,32 @@ impl<'h> OdeOptions<'h> {
     pub fn jacobian_reuse(&self) -> usize {
         self.jacobian_reuse
     }
+
+    // Crate-level accessors for the batched driver (`crate::batch`), which
+    // replays the exact scalar control flow from another module.
+    pub(crate) fn method(&self) -> OdeMethod {
+        self.method
+    }
+
+    pub(crate) fn record_interval(&self) -> f64 {
+        self.record_interval
+    }
+
+    pub(crate) fn h_max(&self) -> f64 {
+        self.h_max
+    }
+
+    pub(crate) fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    pub(crate) fn step_hook(&self) -> Option<StepHook<'h>> {
+        self.step_hook
+    }
+
+    pub(crate) fn metrics_sink(&self) -> Option<MetricsSink<'h>> {
+        self.metrics
+    }
 }
 
 /// Reusable integrator buffers: the step scratch (`Scratch` /
@@ -549,7 +575,7 @@ pub(crate) fn run_ode(
 /// one per recording interval plus one per injection plus the endpoints.
 /// Trigger firings add a few more; the estimate is a capacity hint, not a
 /// bound, and is capped so absurd intervals cannot over-reserve.
-fn expected_records(opts: &OdeOptions, schedule: &Schedule) -> usize {
+pub(crate) fn expected_records(opts: &OdeOptions, schedule: &Schedule) -> usize {
     let span = opts.t_end - opts.t_start;
     let regular = if opts.record_interval.is_finite() && opts.record_interval > 0.0 {
         (span / opts.record_interval).ceil() as usize
@@ -672,7 +698,7 @@ pub fn simulate_until_quiescent(
     ))
 }
 
-fn initial_step(opts: &OdeOptions) -> f64 {
+pub(crate) fn initial_step(opts: &OdeOptions) -> f64 {
     let span = opts.t_end - opts.t_start;
     (opts.record_interval.min(span / 100.0)).max(span * 1e-9)
 }

@@ -45,8 +45,8 @@
 
 use crate::compiled::CompiledCrn;
 
-const D: f64 = 0.2928932188134524; // 1 / (2 + √2)
-const C32: f64 = 7.414213562373095; // 6 + √2
+pub(crate) const D: f64 = 0.2928932188134524; // 1 / (2 + √2)
+pub(crate) const C32: f64 = 7.414213562373095; // 6 + √2
 
 /// A multiplier this large during the no-pivot elimination means the
 /// natural ordering is numerically unstable for this particular `W`;
@@ -226,6 +226,12 @@ pub(crate) struct Symbolic {
     /// row pattern, used in forward substitution.
     lrow_ptr: Vec<usize>,
     lrow_idx: Vec<usize>,
+    /// Permuted dense positions inside the elimination structure that the
+    /// assemble scatter does not write (fill-in slots plus pattern-absent
+    /// diagonals). The unmasked assemble zeroes exactly these instead of
+    /// wiping all `n²` entries — everything the factorization and the
+    /// solves read is either scattered or on this list.
+    fill_idx: Vec<usize>,
 }
 
 impl Symbolic {
@@ -267,6 +273,13 @@ impl Symbolic {
                 }
             }
         }
+        let mut written = vec![false; n * n];
+        for i in 0..n {
+            for s in row_ptr[i]..row_ptr[i + 1] {
+                written[pinv[i] * n + pinv[col_idx[s]]] = true;
+            }
+        }
+        let fill_idx: Vec<usize> = (0..n * n).filter(|&p| pat[p] && !written[p]).collect();
         let mut sym = Symbolic {
             n,
             src_row_ptr: row_ptr.to_vec(),
@@ -279,6 +292,7 @@ impl Symbolic {
             right_idx: Vec::new(),
             lrow_ptr: Vec::with_capacity(n + 1),
             lrow_idx: Vec::new(),
+            fill_idx,
         };
         sym.below_ptr.push(0);
         sym.right_ptr.push(0);
@@ -398,6 +412,320 @@ impl Symbolic {
         }
         for k in 0..n {
             b[self.perm[k]] = scratch[k];
+        }
+    }
+
+    /// Multi-lane [`assemble`](Self::assemble): `jac_vals` holds `width`
+    /// lanes of Jacobian nonzeros (slot-major, lane-contiguous), `hd` the
+    /// per-lane `h·D`, and `w` the `n×n×width` matrix block (entry-major,
+    /// lane-contiguous). Only lanes with `need[l]` set are written; the
+    /// others keep their cached factor bits untouched. When the caller
+    /// can prove no lane's cached bits will ever be read again (`all` —
+    /// every lane is either needed now or retired) the per-lane selects
+    /// collapse to plain full-width writes; needed lanes receive
+    /// bit-identical values either way.
+    pub(crate) fn assemble_batch(
+        &self,
+        compiled: &CompiledCrn,
+        jac_vals: &[f64],
+        hd: &[f64],
+        need: &[bool],
+        all: bool,
+        w: &mut [f64],
+    ) {
+        // monomorphize the hot widths so the lane loops unroll and
+        // vectorize with a compile-time trip count (WDC = 0 keeps one
+        // dynamic-width body for everything else)
+        match hd.len() {
+            2 => self.assemble_batch_impl::<2>(compiled, jac_vals, hd, need, all, w),
+            4 => self.assemble_batch_impl::<4>(compiled, jac_vals, hd, need, all, w),
+            8 => self.assemble_batch_impl::<8>(compiled, jac_vals, hd, need, all, w),
+            16 => self.assemble_batch_impl::<16>(compiled, jac_vals, hd, need, all, w),
+            32 => self.assemble_batch_impl::<32>(compiled, jac_vals, hd, need, all, w),
+            _ => self.assemble_batch_impl::<0>(compiled, jac_vals, hd, need, all, w),
+        }
+    }
+
+    #[inline(always)]
+    fn assemble_batch_impl<const WDC: usize>(
+        &self,
+        compiled: &CompiledCrn,
+        jac_vals: &[f64],
+        hd: &[f64],
+        need: &[bool],
+        all: bool,
+        w: &mut [f64],
+    ) {
+        let n = self.n;
+        let wd = if WDC == 0 { hd.len() } else { WDC };
+        debug_assert_eq!(hd.len(), wd);
+        debug_assert_eq!(need.len(), wd);
+        debug_assert_eq!(w.len(), n * n * wd);
+        if all {
+            // only the slots the factorization/solves read and the
+            // scatter below does not overwrite need zeroing; everything
+            // outside the elimination structure is never read
+            for &p in &self.fill_idx {
+                w[p * wd..(p + 1) * wd].fill(0.0);
+            }
+        } else {
+            for chunk in w.chunks_exact_mut(wd) {
+                for (x, &nd) in chunk.iter_mut().zip(need) {
+                    *x = if nd { 0.0 } else { *x };
+                }
+            }
+        }
+        let (row_ptr, col_idx) = compiled.jacobian_pattern();
+        for i in 0..n {
+            let base = self.pinv[i] * n;
+            for s in row_ptr[i]..row_ptr[i + 1] {
+                let dst = (base + self.pinv[col_idx[s]]) * wd;
+                let vals = &jac_vals[s * wd..(s + 1) * wd];
+                let out = &mut w[dst..dst + wd];
+                if all {
+                    for ((x, &v), &h) in out.iter_mut().zip(vals).zip(hd) {
+                        *x = -h * v;
+                    }
+                } else {
+                    for ((x, &v), (&h, &nd)) in out.iter_mut().zip(vals).zip(hd.iter().zip(need)) {
+                        *x = if nd { -h * v } else { *x };
+                    }
+                }
+            }
+            let dst = (base + self.pinv[i]) * wd;
+            let out = &mut w[dst..dst + wd];
+            if all {
+                for x in out.iter_mut() {
+                    *x += 1.0;
+                }
+            } else {
+                for (x, &nd) in out.iter_mut().zip(need) {
+                    *x = if nd { *x + 1.0 } else { *x };
+                }
+            }
+        }
+    }
+
+    /// Multi-lane [`factor`](Self::factor): one pass over the elimination
+    /// structure factors every lane with `need[l]` set, in exactly the
+    /// scalar operation order per lane. Instead of bailing out, a lane
+    /// whose pivot vanishes or whose multiplier trips the guard has its
+    /// `ok[l]` cleared (sticky) and keeps computing — the garbage stays in
+    /// that lane and the caller routes it to the dense fallback, exactly
+    /// as the scalar path does after `factor` returns `false`. Lanes
+    /// without `need[l]` keep their cached factor bits untouched.
+    /// `inv`/`m`/`upd` are `width`-long scratch buffers.
+    // Negated comparisons deliberately classify NaN as failed, as in the
+    // scalar `factor`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::too_many_arguments)]
+    pub(crate) fn factor_batch(
+        &self,
+        a: &mut [f64],
+        need: &[bool],
+        ok: &mut [bool],
+        inv: &mut [f64],
+        m: &mut [f64],
+        upd: &mut [bool],
+        all: bool,
+    ) {
+        match need.len() {
+            2 => self.factor_batch_impl::<2>(a, need, ok, inv, m, upd, all),
+            4 => self.factor_batch_impl::<4>(a, need, ok, inv, m, upd, all),
+            8 => self.factor_batch_impl::<8>(a, need, ok, inv, m, upd, all),
+            16 => self.factor_batch_impl::<16>(a, need, ok, inv, m, upd, all),
+            32 => self.factor_batch_impl::<32>(a, need, ok, inv, m, upd, all),
+            _ => self.factor_batch_impl::<0>(a, need, ok, inv, m, upd, all),
+        }
+    }
+
+    /// `all` — every lane is either needed or retired, so keep-old-bits
+    /// selects can become plain writes (retired lanes receive garbage
+    /// nobody reads; needed lanes get bit-identical values).
+    #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::too_many_arguments)]
+    #[inline(always)]
+    fn factor_batch_impl<const WDC: usize>(
+        &self,
+        a: &mut [f64],
+        need: &[bool],
+        ok: &mut [bool],
+        inv: &mut [f64],
+        m: &mut [f64],
+        upd: &mut [bool],
+        all: bool,
+    ) {
+        let n = self.n;
+        let wd = if WDC == 0 { need.len() } else { WDC };
+        debug_assert_eq!(need.len(), wd);
+        debug_assert_eq!(a.len(), n * n * wd);
+        for (o, &nd) in ok.iter_mut().zip(need) {
+            *o = nd;
+        }
+        for k in 0..n {
+            let kk = (k * n + k) * wd;
+            {
+                let diag = &a[kk..kk + wd];
+                if all {
+                    // `ok` starts as `need`, so retired lanes stay false
+                    // without re-reading the mask
+                    for ((iv, o), &piv) in inv.iter_mut().zip(ok.iter_mut()).zip(diag) {
+                        if *o && !(piv.abs() > 1e-300) {
+                            *o = false;
+                        }
+                        *iv = 1.0 / piv;
+                    }
+                } else {
+                    for (((iv, o), &nd), &piv) in
+                        inv.iter_mut().zip(ok.iter_mut()).zip(need).zip(diag)
+                    {
+                        if nd && *o && !(piv.abs() > 1e-300) {
+                            *o = false;
+                        }
+                        *iv = 1.0 / piv;
+                    }
+                }
+            }
+            let right = &self.right_idx[self.right_ptr[k]..self.right_ptr[k + 1]];
+            for &i in &self.below_idx[self.below_ptr[k]..self.below_ptr[k + 1]] {
+                let ik = (i * n + k) * wd;
+                {
+                    let col = &mut a[ik..ik + wd];
+                    if all {
+                        for l in 0..wd {
+                            let mm = col[l] * inv[l];
+                            if ok[l] && !(mm.abs() <= MULTIPLIER_GUARD) {
+                                ok[l] = false;
+                            }
+                            col[l] = mm;
+                            m[l] = mm;
+                            upd[l] = mm != 0.0;
+                        }
+                    } else {
+                        for l in 0..wd {
+                            let mm = col[l] * inv[l];
+                            if need[l] && ok[l] && !(mm.abs() <= MULTIPLIER_GUARD) {
+                                ok[l] = false;
+                            }
+                            col[l] = if need[l] { mm } else { col[l] };
+                            m[l] = mm;
+                            upd[l] = need[l] && mm != 0.0;
+                        }
+                    }
+                }
+                // the row update is the O(fill²) kernel; when no lane has a
+                // nonzero multiplier every write below would keep its old
+                // bits, so the whole sweep is a no-op — skip it, exactly as
+                // the scalar factor's `m != 0` branch does per cell
+                if !upd.iter().any(|&up| up) {
+                    continue;
+                }
+                for &j in right {
+                    let kj = (k * n + j) * wd;
+                    let ij = (i * n + j) * wd;
+                    // i > k, so the pivot-row read and the target-row
+                    // write never alias
+                    let (head, tail) = a.split_at_mut(ij);
+                    let src = &head[kj..kj + wd];
+                    let dst = &mut tail[..wd];
+                    // the per-lane select stays even in the `all` path:
+                    // the scalar factor skips m == 0 row updates, and
+                    // `x - 0·s` is not a bitwise no-op (−0.0, inf·0)
+                    for (((x, &s), &mm), &up) in
+                        dst.iter_mut().zip(src).zip(m.iter()).zip(upd.iter())
+                    {
+                        let nv = *x - mm * s;
+                        *x = if up { nv } else { *x };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Multi-lane [`solve`](Self::solve) against a factor from
+    /// [`factor_batch`](Self::factor_batch): `b` and `scratch` hold
+    /// `width` right-hand sides (species-major, lane-contiguous). The
+    /// triangular sweeps run full-width — per lane in the scalar
+    /// operation order — and the final scatter writes back only lanes
+    /// with `write[l]` set, so lanes solved elsewhere (dense fallback,
+    /// retired) keep their `b` bits.
+    pub(crate) fn solve_batch(
+        &self,
+        a: &[f64],
+        b: &mut [f64],
+        scratch: &mut [f64],
+        write: &[bool],
+        all: bool,
+    ) {
+        match write.len() {
+            2 => self.solve_batch_impl::<2>(a, b, scratch, write, all),
+            4 => self.solve_batch_impl::<4>(a, b, scratch, write, all),
+            8 => self.solve_batch_impl::<8>(a, b, scratch, write, all),
+            16 => self.solve_batch_impl::<16>(a, b, scratch, write, all),
+            32 => self.solve_batch_impl::<32>(a, b, scratch, write, all),
+            _ => self.solve_batch_impl::<0>(a, b, scratch, write, all),
+        }
+    }
+
+    /// `all` — every lane is either written back or retired, so the final
+    /// scatter is a plain copy (retired lanes receive garbage nobody
+    /// reads; written lanes get bit-identical values).
+    #[inline(always)]
+    fn solve_batch_impl<const WDC: usize>(
+        &self,
+        a: &[f64],
+        b: &mut [f64],
+        scratch: &mut [f64],
+        write: &[bool],
+        all: bool,
+    ) {
+        let n = self.n;
+        let wd = if WDC == 0 { write.len() } else { WDC };
+        debug_assert_eq!(write.len(), wd);
+        debug_assert_eq!(a.len(), n * n * wd);
+        debug_assert_eq!(b.len(), n * wd);
+        debug_assert_eq!(scratch.len(), n * wd);
+        for k in 0..n {
+            let src = self.perm[k] * wd;
+            scratch[k * wd..(k + 1) * wd].copy_from_slice(&b[src..src + wd]);
+        }
+        // forward substitution (unit lower triangle)
+        for i in 1..n {
+            let (lo, hi) = scratch.split_at_mut(i * wd);
+            let row = &mut hi[..wd];
+            for &j in &self.lrow_idx[self.lrow_ptr[i]..self.lrow_ptr[i + 1]] {
+                let av = &a[(i * n + j) * wd..(i * n + j + 1) * wd];
+                let sv = &lo[j * wd..(j + 1) * wd];
+                for ((x, &am), &sm) in row.iter_mut().zip(av).zip(sv) {
+                    *x -= am * sm;
+                }
+            }
+        }
+        // back substitution
+        for i in (0..n).rev() {
+            let (lo, hi) = scratch.split_at_mut((i + 1) * wd);
+            let row = &mut lo[i * wd..];
+            for &j in &self.right_idx[self.right_ptr[i]..self.right_ptr[i + 1]] {
+                let av = &a[(i * n + j) * wd..(i * n + j + 1) * wd];
+                let sv = &hi[(j - i - 1) * wd..(j - i) * wd];
+                for ((x, &am), &sm) in row.iter_mut().zip(av).zip(sv) {
+                    *x -= am * sm;
+                }
+            }
+            let diag = &a[(i * n + i) * wd..(i * n + i + 1) * wd];
+            for (x, &dv) in row.iter_mut().zip(diag) {
+                *x /= dv;
+            }
+        }
+        for k in 0..n {
+            let dst = self.perm[k] * wd;
+            let out = &mut b[dst..dst + wd];
+            let sv = &scratch[k * wd..(k + 1) * wd];
+            if all {
+                out.copy_from_slice(sv);
+            } else {
+                for ((x, &s), &wr) in out.iter_mut().zip(sv).zip(write) {
+                    *x = if wr { s } else { *x };
+                }
+            }
         }
     }
 }
@@ -768,6 +1096,8 @@ mod tests {
             right_idx: vec![1],
             lrow_ptr: vec![0, 0, 1],
             lrow_idx: vec![0],
+            // fully dense source pattern: the scatter writes every slot
+            fill_idx: vec![],
         }
     }
 

@@ -14,6 +14,8 @@ usage: serve [options]
 options:
   --addr HOST:PORT     bind address (default 127.0.0.1:0; port 0 = ephemeral)
   --workers N          worker threads (default: one per hardware thread)
+  --cache-capacity N   bound the compiled-network cache to N structures,
+                       evicting least-recently-used (default unbounded)
   --max-inflight N     per-tenant in-flight job limit (default 4)
   --max-steps N        per-cell simulator step budget (default unlimited)
   --budget-tenant NAME=STEPS
@@ -51,6 +53,13 @@ fn main() {
                 config = config.with_addr(addr);
             }
             "--workers" => config = config.with_workers(parse_number("--workers", args.next())),
+            "--cache-capacity" => {
+                let capacity: usize = parse_number("--cache-capacity", args.next());
+                if capacity == 0 {
+                    fail("--cache-capacity must be at least 1");
+                }
+                config = config.with_cache_capacity(capacity);
+            }
             "--max-inflight" => {
                 policy.max_inflight = parse_number("--max-inflight", args.next());
             }

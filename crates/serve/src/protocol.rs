@@ -123,6 +123,11 @@ pub struct SubmitRequest {
     pub seed: u64,
     /// Timed injections `(time, species name, amount)`.
     pub injections: Vec<(f64, String, f64)>,
+    /// Lock-step batch width for ODE submissions: consecutive runs of
+    /// this many cells are integrated together through the batched
+    /// kinetics engine. `1` (the default) runs every cell on the scalar
+    /// path; results are bit-identical at every width.
+    pub batch: usize,
     /// The cells to run, in index order.
     pub cells: Vec<CellSpec>,
 }
@@ -269,6 +274,9 @@ impl Request {
                 if !req.injections.is_empty() {
                     members.push(("injections", JsonValue::Array(injections)));
                 }
+                if req.batch != 1 {
+                    members.push(("batch", num(req.batch as f64)));
+                }
                 members.push(("cells", JsonValue::Array(cells)));
                 obj(members)
             }
@@ -390,6 +398,16 @@ fn parse_submit(doc: &JsonValue) -> Result<SubmitRequest, ProtocolError> {
             n as u64
         }
     };
+    let batch = match doc.get("batch") {
+        None => 1,
+        Some(_) => {
+            let n = get_usize(doc, "batch")?;
+            if n == 0 {
+                return Err(ProtocolError::new("`batch` must be at least 1"));
+            }
+            n
+        }
+    };
     Ok(SubmitRequest {
         tenant: get_str(doc, "tenant")?,
         network: get_str(doc, "network")?,
@@ -399,6 +417,7 @@ fn parse_submit(doc: &JsonValue) -> Result<SubmitRequest, ProtocolError> {
         record_interval: opt_f64(doc, "record_interval"),
         seed,
         injections,
+        batch,
         cells,
     })
 }
@@ -551,6 +570,7 @@ mod tests {
             record_interval: Some(1.0),
             seed: 42,
             injections: vec![(2.0, "X".to_owned(), 3.0)],
+            batch: 1,
             cells: vec![
                 CellSpec {
                     label: "rep=0".to_owned(),
@@ -604,6 +624,22 @@ mod tests {
         assert_eq!(req.record_interval, None);
         assert_eq!(req.method, Method::Ode);
         assert_eq!(req.cells[0].k_fast, None);
+        assert_eq!(req.batch, 1);
+    }
+
+    #[test]
+    fn batch_width_round_trips_and_zero_is_rejected() {
+        let mut submit = sample_submit();
+        submit.batch = 4;
+        let line = Request::Submit(Box::new(submit.clone())).to_line();
+        assert_eq!(
+            Request::parse(&line).unwrap(),
+            Request::Submit(Box::new(submit))
+        );
+        let zero = "{\"op\":\"submit\",\"tenant\":\"t\",\"network\":\"X -> Y @fast\",\
+                    \"method\":\"ode\",\"t_end\":1,\"batch\":0,\"cells\":[{\"label\":\"c\"}]}";
+        let err = Request::parse(zero).unwrap_err();
+        assert!(err.message().contains("batch"), "{err}");
     }
 
     #[test]

@@ -9,12 +9,12 @@
 use crate::protocol::{CellRow, CellSpec, Method, Request, SubmitRequest};
 use molseq_crn::{Crn, RateAssignment};
 use molseq_kinetics::{
-    CompiledCache, CompiledCrn, OdeOptions, Schedule, SimError, SimMetrics, SimSpec, Simulation,
-    SsaOptions, State,
+    run_ode_batch, BatchLane, BatchedOdeWorkspace, CompiledCache, CompiledCrn, OdeOptions,
+    Schedule, SimError, SimMetrics, SimSpec, Simulation, SsaOptions, State,
 };
 use molseq_sweep::{
-    run_cell, CancelToken, CellOutcome, JobBudget, JobCtx, JobError, JobStatus, JsonValue,
-    SweepJob, SweepOptions,
+    run_cell, run_group, CancelToken, CellOutcome, CellResult, GroupJob, JobBudget, JobCtx,
+    JobError, JobStatus, JsonValue, SweepJob, SweepOptions,
 };
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -55,17 +55,20 @@ impl Default for TenantPolicy {
 pub struct ServerConfig {
     addr: String,
     workers: usize,
+    cache_capacity: Option<usize>,
     default_policy: TenantPolicy,
     tenant_policies: Vec<(String, TenantPolicy)>,
 }
 
 impl Default for ServerConfig {
-    /// An ephemeral local port, one worker per hardware thread, the
-    /// default [`TenantPolicy`] for every tenant.
+    /// An ephemeral local port, one worker per hardware thread, an
+    /// unbounded compiled-CRN cache, the default [`TenantPolicy`] for
+    /// every tenant.
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 0,
+            cache_capacity: None,
             default_policy: TenantPolicy::default(),
             tenant_policies: Vec::new(),
         }
@@ -86,6 +89,22 @@ impl ServerConfig {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Bounds the compiled-CRN cache to `capacity` stored structures
+    /// (builder style); the least-recently-used entry is evicted to admit
+    /// a new one. The default is an unbounded cache. Eviction only costs
+    /// recompilation time — a re-admitted structure compiles
+    /// bit-identically — so results never depend on the bound.
+    ///
+    /// # Panics
+    ///
+    /// When `capacity` is zero (see [`CompiledCache::with_capacity`]).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        self.cache_capacity = Some(capacity);
         self
     }
 
@@ -130,6 +149,8 @@ struct JobPlan {
     method: Method,
     t_end: f64,
     record_interval: Option<f64>,
+    /// Lock-step lanes per queue unit (1 = scalar; only ODE jobs group).
+    batch: usize,
     cells: Vec<PlanCell>,
 }
 
@@ -174,7 +195,9 @@ struct Counters {
 struct Shared {
     config: ServerConfig,
     cache: CompiledCache,
-    queue: Mutex<VecDeque<(Arc<JobEntry>, usize)>>,
+    /// Work units `(job, first cell index, lane count)`: one cell for
+    /// scalar jobs, a lock-step group of consecutive cells otherwise.
+    queue: Mutex<VecDeque<(Arc<JobEntry>, usize, usize)>>,
     queue_ready: Condvar,
     jobs: Mutex<HashMap<String, Arc<JobEntry>>>,
     inflight: Mutex<HashMap<String, usize>>,
@@ -207,9 +230,12 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let worker_count = config.resolved_workers();
+        let cache = config
+            .cache_capacity
+            .map_or_else(CompiledCache::new, CompiledCache::with_capacity);
         let shared = Arc::new(Shared {
             config,
-            cache: CompiledCache::new(),
+            cache,
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
@@ -394,6 +420,9 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<JsonValue, Stri
     if !req.t_end.is_finite() || req.t_end <= 0.0 {
         return Err("`t_end` must be finite and positive".to_owned());
     }
+    if req.batch > 1 && req.method != Method::Ode {
+        return Err("`batch` widths above 1 need the ode method".to_owned());
+    }
     admit(shared, &req.tenant)?;
     // any validation failure from here on must hand the slot back
     let plan = match build_plan(shared, req) {
@@ -434,8 +463,12 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<JsonValue, Stri
         .insert(id.clone(), Arc::clone(&entry));
     {
         let mut queue = shared.queue.lock().expect("work queue poisoned");
-        for index in 0..cells {
-            queue.push_back((Arc::clone(&entry), index));
+        let batch = entry.plan.batch.max(1);
+        let mut base = 0;
+        while base < cells {
+            let width = batch.min(cells - base);
+            queue.push_back((Arc::clone(&entry), base, width));
+            base += width;
         }
     }
     shared.queue_ready.notify_all();
@@ -505,6 +538,7 @@ fn build_plan(shared: &Shared, req: &SubmitRequest) -> Result<JobPlan, String> {
         method: req.method,
         t_end: req.t_end,
         record_interval: req.record_interval,
+        batch: req.batch,
         cells,
     })
 }
@@ -638,6 +672,10 @@ fn snapshot_counters(shared: &Shared) -> Vec<(String, f64)> {
     let c = &shared.counters;
     let load = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
     let mut counters = vec![
+        (
+            "cache_evictions".to_owned(),
+            shared.cache.evictions() as f64,
+        ),
         ("cache_hits".to_owned(), shared.cache.hits() as f64),
         ("cache_misses".to_owned(), shared.cache.misses() as f64),
         (
@@ -653,7 +691,13 @@ fn snapshot_counters(shared: &Shared) -> Vec<(String, f64)> {
         ("jobs_submitted".to_owned(), load(&c.jobs_submitted)),
         (
             "queued_cells".to_owned(),
-            shared.queue.lock().expect("work queue poisoned").len() as f64,
+            shared
+                .queue
+                .lock()
+                .expect("work queue poisoned")
+                .iter()
+                .map(|(_, _, width)| *width as f64)
+                .sum(),
         ),
         ("running_cells".to_owned(), load(&c.running_cells)),
         ("tenant_rejections".to_owned(), load(&c.tenant_rejections)),
@@ -684,27 +728,37 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.queue_ready.wait(queue).expect("work queue poisoned");
             }
         };
-        let Some((entry, index)) = item else { return };
+        let Some((entry, base, width)) = item else {
+            return;
+        };
         shared
             .counters
             .running_cells
+            .fetch_add(width as u64, Ordering::Relaxed);
+        let rows = if width == 1 {
+            vec![run_plan_cell(&entry, base)]
+        } else {
+            run_plan_group(&entry, base, width)
+        };
+        shared
+            .counters
+            .running_cells
+            .fetch_sub(width as u64, Ordering::Relaxed);
+        for row in &rows {
+            match row.status {
+                JobStatus::Ok => &shared.counters.cells_ok,
+                JobStatus::Failed => &shared.counters.cells_failed,
+                JobStatus::Panicked => &shared.counters.cells_panicked,
+                JobStatus::BudgetExceeded => &shared.counters.cells_budget_exceeded,
+                JobStatus::Cancelled => &shared.counters.cells_cancelled,
+            }
             .fetch_add(1, Ordering::Relaxed);
-        let row = run_plan_cell(&entry, index);
-        shared
-            .counters
-            .running_cells
-            .fetch_sub(1, Ordering::Relaxed);
-        match row.status {
-            JobStatus::Ok => &shared.counters.cells_ok,
-            JobStatus::Failed => &shared.counters.cells_failed,
-            JobStatus::Panicked => &shared.counters.cells_panicked,
-            JobStatus::BudgetExceeded => &shared.counters.cells_budget_exceeded,
-            JobStatus::Cancelled => &shared.counters.cells_cancelled,
         }
-        .fetch_add(1, Ordering::Relaxed);
         let mut progress = entry.progress.lock().expect("job progress poisoned");
-        progress.rows[index] = Some(row);
-        progress.completed += 1;
+        for (k, row) in rows.into_iter().enumerate() {
+            progress.rows[base + k] = Some(row);
+        }
+        progress.completed += width;
         let finished = progress.completed == progress.rows.len();
         let cancel_requested = progress.cancel_requested;
         progress.finished = finished;
@@ -732,7 +786,64 @@ fn run_plan_cell(entry: &JobEntry, index: usize) -> CellRow {
     let job = SweepJob::new(cell.label.clone(), move |ctx: &JobCtx| {
         simulate_cell(plan, cell, ctx)
     });
-    let result = run_cell(&job, index, &entry.opts, Some(&entry.cancel));
+    row_from_result(run_cell(&job, index, &entry.opts, Some(&entry.cancel)))
+}
+
+/// Runs `width` consecutive ODE cells of a job as one lock-step group:
+/// one [`GroupJob`] through [`run_group`] (same per-cell seeds and
+/// outcome mapping as the scalar path), whose body integrates every lane
+/// together via [`run_ode_batch`]. The batched engine is bit-identical to
+/// the scalar integrator lane by lane, so the rows this produces are
+/// byte-identical to `width` [`run_plan_cell`] calls.
+fn run_plan_group(entry: &JobEntry, base: usize, width: usize) -> Vec<CellRow> {
+    let plan = &entry.plan;
+    let chunk = &plan.cells[base..base + width];
+    let labels = chunk.iter().map(|cell| cell.label.clone()).collect();
+    let group = GroupJob::new(labels, move |ctxs: &[JobCtx]| {
+        let hooks: Vec<_> = ctxs.iter().map(JobCtx::step_hook).collect();
+        let sinks: Vec<Cell<SimMetrics>> = ctxs
+            .iter()
+            .map(|_| Cell::new(SimMetrics::default()))
+            .collect();
+        let lanes: Vec<BatchLane> = chunk
+            .iter()
+            .enumerate()
+            .map(|(k, cell)| {
+                let mut opts = OdeOptions::default()
+                    .with_t_end(plan.t_end)
+                    .with_step_hook(&hooks[k])
+                    .with_metrics(&sinks[k]);
+                if let Some(dt) = plan.record_interval {
+                    opts = opts.with_record_interval(dt);
+                }
+                BatchLane {
+                    compiled: &cell.compiled,
+                    init: &plan.init,
+                    schedule: &plan.schedule,
+                    options: opts,
+                }
+            })
+            .collect();
+        let mut workspace = BatchedOdeWorkspace::new();
+        let results = run_ode_batch(&plan.crn, &lanes, &mut workspace);
+        results
+            .into_iter()
+            .zip(ctxs)
+            .zip(&sinks)
+            .map(|((result, ctx), sink)| {
+                record_metrics(ctx, sink.get());
+                let trace = result.map_err(map_sim_error)?;
+                Ok(trace.final_state().to_vec())
+            })
+            .collect()
+    });
+    run_group(&group, base, &entry.opts, Some(&entry.cancel))
+        .into_iter()
+        .map(row_from_result)
+        .collect()
+}
+
+fn row_from_result(result: CellResult<Vec<f64>>) -> CellRow {
     let final_state = match &result.outcome {
         CellOutcome::Ok(state) => state.clone(),
         _ => Vec::new(),
@@ -746,7 +857,7 @@ fn run_plan_cell(entry: &JobEntry, index: usize) -> CellRow {
     };
     let detail = result.detail().unwrap_or("").to_owned();
     CellRow {
-        index,
+        index: result.index,
         label: result.label,
         status,
         detail,
@@ -790,11 +901,17 @@ fn simulate_cell(plan: &JobPlan, cell: &PlanCell, ctx: &JobCtx) -> Result<Vec<f6
         }
     };
     record_metrics(ctx, sink.get());
-    let trace = result.map_err(|e| match e {
+    let trace = result.map_err(map_sim_error)?;
+    Ok(trace.final_state().to_vec())
+}
+
+/// Maps a simulator error to the sweep outcome it represents. The step
+/// hook relays the sweep context's own verdict: a raised cancel token and
+/// an exhausted budget both surface as `Interrupted`, distinguished by
+/// the relayed message.
+fn map_sim_error(e: SimError) -> JobError {
+    match e {
         SimError::Interrupted { time, reason } => {
-            // the step hook relays the sweep context's own verdict: a
-            // raised cancel token and an exhausted budget both surface
-            // as Interrupted, distinguished by the relayed message
             if reason.contains("cancelled") {
                 JobError::Cancelled(reason)
             } else {
@@ -802,8 +919,7 @@ fn simulate_cell(plan: &JobPlan, cell: &PlanCell, ctx: &JobCtx) -> Result<Vec<f6
             }
         }
         other => JobError::failed(other),
-    })?;
-    Ok(trace.final_state().to_vec())
+    }
 }
 
 /// Records the simulator counters under the same metric names the bench
@@ -818,6 +934,8 @@ fn record_metrics(ctx: &JobCtx, m: SimMetrics) {
     ctx.record_metric("tau_leaps_implicit", m.tau_leaps_implicit as f64);
     ctx.record_metric("newton_iterations", m.newton_iterations as f64);
     ctx.record_metric("leap_switchovers", m.leap_switchovers as f64);
+    ctx.record_metric("batch_width", m.batch_width as f64);
+    ctx.record_metric("lanes_retired", m.lanes_retired as f64);
     ctx.record_metric("final_time", m.final_time);
     ctx.record_metric("seed", m.seed as f64);
 }

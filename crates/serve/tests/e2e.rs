@@ -42,6 +42,7 @@ fn decay_submit(tenant: &str, amplitude: f64, reps: usize) -> SubmitRequest {
         record_interval: None,
         seed: 11,
         injections: vec![(0.5, "X".to_owned(), 3.0)],
+        batch: 1,
         cells,
     }
 }
@@ -206,6 +207,7 @@ fn admission_control_rejects_at_the_inflight_limit_and_cancel_frees_the_slot() {
         record_interval: None,
         seed: 3,
         injections: vec![],
+        batch: 1,
         cells: (0..2)
             .map(|i| CellSpec {
                 label: format!("long rep={i}"),
@@ -257,6 +259,101 @@ fn admission_control_rejects_at_the_inflight_limit_and_cancel_frees_the_slot() {
     assert_eq!(counter(&stats, "cells_cancelled"), 2.0);
 
     busy.shutdown().expect("shutdown round trip");
+    server.join();
+}
+
+/// [`render`] with the batching bookkeeping metrics dropped: those two
+/// columns legitimately differ across widths, everything else must be
+/// byte-identical.
+fn render_without_batch_columns(rows: &[CellRow]) -> String {
+    let stripped: Vec<CellRow> = rows
+        .iter()
+        .map(|row| {
+            let mut row = row.clone();
+            row.metrics
+                .retain(|(name, _)| name != "batch_width" && name != "lanes_retired");
+            row
+        })
+        .collect();
+    render(&stripped)
+}
+
+#[test]
+fn batched_ode_submission_matches_scalar_byte_for_byte() {
+    let server = Server::start(ServerConfig::default().with_workers(2)).expect("server boots");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let mut submit = SubmitRequest {
+        tenant: "acme".to_owned(),
+        network: "X -> Y @fast\nY -> Z @slow".to_owned(),
+        init: vec![("X".to_owned(), 8.0)],
+        method: Method::Ode,
+        t_end: 4.0,
+        record_interval: Some(0.5),
+        seed: 7,
+        injections: vec![(1.0, "X".to_owned(), 2.0)],
+        batch: 1,
+        cells: (0..5)
+            .map(|i| CellSpec {
+                label: format!("ratio={}", 100 * (i + 1)),
+                k_fast: Some((100 * (i + 1)) as f64),
+                k_slow: Some(1.0),
+            })
+            .collect(),
+    };
+    let scalar_ack = client.submit(&submit).expect("scalar submission is valid");
+    let scalar_rows = client.fetch_all(&scalar_ack.job_id).expect("job completes");
+    assert!(scalar_rows.iter().all(|r| r.status == JobStatus::Ok));
+
+    // widths that divide the job, leave a short tail group, and exceed
+    // the cell count entirely: all bit-identical to the scalar rows
+    for batch in [2usize, 4, 8] {
+        submit.batch = batch;
+        let ack = client.submit(&submit).expect("batched submission is valid");
+        let rows = client.fetch_all(&ack.job_id).expect("job completes");
+        assert_eq!(
+            render_without_batch_columns(&scalar_rows),
+            render_without_batch_columns(&rows),
+            "batch {batch}"
+        );
+    }
+
+    // grouping is an ODE feature: an SSA submission cannot ask for it
+    submit.method = Method::Ssa;
+    submit.batch = 2;
+    let rejected = client.submit(&submit);
+    assert!(matches!(rejected, Err(ClientError::Server(ref msg)) if msg.contains("ode")));
+
+    client.shutdown().expect("shutdown round trip");
+    server.join();
+}
+
+#[test]
+fn bounded_cache_evicts_and_recompiles_identically() {
+    let config = ServerConfig::default()
+        .with_workers(1)
+        .with_cache_capacity(1);
+    let server = Server::start(config).expect("server boots");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let first = decay_submit("acme", 10.0, 1);
+    let mut other = decay_submit("acme", 10.0, 1);
+    other.network = "X -> Y @slow\nY -> Z @slow".to_owned();
+
+    // first → miss; other → miss + evicts first; first again → miss +
+    // evicts other, and — the point — reproduces the original rows
+    let mut renders = Vec::new();
+    for submit in [&first, &other, &first] {
+        let ack = client.submit(submit).expect("submission is valid");
+        let rows = client.fetch_all(&ack.job_id).expect("job completes");
+        renders.push(render(&rows));
+    }
+    assert_eq!(renders[0], renders[2], "recompiled rows match the original");
+
+    let stats = client.stats().expect("stats round trip");
+    assert_eq!(counter(&stats, "cache_misses"), 3.0);
+    assert_eq!(counter(&stats, "cache_hits"), 0.0);
+    assert_eq!(counter(&stats, "cache_evictions"), 2.0);
+
+    client.shutdown().expect("shutdown round trip");
     server.join();
 }
 

@@ -1,0 +1,516 @@
+//! Multi-entry history over a persisted perf trajectory.
+//!
+//! The `trend --append` flag folds each run's headline numbers into a
+//! `BENCH_*.json`-style `"trajectory"` array; this module is the reader
+//! side: it parses that array back into [`TrajectoryEntry`] values,
+//! renders the whole history as one markdown/JSON report, and optionally
+//! gates on *drift* — the movement between the oldest and newest of the
+//! last K entries, compared with the same metric-class rules a two-run
+//! trend uses ([`classify_metric`], [`TrendOptions`]).
+//!
+//! Entries whose `experiments` list differs from the newest entry's are
+//! excluded from the gate window (a quick-run baseline is not comparable
+//! to a full run) but still shown in the report.
+
+use crate::read::JsonValue;
+use crate::summary::format_metric;
+use crate::trend::{
+    classify_metric, exact_equal, timing_verdict, tolerance_verdict, verdict_word, MetricClass,
+    MetricDelta, TrendOptions, TrendVerdict,
+};
+use serde::Serialize;
+
+/// One appended run in a `"trajectory"` array.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrajectoryEntry {
+    /// The run's label (`--label`, default `"run"`).
+    pub label: String,
+    /// When the entry was appended (seconds since the Unix epoch; 0 when
+    /// the writer could not read the clock).
+    pub unix_time: f64,
+    /// The experiment ids the run covered.
+    pub experiments: Vec<String>,
+    /// Total cells across those experiments.
+    pub cells: f64,
+    /// Sum of per-cell wall clocks, in seconds.
+    pub cell_wall_secs: f64,
+    /// Summed exact-class metrics, in recorded order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// The drift comparison over the gate window.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistoryGate {
+    /// The requested window (`--gate-last K`).
+    pub window: usize,
+    /// Entries in the window sharing the newest entry's experiment set —
+    /// the entries the gate actually considered. Fewer than 2 means
+    /// nothing was comparable and the gate passes vacuously.
+    pub compared: usize,
+    /// Window entries excluded for covering a different experiment set.
+    pub skipped: usize,
+    /// The label of the entry the newest compares against (the oldest
+    /// comparable entry in the window).
+    pub baseline_label: Option<String>,
+    /// Metrics that moved between that baseline and the newest entry.
+    pub deltas: Vec<MetricDelta>,
+    /// The gate verdict.
+    pub verdict: TrendVerdict,
+}
+
+/// A trajectory rendered as a report, with an optional drift gate.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistoryReport {
+    /// Every entry, in file (append) order.
+    pub entries: Vec<TrajectoryEntry>,
+    /// The drift gate, when one was requested.
+    pub gate: Option<HistoryGate>,
+}
+
+/// Parses the `"trajectory"` array of a `BENCH_*.json`-style document.
+///
+/// # Errors
+///
+/// A message naming the offending entry when the document has no
+/// top-level `trajectory` array or an entry's fields have the wrong
+/// shape. Absent optional fields default (label `"run"`, empty
+/// experiment list, zero counts).
+pub fn parse_trajectory(doc: &JsonValue) -> Result<Vec<TrajectoryEntry>, String> {
+    let Some(entries) = doc.get("trajectory").and_then(JsonValue::as_array) else {
+        return Err("no top-level `trajectory` array".to_owned());
+    };
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            if entry.as_object().is_none() {
+                return Err(format!("trajectory[{i}] is not an object"));
+            }
+            let experiments = match entry.get("experiments") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| format!("trajectory[{i}].experiments is not an array"))?
+                    .iter()
+                    .map(|id| {
+                        id.as_str().map(str::to_owned).ok_or_else(|| {
+                            format!("trajectory[{i}].experiments holds a non-string")
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+            };
+            let metrics = match entry.get("metrics") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_object()
+                    .ok_or_else(|| format!("trajectory[{i}].metrics is not an object"))?
+                    .iter()
+                    .map(|(name, value)| {
+                        // null is how non-finite values travel
+                        let value = match value {
+                            JsonValue::Null => f64::NAN,
+                            other => other.as_f64().ok_or_else(|| {
+                                format!("trajectory[{i}].metrics.{name} is not a number")
+                            })?,
+                        };
+                        Ok((name.clone(), value))
+                    })
+                    .collect::<Result<_, String>>()?,
+            };
+            let number = |key: &str| entry.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+            Ok(TrajectoryEntry {
+                label: entry
+                    .get("label")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("run")
+                    .to_owned(),
+                unix_time: number("unix_time"),
+                experiments,
+                cells: number("cells"),
+                cell_wall_secs: number("cell_wall_secs"),
+                metrics,
+            })
+        })
+        .collect()
+}
+
+/// The metric view the gate compares: the entry's summed metrics plus the
+/// synthetic `cells` (exact — a changed cell count is a shape change) and
+/// `cell_wall_secs` (a timing, by its name) columns.
+fn gate_metrics(entry: &TrajectoryEntry) -> Vec<(String, f64)> {
+    let mut out = vec![
+        ("cells".to_owned(), entry.cells),
+        ("cell_wall_secs".to_owned(), entry.cell_wall_secs),
+    ];
+    out.extend(entry.metrics.iter().cloned());
+    out
+}
+
+fn compare_entries(
+    baseline: &TrajectoryEntry,
+    latest: &TrajectoryEntry,
+    opts: &TrendOptions,
+) -> Vec<MetricDelta> {
+    let base = gate_metrics(baseline);
+    let cand = gate_metrics(latest);
+    let mut names: Vec<&str> = cand.iter().map(|(n, _)| n.as_str()).collect();
+    for (name, _) in &base {
+        if !names.contains(&name.as_str()) {
+            names.push(name);
+        }
+    }
+    let mut deltas = Vec::new();
+    for name in names {
+        let b = base.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        let c = cand.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        let override_tol = opts.tolerance_for(name);
+        let class = if override_tol.is_some() {
+            MetricClass::Tolerance
+        } else {
+            classify_metric(name)
+        };
+        let verdict = match (b, c) {
+            // the metric schema grows across PRs (new counters appear as
+            // engines land); a metric only the newest entry records has no
+            // drift to measure — but one that *disappeared* is a shape
+            // change and gates
+            (None, Some(_)) => TrendVerdict::Unchanged,
+            (Some(_), None) => TrendVerdict::Regressed,
+            (Some(b), Some(c)) => match class {
+                MetricClass::Exact if exact_equal(b, c) => TrendVerdict::Unchanged,
+                MetricClass::Exact => TrendVerdict::Regressed,
+                MetricClass::Timing => timing_verdict(b, c, opts),
+                MetricClass::Tolerance => {
+                    tolerance_verdict(b, c, override_tol.expect("class implies an override"))
+                }
+            },
+            (None, None) => unreachable!("name came from one of the sides"),
+        };
+        if verdict != TrendVerdict::Unchanged {
+            deltas.push(MetricDelta {
+                name: name.to_owned(),
+                baseline: b,
+                candidate: c,
+                class,
+                verdict,
+            });
+        }
+    }
+    deltas
+}
+
+/// Builds the history report: every entry, plus — when `gate_last` is
+/// `Some(k)` — a drift gate comparing the newest entry against the oldest
+/// of the last `k` entries that cover the same experiment set.
+///
+/// The gate passes vacuously (verdict [`TrendVerdict::Unchanged`], no
+/// deltas) when fewer than two window entries are comparable: a fresh
+/// trajectory, or a window full of runs over different experiment sets,
+/// has no drift to measure.
+#[must_use]
+pub fn history_report(
+    entries: &[TrajectoryEntry],
+    gate_last: Option<usize>,
+    opts: &TrendOptions,
+) -> HistoryReport {
+    let gate = gate_last.map(|window| {
+        let start = entries.len().saturating_sub(window);
+        let in_window = &entries[start..];
+        let reference = in_window.last();
+        let comparable: Vec<&TrajectoryEntry> = in_window
+            .iter()
+            .filter(|e| reference.is_some_and(|newest| e.experiments == newest.experiments))
+            .collect();
+        let skipped = in_window.len() - comparable.len();
+        if comparable.len() < 2 {
+            return HistoryGate {
+                window,
+                compared: comparable.len(),
+                skipped,
+                baseline_label: None,
+                deltas: Vec::new(),
+                verdict: TrendVerdict::Unchanged,
+            };
+        }
+        let baseline = comparable[0];
+        let latest = *comparable.last().expect("len >= 2");
+        let deltas = compare_entries(baseline, latest, opts);
+        let verdict = if deltas.iter().any(|d| d.verdict == TrendVerdict::Regressed) {
+            TrendVerdict::Regressed
+        } else if deltas.is_empty() {
+            TrendVerdict::Unchanged
+        } else {
+            TrendVerdict::Improved
+        };
+        HistoryGate {
+            window,
+            compared: comparable.len(),
+            skipped,
+            baseline_label: Some(baseline.label.clone()),
+            deltas,
+            verdict,
+        }
+    });
+    HistoryReport {
+        entries: entries.to_vec(),
+        gate,
+    }
+}
+
+impl HistoryReport {
+    /// `true` when CI should fail.
+    #[must_use]
+    pub fn is_regression(&self) -> bool {
+        self.gate
+            .as_ref()
+            .is_some_and(|g| g.verdict == TrendVerdict::Regressed)
+    }
+
+    /// The whole report as a JSON document (for machine consumption).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        Serialize::to_json(self)
+    }
+
+    /// The report as a GitHub-flavoured markdown block: one overview row
+    /// per entry (metric columns are the union across entries, in first
+    /// appearance order), then the drift-gate verdict when a gate ran.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut columns: Vec<&str> = Vec::new();
+        for entry in &self.entries {
+            for (name, _) in &entry.metrics {
+                if !columns.contains(&name.as_str()) {
+                    columns.push(name);
+                }
+            }
+        }
+        let mut out = String::from("| # | label | experiments | cells | cell wall (s)");
+        for name in &columns {
+            out.push_str(&format!(" | {name}"));
+        }
+        out.push_str(" |\n|---|---|---|---|---|");
+        out.push_str(&"---|".repeat(columns.len()));
+        out.push('\n');
+        for (i, entry) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {}",
+                i,
+                entry.label,
+                entry.experiments.join(" "),
+                format_metric(entry.cells),
+                format_metric(entry.cell_wall_secs),
+            ));
+            for name in &columns {
+                let value = entry
+                    .metrics
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or_else(|| "—".to_owned(), |(_, v)| format_metric(*v));
+                out.push_str(&format!(" | {value}"));
+            }
+            out.push_str(" |\n");
+        }
+        if let Some(gate) = &self.gate {
+            out.push_str(&format!(
+                "\n**drift gate** — last {} entries: {} compared",
+                gate.window, gate.compared
+            ));
+            if gate.skipped > 0 {
+                out.push_str(&format!(
+                    ", {} skipped (different experiment set)",
+                    gate.skipped
+                ));
+            }
+            if let Some(label) = &gate.baseline_label {
+                out.push_str(&format!(", drift measured against `{label}`"));
+            }
+            out.push('\n');
+            if !gate.deltas.is_empty() {
+                out.push_str("\n| metric | oldest | newest | verdict |\n|---|---|---|---|\n");
+                for d in &gate.deltas {
+                    out.push_str(&format!(
+                        "| {} | {} | {} | {} |\n",
+                        d.name,
+                        d.baseline.map_or_else(|| "—".to_owned(), format_metric),
+                        d.candidate.map_or_else(|| "—".to_owned(), format_metric),
+                        verdict_word(d.verdict),
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "\n**verdict: {}**\n",
+                verdict_word(gate.verdict).to_uppercase()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, experiments: &[&str], wall: f64, steps: f64) -> TrajectoryEntry {
+        TrajectoryEntry {
+            label: label.to_owned(),
+            unix_time: 0.0,
+            experiments: experiments.iter().map(|&s| s.to_owned()).collect(),
+            cells: 6.0,
+            cell_wall_secs: wall,
+            metrics: vec![
+                ("ode_steps_accepted".to_owned(), steps),
+                ("ssa_events".to_owned(), 100.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn parses_a_bench_style_trajectory() {
+        let doc = JsonValue::parse(
+            r#"{"trajectory":[
+                {"label":"a","unix_time":5,"experiments":["e10"],"cells":6,
+                 "cell_wall_secs":1.5,"metrics":{"ssa_events":10,"residual":null}},
+                {"cells":2}
+            ]}"#,
+        )
+        .unwrap();
+        let entries = parse_trajectory(&doc).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].label, "a");
+        assert_eq!(entries[0].experiments, vec!["e10".to_owned()]);
+        assert_eq!(entries[0].metrics[0], ("ssa_events".to_owned(), 10.0));
+        assert!(entries[0].metrics[1].1.is_nan(), "null reads back as NaN");
+        assert_eq!(entries[1].label, "run", "label defaults");
+        assert!(entries[1].experiments.is_empty());
+
+        assert!(parse_trajectory(&JsonValue::parse("{}").unwrap()).is_err());
+        let bad = JsonValue::parse(r#"{"trajectory":[{"metrics":[1]}]}"#).unwrap();
+        assert!(parse_trajectory(&bad).unwrap_err().contains("metrics"));
+    }
+
+    #[test]
+    fn stable_history_passes_the_gate() {
+        let entries = vec![
+            entry("one", &["e10"], 10.0, 500.0),
+            entry("two", &["e10"], 10.3, 500.0),
+            entry("three", &["e10"], 9.8, 500.0),
+        ];
+        let report = history_report(&entries, Some(3), &TrendOptions::default());
+        let gate = report.gate.as_ref().unwrap();
+        assert_eq!(gate.compared, 3);
+        assert_eq!(gate.skipped, 0);
+        assert_eq!(gate.baseline_label.as_deref(), Some("one"));
+        assert_eq!(gate.verdict, TrendVerdict::Unchanged);
+        assert!(!report.is_regression());
+        // every entry shows up in the rendered table
+        let md = report.to_markdown();
+        for label in ["one", "two", "three"] {
+            assert!(md.contains(label), "{md}");
+        }
+        assert!(md.contains("verdict: UNCHANGED"), "{md}");
+    }
+
+    #[test]
+    fn counter_drift_in_the_window_gates() {
+        let entries = vec![
+            entry("old", &["e10"], 10.0, 480.0), // outside the window
+            entry("base", &["e10"], 10.0, 500.0),
+            entry("new", &["e10"], 10.0, 510.0), // deterministic drift
+        ];
+        let report = history_report(&entries, Some(2), &TrendOptions::default());
+        let gate = report.gate.as_ref().unwrap();
+        assert_eq!(gate.verdict, TrendVerdict::Regressed);
+        assert!(report.is_regression());
+        assert_eq!(gate.deltas.len(), 1);
+        assert_eq!(gate.deltas[0].name, "ode_steps_accepted");
+        assert_eq!(gate.deltas[0].baseline, Some(500.0));
+        assert_eq!(gate.deltas[0].candidate, Some(510.0));
+
+        // a tolerance override turns the same drift into a pass
+        let relaxed = TrendOptions::default().with_tolerance("ode_steps_accepted", 0.1);
+        let report = history_report(&entries, Some(2), &relaxed);
+        assert!(!report.is_regression());
+    }
+
+    #[test]
+    fn wall_drift_uses_the_timing_tolerance_and_direction() {
+        let fast_then_slow = vec![
+            entry("base", &["e10"], 10.0, 500.0),
+            entry("new", &["e10"], 16.0, 500.0), // +60% > the 50% default
+        ];
+        let report = history_report(&fast_then_slow, Some(2), &TrendOptions::default());
+        assert!(report.is_regression());
+
+        let slow_then_fast = vec![
+            entry("base", &["e10"], 20.0, 500.0),
+            entry("new", &["e10"], 8.0, 500.0), // -60% beats the 50% band
+        ];
+        let report = history_report(&slow_then_fast, Some(2), &TrendOptions::default());
+        let gate = report.gate.as_ref().unwrap();
+        assert_eq!(gate.verdict, TrendVerdict::Improved, "faster never fails");
+        assert!(!report.is_regression());
+    }
+
+    #[test]
+    fn schema_growth_passes_but_disappearing_metrics_gate() {
+        // a counter only the newest entry records (a new engine landed)
+        // has no drift to measure and must not gate
+        let mut grown = entry("new", &["e10"], 10.0, 500.0);
+        grown.metrics.push(("batch_width".to_owned(), 16.0));
+        let entries = vec![entry("base", &["e10"], 10.0, 500.0), grown];
+        let report = history_report(&entries, Some(2), &TrendOptions::default());
+        assert!(!report.is_regression(), "new metrics are schema growth");
+
+        // a counter that vanished is a shape change and gates
+        let mut shrunk = entry("new", &["e10"], 10.0, 500.0);
+        shrunk.metrics.retain(|(n, _)| n != "ssa_events");
+        let entries = vec![entry("base", &["e10"], 10.0, 500.0), shrunk];
+        let report = history_report(&entries, Some(2), &TrendOptions::default());
+        assert!(report.is_regression(), "a disappearing metric gates");
+    }
+
+    #[test]
+    fn entries_with_other_experiment_sets_are_skipped_not_compared() {
+        let entries = vec![
+            entry("full", &["e10", "e6"], 50.0, 9000.0),
+            entry("quick base", &["e10"], 10.0, 500.0),
+            entry("full again", &["e10", "e6"], 50.0, 9999.0),
+            entry("quick new", &["e10"], 10.0, 500.0),
+        ];
+        let report = history_report(&entries, Some(4), &TrendOptions::default());
+        let gate = report.gate.as_ref().unwrap();
+        assert_eq!(gate.compared, 2, "only the two quick runs are comparable");
+        assert_eq!(gate.skipped, 2);
+        assert_eq!(gate.baseline_label.as_deref(), Some("quick base"));
+        assert_eq!(gate.verdict, TrendVerdict::Unchanged);
+
+        // a single comparable entry passes vacuously
+        let report = history_report(&entries[..2], Some(2), &TrendOptions::default());
+        let gate = report.gate.as_ref().unwrap();
+        assert_eq!(gate.compared, 1);
+        assert_eq!(gate.verdict, TrendVerdict::Unchanged);
+        assert!(gate.baseline_label.is_none());
+    }
+
+    #[test]
+    fn report_serializes_to_parseable_json() {
+        let entries = vec![
+            entry("base", &["e10"], 10.0, 500.0),
+            entry("new", &["e10"], 10.0, 501.0),
+        ];
+        let report = history_report(&entries, Some(2), &TrendOptions::default());
+        let doc = JsonValue::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("entries")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
+        let gate = doc.get("gate").expect("gate present");
+        assert_eq!(
+            gate.get("verdict").and_then(JsonValue::as_str),
+            Some("Regressed")
+        );
+    }
+}

@@ -433,6 +433,69 @@ impl<T> fmt::Debug for SweepJob<'_, T> {
     }
 }
 
+/// A batch of sweep cells executed by **one** closure invocation — the
+/// scheduling unit behind lock-step batched simulation, where one engine
+/// call advances several cells together (e.g.
+/// `molseq_kinetics::run_ode_batch`).
+///
+/// The closure receives one [`JobCtx`] per cell — each carrying that
+/// cell's *global* sweep index, deterministic seed and budget meters,
+/// exactly as if the cells were independent [`SweepJob`]s — and must
+/// return one result per cell, in order. The engine fans the results back
+/// out into per-cell [`CellResult`](crate::CellResult)s; the group's wall
+/// time is shared by every member (the members ran concurrently in one
+/// call, so per-member wall time is not separable).
+pub struct GroupJob<'a, T> {
+    labels: Vec<String>,
+    run: GroupFn<'a, T>,
+}
+
+/// The boxed work closure a [`GroupJob`] carries.
+type GroupFn<'a, T> = Box<dyn Fn(&[JobCtx]) -> Vec<Result<T, JobError>> + Send + Sync + 'a>;
+
+impl<'a, T> GroupJob<'a, T> {
+    /// Creates a group from per-cell labels and a closure producing one
+    /// result per label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is empty — a group owns at least one cell.
+    pub fn new(
+        labels: Vec<String>,
+        run: impl Fn(&[JobCtx]) -> Vec<Result<T, JobError>> + Send + Sync + 'a,
+    ) -> Self {
+        assert!(!labels.is_empty(), "a group job owns at least one cell");
+        GroupJob {
+            labels,
+            run: Box::new(run),
+        }
+    }
+
+    /// The per-cell labels, in result order.
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// How many cells this group owns.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub(crate) fn call(&self, ctxs: &[JobCtx]) -> Vec<Result<T, JobError>> {
+        (self.run)(ctxs)
+    }
+}
+
+impl<T> fmt::Debug for GroupJob<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupJob")
+            .field("labels", &self.labels)
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod history;
 mod job;
 mod pool;
 mod progress;
@@ -63,10 +64,11 @@ mod read;
 mod summary;
 mod trend;
 
-pub use job::{derive_seed, CancelToken, JobBudget, JobCtx, JobError, SweepJob};
+pub use history::{history_report, parse_trajectory, HistoryGate, HistoryReport, TrajectoryEntry};
+pub use job::{derive_seed, CancelToken, GroupJob, JobBudget, JobCtx, JobError, SweepJob};
 pub use pool::{
-    run_cell, run_sweep, run_sweep_with_progress, CellOutcome, CellResult, SweepOptions,
-    SweepOutcome,
+    run_cell, run_group, run_sweep, run_sweep_with_progress, run_units, run_units_with_progress,
+    CellOutcome, CellResult, SweepOptions, SweepOutcome, SweepUnit,
 };
 pub use progress::ProgressTick;
 pub use read::{read_summary_csv, read_summary_json, JsonValue, ReadError};

@@ -1,6 +1,6 @@
 //! The worker pool: scoped threads, fault isolation, ordered results.
 
-use crate::job::{derive_seed, CancelToken, JobCtx, JobError, SweepJob};
+use crate::job::{derive_seed, CancelToken, GroupJob, JobCtx, JobError, SweepJob};
 use crate::{JobBudget, ProgressTick, SweepSummary};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -23,16 +23,18 @@ pub struct SweepOptions {
     workers: usize,
     seed: u64,
     budget: JobBudget,
+    batch_width: usize,
 }
 
 impl Default for SweepOptions {
     /// Auto worker count (`available_parallelism`), seed `0`, unlimited
-    /// budget.
+    /// budget, scalar cells (batch width 1).
     fn default() -> Self {
         SweepOptions {
             workers: 0,
             seed: 0,
             budget: JobBudget::unlimited(),
+            batch_width: 1,
         }
     }
 }
@@ -78,6 +80,24 @@ impl SweepOptions {
     #[must_use]
     pub fn budget(&self) -> JobBudget {
         self.budget
+    }
+
+    /// Sets the lock-step batch width (builder style): how many
+    /// structurally identical cells a batch-aware job builder should pack
+    /// into one [`GroupJob`]. `1` (the default) means scalar cells; the
+    /// engine itself only schedules whatever units it is given, so this
+    /// knob is advisory to the builder, not enforced here. Widths that
+    /// are `0` are treated as 1.
+    #[must_use]
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        self.batch_width = width;
+        self
+    }
+
+    /// The configured lock-step batch width (`0` is normalized to 1).
+    #[must_use]
+    pub fn batch_width(&self) -> usize {
+        self.batch_width.max(1)
     }
 
     /// The worker count the engine will actually use for `job_count` jobs:
@@ -282,6 +302,226 @@ fn execute<T>(job: &SweepJob<'_, T>, index: usize, opts: &SweepOptions) -> CellR
     run_cell(job, index, opts, None)
 }
 
+/// One schedulable unit of a batch-aware sweep: either an independent
+/// cell or a [`GroupJob`] whose cells advance together in one call.
+#[derive(Debug)]
+pub enum SweepUnit<'a, T> {
+    /// One independent cell, executed exactly like [`run_sweep`] would.
+    Single(SweepJob<'a, T>),
+    /// A lock-step batch of cells, executed by one closure invocation.
+    Group(GroupJob<'a, T>),
+}
+
+impl<T> SweepUnit<'_, T> {
+    /// How many sweep cells this unit owns.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        match self {
+            SweepUnit::Single(_) => 1,
+            SweepUnit::Group(group) => group.width(),
+        }
+    }
+}
+
+/// Runs a mixed list of singles and lock-step groups and returns
+/// per-cell results **in global cell order** — unit order, with a group's
+/// cells consecutive.
+///
+/// The determinism contract of [`run_sweep`] carries over with the group
+/// extension: each cell's index and seed depend only on its global
+/// position (unit order), never on scheduling, so a sweep built with any
+/// batch width and run on any worker count reports the same per-cell
+/// seeds, labels and result order. A panicking group poisons exactly its
+/// own cells (every member becomes
+/// [`CellOutcome::Panicked`]); all other units still complete. A group's
+/// wall time is attributed to each of its cells (the members ran
+/// concurrently in one engine call).
+pub fn run_units<'a, T: Send>(units: &[SweepUnit<'a, T>], opts: &SweepOptions) -> SweepOutcome<T> {
+    run_units_with_progress(units, opts, |_| {})
+}
+
+/// Like [`run_units`], invoking `on_tick` once per completed *cell* (a
+/// finished group ticks once per member), in completion order.
+pub fn run_units_with_progress<'a, T: Send>(
+    units: &[SweepUnit<'a, T>],
+    opts: &SweepOptions,
+    on_tick: impl Fn(&ProgressTick) + Send + Sync,
+) -> SweepOutcome<T> {
+    let started = Instant::now();
+    let bases: Vec<usize> = units
+        .iter()
+        .scan(0usize, |acc, unit| {
+            let base = *acc;
+            *acc += unit.width();
+            Some(base)
+        })
+        .collect();
+    let total: usize = units.iter().map(SweepUnit::width).sum();
+    let workers = opts.resolved_workers(units.len());
+    let completed = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let tick = |cells: &[CellResult<T>]| {
+        for cell in cells {
+            if !cell.is_ok() {
+                failed.fetch_add(1, Ordering::Relaxed);
+            }
+            on_tick(&ProgressTick {
+                completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                total,
+                failed: failed.load(Ordering::Relaxed),
+                label: cell.label.clone(),
+                elapsed: started.elapsed(),
+            });
+        }
+    };
+
+    let cells: Vec<CellResult<T>> = if workers <= 1 {
+        units
+            .iter()
+            .zip(&bases)
+            .flat_map(|(unit, &base)| {
+                let cells = execute_unit(unit, base, opts);
+                tick(&cells);
+                cells
+            })
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Vec<CellResult<T>>>>> =
+            (0..units.len()).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let unit = cursor.fetch_add(1, Ordering::Relaxed);
+                    if unit >= units.len() {
+                        break;
+                    }
+                    let cells = execute_unit(&units[unit], bases[unit], opts);
+                    tick(&cells);
+                    *slots[unit].lock().expect("result slot poisoned") = Some(cells);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .flat_map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot is filled before the scope ends")
+            })
+            .collect()
+    };
+
+    let summary = SweepSummary::from_cells(&cells, workers, started.elapsed());
+    SweepOutcome { cells, summary }
+}
+
+fn execute_unit<T>(
+    unit: &SweepUnit<'_, T>,
+    base: usize,
+    opts: &SweepOptions,
+) -> Vec<CellResult<T>> {
+    match unit {
+        SweepUnit::Single(job) => vec![run_cell(job, base, opts, None)],
+        SweepUnit::Group(group) => run_group(group, base, opts, None),
+    }
+}
+
+/// Runs one [`GroupJob`] exactly the way [`run_units`] would — member
+/// cells indexed `base..base + width`, the same per-cell seed derivation,
+/// shared `catch_unwind` fault isolation, and the same outcome mapping —
+/// but under the caller's own scheduling, with an optional [`CancelToken`].
+///
+/// The group analogue of [`run_cell`]: an external dispatcher (a batch
+/// server routing a grouped submission through the lock-step kinetics
+/// path) gets member rows bit-identical to an in-process `run_units` of
+/// the same unit at the same base index. A token already raised when the
+/// group starts short-circuits every member to
+/// [`CellOutcome::Cancelled`] without invoking the closure.
+pub fn run_group<T>(
+    group: &GroupJob<'_, T>,
+    base: usize,
+    opts: &SweepOptions,
+    cancel: Option<&CancelToken>,
+) -> Vec<CellResult<T>> {
+    if let Some(token) = cancel {
+        if token.is_cancelled() {
+            return group
+                .labels()
+                .iter()
+                .enumerate()
+                .map(|(k, label)| CellResult {
+                    index: base + k,
+                    label: label.clone(),
+                    wall: Duration::ZERO,
+                    outcome: CellOutcome::Cancelled("cancelled before start".into()),
+                    metrics: Vec::new(),
+                })
+                .collect();
+        }
+    }
+    let ctxs: Vec<JobCtx> = (0..group.width())
+        .map(|k| {
+            JobCtx::with_cancel(
+                base + k,
+                derive_seed(opts.seed(), base + k),
+                opts.budget(),
+                cancel.cloned(),
+            )
+        })
+        .collect();
+    let started = Instant::now();
+    let caught = catch_unwind(AssertUnwindSafe(|| group.call(&ctxs)));
+    let wall = started.elapsed();
+    let mut results = match caught {
+        Ok(results) => results.into_iter().map(Some).collect::<Vec<_>>(),
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            return group
+                .labels()
+                .iter()
+                .zip(&ctxs)
+                .enumerate()
+                .map(|(k, (label, ctx))| CellResult {
+                    index: base + k,
+                    label: label.clone(),
+                    wall,
+                    outcome: CellOutcome::Panicked(msg.clone()),
+                    metrics: ctx.take_metrics(),
+                })
+                .collect();
+        }
+    };
+    let returned = results.len();
+    results.resize_with(group.width(), || None);
+    group
+        .labels()
+        .iter()
+        .zip(&ctxs)
+        .zip(results)
+        .enumerate()
+        .map(|(k, ((label, ctx), result))| {
+            let outcome = match result {
+                Some(Ok(value)) => CellOutcome::Ok(value),
+                Some(Err(JobError::Failed(msg))) => CellOutcome::Failed(msg),
+                Some(Err(JobError::BudgetExceeded(msg))) => CellOutcome::BudgetExceeded(msg),
+                Some(Err(JobError::Cancelled(msg))) => CellOutcome::Cancelled(msg),
+                None => CellOutcome::Failed(format!(
+                    "group job returned {returned} results for {} cells",
+                    group.width()
+                )),
+            };
+            CellResult {
+                index: base + k,
+                label: label.clone(),
+                wall,
+                outcome,
+                metrics: ctx.take_metrics(),
+            }
+        })
+        .collect()
+}
+
 /// Runs a single sweep cell exactly the way [`run_sweep`] would — same
 /// seed derivation, same `catch_unwind` fault isolation, same budget and
 /// outcome mapping — but under the caller's own scheduling, with an
@@ -445,6 +685,94 @@ mod tests {
         let cell = run_cell(&job, 0, &opts, Some(&mid));
         assert!(matches!(cell.outcome, CellOutcome::Cancelled(_)));
         assert_eq!(cell.detail(), Some("cancel token raised"));
+    }
+
+    #[test]
+    fn grouped_units_match_a_flat_sweep_cell_for_cell() {
+        // 7 cells packed as [group of 3, single, group of 2, single] must
+        // report the same indices, labels and seeds as 7 flat jobs.
+        let opts = SweepOptions::default().with_workers(3).with_seed(42);
+        let flat: Vec<SweepJob<'_, u64>> = (0..7)
+            .map(|i| SweepJob::infallible(format!("c{i}"), |ctx| ctx.seed()))
+            .collect();
+        let reference = run_sweep(&flat, &opts);
+        let group = |range: std::ops::Range<usize>| {
+            SweepUnit::Group(GroupJob::new(
+                range.clone().map(|i| format!("c{i}")).collect(),
+                move |ctxs| ctxs.iter().map(|ctx| Ok(ctx.seed())).collect(),
+            ))
+        };
+        let single =
+            |i: usize| SweepUnit::Single(SweepJob::infallible(format!("c{i}"), |ctx| ctx.seed()));
+        let units = vec![group(0..3), single(3), group(4..6), single(6)];
+        let grouped = run_units(&units, &opts);
+        assert_eq!(grouped.cells.len(), 7);
+        for (a, b) in reference.cells.iter().zip(&grouped.cells) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.value(), b.value(), "seed parity at {}", a.index);
+        }
+        // and the packing must not depend on the worker count
+        let serial = run_units(&units, &opts.with_workers(1));
+        for (a, b) in grouped.cells.iter().zip(&serial.cells) {
+            assert_eq!(a.value(), b.value());
+        }
+    }
+
+    #[test]
+    fn panicking_group_poisons_only_its_own_cells() {
+        let units: Vec<SweepUnit<'_, usize>> = vec![
+            SweepUnit::Group(GroupJob::new(vec!["g0".into(), "g1".into()], |_| {
+                panic!("batch exploded")
+            })),
+            SweepUnit::Single(SweepJob::infallible("ok", |ctx| ctx.index())),
+        ];
+        let out = run_units(&units, &SweepOptions::default().with_workers(2));
+        assert!(matches!(
+            out.cells[0].outcome,
+            CellOutcome::Panicked(ref m) if m.contains("batch exploded")
+        ));
+        assert!(matches!(out.cells[1].outcome, CellOutcome::Panicked(_)));
+        assert_eq!(out.cells[2].value(), Some(&2));
+        assert_eq!(out.summary.succeeded, 1);
+    }
+
+    #[test]
+    fn short_group_results_become_failures_not_misalignment() {
+        let units: Vec<SweepUnit<'_, u32>> = vec![SweepUnit::Group(GroupJob::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            |_| vec![Ok(1), Ok(2)], // one result missing
+        ))];
+        let out = run_units(&units, &SweepOptions::default().with_workers(1));
+        assert_eq!(out.cells[0].value(), Some(&1));
+        assert_eq!(out.cells[1].value(), Some(&2));
+        assert!(matches!(
+            out.cells[2].outcome,
+            CellOutcome::Failed(ref m) if m.contains("2 results for 3 cells")
+        ));
+    }
+
+    #[test]
+    fn unit_progress_ticks_once_per_cell() {
+        let units: Vec<SweepUnit<'_, ()>> = vec![
+            SweepUnit::Group(GroupJob::new(vec!["a".into(), "b".into()], |ctxs| {
+                ctxs.iter().map(|_| Ok(())).collect()
+            })),
+            SweepUnit::Single(SweepJob::infallible("c", |_| ())),
+        ];
+        let seen = Mutex::new(Vec::new());
+        run_units_with_progress(&units, &SweepOptions::default().with_workers(1), |tick| {
+            seen.lock().unwrap().push((tick.completed, tick.total));
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen, vec![(1, 3), (2, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn batch_width_defaults_to_scalar_and_normalizes_zero() {
+        assert_eq!(SweepOptions::default().batch_width(), 1);
+        assert_eq!(SweepOptions::default().with_batch_width(8).batch_width(), 8);
+        assert_eq!(SweepOptions::default().with_batch_width(0).batch_width(), 1);
     }
 
     #[test]

@@ -38,8 +38,11 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 /// A per-metric relative tolerance override: the named metric is compared
-/// against `baseline.abs() * rel_tol` instead of its class default (no
-/// absolute noise floor — the caller chose the band deliberately).
+/// against `max(|baseline|, |candidate|) * rel_tol` instead of its class
+/// default (no absolute noise floor — the caller chose the band
+/// deliberately). The band is symmetric in the larger magnitude so a
+/// zero-baseline metric (e.g. `batch_width` appearing in a batched run)
+/// can still be overridden away.
 ///
 /// This is how a gate keeps exact comparison for most counters while
 /// allowing a deliberately noisy one (e.g. `newton_iterations` across
@@ -49,9 +52,9 @@ pub struct MetricTolerance {
     /// The exact metric name the override applies to (`"wall_secs"` is
     /// allowed and overrides the per-cell wall-time column).
     pub name: String,
-    /// Relative tolerance: the metric may move by `baseline.abs() *
-    /// rel_tol` in either direction before the movement counts; beyond
-    /// that, growth regresses and shrinkage improves.
+    /// Relative tolerance: the metric may move by `max(|baseline|,
+    /// |candidate|) * rel_tol` in either direction before the movement
+    /// counts; beyond that, growth regresses and shrinkage improves.
     pub rel_tol: f64,
 }
 
@@ -234,7 +237,7 @@ pub struct SummaryTrend {
 
 /// Compares two exact values, treating NaN as equal to NaN (both writers
 /// persist every non-finite value as `null`, which reads back as NaN).
-fn exact_equal(a: f64, b: f64) -> bool {
+pub(crate) fn exact_equal(a: f64, b: f64) -> bool {
     a == b || (a.is_nan() && b.is_nan())
 }
 
@@ -253,7 +256,7 @@ fn last_values(job: &JobRecord) -> Vec<(&str, f64)> {
 }
 
 /// Compares one timing reading. Returns the verdict of the movement.
-fn timing_verdict(baseline: f64, candidate: f64, opts: &TrendOptions) -> TrendVerdict {
+pub(crate) fn timing_verdict(baseline: f64, candidate: f64, opts: &TrendOptions) -> TrendVerdict {
     let threshold = (baseline.abs() * opts.wall_rel_tol).max(opts.wall_floor_secs);
     if candidate - baseline > threshold {
         TrendVerdict::Regressed
@@ -266,8 +269,8 @@ fn timing_verdict(baseline: f64, candidate: f64, opts: &TrendOptions) -> TrendVe
 
 /// Compares a metric under a per-metric relative override (no absolute
 /// floor).
-fn tolerance_verdict(baseline: f64, candidate: f64, rel_tol: f64) -> TrendVerdict {
-    let threshold = baseline.abs() * rel_tol;
+pub(crate) fn tolerance_verdict(baseline: f64, candidate: f64, rel_tol: f64) -> TrendVerdict {
+    let threshold = baseline.abs().max(candidate.abs()) * rel_tol;
     if candidate - baseline > threshold {
         TrendVerdict::Regressed
     } else if baseline - candidate > threshold {
@@ -573,7 +576,7 @@ impl DirTrend {
 /// Detail-table row cap per experiment in [`DirTrend::to_markdown`].
 pub const MARKDOWN_MAX_ROWS: usize = 50;
 
-fn verdict_word(v: TrendVerdict) -> &'static str {
+pub(crate) fn verdict_word(v: TrendVerdict) -> &'static str {
     match v {
         TrendVerdict::Unchanged => "unchanged",
         TrendVerdict::Improved => "improved",
