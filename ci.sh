@@ -40,7 +40,17 @@
 #                     wall and batch-shape metrics tolerance-gated by
 #                     trend; non-power-of-2 --batch values are usage
 #                     errors, and trend --history renders the perf
-#                     trajectory with a passing drift gate
+#                     trajectory with a passing drift gate — while
+#                     unfillable --gate-last windows (K > history length,
+#                     single-entry history) are usage errors (exit 2),
+#                     never vacuous passes
+#  14. hybrid gate     repro e14 --quick: the hybrid ODE/SSA integrator
+#                     must reproduce the stiff clocked motif's observable
+#                     with <= 1/5 of pure SSA's exact-event count (in
+#                     practice orders of magnitude fewer), byte-identically
+#                     across worker counts; stage 12 additionally
+#                     byte-compares the hybrid via-server sweep across
+#                     server worker counts
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -181,6 +191,11 @@ serve_roundtrip() { # <workers> <outdir>
     --summary "$outdir" > "$outdir.report.txt" \
     || { echo "ci: repro --via-server failed against --workers $workers" >&2
          kill "$serve_pid" 2>/dev/null; exit 1; }
+  # same server, hybrid method: the multiscale engine over the wire
+  target/release/repro --via-server "$addr" --method hybrid \
+    --summary "${outdir}_hybrid" > "${outdir}_hybrid.report.txt" \
+    || { echo "ci: repro --via-server --method hybrid failed against --workers $workers" >&2
+         kill "$serve_pid" 2>/dev/null; exit 1; }
   # the wire shutdown op, via bash's built-in tcp redirection
   exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
   printf '{"op":"shutdown"}\n' >&3
@@ -197,7 +212,13 @@ for artifact in via-server.summary.json via-server.summary.csv \
                 server-stats.summary.json server-stats.summary.csv; do
   cmp "$SWEEP_TMP/srv_w1/$artifact" "$SWEEP_TMP/srv_w4/$artifact" \
     || { echo "ci: $artifact differs between --workers 1 and --workers 4" >&2; exit 1; }
+  cmp "$SWEEP_TMP/srv_w1_hybrid/$artifact" "$SWEEP_TMP/srv_w4_hybrid/$artifact" \
+    || { echo "ci: hybrid $artifact differs between --workers 1 and --workers 4" >&2; exit 1; }
 done
+grep -q "main sweep (hybrid) 9 cells Ok twice, byte-identical" "$SWEEP_TMP/srv_w1_hybrid.report.txt" \
+  || { echo "ci: hybrid via-server sweep did not complete byte-identically" >&2; exit 1; }
+head -n 1 "$SWEEP_TMP/srv_w1_hybrid/via-server.summary.csv" | grep -q "hybrid_fast_steps" \
+  || { echo "ci: hybrid via-server summary missing the hybrid metric columns" >&2; exit 1; }
 grep -q "cache 1 hit(s)" "$SWEEP_TMP/srv_w1.report.txt" \
   || { echo "ci: via-server run did not report a compiled-CRN cache hit" >&2; exit 1; }
 grep -q "all Cancelled" "$SWEEP_TMP/srv_w1.report.txt" \
@@ -252,10 +273,42 @@ for bad in 0 3; do
 done
 # trend --history must render the checked-in perf trajectory and pass its
 # drift gate (entries from other experiment sets are skipped, not compared)
-target/release/trend --history BENCH_kinetics.json --gate-last 5 > "$SWEEP_TMP/history.md" \
+target/release/trend --history BENCH_kinetics.json --gate-last 2 > "$SWEEP_TMP/history.md" \
   || { echo "ci: trend --history gate failed on BENCH_kinetics.json" >&2
        cat "$SWEEP_TMP/history.md" >&2; exit 1; }
 grep -q "drift gate" "$SWEEP_TMP/history.md" \
   || { echo "ci: trend --history report is missing the drift gate" >&2; exit 1; }
+# unfillable --gate-last windows are usage errors, never vacuous passes:
+# a window wider than the history, and any window over a one-entry history
+for gate_case in "BENCH_kinetics.json 99" \
+                 "crates/bench/tests/fixtures/trend/history_single.json 1"; do
+  read -r gate_file gate_k <<< "$gate_case"
+  set +e
+  target/release/trend --history "$gate_file" --gate-last "$gate_k" \
+    > /dev/null 2> "$SWEEP_TMP/gate_err.txt"
+  GATE_STATUS=$?
+  set -e
+  [ "$GATE_STATUS" -eq 2 ] \
+    || { echo "ci: --gate-last $gate_k on $gate_file not rejected (exited $GATE_STATUS, want 2)" >&2; exit 1; }
+  grep -q "gate-last" "$SWEEP_TMP/gate_err.txt" \
+    || { echo "ci: --gate-last rejection for $gate_file lacks a clear message" >&2; exit 1; }
+done
+
+echo "== hybrid gate: hybrid ODE/SSA <= 1/5 of pure SSA's exact events =="
+target/release/repro e14 --quick --jobs 1 --summary "$SWEEP_TMP/e14_j1" > "$SWEEP_TMP/report_e14_j1.txt"
+target/release/repro e14 --quick --jobs 2 --summary "$SWEEP_TMP/e14_j2" > "$SWEEP_TMP/report_e14_j2.txt"
+diff <(grep -v "generated in" "$SWEEP_TMP/report_e14_j1.txt") \
+     <(grep -v "generated in" "$SWEEP_TMP/report_e14_j2.txt") \
+  || { echo "ci: repro e14 report differs between --jobs 1 and --jobs 2" >&2; exit 1; }
+E14_RATIO="$(sed -n 's/.*SSA\/hybrid event ratio = //p' "$SWEEP_TMP/report_e14_j1.txt")"
+[ -n "$E14_RATIO" ] \
+  || { echo "ci: repro e14 report is missing the event-ratio metric" >&2; exit 1; }
+awk -v r="$E14_RATIO" 'BEGIN { exit (r >= 5.0) ? 0 : 1 }' \
+  || { echo "ci: hybrid drew ${E14_RATIO}x fewer events than pure SSA (want >= 5x)" >&2; exit 1; }
+E14_ERR="$(sed -n 's/.*worst clock-observable relative error = //p' "$SWEEP_TMP/report_e14_j1.txt")"
+awk -v e="$E14_ERR" 'BEGIN { exit (e <= 0.35) ? 0 : 1 }' \
+  || { echo "ci: hybrid/SSA clock observable off by ${E14_ERR} (want <= 0.35)" >&2; exit 1; }
+head -n 1 "$SWEEP_TMP"/e14_j1/e14.summary.csv | grep -q "hybrid_slow_events" \
+  || { echo "ci: e14 summary CSV missing the hybrid metric columns" >&2; exit 1; }
 
 echo "ci: all stages passed"

@@ -38,9 +38,12 @@
 //! instance over the wire, twice, verifying byte-identical results and
 //! compiled-CRN cache hits, plus a cancellation probe — and, with
 //! `--server-budget-tenant NAME`, a deterministic budget-cut probe
-//! against a tenant the server step-budgets. `--summary DIR` persists
-//! the sweep rows and the server counters through the standard summary
-//! pipeline (`via-server.summary.*`, `server-stats.summary.*`).
+//! against a tenant the server step-budgets. `--method ssa|ode|hybrid`
+//! picks the simulator the main sweep runs under (default `ssa`;
+//! `--method hybrid` drives the hybrid ODE/SSA engine over the wire on a
+//! motif with a fast reverse pair). `--summary DIR` persists the sweep
+//! rows and the server counters through the standard summary pipeline
+//! (`via-server.summary.*`, `server-stats.summary.*`).
 
 use molseq_bench::{all_experiments, ExpCtx};
 use molseq_sweep::{compare_dirs, JobBudget, TrendOptions};
@@ -51,8 +54,8 @@ fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro [--quick] [--jobs N] [--batch WIDTH] [--summary DIR] \
          [--cell-steps N] [--cell-wall SECS] [--trend-against DIR] \
-         [--via-server HOST:PORT] [--server-budget-tenant NAME] \
-         [experiment ids...]"
+         [--via-server HOST:PORT] [--method ssa|ode|hybrid] \
+         [--server-budget-tenant NAME] [experiment ids...]"
     );
     std::process::exit(2);
 }
@@ -65,6 +68,7 @@ fn main() {
     let mut summary_dir: Option<String> = None;
     let mut trend_against: Option<String> = None;
     let mut via_server: Option<String> = None;
+    let mut method: Option<molseq_serve::Method> = None;
     let mut budget_tenant: Option<String> = None;
     let mut budget = JobBudget::unlimited();
     let mut selected: Vec<&str> = Vec::new();
@@ -128,6 +132,16 @@ fn main() {
                 };
                 via_server = Some(addr.clone());
             }
+            "--method" => {
+                let Some(m) = iter
+                    .next()
+                    .and_then(|v| molseq_serve::Method::parse(v).ok())
+                else {
+                    eprintln!("--method expects one of: ssa, ode, hybrid");
+                    std::process::exit(2);
+                };
+                method = Some(m);
+            }
             "--server-budget-tenant" => {
                 let Some(name) = iter.next() else {
                     eprintln!("--server-budget-tenant expects a tenant name");
@@ -157,6 +171,10 @@ fn main() {
         eprintln!("--server-budget-tenant only makes sense with --via-server");
         std::process::exit(2);
     }
+    if method.is_some() && via_server.is_none() {
+        eprintln!("--method only makes sense with --via-server (local experiments pick their own integrators)");
+        std::process::exit(2);
+    }
     if let Some(addr) = via_server {
         if !selected.is_empty() {
             eprintln!("--via-server runs the server smoke suite, not local experiments");
@@ -164,6 +182,7 @@ fn main() {
         }
         match molseq_bench::run_via_server(
             &addr,
+            method.unwrap_or(molseq_serve::Method::Ssa),
             budget_tenant.as_deref(),
             summary_dir.as_deref().map(Path::new),
         ) {

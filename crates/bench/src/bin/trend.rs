@@ -32,7 +32,9 @@
 //! markdown table, and `--gate-last K` additionally drift-gates the last
 //! `K` entries — oldest comparable entry against newest, skipping entries
 //! that cover a different experiment set — with the same exit codes and
-//! tolerance flags as directory mode.
+//! tolerance flags as directory mode. A gate the history cannot fill —
+//! fewer than two entries, or `K` larger than the history — is a usage
+//! error (exit `2`), never a vacuous pass.
 
 use molseq_sweep::{
     classify_metric, compare_dirs, history_report, load_summaries, parse_trajectory, JsonValue,
@@ -286,6 +288,26 @@ fn run_history(
             exit(2);
         }
     };
+    // a window the history cannot fill has no drift to measure: refuse
+    // it as a usage error instead of letting the gate pass vacuously
+    if let Some(window) = gate_last {
+        if entries.len() < 2 {
+            eprintln!(
+                "trend: {}: --gate-last needs at least two history entries, found {}",
+                path.display(),
+                entries.len()
+            );
+            exit(2);
+        }
+        if window > entries.len() {
+            eprintln!(
+                "trend: {}: --gate-last {window} exceeds the history length ({} entries)",
+                path.display(),
+                entries.len()
+            );
+            exit(2);
+        }
+    }
     let report = history_report(&entries, gate_last, opts);
     print!(
         "trend: perf history of {} ({} entries)\n\n{}",

@@ -49,7 +49,7 @@ struct Arm {
 /// `R ≈ k_fast / (100 · X)`) while `X` drains into `Y` on the slow
 /// timescale. Raising `k_fast` raises the equilibrium churn — the
 /// stiffness — without moving the slow dynamics at all.
-fn stiff_clock(k_fast: f64) -> (Crn, State) {
+pub(crate) fn stiff_clock(k_fast: f64) -> (Crn, State) {
     let crn: Crn = format!("0 -> R @{k_fast}\nR + X -> X @100\nX -> Y @0.01")
         .parse()
         .expect("motif parses");

@@ -1,0 +1,227 @@
+//! E14 — the hybrid ODE/SSA integrator raced against pure SSA and the
+//! implicit tau-leaper on the stiff clocked motif.
+//!
+//! The motif is E13's: the absence indicator `R` is produced from nothing
+//! at `k_fast` and consumed fast by the catalyst pool `X`, settling into a
+//! quasi-steady equilibrium `R ≈ k_fast / (100 · X)` that churns thousands
+//! of times per slow `X -> Y` event. Pure SSA must draw every single
+//! production/consumption event of that equilibrium — `~2 · k_fast · t`
+//! events. The hybrid integrator routes the detected reverse pair into the
+//! continuous subsystem and keeps only the genuinely rare `X -> Y`
+//! reaction discrete, so its exact-event count collapses to the handful of
+//! slow firings while the fast churn becomes a few dozen stiff ODE steps.
+//!
+//! The race is only meaningful at matched accuracy, so every arm is scored
+//! on the same clock observable: the time-averaged indicator level over
+//! the second half of the run, compared against the quasi-steady analytic
+//! value `k_fast / (100 · X(0))` (the pool drains ~1% over the horizon, so
+//! the analytic value is good to that order). The headline gate — asserted
+//! by the in-crate test and re-checked by CI — is that the hybrid arm
+//! matches pure SSA's observable while spending at least 5× (in practice
+//! thousands of times) fewer exact SSA events.
+//!
+//! The implicit tau-leaper rides along as the PR-5 baseline: it also
+//! strides over the equilibrium, but by leaping the discrete state, so its
+//! indicator average is a leap-level estimate rather than an integrated
+//! continuous trajectory; its error is reported for context, not gated.
+
+use crate::{ExpCtx, Report};
+use molseq_crn::{Crn, SpeciesId};
+use molseq_kinetics::{
+    CompiledCrn, HybridOptions, SimMetrics, SimSpec, Simulation, SsaOptions, State,
+    TauLeapImplicitOptions, TauLeapOptions, Trace,
+};
+use molseq_sweep::{run_sweep, SweepJob};
+use std::cell::Cell;
+
+use super::e13_stiff_clock::stiff_clock;
+
+/// Horizon short enough that resolving every SSA event stays affordable
+/// (`~2 · k_fast` draws) while still covering thousands of equilibrium
+/// relaxation times.
+const T_END: f64 = 1.0;
+/// Trace sampling grid shared by all arms: 200 samples, of which the
+/// second half feed the clock observable.
+const RECORD: f64 = 0.005;
+/// Event budget no arm should ever hit — exhaustion is a cell failure
+/// here, unlike E13 where it is the measured outcome.
+const BUDGET: usize = 2_000_000;
+
+/// What one arm of a cell observed.
+#[derive(Clone, Copy)]
+struct Arm {
+    /// Exact SSA events the arm drew (for the hybrid arm: slow-reaction
+    /// events only, by construction).
+    events: u64,
+    /// Continuous steps accepted (ODE or hybrid-fast), zero for pure SSA.
+    fast_steps: u64,
+    /// Relative error of the time-averaged indicator level against the
+    /// quasi-steady analytic value.
+    rel_err: f64,
+}
+
+/// Mean of the recorded samples of `species` at `t >= from` — the samples
+/// sit on a uniform grid, so the plain mean is the time average.
+fn tail_average(trace: &Trace, species: SpeciesId, from: f64) -> f64 {
+    let series = trace.series(species);
+    let picked: Vec<f64> = trace
+        .times()
+        .iter()
+        .zip(&series)
+        .filter(|(&t, _)| t >= from)
+        .map(|(_, &v)| v)
+        .collect();
+    assert!(!picked.is_empty(), "tail window must contain samples");
+    picked.iter().sum::<f64>() / picked.len() as f64
+}
+
+fn score(trace: &Trace, crn: &Crn, k_fast: f64, m: SimMetrics) -> Arm {
+    let r = crn.find_species("R").expect("exists");
+    let r_eq = k_fast / (100.0 * 100.0);
+    let avg = tail_average(trace, r, T_END / 2.0);
+    Arm {
+        events: m.ssa_events,
+        fast_steps: m.ode_steps_accepted,
+        rel_err: (avg - r_eq).abs() / r_eq,
+    }
+}
+
+/// Which integrator an arm races with.
+#[derive(Clone, Copy)]
+enum Method {
+    PureSsa,
+    Hybrid,
+    ImplicitTau,
+}
+
+fn run_arm(
+    crn: &Crn,
+    compiled: &CompiledCrn,
+    init: &State,
+    k_fast: f64,
+    method: Method,
+) -> (Arm, SimMetrics) {
+    let sink = Cell::new(SimMetrics::default());
+    let sim = Simulation::new(crn, compiled).init(init);
+    let ssa_base = SsaOptions::default()
+        .with_t_end(T_END)
+        .with_record_interval(RECORD)
+        .with_seed(13)
+        .with_max_events(BUDGET)
+        .with_metrics(&sink);
+    let trace = match method {
+        Method::PureSsa => sim.options(ssa_base).run(),
+        Method::Hybrid => sim
+            .options(
+                HybridOptions::default()
+                    .with_t_end(T_END)
+                    .with_record_interval(RECORD)
+                    .with_seed(13)
+                    .with_max_events(BUDGET)
+                    .with_metrics(&sink),
+            )
+            .run(),
+        Method::ImplicitTau => sim
+            .options(TauLeapImplicitOptions {
+                base: TauLeapOptions {
+                    base: ssa_base,
+                    ..TauLeapOptions::default()
+                },
+                ..TauLeapImplicitOptions::default()
+            })
+            .run(),
+    }
+    .expect("no arm may exhaust the generous budget");
+    let m = sink.get();
+    (score(&trace, crn, k_fast, m), m)
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) -> Report {
+    let mut report = Report::new(
+        "e14",
+        "hybrid ODE/SSA vs pure SSA vs implicit tau on the stiff clock",
+    );
+    let rates: Vec<f64> = if ctx.quick { vec![1e4] } else { vec![1e4, 1e5] };
+
+    let jobs: Vec<SweepJob<'_, (Arm, Arm, Arm)>> = rates
+        .iter()
+        .map(|&k_fast| {
+            SweepJob::infallible(format!("k_fast={k_fast:e}"), move |job| {
+                let (crn, init) = stiff_clock(k_fast);
+                let compiled = CompiledCrn::new(&crn, &SimSpec::default());
+                let (ssa, m_ssa) = run_arm(&crn, &compiled, &init, k_fast, Method::PureSsa);
+                let (hybrid, m_hy) = run_arm(&crn, &compiled, &init, k_fast, Method::Hybrid);
+                let (tau, m_tau) = run_arm(&crn, &compiled, &init, k_fast, Method::ImplicitTau);
+                let mut combined = m_ssa;
+                combined.absorb(&m_hy);
+                combined.absorb(&m_tau);
+                crate::record_sim_metrics(job, combined);
+                (ssa, hybrid, tau)
+            })
+        })
+        .collect();
+    let out = run_sweep(&jobs, &ctx.sweep_options());
+    ctx.persist_summary("e14", &out.summary);
+
+    report.line(format!(
+        "stiff motif (0 -> R @k_fast; R + X -> X @100; X -> Y @0.01), X(0) = 100, t = 0..{T_END}, shared seed 13"
+    ));
+    report.line(
+        "  k_fast | SSA events | hybrid events | hybrid fast steps | event ratio | SSA err | hybrid err | tau err"
+            .to_owned(),
+    );
+    let mut last_ratio = f64::NAN;
+    let mut worst_err = 0.0f64;
+    let mut last_events = f64::NAN;
+    let mut last_hybrid_events = f64::NAN;
+    for (cell, &k_fast) in out.cells.iter().zip(&rates) {
+        let &(ssa, hybrid, tau) = cell.value().expect("infallible cell");
+        last_ratio = ssa.events as f64 / hybrid.events.max(1) as f64;
+        last_events = ssa.events as f64;
+        last_hybrid_events = hybrid.events as f64;
+        worst_err = worst_err.max(ssa.rel_err).max(hybrid.rel_err);
+        report.line(format!(
+            "{k_fast:8.0e} | {:10} | {:13} | {:17} | {last_ratio:11.0} | {:7.3} | {:10.3} | {:7.3}",
+            ssa.events, hybrid.events, hybrid.fast_steps, ssa.rel_err, hybrid.rel_err, tau.rel_err
+        ));
+    }
+    report.metric("pure SSA events (stiffest cell)", last_events);
+    report.metric("hybrid SSA events (stiffest cell)", last_hybrid_events);
+    report.metric("SSA/hybrid event ratio", last_ratio);
+    report.metric("worst clock-observable relative error", worst_err);
+    report.line(
+        "expected: the hybrid arm matches pure SSA's indicator average while drawing orders of magnitude fewer exact events — the equilibrium churn lives in a few dozen stiff ODE steps"
+            .to_owned(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ExpCtx;
+
+    #[test]
+    fn hybrid_needs_far_fewer_events_than_pure_ssa_at_matched_accuracy() {
+        let report = super::run(&ExpCtx::quick());
+        let ratio = report.metric_value("SSA/hybrid event ratio").unwrap();
+        assert!(
+            ratio >= 5.0,
+            "hybrid must be >=5x cheaper in events: {report}"
+        );
+        let err = report
+            .metric_value("worst clock-observable relative error")
+            .unwrap();
+        assert!(
+            err <= 0.35,
+            "both arms must track the equilibrium: {report}"
+        );
+    }
+
+    #[test]
+    fn parallel_report_matches_serial() {
+        let serial = super::run(&ExpCtx::quick().with_jobs(1));
+        let parallel = super::run(&ExpCtx::quick().with_jobs(4));
+        assert_eq!(serial.to_string(), parallel.to_string());
+    }
+}

@@ -8,6 +8,7 @@ pub mod e10_ssa;
 pub mod e11_leak;
 pub mod e12_frequency;
 pub mod e13_stiff_clock;
+pub mod e14_hybrid;
 pub mod e1_clock;
 pub mod e2_delay_chain;
 pub mod e3_moving_average;

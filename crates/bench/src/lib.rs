@@ -19,6 +19,7 @@
 //! | E11 | strand-displacement leak robustness (figure) |
 //! | E12 | filter frequency response (figure) |
 //! | E13 | stiff clocked kinetics: implicit vs explicit tau-leaping (table) |
+//! | E14 | hybrid ODE/SSA vs pure SSA vs implicit tau on the stiff clock (table) |
 //! | A1 | ablation: sharpeners on/off |
 //! | A2 | ablation: self vs cross-coupled feedback |
 //!
@@ -180,6 +181,9 @@ pub fn record_sim_metrics(job: &JobCtx, m: SimMetrics) {
     job.record_metric("tau_leaps_implicit", m.tau_leaps_implicit as f64);
     job.record_metric("newton_iterations", m.newton_iterations as f64);
     job.record_metric("leap_switchovers", m.leap_switchovers as f64);
+    job.record_metric("hybrid_slow_events", m.hybrid_slow_events as f64);
+    job.record_metric("hybrid_fast_steps", m.hybrid_fast_steps as f64);
+    job.record_metric("hybrid_repartitions", m.hybrid_repartitions as f64);
     job.record_metric("final_time", m.final_time);
     job.record_metric("seed", m.seed as f64);
     job.record_metric("batch_width", m.batch_width as f64);
@@ -364,6 +368,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e13",
             "stiff clocked kinetics: implicit vs explicit tau-leaping",
             experiments::e13_stiff_clock::run,
+        ),
+        (
+            "e14",
+            "hybrid ODE/SSA vs pure SSA vs implicit tau on the stiff clock",
+            experiments::e14_hybrid::run,
         ),
         (
             "a1",

@@ -23,9 +23,13 @@ use molseq_serve::{
 use molseq_sweep::{JobStatus, SweepSummary};
 use std::path::Path;
 
-/// The E10-style main sweep: stochastic decay replicates at a few
-/// amplitudes, plus one rate-override cell for the rebind path.
-fn main_sweep() -> SubmitRequest {
+/// The main sweep under `method`: stochastic decay replicates at a few
+/// amplitudes plus one rate-override cell for the rebind path. The decay
+/// motif has no reverse pair, so for the hybrid method it is swapped for
+/// the clocked production/consumption motif — otherwise the hybrid
+/// integrator would delegate wholesale to SSA and the probe would not
+/// exercise the continuous subsystem over the wire at all.
+fn main_sweep(method: Method) -> SubmitRequest {
     let mut cells = Vec::new();
     for amplitude in [8, 32] {
         for rep in 0..4 {
@@ -41,13 +45,21 @@ fn main_sweep() -> SubmitRequest {
         k_fast: Some(500.0),
         k_slow: Some(2.0),
     });
+    let (network, t_end, record_interval) = match method {
+        Method::Hybrid => (
+            "0 -> R @fast\nR + X -> X @slow\nX -> Y @slow".to_owned(),
+            2.0,
+            Some(0.25),
+        ),
+        Method::Ssa | Method::Ode => ("X -> Y @slow".to_owned(), 1.0e4, None),
+    };
     SubmitRequest {
         tenant: "repro".to_owned(),
-        network: "X -> Y @slow".to_owned(),
+        network,
         init: vec![("X".to_owned(), 32.0)],
-        method: Method::Ssa,
-        t_end: 1.0e4,
-        record_interval: None,
+        method,
+        t_end,
+        record_interval,
         seed: 11,
         injections: vec![(1.0, "X".to_owned(), 5.0)],
         batch: 1,
@@ -104,11 +116,16 @@ fn persist(dir: &Path, id: &str, summary: &SweepSummary) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs the smoke suite against the server at `addr`.
+/// Runs the smoke suite against the server at `addr`, driving the main
+/// sweep with `method` (`repro --method hybrid` races the hybrid
+/// integrator over the wire; the default is SSA).
 ///
 /// `budget_tenant` optionally names a tenant the server was configured
 /// to step-budget; the budget probe submits under that name and expects
-/// every cell cut. `summary_dir` persists the deterministic artifacts.
+/// every cell cut. The budget probe always runs the SSA sweep — the
+/// tenant's step budget is calibrated against it — so its outcome does
+/// not move with `method`. `summary_dir` persists the deterministic
+/// artifacts.
 ///
 /// Returns the human-readable report on success.
 ///
@@ -118,6 +135,7 @@ fn persist(dir: &Path, id: &str, summary: &SweepSummary) -> Result<(), String> {
 /// step — callers exit nonzero on it.
 pub fn run_via_server(
     addr: &str,
+    method: Method,
     budget_tenant: Option<&str>,
     summary_dir: Option<&Path>,
 ) -> Result<String, String> {
@@ -125,7 +143,7 @@ pub fn run_via_server(
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
 
     // probe 1: byte-identical resubmission + compiled-CRN cache reuse
-    let request = main_sweep();
+    let request = main_sweep(method);
     let first = client
         .submit(&request)
         .map_err(|e| format!("main sweep rejected: {e}"))?;
@@ -151,7 +169,8 @@ pub fn run_via_server(
         return Err(format!("expected compiled-CRN cache hits, saw {hits}"));
     }
     report.push_str(&format!(
-        "via-server: main sweep {} cells Ok twice, byte-identical; cache {} hit(s) / {} miss(es)\n",
+        "via-server: main sweep ({}) {} cells Ok twice, byte-identical; cache {} hit(s) / {} miss(es)\n",
+        method.as_str(),
         rows.len(),
         hits,
         counter(&stats, "cache_misses"),
@@ -187,7 +206,7 @@ pub fn run_via_server(
         let heavy = SubmitRequest {
             tenant: tenant.to_owned(),
             init: vec![("X".to_owned(), 500.0)],
-            ..main_sweep()
+            ..main_sweep(Method::Ssa)
         };
         let ack = client
             .submit(&heavy)

@@ -87,7 +87,5 @@ pub use fsm::Fsm;
 pub use measure::{stored_final_value, stored_value_at, stored_value_terms};
 pub use programs::{IterativeLog2, IterativeMultiplier};
 pub use runner::{drive_cycles, drive_cycles_batch, BatchCell, CycleResources, RunConfig, SyncRun};
-#[allow(deprecated)]
-pub use runner::{run_cycles, run_cycles_compiled, run_cycles_with_workspace};
 pub use scheme::{ClockSpec, SchemeBuilder, SchemeConfig};
 pub use system::{ClockHandles, CompiledSystem, RegisterHandles};

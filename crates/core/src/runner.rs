@@ -556,84 +556,6 @@ pub fn drive_cycles_batch(
         .collect())
 }
 
-/// Drives `system` for `cycles` clock cycles, compiling its network per
-/// call.
-///
-/// # Errors
-///
-/// Same conditions as [`drive_cycles`].
-#[deprecated(
-    since = "0.5.0",
-    note = "use drive_cycles(system, inputs, cycles, config, CycleResources::default())"
-)]
-pub fn run_cycles(
-    system: &CompiledSystem,
-    inputs: &[(&str, &[f64])],
-    cycles: usize,
-    config: &RunConfig,
-) -> Result<SyncRun, SyncError> {
-    drive_cycles(system, inputs, cycles, config, CycleResources::default())
-}
-
-/// Like [`run_cycles`], but consumes a pre-built [`CompiledCrn`] instead
-/// of compiling the system's network per call.
-///
-/// # Errors
-///
-/// Same conditions as [`drive_cycles`].
-#[deprecated(
-    since = "0.5.0",
-    note = "use drive_cycles(.., CycleResources { compiled: Some(compiled), ..Default::default() })"
-)]
-pub fn run_cycles_compiled(
-    system: &CompiledSystem,
-    compiled: &CompiledCrn,
-    inputs: &[(&str, &[f64])],
-    cycles: usize,
-    config: &RunConfig,
-) -> Result<SyncRun, SyncError> {
-    drive_cycles(
-        system,
-        inputs,
-        cycles,
-        config,
-        CycleResources {
-            compiled: Some(compiled),
-            workspace: None,
-        },
-    )
-}
-
-/// Like [`run_cycles_compiled`], but reuses the caller's
-/// [`OdeWorkspace`].
-///
-/// # Errors
-///
-/// Same conditions as [`drive_cycles`].
-#[deprecated(
-    since = "0.5.0",
-    note = "use drive_cycles(.., CycleResources { compiled: Some(compiled), workspace: Some(ws) })"
-)]
-pub fn run_cycles_with_workspace(
-    system: &CompiledSystem,
-    compiled: &CompiledCrn,
-    inputs: &[(&str, &[f64])],
-    cycles: usize,
-    config: &RunConfig,
-    workspace: &mut OdeWorkspace,
-) -> Result<SyncRun, SyncError> {
-    drive_cycles(
-        system,
-        inputs,
-        cycles,
-        config,
-        CycleResources {
-            compiled: Some(compiled),
-            workspace: Some(workspace),
-        },
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,7 +32,7 @@ pub struct RegisterHandles {
 /// boundaries, read registers).
 ///
 /// Produced by [`SyncCircuit::compile`](crate::SyncCircuit::compile);
-/// driven by [`run_cycles`](crate::run_cycles) or manually.
+/// driven by [`drive_cycles`](crate::drive_cycles) or manually.
 #[derive(Debug, Clone)]
 pub struct CompiledSystem {
     crn: Crn,

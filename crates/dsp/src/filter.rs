@@ -136,36 +136,6 @@ impl Filter {
             })
             .collect())
     }
-
-    /// Runs the filter on an input sequence, compiling its network per
-    /// call.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`respond_with`](Self::respond_with).
-    #[deprecated(since = "0.5.0", note = "use respond_with(samples, config, None)")]
-    pub fn respond(&self, samples: &[f64], config: &RunConfig) -> Result<Vec<f64>, SyncError> {
-        self.respond_with(samples, config, None)
-    }
-
-    /// Like [`respond`](Self::respond), but drives a pre-built
-    /// [`CompiledCrn`] of this filter's network.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`respond_with`](Self::respond_with).
-    #[deprecated(
-        since = "0.5.0",
-        note = "use respond_with(samples, config, Some(compiled))"
-    )]
-    pub fn respond_compiled(
-        &self,
-        compiled: &CompiledCrn,
-        samples: &[f64],
-        config: &RunConfig,
-    ) -> Result<Vec<f64>, SyncError> {
-        self.respond_with(samples, config, Some(compiled))
-    }
 }
 
 /// Root-mean-square error between two equal-length sequences.

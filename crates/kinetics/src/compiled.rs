@@ -595,6 +595,74 @@ impl CompiledCrn {
         }
     }
 
+    /// Writes the combinatorial drift `Σ_j ν_j · a_j(x)` restricted to the
+    /// reactions with `include[j]` set into `dx`, using the continuous
+    /// propensity extension [`propensity_f`](Self::propensity_f). This is
+    /// the right-hand side of the hybrid engine's fast (ODE) subsystem:
+    /// only the reactions routed to the continuous side contribute.
+    pub(crate) fn propensity_drift_masked(&self, x: &[f64], dx: &mut [f64], include: &[bool]) {
+        assert_eq!(x.len(), self.species_count);
+        assert_eq!(dx.len(), self.species_count);
+        assert_eq!(include.len(), self.reactions.len());
+        dx.fill(0.0);
+        for (j, r) in self.reactions.iter().enumerate() {
+            if !include[j] {
+                continue;
+            }
+            let mut a = r.k;
+            for &(i, stoich) in &r.reactants {
+                a *= falling_factorial(x[i], stoich);
+            }
+            if a == 0.0 {
+                continue;
+            }
+            for &(i, d) in &r.delta {
+                dx[i] += d * a;
+            }
+        }
+    }
+
+    /// Masked [`propensity_jacobian_sparse`](Self::propensity_jacobian_sparse):
+    /// only reactions with `include[j]` set contribute, so the values are
+    /// the Jacobian of [`propensity_drift_masked`](Self::propensity_drift_masked)
+    /// over the *full* shared CSR pattern (excluded reactions' slots stay
+    /// zero — the symbolic factorization built for the full pattern still
+    /// applies).
+    pub(crate) fn propensity_jacobian_sparse_masked(
+        &self,
+        x: &[f64],
+        vals: &mut [f64],
+        include: &[bool],
+    ) {
+        assert_eq!(x.len(), self.species_count);
+        assert_eq!(vals.len(), self.jac_col_idx.len());
+        assert_eq!(include.len(), self.reactions.len());
+        vals.fill(0.0);
+        let mut cursor = 0usize;
+        for (jr, r) in self.reactions.iter().enumerate() {
+            if !include[jr] {
+                cursor += r.reactants.len() * r.delta.len();
+                continue;
+            }
+            for (jj, &(j, s_j)) in r.reactants.iter().enumerate() {
+                let mut partial = r.k * falling_factorial_derivative(x[j], s_j);
+                for (ii, &(i, s_i)) in r.reactants.iter().enumerate() {
+                    if ii != jj {
+                        partial *= falling_factorial(x[i], s_i);
+                    }
+                }
+                if partial == 0.0 {
+                    cursor += r.delta.len();
+                    continue;
+                }
+                for &(_, d) in &r.delta {
+                    vals[self.jac_slots[cursor]] += d * partial;
+                    cursor += 1;
+                }
+            }
+        }
+    }
+
     /// The `(species index, stoichiometric exponent)` pairs of reaction
     /// `j`'s reactants — what its propensity depends on.
     ///

@@ -1,6 +1,6 @@
 //! # molseq-kinetics — simulators for chemical reaction networks
 //!
-//! Five integrators over the [`molseq_crn::Crn`] model, all driven through
+//! Six integrators over the [`molseq_crn::Crn`] model, all driven through
 //! the [`Simulation`] builder and selected by [`SimMethod`]:
 //!
 //! * **Deterministic mass-action ODE** integration ([`SimMethod::Ode`])
@@ -15,6 +15,11 @@
 //! * **Tau-leaping**, explicit ([`SimMethod::TauLeap`]) and
 //!   stiffness-aware implicit ([`SimMethod::TauLeapImplicit`]), for the
 //!   large-count and stiff regimes where exact methods crawl.
+//! * **Hybrid ODE/SSA** ([`SimMethod::Hybrid`]): fast reversible reaction
+//!   pairs integrate as a continuous subsystem while slow reactions fire
+//!   as exact discrete events against the evolving continuous state — the
+//!   natural fit for the paper's clocked schemes, whose clock churns
+//!   through orders of magnitude more events than the computation.
 //!
 //! All share the [`Trace`] recording type and the [`Schedule`] event model,
 //! so an experiment can be run under any interpretation without changes.
@@ -53,6 +58,7 @@ mod compare;
 mod compiled;
 mod error;
 mod events;
+mod hybrid;
 mod metrics;
 mod nrm;
 mod ode;
@@ -72,11 +78,8 @@ pub use compare::{compare_trajectories, Divergence, MappedSpecies};
 pub use compiled::CompiledCrn;
 pub use error::SimError;
 pub use events::{Condition, Injection, Schedule, Trigger, TriggerAction};
+pub use hybrid::{HybridOptions, DEFAULT_DISCRETENESS_THRESHOLD};
 pub use metrics::{MetricsSink, SimMetrics};
-#[allow(deprecated)]
-pub use nrm::simulate_nrm;
-#[allow(deprecated)]
-pub use ode::{simulate_ode, simulate_ode_compiled, simulate_ode_with_workspace};
 pub use ode::{
     simulate_until_quiescent, OdeMethod, OdeOptions, OdeWorkspace, StepHook, DEFAULT_JACOBIAN_REUSE,
 };
@@ -84,11 +87,7 @@ pub use plot::{downsample, render_species, sparkline};
 pub use replicate::Replicator;
 pub use sim::{SimMethod, SimOptions, Simulation};
 pub use ssa::SsaOptions;
-#[allow(deprecated)]
-pub use ssa::{simulate_ssa, simulate_ssa_compiled};
 pub use state::State;
-#[allow(deprecated)]
-pub use tau::simulate_tau_leap;
 pub use tau::TauLeapOptions;
 pub use tau_implicit::TauLeapImplicitOptions;
 pub use trace::{crossings, estimate_period, Crossing, Direction, Trace};

@@ -88,6 +88,17 @@ pub struct SimMetrics {
     /// this cell's lane retired. Cumulative across runs, like the step
     /// counters, so harness retries show the total retirement churn.
     pub lanes_retired: u64,
+    /// Discrete reaction events fired on the slow (SSA) side of the hybrid
+    /// engine. Each is also counted into `ssa_events`, so event totals
+    /// compare directly across pure-SSA and hybrid arms of an experiment.
+    pub hybrid_slow_events: u64,
+    /// Accepted ODE steps taken on the fast (continuous) side of the
+    /// hybrid engine. Each is also counted into `ode_steps_accepted`.
+    pub hybrid_fast_steps: u64,
+    /// Automatic repartitions of the hybrid engine that *changed* the fast
+    /// set (recomputations that confirmed the current partition don't
+    /// count).
+    pub hybrid_repartitions: u64,
 }
 
 impl SimMetrics {
@@ -103,6 +114,9 @@ impl SimMetrics {
         self.newton_iterations += other.newton_iterations;
         self.leap_switchovers += other.leap_switchovers;
         self.lanes_retired += other.lanes_retired;
+        self.hybrid_slow_events += other.hybrid_slow_events;
+        self.hybrid_fast_steps += other.hybrid_fast_steps;
+        self.hybrid_repartitions += other.hybrid_repartitions;
         self.final_time = other.final_time;
         if other.seed != 0 {
             self.seed = other.seed;
@@ -153,6 +167,9 @@ mod tests {
             seed: 7,
             batch_width: 0,
             lanes_retired: 0,
+            hybrid_slow_events: 4,
+            hybrid_fast_steps: 8,
+            hybrid_repartitions: 1,
         };
         total.absorb(&SimMetrics {
             ode_steps_accepted: 2,
@@ -163,6 +180,9 @@ mod tests {
             final_time: 9.0,
             batch_width: 8,
             lanes_retired: 3,
+            hybrid_slow_events: 6,
+            hybrid_fast_steps: 2,
+            hybrid_repartitions: 1,
             ..SimMetrics::default()
         });
         assert_eq!(total.ode_steps_accepted, 12);
@@ -176,6 +196,9 @@ mod tests {
         assert_eq!(total.seed, 7);
         assert_eq!(total.batch_width, 8);
         assert_eq!(total.lanes_retired, 3);
+        assert_eq!(total.hybrid_slow_events, 10);
+        assert_eq!(total.hybrid_fast_steps, 10);
+        assert_eq!(total.hybrid_repartitions, 2);
         // a scalar follow-up (width 0) keeps the batched width
         total.absorb(&SimMetrics::default());
         assert_eq!(total.batch_width, 8);

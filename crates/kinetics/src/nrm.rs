@@ -13,7 +13,7 @@
 use crate::compiled::CompiledCrn;
 use crate::events::TriggerRuntime;
 use crate::metrics::SimMetrics;
-use crate::{Schedule, SimError, SimSpec, SsaOptions, State, Trace};
+use crate::{Schedule, SimError, SsaOptions, State, Trace};
 use molseq_crn::Crn;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -124,37 +124,6 @@ fn dependency_graph(compiled: &CompiledCrn) -> Vec<Vec<usize>> {
             deps
         })
         .collect()
-}
-
-/// Runs the next-reaction method on `crn` from the integer copy numbers in
-/// `init`. Statistically equivalent to [`simulate_ssa`](crate::simulate_ssa)
-/// (both are exact); asymptotically faster on large networks.
-///
-/// Tentative times are redrawn (rather than rescaled) on each dependency
-/// update — the "modified next reaction method" of Anderson, which remains
-/// exact and avoids bookkeeping corner cases around zero propensities.
-///
-/// # Errors
-///
-/// Same conditions as [`simulate_ssa`](crate::simulate_ssa).
-#[deprecated(
-    since = "0.5.0",
-    note = "use Simulation::new(&crn, &compiled).method(SimMethod::Nrm).options(opts).run()"
-)]
-pub fn simulate_nrm(
-    crn: &Crn,
-    init: &State,
-    schedule: &Schedule,
-    opts: &SsaOptions,
-    spec: &SimSpec,
-) -> Result<Trace, SimError> {
-    let compiled = CompiledCrn::new(crn, spec);
-    crate::sim::Simulation::new(crn, &compiled)
-        .init(init)
-        .schedule(schedule)
-        .method(crate::sim::SimMethod::Nrm)
-        .options(*opts)
-        .run()
 }
 
 /// Validated entry point over a precompiled network: what the
@@ -325,6 +294,7 @@ fn nrm_core(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimSpec;
     use molseq_crn::RateAssignment;
 
     /// Builder-backed stand-in for the deprecated free function (shadows

@@ -322,6 +322,9 @@ pub struct OdeWorkspace {
     /// Newton solver buffers for the implicit tau-leaper; sized lazily by
     /// `run_tau_implicit` so purely deterministic callers pay nothing.
     pub(crate) newton: Option<crate::tau_implicit::NewtonWork>,
+    /// Fast-subsystem stepper buffers for the hybrid ODE/SSA engine; sized
+    /// lazily by `run_hybrid`.
+    pub(crate) hybrid: Option<crate::hybrid::HybridWork>,
 }
 
 impl OdeWorkspace {
@@ -360,102 +363,8 @@ impl OdeWorkspace {
     }
 }
 
-/// Integrates the mass-action kinetics of `crn` from `init` over the span
-/// in `opts`, applying the events of `schedule`, under the rate
-/// interpretation `spec`.
-///
-/// The returned [`Trace`] contains a sample at `t_start`, one per recording
-/// interval, one immediately after every injection or trigger firing, and
-/// one at `t_end`.
-///
-/// # Errors
-///
-/// * [`SimError::DimensionMismatch`] if `init` does not match the network.
-/// * [`SimError::BadTimeSpan`] if the span is empty or inverted.
-/// * [`SimError::StepLimitExceeded`] if `max_steps` is exhausted.
-/// * [`SimError::NonFiniteState`] if the state blows up.
-#[deprecated(
-    since = "0.5.0",
-    note = "use Simulation::new(&crn, &compiled).options(opts).run()"
-)]
-pub fn simulate_ode(
-    crn: &Crn,
-    init: &State,
-    schedule: &Schedule,
-    opts: &OdeOptions,
-    spec: &SimSpec,
-) -> Result<Trace, SimError> {
-    let compiled = CompiledCrn::new(crn, spec);
-    crate::sim::Simulation::new(crn, &compiled)
-        .init(init)
-        .schedule(schedule)
-        .options(*opts)
-        .run()
-}
-
-/// Like [`simulate_ode`], but consumes a pre-built [`CompiledCrn`] instead
-/// of compiling one per call.
-///
-/// Sweeps that re-simulate one network under many rate interpretations
-/// should compile once, [`CompiledCrn::rebind`] per cell, and call this.
-///
-/// # Errors
-///
-/// Same conditions as [`simulate_ode`], plus
-/// [`SimError::DimensionMismatch`] if `compiled` was built from a network
-/// with a different species count than `crn`.
-#[deprecated(
-    since = "0.5.0",
-    note = "use Simulation::new(&crn, &compiled).options(opts).run()"
-)]
-pub fn simulate_ode_compiled(
-    crn: &Crn,
-    compiled: &CompiledCrn,
-    init: &State,
-    schedule: &Schedule,
-    opts: &OdeOptions,
-) -> Result<Trace, SimError> {
-    crate::sim::Simulation::new(crn, compiled)
-        .init(init)
-        .schedule(schedule)
-        .options(*opts)
-        .run()
-}
-
-/// Like [`simulate_ode_compiled`], but reuses the caller's
-/// [`OdeWorkspace`] so repeated calls (multi-cycle harness retries, sweep
-/// cells) do not re-allocate integrator buffers.
-///
-/// All cached numerical state in the workspace is invalidated on entry:
-/// the result is bit-identical to [`simulate_ode_compiled`] with a fresh
-/// workspace.
-///
-/// # Errors
-///
-/// Same conditions as [`simulate_ode_compiled`], plus
-/// [`SimError::Interrupted`] if a step hook breaks.
-#[deprecated(
-    since = "0.5.0",
-    note = "use Simulation::new(&crn, &compiled).options(opts).workspace(ws).run()"
-)]
-pub fn simulate_ode_with_workspace(
-    crn: &Crn,
-    compiled: &CompiledCrn,
-    init: &State,
-    schedule: &Schedule,
-    opts: &OdeOptions,
-    workspace: &mut OdeWorkspace,
-) -> Result<Trace, SimError> {
-    crate::sim::Simulation::new(crn, compiled)
-        .init(init)
-        .schedule(schedule)
-        .options(*opts)
-        .workspace(workspace)
-        .run()
-}
-
-/// Shared deterministic core behind the [`crate::Simulation`] builder and
-/// the deprecated `simulate_ode*` shims: validates dimensions and span,
+/// Deterministic core behind the [`crate::Simulation`] builder:
+/// validates dimensions and span,
 /// integrates segment by segment between timed injections, and flushes
 /// work counters on every exit path.
 pub(crate) fn run_ode(
@@ -603,7 +512,7 @@ pub(crate) fn expected_records(opts: &OdeOptions, schedule: &Schedule) -> usize 
 ///
 /// # Errors
 ///
-/// Same conditions as [`simulate_ode`].
+/// Same conditions as an ODE run of the [`crate::Simulation`] builder.
 ///
 /// # Examples
 ///

@@ -26,11 +26,12 @@
 //! ([`OdeOptions`] → [`SimMethod::Ode`], [`SsaOptions`] →
 //! [`SimMethod::Ssa`], and so on); only [`SimMethod::Nrm`] — which shares
 //! [`SsaOptions`] with the direct method — must be requested explicitly
-//! via [`Simulation::method`]. The deprecated `simulate_*` free functions
-//! are thin shims over this builder, so both spellings produce
+//! via [`Simulation::method`]. The builder is the single entry point to
+//! every integrator: running the same options twice produces
 //! bit-identical traces.
 
 use crate::compiled::CompiledCrn;
+use crate::hybrid::HybridOptions;
 use crate::metrics::MetricsSink;
 use crate::ode::{OdeOptions, OdeWorkspace, StepHook};
 use crate::ssa::SsaOptions;
@@ -55,6 +56,10 @@ pub enum SimMethod {
     /// Stiffness-aware tau-leaping that switches per leap between the
     /// explicit update and an implicit (damped-Newton) one.
     TauLeapImplicit,
+    /// Hybrid ODE/SSA multiscale simulation: fast reversible reaction
+    /// pairs integrate as a continuous subsystem, slow reactions fire as
+    /// exact discrete events (see [`HybridOptions`]).
+    Hybrid,
 }
 
 /// Options for one simulation, tagged by integrator genre. Usually built
@@ -71,6 +76,8 @@ pub enum SimOptions<'h> {
     TauLeap(TauLeapOptions<'h>),
     /// Implicit tau-leaping options ([`SimMethod::TauLeapImplicit`]).
     TauLeapImplicit(TauLeapImplicitOptions<'h>),
+    /// Hybrid ODE/SSA options ([`SimMethod::Hybrid`]).
+    Hybrid(HybridOptions<'h>),
 }
 
 impl<'h> From<OdeOptions<'h>> for SimOptions<'h> {
@@ -97,6 +104,12 @@ impl<'h> From<TauLeapImplicitOptions<'h>> for SimOptions<'h> {
     }
 }
 
+impl<'h> From<HybridOptions<'h>> for SimOptions<'h> {
+    fn from(opts: HybridOptions<'h>) -> Self {
+        SimOptions::Hybrid(opts)
+    }
+}
+
 impl<'h> SimOptions<'h> {
     /// The method this options genre selects by default.
     fn default_method(&self) -> SimMethod {
@@ -105,6 +118,7 @@ impl<'h> SimOptions<'h> {
             SimOptions::Stochastic(_) => SimMethod::Ssa,
             SimOptions::TauLeap(_) => SimMethod::TauLeap,
             SimOptions::TauLeapImplicit(_) => SimMethod::TauLeapImplicit,
+            SimOptions::Hybrid(_) => SimMethod::Hybrid,
         }
     }
 
@@ -116,6 +130,7 @@ impl<'h> SimOptions<'h> {
                 | (SimOptions::Stochastic(_), SimMethod::Ssa | SimMethod::Nrm)
                 | (SimOptions::TauLeap(_), SimMethod::TauLeap)
                 | (SimOptions::TauLeapImplicit(_), SimMethod::TauLeapImplicit)
+                | (SimOptions::Hybrid(_), SimMethod::Hybrid)
         )
     }
 
@@ -128,6 +143,7 @@ impl<'h> SimOptions<'h> {
             SimMethod::TauLeapImplicit => {
                 SimOptions::TauLeapImplicit(TauLeapImplicitOptions::default())
             }
+            SimMethod::Hybrid => SimOptions::Hybrid(HybridOptions::default()),
         }
     }
 
@@ -137,6 +153,7 @@ impl<'h> SimOptions<'h> {
             SimOptions::Stochastic(o) => *o = o.with_step_hook(hook),
             SimOptions::TauLeap(o) => o.base = o.base.with_step_hook(hook),
             SimOptions::TauLeapImplicit(o) => o.base.base = o.base.base.with_step_hook(hook),
+            SimOptions::Hybrid(o) => *o = o.with_step_hook(hook),
         }
     }
 
@@ -146,6 +163,7 @@ impl<'h> SimOptions<'h> {
             SimOptions::Stochastic(o) => *o = o.with_metrics(sink),
             SimOptions::TauLeap(o) => o.base = o.base.with_metrics(sink),
             SimOptions::TauLeapImplicit(o) => o.base.base = o.base.base.with_metrics(sink),
+            SimOptions::Hybrid(o) => *o = o.with_metrics(sink),
         }
     }
 }
@@ -223,9 +241,9 @@ impl<'a, 'h> Simulation<'a, 'h> {
 
     /// Attaches a reusable [`OdeWorkspace`] so repeated runs (sweep
     /// cells, harness retries) do not re-allocate integrator buffers.
-    /// Used by [`SimMethod::Ode`] and [`SimMethod::TauLeapImplicit`];
-    /// ignored by the other methods. Results are bit-identical with or
-    /// without a caller-supplied workspace.
+    /// Used by [`SimMethod::Ode`], [`SimMethod::TauLeapImplicit`] and
+    /// [`SimMethod::Hybrid`]; ignored by the other methods. Results are
+    /// bit-identical with or without a caller-supplied workspace.
     #[must_use]
     pub fn workspace(mut self, workspace: &'a mut OdeWorkspace) -> Self {
         self.workspace = Some(workspace);
@@ -329,6 +347,13 @@ impl<'a, 'h> Simulation<'a, 'h> {
                     crate::tau_implicit::run_tau_implicit(
                         crn, compiled, init, schedule, &opts, &mut ws,
                     )
+                }
+            },
+            (SimMethod::Hybrid, SimOptions::Hybrid(opts)) => match workspace {
+                Some(ws) => crate::hybrid::run_hybrid(crn, compiled, init, schedule, &opts, ws),
+                None => {
+                    let mut ws = OdeWorkspace::new();
+                    crate::hybrid::run_hybrid(crn, compiled, init, schedule, &opts, &mut ws)
                 }
             },
             // `supports` was asserted above; inferred methods always match.
@@ -437,80 +462,61 @@ mod tests {
         );
     }
 
-    /// The deprecated free functions are shims over the builder: every
-    /// method must produce byte-identical traces through both spellings.
+    /// The builder is the single entry point (the pre-0.6 `simulate_*`
+    /// shims were dropped): the contract is now that each method, driven
+    /// through the builder with the same options, is bit-identical run to
+    /// run — freshly compiled or through a shared compile + rebind, with
+    /// or without an explicit method selection.
     #[test]
-    #[allow(deprecated)]
-    fn builder_matches_deprecated_shims_exactly() {
+    fn builder_runs_are_bit_identical_per_method() {
         let (crn, compiled, init) = decay_setup();
-        let schedule = Schedule::new();
-        let spec = SimSpec::default();
-
-        let via_builder = Simulation::new(&crn, &compiled)
-            .init(&init)
-            .options(OdeOptions::default().with_t_end(2.0))
-            .run()
-            .unwrap();
-        let via_shim = crate::simulate_ode(
-            &crn,
-            &init,
-            &schedule,
-            &OdeOptions::default().with_t_end(2.0),
-            &spec,
-        )
-        .unwrap();
-        assert_eq!(via_builder, via_shim, "ODE");
-
+        let recompiled = CompiledCrn::new(&crn, &SimSpec::default());
         let ssa_opts = SsaOptions::default().with_t_end(3.0).with_seed(42);
-        let via_builder = Simulation::new(&crn, &compiled)
-            .init(&init)
-            .options(ssa_opts)
-            .run()
-            .unwrap();
-        let via_shim = crate::simulate_ssa(&crn, &init, &schedule, &ssa_opts, &spec).unwrap();
-        assert_eq!(via_builder, via_shim, "SSA");
-        let via_compiled_shim =
-            crate::simulate_ssa_compiled(&crn, &compiled, &init, &schedule, &ssa_opts).unwrap();
-        assert_eq!(via_builder, via_compiled_shim, "SSA compiled");
-
-        let via_builder = Simulation::new(&crn, &compiled)
+        let tau_opts = TauLeapOptions {
+            base: ssa_opts,
+            ..TauLeapOptions::default()
+        };
+        let imp_opts = TauLeapImplicitOptions {
+            base: tau_opts,
+            ..TauLeapImplicitOptions::default()
+        };
+        let hybrid_opts = crate::HybridOptions::default()
+            .with_t_end(3.0)
+            .with_seed(42);
+        let runs: Vec<(&str, SimOptions)> = vec![
+            ("ODE", OdeOptions::default().with_t_end(2.0).into()),
+            ("SSA", ssa_opts.into()),
+            ("tau-leap", tau_opts.into()),
+            ("implicit tau-leap", imp_opts.into()),
+            ("hybrid", hybrid_opts.into()),
+        ];
+        for (label, opts) in runs {
+            let first = Simulation::new(&crn, &compiled)
+                .init(&init)
+                .options(opts)
+                .run()
+                .unwrap();
+            let second = Simulation::new(&crn, &recompiled)
+                .init(&init)
+                .options(opts)
+                .run()
+                .unwrap();
+            assert_eq!(first, second, "{label}");
+        }
+        // NRM shares SsaOptions and must be selected explicitly.
+        let first = Simulation::new(&crn, &compiled)
             .init(&init)
             .method(SimMethod::Nrm)
             .options(ssa_opts)
             .run()
             .unwrap();
-        let via_shim = crate::simulate_nrm(&crn, &init, &schedule, &ssa_opts, &spec).unwrap();
-        assert_eq!(via_builder, via_shim, "NRM");
-
-        let tau_opts = TauLeapOptions {
-            base: ssa_opts,
-            ..TauLeapOptions::default()
-        };
-        let via_builder = Simulation::new(&crn, &compiled)
+        let second = Simulation::new(&crn, &recompiled)
             .init(&init)
-            .options(tau_opts)
+            .method(SimMethod::Nrm)
+            .options(ssa_opts)
             .run()
             .unwrap();
-        let via_shim = crate::simulate_tau_leap(&crn, &init, &schedule, &tau_opts, &spec).unwrap();
-        assert_eq!(via_builder, via_shim, "tau-leap");
-
-        // The implicit leaper is builder-only (no legacy shim); same seed
-        // through the builder twice must still be bit-identical.
-        let imp_opts = TauLeapImplicitOptions {
-            base: tau_opts,
-            ..TauLeapImplicitOptions::default()
-        };
-        let first = Simulation::new(&crn, &compiled)
-            .init(&init)
-            .options(imp_opts)
-            .run()
-            .unwrap();
-        let second = Simulation::new(&crn, &compiled)
-            .init(&init)
-            .options(imp_opts)
-            .run()
-            .unwrap();
-        assert_eq!(first, second, "implicit tau-leap");
+        assert_eq!(first, second, "NRM");
     }
 
     #[test]

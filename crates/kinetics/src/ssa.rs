@@ -10,7 +10,7 @@ use crate::compiled::CompiledCrn;
 use crate::events::TriggerRuntime;
 use crate::metrics::{sinks_eq, MetricsSink, SimMetrics};
 use crate::ode::StepHook;
-use crate::{Schedule, SimError, SimSpec, State, Trace};
+use crate::{Schedule, SimError, State, Trace};
 use molseq_crn::Crn;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -80,6 +80,13 @@ impl Default for SsaOptions<'_> {
 }
 
 impl<'h> SsaOptions<'h> {
+    /// Sets the start time (builder style).
+    #[must_use]
+    pub fn with_t_start(mut self, t: f64) -> Self {
+        self.t_start = t;
+        self
+    }
+
     /// Sets the end time (builder style).
     #[must_use]
     pub fn with_t_end(mut self, t: f64) -> Self {
@@ -169,69 +176,6 @@ impl<'h> SsaOptions<'h> {
     pub fn metrics(&self) -> Option<MetricsSink<'h>> {
         self.metrics
     }
-}
-
-/// Runs Gillespie's direct method on `crn` from the integer copy numbers in
-/// `init`.
-///
-/// Initial amounts and injection amounts must be non-negative integers
-/// (within `1e-9`); they are rounded to the nearest integer copy number.
-/// The volume is taken as 1, so deterministic and stochastic runs of the
-/// same network are directly comparable at large counts.
-///
-/// # Errors
-///
-/// * [`SimError::DimensionMismatch`] if `init` does not match the network.
-/// * [`SimError::BadTimeSpan`] if the span is empty or inverted.
-/// * [`SimError::NonIntegerAmount`] if an amount is not an integer.
-/// * [`SimError::StepLimitExceeded`] if `max_events` is exhausted.
-#[deprecated(
-    since = "0.5.0",
-    note = "use Simulation::new(&crn, &compiled).options(opts).run()"
-)]
-pub fn simulate_ssa(
-    crn: &Crn,
-    init: &State,
-    schedule: &Schedule,
-    opts: &SsaOptions,
-    spec: &SimSpec,
-) -> Result<Trace, SimError> {
-    let compiled = CompiledCrn::new(crn, spec);
-    crate::sim::Simulation::new(crn, &compiled)
-        .init(init)
-        .schedule(schedule)
-        .options(*opts)
-        .run()
-}
-
-/// Like [`simulate_ssa`], but consumes a pre-built [`CompiledCrn`] instead
-/// of compiling one per call.
-///
-/// Stochastic sweeps run many seeds against the same network; compiling
-/// once and calling this per seed avoids re-walking the reaction structure
-/// per replicate.
-///
-/// # Errors
-///
-/// Same conditions as [`simulate_ssa`], plus
-/// [`SimError::DimensionMismatch`] if `compiled` was built from a network
-/// with a different species count than `crn`.
-#[deprecated(
-    since = "0.5.0",
-    note = "use Simulation::new(&crn, &compiled).options(opts).run()"
-)]
-pub fn simulate_ssa_compiled(
-    crn: &Crn,
-    compiled: &CompiledCrn,
-    init: &State,
-    schedule: &Schedule,
-    opts: &SsaOptions,
-) -> Result<Trace, SimError> {
-    crate::sim::Simulation::new(crn, compiled)
-        .init(init)
-        .schedule(schedule)
-        .options(*opts)
-        .run()
 }
 
 /// Validated entry point over a precompiled network: what the
@@ -443,6 +387,7 @@ fn record_until(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimSpec;
     use molseq_crn::{Crn, RateAssignment};
 
     /// Builder-backed stand-in for the deprecated free function (shadows

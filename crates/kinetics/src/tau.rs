@@ -15,7 +15,7 @@
 
 use crate::compiled::CompiledCrn;
 use crate::metrics::SimMetrics;
-use crate::{Schedule, SimError, SimSpec, SsaOptions, State, Trace};
+use crate::{Schedule, SimError, SsaOptions, State, Trace};
 use molseq_crn::Crn;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -117,37 +117,6 @@ fn ln_gamma(x: f64) -> f64 {
     }
     let t = x + 7.5;
     0.5 * std::f64::consts::TAU.ln() + (x + 0.5) * t.ln() - t + acc.ln()
-}
-
-/// Runs explicit tau-leaping on `crn` from the integer copy numbers in
-/// `init`. Timed injections are honoured; triggers are not supported
-/// (leaps would blur their edge semantics) and cause a panic.
-///
-/// # Panics
-///
-/// Panics if the schedule contains triggers.
-///
-/// # Errors
-///
-/// Same conditions as [`simulate_ssa`](crate::simulate_ssa), plus
-/// [`SimError::BadTimeSpan`] for a non-positive `epsilon`.
-#[deprecated(
-    since = "0.5.0",
-    note = "use Simulation::new(&crn, &compiled).options(opts).run()"
-)]
-pub fn simulate_tau_leap(
-    crn: &Crn,
-    init: &State,
-    schedule: &Schedule,
-    opts: &TauLeapOptions,
-    spec: &SimSpec,
-) -> Result<Trace, SimError> {
-    let compiled = CompiledCrn::new(crn, spec);
-    crate::sim::Simulation::new(crn, &compiled)
-        .init(init)
-        .schedule(schedule)
-        .options(*opts)
-        .run()
 }
 
 /// Validated entry point over a precompiled network: what the
@@ -402,6 +371,7 @@ pub(crate) fn apply_injection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimSpec;
     use molseq_crn::Crn;
 
     /// Builder-backed stand-in for the deprecated free function (shadows

@@ -155,7 +155,7 @@ impl NewtonWork {
 /// update exploits. Structure decides *candidacy* (it cannot flicker);
 /// the cheap propensity-balance test at the current state decides, per
 /// leap, whether the pair is actually equilibrated.
-fn find_reverse_pairs(compiled: &CompiledCrn) -> Vec<Option<usize>> {
+pub(crate) fn find_reverse_pairs(compiled: &CompiledCrn) -> Vec<Option<usize>> {
     let m = compiled.reaction_count();
     let deltas: Vec<Vec<(usize, i64)>> = (0..m)
         .map(|j| {

@@ -63,15 +63,19 @@ pub enum Method {
     Ssa,
     /// Deterministic mass-action ODE integration.
     Ode,
+    /// Hybrid ODE/SSA multiscale simulation: fast reversible pairs as a
+    /// continuous subsystem, slow reactions as exact discrete events.
+    Hybrid,
 }
 
 impl Method {
-    /// The wire name (`"ssa"` / `"ode"`).
+    /// The wire name (`"ssa"` / `"ode"` / `"hybrid"`).
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             Method::Ssa => "ssa",
             Method::Ode => "ode",
+            Method::Hybrid => "hybrid",
         }
     }
 
@@ -79,11 +83,12 @@ impl Method {
     ///
     /// # Errors
     ///
-    /// [`ProtocolError`] for anything but `"ssa"` or `"ode"`.
+    /// [`ProtocolError`] for anything but `"ssa"`, `"ode"` or `"hybrid"`.
     pub fn parse(s: &str) -> Result<Self, ProtocolError> {
         match s {
             "ssa" => Ok(Method::Ssa),
             "ode" => Ok(Method::Ode),
+            "hybrid" => Ok(Method::Hybrid),
             other => Err(ProtocolError::new(format!("unknown method `{other}`"))),
         }
     }
@@ -651,6 +656,13 @@ mod tests {
         let err = Request::parse(missing_cells).unwrap_err();
         assert!(err.message().contains("cells"), "{err}");
         assert!(Method::parse("tau").is_err());
+    }
+
+    #[test]
+    fn every_method_round_trips_through_its_wire_name() {
+        for method in [Method::Ssa, Method::Ode, Method::Hybrid] {
+            assert_eq!(Method::parse(method.as_str()).unwrap(), method);
+        }
     }
 
     #[test]

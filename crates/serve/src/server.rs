@@ -9,8 +9,8 @@
 use crate::protocol::{CellRow, CellSpec, Method, Request, SubmitRequest};
 use molseq_crn::{Crn, RateAssignment};
 use molseq_kinetics::{
-    run_ode_batch, BatchLane, BatchedOdeWorkspace, CompiledCache, CompiledCrn, OdeOptions,
-    Schedule, SimError, SimMetrics, SimSpec, Simulation, SsaOptions, State,
+    run_ode_batch, BatchLane, BatchedOdeWorkspace, CompiledCache, CompiledCrn, HybridOptions,
+    OdeOptions, Schedule, SimError, SimMetrics, SimSpec, Simulation, SsaOptions, State,
 };
 use molseq_sweep::{
     run_cell, run_group, CancelToken, CellOutcome, CellResult, GroupJob, JobBudget, JobCtx,
@@ -21,7 +21,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -58,6 +58,7 @@ pub struct ServerConfig {
     cache_capacity: Option<usize>,
     default_policy: TenantPolicy,
     tenant_policies: Vec<(String, TenantPolicy)>,
+    fault_label: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +72,7 @@ impl Default for ServerConfig {
             cache_capacity: None,
             default_policy: TenantPolicy::default(),
             tenant_policies: Vec::new(),
+            fault_label: None,
         }
     }
 }
@@ -120,6 +122,18 @@ impl ServerConfig {
     #[must_use]
     pub fn with_tenant_policy(mut self, tenant: impl Into<String>, policy: TenantPolicy) -> Self {
         self.tenant_policies.push((tenant.into(), policy));
+        self
+    }
+
+    /// Deliberate fault injection for acceptance tests (builder style):
+    /// a worker that finishes a work unit containing a cell with this
+    /// exact label panics **while holding the job's progress lock** — the
+    /// worst-case poisoning failure a real panic could produce. The
+    /// server must keep serving every other tenant and surface the
+    /// wounded job as `Failed` rather than wedging its fetchers.
+    #[must_use]
+    pub fn with_fault_injection(mut self, label: impl Into<String>) -> Self {
+        self.fault_label = Some(label.into());
         self
     }
 
@@ -380,10 +394,63 @@ fn dispatch(shared: &Shared, request: &Request) -> (JsonValue, bool) {
     }
 }
 
+/// Locks one of the server's plain shared tables, recovering the guard
+/// when a panicking thread poisoned the mutex. Every structure guarded
+/// this way (work queue, job table, slot and rejection maps) is valid
+/// after any single interrupted update, so the data is taken as-is
+/// instead of relaying the panic into whatever connection looks next.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Settles a job a panicking worker abandoned: every row the panic lost
+/// becomes `Failed`, the job finishes so fetchers stop waiting, and the
+/// tenant's admission slot is handed back. Idempotent — a second
+/// recovery (or a racing late worker) sees the job finished.
+fn fail_lost_rows(shared: &Shared, entry: &JobEntry, progress: &mut JobProgress) {
+    if progress.finished {
+        return;
+    }
+    for (index, row) in progress.rows.iter_mut().enumerate() {
+        if row.is_none() {
+            *row = Some(CellRow {
+                index,
+                label: entry.plan.cells[index].label.clone(),
+                status: JobStatus::Failed,
+                detail: "a worker panicked while this job was in flight; the row was lost"
+                    .to_owned(),
+                metrics: Vec::new(),
+                final_state: Vec::new(),
+            });
+            shared.counters.cells_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    progress.completed = progress.rows.len();
+    progress.finished = true;
+    release_slot(shared, &entry.tenant);
+}
+
+/// Locks a job's progress, recovering from a poisoned mutex. A poisoned
+/// guard means a thread panicked mid-update and the job can never
+/// complete normally, so it is settled as `Failed` via
+/// [`fail_lost_rows`] rather than wedging every fetcher and panicking
+/// every status call after it.
+fn lock_progress<'a>(shared: &Shared, entry: &'a JobEntry) -> MutexGuard<'a, JobProgress> {
+    match entry.progress.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut progress = poisoned.into_inner();
+            entry.progress.clear_poison();
+            fail_lost_rows(shared, entry, &mut progress);
+            progress
+        }
+    }
+}
+
 /// Reserves an in-flight slot for `tenant`, or reports the rejection.
 fn admit(shared: &Shared, tenant: &str) -> Result<(), String> {
     let policy = shared.config.policy_for(tenant);
-    let mut inflight = shared.inflight.lock().expect("inflight map poisoned");
+    let mut inflight = lock_recover(&shared.inflight);
     let slot = inflight.entry(tenant.to_owned()).or_insert(0);
     if *slot >= policy.max_inflight {
         drop(inflight);
@@ -391,10 +458,7 @@ fn admit(shared: &Shared, tenant: &str) -> Result<(), String> {
             .counters
             .tenant_rejections
             .fetch_add(1, Ordering::Relaxed);
-        *shared
-            .rejections
-            .lock()
-            .expect("rejection map poisoned")
+        *lock_recover(&shared.rejections)
             .entry(tenant.to_owned())
             .or_insert(0) += 1;
         return Err(format!(
@@ -407,7 +471,7 @@ fn admit(shared: &Shared, tenant: &str) -> Result<(), String> {
 }
 
 fn release_slot(shared: &Shared, tenant: &str) {
-    let mut inflight = shared.inflight.lock().expect("inflight map poisoned");
+    let mut inflight = lock_recover(&shared.inflight);
     if let Some(slot) = inflight.get_mut(tenant) {
         *slot = slot.saturating_sub(1);
     }
@@ -456,13 +520,9 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<JsonValue, Stri
         }),
         progressed: Condvar::new(),
     });
-    shared
-        .jobs
-        .lock()
-        .expect("job table poisoned")
-        .insert(id.clone(), Arc::clone(&entry));
+    lock_recover(&shared.jobs).insert(id.clone(), Arc::clone(&entry));
     {
-        let mut queue = shared.queue.lock().expect("work queue poisoned");
+        let mut queue = lock_recover(&shared.queue);
         let batch = entry.plan.batch.max(1);
         let mut base = 0;
         while base < cells {
@@ -562,7 +622,7 @@ fn handle_status(shared: &Shared, job_id: &str) -> JsonValue {
     let Some(entry) = lookup(shared, job_id) else {
         return error_response(&format!("unknown job `{job_id}`"));
     };
-    let progress = entry.progress.lock().expect("job progress poisoned");
+    let progress = lock_progress(shared, &entry);
     let state = if progress.finished {
         if progress.cancel_requested {
             "cancelled"
@@ -588,7 +648,7 @@ fn handle_fetch(shared: &Shared, job_id: &str, from: usize, wait: bool) -> JsonV
     let Some(entry) = lookup(shared, job_id) else {
         return error_response(&format!("unknown job `{job_id}`"));
     };
-    let mut progress = entry.progress.lock().expect("job progress poisoned");
+    let mut progress = lock_progress(shared, &entry);
     loop {
         // rows stream in completion order, but fetch only exposes the
         // contiguous completed prefix: what a client accumulates is in
@@ -605,10 +665,18 @@ fn handle_fetch(shared: &Shared, job_id: &str, from: usize, wait: bool) -> JsonV
                 ("done", JsonValue::Bool(progress.finished)),
             ]);
         }
-        let (next, timeout) = entry
-            .progressed
-            .wait_timeout(progress, FETCH_WAIT_CAP)
-            .expect("job progress poisoned");
+        let (next, timeout) = match entry.progressed.wait_timeout(progress, FETCH_WAIT_CAP) {
+            Ok(pair) => pair,
+            Err(poisoned) => {
+                // a worker panicked while we were parked on the condvar:
+                // settle the job so this fetch (and every later one)
+                // returns instead of waiting for rows that cannot come
+                let (mut recovered, timeout) = poisoned.into_inner();
+                entry.progress.clear_poison();
+                fail_lost_rows(shared, &entry, &mut recovered);
+                (recovered, timeout)
+            }
+        };
         progress = next;
         if timeout.timed_out() {
             let ready = progress.rows.iter().take_while(|row| row.is_some()).count();
@@ -630,7 +698,7 @@ fn handle_cancel(shared: &Shared, job_id: &str) -> JsonValue {
         return error_response(&format!("unknown job `{job_id}`"));
     };
     entry.cancel.cancel();
-    let mut progress = entry.progress.lock().expect("job progress poisoned");
+    let mut progress = lock_progress(shared, &entry);
     if !progress.cancel_requested {
         progress.cancel_requested = true;
         shared
@@ -658,12 +726,7 @@ fn handle_stats(shared: &Shared) -> JsonValue {
 }
 
 fn lookup(shared: &Shared, job_id: &str) -> Option<Arc<JobEntry>> {
-    shared
-        .jobs
-        .lock()
-        .expect("job table poisoned")
-        .get(job_id)
-        .cloned()
+    lock_recover(&shared.jobs).get(job_id).cloned()
 }
 
 /// The sorted counter snapshot behind the wire `stats` op and
@@ -691,10 +754,7 @@ fn snapshot_counters(shared: &Shared) -> Vec<(String, f64)> {
         ("jobs_submitted".to_owned(), load(&c.jobs_submitted)),
         (
             "queued_cells".to_owned(),
-            shared
-                .queue
-                .lock()
-                .expect("work queue poisoned")
+            lock_recover(&shared.queue)
                 .iter()
                 .map(|(_, _, width)| *width as f64)
                 .sum(),
@@ -702,12 +762,7 @@ fn snapshot_counters(shared: &Shared) -> Vec<(String, f64)> {
         ("running_cells".to_owned(), load(&c.running_cells)),
         ("tenant_rejections".to_owned(), load(&c.tenant_rejections)),
     ];
-    for (tenant, count) in shared
-        .rejections
-        .lock()
-        .expect("rejection map poisoned")
-        .iter()
-    {
+    for (tenant, count) in lock_recover(&shared.rejections).iter() {
         counters.push((format!("rejections.{tenant}"), *count as f64));
     }
     counters.sort_by(|a, b| a.0.cmp(&b.0));
@@ -717,7 +772,7 @@ fn snapshot_counters(shared: &Shared) -> Vec<(String, f64)> {
 fn worker_loop(shared: &Shared) {
     loop {
         let item = {
-            let mut queue = shared.queue.lock().expect("work queue poisoned");
+            let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(item) = queue.pop_front() {
                     break Some(item);
@@ -725,7 +780,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
-                queue = shared.queue_ready.wait(queue).expect("work queue poisoned");
+                queue = shared
+                    .queue_ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some((entry, base, width)) = item else {
@@ -744,6 +802,15 @@ fn worker_loop(shared: &Shared) {
             .counters
             .running_cells
             .fetch_sub(width as u64, Ordering::Relaxed);
+        if let Some(fault) = &shared.config.fault_label {
+            if rows.iter().any(|row| row.label == *fault) {
+                // test-only fault injection (see
+                // `ServerConfig::with_fault_injection`): die while holding
+                // the progress lock, poisoning it for everyone after us
+                let _guard = lock_progress(shared, &entry);
+                panic!("fault injection: work unit contains cell `{fault}`");
+            }
+        }
         for row in &rows {
             match row.status {
                 JobStatus::Ok => &shared.counters.cells_ok,
@@ -754,23 +821,27 @@ fn worker_loop(shared: &Shared) {
             }
             .fetch_add(1, Ordering::Relaxed);
         }
-        let mut progress = entry.progress.lock().expect("job progress poisoned");
-        for (k, row) in rows.into_iter().enumerate() {
-            progress.rows[base + k] = Some(row);
-        }
-        progress.completed += width;
-        let finished = progress.completed == progress.rows.len();
-        let cancel_requested = progress.cancel_requested;
-        progress.finished = finished;
-        if finished {
-            // settle the slot and counters before waking fetchers, so a
-            // stats call issued right after a fetch returns sees them
-            release_slot(shared, &entry.tenant);
-            if !cancel_requested {
-                shared
-                    .counters
-                    .jobs_completed
-                    .fetch_add(1, Ordering::Relaxed);
+        let mut progress = lock_progress(shared, &entry);
+        // a poison recovery may already have settled this job as Failed;
+        // late rows from a surviving worker must not resurrect it
+        if !progress.finished {
+            for (k, row) in rows.into_iter().enumerate() {
+                progress.rows[base + k] = Some(row);
+            }
+            progress.completed += width;
+            let finished = progress.completed == progress.rows.len();
+            let cancel_requested = progress.cancel_requested;
+            progress.finished = finished;
+            if finished {
+                // settle the slot and counters before waking fetchers, so a
+                // stats call issued right after a fetch returns sees them
+                release_slot(shared, &entry.tenant);
+                if !cancel_requested {
+                    shared
+                        .counters
+                        .jobs_completed
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         drop(progress);
@@ -899,6 +970,21 @@ fn simulate_cell(plan: &JobPlan, cell: &PlanCell, ctx: &JobCtx) -> Result<Vec<f6
                 .options(opts)
                 .run()
         }
+        Method::Hybrid => {
+            let mut opts = HybridOptions::default()
+                .with_t_end(plan.t_end)
+                .with_seed(ctx.seed())
+                .with_step_hook(&hook)
+                .with_metrics(&sink);
+            if let Some(dt) = plan.record_interval {
+                opts = opts.with_record_interval(dt);
+            }
+            Simulation::new(&plan.crn, &cell.compiled)
+                .init(&plan.init)
+                .schedule(&plan.schedule)
+                .options(opts)
+                .run()
+        }
     };
     record_metrics(ctx, sink.get());
     let trace = result.map_err(map_sim_error)?;
@@ -934,6 +1020,9 @@ fn record_metrics(ctx: &JobCtx, m: SimMetrics) {
     ctx.record_metric("tau_leaps_implicit", m.tau_leaps_implicit as f64);
     ctx.record_metric("newton_iterations", m.newton_iterations as f64);
     ctx.record_metric("leap_switchovers", m.leap_switchovers as f64);
+    ctx.record_metric("hybrid_slow_events", m.hybrid_slow_events as f64);
+    ctx.record_metric("hybrid_fast_steps", m.hybrid_fast_steps as f64);
+    ctx.record_metric("hybrid_repartitions", m.hybrid_repartitions as f64);
     ctx.record_metric("batch_width", m.batch_width as f64);
     ctx.record_metric("lanes_retired", m.lanes_retired as f64);
     ctx.record_metric("final_time", m.final_time);
@@ -969,5 +1058,90 @@ mod tests {
             ServerConfig::default().with_workers(3).resolved_workers(),
             3
         );
+    }
+
+    #[test]
+    fn poisoned_progress_is_recovered_and_the_job_settles_failed() {
+        let shared = Shared {
+            config: ServerConfig::default(),
+            cache: CompiledCache::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            rejections: Mutex::new(BTreeMap::new()),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            next_job: AtomicU64::new(0),
+        };
+        let req = SubmitRequest {
+            tenant: "acme".to_owned(),
+            network: "X -> Y @slow".to_owned(),
+            init: vec![("X".to_owned(), 5.0)],
+            method: Method::Ssa,
+            t_end: 1.0,
+            record_interval: None,
+            seed: 1,
+            injections: vec![],
+            batch: 1,
+            cells: vec![
+                CellSpec {
+                    label: "a".to_owned(),
+                    k_fast: None,
+                    k_slow: None,
+                },
+                CellSpec {
+                    label: "b".to_owned(),
+                    k_fast: None,
+                    k_slow: None,
+                },
+            ],
+        };
+        admit(&shared, "acme").expect("slot free");
+        let plan = build_plan(&shared, &req).expect("plan builds");
+        let entry = Arc::new(JobEntry {
+            id: "j-test".to_owned(),
+            tenant: "acme".to_owned(),
+            plan,
+            opts: SweepOptions::default(),
+            cancel: CancelToken::new(),
+            progress: Mutex::new(JobProgress {
+                rows: vec![None, None],
+                completed: 0,
+                finished: false,
+                cancel_requested: false,
+            }),
+            progressed: Condvar::new(),
+        });
+
+        // poison the progress mutex exactly as a panicking worker would
+        let poisoner = Arc::clone(&entry);
+        let outcome = thread::spawn(move || {
+            let _guard = poisoner.progress.lock().expect("first lock");
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(outcome.is_err());
+        assert!(entry.progress.is_poisoned());
+
+        {
+            let progress = lock_progress(&shared, &entry);
+            assert!(progress.finished);
+            assert_eq!(progress.completed, 2);
+            let row = progress.rows[1].as_ref().expect("row filled in");
+            assert_eq!(row.status, JobStatus::Failed);
+            assert!(row.detail.contains("panicked"), "{}", row.detail);
+            assert_eq!(row.label, "b");
+        }
+        // the tenant's slot came back, the poison flag is gone, and a
+        // second recovery is a no-op
+        assert_eq!(
+            *lock_recover(&shared.inflight).get("acme").expect("slot"),
+            0
+        );
+        assert!(!entry.progress.is_poisoned());
+        let again = lock_progress(&shared, &entry);
+        assert_eq!(again.completed, 2);
+        assert_eq!(shared.counters.cells_failed.load(Ordering::Relaxed), 2);
     }
 }

@@ -358,6 +358,115 @@ fn bounded_cache_evicts_and_recompiles_identically() {
 }
 
 #[test]
+fn a_panicking_job_leaves_the_server_serving_other_tenants() {
+    // Fault injection: the worker that finishes the marked cell panics
+    // while holding the job's progress lock — the worst-case poisoning
+    // failure a real panic could produce. The wounded job must settle as
+    // Failed and every other tenant must keep getting served.
+    let config = ServerConfig::default()
+        .with_workers(2)
+        .with_fault_injection("kaboom");
+    let server = Server::start(config).expect("server boots");
+    let mut victim = Client::connect(server.addr()).expect("client connects");
+    let mut bystander = Client::connect(server.addr()).expect("client connects");
+
+    let mut doomed = decay_submit("victim", 10.0, 1);
+    doomed.cells[0].label = "kaboom".to_owned();
+    let doomed_ack = victim.submit(&doomed).expect("submission is valid");
+
+    // poll with non-waiting fetches: the panic happens before the job
+    // ever signals progress, so recovery fires on first contact with the
+    // poisoned lock
+    let rows = loop {
+        let page = victim
+            .fetch(&doomed_ack.job_id, 0, false)
+            .expect("connection survives the panic");
+        if page.done {
+            break page.rows;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    assert_eq!(rows.len(), 2);
+    assert!(
+        rows.iter()
+            .any(|r| r.status == JobStatus::Failed && r.detail.contains("panicked")),
+        "rows: {rows:?}"
+    );
+    let status = victim
+        .status(&doomed_ack.job_id)
+        .expect("status round trip");
+    assert_eq!(status.state, "done");
+    assert_eq!(status.completed, 2);
+
+    // another tenant is served as if nothing happened
+    let calm = bystander
+        .submit(&decay_submit("calm", 20.0, 2))
+        .expect("other tenant admitted");
+    let calm_rows = bystander.fetch_all(&calm.job_id).expect("job completes");
+    assert!(calm_rows.iter().all(|r| r.status == JobStatus::Ok));
+
+    // and the victim tenant's slot was handed back: it can submit again
+    let retry = victim
+        .submit(&decay_submit("victim", 5.0, 1))
+        .expect("slot was released");
+    let retry_rows = victim.fetch_all(&retry.job_id).expect("job completes");
+    assert!(retry_rows.iter().all(|r| r.status == JobStatus::Ok));
+
+    victim.shutdown().expect("shutdown round trip");
+    server.join();
+}
+
+#[test]
+fn hybrid_submission_is_byte_identical_across_worker_counts() {
+    // the clocked-motif shape the hybrid engine targets: a fast
+    // zeroth-order/first-order pair holds R at its set point while the
+    // slow computation reaction fires discretely
+    let submit = SubmitRequest {
+        tenant: "acme".to_owned(),
+        network: "0 -> R @fast\nR + X -> X @slow\nX -> Y @slow".to_owned(),
+        init: vec![("X".to_owned(), 50.0)],
+        method: Method::Hybrid,
+        t_end: 2.0,
+        record_interval: Some(0.25),
+        seed: 13,
+        injections: vec![],
+        batch: 1,
+        cells: (0..4)
+            .map(|i| CellSpec {
+                label: format!("rep={i}"),
+                k_fast: None,
+                k_slow: None,
+            })
+            .collect(),
+    };
+    let serial = Server::start(ServerConfig::default().with_workers(1)).expect("server boots");
+    let threaded = Server::start(ServerConfig::default().with_workers(4)).expect("server boots");
+    let mut on_serial = Client::connect(serial.addr()).expect("client connects");
+    let mut on_threaded = Client::connect(threaded.addr()).expect("client connects");
+
+    let a = on_serial.submit(&submit).expect("submission is valid");
+    let rows_serial = on_serial.fetch_all(&a.job_id).expect("job completes");
+    assert!(rows_serial.iter().all(|r| r.status == JobStatus::Ok));
+    let b = on_threaded.submit(&submit).expect("submission is valid");
+    let rows_threaded = on_threaded.fetch_all(&b.job_id).expect("job completes");
+    assert_eq!(render(&rows_serial), render(&rows_threaded));
+
+    // the hybrid engine actually engaged: continuous steps were taken
+    let fast_steps = rows_serial[0]
+        .metrics
+        .iter()
+        .find(|(name, _)| name == "hybrid_fast_steps")
+        .map(|(_, v)| *v)
+        .expect("hybrid metric column present");
+    assert!(fast_steps > 0.0);
+
+    on_serial.shutdown().expect("shutdown round trip");
+    on_threaded.shutdown().expect("shutdown round trip");
+    serial.join();
+    threaded.join();
+}
+
+#[test]
 fn malformed_and_unknown_requests_fail_cleanly_without_killing_the_connection() {
     let server = Server::start(ServerConfig::default().with_workers(1)).expect("server boots");
     let mut client = Client::connect(server.addr()).expect("client connects");
