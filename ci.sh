@@ -51,6 +51,14 @@
 #                     across worker counts; stage 12 additionally
 #                     byte-compares the hybrid via-server sweep across
 #                     server worker counts
+#  15. batched stoch   repro e10 at --batch 4 must reproduce the scalar
+#                     stochastic sweep (report byte-identical,
+#                     batch-column-stripped summary CSVs byte-identical,
+#                     per the stage-13 recipe); over the wire, an omitted
+#                     batch width must auto-select from the cell count and
+#                     byte-match the explicitly pinned width, and a
+#                     tau-leap sweep at --batch 4 must reproduce its
+#                     --batch 1 rows
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -310,5 +318,73 @@ awk -v e="$E14_ERR" 'BEGIN { exit (e <= 0.35) ? 0 : 1 }' \
   || { echo "ci: hybrid/SSA clock observable off by ${E14_ERR} (want <= 0.35)" >&2; exit 1; }
 head -n 1 "$SWEEP_TMP"/e14_j1/e14.summary.csv | grep -q "hybrid_slow_events" \
   || { echo "ci: e14 summary CSV missing the hybrid metric columns" >&2; exit 1; }
+
+echo "== batched stochastic: lock-step SSA/tau lanes reproduce the scalar runs =="
+# local: the e10 replicate sweep under --batch 4 must reproduce the scalar
+# stage-7 run — report byte-identical, summary rows byte-identical once the
+# wall clock and batch-shape columns are stripped (same recipe as stage 13)
+target/release/repro e10 --quick --jobs 2 --batch 4 --summary "$SWEEP_TMP/e10_b4" > "$SWEEP_TMP/report_e10_b4.txt"
+diff <(grep -v "generated in" "$SWEEP_TMP/report_j1.txt") \
+     <(grep -v "generated in" "$SWEEP_TMP/report_e10_b4.txt") \
+  || { echo "ci: repro e10 report differs between scalar and --batch 4" >&2; exit 1; }
+strip_batch_columns() {
+  awk -F, 'NR==1 { for (i=1;i<=NF;i++) drop[i] = ($i=="wall_secs" || $i=="batch_width" || $i=="lanes_retired") }
+           { out=""; for (i=1;i<=NF;i++) if (!drop[i]) out = out (out=="" ? "" : ",") $i; print out }' "$1"
+}
+for csv in "$SWEEP_TMP/e10_b4"/*.summary.csv; do
+  base_csv="$SWEEP_TMP/j1/$(basename "$csv")"
+  cmp <(strip_batch_columns "$base_csv") <(strip_batch_columns "$csv") \
+    || { echo "ci: $csv deterministic columns differ from the scalar e10 run" >&2; exit 1; }
+done
+# over the wire: boot one server for the width probes
+BATCH_BOOT_LOG="$SWEEP_TMP/serve_batch.log"
+target/release/serve --workers 2 > "$BATCH_BOOT_LOG" &
+BATCH_SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on " "$BATCH_BOOT_LOG" && break
+  kill -0 "$BATCH_SERVE_PID" 2>/dev/null \
+    || { echo "ci: serve (batch probe) died before binding" >&2; exit 1; }
+  sleep 0.1
+done
+BATCH_ADDR="$(sed -n 's/^listening on //p' "$BATCH_BOOT_LOG")"
+[ -n "$BATCH_ADDR" ] || { echo "ci: serve (batch probe) did not announce its address" >&2
+                          kill "$BATCH_SERVE_PID" 2>/dev/null; exit 1; }
+# an omitted batch width auto-selects from the cell count (the 9-cell main
+# sweep lands on the cap, 8), so it must byte-match pinning --batch 8 —
+# batch_width columns included, no stripping
+target/release/repro --via-server "$BATCH_ADDR" --summary "$SWEEP_TMP/srv_auto" > /dev/null \
+  || { echo "ci: repro --via-server (auto width) failed" >&2
+       kill "$BATCH_SERVE_PID" 2>/dev/null; exit 1; }
+target/release/repro --via-server "$BATCH_ADDR" --batch 8 --summary "$SWEEP_TMP/srv_b8" > /dev/null \
+  || { echo "ci: repro --via-server --batch 8 failed" >&2
+       kill "$BATCH_SERVE_PID" 2>/dev/null; exit 1; }
+for artifact in via-server.summary.json via-server.summary.csv; do
+  cmp "$SWEEP_TMP/srv_auto/$artifact" "$SWEEP_TMP/srv_b8/$artifact" \
+    || { echo "ci: $artifact differs between auto-selected and explicit batch widths" >&2; exit 1; }
+done
+# tau-leaping over the wire: --batch 4 must reproduce the --batch 1 rows
+# (widths differ, so the batch-shape columns are stripped before comparing)
+target/release/repro --via-server "$BATCH_ADDR" --method tau --batch 1 --summary "$SWEEP_TMP/srv_tau1" > /dev/null \
+  || { echo "ci: repro --via-server --method tau --batch 1 failed" >&2
+       kill "$BATCH_SERVE_PID" 2>/dev/null; exit 1; }
+target/release/repro --via-server "$BATCH_ADDR" --method tau --batch 4 --summary "$SWEEP_TMP/srv_tau4" > /dev/null \
+  || { echo "ci: repro --via-server --method tau --batch 4 failed" >&2
+       kill "$BATCH_SERVE_PID" 2>/dev/null; exit 1; }
+cmp <(strip_batch_columns "$SWEEP_TMP/srv_tau1/via-server.summary.csv") \
+    <(strip_batch_columns "$SWEEP_TMP/srv_tau4/via-server.summary.csv") \
+  || { echo "ci: tau via-server rows differ between --batch 1 and --batch 4" >&2; exit 1; }
+exec 3<>"/dev/tcp/${BATCH_ADDR%:*}/${BATCH_ADDR##*:}"
+printf '{"op":"shutdown"}\n' >&3
+head -n 1 <&3 > /dev/null
+exec 3<&- 3>&-
+wait "$BATCH_SERVE_PID" \
+  || { echo "ci: serve (batch probe) exited nonzero after shutdown" >&2; exit 1; }
+# an unusable horizon is a usage error before anything touches the wire
+set +e
+target/release/repro --via-server "$BATCH_ADDR" --t-end -1 > /dev/null 2>&1
+TEND_STATUS=$?
+set -e
+[ "$TEND_STATUS" -eq 2 ] \
+  || { echo "ci: repro --t-end -1 not rejected (exited $TEND_STATUS, want 2)" >&2; exit 1; }
 
 echo "ci: all stages passed"

@@ -11,17 +11,23 @@
 //!   workspace; dominated by Jacobian/LU cost per step);
 //! * `sweep_grid_32` — a 32-cell rate-ratio grid of the 2-tap
 //!   moving-average filter on the sweep engine (the E6/PR-1 shape: many
-//!   medium cells, compile-once/rebind-per-cell).
+//!   medium cells, compile-once/rebind-per-cell);
+//! * `ssa_replicates_8` — an 8-replicate Gillespie run of the same
+//!   filter (the E10 shape: one compiled network, many seeds), scalar
+//!   vs the lock-step batched SSA engine.
 //!
 //! Run with `cargo bench -p molseq-bench --bench kinetics`. Record the
 //! printed per-iteration means in `BENCH_kinetics.json` when the kernel
 //! changes, so the perf trajectory stays visible across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use molseq_bench::{filter_grid_units, FilterGridCell};
+use molseq_bench::{filter_grid_units, ssa_replicate_units, FilterGridCell};
 use molseq_crn::RateAssignment;
 use molseq_dsp::moving_average;
-use molseq_kinetics::{CompiledCrn, OdeOptions, SimSpec, Simulation};
+use molseq_kinetics::{
+    CompiledCrn, MetricsSink, OdeOptions, Replicator, Schedule, SimSpec, Simulation, SsaOptions,
+    StepHook,
+};
 use molseq_sweep::{run_sweep, run_units, JobError, SweepJob, SweepOptions};
 use molseq_sync::{
     drive_cycles, BinaryCounter, Clock, ClockSpec, CycleResources, RunConfig, SchemeConfig,
@@ -134,5 +140,72 @@ fn bench_sweep_grid(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_clock, bench_counter, bench_sweep_grid);
+/// Per-replicate SSA options for the stochastic arms: a mid-length
+/// horizon on the 2-tap filter keeps one iteration in the seconds range
+/// while still being event-dominated.
+fn replicate_opts<'h>(seed: u64, hook: StepHook<'h>, sink: MetricsSink<'h>) -> SsaOptions<'h> {
+    SsaOptions::default()
+        .with_t_end(120.0)
+        .with_record_interval(1.0)
+        .with_seed(seed)
+        .with_step_hook(hook)
+        .with_metrics(sink)
+}
+
+fn bench_ssa_replicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kinetics");
+    group.sample_size(10);
+    let filter = moving_average(2, ClockSpec::default()).expect("filter builds");
+    let crn = filter.system().crn();
+    let compiled = CompiledCrn::new(crn, &SimSpec::default());
+    let init = filter.system().initial_state();
+    let samples: Vec<f64> = [1.0f64, 3.0, 2.0, 5.0, 4.0, 1.0]
+        .iter()
+        .map(|&k| (k / 5.0 * 10.0).round())
+        .collect();
+    let trigger = filter
+        .system()
+        .input_trigger("x", &samples)
+        .expect("trigger builds");
+    let schedule = Schedule::new().trigger(trigger);
+    let rep = Replicator::new(&compiled, 101);
+    // scalar vs lock-step lanes over identical seeds: the reports are
+    // bit-identical, so the wall-clock ratio is the whole story
+    for (name, width) in [
+        ("ssa_replicates_8", 1usize),
+        ("ssa_replicates_8_batched", 8),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let units = ssa_replicate_units(
+                    crn,
+                    rep,
+                    &init,
+                    &schedule,
+                    replicate_opts,
+                    "rep",
+                    8,
+                    width,
+                    |_job, result| {
+                        result
+                            .map_err(JobError::failed)
+                            .map(|t| t.final_state().iter().sum::<f64>())
+                    },
+                );
+                let out = run_units(&units, &SweepOptions::default().with_batch_width(width));
+                assert_eq!(out.summary.succeeded, 8);
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_clock,
+    bench_counter,
+    bench_sweep_grid,
+    bench_ssa_replicates
+);
 criterion_main!(benches);

@@ -36,7 +36,7 @@ fn submit(network: String) -> SubmitRequest {
         record_interval: None,
         seed: 17,
         injections: vec![],
-        batch: 1,
+        batch: Some(1),
         cells: (0..REPS)
             .map(|i| CellSpec {
                 label: format!("rep={i}"),

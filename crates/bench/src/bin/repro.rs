@@ -13,11 +13,14 @@
 //! default) sizes the pool from the machine. Reports are byte-identical
 //! at every worker count.
 //!
-//! `--batch WIDTH` runs the ODE sweep experiments through the lock-step
-//! batched kinetics engine, WIDTH cells per group (power of 2; `1`, the
-//! default, is the plain scalar path). Simulation results are
-//! bit-identical at every width, so reports don't change — only wall
-//! time and the `batch_width`/`lanes_retired` metric columns do.
+//! `--batch WIDTH` runs the ODE and SSA sweep experiments through the
+//! lock-step batched kinetics engines, WIDTH cells per group (power of
+//! 2; `1`, the default, is the plain scalar path). Simulation results
+//! are bit-identical at every width — stochastic lanes keep their own
+//! RNG streams — so reports don't change; only wall time and the
+//! `batch_width`/`lanes_retired` metric columns do. With `--via-server`
+//! the width goes on the wire instead; leaving the flag off lets the
+//! server auto-select a width from the submitted cell count.
 //!
 //! `--summary DIR` writes each sweep's engine summary (status, timing and
 //! step meter per cell) to `DIR/<id>.summary.json` and `.csv`.
@@ -38,12 +41,15 @@
 //! instance over the wire, twice, verifying byte-identical results and
 //! compiled-CRN cache hits, plus a cancellation probe — and, with
 //! `--server-budget-tenant NAME`, a deterministic budget-cut probe
-//! against a tenant the server step-budgets. `--method ssa|ode|hybrid`
-//! picks the simulator the main sweep runs under (default `ssa`;
-//! `--method hybrid` drives the hybrid ODE/SSA engine over the wire on a
-//! motif with a fast reverse pair). `--summary DIR` persists the sweep
-//! rows and the server counters through the standard summary pipeline
-//! (`via-server.summary.*`, `server-stats.summary.*`).
+//! against a tenant the server step-budgets. `--method
+//! ssa|ode|tau|hybrid` picks the simulator the main sweep runs under
+//! (default `ssa`; `--method hybrid` drives the hybrid ODE/SSA engine
+//! over the wire on a motif with a fast reverse pair). `--t-end SECS`
+//! overrides the main sweep's horizon — validated here exactly as the
+//! server validates the wire field, so a NaN/infinite/non-positive
+//! horizon exits `2` before anything is submitted. `--summary DIR`
+//! persists the sweep rows and the server counters through the standard
+//! summary pipeline (`via-server.summary.*`, `server-stats.summary.*`).
 
 use molseq_bench::{all_experiments, ExpCtx};
 use molseq_sweep::{compare_dirs, JobBudget, TrendOptions};
@@ -54,8 +60,8 @@ fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro [--quick] [--jobs N] [--batch WIDTH] [--summary DIR] \
          [--cell-steps N] [--cell-wall SECS] [--trend-against DIR] \
-         [--via-server HOST:PORT] [--method ssa|ode|hybrid] \
-         [--server-budget-tenant NAME] [experiment ids...]"
+         [--via-server HOST:PORT] [--method ssa|ode|tau|hybrid] \
+         [--t-end SECS] [--server-budget-tenant NAME] [experiment ids...]"
     );
     std::process::exit(2);
 }
@@ -64,7 +70,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut jobs: usize = 0;
-    let mut batch: usize = 1;
+    // None = flag absent: scalar locally, server-chosen width over the wire
+    let mut batch: Option<usize> = None;
+    let mut t_end: Option<f64> = None;
     let mut summary_dir: Option<String> = None;
     let mut trend_against: Option<String> = None;
     let mut via_server: Option<String> = None;
@@ -94,7 +102,21 @@ fn main() {
                     eprintln!("--batch expects a power-of-2 lane count (1 = scalar)");
                     std::process::exit(2);
                 };
-                batch = n;
+                batch = Some(n);
+            }
+            "--t-end" => {
+                // mirror the server's submit-time validation: a NaN,
+                // infinite, or non-positive horizon must die here, before
+                // any worker runs (same treatment `--cell-wall` gets)
+                let Some(secs) = iter
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|&s| s.is_finite() && s > 0.0)
+                else {
+                    eprintln!("--t-end expects a finite positive horizon in seconds");
+                    std::process::exit(2);
+                };
+                t_end = Some(secs);
             }
             "--summary" => {
                 let Some(dir) = iter.next() else {
@@ -137,7 +159,7 @@ fn main() {
                     .next()
                     .and_then(|v| molseq_serve::Method::parse(v).ok())
                 else {
-                    eprintln!("--method expects one of: ssa, ode, hybrid");
+                    eprintln!("--method expects one of: ssa, ode, tau, hybrid");
                     std::process::exit(2);
                 };
                 method = Some(m);
@@ -175,6 +197,10 @@ fn main() {
         eprintln!("--method only makes sense with --via-server (local experiments pick their own integrators)");
         std::process::exit(2);
     }
+    if t_end.is_some() && via_server.is_none() {
+        eprintln!("--t-end only makes sense with --via-server (local experiments pick their own horizons)");
+        std::process::exit(2);
+    }
     if let Some(addr) = via_server {
         if !selected.is_empty() {
             eprintln!("--via-server runs the server smoke suite, not local experiments");
@@ -183,6 +209,8 @@ fn main() {
         match molseq_bench::run_via_server(
             &addr,
             method.unwrap_or(molseq_serve::Method::Ssa),
+            batch,
+            t_end,
             budget_tenant.as_deref(),
             summary_dir.as_deref().map(Path::new),
         ) {
@@ -202,7 +230,7 @@ fn main() {
         ExpCtx::full()
     }
     .with_jobs(jobs)
-    .with_batch(batch)
+    .with_batch(batch.unwrap_or(1))
     .with_budget(budget);
     if let Some(dir) = &summary_dir {
         ctx = ctx.with_summary_dir(dir.clone());

@@ -17,53 +17,32 @@
 //! arithmetic precision improves inversely with amplitude.
 //!
 //! Replicates are sweep cells, stamped out by a
-//! [`Replicator`](molseq_kinetics::Replicator): each network is compiled
-//! once, shared across its seeds, and the seeds run in parallel on the
-//! [`molseq_sweep`] engine. Replicate seeds derive from the base seed and
+//! [`Replicator`](molseq_kinetics::Replicator) through
+//! [`ssa_replicate_units`](crate::ssa_replicate_units): each network is
+//! compiled once, shared across its seeds, and — when the context sets a
+//! batch width — consecutive replicates advance in lock step through one
+//! `run_ssa_batch` call. Replicate seeds derive from the base seed and
 //! replicate number only, so the report is byte-identical at any worker
-//! count and stable when the grid grows.
+//! count and any batch width, and stable when the grid grows.
 
-use crate::{ExpCtx, Report};
+use crate::{ssa_replicate_units, ExpCtx, Report};
 use molseq_crn::RateAssignment;
 use molseq_dsp::{moving_average, rmse, Filter};
 use molseq_kinetics::{
-    CompiledCrn, Replicator, Schedule, SimError, SimMetrics, SimSpec, Simulation, SsaOptions,
+    CompiledCrn, MetricsSink, Replicator, Schedule, SimError, SimSpec, SsaOptions, State, StepHook,
+    Trace,
 };
-use molseq_sweep::{run_sweep, JobCtx, JobError, SweepJob};
+use molseq_sweep::{run_units, JobError, SweepUnit};
 use molseq_sync::{BinaryCounter, ClockSpec, SyncRun};
-use std::cell::Cell;
 
-/// One stochastic counter run: three pulses at amplitude `n`; returns the
-/// decoded final count (`None` for a domain failure — a stalled or
-/// mis-decoding run), or `Err` if the job budget interrupted it.
-fn count_three(
+/// Decodes one stochastic counter trace: three pulses at amplitude `n`;
+/// returns the decoded final count (`None` for a domain failure — a
+/// stalled or mis-decoding run), or `Err` if the job budget interrupted
+/// the simulation.
+fn decode_counter(
     counter: &BinaryCounter,
-    compiled: &CompiledCrn,
-    seed: u64,
-    job: &JobCtx,
+    result: Result<Trace, SimError>,
 ) -> Result<Option<u32>, JobError> {
-    let system = counter.system();
-    let pulses = counter.pulse_train(&[true, true, true, false, false, false]);
-    let Ok(trigger) = system.input_trigger("pulse", &pulses) else {
-        return Ok(None);
-    };
-    let schedule = Schedule::new().trigger(trigger);
-    // dimer ignition is slower at integer counts (a feedback intermediate
-    // must exist as a whole molecule), so cycles stretch vs the ODE run
-    let hook = job.step_hook();
-    let sink = Cell::new(SimMetrics::default());
-    let opts = SsaOptions::default()
-        .with_t_end(220.0)
-        .with_record_interval(1.0)
-        .with_seed(seed)
-        .with_step_hook(&hook)
-        .with_metrics(&sink);
-    let result = Simulation::new(system.crn(), compiled)
-        .init(&system.initial_state())
-        .schedule(&schedule)
-        .options(opts)
-        .run();
-    crate::record_sim_metrics(job, sink.get());
     let trace = match result {
         Ok(t) => t,
         Err(SimError::Interrupted { time, reason }) => {
@@ -73,47 +52,23 @@ fn count_three(
         }
         Err(_) => return Ok(None),
     };
-    let run = SyncRun::from_trace(system, trace);
+    let run = SyncRun::from_trace(counter.system(), trace);
     let Some(last) = run.cycles().checked_sub(1) else {
         return Ok(None);
     };
     Ok(counter.decode(&run, last).ok())
 }
 
-/// One stochastic filter run at integer amplitude `n`: returns the RMS
-/// error against the ideal response, in *relative* units of `n` (`None`
-/// for a stalled run), or `Err` if the job budget interrupted it.
-fn filter_noise(
+/// Scores one stochastic filter trace at integer amplitude `n`: returns
+/// the RMS error against the ideal response, in *relative* units of `n`
+/// (`None` for a stalled run), or `Err` if the job budget interrupted the
+/// simulation.
+fn filter_rms(
     filter: &Filter,
-    compiled: &CompiledCrn,
+    samples: &[f64],
     n: f64,
-    seed: u64,
-    job: &JobCtx,
+    result: Result<Trace, SimError>,
 ) -> Result<Option<f64>, JobError> {
-    let system = filter.system();
-    // odd/even mix so parity losses actually occur
-    let samples: Vec<f64> = [1.0, 3.0, 2.0, 5.0, 4.0, 1.0]
-        .iter()
-        .map(|&k| (k / 5.0 * n).round())
-        .collect();
-    let Ok(trigger) = system.input_trigger("x", &samples) else {
-        return Ok(None);
-    };
-    let schedule = Schedule::new().trigger(trigger);
-    let hook = job.step_hook();
-    let sink = Cell::new(SimMetrics::default());
-    let opts = SsaOptions::default()
-        .with_t_end(400.0)
-        .with_record_interval(1.0)
-        .with_seed(seed)
-        .with_step_hook(&hook)
-        .with_metrics(&sink);
-    let result = Simulation::new(system.crn(), compiled)
-        .init(&system.initial_state())
-        .schedule(&schedule)
-        .options(opts)
-        .run();
-    crate::record_sim_metrics(job, sink.get());
     let trace = match result {
         Ok(t) => t,
         Err(SimError::Interrupted { time, reason }) => {
@@ -123,7 +78,7 @@ fn filter_noise(
         }
         Err(_) => return Ok(None),
     };
-    let run = SyncRun::from_trace(system, trace);
+    let run = SyncRun::from_trace(filter.system(), trace);
     if run.cycles() < samples.len() {
         return Ok(None);
     }
@@ -131,8 +86,31 @@ fn filter_noise(
         return Ok(None);
     };
     let measured: Vec<f64> = series[..samples.len()].to_vec();
-    let ideal = filter.ideal_response(&samples);
+    let ideal = filter.ideal_response(samples);
     Ok(Some(rmse(&measured, &ideal) / n))
+}
+
+/// Per-replicate SSA options for the counter panel. Dimer ignition is
+/// slower at integer counts (a feedback intermediate must exist as a
+/// whole molecule), so cycles stretch vs the ODE run — hence the long
+/// horizon.
+fn counter_opts<'h>(seed: u64, hook: StepHook<'h>, sink: MetricsSink<'h>) -> SsaOptions<'h> {
+    SsaOptions::default()
+        .with_t_end(220.0)
+        .with_record_interval(1.0)
+        .with_seed(seed)
+        .with_step_hook(hook)
+        .with_metrics(sink)
+}
+
+/// Per-replicate SSA options for the filter panel.
+fn filter_opts<'h>(seed: u64, hook: StepHook<'h>, sink: MetricsSink<'h>) -> SsaOptions<'h> {
+    SsaOptions::default()
+        .with_t_end(400.0)
+        .with_record_interval(1.0)
+        .with_seed(seed)
+        .with_step_hook(hook)
+        .with_metrics(sink)
 }
 
 /// Runs the experiment.
@@ -147,8 +125,10 @@ pub fn run(ctx: &ExpCtx) -> Report {
         vec![4.0, 8.0, 32.0]
     };
     let runs: u64 = if quick { 2 } else { 6 };
-    // one build + compile per amplitude, shared by all of its replicates
-    let counters: Vec<(f64, BinaryCounter, CompiledCrn)> = amplitudes
+    // one build + compile per amplitude, shared by all of its replicates;
+    // the pulse schedule and initial state are fixed per amplitude, so
+    // they too are built once and shared across the replicate lanes
+    let counters: Vec<(f64, BinaryCounter, CompiledCrn, State, Option<Schedule>)> = amplitudes
         .iter()
         .map(|&n| {
             let counter = BinaryCounter::build(2, n, ClockSpec::default()).expect("counter builds");
@@ -156,20 +136,43 @@ pub fn run(ctx: &ExpCtx) -> Report {
                 counter.system().crn(),
                 &SimSpec::new(RateAssignment::default()),
             );
-            (n, counter, compiled)
+            let init = counter.system().initial_state();
+            let pulses = counter.pulse_train(&[true, true, true, false, false, false]);
+            let schedule = counter
+                .system()
+                .input_trigger("pulse", &pulses)
+                .ok()
+                .map(|trigger| Schedule::new().trigger(trigger));
+            (n, counter, compiled, init, schedule)
         })
         .collect();
-    let counter_jobs: Vec<SweepJob<'_, Option<u32>>> = counters
+    let counter_units: Vec<SweepUnit<'_, Option<u32>>> = counters
         .iter()
-        .flat_map(|(n, counter, compiled)| {
-            Replicator::new(compiled, 11).jobs(
-                format!("counter n={n}"),
-                runs as usize,
-                move |compiled, seed, job| count_three(counter, compiled, seed, job),
-            )
+        .flat_map(|(n, counter, compiled, init, schedule)| {
+            let rep = Replicator::new(compiled, 11);
+            let label = format!("counter n={n}");
+            match schedule {
+                Some(schedule) => ssa_replicate_units(
+                    counter.system().crn(),
+                    rep,
+                    init,
+                    schedule,
+                    counter_opts,
+                    &label,
+                    runs as usize,
+                    ctx.batch,
+                    move |_job, result| decode_counter(counter, result),
+                ),
+                // an un-triggerable system stalls by definition
+                None => rep
+                    .jobs(label, runs as usize, |_c, _seed, _job| Ok(None))
+                    .into_iter()
+                    .map(SweepUnit::Single)
+                    .collect(),
+            }
         })
         .collect();
-    let counter_out = run_sweep(&counter_jobs, &ctx.sweep_options());
+    let counter_out = run_units(&counter_units, &ctx.sweep_options());
     ctx.persist_summary("e10-counter", &counter_out.summary);
 
     report.line(format!(
@@ -198,19 +201,52 @@ pub fn run(ctx: &ExpCtx) -> Report {
         filter.system().crn(),
         &SimSpec::new(RateAssignment::default()),
     );
+    let filter_init = filter.system().initial_state();
     let filter_rep = Replicator::new(&filter_compiled, 101);
-    let filter_jobs: Vec<SweepJob<'_, Option<f64>>> = filter_amplitudes
+    // per-amplitude input stream (odd/even mix so parity losses actually
+    // occur) and its injection schedule
+    let filter_panels: Vec<(f64, Vec<f64>, Option<Schedule>)> = filter_amplitudes
         .iter()
-        .flat_map(|&n| {
-            let filter = &filter;
-            filter_rep.jobs(
-                format!("filter n={n}"),
-                filter_runs as usize,
-                move |compiled, seed, job| filter_noise(filter, compiled, n, seed, job),
-            )
+        .map(|&n| {
+            let samples: Vec<f64> = [1.0, 3.0, 2.0, 5.0, 4.0, 1.0]
+                .iter()
+                .map(|&k| (k / 5.0 * n).round())
+                .collect();
+            let schedule = filter
+                .system()
+                .input_trigger("x", &samples)
+                .ok()
+                .map(|trigger| Schedule::new().trigger(trigger));
+            (n, samples, schedule)
         })
         .collect();
-    let filter_out = run_sweep(&filter_jobs, &ctx.sweep_options());
+    let filter_units: Vec<SweepUnit<'_, Option<f64>>> = filter_panels
+        .iter()
+        .flat_map(|(n, samples, schedule)| {
+            let filter = &filter;
+            let n = *n;
+            let label = format!("filter n={n}");
+            match schedule {
+                Some(schedule) => ssa_replicate_units(
+                    filter.system().crn(),
+                    filter_rep,
+                    &filter_init,
+                    schedule,
+                    filter_opts,
+                    &label,
+                    filter_runs as usize,
+                    ctx.batch,
+                    move |_job, result| filter_rms(filter, samples, n, result),
+                ),
+                None => filter_rep
+                    .jobs(label, filter_runs as usize, |_c, _seed, _job| Ok(None))
+                    .into_iter()
+                    .map(SweepUnit::Single)
+                    .collect(),
+            }
+        })
+        .collect();
+    let filter_out = run_units(&filter_units, &ctx.sweep_options());
     ctx.persist_summary("e10-filter", &filter_out.summary);
 
     report.line(format!(
@@ -260,5 +296,14 @@ mod tests {
         let serial = super::run(&ExpCtx::quick().with_jobs(1));
         let parallel = super::run(&ExpCtx::quick().with_jobs(4));
         assert_eq!(serial.to_string(), parallel.to_string());
+    }
+
+    #[test]
+    fn batched_report_matches_scalar() {
+        // the lock-step SSA lanes must be bit-identical to scalar runs,
+        // so the rendered report cannot change with the batch width
+        let scalar = super::run(&ExpCtx::quick());
+        let batched = super::run(&ExpCtx::quick().with_batch(4));
+        assert_eq!(scalar.to_string(), batched.to_string());
     }
 }

@@ -29,7 +29,13 @@ use std::path::Path;
 /// the clocked production/consumption motif — otherwise the hybrid
 /// integrator would delegate wholesale to SSA and the probe would not
 /// exercise the continuous subsystem over the wire at all.
-fn main_sweep(method: Method) -> SubmitRequest {
+///
+/// `batch` goes on the wire verbatim: `None` omits the field, letting
+/// the server auto-select a lock-step width from the cell count;
+/// `Some(w)` pins it. Either way the rows must be byte-identical — the
+/// batched engines are bit-equal to their scalar counterparts lane by
+/// lane.
+fn main_sweep(method: Method, batch: Option<usize>) -> SubmitRequest {
     let mut cells = Vec::new();
     for amplitude in [8, 32] {
         for rep in 0..4 {
@@ -51,7 +57,7 @@ fn main_sweep(method: Method) -> SubmitRequest {
             2.0,
             Some(0.25),
         ),
-        Method::Ssa | Method::Ode => ("X -> Y @slow".to_owned(), 1.0e4, None),
+        Method::Ssa | Method::Ode | Method::Tau => ("X -> Y @slow".to_owned(), 1.0e4, None),
     };
     SubmitRequest {
         tenant: "repro".to_owned(),
@@ -62,7 +68,7 @@ fn main_sweep(method: Method) -> SubmitRequest {
         record_interval,
         seed: 11,
         injections: vec![(1.0, "X".to_owned(), 5.0)],
-        batch: 1,
+        batch,
         cells,
     }
 }
@@ -79,7 +85,7 @@ fn endless_job(tenant: &str) -> SubmitRequest {
         record_interval: None,
         seed: 5,
         injections: vec![],
-        batch: 1,
+        batch: Some(1),
         cells: (0..2)
             .map(|i| CellSpec {
                 label: format!("endless rep={i}"),
@@ -117,15 +123,21 @@ fn persist(dir: &Path, id: &str, summary: &SweepSummary) -> Result<(), String> {
 }
 
 /// Runs the smoke suite against the server at `addr`, driving the main
-/// sweep with `method` (`repro --method hybrid` races the hybrid
-/// integrator over the wire; the default is SSA).
+/// sweep with `method` (`repro --method ssa|ode|tau|hybrid` picks the
+/// integrator raced over the wire; the default is SSA).
+///
+/// `batch` is the main sweep's lock-step width: `None` leaves the wire
+/// field out so the server auto-selects a width from the cell count,
+/// `Some(w)` pins it (`repro --batch`). `t_end` optionally overrides the
+/// main sweep's horizon (`repro --t-end`, validated at flag parse just
+/// as the server validates the wire field at submit).
 ///
 /// `budget_tenant` optionally names a tenant the server was configured
 /// to step-budget; the budget probe submits under that name and expects
-/// every cell cut. The budget probe always runs the SSA sweep — the
-/// tenant's step budget is calibrated against it — so its outcome does
-/// not move with `method`. `summary_dir` persists the deterministic
-/// artifacts.
+/// every cell cut. The budget probe always runs the scalar SSA sweep —
+/// the tenant's step budget is calibrated against it — so its outcome
+/// does not move with `method`, `batch`, or `t_end`. `summary_dir`
+/// persists the deterministic artifacts.
 ///
 /// Returns the human-readable report on success.
 ///
@@ -136,6 +148,8 @@ fn persist(dir: &Path, id: &str, summary: &SweepSummary) -> Result<(), String> {
 pub fn run_via_server(
     addr: &str,
     method: Method,
+    batch: Option<usize>,
+    t_end: Option<f64>,
     budget_tenant: Option<&str>,
     summary_dir: Option<&Path>,
 ) -> Result<String, String> {
@@ -143,7 +157,10 @@ pub fn run_via_server(
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
 
     // probe 1: byte-identical resubmission + compiled-CRN cache reuse
-    let request = main_sweep(method);
+    let mut request = main_sweep(method, batch);
+    if let Some(horizon) = t_end {
+        request.t_end = horizon;
+    }
     let first = client
         .submit(&request)
         .map_err(|e| format!("main sweep rejected: {e}"))?;
@@ -206,7 +223,7 @@ pub fn run_via_server(
         let heavy = SubmitRequest {
             tenant: tenant.to_owned(),
             init: vec![("X".to_owned(), 500.0)],
-            ..main_sweep(Method::Ssa)
+            ..main_sweep(Method::Ssa, Some(1))
         };
         let ack = client
             .submit(&heavy)

@@ -68,6 +68,7 @@ mod sim;
 mod ssa;
 mod state;
 mod stiff;
+mod stoch_batch;
 mod tau;
 mod tau_implicit;
 mod trace;
@@ -88,6 +89,9 @@ pub use replicate::Replicator;
 pub use sim::{SimMethod, SimOptions, Simulation};
 pub use ssa::SsaOptions;
 pub use state::State;
+pub use stoch_batch::{
+    run_ssa_batch, run_tau_batch, BatchedStochWorkspace, SsaBatchLane, TauBatchLane,
+};
 pub use tau::TauLeapOptions;
 pub use tau_implicit::TauLeapImplicitOptions;
 pub use trace::{crossings, estimate_period, Crossing, Direction, Trace};

@@ -80,12 +80,13 @@ pub struct SimMetrics {
     /// RNG seed of the most recent stochastic run (`0` for deterministic
     /// runs).
     pub seed: u64,
-    /// Lane count of the batched ODE engine for the most recent run that
-    /// reported into this record (`0` for scalar runs).
+    /// Lane count of the batched engine (ODE, SSA or tau-leap) for the
+    /// most recent run that reported into this record (`0` for scalar
+    /// runs).
     pub batch_width: u64,
-    /// For a cell run through the batched ODE engine: how many sibling
-    /// lanes of its batch had already retired (finished or failed) when
-    /// this cell's lane retired. Cumulative across runs, like the step
+    /// For a cell run through a batched engine: how many sibling lanes of
+    /// its batch had already retired (finished or failed) when this
+    /// cell's lane retired. Cumulative across runs, like the step
     /// counters, so harness retries show the total retirement churn.
     pub lanes_retired: u64,
     /// Discrete reaction events fired on the slow (SSA) side of the hybrid

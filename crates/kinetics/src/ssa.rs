@@ -371,7 +371,7 @@ pub(crate) fn sync_back(n: &mut [i64], f64_state: &[f64]) -> Result<(), SimError
     Ok(())
 }
 
-fn record_until(
+pub(crate) fn record_until(
     trace: &mut Trace,
     state: &[f64],
     next_record: &mut f64,

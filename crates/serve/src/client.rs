@@ -16,6 +16,12 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub enum ClientError {
     /// The connection broke (or could not be established).
     Io(std::io::Error),
+    /// The server closed the connection instead of replying — it shut
+    /// down, crashed, or dropped the stream mid-request. Distinct from
+    /// [`ClientError::Io`] so callers can tell an orderly remote close
+    /// (retry against a restarted server, or report "server went away")
+    /// from a transport fault.
+    ConnectionClosed,
     /// The server's reply did not match the protocol.
     Protocol(ProtocolError),
     /// The server answered with `"ok": false`; the payload is its error
@@ -27,6 +33,9 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::ConnectionClosed => {
+                write!(f, "connection closed: the server went away before replying")
+            }
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
         }
@@ -110,10 +119,10 @@ impl Client {
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;
         if n == 0 {
-            return Err(ClientError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
+            // a clean EOF is the server going away, not an I/O fault —
+            // surface it as its own variant rather than a synthesized
+            // `UnexpectedEof`
+            return Err(ClientError::ConnectionClosed);
         }
         let doc = JsonValue::parse(&reply)
             .map_err(|e| ClientError::Protocol(ProtocolError::new(format!("bad reply: {e}"))))?;

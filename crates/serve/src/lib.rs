@@ -47,7 +47,7 @@
 //!     record_interval: None,
 //!     seed: 7,
 //!     injections: vec![],
-//!     batch: 1,
+//!     batch: Some(1),
 //!     cells: (0..3)
 //!         .map(|i| CellSpec { label: format!("rep={i}"), k_fast: None, k_slow: None })
 //!         .collect(),

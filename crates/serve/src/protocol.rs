@@ -66,16 +66,20 @@ pub enum Method {
     /// Hybrid ODE/SSA multiscale simulation: fast reversible pairs as a
     /// continuous subsystem, slow reactions as exact discrete events.
     Hybrid,
+    /// Explicit tau-leaping: Poisson batches of reactions per leap, with
+    /// an exact-step fallback when propensities are small.
+    Tau,
 }
 
 impl Method {
-    /// The wire name (`"ssa"` / `"ode"` / `"hybrid"`).
+    /// The wire name (`"ssa"` / `"ode"` / `"hybrid"` / `"tau"`).
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             Method::Ssa => "ssa",
             Method::Ode => "ode",
             Method::Hybrid => "hybrid",
+            Method::Tau => "tau",
         }
     }
 
@@ -83,14 +87,24 @@ impl Method {
     ///
     /// # Errors
     ///
-    /// [`ProtocolError`] for anything but `"ssa"`, `"ode"` or `"hybrid"`.
+    /// [`ProtocolError`] for anything but `"ssa"`, `"ode"`, `"hybrid"` or
+    /// `"tau"`.
     pub fn parse(s: &str) -> Result<Self, ProtocolError> {
         match s {
             "ssa" => Ok(Method::Ssa),
             "ode" => Ok(Method::Ode),
             "hybrid" => Ok(Method::Hybrid),
+            "tau" => Ok(Method::Tau),
             other => Err(ProtocolError::new(format!("unknown method `{other}`"))),
         }
+    }
+
+    /// Whether the server has a lock-step batched engine for this method.
+    /// ODE, SSA and tau-leap lanes advance together bit-identically to
+    /// their scalar runs; the hybrid engine has no batched counterpart.
+    #[must_use]
+    pub fn supports_batch(self) -> bool {
+        !matches!(self, Method::Hybrid)
     }
 }
 
@@ -128,11 +142,15 @@ pub struct SubmitRequest {
     pub seed: u64,
     /// Timed injections `(time, species name, amount)`.
     pub injections: Vec<(f64, String, f64)>,
-    /// Lock-step batch width for ODE submissions: consecutive runs of
-    /// this many cells are integrated together through the batched
-    /// kinetics engine. `1` (the default) runs every cell on the scalar
-    /// path; results are bit-identical at every width.
-    pub batch: usize,
+    /// Lock-step batch width: consecutive runs of this many cells advance
+    /// together through the batched kinetics engine (ODE, SSA or
+    /// tau-leap; the hybrid method has no batched engine and rejects
+    /// explicit widths above 1). `Some(1)` forces every cell onto the
+    /// scalar path; `None` (field omitted on the wire) lets the server
+    /// pick a width from the submitted cell count. Results are
+    /// bit-identical at every width, so the choice only moves wall time
+    /// and the `batch_width`/`lanes_retired` metric columns.
+    pub batch: Option<usize>,
     /// The cells to run, in index order.
     pub cells: Vec<CellSpec>,
 }
@@ -279,8 +297,8 @@ impl Request {
                 if !req.injections.is_empty() {
                     members.push(("injections", JsonValue::Array(injections)));
                 }
-                if req.batch != 1 {
-                    members.push(("batch", num(req.batch as f64)));
+                if let Some(width) = req.batch {
+                    members.push(("batch", num(width as f64)));
                 }
                 members.push(("cells", JsonValue::Array(cells)));
                 obj(members)
@@ -386,10 +404,23 @@ fn parse_submit(doc: &JsonValue) -> Result<SubmitRequest, ProtocolError> {
         .ok_or_else(|| ProtocolError::new("missing `cells` array"))?
         .iter()
         .map(|cell| {
+            let label = get_str(cell, "label")?;
+            let k_fast = opt_f64(cell, "k_fast");
+            let k_slow = opt_f64(cell, "k_slow");
+            // a non-finite override would silently poison every
+            // propensity downstream; reject it at the wire like the
+            // other numeric fields
+            for (name, value) in [("k_fast", k_fast), ("k_slow", k_slow)] {
+                if value.is_some_and(|k| !k.is_finite()) {
+                    return Err(ProtocolError::new(format!(
+                        "cell `{label}`: `{name}` override must be finite"
+                    )));
+                }
+            }
             Ok(CellSpec {
-                label: get_str(cell, "label")?,
-                k_fast: opt_f64(cell, "k_fast"),
-                k_slow: opt_f64(cell, "k_slow"),
+                label,
+                k_fast,
+                k_slow,
             })
         })
         .collect::<Result<Vec<_>, ProtocolError>>()?;
@@ -404,21 +435,29 @@ fn parse_submit(doc: &JsonValue) -> Result<SubmitRequest, ProtocolError> {
         }
     };
     let batch = match doc.get("batch") {
-        None => 1,
+        None => None,
         Some(_) => {
             let n = get_usize(doc, "batch")?;
             if n == 0 {
                 return Err(ProtocolError::new("`batch` must be at least 1"));
             }
-            n
+            Some(n)
         }
     };
+    // reject an unusable horizon at the wire, before any admission or
+    // compilation work: NaN travels as JSON null (caught as a missing
+    // numeric field above), but ±inf, zero and negative times parse fine
+    // and would otherwise reach the workers
+    let t_end = get_f64(doc, "t_end")?;
+    if !t_end.is_finite() || t_end <= 0.0 {
+        return Err(ProtocolError::new("`t_end` must be a finite positive time"));
+    }
     Ok(SubmitRequest {
         tenant: get_str(doc, "tenant")?,
         network: get_str(doc, "network")?,
         init,
         method: Method::parse(&get_str(doc, "method")?)?,
-        t_end: get_f64(doc, "t_end")?,
+        t_end,
         record_interval: opt_f64(doc, "record_interval"),
         seed,
         injections,
@@ -575,7 +614,7 @@ mod tests {
             record_interval: Some(1.0),
             seed: 42,
             injections: vec![(2.0, "X".to_owned(), 3.0)],
-            batch: 1,
+            batch: Some(1),
             cells: vec![
                 CellSpec {
                     label: "rep=0".to_owned(),
@@ -629,13 +668,15 @@ mod tests {
         assert_eq!(req.record_interval, None);
         assert_eq!(req.method, Method::Ode);
         assert_eq!(req.cells[0].k_fast, None);
-        assert_eq!(req.batch, 1);
+        // an omitted width is *not* a width of 1: it asks the server to
+        // pick one from the cell count
+        assert_eq!(req.batch, None);
     }
 
     #[test]
     fn batch_width_round_trips_and_zero_is_rejected() {
         let mut submit = sample_submit();
-        submit.batch = 4;
+        submit.batch = Some(4);
         let line = Request::Submit(Box::new(submit.clone())).to_line();
         assert_eq!(
             Request::parse(&line).unwrap(),
@@ -655,14 +696,61 @@ mod tests {
             "{\"op\":\"submit\",\"tenant\":\"t\",\"network\":\"\",\"method\":\"ssa\",\"t_end\":1}";
         let err = Request::parse(missing_cells).unwrap_err();
         assert!(err.message().contains("cells"), "{err}");
-        assert!(Method::parse("tau").is_err());
+        assert!(Method::parse("nrm").is_err());
     }
 
     #[test]
     fn every_method_round_trips_through_its_wire_name() {
-        for method in [Method::Ssa, Method::Ode, Method::Hybrid] {
+        for method in [Method::Ssa, Method::Ode, Method::Hybrid, Method::Tau] {
             assert_eq!(Method::parse(method.as_str()).unwrap(), method);
         }
+    }
+
+    #[test]
+    fn only_the_hybrid_method_lacks_a_batched_engine() {
+        assert!(Method::Ode.supports_batch());
+        assert!(Method::Ssa.supports_batch());
+        assert!(Method::Tau.supports_batch());
+        assert!(!Method::Hybrid.supports_batch());
+    }
+
+    #[test]
+    fn unusable_t_end_is_rejected_at_parse_time() {
+        let line = |t_end: &str| {
+            format!(
+                "{{\"op\":\"submit\",\"tenant\":\"t\",\"network\":\"X -> Y @fast\",\
+                 \"method\":\"ssa\",\"t_end\":{t_end},\"cells\":[{{\"label\":\"c\"}}]}}"
+            )
+        };
+        for bad in ["-1", "0", "1e999", "-1e999"] {
+            let err = Request::parse(&line(bad)).unwrap_err();
+            assert!(err.message().contains("t_end"), "{bad}: {err}");
+        }
+        // NaN cannot travel as a JSON number: the renderer emits null,
+        // which the parser rejects as a missing numeric field — still
+        // before any worker sees the job
+        let mut submit = sample_submit();
+        submit.t_end = f64::NAN;
+        let err = Request::parse(&Request::Submit(Box::new(submit)).to_line()).unwrap_err();
+        assert!(err.message().contains("t_end"), "{err}");
+        assert!(Request::parse(&line("5")).is_ok());
+    }
+
+    #[test]
+    fn non_finite_rate_overrides_are_rejected_at_parse_time() {
+        let line = |k: &str| {
+            format!(
+                "{{\"op\":\"submit\",\"tenant\":\"t\",\"network\":\"X -> Y @fast\",\
+                 \"method\":\"ssa\",\"t_end\":1,\
+                 \"cells\":[{{\"label\":\"c\",\"k_fast\":{k},\"k_slow\":1}}]}}"
+            )
+        };
+        for bad in ["1e999", "-1e999"] {
+            let err = Request::parse(&line(bad)).unwrap_err();
+            assert!(err.message().contains("k_fast"), "{bad}: {err}");
+            assert!(err.message().contains("`c`"), "{bad}: {err}");
+        }
+        assert!(Request::parse(&line("500")).is_ok());
     }
 
     #[test]

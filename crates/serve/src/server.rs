@@ -9,8 +9,10 @@
 use crate::protocol::{CellRow, CellSpec, Method, Request, SubmitRequest};
 use molseq_crn::{Crn, RateAssignment};
 use molseq_kinetics::{
-    run_ode_batch, BatchLane, BatchedOdeWorkspace, CompiledCache, CompiledCrn, HybridOptions,
-    OdeOptions, Schedule, SimError, SimMetrics, SimSpec, Simulation, SsaOptions, State,
+    run_ode_batch, run_ssa_batch, run_tau_batch, BatchLane, BatchedOdeWorkspace,
+    BatchedStochWorkspace, CompiledCache, CompiledCrn, HybridOptions, OdeOptions, Schedule,
+    SimError, SimMetrics, SimSpec, Simulation, SsaBatchLane, SsaOptions, State, TauBatchLane,
+    TauLeapOptions,
 };
 use molseq_sweep::{
     run_cell, run_group, CancelToken, CellOutcome, CellResult, GroupJob, JobBudget, JobCtx,
@@ -163,7 +165,8 @@ struct JobPlan {
     method: Method,
     t_end: f64,
     record_interval: Option<f64>,
-    /// Lock-step lanes per queue unit (1 = scalar; only ODE jobs group).
+    /// Resolved lock-step lanes per queue unit (1 = scalar). ODE, SSA and
+    /// tau-leap jobs group; hybrid jobs are always scalar.
     batch: usize,
     cells: Vec<PlanCell>,
 }
@@ -477,6 +480,32 @@ fn release_slot(shared: &Shared, tenant: &str) {
     }
 }
 
+/// The width the server picks for a submission that omitted `batch`: one
+/// lane per cell, capped so a huge sweep still spreads across the worker
+/// pool instead of collapsing into one giant work unit.
+const AUTO_BATCH_CAP: usize = 8;
+
+/// Resolves a submission's lock-step width. An explicit width above 1 on
+/// a method without a batched engine is a *method* error (distinct from
+/// the parse layer's *width* error for `batch: 0`); an omitted width auto
+/// -selects from the cell count — scalar for methods that cannot group.
+fn resolve_batch(req: &SubmitRequest) -> Result<usize, String> {
+    match req.batch {
+        Some(width) => {
+            if width > 1 && !req.method.supports_batch() {
+                return Err(format!(
+                    "`batch` widths above 1 are not supported for method `{}` \
+                     (batchable methods: ode, ssa, tau)",
+                    req.method.as_str()
+                ));
+            }
+            Ok(width)
+        }
+        None if req.method.supports_batch() => Ok(req.cells.len().clamp(1, AUTO_BATCH_CAP)),
+        None => Ok(1),
+    }
+}
+
 fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<JsonValue, String> {
     if req.cells.is_empty() {
         return Err("a submission needs at least one cell".to_owned());
@@ -484,12 +513,10 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<JsonValue, Stri
     if !req.t_end.is_finite() || req.t_end <= 0.0 {
         return Err("`t_end` must be finite and positive".to_owned());
     }
-    if req.batch > 1 && req.method != Method::Ode {
-        return Err("`batch` widths above 1 need the ode method".to_owned());
-    }
+    let batch = resolve_batch(req)?;
     admit(shared, &req.tenant)?;
     // any validation failure from here on must hand the slot back
-    let plan = match build_plan(shared, req) {
+    let plan = match build_plan(shared, req, batch) {
         Ok(plan) => plan,
         Err(msg) => {
             release_slot(shared, &req.tenant);
@@ -543,7 +570,7 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<JsonValue, Stri
     ]))
 }
 
-fn build_plan(shared: &Shared, req: &SubmitRequest) -> Result<JobPlan, String> {
+fn build_plan(shared: &Shared, req: &SubmitRequest, batch: usize) -> Result<JobPlan, String> {
     let crn: Crn = req
         .network
         .parse()
@@ -598,7 +625,7 @@ fn build_plan(shared: &Shared, req: &SubmitRequest) -> Result<JobPlan, String> {
         method: req.method,
         t_end: req.t_end,
         record_interval: req.record_interval,
-        batch: req.batch,
+        batch,
         cells,
     })
 }
@@ -860,12 +887,15 @@ fn run_plan_cell(entry: &JobEntry, index: usize) -> CellRow {
     row_from_result(run_cell(&job, index, &entry.opts, Some(&entry.cancel)))
 }
 
-/// Runs `width` consecutive ODE cells of a job as one lock-step group:
-/// one [`GroupJob`] through [`run_group`] (same per-cell seeds and
-/// outcome mapping as the scalar path), whose body integrates every lane
-/// together via [`run_ode_batch`]. The batched engine is bit-identical to
-/// the scalar integrator lane by lane, so the rows this produces are
-/// byte-identical to `width` [`run_plan_cell`] calls.
+/// Runs `width` consecutive cells of a job as one lock-step group: one
+/// [`GroupJob`] through [`run_group`] (same per-cell seeds and outcome
+/// mapping as the scalar path), whose body advances every lane together
+/// via the method's batched engine — [`run_ode_batch`],
+/// [`run_ssa_batch`] or [`run_tau_batch`]. Each batched engine is
+/// bit-identical to its scalar integrator lane by lane (the stochastic
+/// ones via per-lane RNG streams seeded exactly as the scalar path
+/// seeds them), so the rows this produces are byte-identical to `width`
+/// [`run_plan_cell`] calls.
 fn run_plan_group(entry: &JobEntry, base: usize, width: usize) -> Vec<CellRow> {
     let plan = &entry.plan;
     let chunk = &plan.cells[base..base + width];
@@ -876,27 +906,76 @@ fn run_plan_group(entry: &JobEntry, base: usize, width: usize) -> Vec<CellRow> {
             .iter()
             .map(|_| Cell::new(SimMetrics::default()))
             .collect();
-        let lanes: Vec<BatchLane> = chunk
-            .iter()
-            .enumerate()
-            .map(|(k, cell)| {
-                let mut opts = OdeOptions::default()
-                    .with_t_end(plan.t_end)
-                    .with_step_hook(&hooks[k])
-                    .with_metrics(&sinks[k]);
-                if let Some(dt) = plan.record_interval {
-                    opts = opts.with_record_interval(dt);
-                }
-                BatchLane {
-                    compiled: &cell.compiled,
-                    init: &plan.init,
-                    schedule: &plan.schedule,
-                    options: opts,
-                }
-            })
-            .collect();
-        let mut workspace = BatchedOdeWorkspace::new();
-        let results = run_ode_batch(&plan.crn, &lanes, &mut workspace);
+        let stoch_opts = |k: usize| {
+            let mut opts = SsaOptions::default()
+                .with_t_end(plan.t_end)
+                .with_seed(ctxs[k].seed())
+                .with_step_hook(&hooks[k])
+                .with_metrics(&sinks[k]);
+            if let Some(dt) = plan.record_interval {
+                opts = opts.with_record_interval(dt);
+            }
+            opts
+        };
+        let results = match plan.method {
+            Method::Ode => {
+                let lanes: Vec<BatchLane> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(k, cell)| {
+                        let mut opts = OdeOptions::default()
+                            .with_t_end(plan.t_end)
+                            .with_step_hook(&hooks[k])
+                            .with_metrics(&sinks[k]);
+                        if let Some(dt) = plan.record_interval {
+                            opts = opts.with_record_interval(dt);
+                        }
+                        BatchLane {
+                            compiled: &cell.compiled,
+                            init: &plan.init,
+                            schedule: &plan.schedule,
+                            options: opts,
+                        }
+                    })
+                    .collect();
+                let mut workspace = BatchedOdeWorkspace::new();
+                run_ode_batch(&plan.crn, &lanes, &mut workspace)
+            }
+            Method::Ssa => {
+                let lanes: Vec<SsaBatchLane> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(k, cell)| SsaBatchLane {
+                        compiled: &cell.compiled,
+                        init: &plan.init,
+                        schedule: &plan.schedule,
+                        options: stoch_opts(k),
+                    })
+                    .collect();
+                let mut workspace = BatchedStochWorkspace::new();
+                run_ssa_batch(&plan.crn, &lanes, &mut workspace)
+            }
+            Method::Tau => {
+                let lanes: Vec<TauBatchLane> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(k, cell)| TauBatchLane {
+                        compiled: &cell.compiled,
+                        init: &plan.init,
+                        schedule: &plan.schedule,
+                        options: TauLeapOptions {
+                            base: stoch_opts(k),
+                            ..TauLeapOptions::default()
+                        },
+                    })
+                    .collect();
+                let mut workspace = BatchedStochWorkspace::new();
+                run_tau_batch(&plan.crn, &lanes, &mut workspace)
+            }
+            Method::Hybrid => {
+                unreachable!("hybrid submissions never enqueue grouped units")
+            }
+        };
         results
             .into_iter()
             .zip(ctxs)
@@ -968,6 +1047,24 @@ fn simulate_cell(plan: &JobPlan, cell: &PlanCell, ctx: &JobCtx) -> Result<Vec<f6
                 .init(&plan.init)
                 .schedule(&plan.schedule)
                 .options(opts)
+                .run()
+        }
+        Method::Tau => {
+            let mut base = SsaOptions::default()
+                .with_t_end(plan.t_end)
+                .with_seed(ctx.seed())
+                .with_step_hook(&hook)
+                .with_metrics(&sink);
+            if let Some(dt) = plan.record_interval {
+                base = base.with_record_interval(dt);
+            }
+            Simulation::new(&plan.crn, &cell.compiled)
+                .init(&plan.init)
+                .schedule(&plan.schedule)
+                .options(TauLeapOptions {
+                    base,
+                    ..TauLeapOptions::default()
+                })
                 .run()
         }
         Method::Hybrid => {
@@ -1083,7 +1180,7 @@ mod tests {
             record_interval: None,
             seed: 1,
             injections: vec![],
-            batch: 1,
+            batch: Some(1),
             cells: vec![
                 CellSpec {
                     label: "a".to_owned(),
@@ -1098,7 +1195,7 @@ mod tests {
             ],
         };
         admit(&shared, "acme").expect("slot free");
-        let plan = build_plan(&shared, &req).expect("plan builds");
+        let plan = build_plan(&shared, &req, 1).expect("plan builds");
         let entry = Arc::new(JobEntry {
             id: "j-test".to_owned(),
             tenant: "acme".to_owned(),

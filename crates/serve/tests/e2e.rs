@@ -42,7 +42,7 @@ fn decay_submit(tenant: &str, amplitude: f64, reps: usize) -> SubmitRequest {
         record_interval: None,
         seed: 11,
         injections: vec![(0.5, "X".to_owned(), 3.0)],
-        batch: 1,
+        batch: Some(1),
         cells,
     }
 }
@@ -207,7 +207,7 @@ fn admission_control_rejects_at_the_inflight_limit_and_cancel_frees_the_slot() {
         record_interval: None,
         seed: 3,
         injections: vec![],
-        batch: 1,
+        batch: Some(1),
         cells: (0..2)
             .map(|i| CellSpec {
                 label: format!("long rep={i}"),
@@ -291,7 +291,7 @@ fn batched_ode_submission_matches_scalar_byte_for_byte() {
         record_interval: Some(0.5),
         seed: 7,
         injections: vec![(1.0, "X".to_owned(), 2.0)],
-        batch: 1,
+        batch: Some(1),
         cells: (0..5)
             .map(|i| CellSpec {
                 label: format!("ratio={}", 100 * (i + 1)),
@@ -307,7 +307,7 @@ fn batched_ode_submission_matches_scalar_byte_for_byte() {
     // widths that divide the job, leave a short tail group, and exceed
     // the cell count entirely: all bit-identical to the scalar rows
     for batch in [2usize, 4, 8] {
-        submit.batch = batch;
+        submit.batch = Some(batch);
         let ack = client.submit(&submit).expect("batched submission is valid");
         let rows = client.fetch_all(&ack.job_id).expect("job completes");
         assert_eq!(
@@ -317,11 +317,117 @@ fn batched_ode_submission_matches_scalar_byte_for_byte() {
         );
     }
 
-    // grouping is an ODE feature: an SSA submission cannot ask for it
-    submit.method = Method::Ssa;
-    submit.batch = 2;
-    let rejected = client.submit(&submit);
-    assert!(matches!(rejected, Err(ClientError::Server(ref msg)) if msg.contains("ode")));
+    client.shutdown().expect("shutdown round trip");
+    server.join();
+}
+
+#[test]
+fn batched_stochastic_submissions_match_scalar_byte_for_byte() {
+    // the tentpole claim over the wire: SSA and tau-leap lanes advanced
+    // in lock step are bit-identical to the scalar path, per lane, so
+    // the streamed rows cannot change with the requested width
+    let server = Server::start(ServerConfig::default().with_workers(2)).expect("server boots");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    for method in [Method::Ssa, Method::Tau] {
+        let mut submit = SubmitRequest {
+            method,
+            ..decay_submit("acme", 40.0, 6)
+        };
+        let scalar_ack = client.submit(&submit).expect("scalar submission is valid");
+        let scalar_rows = client.fetch_all(&scalar_ack.job_id).expect("job completes");
+        assert!(
+            scalar_rows.iter().all(|r| r.status == JobStatus::Ok),
+            "{method:?}"
+        );
+
+        // a dividing width, a short tail group, and a width past the
+        // cell count — all three must reproduce the scalar rows
+        for batch in [2usize, 4, 8] {
+            submit.batch = Some(batch);
+            let ack = client.submit(&submit).expect("batched submission is valid");
+            let rows = client.fetch_all(&ack.job_id).expect("job completes");
+            assert_eq!(
+                render_without_batch_columns(&scalar_rows),
+                render_without_batch_columns(&rows),
+                "{method:?} batch {batch}"
+            );
+        }
+    }
+    client.shutdown().expect("shutdown round trip");
+    server.join();
+}
+
+#[test]
+fn omitted_batch_width_is_auto_selected_and_matches_an_explicit_width() {
+    // leaving `batch` off the wire lets the server pick a width from the
+    // submitted cell count; the rows — including the `batch_width`
+    // bookkeeping column — must be byte-identical to pinning that width
+    // explicitly
+    let server = Server::start(ServerConfig::default().with_workers(2)).expect("server boots");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let mut submit = decay_submit("acme", 40.0, 6); // 7 cells, under the auto cap
+    submit.batch = None;
+    let auto_ack = client
+        .submit(&submit)
+        .expect("auto-width submission is valid");
+    let auto_rows = client.fetch_all(&auto_ack.job_id).expect("job completes");
+    assert!(auto_rows.iter().all(|r| r.status == JobStatus::Ok));
+
+    submit.batch = Some(7);
+    let pinned_ack = client.submit(&submit).expect("pinned submission is valid");
+    let pinned_rows = client.fetch_all(&pinned_ack.job_id).expect("job completes");
+    assert_eq!(render(&auto_rows), render(&pinned_rows));
+
+    // hybrid has no batched engine, so an omitted width resolves to the
+    // scalar path instead of a group — and is accepted, not rejected
+    let hybrid = SubmitRequest {
+        method: Method::Hybrid,
+        network: "0 -> R @fast\nR + X -> X @slow\nX -> Y @slow".to_owned(),
+        t_end: 2.0,
+        batch: None,
+        ..decay_submit("acme", 20.0, 1)
+    };
+    let ack = client
+        .submit(&hybrid)
+        .expect("auto width degrades to scalar for hybrid");
+    let rows = client.fetch_all(&ack.job_id).expect("job completes");
+    assert!(rows.iter().all(|r| r.status == JobStatus::Ok));
+
+    client.shutdown().expect("shutdown round trip");
+    server.join();
+}
+
+#[test]
+fn batch_rejections_distinguish_bad_widths_from_unsupported_methods() {
+    let server = Server::start(ServerConfig::default().with_workers(1)).expect("server boots");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    // an unusable width is a parse-layer error whatever the method
+    let mut zero_width = decay_submit("acme", 10.0, 1);
+    zero_width.batch = Some(0);
+    let rejected = client.submit(&zero_width);
+    assert!(
+        matches!(rejected, Err(ClientError::Server(ref msg)) if msg.contains("at least 1")),
+        "{rejected:?}"
+    );
+
+    // a fine width on a method with no batched engine is a different,
+    // method-aware error that names the offender and the alternatives
+    let hybrid_grouped = SubmitRequest {
+        method: Method::Hybrid,
+        network: "0 -> R @fast\nR + X -> X @slow\nX -> Y @slow".to_owned(),
+        t_end: 2.0,
+        batch: Some(2),
+        ..decay_submit("acme", 20.0, 3)
+    };
+    let rejected = client.submit(&hybrid_grouped);
+    match rejected {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("hybrid"), "message: {msg}");
+            assert!(msg.contains("batchable methods"), "message: {msg}");
+        }
+        other => panic!("expected a server rejection, got {other:?}"),
+    }
 
     client.shutdown().expect("shutdown round trip");
     server.join();
@@ -430,7 +536,7 @@ fn hybrid_submission_is_byte_identical_across_worker_counts() {
         record_interval: Some(0.25),
         seed: 13,
         injections: vec![],
-        batch: 1,
+        batch: Some(1),
         cells: (0..4)
             .map(|i| CellSpec {
                 label: format!("rep={i}"),
@@ -498,4 +604,127 @@ fn malformed_and_unknown_requests_fail_cleanly_without_killing_the_connection() 
 
     client.shutdown().expect("shutdown round trip");
     server.join();
+}
+
+#[test]
+fn unusable_horizons_and_rate_overrides_are_rejected_before_any_worker_runs() {
+    let server = Server::start(ServerConfig::default().with_workers(1)).expect("server boots");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    // a horizon the integrators cannot reach dies at the protocol layer
+    for bad in [-1.0, 0.0] {
+        let rejected = client.submit(&SubmitRequest {
+            t_end: bad,
+            ..decay_submit("acme", 10.0, 1)
+        });
+        assert!(
+            matches!(rejected, Err(ClientError::Server(ref msg)) if msg.contains("t_end")),
+            "t_end {bad}: {rejected:?}"
+        );
+    }
+    // a NaN horizon cannot even be carried by JSON: it serialises as
+    // null and is rejected as a missing numeric field — still before
+    // any plan is built
+    let rejected = client.submit(&SubmitRequest {
+        t_end: f64::NAN,
+        ..decay_submit("acme", 10.0, 1)
+    });
+    assert!(
+        matches!(rejected, Err(ClientError::Server(_))),
+        "{rejected:?}"
+    );
+
+    // non-finite numbers the Rust client cannot serialise still arrive
+    // over the raw wire (`1e999` parses to infinity): an infinite
+    // horizon and an infinite per-cell rate override must both bounce
+    // at the protocol layer with errors naming the field
+    {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+        let stream = TcpStream::connect(server.addr()).expect("raw connection");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let base = concat!(
+            "{\"op\": \"submit\", \"tenant\": \"acme\", \"network\": \"X -> Y @slow\", ",
+            "\"init\": [[\"X\", 10]], \"method\": \"ssa\", \"seed\": 1, \"injections\": [], "
+        );
+        for (raw, field) in [
+            (
+                format!("{base}\"t_end\": 1e999, \"cells\": [{{\"label\": \"c\"}}]}}\n"),
+                "t_end",
+            ),
+            (
+                format!(
+                    "{base}\"t_end\": 5, \"cells\": [{{\"label\": \"c\", \"k_fast\": 1e999}}]}}\n"
+                ),
+                "k_fast",
+            ),
+        ] {
+            let mut writer = &stream;
+            writer.write_all(raw.as_bytes()).expect("line written");
+            writer.flush().expect("line flushed");
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("reply arrives");
+            assert!(
+                reply.contains("\"ok\":false") && reply.contains(field),
+                "reply for bad {field}: {reply}"
+            );
+        }
+    }
+
+    // nothing above was admitted, let alone run
+    let stats = client.stats().expect("stats round trip");
+    assert_eq!(counter(&stats, "jobs_submitted"), 0.0);
+    assert_eq!(counter(&stats, "cells_ok"), 0.0);
+
+    client.shutdown().expect("shutdown round trip");
+    server.join();
+}
+
+#[test]
+fn a_server_that_dies_between_submit_and_fetch_surfaces_connection_closed() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{Shutdown, TcpListener};
+
+    // a stand-in for a server killed mid-conversation: accept one
+    // connection, answer the submission, then go away. The write side is
+    // half-closed (instead of dropping the socket) and the read side
+    // keeps draining, so the client deterministically sees a clean EOF
+    // rather than racing a TCP reset.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("listener binds");
+    let addr = listener.local_addr().expect("addr");
+    let dying = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("one connection");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("submit arrives");
+        let mut writer = &stream;
+        writer
+            .write_all(
+                b"{\"ok\": true, \"job\": \"j-1\", \"cells\": 1, \"species\": [\"X\", \"Y\"]}\n",
+            )
+            .expect("ack written");
+        writer.flush().expect("ack flushed");
+        stream.shutdown(Shutdown::Write).expect("server goes away");
+        // drain whatever the client still sends so its writes don't RST
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+
+    let mut client = Client::connect(addr).expect("client connects");
+    let ack = client
+        .submit(&decay_submit("acme", 10.0, 1))
+        .expect("submission acknowledged before the server dies");
+
+    // the fetch after the server's death must be the distinct
+    // connection-closed error, not a generic I/O fault
+    let lost = client.fetch(&ack.job_id, 0, true);
+    match lost {
+        Err(ClientError::ConnectionClosed) => {}
+        other => panic!("expected ClientError::ConnectionClosed, got {other:?}"),
+    }
+    // the stand-in drains until the client hangs up — hang up first
+    drop(client);
+    dying.join().expect("stand-in exits");
 }
