@@ -59,6 +59,14 @@
 #                     byte-match the explicitly pinned width, and a
 #                     tau-leap sweep at --batch 4 must reproduce its
 #                     --batch 1 rows
+#  16. netlist gate    every example netlist must compile and run through
+#                     `repro --netlist`; the seqdet netlist's persisted
+#                     sweep summary must byte-match the hand-assembled
+#                     `--netlist-builtin seqdet` run locally and over the
+#                     wire at --workers 1 and --workers 4 (all four
+#                     byte-identical); a malformed netlist must exit 2
+#                     with its source position before anything is
+#                     submitted
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -386,5 +394,63 @@ TEND_STATUS=$?
 set -e
 [ "$TEND_STATUS" -eq 2 ] \
   || { echo "ci: repro --t-end -1 not rejected (exited $TEND_STATUS, want 2)" >&2; exit 1; }
+
+echo "== netlist front-end: textual circuits byte-match their hand-assembled twins =="
+# every example netlist compiles and runs end to end (in-process server)
+for nl in examples/netlists/*.nl; do
+  target/release/repro --netlist "$nl" > /dev/null \
+    || { echo "ci: repro --netlist $nl failed" >&2; exit 1; }
+done
+# locally: the seqdet netlist and its hand-assembled twin (shipped as the
+# lowered CRN text) must persist byte-identical sweep summaries
+target/release/repro --netlist examples/netlists/seqdet.nl --summary "$SWEEP_TMP/nl_file" > /dev/null
+target/release/repro --netlist-builtin seqdet --summary "$SWEEP_TMP/nl_builtin" > /dev/null
+for artifact in netlist.summary.json netlist.summary.csv; do
+  cmp "$SWEEP_TMP/nl_file/$artifact" "$SWEEP_TMP/nl_builtin/$artifact" \
+    || { echo "ci: $artifact differs between the netlist and its hand-assembled twin" >&2; exit 1; }
+done
+# over the wire: byte-identical at --workers 1 and --workers 4, and both
+# identical to the local run
+for workers in 1 4; do
+  NL_BOOT_LOG="$SWEEP_TMP/serve_nl_w$workers.log"
+  target/release/serve --workers "$workers" > "$NL_BOOT_LOG" &
+  NL_SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on " "$NL_BOOT_LOG" && break
+    kill -0 "$NL_SERVE_PID" 2>/dev/null \
+      || { echo "ci: serve (netlist probe, $workers workers) died before binding" >&2; exit 1; }
+    sleep 0.1
+  done
+  NL_ADDR="$(sed -n 's/^listening on //p' "$NL_BOOT_LOG")"
+  [ -n "$NL_ADDR" ] || { echo "ci: serve (netlist probe) did not announce its address" >&2
+                         kill "$NL_SERVE_PID" 2>/dev/null; exit 1; }
+  target/release/repro --netlist examples/netlists/seqdet.nl --via-server "$NL_ADDR" \
+    --summary "$SWEEP_TMP/nl_w$workers" > /dev/null \
+    || { echo "ci: repro --netlist --via-server ($workers workers) failed" >&2
+         kill "$NL_SERVE_PID" 2>/dev/null; exit 1; }
+  exec 3<>"/dev/tcp/${NL_ADDR%:*}/${NL_ADDR##*:}"
+  printf '{"op":"shutdown"}\n' >&3
+  head -n 1 <&3 > /dev/null
+  exec 3<&- 3>&-
+  wait "$NL_SERVE_PID" \
+    || { echo "ci: serve (netlist probe, $workers workers) exited nonzero" >&2; exit 1; }
+done
+for artifact in netlist.summary.json netlist.summary.csv; do
+  cmp "$SWEEP_TMP/nl_w1/$artifact" "$SWEEP_TMP/nl_w4/$artifact" \
+    || { echo "ci: $artifact differs between 1 and 4 server workers" >&2; exit 1; }
+  cmp "$SWEEP_TMP/nl_file/$artifact" "$SWEEP_TMP/nl_w1/$artifact" \
+    || { echo "ci: $artifact differs between the local and via-server netlist runs" >&2; exit 1; }
+done
+# a malformed netlist is a usage error carrying its source position,
+# rejected before anything is submitted
+printf 'module m {\n  wire y = nope\n}\n' > "$SWEEP_TMP/bad.nl"
+set +e
+NL_BAD_MSG="$(target/release/repro --netlist "$SWEEP_TMP/bad.nl" 2>&1 > /dev/null)"
+NL_BAD_STATUS=$?
+set -e
+[ "$NL_BAD_STATUS" -eq 2 ] \
+  || { echo "ci: bad netlist not rejected (exited $NL_BAD_STATUS, want 2)" >&2; exit 1; }
+echo "$NL_BAD_MSG" | grep -q "line 2" \
+  || { echo "ci: bad-netlist error does not carry its source position: $NL_BAD_MSG" >&2; exit 1; }
 
 echo "ci: all stages passed"

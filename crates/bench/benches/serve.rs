@@ -14,7 +14,7 @@
 //! simulate).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use molseq_serve::{CellSpec, Client, Method, Server, ServerConfig, SubmitRequest};
+use molseq_serve::{CellSpec, Client, Method, Program, Server, ServerConfig, SubmitRequest};
 
 const REPS: usize = 8;
 
@@ -29,7 +29,7 @@ fn chain_network(stages: usize) -> String {
 fn submit(network: String) -> SubmitRequest {
     SubmitRequest {
         tenant: "bench".to_owned(),
-        network,
+        program: Program::Crn(network),
         init: vec![("X0".to_owned(), 64.0)],
         method: Method::Ssa,
         t_end: 1.0e4,

@@ -50,6 +50,17 @@
 //! horizon exits `2` before anything is submitted. `--summary DIR`
 //! persists the sweep rows and the server counters through the standard
 //! summary pipeline (`via-server.summary.*`, `server-stats.summary.*`).
+//!
+//! `--netlist FILE` runs a textual netlist (see `DESIGN.md` §14) as a
+//! fixed deterministic ODE sweep — on an in-process single-worker server
+//! by default, or over the wire against `--via-server HOST:PORT` as the
+//! protocol's `{"netlist": ...}` program form. A netlist that does not
+//! parse or compile exits `2` with its source position before anything
+//! is submitted. `--netlist-builtin seqdet` runs the hand-assembled
+//! counterpart of `examples/netlists/seqdet.nl` (shipped as its lowered
+//! CRN text), producing byte-identical rows and summaries — the CI
+//! stage diffs the two. `--summary DIR` persists
+//! `netlist.summary.{json,csv}`.
 
 use molseq_bench::{all_experiments, ExpCtx};
 use molseq_sweep::{compare_dirs, JobBudget, TrendOptions};
@@ -61,7 +72,8 @@ fn usage_and_exit() -> ! {
         "usage: repro [--quick] [--jobs N] [--batch WIDTH] [--summary DIR] \
          [--cell-steps N] [--cell-wall SECS] [--trend-against DIR] \
          [--via-server HOST:PORT] [--method ssa|ode|tau|hybrid] \
-         [--t-end SECS] [--server-budget-tenant NAME] [experiment ids...]"
+         [--t-end SECS] [--server-budget-tenant NAME] \
+         [--netlist FILE | --netlist-builtin NAME] [experiment ids...]"
     );
     std::process::exit(2);
 }
@@ -78,6 +90,8 @@ fn main() {
     let mut via_server: Option<String> = None;
     let mut method: Option<molseq_serve::Method> = None;
     let mut budget_tenant: Option<String> = None;
+    let mut netlist_file: Option<String> = None;
+    let mut netlist_builtin: Option<String> = None;
     let mut budget = JobBudget::unlimited();
     let mut selected: Vec<&str> = Vec::new();
     let mut iter = args.iter();
@@ -154,6 +168,20 @@ fn main() {
                 };
                 via_server = Some(addr.clone());
             }
+            "--netlist" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--netlist expects a netlist file path");
+                    std::process::exit(2);
+                };
+                netlist_file = Some(path.clone());
+            }
+            "--netlist-builtin" => {
+                let Some(name) = iter.next() else {
+                    eprintln!("--netlist-builtin expects a circuit name (available: seqdet)");
+                    std::process::exit(2);
+                };
+                netlist_builtin = Some(name.clone());
+            }
             "--method" => {
                 let Some(m) = iter
                     .next()
@@ -200,6 +228,48 @@ fn main() {
     if t_end.is_some() && via_server.is_none() {
         eprintln!("--t-end only makes sense with --via-server (local experiments pick their own horizons)");
         std::process::exit(2);
+    }
+    if netlist_file.is_some() || netlist_builtin.is_some() {
+        if netlist_file.is_some() && netlist_builtin.is_some() {
+            eprintln!("--netlist and --netlist-builtin are mutually exclusive");
+            std::process::exit(2);
+        }
+        if !selected.is_empty() {
+            eprintln!("--netlist runs the netlist sweep, not local experiments");
+            std::process::exit(2);
+        }
+        if method.is_some() || t_end.is_some() || budget_tenant.is_some() {
+            eprintln!("--netlist pins its own method and horizon (drop --method/--t-end/--server-budget-tenant)");
+            std::process::exit(2);
+        }
+        // a bad netlist (or unknown builtin) is a usage error: exit 2,
+        // with the parse position, before anything is submitted
+        let source = match (&netlist_file, &netlist_builtin) {
+            (Some(path), _) => molseq_bench::netlist_from_file(Path::new(path)),
+            (_, Some(name)) => molseq_bench::netlist_builtin(name),
+            _ => unreachable!("guarded above"),
+        };
+        let source = match source {
+            Ok(source) => source,
+            Err(e) => {
+                eprintln!("netlist: {e}");
+                std::process::exit(2);
+            }
+        };
+        match molseq_bench::run_netlist(
+            &source,
+            via_server.as_deref(),
+            summary_dir.as_deref().map(Path::new),
+        ) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("netlist: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(addr) = via_server {
         if !selected.is_empty() {

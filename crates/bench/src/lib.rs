@@ -31,9 +31,11 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod netlist_run;
 pub mod report;
 pub mod via_server;
 
+pub use netlist_run::{netlist_builtin, netlist_from_file, run_netlist, NetlistSource};
 pub use report::Report;
 pub use via_server::run_via_server;
 

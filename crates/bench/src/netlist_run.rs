@@ -1,0 +1,208 @@
+//! The `repro --netlist` path: run a textual netlist as a batch
+//! simulation job — the front-end-to-server pipeline end to end.
+//!
+//! The circuit comes from one of two sources:
+//!
+//! * `--netlist FILE` — netlist text, validated **client-side** first
+//!   (parse errors with their line/column exit `2` before anything is
+//!   submitted), then shipped as the wire protocol's
+//!   `{"netlist": ...}` program form and compiled server-side;
+//! * `--netlist-builtin seqdet` — the same sequence-detector circuit
+//!   hand-assembled through [`Fsm::build`], lowered locally, and shipped
+//!   as its CRN text with the compiled initial state spelled out.
+//!
+//! Both sources resolve to the same compiled structure, so their result
+//! rows — and the persisted `netlist.summary.{json,csv}` — are
+//! **byte-identical**, which is exactly what the CI stage diffs. Without
+//! `--via-server` the job runs on an in-process single-worker server
+//! (still over loopback TCP, exercising the full wire path); with it,
+//! the job goes to the running instance, where rows are byte-identical
+//! at any worker count.
+
+use molseq_serve::{
+    rows_to_summary, CellRow, CellSpec, Client, Method, Program, Server, ServerConfig,
+    SubmitRequest,
+};
+use molseq_sweep::{JobStatus, SweepSummary};
+use molseq_sync::{compile_netlist_source, ClockSpec, Fsm};
+use std::path::Path;
+
+/// A resolved `--netlist` / `--netlist-builtin` source: the wire program,
+/// its base initial state, and a human label for the report.
+pub struct NetlistSource {
+    program: Program,
+    init: Vec<(String, f64)>,
+    describe: String,
+}
+
+/// Loads and validates a netlist file. The text is compiled locally so a
+/// malformed or uncompilable netlist dies here — with its source
+/// position — before any submission; what goes on the wire is the
+/// original text, compiled again server-side.
+///
+/// # Errors
+///
+/// A description of the I/O, parse (with line/column), or lowering
+/// failure — callers exit `2` on it.
+pub fn netlist_from_file(path: &Path) -> Result<NetlistSource, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read netlist {}: {e}", path.display()))?;
+    let system = compile_netlist_source(&text, ClockSpec::default())
+        .map_err(|e| format!("netlist {}: {e}", path.display()))?;
+    Ok(NetlistSource {
+        program: Program::Netlist(text),
+        init: Vec::new(),
+        describe: format!(
+            "netlist {} ({} species, {} reactions)",
+            path.display(),
+            system.crn().species_count(),
+            system.crn().reactions().len()
+        ),
+    })
+}
+
+/// The hand-assembled counterpart of a builtin circuit, shipped as its
+/// lowered CRN text plus the compiled initial state. Currently one
+/// builtin: `seqdet`, the "11" sequence detector
+/// (`Fsm::build(clock, 60, [[0,1],[0,2],[2,2]], 0)`) that
+/// `examples/netlists/seqdet.nl` mirrors.
+///
+/// # Errors
+///
+/// An unknown builtin name (the usage error), or a build failure.
+pub fn netlist_builtin(name: &str) -> Result<NetlistSource, String> {
+    match name {
+        "seqdet" => {
+            let fsm = Fsm::build(ClockSpec::default(), 60.0, &[[0, 1], [0, 2], [2, 2]], 0)
+                .map_err(|e| format!("builtin seqdet does not build: {e}"))?;
+            let system = fsm.system();
+            let init_state = system.initial_state();
+            let init = (0..system.crn().species_count())
+                .map(molseq_crn::SpeciesId::from_index)
+                .filter(|&id| init_state.get(id) != 0.0)
+                .map(|id| (system.crn().species_name(id).to_owned(), init_state.get(id)))
+                .collect();
+            Ok(NetlistSource {
+                program: Program::Crn(system.crn().to_string()),
+                init,
+                describe: format!(
+                    "builtin seqdet ({} species, {} reactions)",
+                    system.crn().species_count(),
+                    system.crn().reactions().len()
+                ),
+            })
+        }
+        other => Err(format!("unknown builtin `{other}` (available: seqdet)")),
+    }
+}
+
+/// The fixed sweep every netlist run submits: three default-rate
+/// replicate cells plus one rate-override cell (the rebind path), under
+/// the deterministic ODE integrator so rows are byte-identical across
+/// sources, worker counts, and machines.
+fn submit_request(source: &NetlistSource) -> SubmitRequest {
+    let mut cells: Vec<CellSpec> = (0..3)
+        .map(|i| CellSpec {
+            label: format!("rep={i}"),
+            k_fast: None,
+            k_slow: None,
+        })
+        .collect();
+    cells.push(CellSpec {
+        label: "k=500/2".to_owned(),
+        k_fast: Some(500.0),
+        k_slow: Some(2.0),
+    });
+    SubmitRequest {
+        tenant: "netlist".to_owned(),
+        program: source.program.clone(),
+        init: source.init.clone(),
+        method: Method::Ode,
+        t_end: 40.0,
+        record_interval: None,
+        seed: 5,
+        injections: vec![],
+        batch: Some(1),
+        cells,
+    }
+}
+
+fn persist(dir: &Path, id: &str, summary: &SweepSummary) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create summary dir {}: {e}", dir.display()))?;
+    for (ext, body) in [("json", summary.to_json()), ("csv", summary.to_csv())] {
+        let path = dir.join(format!("{id}.summary.{ext}"));
+        std::fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// Runs `source`'s sweep — against the server at `addr` when given,
+/// otherwise on an in-process single-worker server — and persists
+/// `netlist.summary.{json,csv}` when a summary directory is configured.
+/// Returns the human-readable report.
+///
+/// # Errors
+///
+/// A description of the first failed connection, submission, fetch, or
+/// persistence step — callers exit nonzero on it.
+pub fn run_netlist(
+    source: &NetlistSource,
+    addr: Option<&str>,
+    summary_dir: Option<&Path>,
+) -> Result<String, String> {
+    let local = match addr {
+        Some(_) => None,
+        None => Some(
+            Server::start(ServerConfig::default().with_workers(1))
+                .map_err(|e| format!("cannot start in-process server: {e}"))?,
+        ),
+    };
+    let target = match addr {
+        Some(addr) => addr.to_owned(),
+        None => local.as_ref().expect("started above").addr().to_string(),
+    };
+    let mut client =
+        Client::connect(&target).map_err(|e| format!("cannot connect to {target}: {e}"))?;
+
+    let request = submit_request(source);
+    let ack = client
+        .submit(&request)
+        .map_err(|e| format!("netlist sweep rejected: {e}"))?;
+    let rows: Vec<CellRow> = client
+        .fetch_all(&ack.job_id)
+        .map_err(|e| format!("netlist sweep failed: {e}"))?;
+    let not_ok = rows.iter().filter(|r| r.status != JobStatus::Ok).count();
+    if not_ok > 0 {
+        return Err(format!(
+            "netlist sweep: {not_ok}/{} cells not Ok",
+            rows.len()
+        ));
+    }
+
+    let mut report = format!(
+        "netlist: {} — {} cells Ok ({})\n",
+        source.describe,
+        rows.len(),
+        if addr.is_some() {
+            "via server"
+        } else {
+            "in-process server, 1 worker"
+        },
+    );
+    if let Some(dir) = summary_dir {
+        persist(dir, "netlist", &rows_to_summary(&rows, 1))?;
+        report.push_str(&format!(
+            "netlist: summary persisted to {}\n",
+            dir.display()
+        ));
+    }
+
+    if let Some(server) = local {
+        client
+            .shutdown()
+            .map_err(|e| format!("in-process server shutdown failed: {e}"))?;
+        server.join();
+    }
+    Ok(report)
+}

@@ -18,7 +18,7 @@
 //! scheduling-independent.
 
 use molseq_serve::{
-    rows_to_summary, stats_summary, CellRow, CellSpec, Client, Method, SubmitRequest,
+    rows_to_summary, stats_summary, CellRow, CellSpec, Client, Method, Program, SubmitRequest,
 };
 use molseq_sweep::{JobStatus, SweepSummary};
 use std::path::Path;
@@ -61,7 +61,7 @@ fn main_sweep(method: Method, batch: Option<usize>) -> SubmitRequest {
     };
     SubmitRequest {
         tenant: "repro".to_owned(),
-        network,
+        program: Program::Crn(network),
         init: vec![("X".to_owned(), 32.0)],
         method,
         t_end,
@@ -78,7 +78,7 @@ fn main_sweep(method: Method, batch: Option<usize>) -> SubmitRequest {
 fn endless_job(tenant: &str) -> SubmitRequest {
     SubmitRequest {
         tenant: tenant.to_owned(),
-        network: "X -> Y @slow\nY -> X @slow".to_owned(),
+        program: Program::Crn("X -> Y @slow\nY -> X @slow".to_owned()),
         init: vec![("X".to_owned(), 64.0)],
         method: Method::Ssa,
         t_end: 1.0e9,

@@ -1,8 +1,9 @@
-//! The register-transfer-level circuit builder.
+//! The circuit-to-reaction lowering pass (and the [`SyncCircuit`] façade).
 //!
-//! A [`SyncCircuit`] is a netlist: input ports, registers (delay elements),
-//! an expression DAG over them, and output ports. [`SyncCircuit::compile`]
-//! lowers the netlist onto the three-phase color scheme:
+//! The circuit IR itself — expression DAG, register table, ports,
+//! hierarchy, and the textual netlist format — lives in `molseq-netlist`
+//! ([`Netlist`]). This module owns the *lowering*: [`compile_netlist`]
+//! maps a flat netlist onto the three-phase color scheme:
 //!
 //! * register contents rest in **red** at the start of each cycle (this is
 //!   when the harness samples them);
@@ -15,7 +16,7 @@
 //!   contents (and output/waste sinks).
 //!
 //! The stage discipline exists for one reason: clamped subtraction
-//! ([`SyncCircuit::sub`]) works by letting the subtrahend annihilate the
+//! ([`Netlist::sub`]) works by letting the subtrahend annihilate the
 //! result, and nothing downstream may consume that result until the
 //! annihilation has settled. Because a phase transfer cannot ignite until
 //! the previous color category has fully drained, the phase boundary *is*
@@ -23,38 +24,100 @@
 //! stage (enforced automatically), and a blue-stage subtraction may only
 //! feed commits. Purely flow-through operations (add, scale, fan-out) have
 //! no such hazard and may chain freely within a stage.
+//!
+//! Lowering folds data movement into as few reactions as possible:
+//!
+//! | circuit construct        | reactions emitted                           |
+//! |--------------------------|---------------------------------------------|
+//! | fan-out to N consumers   | one fast reaction with N copy products      |
+//! | sole consumer            | the phase transfer moves the value directly |
+//! | weighted sum term (w)    | the delivering reaction yields w results    |
+//! | multi-source commit      | one transfer with one product per register  |
+//! | annihilation (subtract)  | `m → dif`, `s + dif → ∅`, residue drain     |
 
 use crate::system::{ClockHandles, CompiledSystem, RegisterHandles};
 use crate::{ClockSpec, Color, SchemeBuilder, SyncError};
 use molseq_crn::SpeciesId;
+use molseq_netlist::{parse_netlist, NetlistError, NodeOp, ParseError, Register};
 use std::collections::HashMap;
 
-/// A handle to a value in the expression DAG of a [`SyncCircuit`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Node(usize);
+pub use molseq_netlist::{Netlist, Node};
 
-#[derive(Debug, Clone)]
-enum NodeDef {
-    Input { name: String },
-    RegisterOut { reg: usize },
-    Add { terms: Vec<Node> },
-    Scale { src: Node, p: u32, q: u32 },
-    Sub { minuend: Node, subtrahend: Node },
+impl From<NetlistError> for SyncError {
+    fn from(e: NetlistError) -> Self {
+        match e {
+            NetlistError::UnknownRegister { name }
+            | NetlistError::UnknownInput { name }
+            | NetlistError::UnconnectedInput { name } => SyncError::UnknownPort { name },
+            NetlistError::InvalidNode { index } => SyncError::UnknownNode { index },
+        }
+    }
 }
 
-#[derive(Debug, Clone)]
-struct RegisterDef {
-    name: String,
-    /// Next-value sources: each source's value commits into the register,
-    /// so multiple sources sum naturally (empty = unbound feedback
-    /// register, rejected at compile time).
-    sources: Vec<Node>,
-    init: f64,
-    out_node: usize,
+/// Lowers a [`Netlist`] to a complete reaction network under the given
+/// clock parameters.
+///
+/// # Errors
+///
+/// * [`SyncError::DuplicatePort`] — an input/register/output name reused.
+/// * [`SyncError::UnknownNode`] — a [`Node`] from a different netlist.
+/// * [`SyncError::UnsupportedScale`] — a scale factor or sum weight out of
+///   range.
+/// * [`SyncError::CombinationalCycle`] — a loop not broken by a delay,
+///   or combinational depth that does not fit the two stages (deepen
+///   with registers).
+/// * [`SyncError::InvalidAmount`] — a bad initial value or clock token.
+pub fn compile_netlist(netlist: Netlist, clock: ClockSpec) -> Result<CompiledSystem, SyncError> {
+    Compiler::new(netlist, clock)?.run()
 }
 
-/// The netlist builder. See the [module docs](self) for the compilation
-/// model and the crate root for a quickstart.
+/// An error from [`compile_netlist_source`]: either the text failed to
+/// parse/elaborate (with a source position) or the circuit failed to
+/// lower.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistSourceError {
+    /// The netlist text did not parse or elaborate.
+    Parse(ParseError),
+    /// The elaborated circuit did not lower to reactions.
+    Compile(SyncError),
+}
+
+impl std::fmt::Display for NetlistSourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistSourceError::Parse(e) => write!(f, "{e}"),
+            NetlistSourceError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistSourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetlistSourceError::Parse(e) => Some(e),
+            NetlistSourceError::Compile(e) => Some(e),
+        }
+    }
+}
+
+/// Parses netlist text (top = last module) and lowers it in one step.
+///
+/// # Errors
+///
+/// [`NetlistSourceError::Parse`] with line/column for text problems;
+/// [`NetlistSourceError::Compile`] for circuits that do not lower.
+pub fn compile_netlist_source(
+    src: &str,
+    clock: ClockSpec,
+) -> Result<CompiledSystem, NetlistSourceError> {
+    let net = parse_netlist(src).map_err(NetlistSourceError::Parse)?;
+    compile_netlist(net, clock).map_err(NetlistSourceError::Compile)
+}
+
+/// The register-transfer-level builder: a thin façade over
+/// [`Netlist`] that pairs the IR with a [`ClockSpec`] and compiles via
+/// [`compile_netlist`] (the one lowering path, shared with the textual
+/// netlist front-end and `SfgBuilder`).
 ///
 /// Construction methods never fail; all validation happens in
 /// [`compile`](Self::compile) so that circuits can be assembled fluently.
@@ -81,10 +144,7 @@ struct RegisterDef {
 #[derive(Debug, Clone)]
 pub struct SyncCircuit {
     clock: ClockSpec,
-    nodes: Vec<NodeDef>,
-    registers: Vec<RegisterDef>,
-    inputs: Vec<(String, usize)>,
-    outputs: Vec<(String, Node)>,
+    net: Netlist,
 }
 
 impl SyncCircuit {
@@ -93,45 +153,40 @@ impl SyncCircuit {
     pub fn new(clock: ClockSpec) -> Self {
         SyncCircuit {
             clock,
-            nodes: Vec::new(),
-            registers: Vec::new(),
-            inputs: Vec::new(),
-            outputs: Vec::new(),
+            net: Netlist::new(),
         }
     }
 
-    fn push(&mut self, def: NodeDef) -> Node {
-        self.nodes.push(def);
-        Node(self.nodes.len() - 1)
+    /// Wraps an already-built IR (e.g. from the netlist parser) with
+    /// clock parameters.
+    #[must_use]
+    pub fn from_netlist(net: Netlist, clock: ClockSpec) -> Self {
+        SyncCircuit { clock, net }
+    }
+
+    /// The underlying IR.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.net
     }
 
     /// Declares an external input port. One sample per clock cycle is
     /// injected by the harness (see
     /// [`CompiledSystem::input_trigger`]).
     pub fn input(&mut self, name: &str) -> Node {
-        let node = self.push(NodeDef::Input { name: name.into() });
-        self.inputs.push((name.into(), node.0));
-        node
+        self.net.input(name)
     }
 
     /// Declares a delay element (register): the returned node reads the
     /// register's *current* value; its *next* value is `source`.
     /// Initial value 0.
     pub fn delay(&mut self, name: &str, source: Node) -> Node {
-        self.delay_with_init(name, source, 0.0)
+        self.net.delay(name, source, 0.0)
     }
 
     /// Like [`delay`](Self::delay) with an explicit initial value.
     pub fn delay_with_init(&mut self, name: &str, source: Node, init: f64) -> Node {
-        let reg = self.registers.len();
-        let out = self.push(NodeDef::RegisterOut { reg });
-        self.registers.push(RegisterDef {
-            name: name.into(),
-            sources: vec![source],
-            init,
-            out_node: out.0,
-        });
-        out
+        self.net.delay(name, source, init)
     }
 
     /// Declares a register whose next-value source is supplied later with
@@ -139,21 +194,13 @@ impl SyncCircuit {
     /// feedback loops (the register itself breaks the cycle). Initial
     /// value 0; a register left unbound fails compilation.
     pub fn feedback_delay(&mut self, name: &str) -> Node {
-        self.feedback_delay_with_init(name, 0.0)
+        self.net.register(name, 0.0)
     }
 
     /// Like [`feedback_delay`](Self::feedback_delay) with an explicit
     /// initial value.
     pub fn feedback_delay_with_init(&mut self, name: &str, init: f64) -> Node {
-        let reg = self.registers.len();
-        let out = self.push(NodeDef::RegisterOut { reg });
-        self.registers.push(RegisterDef {
-            name: name.into(),
-            sources: Vec::new(),
-            init,
-            out_node: out.0,
-        });
-        out
+        self.net.register(name, init)
     }
 
     /// Points the register `name` at a (new) next-value source, replacing
@@ -163,13 +210,7 @@ impl SyncCircuit {
     ///
     /// [`SyncError::UnknownPort`] if no register has that name.
     pub fn rebind_register(&mut self, name: &str, source: Node) -> Result<(), SyncError> {
-        let reg = self
-            .registers
-            .iter_mut()
-            .find(|r| r.name == name)
-            .ok_or_else(|| SyncError::UnknownPort { name: name.into() })?;
-        reg.sources = vec![source];
-        Ok(())
+        self.net.bind(name, source).map_err(SyncError::from)
     }
 
     /// Adds a further next-value source to register `name`: the committed
@@ -182,49 +223,39 @@ impl SyncCircuit {
     ///
     /// [`SyncError::UnknownPort`] if no register has that name.
     pub fn add_register_source(&mut self, name: &str, source: Node) -> Result<(), SyncError> {
-        let reg = self
-            .registers
-            .iter_mut()
-            .find(|r| r.name == name)
-            .ok_or_else(|| SyncError::UnknownPort { name: name.into() })?;
-        reg.sources.push(source);
-        Ok(())
+        self.net.commit(name, source).map_err(SyncError::from)
     }
 
     /// Declares a constant source: a register initialized to `value` that
     /// feeds itself, regenerating the quantity every cycle.
     pub fn constant(&mut self, name: &str, value: f64) -> Node {
-        let reg = self.registers.len();
-        let out = self.push(NodeDef::RegisterOut { reg });
-        self.registers.push(RegisterDef {
-            name: name.into(),
-            sources: vec![out],
-            init: value,
-            out_node: out.0,
-        });
-        out
+        self.net.constant(name, value)
     }
 
     /// Sums any number of values.
     pub fn add(&mut self, terms: &[Node]) -> Node {
-        self.push(NodeDef::Add {
-            terms: terms.to_vec(),
-        })
+        self.net.add(terms)
+    }
+
+    /// A weighted sum `Σ wᵢ·termᵢ` with integer weights folded into the
+    /// delivering transfers (no extra scaling stage).
+    pub fn add_weighted(&mut self, terms: &[(Node, u32)]) -> Node {
+        self.net.add_weighted(terms)
     }
 
     /// Multiplies a value by the rational `p/q` (with `q ∈ 1..=3`).
     pub fn scale(&mut self, src: Node, p: u32, q: u32) -> Node {
-        self.push(NodeDef::Scale { src, p, q })
+        self.net.scale(src, p, q)
     }
 
     /// Halves a value (`scale` by 1/2).
     pub fn halve(&mut self, src: Node) -> Node {
-        self.scale(src, 1, 2)
+        self.net.scale(src, 1, 2)
     }
 
     /// Doubles a value (`scale` by 2).
     pub fn double(&mut self, src: Node) -> Node {
-        self.scale(src, 2, 1)
+        self.net.scale(src, 2, 1)
     }
 
     /// Clamped subtraction: `max(minuend − subtrahend, 0)`.
@@ -234,10 +265,7 @@ impl SyncCircuit {
     /// is *itself* beyond the second stage is rejected at compile time —
     /// break such chains with a [`delay`](Self::delay).
     pub fn sub(&mut self, minuend: Node, subtrahend: Node) -> Node {
-        self.push(NodeDef::Sub {
-            minuend,
-            subtrahend,
-        })
+        self.net.sub(minuend, subtrahend)
     }
 
     /// Declares an output port fed by `source`. Outputs are implemented as
@@ -245,28 +273,23 @@ impl SyncCircuit {
     /// value of `source` at cycle `n` is readable (in the output's red
     /// species) during cycle `n + 1`.
     pub fn output(&mut self, name: &str, source: Node) {
-        self.outputs.push((name.into(), source));
+        self.net.output(name, source);
     }
 
     /// Number of expression nodes (diagnostic).
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.net.node_count()
     }
 
-    /// Lowers the netlist to a complete reaction network.
+    /// Lowers the circuit to a complete reaction network. See
+    /// [`compile_netlist`] for the errors.
     ///
     /// # Errors
     ///
-    /// * [`SyncError::DuplicatePort`] — an input/register/output name reused.
-    /// * [`SyncError::UnknownNode`] — a [`Node`] from a different circuit.
-    /// * [`SyncError::UnsupportedScale`] — a scale factor out of range.
-    /// * [`SyncError::CombinationalCycle`] — a loop not broken by a delay,
-    ///   or combinational depth that does not fit the two stages (deepen
-    ///   with registers).
-    /// * [`SyncError::InvalidAmount`] — a bad initial value or clock token.
+    /// See [`compile_netlist`].
     pub fn compile(self) -> Result<CompiledSystem, SyncError> {
-        Compiler::new(self)?.run()
+        compile_netlist(self.net, self.clock)
     }
 }
 
@@ -289,7 +312,11 @@ struct Uses {
 }
 
 struct Compiler {
-    circuit: SyncCircuit,
+    clock: ClockSpec,
+    nodes: Vec<NodeOp>,
+    registers: Vec<Register>,
+    inputs: Vec<(String, Node)>,
+    outputs: Vec<(String, Node)>,
     builder: SchemeBuilder,
     stage: Vec<Stage>,
     uses: Vec<Uses>,
@@ -304,12 +331,17 @@ struct Compiler {
 }
 
 impl Compiler {
-    fn new(circuit: SyncCircuit) -> Result<Self, SyncError> {
-        let mut builder = SchemeBuilder::new(circuit.clock.config);
+    fn new(netlist: Netlist, clock: ClockSpec) -> Result<Self, SyncError> {
+        let mut builder = SchemeBuilder::new(clock.config);
         let waste = builder.uncolored("waste");
-        let n = circuit.nodes.len();
+        let (nodes, registers, inputs, outputs) = netlist.into_parts();
+        let n = nodes.len();
         Ok(Compiler {
-            circuit,
+            clock,
+            nodes,
+            registers,
+            inputs,
+            outputs,
             builder,
             stage: vec![Stage::Green; n],
             uses: vec![Uses::default(); n],
@@ -340,12 +372,11 @@ impl Compiler {
     fn validate_names(&self) -> Result<(), SyncError> {
         let mut seen = HashMap::new();
         let names = self
-            .circuit
             .inputs
             .iter()
             .map(|(n, _)| n)
-            .chain(self.circuit.registers.iter().map(|r| &r.name))
-            .chain(self.circuit.outputs.iter().map(|(n, _)| n));
+            .chain(self.registers.iter().map(|r| &r.name))
+            .chain(self.outputs.iter().map(|(n, _)| n));
         for name in names {
             if seen.insert(name.clone(), ()).is_some() {
                 return Err(SyncError::DuplicatePort { name: name.clone() });
@@ -355,28 +386,36 @@ impl Compiler {
     }
 
     fn validate_nodes(&self) -> Result<(), SyncError> {
-        let n = self.circuit.nodes.len();
+        let n = self.nodes.len();
         let check = |node: Node| -> Result<(), SyncError> {
-            if node.0 >= n {
-                return Err(SyncError::UnknownNode { index: node.0 });
+            if node.index() >= n {
+                return Err(SyncError::UnknownNode {
+                    index: node.index(),
+                });
             }
             Ok(())
         };
-        for def in &self.circuit.nodes {
-            match def {
-                NodeDef::Input { .. } | NodeDef::RegisterOut { .. } => {}
-                NodeDef::Add { terms } => {
-                    for &t in terms {
+        for op in &self.nodes {
+            match op {
+                NodeOp::Input { .. } | NodeOp::RegisterOut { .. } => {}
+                NodeOp::Add { terms } => {
+                    for &(t, w) in terms {
                         check(t)?;
+                        if w == 0 {
+                            // a sum weight is a p/1 scale folded into the
+                            // delivering transfer, so zero is as
+                            // unsupported as a zero scale numerator
+                            return Err(SyncError::UnsupportedScale { p: 0, q: 1 });
+                        }
                     }
                 }
-                NodeDef::Scale { src, p, q } => {
+                NodeOp::Scale { src, p, q } => {
                     check(*src)?;
                     if *p == 0 || *q == 0 || *q > 3 {
                         return Err(SyncError::UnsupportedScale { p: *p, q: *q });
                     }
                 }
-                NodeDef::Sub {
+                NodeOp::Sub {
                     minuend,
                     subtrahend,
                 } => {
@@ -385,10 +424,10 @@ impl Compiler {
                 }
             }
         }
-        for (_, node) in &self.circuit.outputs {
+        for (_, node) in &self.outputs {
             check(*node)?;
         }
-        for reg in &self.circuit.registers {
+        for reg in &self.registers {
             if reg.sources.is_empty() {
                 return Err(SyncError::UnknownPort {
                     name: format!("{} (unbound feedback register)", reg.name),
@@ -402,14 +441,14 @@ impl Compiler {
     }
 
     fn operands(&self, i: usize) -> Vec<usize> {
-        match &self.circuit.nodes[i] {
-            NodeDef::Input { .. } | NodeDef::RegisterOut { .. } => Vec::new(),
-            NodeDef::Add { terms } => terms.iter().map(|t| t.0).collect(),
-            NodeDef::Scale { src, .. } => vec![src.0],
-            NodeDef::Sub {
+        match &self.nodes[i] {
+            NodeOp::Input { .. } | NodeOp::RegisterOut { .. } => Vec::new(),
+            NodeOp::Add { terms } => terms.iter().map(|(t, _)| t.index()).collect(),
+            NodeOp::Scale { src, .. } => vec![src.index()],
+            NodeOp::Sub {
                 minuend,
                 subtrahend,
-            } => vec![minuend.0, subtrahend.0],
+            } => vec![minuend.index(), subtrahend.index()],
         }
     }
 
@@ -425,7 +464,7 @@ impl Compiler {
             Grey,
             Black,
         }
-        let n = self.circuit.nodes.len();
+        let n = self.nodes.len();
         let mut marks = vec![Mark::White; n];
         // iterative DFS computing stage
         let mut order: Vec<usize> = Vec::new();
@@ -453,12 +492,12 @@ impl Compiler {
         }
 
         for &i in &order {
-            let stage = match &self.circuit.nodes[i] {
-                NodeDef::Input { .. } | NodeDef::RegisterOut { .. } => Stage::Green,
+            let stage = match &self.nodes[i] {
+                NodeOp::Input { .. } | NodeOp::RegisterOut { .. } => Stage::Green,
                 _ => {
                     let mut stage = Stage::Green;
                     for op in self.operands(i) {
-                        let op_is_sub = matches!(self.circuit.nodes[op], NodeDef::Sub { .. });
+                        let op_is_sub = matches!(self.nodes[op], NodeOp::Sub { .. });
                         match (self.stage[op], op_is_sub) {
                             (Stage::Green, false) => {}
                             (Stage::Green, true) => stage = Stage::Blue,
@@ -480,16 +519,15 @@ impl Compiler {
 
     /// Turns output ports into discard registers.
     fn materialize_outputs(&mut self) {
-        let outputs = std::mem::take(&mut self.circuit.outputs);
-        for (name, source) in &outputs {
-            let reg = self.circuit.registers.len();
-            self.circuit.nodes.push(NodeDef::RegisterOut { reg });
-            let out_node = self.circuit.nodes.len() - 1;
-            self.circuit.registers.push(RegisterDef {
+        for (name, source) in &self.outputs {
+            let reg = self.registers.len();
+            self.nodes.push(NodeOp::RegisterOut { reg });
+            let out = Node::from_index(self.nodes.len() - 1);
+            self.registers.push(Register {
                 name: name.clone(),
                 sources: vec![*source],
                 init: 0.0,
-                out_node,
+                out,
             });
             self.stage.push(Stage::Green);
             self.uses.push(Uses::default());
@@ -498,11 +536,10 @@ impl Compiler {
             self.green_copies.push(Vec::new());
             self.blue_copies.push(Vec::new());
         }
-        self.circuit.outputs = outputs;
     }
 
     fn allocate_registers(&mut self) -> Result<(), SyncError> {
-        for reg in &self.circuit.registers {
+        for reg in &self.registers {
             if !(reg.init.is_finite() && reg.init >= 0.0) {
                 return Err(SyncError::InvalidAmount { value: reg.init });
             }
@@ -518,7 +555,7 @@ impl Compiler {
     /// Counts, for every node, how many same-stage fast ops consume it and
     /// which register reds it commits to.
     fn count_uses(&mut self) -> Result<(), SyncError> {
-        for i in 0..self.circuit.nodes.len() {
+        for i in 0..self.nodes.len() {
             for op in self.operands(i) {
                 match self.stage[i] {
                     Stage::Green => self.uses[op].green_ops += 1,
@@ -528,16 +565,16 @@ impl Compiler {
                 }
             }
         }
-        for (r, reg) in self.circuit.registers.iter().enumerate() {
+        for (r, reg) in self.registers.iter().enumerate() {
             for &src in &reg.sources {
                 let red = self.register_reds[r];
-                self.uses[src.0].commits.push(red);
+                self.uses[src.index()].commits.push(red);
             }
         }
         // Subtraction results must not feed same-stage fast logic. Green
         // subs are safe by stage inference; blue subs may only commit.
-        for (i, def) in self.circuit.nodes.iter().enumerate() {
-            if matches!(def, NodeDef::Sub { .. })
+        for (i, op) in self.nodes.iter().enumerate() {
+            if matches!(op, NodeOp::Sub { .. })
                 && self.stage[i] == Stage::Blue
                 && self.uses[i].blue_ops > 0
             {
@@ -550,7 +587,7 @@ impl Compiler {
     // ---- emission -------------------------------------------------------
 
     fn emit_clock(&mut self) -> Result<(), SyncError> {
-        let token = self.circuit.clock.token;
+        let token = self.clock.token;
         if !(token.is_finite() && token > 0.0) {
             return Err(SyncError::InvalidAmount { value: token });
         }
@@ -572,12 +609,12 @@ impl Compiler {
     }
 
     fn node_name(&self, i: usize) -> String {
-        match &self.circuit.nodes[i] {
-            NodeDef::Input { name } => format!("in.{name}"),
-            NodeDef::RegisterOut { reg } => format!("{}.out", self.circuit.registers[*reg].name),
-            NodeDef::Add { .. } => format!("n{i}.sum"),
-            NodeDef::Scale { .. } => format!("n{i}.scl"),
-            NodeDef::Sub { .. } => format!("n{i}.dif"),
+        match &self.nodes[i] {
+            NodeOp::Input { name } => format!("in.{name}"),
+            NodeOp::RegisterOut { reg } => format!("{}.out", self.registers[*reg].name),
+            NodeOp::Add { .. } => format!("n{i}.sum"),
+            NodeOp::Scale { .. } => format!("n{i}.scl"),
+            NodeOp::Sub { .. } => format!("n{i}.dif"),
         }
     }
 
@@ -630,10 +667,10 @@ impl Compiler {
     }
 
     fn emit_nodes(&mut self) -> Result<(), SyncError> {
-        for i in 0..self.circuit.nodes.len() {
+        for i in 0..self.nodes.len() {
             self.emit_node_value(i)?;
         }
-        for i in 0..self.circuit.nodes.len() {
+        for i in 0..self.nodes.len() {
             self.emit_node_distribution(i)?;
         }
         Ok(())
@@ -643,22 +680,24 @@ impl Compiler {
     /// copies.
     fn emit_node_value(&mut self, i: usize) -> Result<(), SyncError> {
         let stage = self.stage[i];
-        match self.circuit.nodes[i].clone() {
+        match self.nodes[i].clone() {
             // Inputs are injected into their green species; register reads
             // are produced by the register rotation (emitted separately).
-            NodeDef::Input { .. } | NodeDef::RegisterOut { .. } => Ok(()),
-            NodeDef::Add { terms } => {
+            NodeOp::Input { .. } | NodeOp::RegisterOut { .. } => Ok(()),
+            NodeOp::Add { terms } => {
                 let value = self.value_species(i)?;
-                for t in terms {
-                    let copy = self.copy_species(t.0, stage)?;
+                for (t, w) in terms {
+                    let copy = self.copy_species(t.index(), stage)?;
+                    // weight folds into the delivery: one copy molecule
+                    // yields w result molecules
                     self.builder
-                        .fast(&[(copy, 1)], &[(value, 1)], &format!("add into n{i}"))?;
+                        .fast(&[(copy, 1)], &[(value, w)], &format!("add into n{i}"))?;
                 }
                 Ok(())
             }
-            NodeDef::Scale { src, p, q } => {
+            NodeOp::Scale { src, p, q } => {
                 let value = self.value_species(i)?;
-                let copy = self.copy_species(src.0, stage)?;
+                let copy = self.copy_species(src.index(), stage)?;
                 self.builder.fast(
                     &[(copy, q)],
                     &[(value, p)],
@@ -675,13 +714,13 @@ impl Compiler {
                 }
                 Ok(())
             }
-            NodeDef::Sub {
+            NodeOp::Sub {
                 minuend,
                 subtrahend,
             } => {
                 let value = self.value_species(i)?;
-                let m = self.copy_species(minuend.0, stage)?;
-                let s = self.copy_species(subtrahend.0, stage)?;
+                let m = self.copy_species(minuend.index(), stage)?;
+                let s = self.copy_species(subtrahend.index(), stage)?;
                 self.builder
                     .fast(&[(m, 1)], &[(value, 1)], &format!("sub move n{i}"))?;
                 self.builder
@@ -803,11 +842,11 @@ impl Compiler {
     /// red and becomes the register's read value (its `RegisterOut` node's
     /// green species).
     fn emit_register_rotations(&mut self) -> Result<(), SyncError> {
-        for r in 0..self.circuit.registers.len() {
+        for r in 0..self.registers.len() {
             let red = self.register_reds[r];
-            let out_node = self.circuit.registers[r].out_node;
+            let out_node = self.registers[r].out.index();
             let green = self.green_value(out_node)?;
-            let name = self.circuit.registers[r].name.clone();
+            let name = self.registers[r].name.clone();
             self.builder
                 .transfer(red, &[(green, 1)], &format!("{name} R->G"))?;
         }
@@ -817,8 +856,8 @@ impl Compiler {
     fn finish(mut self) -> Result<CompiledSystem, SyncError> {
         // Input species map (inputs are injected into their green value).
         let mut input_map = HashMap::new();
-        for (name, node) in self.circuit.inputs.clone() {
-            let s = self.green_value(node)?;
+        for (name, node) in self.inputs.clone() {
+            let s = self.green_value(node.index())?;
             input_map.insert(name, s);
         }
 
@@ -826,11 +865,11 @@ impl Compiler {
             red: self.builder.signal("clk.R", Color::Red)?,
             green: self.builder.signal("clk.G", Color::Green)?,
             blue: self.builder.signal("clk.B", Color::Blue)?,
-            token: self.circuit.clock.token,
+            token: self.clock.token,
         };
 
         let mut registers = HashMap::new();
-        for (r, reg) in self.circuit.registers.iter().enumerate() {
+        for (r, reg) in self.registers.iter().enumerate() {
             registers.insert(
                 reg.name.clone(),
                 RegisterHandles {
@@ -839,12 +878,7 @@ impl Compiler {
                 },
             );
         }
-        let outputs: Vec<String> = self
-            .circuit
-            .outputs
-            .iter()
-            .map(|(n, _)| n.clone())
-            .collect();
+        let outputs: Vec<String> = self.outputs.iter().map(|(n, _)| n.clone()).collect();
 
         debug_assert!(
             self.builder.stall_risks().is_empty(),
@@ -911,6 +945,19 @@ mod tests {
         assert!(matches!(
             c.compile(),
             Err(SyncError::UnsupportedScale { p: 1, q: 4 })
+        ));
+    }
+
+    #[test]
+    fn zero_sum_weight_is_rejected() {
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let d = c.delay("d", x);
+        let s = c.add_weighted(&[(x, 1), (d, 0)]);
+        c.output("y", s);
+        assert!(matches!(
+            c.compile(),
+            Err(SyncError::UnsupportedScale { p: 0, q: 1 })
         ));
     }
 
@@ -1021,5 +1068,78 @@ mod tests {
         let d = c.delay("d", x);
         let _ = c.add(&[x, d]);
         assert_eq!(c.node_count(), 3);
+    }
+
+    #[test]
+    fn netlist_source_compiles_end_to_end() {
+        let src = "\
+module avg {
+  input x
+  wire t0 = 1/2 * x
+  reg z1
+  z1 <= x
+  wire t1 = 1/2 * z1
+  output y = t0 + t1
+}
+";
+        let sys = compile_netlist_source(src, ClockSpec::default()).unwrap();
+        assert!(sys.input_species("x").is_ok());
+        assert!(sys.output_species("y").is_ok());
+        assert!(sys.crn().validate().is_empty());
+    }
+
+    #[test]
+    fn netlist_source_errors_carry_positions() {
+        let err = compile_netlist_source("module m {\n  wire y = nope\n}\n", ClockSpec::default())
+            .unwrap_err();
+        match err {
+            NetlistSourceError::Parse(p) => assert_eq!((p.line, p.col), (2, 12)),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        // structurally bad but textually fine: lowering rejects it
+        let err = compile_netlist_source(
+            "module m {\n  input x\n  wire y = 1/4 * x\n  output z = y\n}\n",
+            ClockSpec::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistSourceError::Compile(SyncError::UnsupportedScale { p: 1, q: 4 })
+        ));
+    }
+
+    #[test]
+    fn facade_and_netlist_compile_identically() {
+        // the same averager, once through the façade and once as text:
+        // identical CRN reaction-for-reaction, species-for-species
+        let mut c = SyncCircuit::new(ClockSpec::default());
+        let x = c.input("x");
+        let t0 = c.halve(x);
+        let d = c.delay("z1", x);
+        let t1 = c.halve(d);
+        let y = c.add(&[t0, t1]);
+        c.output("y", y);
+        let by_facade = c.compile().unwrap();
+
+        let src = "\
+module avg {
+  input x
+  wire t0 = 1/2 * x
+  reg z1
+  z1 <= x
+  wire t1 = 1/2 * z1
+  output y = t0 + t1
+}
+";
+        let by_text = compile_netlist_source(src, ClockSpec::default()).unwrap();
+        assert_eq!(
+            by_facade.crn().to_string(),
+            by_text.crn().to_string(),
+            "one lowering path must produce one CRN"
+        );
+        assert_eq!(
+            by_facade.crn().structural_hash(),
+            by_text.crn().structural_hash()
+        );
     }
 }

@@ -78,7 +78,9 @@ mod runner;
 mod scheme;
 mod system;
 
-pub use circuit::{Node, SyncCircuit};
+pub use circuit::{
+    compile_netlist, compile_netlist_source, Netlist, NetlistSourceError, Node, SyncCircuit,
+};
 pub use clock::{Clock, DelayChain};
 pub use color::Color;
 pub use counter::BinaryCounter;

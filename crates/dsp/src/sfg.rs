@@ -1,11 +1,12 @@
 //! The signal-flow-graph builder.
 
 use crate::Ratio;
-use molseq_sync::{ClockSpec, CompiledSystem, Node, SyncCircuit, SyncError};
+use molseq_sync::{compile_netlist, ClockSpec, CompiledSystem, Netlist, Node, SyncError};
 
-/// A DSP-flavoured wrapper over [`SyncCircuit`]: the same expression DAG,
-/// with rational gains synthesized as scaling cascades and auto-named
-/// delay registers.
+/// A DSP-flavoured façade over the netlist IR ([`Netlist`]): the same
+/// expression DAG, with rational gains synthesized as scaling cascades
+/// and auto-named delay registers, compiled through the one shared
+/// lowering path ([`compile_netlist`]).
 ///
 /// # Examples
 ///
@@ -31,7 +32,8 @@ use molseq_sync::{ClockSpec, CompiledSystem, Node, SyncCircuit, SyncError};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SfgBuilder {
-    circuit: SyncCircuit,
+    clock: ClockSpec,
+    net: Netlist,
     auto_delays: usize,
     auto_gains: usize,
 }
@@ -41,32 +43,39 @@ impl SfgBuilder {
     #[must_use]
     pub fn new(clock: ClockSpec) -> Self {
         SfgBuilder {
-            circuit: SyncCircuit::new(clock),
+            clock,
+            net: Netlist::new(),
             auto_delays: 0,
             auto_gains: 0,
         }
     }
 
+    /// The underlying IR.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.net
+    }
+
     /// Declares an input port.
     pub fn input(&mut self, name: &str) -> Node {
-        self.circuit.input(name)
+        self.net.input(name)
     }
 
     /// A unit delay (`z⁻¹`), auto-named.
     pub fn delay(&mut self, src: Node) -> Node {
         self.auto_delays += 1;
-        self.circuit.delay(&format!("z{}", self.auto_delays), src)
+        self.net.delay(&format!("z{}", self.auto_delays), src, 0.0)
     }
 
     /// A named unit delay.
     pub fn named_delay(&mut self, name: &str, src: Node) -> Node {
-        self.circuit.delay(name, src)
+        self.net.delay(name, src, 0.0)
     }
 
     /// A feedback register (bind its source later with
     /// [`bind_feedback`](Self::bind_feedback)).
     pub fn feedback(&mut self, name: &str) -> Node {
-        self.circuit.feedback_delay(name)
+        self.net.register(name, 0.0)
     }
 
     /// Binds the source of a feedback register.
@@ -75,7 +84,7 @@ impl SfgBuilder {
     ///
     /// [`SyncError::UnknownPort`] if no register has that name.
     pub fn bind_feedback(&mut self, name: &str, source: Node) -> Result<(), SyncError> {
-        self.circuit.rebind_register(name, source)
+        self.net.bind(name, source).map_err(SyncError::from)
     }
 
     /// A rational gain, synthesized as a cascade of molecular scaling
@@ -93,34 +102,34 @@ impl SfgBuilder {
             if (p, q) == (1, 1) {
                 continue;
             }
-            node = self.circuit.scale(node, p, q);
+            node = self.net.scale(node, p, q);
         }
         Ok(node)
     }
 
     /// Sums any number of signals.
     pub fn add(&mut self, terms: &[Node]) -> Node {
-        self.circuit.add(terms)
+        self.net.add(terms)
     }
 
     /// Clamped difference `max(a − b, 0)` — used for negative filter
     /// coefficients (the subtracted branch).
     pub fn sub(&mut self, a: Node, b: Node) -> Node {
-        self.circuit.sub(a, b)
+        self.net.sub(a, b)
     }
 
     /// Declares an output port.
     pub fn output(&mut self, name: &str, src: Node) {
-        self.circuit.output(name, src);
+        self.net.output(name, src);
     }
 
     /// Compiles to a reaction system.
     ///
     /// # Errors
     ///
-    /// See [`SyncCircuit::compile`].
+    /// See [`compile_netlist`].
     pub fn compile(self) -> Result<CompiledSystem, SyncError> {
-        self.circuit.compile()
+        compile_netlist(self.net, self.clock)
     }
 }
 

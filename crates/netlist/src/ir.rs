@@ -1,0 +1,507 @@
+//! The flat circuit IR: an expression DAG over inputs and register reads,
+//! plus the register (delay-element) table and named output ports.
+//!
+//! A [`Netlist`] is *backend-neutral*: it records what the circuit
+//! computes (weighted sums, rational scalings, clamped subtractions,
+//! registers with initial values) and says nothing about reactions,
+//! colors, or phases. Lowering to the three-phase delay-element reaction
+//! scheme lives in `molseq-sync` (`compile_netlist`), which consumes this
+//! IR; `SyncCircuit` and `SfgBuilder` are thin façades over it.
+//!
+//! Hierarchy is handled by *flattening at instantiation*:
+//! [`Netlist::instantiate`] inlines a child netlist under a dotted name
+//! prefix, binding the child's input ports to parent nodes and exposing
+//! the child's outputs as parent registers (read with one cycle of
+//! delay, exactly like a top-level output port).
+
+use std::fmt;
+
+/// A handle to a value in the expression DAG of a [`Netlist`].
+///
+/// Nodes are plain indices into the owning netlist; using a node with a
+/// different netlist is caught at compile time (`UnknownNode`), not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node(usize);
+
+impl Node {
+    /// The node's index in the owning netlist's DAG.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw index. For compiler back-ends walking
+    /// the DAG; an out-of-range index is rejected when the netlist is
+    /// compiled.
+    #[must_use]
+    pub fn from_index(index: usize) -> Node {
+        Node(index)
+    }
+}
+
+/// One operation of the expression DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeOp {
+    /// An external input port; one sample per clock cycle is injected by
+    /// the harness.
+    Input {
+        /// Port name.
+        name: String,
+    },
+    /// The read value of register `reg` (index into
+    /// [`Netlist::registers`]).
+    RegisterOut {
+        /// Register index.
+        reg: usize,
+    },
+    /// A weighted sum `Σ wᵢ·termᵢ` with integer weights `wᵢ ≥ 1`.
+    /// Weight-1 terms are plain addition; larger weights fold the
+    /// multiplication into the transfer that delivers the term.
+    Add {
+        /// `(term, weight)` pairs.
+        terms: Vec<(Node, u32)>,
+    },
+    /// Rational scaling by `p/q`.
+    Scale {
+        /// Scaled value.
+        src: Node,
+        /// Numerator (`≥ 1`).
+        p: u32,
+        /// Denominator (`1..=3` — at most a three-body collision).
+        q: u32,
+    },
+    /// Clamped subtraction `max(minuend − subtrahend, 0)`.
+    Sub {
+        /// Value subtracted from.
+        minuend: Node,
+        /// Value subtracted.
+        subtrahend: Node,
+    },
+}
+
+/// A register (delay element): holds a value for one clock cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Register {
+    /// Register name (unique among ports at compile time).
+    pub name: String,
+    /// Next-value sources: each source's value commits into the register,
+    /// so multiple sources sum naturally. Empty means an unbound feedback
+    /// register, rejected at compile time.
+    pub sources: Vec<Node>,
+    /// Initial stored value.
+    pub init: f64,
+    /// The `RegisterOut` node reading this register.
+    pub out: Node,
+}
+
+/// Errors from netlist construction and instantiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// `bind`/`commit` named a register that does not exist.
+    UnknownRegister {
+        /// The missing register name.
+        name: String,
+    },
+    /// `instantiate` connected a port the child does not declare.
+    UnknownInput {
+        /// The connection's port name.
+        name: String,
+    },
+    /// `instantiate` left a child input port unconnected.
+    UnconnectedInput {
+        /// The unconnected port name.
+        name: String,
+    },
+    /// A child netlist referenced a node index it does not contain.
+    InvalidNode {
+        /// The out-of-range index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownRegister { name } => {
+                write!(f, "unknown register `{name}`")
+            }
+            NetlistError::UnknownInput { name } => {
+                write!(f, "child module has no input port `{name}`")
+            }
+            NetlistError::UnconnectedInput { name } => {
+                write!(f, "child input port `{name}` is unconnected")
+            }
+            NetlistError::InvalidNode { index } => {
+                write!(f, "child netlist references missing node {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// The circuit IR builder. See the [module docs](self) for the model.
+///
+/// Construction methods never fail except where a *name* must resolve
+/// ([`bind`](Self::bind), [`commit`](Self::commit)) or a child is
+/// instantiated; structural validation (weights, scale ranges, foreign
+/// nodes, combinational cycles) happens when the netlist is lowered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    nodes: Vec<NodeOp>,
+    registers: Vec<Register>,
+    inputs: Vec<(String, Node)>,
+    outputs: Vec<(String, Node)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    fn push(&mut self, op: NodeOp) -> Node {
+        self.nodes.push(op);
+        Node(self.nodes.len() - 1)
+    }
+
+    /// Declares an external input port.
+    pub fn input(&mut self, name: &str) -> Node {
+        let node = self.push(NodeOp::Input { name: name.into() });
+        self.inputs.push((name.into(), node));
+        node
+    }
+
+    /// Declares a register with no next-value source yet (a feedback
+    /// register; supply the source later with [`bind`](Self::bind) or
+    /// [`commit`](Self::commit)). Returns the node reading the register's
+    /// *current* value.
+    pub fn register(&mut self, name: &str, init: f64) -> Node {
+        let reg = self.registers.len();
+        let out = self.push(NodeOp::RegisterOut { reg });
+        self.registers.push(Register {
+            name: name.into(),
+            sources: Vec::new(),
+            init,
+            out,
+        });
+        out
+    }
+
+    /// Declares a delay element: the returned node reads the register's
+    /// current value; its next value is `source`.
+    pub fn delay(&mut self, name: &str, source: Node, init: f64) -> Node {
+        let out = self.register(name, init);
+        let reg = self.registers.len() - 1;
+        self.registers[reg].sources = vec![source];
+        out
+    }
+
+    /// Declares a constant source: a register initialized to `value` that
+    /// feeds itself, regenerating the quantity every cycle.
+    pub fn constant(&mut self, name: &str, value: f64) -> Node {
+        let out = self.register(name, value);
+        let reg = self.registers.len() - 1;
+        self.registers[reg].sources = vec![out];
+        out
+    }
+
+    /// Points register `name` at a (new) next-value source, replacing any
+    /// previous sources.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownRegister`] if no register has that name.
+    pub fn bind(&mut self, name: &str, source: Node) -> Result<(), NetlistError> {
+        let reg = self.register_mut(name)?;
+        reg.sources = vec![source];
+        Ok(())
+    }
+
+    /// Adds a further next-value source to register `name`: the committed
+    /// values of all sources **sum** into the register.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownRegister`] if no register has that name.
+    pub fn commit(&mut self, name: &str, source: Node) -> Result<(), NetlistError> {
+        let reg = self.register_mut(name)?;
+        reg.sources.push(source);
+        Ok(())
+    }
+
+    fn register_mut(&mut self, name: &str) -> Result<&mut Register, NetlistError> {
+        self.registers
+            .iter_mut()
+            .find(|r| r.name == name)
+            .ok_or_else(|| NetlistError::UnknownRegister { name: name.into() })
+    }
+
+    /// Sums any number of values with unit weights.
+    pub fn add(&mut self, terms: &[Node]) -> Node {
+        let terms = terms.iter().map(|&t| (t, 1)).collect();
+        self.push(NodeOp::Add { terms })
+    }
+
+    /// A weighted sum `Σ wᵢ·termᵢ`. Integer weights fold into the
+    /// transfers delivering each term (no extra scaling node); a weight
+    /// of 0 is rejected at compile time.
+    pub fn add_weighted(&mut self, terms: &[(Node, u32)]) -> Node {
+        self.push(NodeOp::Add {
+            terms: terms.to_vec(),
+        })
+    }
+
+    /// Multiplies a value by the rational `p/q` (with `q ∈ 1..=3`).
+    pub fn scale(&mut self, src: Node, p: u32, q: u32) -> Node {
+        self.push(NodeOp::Scale { src, p, q })
+    }
+
+    /// Clamped subtraction `max(minuend − subtrahend, 0)`.
+    pub fn sub(&mut self, minuend: Node, subtrahend: Node) -> Node {
+        self.push(NodeOp::Sub {
+            minuend,
+            subtrahend,
+        })
+    }
+
+    /// Declares an output port fed by `source`.
+    pub fn output(&mut self, name: &str, source: Node) {
+        self.outputs.push((name.into(), source));
+    }
+
+    /// Number of expression nodes (diagnostic).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The expression DAG in creation order.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeOp] {
+        &self.nodes
+    }
+
+    /// The register table in creation order.
+    #[must_use]
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// Declared input ports (name, node) in creation order.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, Node)] {
+        &self.inputs
+    }
+
+    /// Declared output ports (name, source node) in creation order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, Node)] {
+        &self.outputs
+    }
+
+    /// Decomposes the netlist into its tables, for compiler back-ends.
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(
+        self,
+    ) -> (
+        Vec<NodeOp>,
+        Vec<Register>,
+        Vec<(String, Node)>,
+        Vec<(String, Node)>,
+    ) {
+        (self.nodes, self.registers, self.inputs, self.outputs)
+    }
+
+    /// Inlines `child` into this netlist under `prefix`.
+    ///
+    /// Every child register becomes a parent register named
+    /// `"{prefix}.{name}"`; every child input port must be connected to a
+    /// parent node via `connections`; every child output port becomes a
+    /// parent register `"{prefix}.{name}"` (initial value 0) holding the
+    /// output value, so instance outputs — like top-level outputs — are
+    /// read with one cycle of delay. Returns the child's output ports as
+    /// `(unprefixed name, parent read node)` pairs in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::UnknownInput`] — a connection names a port the
+    ///   child does not declare.
+    /// * [`NetlistError::UnconnectedInput`] — a child input got no
+    ///   connection.
+    /// * [`NetlistError::InvalidNode`] — the child references a node it
+    ///   does not contain (only possible with hand-forged handles).
+    pub fn instantiate(
+        &mut self,
+        prefix: &str,
+        child: &Netlist,
+        connections: &[(&str, Node)],
+    ) -> Result<Vec<(String, Node)>, NetlistError> {
+        for (name, _) in connections {
+            if !child.inputs.iter().any(|(n, _)| n == name) {
+                return Err(NetlistError::UnknownInput {
+                    name: (*name).to_owned(),
+                });
+            }
+        }
+
+        // Pre-create the child's registers so child register indices map
+        // to parent indices by a fixed offset regardless of node order.
+        let reg_base = self.registers.len();
+        for reg in &child.registers {
+            self.registers.push(Register {
+                name: format!("{prefix}.{}", reg.name),
+                sources: Vec::new(),
+                init: reg.init,
+                out: Node(usize::MAX), // fixed when the RegisterOut maps
+            });
+        }
+
+        // Map child nodes to parent nodes in child creation order; every
+        // operand of a child op precedes the op in that order.
+        let mut map: Vec<Option<Node>> = vec![None; child.nodes.len()];
+        let resolve = |map: &[Option<Node>], node: Node| -> Result<Node, NetlistError> {
+            map.get(node.0)
+                .copied()
+                .flatten()
+                .ok_or(NetlistError::InvalidNode { index: node.0 })
+        };
+        for (i, op) in child.nodes.iter().enumerate() {
+            let node = match op {
+                NodeOp::Input { name } => connections
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, node)| node)
+                    .ok_or_else(|| NetlistError::UnconnectedInput { name: name.clone() })?,
+                NodeOp::RegisterOut { reg } => {
+                    let node = self.push(NodeOp::RegisterOut {
+                        reg: reg_base + reg,
+                    });
+                    self.registers[reg_base + reg].out = node;
+                    node
+                }
+                NodeOp::Add { terms } => {
+                    let terms = terms
+                        .iter()
+                        .map(|&(t, w)| Ok((resolve(&map, t)?, w)))
+                        .collect::<Result<Vec<_>, NetlistError>>()?;
+                    self.push(NodeOp::Add { terms })
+                }
+                NodeOp::Scale { src, p, q } => {
+                    let src = resolve(&map, *src)?;
+                    self.push(NodeOp::Scale { src, p: *p, q: *q })
+                }
+                NodeOp::Sub {
+                    minuend,
+                    subtrahend,
+                } => {
+                    let minuend = resolve(&map, *minuend)?;
+                    let subtrahend = resolve(&map, *subtrahend)?;
+                    self.push(NodeOp::Sub {
+                        minuend,
+                        subtrahend,
+                    })
+                }
+            };
+            map[i] = Some(node);
+        }
+
+        for (r, reg) in child.registers.iter().enumerate() {
+            self.registers[reg_base + r].sources = reg
+                .sources
+                .iter()
+                .map(|&s| resolve(&map, s))
+                .collect::<Result<Vec<_>, NetlistError>>()?;
+        }
+
+        let mut outs = Vec::new();
+        for (name, src) in &child.outputs {
+            let src = resolve(&map, *src)?;
+            let out = self.delay(&format!("{prefix}.{name}"), src, 0.0);
+            outs.push((name.clone(), out));
+        }
+        Ok(outs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn averager() -> Netlist {
+        let mut n = Netlist::new();
+        let x = n.input("x");
+        let d = n.delay("d", x, 0.0);
+        let s = n.add(&[x, d]);
+        let y = n.scale(s, 1, 2);
+        n.output("y", y);
+        n
+    }
+
+    #[test]
+    fn builder_records_tables() {
+        let n = averager();
+        assert_eq!(n.node_count(), 4);
+        assert_eq!(n.registers().len(), 1);
+        assert_eq!(n.inputs().len(), 1);
+        assert_eq!(n.outputs(), &[("y".to_owned(), Node(3))]);
+    }
+
+    #[test]
+    fn bind_and_commit_resolve_by_name() {
+        let mut n = Netlist::new();
+        let x = n.input("x");
+        let acc = n.register("acc", 0.0);
+        n.bind("acc", x).unwrap();
+        n.commit("acc", acc).unwrap();
+        assert_eq!(n.registers()[0].sources, vec![x, acc]);
+        assert!(matches!(
+            n.bind("nope", x),
+            Err(NetlistError::UnknownRegister { .. })
+        ));
+    }
+
+    #[test]
+    fn instantiate_flattens_with_prefix() {
+        let child = averager();
+        let mut top = Netlist::new();
+        let u = top.input("u");
+        let outs = top.instantiate("avg", &child, &[("x", u)]).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].0, "y");
+        // child register + output register, both prefixed
+        let names: Vec<&str> = top.registers().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["avg.d", "avg.y"]);
+        // the child's input node created no parent node
+        assert_eq!(top.node_count(), 1 + 3 + 1);
+    }
+
+    #[test]
+    fn instantiate_rejects_bad_connections() {
+        let child = averager();
+        let mut top = Netlist::new();
+        let u = top.input("u");
+        assert!(matches!(
+            top.instantiate("a", &child, &[("nope", u)]),
+            Err(NetlistError::UnknownInput { .. })
+        ));
+        assert!(matches!(
+            top.instantiate("a", &child, &[]),
+            Err(NetlistError::UnconnectedInput { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_add_keeps_weights() {
+        let mut n = Netlist::new();
+        let x = n.input("x");
+        let d = n.delay("d", x, 0.0);
+        let s = n.add_weighted(&[(x, 2), (d, 1)]);
+        match &n.nodes()[s.index()] {
+            NodeOp::Add { terms } => assert_eq!(terms, &vec![(x, 2), (d, 1)]),
+            other => panic!("expected Add, got {other:?}"),
+        }
+    }
+}

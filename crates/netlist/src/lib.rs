@@ -1,0 +1,36 @@
+//! Hierarchical synchronous-circuit IR and textual netlist format.
+//!
+//! This crate is the *front half* of the molecular circuit compiler: a
+//! backend-neutral IR for clocked circuits — registers with initial
+//! values, weighted-sum / rational-scale / clamped-subtract combinational
+//! ops, fan-out, named inputs and outputs, and child instances flattened
+//! under dotted prefixes — plus a small line-oriented text format with
+//! positioned errors. Lowering the IR onto the three-phase delay-element
+//! reaction scheme lives in `molseq-sync` (`compile_netlist`), and the
+//! legacy `SyncCircuit` / `SfgBuilder` builders are thin façades over the
+//! [`Netlist`] defined here, so there is exactly one lowering path.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use molseq_netlist::parse_netlist;
+//!
+//! let net = parse_netlist(
+//!     "module avg {\n\
+//!      \x20 input x\n\
+//!      \x20 reg z1\n\
+//!      \x20 z1 <= x\n\
+//!      \x20 output y = 1/2 * x + 1/2 * z1\n\
+//!      }\n",
+//! )
+//! .unwrap();
+//! assert_eq!(net.registers().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod ir;
+mod parse;
+
+pub use ir::{Netlist, NetlistError, Node, NodeOp, Register};
+pub use parse::{parse_netlist, parse_program, ParseError, Program};

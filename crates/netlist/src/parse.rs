@@ -1,0 +1,973 @@
+//! The textual netlist format.
+//!
+//! One statement per line; `#` starts a comment; blank lines are
+//! skipped. A file holds one or more modules, and the **last** module is
+//! the top by convention (like a classic HDL file reading bottom-up):
+//!
+//! ```text
+//! module avg {
+//!   input x
+//!   reg z1                 # delay register, initial value 0
+//!   z1 <= x                # next-cycle value (commits sum)
+//!   wire t0 = 1/2 * x
+//!   wire t1 = 1/2 * z1
+//!   output y = t0 + t1
+//! }
+//! ```
+//!
+//! Statements:
+//!
+//! ```text
+//! module NAME {                    open a module
+//! }                                close it
+//! input NAME                       external input port
+//! const NAME = NUMBER              self-regenerating constant source
+//! reg NAME [= NUMBER]              register, optional initial value
+//! wire NAME = EXPR                 named combinational value
+//! NAME <= EXPR                     commit: register next-value source
+//!                                  (multiple commits to one register sum)
+//! output NAME = EXPR               output port (read one cycle later)
+//! inst NAME = MODULE(PORT = EXPR, ...)   child instance; its outputs
+//!                                  are read as NAME.PORT (one-cycle delay)
+//! ```
+//!
+//! Expressions are sums and clamped differences, left-associative:
+//!
+//! ```text
+//! EXPR    := TERM { ("+" | "-") TERM }
+//! TERM    := INT "*" PRIMARY | INT "/" INT "*" PRIMARY | PRIMARY
+//! PRIMARY := IDENT | "(" EXPR ")"
+//! ```
+//!
+//! `-` is the molecular clamped subtraction `max(a − b, 0)`. An integer
+//! weight inside a multi-term sum folds into the transfer delivering the
+//! term; a standalone `N * x` or `P/Q * x` becomes a scaling node.
+//!
+//! Every error carries a 1-based line and column.
+
+use crate::ir::{Netlist, Node};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse or elaboration error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ParseError {
+    fn new(line: usize, col: usize, msg: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---- lexer ----------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Eq,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    /// The commit arrow `<=`.
+    Arrow,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Number(s) => write!(f, "`{s}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Arrow => write!(f, "`<=`"),
+        }
+    }
+}
+
+fn lex_line(line_no: usize, line: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let code = line.split('#').next().unwrap_or("");
+    let mut toks = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let col = i + 1;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '{' => {
+                toks.push((Tok::LBrace, col));
+                i += 1;
+            }
+            '}' => {
+                toks.push((Tok::RBrace, col));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, col));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, col));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, col));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, col));
+                i += 1;
+            }
+            '+' => {
+                toks.push((Tok::Plus, col));
+                i += 1;
+            }
+            '-' => {
+                toks.push((Tok::Minus, col));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::Star, col));
+                i += 1;
+            }
+            '/' => {
+                toks.push((Tok::Slash, col));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Arrow, col));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(
+                        line_no,
+                        col,
+                        "stray `<` (did you mean `<=`?)",
+                    ));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident(code[start..i].to_owned()), col));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                toks.push((Tok::Number(code[start..i].to_owned()), col));
+            }
+            c => {
+                return Err(ParseError::new(
+                    line_no,
+                    col,
+                    format!("unexpected character `{c}`"),
+                ))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// ---- AST ------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Weight {
+    One,
+    Int(u32),
+    Ratio(u32, u32),
+}
+
+#[derive(Debug, Clone)]
+enum Primary {
+    Ident(String),
+    Paren(Box<Expr>),
+}
+
+#[derive(Debug, Clone)]
+struct Term {
+    weight: Weight,
+    primary: Primary,
+    line: usize,
+    col: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Expr {
+    first: Term,
+    rest: Vec<(bool, Term)>, // true = `+`, false = `-`
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Input {
+        name: String,
+    },
+    Const {
+        name: String,
+        value: f64,
+    },
+    Reg {
+        name: String,
+        init: f64,
+    },
+    Wire {
+        name: String,
+        expr: Expr,
+    },
+    Commit {
+        target: String,
+        expr: Expr,
+    },
+    Output {
+        name: String,
+        expr: Expr,
+    },
+    Inst {
+        name: String,
+        module: String,
+        connections: Vec<(String, Expr)>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Module {
+    name: String,
+    stmts: Vec<(Stmt, usize, usize)>, // statement with its line/col
+    line: usize,
+}
+
+/// A parsed netlist file: one or more modules, last one top by default.
+#[derive(Debug, Clone)]
+pub struct Program {
+    modules: Vec<Module>,
+}
+
+// ---- statement parser -----------------------------------------------------
+
+struct LineParser<'a> {
+    toks: &'a [(Tok, usize)],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn col(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map_or_else(|| self.toks.last().map_or(1, |(_, c)| c + 1), |(_, c)| *c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.col(), msg)
+    }
+
+    fn next(&mut self) -> Option<(Tok, usize)> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some((t, _)) if &t == want => Ok(()),
+            Some((t, c)) => Err(ParseError::new(
+                self.line,
+                c,
+                format!("expected {want}, found {t}"),
+            )),
+            None => Err(ParseError::new(
+                self.line,
+                self.col(),
+                format!("expected {want}, found end of line"),
+            )),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, usize), ParseError> {
+        match self.next() {
+            Some((Tok::Ident(s), c)) => Ok((s, c)),
+            Some((t, c)) => Err(ParseError::new(
+                self.line,
+                c,
+                format!("expected {what}, found {t}"),
+            )),
+            None => Err(ParseError::new(
+                self.line,
+                self.col(),
+                format!("expected {what}, found end of line"),
+            )),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<(String, usize), ParseError> {
+        match self.next() {
+            Some((Tok::Number(s), c)) => Ok((s, c)),
+            Some((t, c)) => Err(ParseError::new(
+                self.line,
+                c,
+                format!("expected {what}, found {t}"),
+            )),
+            None => Err(ParseError::new(
+                self.line,
+                self.col(),
+                format!("expected {what}, found end of line"),
+            )),
+        }
+    }
+
+    fn f64_number(&mut self, what: &str) -> Result<f64, ParseError> {
+        let (text, col) = self.number(what)?;
+        text.parse::<f64>()
+            .map_err(|_| ParseError::new(self.line, col, format!("bad number `{text}`")))
+    }
+
+    fn u32_number(&mut self, what: &str) -> Result<u32, ParseError> {
+        let (text, col) = self.number(what)?;
+        text.parse::<u32>().map_err(|_| {
+            ParseError::new(self.line, col, format!("expected {what}, found `{text}`"))
+        })
+    }
+
+    fn end(&mut self) -> Result<(), ParseError> {
+        match self.next() {
+            None => Ok(()),
+            Some((t, c)) => Err(ParseError::new(
+                self.line,
+                c,
+                format!("unexpected {t} after statement"),
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let first = self.term()?;
+        let mut rest = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.next();
+                    rest.push((true, self.term()?));
+                }
+                Some(Tok::Minus) => {
+                    self.next();
+                    rest.push((false, self.term()?));
+                }
+                _ => break,
+            }
+        }
+        Ok(Expr { first, rest })
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let line = self.line;
+        let col = self.col();
+        let weight = if matches!(self.peek(), Some(Tok::Number(_))) {
+            let p = self.u32_number("an integer weight")?;
+            if matches!(self.peek(), Some(Tok::Slash)) {
+                self.next();
+                let q = self.u32_number("a denominator")?;
+                self.expect(&Tok::Star)?;
+                Weight::Ratio(p, q)
+            } else {
+                self.expect(&Tok::Star)?;
+                Weight::Int(p)
+            }
+        } else {
+            Weight::One
+        };
+        let primary = match self.next() {
+            Some((Tok::Ident(s), _)) => Primary::Ident(s),
+            Some((Tok::LParen, _)) => {
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Primary::Paren(Box::new(inner))
+            }
+            Some((t, c)) => {
+                return Err(ParseError::new(
+                    self.line,
+                    c,
+                    format!("expected a signal name or `(`, found {t}"),
+                ))
+            }
+            None => {
+                return Err(ParseError::new(
+                    self.line,
+                    self.col(),
+                    "expected a signal name or `(`, found end of line",
+                ))
+            }
+        };
+        Ok(Term {
+            weight,
+            primary,
+            line,
+            col,
+        })
+    }
+}
+
+/// Parses netlist source into its module list without elaborating.
+///
+/// # Errors
+///
+/// [`ParseError`] with the 1-based line and column of the first problem.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut modules: Vec<Module> = Vec::new();
+    let mut current: Option<Module> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let toks = lex_line(line_no, raw)?;
+        if toks.is_empty() {
+            continue;
+        }
+        let mut p = LineParser {
+            toks: &toks,
+            pos: 0,
+            line: line_no,
+        };
+        let head_col = p.col();
+        match p.peek() {
+            Some(Tok::Ident(kw)) if kw == "module" => {
+                if current.is_some() {
+                    return Err(p.err("`module` inside a module (missing `}`?)"));
+                }
+                p.next();
+                let (name, ncol) = p.ident("a module name")?;
+                if modules.iter().any(|m| m.name == name) {
+                    return Err(ParseError::new(
+                        line_no,
+                        ncol,
+                        format!("duplicate module `{name}`"),
+                    ));
+                }
+                p.expect(&Tok::LBrace)?;
+                p.end()?;
+                current = Some(Module {
+                    name,
+                    stmts: Vec::new(),
+                    line: line_no,
+                });
+            }
+            Some(Tok::RBrace) => {
+                p.next();
+                p.end()?;
+                match current.take() {
+                    Some(m) => modules.push(m),
+                    None => return Err(ParseError::new(line_no, head_col, "stray `}`")),
+                }
+            }
+            _ => {
+                let module = current.as_mut().ok_or_else(|| {
+                    ParseError::new(line_no, head_col, "statement outside a module")
+                })?;
+                let stmt = parse_stmt(&mut p)?;
+                p.end()?;
+                module.stmts.push((stmt, line_no, head_col));
+            }
+        }
+    }
+    if let Some(m) = current {
+        return Err(ParseError::new(
+            m.line,
+            1,
+            format!("module `{}` is never closed", m.name),
+        ));
+    }
+    if modules.is_empty() {
+        return Err(ParseError::new(1, 1, "no modules in netlist"));
+    }
+    Ok(Program { modules })
+}
+
+fn parse_stmt(p: &mut LineParser<'_>) -> Result<Stmt, ParseError> {
+    match p.peek() {
+        Some(Tok::Ident(kw)) => match kw.as_str() {
+            "input" => {
+                p.next();
+                let (name, _) = p.ident("an input name")?;
+                Ok(Stmt::Input { name })
+            }
+            "const" => {
+                p.next();
+                let (name, _) = p.ident("a constant name")?;
+                p.expect(&Tok::Eq)?;
+                let value = p.f64_number("a value")?;
+                Ok(Stmt::Const { name, value })
+            }
+            "reg" => {
+                p.next();
+                let (name, _) = p.ident("a register name")?;
+                let init = if matches!(p.peek(), Some(Tok::Eq)) {
+                    p.next();
+                    p.f64_number("an initial value")?
+                } else {
+                    0.0
+                };
+                Ok(Stmt::Reg { name, init })
+            }
+            "wire" => {
+                p.next();
+                let (name, _) = p.ident("a wire name")?;
+                p.expect(&Tok::Eq)?;
+                let expr = p.expr()?;
+                Ok(Stmt::Wire { name, expr })
+            }
+            "output" => {
+                p.next();
+                let (name, _) = p.ident("an output name")?;
+                p.expect(&Tok::Eq)?;
+                let expr = p.expr()?;
+                Ok(Stmt::Output { name, expr })
+            }
+            "inst" => {
+                p.next();
+                let (name, _) = p.ident("an instance name")?;
+                p.expect(&Tok::Eq)?;
+                let (module, _) = p.ident("a module name")?;
+                p.expect(&Tok::LParen)?;
+                let mut connections = Vec::new();
+                if !matches!(p.peek(), Some(Tok::RParen)) {
+                    loop {
+                        let (port, _) = p.ident("a port name")?;
+                        p.expect(&Tok::Eq)?;
+                        connections.push((port, p.expr()?));
+                        match p.peek() {
+                            Some(Tok::Comma) => {
+                                p.next();
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                p.expect(&Tok::RParen)?;
+                Ok(Stmt::Inst {
+                    name,
+                    module,
+                    connections,
+                })
+            }
+            _ => {
+                // `name <= expr` commit
+                let (target, _) = p.ident("a statement")?;
+                p.expect(&Tok::Arrow)?;
+                let expr = p.expr()?;
+                Ok(Stmt::Commit { target, expr })
+            }
+        },
+        _ => Err(p.err(
+            "expected a statement (`input`, `const`, `reg`, `wire`, \
+             `output`, `inst`, or `NAME <= EXPR`)",
+        )),
+    }
+}
+
+// ---- elaboration ----------------------------------------------------------
+
+impl Program {
+    /// Names of the parsed modules, in file order.
+    #[must_use]
+    pub fn module_names(&self) -> Vec<&str> {
+        self.modules.iter().map(|m| m.name.as_str()).collect()
+    }
+
+    /// The top module's name (the last module in the file).
+    #[must_use]
+    pub fn top(&self) -> &str {
+        &self.modules[self.modules.len() - 1].name
+    }
+
+    /// Elaborates module `name` (instantiating children recursively) into
+    /// a flat [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] for unknown names, duplicate definitions, bad
+    /// commits, unknown modules/ports, or recursive instantiation.
+    pub fn elaborate(&self, name: &str) -> Result<Netlist, ParseError> {
+        let module = self
+            .modules
+            .iter()
+            .find(|m| m.name == name)
+            .ok_or_else(|| ParseError::new(1, 1, format!("no module named `{name}`")))?;
+        let mut active = Vec::new();
+        self.elaborate_module(module, &mut active)
+    }
+
+    fn elaborate_module(
+        &self,
+        module: &Module,
+        active: &mut Vec<String>,
+    ) -> Result<Netlist, ParseError> {
+        if active.contains(&module.name) {
+            return Err(ParseError::new(
+                module.line,
+                1,
+                format!("recursive instantiation of module `{}`", module.name),
+            ));
+        }
+        active.push(module.name.clone());
+        let result = Elaborator {
+            program: self,
+            net: Netlist::new(),
+            scope: HashMap::new(),
+            regs: Vec::new(),
+        }
+        .run(module, active);
+        active.pop();
+        result
+    }
+}
+
+struct Elaborator<'a> {
+    program: &'a Program,
+    net: Netlist,
+    /// Signal name → node, in this module's namespace (inputs, consts,
+    /// regs, wires, and `inst.port` reads).
+    scope: HashMap<String, Node>,
+    /// Registers declared in this module (commit targets).
+    regs: Vec<String>,
+}
+
+impl Elaborator<'_> {
+    fn define(
+        &mut self,
+        name: &str,
+        node: Node,
+        line: usize,
+        col: usize,
+    ) -> Result<(), ParseError> {
+        if self.scope.insert(name.to_owned(), node).is_some() {
+            return Err(ParseError::new(
+                line,
+                col,
+                format!("`{name}` is already defined"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn run(mut self, module: &Module, active: &mut Vec<String>) -> Result<Netlist, ParseError> {
+        for (stmt, line, col) in &module.stmts {
+            let (line, col) = (*line, *col);
+            match stmt {
+                Stmt::Input { name } => {
+                    let node = self.net.input(name);
+                    self.define(name, node, line, col)?;
+                }
+                Stmt::Const { name, value } => {
+                    let node = self.net.constant(name, *value);
+                    self.define(name, node, line, col)?;
+                    self.regs.push(name.clone());
+                }
+                Stmt::Reg { name, init } => {
+                    let node = self.net.register(name, *init);
+                    self.define(name, node, line, col)?;
+                    self.regs.push(name.clone());
+                }
+                Stmt::Wire { name, expr } => {
+                    let node = self.eval_expr(expr)?;
+                    self.define(name, node, line, col)?;
+                }
+                Stmt::Commit { target, expr } => {
+                    if !self.regs.iter().any(|r| r == target) {
+                        let what = if self.scope.contains_key(target) {
+                            format!("`{target}` is not a register (only `reg`/`const` take `<=`)")
+                        } else {
+                            format!("unknown register `{target}`")
+                        };
+                        return Err(ParseError::new(line, col, what));
+                    }
+                    let node = self.eval_expr(expr)?;
+                    self.net
+                        .commit(target, node)
+                        .map_err(|e| ParseError::new(line, col, e.to_string()))?;
+                }
+                Stmt::Output { name, expr } => {
+                    let node = self.eval_expr(expr)?;
+                    self.net.output(name, node);
+                }
+                Stmt::Inst {
+                    name,
+                    module: child_name,
+                    connections,
+                } => {
+                    let child = self
+                        .program
+                        .modules
+                        .iter()
+                        .find(|m| &m.name == child_name)
+                        .ok_or_else(|| {
+                            ParseError::new(line, col, format!("no module named `{child_name}`"))
+                        })?;
+                    let child_net = self.program.elaborate_module(child, active)?;
+                    let mut bound = Vec::new();
+                    for (port, expr) in connections {
+                        bound.push((port.as_str(), self.eval_expr(expr)?));
+                    }
+                    let outs = self
+                        .net
+                        .instantiate(name, &child_net, &bound)
+                        .map_err(|e| ParseError::new(line, col, e.to_string()))?;
+                    for (port, node) in outs {
+                        self.define(&format!("{name}.{port}"), node, line, col)?;
+                    }
+                }
+            }
+        }
+        Ok(self.net)
+    }
+
+    /// Evaluates an expression to a node.
+    ///
+    /// `+`-runs group into one (weighted) sum; `-` closes the sum so far
+    /// and subtracts the next term, left-associatively. A standalone
+    /// weighted term becomes a scaling node; inside a multi-term sum an
+    /// integer weight folds into the sum itself.
+    fn eval_expr(&mut self, expr: &Expr) -> Result<Node, ParseError> {
+        let mut acc: Option<Node> = None;
+        let mut pending: Vec<&Term> = vec![&expr.first];
+        for (plus, term) in &expr.rest {
+            if *plus {
+                pending.push(term);
+            } else {
+                let lhs = self.flush(acc.take(), &pending)?;
+                pending.clear();
+                let rhs = self.term_node(term)?;
+                acc = Some(self.net.sub(lhs, rhs));
+            }
+        }
+        self.flush(acc, &pending)
+    }
+
+    fn flush(&mut self, acc: Option<Node>, pending: &[&Term]) -> Result<Node, ParseError> {
+        match (acc, pending.len()) {
+            (Some(a), 0) => Ok(a),
+            (None, 1) => self.term_node(pending[0]),
+            (acc, _) => {
+                let mut terms: Vec<(Node, u32)> = Vec::new();
+                if let Some(a) = acc {
+                    terms.push((a, 1));
+                }
+                for term in pending {
+                    terms.push(self.term_pair(term)?);
+                }
+                Ok(self.net.add_weighted(&terms))
+            }
+        }
+    }
+
+    /// A term as a standalone node (weights become scaling nodes).
+    fn term_node(&mut self, term: &Term) -> Result<Node, ParseError> {
+        let node = self.primary_node(term)?;
+        Ok(match term.weight {
+            Weight::One | Weight::Int(1) => node,
+            Weight::Int(p) => self.net.scale(node, p, 1),
+            Weight::Ratio(p, q) => self.net.scale(node, p, q),
+        })
+    }
+
+    /// A term as a `(node, weight)` pair for a weighted sum (integer
+    /// weights fold; ratios still need a scaling node).
+    fn term_pair(&mut self, term: &Term) -> Result<(Node, u32), ParseError> {
+        Ok(match term.weight {
+            Weight::One => (self.primary_node(term)?, 1),
+            Weight::Int(p) => (self.primary_node(term)?, p),
+            Weight::Ratio(p, q) => {
+                let node = self.primary_node(term)?;
+                (self.net.scale(node, p, q), 1)
+            }
+        })
+    }
+
+    fn primary_node(&mut self, term: &Term) -> Result<Node, ParseError> {
+        match &term.primary {
+            Primary::Ident(name) => self.scope.get(name).copied().ok_or_else(|| {
+                ParseError::new(term.line, term.col, format!("unknown signal `{name}`"))
+            }),
+            Primary::Paren(inner) => self.eval_expr(inner),
+        }
+    }
+}
+
+/// Parses netlist source and elaborates the top (last) module.
+///
+/// # Errors
+///
+/// [`ParseError`] with the 1-based line and column of the first problem.
+pub fn parse_netlist(src: &str) -> Result<Netlist, ParseError> {
+    let program = parse_program(src)?;
+    program.elaborate(program.top())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::NodeOp;
+
+    const AVG: &str = "\
+module avg {
+  input x
+  wire t0 = 1/2 * x
+  reg z1
+  z1 <= x
+  wire t1 = 1/2 * z1
+  output y = t0 + t1
+}
+";
+
+    #[test]
+    fn parses_the_averager() {
+        let net = parse_netlist(AVG).unwrap();
+        // input, scale, regout, scale, add — and no node for the output
+        assert_eq!(net.node_count(), 5);
+        assert_eq!(net.registers().len(), 1);
+        assert_eq!(net.outputs().len(), 1);
+        assert!(matches!(net.nodes()[4], NodeOp::Add { .. }));
+    }
+
+    #[test]
+    fn statement_order_is_node_order() {
+        let net = parse_netlist(AVG).unwrap();
+        assert!(matches!(net.nodes()[0], NodeOp::Input { .. }));
+        assert!(matches!(net.nodes()[1], NodeOp::Scale { p: 1, q: 2, .. }));
+        assert!(matches!(net.nodes()[2], NodeOp::RegisterOut { reg: 0 }));
+        assert!(matches!(net.nodes()[3], NodeOp::Scale { p: 1, q: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_signal_has_position() {
+        let err = parse_netlist("module m {\n  wire y = nope\n}\n").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 12));
+        assert!(err.msg.contains("nope"), "{}", err.msg);
+    }
+
+    #[test]
+    fn commit_to_wire_is_rejected() {
+        let src = "module m {\n  input x\n  wire w = x\n  w <= x\n}\n";
+        let err = parse_netlist(src).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.msg.contains("not a register"), "{}", err.msg);
+    }
+
+    #[test]
+    fn weighted_sum_folds_integer_weights() {
+        let src = "module m {\n  input a\n  input b\n  wire s = 2*a + b\n  output y = s\n}\n";
+        let net = parse_netlist(src).unwrap();
+        let add = net
+            .nodes()
+            .iter()
+            .find_map(|op| match op {
+                NodeOp::Add { terms } => Some(terms.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(add.iter().map(|&(_, w)| w).collect::<Vec<_>>(), vec![2, 1]);
+    }
+
+    #[test]
+    fn subtraction_is_left_associative() {
+        let src = "module m {\n  input a\n  input b\n  input c\n  wire d = a - b - c\n  output y = d\n}\n";
+        let net = parse_netlist(src).unwrap();
+        let subs = net
+            .nodes()
+            .iter()
+            .filter(|op| matches!(op, NodeOp::Sub { .. }))
+            .count();
+        assert_eq!(subs, 2);
+    }
+
+    #[test]
+    fn instances_flatten_with_dotted_reads() {
+        let src = format!(
+            "{AVG}\nmodule top {{\n  input u\n  inst a = avg(x = u)\n  output v = a.y\n}}\n"
+        );
+        let net = parse_netlist(&src).unwrap();
+        let regs: Vec<&str> = net.registers().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(regs, vec!["a.z1", "a.y"]);
+        assert_eq!(net.outputs().len(), 1);
+    }
+
+    #[test]
+    fn recursive_instantiation_is_rejected() {
+        let src = "module a {\n  input x\n  inst s = a(x = x)\n}\n";
+        let err = parse_netlist(src).unwrap_err();
+        assert!(err.msg.contains("recursive"), "{}", err.msg);
+    }
+
+    #[test]
+    fn unclosed_module_is_rejected() {
+        let err = parse_program("module m {\n  input x\n").unwrap_err();
+        assert!(err.msg.contains("never closed"), "{}", err.msg);
+    }
+
+    #[test]
+    fn bad_tokens_carry_columns() {
+        let err = parse_netlist("module m {\n  wire y = $\n}\n").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 12));
+    }
+
+    #[test]
+    fn last_module_is_top() {
+        let src = "module a {\n  input x\n  output y = x\n}\nmodule b {\n  input u\n  output v = 2 * u\n}\n";
+        let program = parse_program(src).unwrap();
+        assert_eq!(program.top(), "b");
+        assert_eq!(program.module_names(), vec!["a", "b"]);
+        let net = program.elaborate("b").unwrap();
+        assert!(matches!(net.nodes()[1], NodeOp::Scale { p: 2, q: 1, .. }));
+    }
+}

@@ -31,7 +31,7 @@
 //!
 //! ```
 //! use molseq_serve::{
-//!     CellSpec, Client, Method, Server, ServerConfig, SubmitRequest,
+//!     CellSpec, Client, Method, Program, Server, ServerConfig, SubmitRequest,
 //! };
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,7 +40,7 @@
 //!
 //! let ack = client.submit(&SubmitRequest {
 //!     tenant: "docs".into(),
-//!     network: "X -> Y @slow".into(),
+//!     program: Program::Crn("X -> Y @slow".into()),
 //!     init: vec![("X".into(), 20.0)],
 //!     method: Method::Ssa,
 //!     t_end: 100.0,
@@ -73,7 +73,7 @@ mod server;
 
 pub use client::{Client, ClientError, FetchPage, JobStatusInfo, SubmitAck};
 pub use protocol::{
-    rows_to_summary, stats_summary, CellRow, CellSpec, Method, ProtocolError, Request,
+    rows_to_summary, stats_summary, CellRow, CellSpec, Method, Program, ProtocolError, Request,
     SubmitRequest,
 };
 pub use server::{Server, ServerConfig, TenantPolicy};

@@ -9,9 +9,15 @@
 //!
 //! Operations:
 //!
-//! * `submit` — a batch of sweep cells over one network (reaction text in
-//!   the [`Crn`](molseq_crn::Crn) `Display`/`FromStr` format). Replies
-//!   with a job id.
+//! * `submit` — a batch of sweep cells over one program: a tagged
+//!   `program` object carrying either reaction text in the
+//!   [`Crn`](molseq_crn::Crn) `Display`/`FromStr` format
+//!   (`{"crn": "..."}`) or netlist source compiled server-side
+//!   (`{"netlist": "..."}`; see `molseq_netlist`). The legacy bare
+//!   `network` string field is still accepted on input as a `crn`
+//!   program. Netlist text is validated **at parse time**: a malformed
+//!   netlist is rejected with line/column info before any admission,
+//!   compilation, or worker involvement. Replies with a job id.
 //! * `status` — queued/running/done counts for a job.
 //! * `fetch` — the job's completed rows from a given index, optionally
 //!   blocking until more are ready. Rows stream back in **index order**
@@ -108,6 +114,24 @@ impl Method {
     }
 }
 
+/// What a submission runs: the tagged `program` field of a submit
+/// request.
+///
+/// Both forms resolve to a [`Crn`](molseq_crn::Crn) server-side and share
+/// the compiled-network cache (keyed by `Crn::structural_hash`), so two
+/// identical netlists — or a netlist and the reaction text it lowers to —
+/// hit the same cache entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Program {
+    /// Reaction text in the `Crn` `Display`/`FromStr` format.
+    Crn(String),
+    /// Netlist source text (modules; the last module is the top). The
+    /// server elaborates and lowers it with the default clock, and the
+    /// compiled system's initial state seeds the run (the request's
+    /// `init` entries override by species name).
+    Netlist(String),
+}
+
 /// One sweep cell of a submission: a label plus an optional rate-constant
 /// override (both of `k_fast`/`k_slow`, or neither — the server rejects a
 /// half-specified pair).
@@ -127,8 +151,8 @@ pub struct SubmitRequest {
     /// The tenant this job is accounted to (admission control and budgets
     /// are per tenant).
     pub tenant: String,
-    /// The network, as reaction text (the `Crn` `Display` format).
-    pub network: String,
+    /// What to run: reaction text or netlist source.
+    pub program: Program,
     /// Initial amounts by species name; unmentioned species start at 0.
     pub init: Vec<(String, f64)>,
     /// Which simulator to run.
@@ -282,10 +306,14 @@ impl Request {
                         JsonValue::Array(vec![num(*time), string(name), num(*amount)])
                     })
                     .collect();
+                let program = match &req.program {
+                    Program::Crn(text) => obj(vec![("crn", string(text))]),
+                    Program::Netlist(text) => obj(vec![("netlist", string(text))]),
+                };
                 let mut members = vec![
                     ("op", string("submit")),
                     ("tenant", string(&req.tenant)),
-                    ("network", string(&req.network)),
+                    ("program", program),
                     ("init", JsonValue::Array(init)),
                     ("method", string(req.method.as_str())),
                     ("t_end", num(req.t_end)),
@@ -350,6 +378,42 @@ impl Request {
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
         }
+    }
+}
+
+/// Resolves the tagged `program` field (or the legacy bare `network`
+/// string). Netlist text is parsed and elaborated here, so a malformed
+/// netlist fails with line/column info before any worker — the same
+/// fail-at-the-wire posture as the `t_end` and rate-override checks.
+fn parse_program_field(doc: &JsonValue) -> Result<Program, ProtocolError> {
+    match (doc.get("program"), doc.get("network")) {
+        (Some(_), Some(_)) => Err(ProtocolError::new(
+            "give either `program` or the legacy `network` field, not both",
+        )),
+        (None, None) => Err(ProtocolError::new(
+            "missing `program` (an object tagged {\"crn\": text} or {\"netlist\": text})",
+        )),
+        (None, Some(_)) => Ok(Program::Crn(get_str(doc, "network")?)),
+        (Some(p), None) => match (p.get("crn"), p.get("netlist")) {
+            (Some(text), None) => {
+                let text = text
+                    .as_str()
+                    .ok_or_else(|| ProtocolError::new("`program.crn` is not a string"))?;
+                Ok(Program::Crn(text.to_owned()))
+            }
+            (None, Some(text)) => {
+                let text = text
+                    .as_str()
+                    .ok_or_else(|| ProtocolError::new("`program.netlist` is not a string"))?;
+                molseq_netlist::parse_netlist(text).map_err(|e| {
+                    ProtocolError::new(format!("`program.netlist` does not parse: {e}"))
+                })?;
+                Ok(Program::Netlist(text.to_owned()))
+            }
+            _ => Err(ProtocolError::new(
+                "`program` must carry exactly one of `crn` or `netlist`",
+            )),
+        },
     }
 }
 
@@ -452,9 +516,10 @@ fn parse_submit(doc: &JsonValue) -> Result<SubmitRequest, ProtocolError> {
     if !t_end.is_finite() || t_end <= 0.0 {
         return Err(ProtocolError::new("`t_end` must be a finite positive time"));
     }
+    let program = parse_program_field(doc)?;
     Ok(SubmitRequest {
         tenant: get_str(doc, "tenant")?,
-        network: get_str(doc, "network")?,
+        program,
         init,
         method: Method::parse(&get_str(doc, "method")?)?,
         t_end,
@@ -607,7 +672,7 @@ mod tests {
     fn sample_submit() -> SubmitRequest {
         SubmitRequest {
             tenant: "acme".to_owned(),
-            network: "X -> Y @fast\n".to_owned(),
+            program: Program::Crn("X -> Y @fast\n".to_owned()),
             init: vec![("X".to_owned(), 10.0)],
             method: Method::Ssa,
             t_end: 5.0,
@@ -657,11 +722,13 @@ mod tests {
 
     #[test]
     fn submit_defaults_apply_when_fields_are_absent() {
+        // the legacy bare `network` field still reads as a crn program
         let line = "{\"op\":\"submit\",\"tenant\":\"t\",\"network\":\"X -> Y @fast\",\
                     \"method\":\"ode\",\"t_end\":1,\"cells\":[{\"label\":\"only\"}]}";
         let Request::Submit(req) = Request::parse(line).unwrap() else {
             panic!("expected submit");
         };
+        assert_eq!(req.program, Program::Crn("X -> Y @fast".to_owned()));
         assert_eq!(req.seed, 0);
         assert!(req.init.is_empty());
         assert!(req.injections.is_empty());
@@ -671,6 +738,53 @@ mod tests {
         // an omitted width is *not* a width of 1: it asks the server to
         // pick one from the cell count
         assert_eq!(req.batch, None);
+    }
+
+    #[test]
+    fn netlist_programs_round_trip() {
+        let mut submit = sample_submit();
+        submit.program = Program::Netlist(
+            "module m {\n  input x\n  reg d\n  d <= x\n  output y = d\n}\n".to_owned(),
+        );
+        submit.init = Vec::new();
+        submit.injections = Vec::new();
+        let line = Request::Submit(Box::new(submit.clone())).to_line();
+        assert!(line.contains("\"netlist\""), "{line}");
+        assert_eq!(
+            Request::parse(&line).unwrap(),
+            Request::Submit(Box::new(submit))
+        );
+    }
+
+    #[test]
+    fn malformed_netlists_fail_at_parse_time_with_position() {
+        let line = "{\"op\":\"submit\",\"tenant\":\"t\",\
+                    \"program\":{\"netlist\":\"module m {\\n  wire y = nope\\n}\\n\"},\
+                    \"method\":\"ode\",\"t_end\":1,\"cells\":[{\"label\":\"c\"}]}";
+        let err = Request::parse(line).unwrap_err();
+        assert!(err.message().contains("netlist"), "{err}");
+        assert!(err.message().contains("line 2"), "{err}");
+        assert!(err.message().contains("column 12"), "{err}");
+    }
+
+    #[test]
+    fn program_field_must_be_exactly_one_form() {
+        let both_fields = "{\"op\":\"submit\",\"tenant\":\"t\",\"network\":\"X -> Y @fast\",\
+                           \"program\":{\"crn\":\"X -> Y @fast\"},\
+                           \"method\":\"ode\",\"t_end\":1,\"cells\":[{\"label\":\"c\"}]}";
+        let err = Request::parse(both_fields).unwrap_err();
+        assert!(err.message().contains("not both"), "{err}");
+
+        let neither = "{\"op\":\"submit\",\"tenant\":\"t\",\
+                       \"method\":\"ode\",\"t_end\":1,\"cells\":[{\"label\":\"c\"}]}";
+        let err = Request::parse(neither).unwrap_err();
+        assert!(err.message().contains("program"), "{err}");
+
+        let both_tags = "{\"op\":\"submit\",\"tenant\":\"t\",\
+                         \"program\":{\"crn\":\"X -> Y @fast\",\"netlist\":\"module m {\\n}\\n\"},\
+                         \"method\":\"ode\",\"t_end\":1,\"cells\":[{\"label\":\"c\"}]}";
+        let err = Request::parse(both_tags).unwrap_err();
+        assert!(err.message().contains("exactly one"), "{err}");
     }
 
     #[test]

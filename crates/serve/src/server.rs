@@ -6,7 +6,7 @@
 //! isolation — so the rows a job streams back are bit-identical to an
 //! in-process sweep of the same request, whatever the worker count.
 
-use crate::protocol::{CellRow, CellSpec, Method, Request, SubmitRequest};
+use crate::protocol::{CellRow, CellSpec, Method, Program, Request, SubmitRequest};
 use molseq_crn::{Crn, RateAssignment};
 use molseq_kinetics::{
     run_ode_batch, run_ssa_batch, run_tau_batch, BatchLane, BatchedOdeWorkspace,
@@ -571,11 +571,7 @@ fn handle_submit(shared: &Shared, req: &SubmitRequest) -> Result<JsonValue, Stri
 }
 
 fn build_plan(shared: &Shared, req: &SubmitRequest, batch: usize) -> Result<JobPlan, String> {
-    let crn: Crn = req
-        .network
-        .parse()
-        .map_err(|e| format!("network does not parse: {e}"))?;
-    let mut init = State::new(&crn);
+    let (crn, mut init) = resolve_program(&req.program)?;
     for (name, amount) in &req.init {
         let species = crn
             .find_species(name)
@@ -628,6 +624,51 @@ fn build_plan(shared: &Shared, req: &SubmitRequest, batch: usize) -> Result<JobP
         batch,
         cells,
     })
+}
+
+/// Resolves the submitted program into a network and the base initial
+/// state that `init` overrides are applied on top of.
+///
+/// A `crn` program starts from the all-zero state. A `netlist` program is
+/// compiled through the circuit lowering pass and starts from the compiled
+/// system's initial state (clock priming, register initial values). The
+/// compiled CRN is round-tripped through its text form so a netlist
+/// submission is byte-identical — species order, cache key, result rows —
+/// to submitting the lowered CRN text directly.
+fn resolve_program(program: &Program) -> Result<(Crn, State), String> {
+    match program {
+        Program::Crn(text) => {
+            let crn: Crn = text
+                .parse()
+                .map_err(|e| format!("network does not parse: {e}"))?;
+            let init = State::new(&crn);
+            Ok((crn, init))
+        }
+        Program::Netlist(src) => {
+            let system =
+                molseq_sync::compile_netlist_source(src, molseq_sync::ClockSpec::default())
+                    .map_err(|e| format!("netlist does not compile: {e}"))?;
+            let crn: Crn = system
+                .crn()
+                .to_string()
+                .parse()
+                .map_err(|e| format!("compiled netlist does not round-trip: {e}"))?;
+            let compiled_init = system.initial_state();
+            let mut init = State::new(&crn);
+            for index in 0..system.crn().species_count() {
+                let id = molseq_crn::SpeciesId::from_index(index);
+                let amount = compiled_init.get(id);
+                if amount != 0.0 {
+                    let name = system.crn().species_name(id);
+                    let species = crn.find_species(name).ok_or_else(|| {
+                        format!("compiled netlist lost species `{name}` in round-trip")
+                    })?;
+                    init.set(species, amount);
+                }
+            }
+            Ok((crn, init))
+        }
+    }
 }
 
 fn cell_spec(cell: &CellSpec) -> Result<Option<SimSpec>, String> {
@@ -1173,7 +1214,7 @@ mod tests {
         };
         let req = SubmitRequest {
             tenant: "acme".to_owned(),
-            network: "X -> Y @slow".to_owned(),
+            program: Program::Crn("X -> Y @slow".to_owned()),
             init: vec![("X".to_owned(), 5.0)],
             method: Method::Ssa,
             t_end: 1.0,

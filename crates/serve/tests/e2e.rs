@@ -12,7 +12,7 @@
 //!    cancellation both stops the job and frees the slot.
 
 use molseq_serve::{
-    rows_to_summary, CellRow, CellSpec, Client, ClientError, Method, Server, ServerConfig,
+    rows_to_summary, CellRow, CellSpec, Client, ClientError, Method, Program, Server, ServerConfig,
     SubmitRequest, TenantPolicy,
 };
 use molseq_sweep::{JobBudget, JobStatus};
@@ -35,7 +35,7 @@ fn decay_submit(tenant: &str, amplitude: f64, reps: usize) -> SubmitRequest {
     });
     SubmitRequest {
         tenant: tenant.to_owned(),
-        network: "X -> Y @slow".to_owned(),
+        program: Program::Crn("X -> Y @slow".to_owned()),
         init: vec![("X".to_owned(), amplitude)],
         method: Method::Ssa,
         t_end: 1.0e6,
@@ -200,7 +200,7 @@ fn admission_control_rejects_at_the_inflight_limit_and_cancel_frees_the_slot() {
     // cancellation checks below; cancellation cuts it at the next event
     let long = SubmitRequest {
         tenant: "busy".to_owned(),
-        network: "X -> Y @slow\nY -> X @slow".to_owned(),
+        program: Program::Crn("X -> Y @slow\nY -> X @slow".to_owned()),
         init: vec![("X".to_owned(), 100.0)],
         method: Method::Ssa,
         t_end: 1.0e9,
@@ -284,7 +284,7 @@ fn batched_ode_submission_matches_scalar_byte_for_byte() {
     let mut client = Client::connect(server.addr()).expect("client connects");
     let mut submit = SubmitRequest {
         tenant: "acme".to_owned(),
-        network: "X -> Y @fast\nY -> Z @slow".to_owned(),
+        program: Program::Crn("X -> Y @fast\nY -> Z @slow".to_owned()),
         init: vec![("X".to_owned(), 8.0)],
         method: Method::Ode,
         t_end: 4.0,
@@ -382,7 +382,7 @@ fn omitted_batch_width_is_auto_selected_and_matches_an_explicit_width() {
     // scalar path instead of a group — and is accepted, not rejected
     let hybrid = SubmitRequest {
         method: Method::Hybrid,
-        network: "0 -> R @fast\nR + X -> X @slow\nX -> Y @slow".to_owned(),
+        program: Program::Crn("0 -> R @fast\nR + X -> X @slow\nX -> Y @slow".to_owned()),
         t_end: 2.0,
         batch: None,
         ..decay_submit("acme", 20.0, 1)
@@ -415,7 +415,7 @@ fn batch_rejections_distinguish_bad_widths_from_unsupported_methods() {
     // method-aware error that names the offender and the alternatives
     let hybrid_grouped = SubmitRequest {
         method: Method::Hybrid,
-        network: "0 -> R @fast\nR + X -> X @slow\nX -> Y @slow".to_owned(),
+        program: Program::Crn("0 -> R @fast\nR + X -> X @slow\nX -> Y @slow".to_owned()),
         t_end: 2.0,
         batch: Some(2),
         ..decay_submit("acme", 20.0, 3)
@@ -442,7 +442,7 @@ fn bounded_cache_evicts_and_recompiles_identically() {
     let mut client = Client::connect(server.addr()).expect("client connects");
     let first = decay_submit("acme", 10.0, 1);
     let mut other = decay_submit("acme", 10.0, 1);
-    other.network = "X -> Y @slow\nY -> Z @slow".to_owned();
+    other.program = Program::Crn("X -> Y @slow\nY -> Z @slow".to_owned());
 
     // first → miss; other → miss + evicts first; first again → miss +
     // evicts other, and — the point — reproduces the original rows
@@ -529,7 +529,7 @@ fn hybrid_submission_is_byte_identical_across_worker_counts() {
     // slow computation reaction fires discretely
     let submit = SubmitRequest {
         tenant: "acme".to_owned(),
-        network: "0 -> R @fast\nR + X -> X @slow\nX -> Y @slow".to_owned(),
+        program: Program::Crn("0 -> R @fast\nR + X -> X @slow\nX -> Y @slow".to_owned()),
         init: vec![("X".to_owned(), 50.0)],
         method: Method::Hybrid,
         t_end: 2.0,
@@ -581,7 +581,7 @@ fn malformed_and_unknown_requests_fail_cleanly_without_killing_the_connection() 
     assert!(matches!(unknown, Err(ClientError::Server(ref msg)) if msg.contains("unknown job")));
 
     let bad_network = client.submit(&SubmitRequest {
-        network: "not a network ->".to_owned(),
+        program: Program::Crn("not a network ->".to_owned()),
         ..decay_submit("acme", 10.0, 1)
     });
     assert!(matches!(bad_network, Err(ClientError::Server(_))));
@@ -727,4 +727,132 @@ fn a_server_that_dies_between_submit_and_fetch_surfaces_connection_closed() {
     // the stand-in drains until the client hangs up — hang up first
     drop(client);
     dying.join().expect("stand-in exits");
+}
+
+/// The netlist front-end over the wire: a circuit that exists only as
+/// netlist text — never hand-assembled in Rust — compiles server-side,
+/// runs byte-identically at any worker count, shares a cache entry with
+/// a submission of its own lowered CRN text, and keeps distinct cache
+/// entries from other netlists. Malformed netlists bounce at the
+/// protocol layer with their source position, before any worker runs.
+#[test]
+fn netlist_programs_run_over_the_wire_and_cache_by_structure() {
+    let seqdet = include_str!("../../../examples/netlists/seqdet.nl");
+    let mavg2 = include_str!("../../../examples/netlists/mavg2.nl");
+
+    let submit_netlist = |src: &str| SubmitRequest {
+        tenant: "hdl".to_owned(),
+        program: Program::Netlist(src.to_owned()),
+        init: vec![],
+        method: Method::Ode,
+        t_end: 40.0,
+        record_interval: None,
+        seed: 5,
+        injections: vec![],
+        batch: Some(1),
+        cells: vec![
+            CellSpec {
+                label: "default".to_owned(),
+                k_fast: None,
+                k_slow: None,
+            },
+            CellSpec {
+                label: "k=500/2".to_owned(),
+                k_fast: Some(500.0),
+                k_slow: Some(2.0),
+            },
+        ],
+    };
+
+    let serial = Server::start(ServerConfig::default().with_workers(1)).expect("server boots");
+    let threaded = Server::start(ServerConfig::default().with_workers(4)).expect("server boots");
+    let mut on_serial = Client::connect(serial.addr()).expect("client connects");
+    let mut on_threaded = Client::connect(threaded.addr()).expect("client connects");
+
+    // (a) a malformed netlist dies at the protocol layer, with its
+    // source position, before admission — exercised over the raw wire
+    {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+        let stream = TcpStream::connect(serial.addr()).expect("raw connection");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let raw = concat!(
+            "{\"op\": \"submit\", \"tenant\": \"hdl\", ",
+            "\"program\": {\"netlist\": \"module m {\\n  wire y = nope\\n}\"}, ",
+            "\"init\": [], \"method\": \"ode\", \"t_end\": 5, \"seed\": 1, ",
+            "\"injections\": [], \"cells\": [{\"label\": \"c\"}]}\n"
+        );
+        let mut writer = &stream;
+        writer.write_all(raw.as_bytes()).expect("line written");
+        writer.flush().expect("line flushed");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply arrives");
+        assert!(
+            reply.contains("\"ok\":false") && reply.contains("line 2"),
+            "bad netlist reply: {reply}"
+        );
+    }
+    let stats = on_serial.stats().expect("stats round trip");
+    assert_eq!(counter(&stats, "jobs_submitted"), 0.0);
+
+    // (b) the sequence detector runs byte-identically at 1 vs 4 workers
+    let request = submit_netlist(seqdet);
+    let ack_serial = on_serial.submit(&request).expect("netlist admitted");
+    assert!(
+        ack_serial.species.iter().any(|s| s == "s2.R"),
+        "state registers are visible as species: {:?}",
+        ack_serial.species
+    );
+    let rows_serial = on_serial.fetch_all(&ack_serial.job_id).expect("completes");
+    assert!(rows_serial.iter().all(|r| r.status == JobStatus::Ok));
+    let ack_threaded = on_threaded.submit(&request).expect("netlist admitted");
+    let rows_threaded = on_threaded
+        .fetch_all(&ack_threaded.job_id)
+        .expect("completes");
+    assert_eq!(render(&rows_serial), render(&rows_threaded));
+
+    // (c) submitting the netlist's own lowered CRN text (with the
+    // compiled initial state spelled out) is the *same* submission:
+    // byte-identical rows and a cache hit, not a new entry
+    let system = molseq_sync::compile_netlist_source(seqdet, molseq_sync::ClockSpec::default())
+        .expect("netlist compiles locally");
+    let crn_text = system.crn().to_string();
+    let init_state = system.initial_state();
+    let init: Vec<(String, f64)> = (0..system.crn().species_count())
+        .map(molseq_crn::SpeciesId::from_index)
+        .filter(|&id| init_state.get(id) != 0.0)
+        .map(|id| (system.crn().species_name(id).to_owned(), init_state.get(id)))
+        .collect();
+    let stats = on_serial.stats().expect("stats round trip");
+    assert_eq!(counter(&stats, "cache_misses"), 1.0);
+    let as_crn = SubmitRequest {
+        program: Program::Crn(crn_text),
+        init,
+        ..submit_netlist(seqdet)
+    };
+    let ack_crn = on_serial.submit(&as_crn).expect("lowered CRN admitted");
+    assert_eq!(ack_crn.species, ack_serial.species);
+    let rows_crn = on_serial.fetch_all(&ack_crn.job_id).expect("completes");
+    assert_eq!(render(&rows_serial), render(&rows_crn));
+    let stats = on_serial.stats().expect("stats round trip");
+    assert_eq!(counter(&stats, "cache_misses"), 1.0);
+    assert_eq!(counter(&stats, "cache_hits"), 1.0);
+
+    // (d) a different netlist gets its own cache entry; resubmitting the
+    // first is still a hit
+    let other = on_serial
+        .submit(&submit_netlist(mavg2))
+        .expect("second netlist admitted");
+    on_serial.fetch_all(&other.job_id).expect("completes");
+    let again = on_serial.submit(&request).expect("resubmission admitted");
+    let rows_again = on_serial.fetch_all(&again.job_id).expect("completes");
+    assert_eq!(render(&rows_serial), render(&rows_again));
+    let stats = on_serial.stats().expect("stats round trip");
+    assert_eq!(counter(&stats, "cache_misses"), 2.0);
+    assert_eq!(counter(&stats, "cache_hits"), 2.0);
+
+    on_serial.shutdown().expect("shutdown round trip");
+    on_threaded.shutdown().expect("shutdown round trip");
+    serial.join();
+    threaded.join();
 }
